@@ -1,0 +1,35 @@
+//! # aware
+//!
+//! Umbrella crate for the AWARE reproduction (*Zhao et al., "Controlling
+//! False Discoveries During Interactive Data Exploration"*, SIGMOD 2017).
+//! Re-exports the workspace crates under one name and hosts the
+//! repository-level examples (`examples/`) and integration tests
+//! (`tests/`).
+//!
+//! | Re-export | Contents |
+//! |-----------|----------|
+//! | [`stats`] | special functions, distributions, hypothesis tests, effect sizes, power |
+//! | [`data`] | columnar tables, predicates, histograms, sampling, census generator |
+//! | [`mht`] | PCER/FWER/FDR baselines, Sequential FDR, α-investing policies, LOND/LORD++ |
+//! | [`core`] | the AWARE session: heuristics, hypothesis tracking, risk gauge |
+//! | [`sim`] | workloads, metrics, experiment runners for every paper figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aware::core::session::Session;
+//! use aware::data::census::CensusGenerator;
+//! use aware::data::predicate::Predicate;
+//! use aware::mht::investing::policies::Fixed;
+//!
+//! let table = CensusGenerator::new(7).generate(5_000);
+//! let mut session = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
+//! session.add_visualization("education", Predicate::eq("salary_over_50k", true)).unwrap();
+//! println!("{}", aware::core::gauge::render(&session));
+//! ```
+
+pub use aware_core as core;
+pub use aware_data as data;
+pub use aware_mht as mht;
+pub use aware_sim as sim;
+pub use aware_stats as stats;

@@ -1,0 +1,82 @@
+//! Procedure throughput at the paper's stream sizes.
+//!
+//! `fig3_static`: batch FWER/FDR procedures over full streams (their cost
+//! is dominated by the sort). `fig4_incremental`: per-stream cost of the
+//! sequential and α-investing procedures — the numbers that must stay
+//! inside an interactive latency budget.
+
+use aware_bench::{p_stream, support_stream};
+use aware_mht::registry::ProcedureSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn fig3_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_static");
+    for &m in &[64usize, 1024, 16384] {
+        let ps = p_stream(m, 0.25, 42);
+        group.throughput(Throughput::Elements(m as u64));
+        for spec in [
+            ProcedureSpec::Pcer,
+            ProcedureSpec::Bonferroni,
+            ProcedureSpec::Holm,
+            ProcedureSpec::BenjaminiHochberg,
+        ] {
+            group.bench_with_input(BenchmarkId::new(spec.label(), m), &ps, |b, ps| {
+                b.iter(|| spec.run(0.05, black_box(ps)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig4_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_incremental");
+    for &m in &[64usize, 1024] {
+        let ps = p_stream(m, 0.25, 43);
+        let supports = vec![1.0; m];
+        group.throughput(Throughput::Elements(m as u64));
+        for spec in ProcedureSpec::exp1b_procedures() {
+            group.bench_with_input(BenchmarkId::new(spec.label(), m), &ps, |b, ps| {
+                b.iter(|| spec.run_with_support(0.05, black_box(ps), &supports).unwrap())
+            });
+        }
+        for spec in ProcedureSpec::extension_procedures() {
+            group.bench_with_input(BenchmarkId::new(spec.label(), m), &ps, |b, ps| {
+                b.iter(|| spec.run(0.05, black_box(ps)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig5_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_support");
+    let m = 1024usize;
+    let ps = p_stream(m, 0.25, 44);
+    let supports = support_stream(m, 44);
+    group.throughput(Throughput::Elements(m as u64));
+    for psi in [0.33, 0.5, 1.0] {
+        let spec = ProcedureSpec::PsiSupport { gamma: 10.0, psi };
+        group.bench_with_input(BenchmarkId::new("psi", format!("{psi}")), &ps, |b, ps| {
+            b.iter(|| spec.run_with_support(0.05, black_box(ps), &supports).unwrap())
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: short but stable windows so the whole
+/// suite runs in a few minutes without CLI flags.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = fig3_static, fig4_incremental, fig5_support
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! End-to-end interactivity: the latency of one `add_visualization` call
+//! (heuristics + filter + histogram + χ² + α-investing + flip estimate) —
+//! the operation behind every click in the paper's Figure 1 — and the
+//! Fig-6 workflow replay.
+
+use aware_core::session::Session;
+use aware_data::census::{CensusGenerator, RACE};
+use aware_data::predicate::Predicate;
+use aware_mht::investing::policies::Fixed;
+use aware_sim::workflow::WorkflowGenerator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn session_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_step");
+    for &rows in &[10_000usize, 100_000] {
+        let table = CensusGenerator::new(4).generate(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("add_visualization", rows), &table, |b, t| {
+            let mut i = 0usize;
+            b.iter_batched(
+                || Session::new(t.clone(), 0.05, Fixed::new(1e6)).unwrap(),
+                |mut s| {
+                    i = (i + 1) % RACE.len();
+                    s.add_visualization(
+                        black_box("education"),
+                        Predicate::eq("race", RACE[i]),
+                    )
+                    .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn fig6_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_workflow");
+    let table = CensusGenerator::new(5).generate(20_000);
+    let workflow = WorkflowGenerator::paper_default(5).generate();
+    group.throughput(Throughput::Elements(workflow.len() as u64));
+    group.bench_function("replay_115_hypotheses_20k_rows", |b| {
+        b.iter(|| workflow.evaluate(black_box(&table)))
+    });
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: short but stable windows so the whole
+/// suite runs in a few minutes without CLI flags.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = session_step, fig6_workflow
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-kernels: the numeric functions on every p-value's critical path.
+
+use aware_stats::special::{beta_inc, gamma_q, inv_normal_cdf};
+use aware_stats::tests::{chi_square_independence, welch_t_test, Alternative};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special");
+    group.bench_function("beta_inc", |b| {
+        b.iter(|| beta_inc(black_box(15.0), black_box(0.5), black_box(0.37)))
+    });
+    group.bench_function("gamma_q", |b| {
+        b.iter(|| gamma_q(black_box(2.5), black_box(7.3)))
+    });
+    group.bench_function("inv_normal_cdf", |b| {
+        b.iter(|| inv_normal_cdf(black_box(0.975)))
+    });
+    group.finish();
+}
+
+fn hypothesis_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tests");
+    let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin()).collect();
+    let ys: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).cos() + 0.1).collect();
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("welch_t_1000v1000", |b| {
+        b.iter(|| welch_t_test(black_box(&xs), black_box(&ys), Alternative::TwoSided).unwrap())
+    });
+    let table = vec![vec![321u64, 123, 98, 47, 11], vec![1034, 611, 422, 151, 60]];
+    group.bench_function("chi2_independence_2x5", |b| {
+        b.iter(|| chi_square_independence(black_box(&table)).unwrap())
+    });
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: short but stable windows so the whole
+/// suite runs in a few minutes without CLI flags.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = special_functions, hypothesis_tests
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Unified error type for the AWARE session layer.
+
+use aware_data::DataError;
+use aware_mht::MhtError;
+use aware_stats::StatsError;
+use std::fmt;
+
+/// Errors surfaced by AWARE sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AwareError {
+    /// Statistical computation failed (propagated from `aware-stats`).
+    Stats(StatsError),
+    /// Data-engine operation failed (propagated from `aware-data`).
+    Data(DataError),
+    /// Procedure-level failure — including wealth exhaustion, which the
+    /// session surfaces as "stop exploring" (propagated from `aware-mht`).
+    Mht(MhtError),
+    /// A referenced visualization does not exist.
+    UnknownVisualization {
+        /// The missing id.
+        id: u64,
+    },
+    /// A referenced hypothesis does not exist.
+    UnknownHypothesis {
+        /// The missing id.
+        id: u64,
+    },
+    /// The operation targets a hypothesis in an incompatible state (e.g.
+    /// overriding one that was already superseded or deleted).
+    InvalidHypothesisState {
+        /// The hypothesis id.
+        id: u64,
+        /// What the operation required.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for AwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AwareError::Stats(e) => write!(f, "statistics: {e}"),
+            AwareError::Data(e) => write!(f, "data engine: {e}"),
+            AwareError::Mht(e) => write!(f, "procedure: {e}"),
+            AwareError::UnknownVisualization { id } => write!(f, "unknown visualization #{id}"),
+            AwareError::UnknownHypothesis { id } => write!(f, "unknown hypothesis #{id}"),
+            AwareError::InvalidHypothesisState { id, expected } => {
+                write!(f, "hypothesis #{id} is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AwareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AwareError::Stats(e) => Some(e),
+            AwareError::Data(e) => Some(e),
+            AwareError::Mht(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for AwareError {
+    fn from(e: StatsError) -> Self {
+        AwareError::Stats(e)
+    }
+}
+
+impl From<DataError> for AwareError {
+    fn from(e: DataError) -> Self {
+        AwareError::Data(e)
+    }
+}
+
+impl From<MhtError> for AwareError {
+    fn from(e: MhtError) -> Self {
+        AwareError::Mht(e)
+    }
+}
+
+impl AwareError {
+    /// True when the error means the α-wealth ran out (§5.8): the session
+    /// cannot test further hypotheses without breaking the guarantee.
+    pub fn is_wealth_exhausted(&self) -> bool {
+        matches!(self, AwareError::Mht(MhtError::WealthExhausted { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AwareError = StatsError::ZeroVariance { context: "t" }.into();
+        assert!(e.to_string().contains("statistics"));
+        let e: AwareError = DataError::UnknownColumn { name: "x".into() }.into();
+        assert!(e.to_string().contains("data engine"));
+        let e: AwareError =
+            MhtError::WealthExhausted { tests_run: 3, remaining_wealth: 0.0 }.into();
+        assert!(e.is_wealth_exhausted());
+        assert!(e.to_string().contains("procedure"));
+        assert!(!AwareError::UnknownHypothesis { id: 9 }.is_wealth_exhausted());
+        assert!(AwareError::UnknownVisualization { id: 2 }.to_string().contains("#2"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: AwareError = StatsError::NonFinite { context: "x" }.into();
+        assert!(e.source().is_some());
+        assert!(AwareError::UnknownHypothesis { id: 1 }.source().is_none());
+    }
+}

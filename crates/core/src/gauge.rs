@@ -1,0 +1,167 @@
+//! The risk gauge — a textual rendering of the paper's Figure 2.
+//!
+//! The gauge shows the procedure summary (policy, α budget, remaining
+//! wealth) and one entry per hypothesis: color-coded decision, the
+//! alternative/null labels, p-value vs granted bid, effect size with its
+//! qualitative magnitude, the `n_H1` squares, and star/status markers.
+//! Terminal color is deliberately avoided — the string renders anywhere a
+//! test log does.
+
+use crate::hypothesis::{Hypothesis, HypothesisStatus};
+use crate::nh1::render_squares;
+use crate::session::Session;
+use aware_mht::investing::InvestingPolicy;
+use aware_stats::effect::EffectMagnitude;
+use std::fmt::Write as _;
+
+/// Renders the full risk gauge for a session.
+pub fn render<P: InvestingPolicy>(session: &Session<P>) -> String {
+    let mut out = String::new();
+    let wealth_pct = session.wealth() * 100.0;
+    let alpha_pct = session.alpha() * 100.0;
+    let _ = writeln!(out, "┌─ AWARE risk gauge ─────────────────────────────────────");
+    let _ = writeln!(
+        out,
+        "│ policy {}   mFDR budget α = {alpha_pct:.1}%   wealth {wealth_pct:.2}%",
+        session.policy_name(),
+    );
+    let discoveries = session.discoveries().len();
+    let _ = writeln!(
+        out,
+        "│ hypotheses {}   discoveries {}   can continue: {}",
+        session.hypotheses().len(),
+        discoveries,
+        if session.can_continue() { "yes" } else { "NO — stop exploring" },
+    );
+    let _ = writeln!(out, "├────────────────────────────────────────────────────────");
+    if session.hypotheses().is_empty() {
+        let _ = writeln!(out, "│ (no hypotheses tracked yet)");
+    }
+    for h in session.hypotheses() {
+        let _ = writeln!(out, "│ {}", render_entry(h));
+    }
+    let _ = write!(out, "└────────────────────────────────────────────────────────");
+    out
+}
+
+/// Renders a single gauge list entry.
+pub fn render_entry(h: &Hypothesis) -> String {
+    let star = if h.bookmarked { " ★" } else { "" };
+    match &h.status {
+        HypothesisStatus::Tested(r) => {
+            let mark = if r.decision.is_rejection() { "[✓]" } else { "[✗]" };
+            let magnitude = EffectMagnitude::classify(r.effect_size_or_nan());
+            let flip = r
+                .flip
+                .map(|f| format!("  {}", render_squares(&f)))
+                .unwrap_or_default();
+            format!(
+                "{mark} {} {}  H1: {}  p={:.4} vs α_j={:.4}  {}={:.3} ({magnitude}){flip}{star}",
+                h.id,
+                h.null.null_label(),
+                h.null.alternative_label(),
+                r.outcome.p_value,
+                r.bid,
+                effect_name(r),
+                r.outcome.effect_size,
+            )
+        }
+        HypothesisStatus::Untestable => {
+            format!("[–] {} {}  (not testable on this data){star}", h.id, h.null.null_label())
+        }
+        HypothesisStatus::Superseded { by } => {
+            format!("[⇢] {} {}  (superseded by H{}){star}", h.id, h.null.null_label(), by.0)
+        }
+        HypothesisStatus::Deleted => {
+            format!("[␡] {} {}  (declared descriptive){star}", h.id, h.null.null_label())
+        }
+    }
+}
+
+fn effect_name(r: &crate::hypothesis::TestRecord) -> &'static str {
+    use aware_stats::tests::TestKind;
+    match r.outcome.kind {
+        TestKind::ChiSquareGof | TestKind::ChiSquareIndependence | TestKind::GTest => "cramér's v",
+        TestKind::TwoProportionZ | TestKind::ExactBinomial => "cohen's h",
+        TestKind::FisherExact => "phi",
+        TestKind::MannWhitneyU => "rank-biserial r",
+        TestKind::KolmogorovSmirnov => "ks D",
+        TestKind::OneWayAnova => "η",
+        _ => "cohen's d",
+    }
+}
+
+impl crate::hypothesis::TestRecord {
+    /// Effect size, NaN-safe for magnitude classification.
+    fn effect_size_or_nan(&self) -> f64 {
+        self.outcome.effect_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::Predicate;
+    use aware_mht::investing::policies::Fixed;
+
+    #[test]
+    fn gauge_renders_all_states() {
+        let table = CensusGenerator::new(8).generate(6_000);
+        let mut s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
+        s.add_visualization("sex", Predicate::True).unwrap(); // descriptive
+        let f = Predicate::eq("salary_over_50k", true);
+        let (m1, _) = s.add_visualization("education", f.clone()).unwrap().hypothesis.unwrap();
+        s.add_visualization("education", f.clone().negate()).unwrap(); // supersedes m1
+        let (del, _) = s
+            .add_visualization("race", Predicate::eq("sex", "Female"))
+            .unwrap()
+            .hypothesis
+            .unwrap();
+        s.delete_hypothesis(del).unwrap();
+        s.add_visualization("sex", Predicate::eq("education", "Kindergarten")).unwrap(); // untestable
+        let (star, _) = s
+            .add_visualization("marital_status", Predicate::eq("education", "PhD"))
+            .unwrap()
+            .hypothesis
+            .unwrap();
+        s.bookmark(star).unwrap();
+
+        let text = render(&s);
+        assert!(text.contains("AWARE risk gauge"));
+        assert!(text.contains("γ-fixed"));
+        assert!(text.contains("α = 5.0%"));
+        assert!(text.contains("[✓]"), "discovery mark:\n{text}");
+        assert!(text.contains("[⇢]"), "superseded mark:\n{text}");
+        assert!(text.contains("[␡]"), "deleted mark:\n{text}");
+        assert!(text.contains("[–]"), "untestable mark:\n{text}");
+        assert!(text.contains('★'), "bookmark star:\n{text}");
+        assert!(text.contains("<>"), "alternative labels:\n{text}");
+        // m1 line carries the superseding pointer.
+        assert!(text.contains(&format!("superseded by H{}", m1.0 + 1)));
+    }
+
+    #[test]
+    fn empty_session_gauge() {
+        let table = CensusGenerator::new(9).generate(100);
+        let s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
+        let text = render(&s);
+        assert!(text.contains("no hypotheses tracked yet"));
+        assert!(text.contains("can continue: yes"));
+    }
+
+    #[test]
+    fn exhausted_session_warns() {
+        let table = CensusGenerator::new(10).generate(2_000);
+        let mut s = Session::new(table, 0.05, Fixed::new(1.0)).unwrap();
+        for wave in ["Wave-1", "Wave-2"] {
+            let _ = s.add_visualization("race", Predicate::eq("survey_wave", wave));
+            if !s.can_continue() {
+                break;
+            }
+        }
+        if !s.can_continue() {
+            assert!(render(&s).contains("stop exploring"));
+        }
+    }
+}

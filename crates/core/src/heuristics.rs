@@ -1,0 +1,268 @@
+//! The default-hypothesis heuristics of the paper's §2.3.
+//!
+//! 1. A visualization without filter conditions is **not** a hypothesis
+//!    (users first orient themselves; an expectation would have to be
+//!    supplied explicitly to make it one).
+//! 2. A visualization with a filter is a hypothesis with the null "the
+//!    filter makes no difference compared to the whole dataset".
+//! 3. Two visualizations of the same attribute whose filters are
+//!    negations of each other form a two-population comparison whose null
+//!    is "the two distributions are equal"; it **supersedes** the rule-2
+//!    hypothesis of the partner visualization.
+//!
+//! The heuristics are pure functions over the visualization history, so
+//! they are unit-testable without a session (and are exercised against the
+//! paper's §2.4 walk-through below).
+
+use crate::hypothesis::NullSpec;
+use crate::viz::Visualization;
+use aware_data::predicate::Predicate;
+
+/// What the heuristics decided for a newly placed visualization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Derived {
+    /// Rule 1: purely descriptive, no hypothesis.
+    Descriptive,
+    /// Rule 2: filtered-vs-whole goodness-of-fit hypothesis.
+    FilterEffect(NullSpec),
+    /// Rule 3: linked negated pair; carries the hypothesis and the index
+    /// (into the visualization history) of the partner whose rule-2
+    /// hypothesis is superseded.
+    LinkedComparison {
+        /// The two-population null.
+        spec: NullSpec,
+        /// Index of the partner visualization in the history slice.
+        partner_index: usize,
+    },
+}
+
+/// Applies rules 1–3 to a new visualization given the session's
+/// visualization history (oldest first, *excluding* the new one).
+pub fn derive_default_hypothesis(history: &[Visualization], new_viz: &Visualization) -> Derived {
+    // Rule 1: no filter → descriptive statistic.
+    if new_viz.is_unfiltered() {
+        return Derived::Descriptive;
+    }
+
+    // Rule 3: same attribute, "same but some negated filter conditions",
+    // most recent partner first — the paper's step C places the
+    // complementary view right next to B.
+    for (idx, prior) in history.iter().enumerate().rev() {
+        if prior.attribute == new_viz.attribute
+            && !prior.is_unfiltered()
+            && is_negated_pair(&prior.filter, &new_viz.filter)
+        {
+            return Derived::LinkedComparison {
+                spec: NullSpec::NoDistributionDifference {
+                    attribute: new_viz.attribute.clone(),
+                    filter_a: prior.filter.clone(),
+                    filter_b: new_viz.filter.clone(),
+                },
+                partner_index: idx,
+            };
+        }
+    }
+
+    // Rule 2: filtered view compared against the whole dataset.
+    Derived::FilterEffect(NullSpec::NoFilterEffect {
+        attribute: new_viz.attribute.clone(),
+        filter: new_viz.filter.clone(),
+    })
+}
+
+/// Splits a filter chain into its conjunctive conditions.
+fn conjuncts(p: &Predicate) -> Vec<Predicate> {
+    match p {
+        Predicate::And(parts) => parts.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Detects the paper's "same but some negated filter conditions" pattern:
+/// the two chains have the same conditions except for *exactly one*, which
+/// appears negated. Covers both the simple `F` vs `¬F` case (step C of
+/// Figure 1) and the chain case `C ∧ F` vs `C ∧ ¬F` (step F).
+pub fn is_negated_pair(a: &Predicate, b: &Predicate) -> bool {
+    let parts_a = conjuncts(a);
+    let mut remaining_b = conjuncts(b);
+    if parts_a.len() != remaining_b.len() {
+        return false;
+    }
+    let mut negated_matches = 0usize;
+    for x in parts_a {
+        if let Some(pos) = remaining_b.iter().position(|y| *y == x) {
+            remaining_b.remove(pos);
+        } else if let Some(pos) =
+            remaining_b.iter().position(|y| x.clone().negate() == *y)
+        {
+            remaining_b.remove(pos);
+            negated_matches += 1;
+        } else {
+            return false;
+        }
+    }
+    negated_matches == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viz::VizId;
+    use aware_data::predicate::Predicate;
+
+    fn viz(id: u64, attr: &str, filter: Predicate) -> Visualization {
+        Visualization { id: VizId(id), attribute: attr.into(), filter }
+    }
+
+    #[test]
+    fn rule1_unfiltered_is_descriptive() {
+        let v = viz(0, "gender", Predicate::True);
+        assert_eq!(derive_default_hypothesis(&[], &v), Derived::Descriptive);
+        // Even with history, an unfiltered view stays descriptive.
+        let history = vec![viz(1, "gender", Predicate::eq("salary", true))];
+        assert_eq!(derive_default_hypothesis(&history, &v), Derived::Descriptive);
+    }
+
+    #[test]
+    fn rule2_filtered_view_tests_against_whole() {
+        let v = viz(1, "gender", Predicate::eq("salary_over_50k", true));
+        match derive_default_hypothesis(&[], &v) {
+            Derived::FilterEffect(NullSpec::NoFilterEffect { attribute, filter }) => {
+                assert_eq!(attribute, "gender");
+                assert_eq!(filter, Predicate::eq("salary_over_50k", true));
+            }
+            other => panic!("expected rule 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule3_negated_pair_supersedes() {
+        // Paper steps B and C: gender | salary>50k, then gender | ¬(salary>50k).
+        let b = viz(1, "gender", Predicate::eq("salary_over_50k", true));
+        let c = viz(2, "gender", Predicate::eq("salary_over_50k", true).negate());
+        let history = vec![b.clone()];
+        match derive_default_hypothesis(&history, &c) {
+            Derived::LinkedComparison { spec, partner_index } => {
+                assert_eq!(partner_index, 0);
+                match spec {
+                    NullSpec::NoDistributionDifference { attribute, filter_a, filter_b } => {
+                        assert_eq!(attribute, "gender");
+                        assert_eq!(filter_a, b.filter);
+                        assert_eq!(filter_b, c.filter);
+                    }
+                    other => panic!("wrong spec {other:?}"),
+                }
+            }
+            other => panic!("expected rule 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule3_works_in_both_negation_directions() {
+        // First view already negated, second plain: still a linked pair.
+        let first = viz(1, "sex", Predicate::eq("x", true).negate());
+        let second = viz(2, "sex", Predicate::eq("x", true));
+        let history = vec![first];
+        assert!(matches!(
+            derive_default_hypothesis(&history, &second),
+            Derived::LinkedComparison { partner_index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rule3_requires_same_attribute() {
+        let b = viz(1, "gender", Predicate::eq("salary", true));
+        let c = viz(2, "age", Predicate::eq("salary", true).negate());
+        let history = vec![b];
+        assert!(matches!(derive_default_hypothesis(&history, &c), Derived::FilterEffect(_)));
+    }
+
+    #[test]
+    fn rule3_prefers_most_recent_partner() {
+        let old = viz(1, "sex", Predicate::eq("x", true));
+        let unrelated = viz(2, "sex", Predicate::eq("y", true));
+        let recent = viz(3, "sex", Predicate::eq("x", true));
+        let history = vec![old, unrelated, recent];
+        let new = viz(4, "sex", Predicate::eq("x", true).negate());
+        match derive_default_hypothesis(&history, &new) {
+            Derived::LinkedComparison { partner_index, .. } => assert_eq!(partner_index, 2),
+            other => panic!("expected rule 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_section_2_4_walkthrough() {
+        // Reproduce the m1/m1'/m2/m3/m4 derivation of §2.4 symbolically.
+        let over_50k = Predicate::eq("salary_over_50k", true);
+        let phd = Predicate::eq("education", "PhD");
+        let not_married = Predicate::eq("marital_status", "Married").negate();
+        let chain = phd.clone().and(not_married.clone());
+        let chain_high = chain.clone().and(over_50k.clone());
+
+        let mut history: Vec<Visualization> = Vec::new();
+
+        // Step A: gender, unfiltered → no hypothesis.
+        let a = viz(0, "gender", Predicate::True);
+        assert_eq!(derive_default_hypothesis(&history, &a), Derived::Descriptive);
+        history.push(a);
+
+        // Step B: gender | salary>50k → m1 (rule 2).
+        let b = viz(1, "gender", over_50k.clone());
+        assert!(matches!(derive_default_hypothesis(&history, &b), Derived::FilterEffect(_)));
+        history.push(b);
+
+        // Step C: gender | ¬(salary>50k) → m1' supersedes m1 (rule 3).
+        let c = viz(2, "gender", over_50k.clone().negate());
+        match derive_default_hypothesis(&history, &c) {
+            Derived::LinkedComparison { partner_index, .. } => assert_eq!(partner_index, 1),
+            other => panic!("step C should be rule 3, got {other:?}"),
+        }
+        history.push(c);
+
+        // Step D: marital_status | PhD → m2 (rule 2).
+        let d = viz(3, "marital_status", phd.clone());
+        assert!(matches!(derive_default_hypothesis(&history, &d), Derived::FilterEffect(_)));
+        history.push(d);
+
+        // Step E: salary | PhD ∧ ¬married → m3 (rule 2).
+        let e = viz(4, "salary_over_50k", chain.clone());
+        assert!(matches!(derive_default_hypothesis(&history, &e), Derived::FilterEffect(_)));
+        history.push(e);
+
+        // Step F first half: age | chain ∧ salary>50k → m4 (rule 2) …
+        let f1 = viz(5, "age", chain_high.clone());
+        assert!(matches!(derive_default_hypothesis(&history, &f1), Derived::FilterEffect(_)));
+        history.push(f1);
+
+        // … second half: age | chain ∧ ¬(salary>50k) — only the salary
+        // condition flips, exactly the paper's dashed-line inversion —
+        // links to f1 (rule 3).
+        let f2 = viz(6, "age", chain.clone().and(over_50k.clone().negate()));
+        match derive_default_hypothesis(&history, &f2) {
+            Derived::LinkedComparison { partner_index, .. } => assert_eq!(partner_index, 5),
+            other => panic!("step F should be rule 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_pair_matcher_edge_cases() {
+        let f = Predicate::eq("x", true);
+        let g = Predicate::eq("y", "a");
+        // Simple complement.
+        assert!(is_negated_pair(&f, &f.clone().negate()));
+        assert!(is_negated_pair(&f.clone().negate(), &f));
+        // One flipped condition inside a chain, order-insensitive.
+        let a = f.clone().and(g.clone());
+        let b = g.clone().and(f.clone().negate());
+        assert!(is_negated_pair(&a, &b));
+        // Identical chains: zero negations → not a pair.
+        assert!(!is_negated_pair(&a, &a));
+        // Two flipped conditions → not a pair (ambiguous comparison).
+        let c = f.clone().negate().and(g.clone().negate());
+        assert!(!is_negated_pair(&a, &c));
+        // Different lengths → not a pair.
+        assert!(!is_negated_pair(&f, &a));
+        // Unrelated conditions → not a pair.
+        assert!(!is_negated_pair(&f, &g));
+    }
+}

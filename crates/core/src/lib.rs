@@ -1,0 +1,60 @@
+//! # aware-core
+//!
+//! The AWARE system of *Zhao et al., "Controlling False Discoveries During
+//! Interactive Data Exploration"* (SIGMOD 2017): automatic hypothesis
+//! tracking for interactive data exploration with α-investing mFDR control.
+//!
+//! A [`session::Session`] wires together the three substrates:
+//!
+//! * every visualization the user creates flows through the
+//!   [`heuristics`] of the paper's §2.3 — unfiltered views are descriptive
+//!   (rule 1), filtered views become "this filter makes no difference"
+//!   goodness-of-fit hypotheses (rule 2), and linked negated selections
+//!   become two-population comparison hypotheses that supersede their
+//!   rule-2 predecessors (rule 3);
+//! * each derived hypothesis is evaluated by the [`engine`] against the
+//!   `aware-data` table (χ² by default, Welch t on user override);
+//! * the resulting p-value is budgeted through the `aware-mht`
+//!   α-investing machine, whose decision is final the moment it is shown.
+//!
+//! The [`gauge`] module renders the paper's Figure-2 "risk gauge": wealth
+//! remaining, every hypothesis with its p-value, bid, effect size, and the
+//! [`nh1`] "how much more data flips this" squares. [`important`]
+//! implements §6: any subset of discoveries selected independently of the
+//! p-values (e.g. the user's bookmarks) inherits the mFDR guarantee.
+//!
+//! ## Example
+//!
+//! ```
+//! use aware_core::session::Session;
+//! use aware_data::census::CensusGenerator;
+//! use aware_data::predicate::Predicate;
+//! use aware_mht::investing::policies::Fixed;
+//!
+//! let table = CensusGenerator::new(1).generate(5_000);
+//! let mut s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
+//! // Step A of the paper's Figure 1: unfiltered view — descriptive only.
+//! let a = s.add_visualization("sex", Predicate::True).unwrap();
+//! assert!(a.hypothesis.is_none());
+//! // Step B: filtered view — implicit hypothesis, tested immediately.
+//! let b = s
+//!     .add_visualization("sex", Predicate::eq("salary_over_50k", true))
+//!     .unwrap();
+//! assert!(b.hypothesis.is_some());
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod gauge;
+pub mod heuristics;
+pub mod hypothesis;
+pub mod important;
+pub mod nh1;
+pub mod session;
+pub mod transcript;
+pub mod viz;
+
+pub use error::AwareError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, AwareError>;

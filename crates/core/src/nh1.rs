@@ -1,0 +1,101 @@
+//! The `n_H1` annotation: "how much more data would flip this decision?"
+//! (paper §3, rendered as the little squares in Figure 2 B/C).
+//!
+//! For an accepted null the estimate assumes future data keeps following
+//! the *observed* (alternative-looking) distribution; for a rejected null
+//! it assumes future data follows the *null* distribution and washes the
+//! effect out. The scaling laws live in `aware_stats::power`; this module
+//! adds the gauge-facing presentation (square counts and wording).
+
+use aware_stats::power::{flip_estimate, FlipDirection, FlipEstimate};
+use aware_stats::tests::{Alternative, TestOutcome};
+use crate::Result;
+
+/// Maximum number of squares the gauge draws; beyond this the annotation
+/// reads "≫" (the flip is practically out of reach).
+pub const MAX_SQUARES: usize = 20;
+
+/// Computes the flip estimate for a tested hypothesis at the per-test
+/// level it was actually granted (`bid`), not the global α — the gauge
+/// answers "what would have changed *this* decision".
+pub fn estimate(outcome: &TestOutcome, bid: f64) -> Result<FlipEstimate> {
+    Ok(flip_estimate(outcome, bid, Alternative::TwoSided)?)
+}
+
+/// Renders a flip estimate in the Figure-2 style: one filled square per
+/// current-dataset-multiple required, e.g. `■■■■■ 5.0x` for the paper's
+/// "5x the amount of data" example.
+pub fn render_squares(flip: &FlipEstimate) -> String {
+    if !flip.factor.is_finite() {
+        return "∞ (no effect observed)".to_owned();
+    }
+    let squares = flip.factor.ceil() as usize;
+    let direction = match flip.direction {
+        FlipDirection::ToRejection => "to reject",
+        FlipDirection::ToAcceptance => "to accept",
+    };
+    if squares > MAX_SQUARES {
+        format!("≫{MAX_SQUARES}x {direction}")
+    } else {
+        format!("{} {:.1}x {direction}", "■".repeat(squares.max(1)), flip.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_stats::power::FlipDirection;
+    use aware_stats::tests::chi_square_gof;
+
+    #[test]
+    fn squares_match_paper_fig2_style() {
+        let flip = FlipEstimate {
+            direction: FlipDirection::ToAcceptance,
+            factor: 5.0,
+            additional_observations: 4_000,
+        };
+        let s = render_squares(&flip);
+        assert!(s.starts_with("■■■■■ "), "{s}");
+        assert!(s.contains("5.0x"));
+        assert!(s.contains("to accept"));
+    }
+
+    #[test]
+    fn unreachable_flips_render_compactly() {
+        let flip = FlipEstimate {
+            direction: FlipDirection::ToRejection,
+            factor: 1_000.0,
+            additional_observations: u64::MAX,
+        };
+        assert_eq!(render_squares(&flip), "≫20x to reject");
+        let flip = FlipEstimate {
+            direction: FlipDirection::ToRejection,
+            factor: f64::INFINITY,
+            additional_observations: u64::MAX,
+        };
+        assert!(render_squares(&flip).contains("∞"));
+    }
+
+    #[test]
+    fn estimate_uses_the_granted_bid() {
+        // A test rejected at the lenient global α = 0.05 but *accepted* at
+        // its actual tiny bid must be treated as accepted.
+        let out = chi_square_gof(&[60, 40], &[0.5, 0.5]).unwrap();
+        assert!(out.p_value < 0.05);
+        let at_alpha = estimate(&out, 0.05).unwrap();
+        assert_eq!(at_alpha.direction, FlipDirection::ToAcceptance);
+        let at_bid = estimate(&out, 1e-6).unwrap();
+        assert_eq!(at_bid.direction, FlipDirection::ToRejection);
+        assert!(at_bid.factor > 1.0);
+    }
+
+    #[test]
+    fn minimum_one_square() {
+        let flip = FlipEstimate {
+            direction: FlipDirection::ToAcceptance,
+            factor: 1.0,
+            additional_observations: 0,
+        };
+        assert!(render_squares(&flip).starts_with('■'));
+    }
+}

@@ -1,0 +1,605 @@
+//! The AWARE exploration session — the system's public entry point.
+//!
+//! A session owns a table, an α-investing machine, and the hypothesis
+//! tracker. Its contract mirrors the paper's §3 design goals:
+//!
+//! 1. every hypothesis the heuristics derive is visible, labelled, and
+//!    annotated with p-value / effect size / `n_H1`;
+//! 2. **decisions are never revised**: the investing ledger is
+//!    append-only, and superseding or deleting a hypothesis does not
+//!    reopen its test;
+//! 3. the remaining α-wealth is always on display, and when it runs out
+//!    the session refuses further tests (`AwareError::is_wealth_exhausted`)
+//!    rather than silently degrading the guarantee;
+//! 4. users can bookmark "important discoveries"; by the paper's
+//!    Theorem 1 the bookmarked subset inherits the mFDR bound as long as
+//!    bookmarking doesn't peek at p-values.
+
+use crate::engine::{execute, Execution};
+use crate::error::AwareError;
+use crate::heuristics::{derive_default_hypothesis, Derived};
+use crate::hypothesis::{Hypothesis, HypothesisId, HypothesisStatus, NullSpec, TestRecord};
+use crate::nh1;
+use crate::viz::{Visualization, VizId};
+use crate::Result;
+use aware_data::table::Table;
+use aware_mht::investing::{AlphaInvesting, InvestingPolicy};
+use aware_mht::MhtError;
+
+/// Outcome of placing a visualization: its id plus the report of the
+/// hypothesis test the heuristics triggered (if any).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VizOutcome {
+    /// Id of the freshly placed visualization.
+    pub viz: VizId,
+    /// The derived hypothesis' id and its test record, when one was
+    /// created. `None` for rule-1 descriptive views.
+    pub hypothesis: Option<(HypothesisId, TestRecord)>,
+}
+
+/// An interactive exploration session with automatic mFDR control.
+pub struct Session<P> {
+    table: Table,
+    investing: AlphaInvesting<P>,
+    visualizations: Vec<Visualization>,
+    hypotheses: Vec<Hypothesis>,
+}
+
+impl<P: InvestingPolicy> Session<P> {
+    /// Opens a session over `table`, controlling mFDR at `alpha` with
+    /// `η = 1 − α` (which also yields weak FWER control) under `policy`.
+    pub fn new(table: Table, alpha: f64, policy: P) -> Result<Session<P>> {
+        let investing = AlphaInvesting::new(alpha, 1.0 - alpha, policy)?;
+        Ok(Session { table, investing, visualizations: Vec::new(), hypotheses: Vec::new() })
+    }
+
+    /// The table being explored.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Remaining α-wealth.
+    pub fn wealth(&self) -> f64 {
+        self.investing.wealth()
+    }
+
+    /// The session's target level α.
+    pub fn alpha(&self) -> f64 {
+        self.investing.alpha()
+    }
+
+    /// Name of the investing policy in use.
+    pub fn policy_name(&self) -> String {
+        self.investing.policy_name()
+    }
+
+    /// True while the wealth can still fund at least some test.
+    pub fn can_continue(&self) -> bool {
+        self.investing.can_continue()
+    }
+
+    /// All visualizations placed so far, in order.
+    pub fn visualizations(&self) -> &[Visualization] {
+        &self.visualizations
+    }
+
+    /// All hypotheses ever tracked (including superseded/deleted), in
+    /// creation order.
+    pub fn hypotheses(&self) -> &[Hypothesis] {
+        &self.hypotheses
+    }
+
+    /// Active discoveries: tested, null rejected, not superseded/deleted.
+    pub fn discoveries(&self) -> Vec<&Hypothesis> {
+        self.hypotheses.iter().filter(|h| h.is_discovery()).collect()
+    }
+
+    /// Places a visualization of `attribute` under `filter`, applying the
+    /// §2.3 heuristics. If a hypothesis is derived it is tested
+    /// immediately through the α-investing machine.
+    ///
+    /// When the underlying statistical test cannot run (empty selection,
+    /// zero variance …) the hypothesis is recorded as `Untestable`, no
+    /// wealth is charged, and the outcome reports no test — degenerate
+    /// views are an ordinary part of exploration, not an error.
+    pub fn add_visualization(
+        &mut self,
+        attribute: impl Into<String>,
+        filter: aware_data::predicate::Predicate,
+    ) -> Result<VizOutcome> {
+        // Validate the attribute exists before recording anything.
+        let attribute = attribute.into();
+        self.table.column(&attribute)?;
+
+        let viz = Visualization {
+            id: VizId(self.visualizations.len() as u64),
+            attribute,
+            filter,
+        };
+        let derived = derive_default_hypothesis(&self.visualizations, &viz);
+        let viz_id = viz.id;
+        self.visualizations.push(viz);
+
+        match derived {
+            Derived::Descriptive => Ok(VizOutcome { viz: viz_id, hypothesis: None }),
+            Derived::FilterEffect(spec) => {
+                let h = self.track_and_test(spec, Some(viz_id))?;
+                Ok(VizOutcome { viz: viz_id, hypothesis: h })
+            }
+            Derived::LinkedComparison { spec, partner_index } => {
+                // Rule 3 supersedes the partner's rule-2 hypothesis.
+                let partner_viz = self.visualizations[partner_index].id;
+                let h = self.track_and_test(spec, Some(viz_id))?;
+                if let Some((new_id, _)) = h {
+                    self.supersede_hypotheses_of(partner_viz, new_id);
+                }
+                Ok(VizOutcome { viz: viz_id, hypothesis: h })
+            }
+        }
+    }
+
+    /// Adds and immediately tests a user-specified hypothesis that is not
+    /// tied to a visualization (an explicit question).
+    pub fn add_hypothesis(&mut self, spec: NullSpec) -> Result<(HypothesisId, TestRecord)> {
+        match self.track_and_test(spec, None)? {
+            Some(pair) => Ok(pair),
+            None => {
+                let id = self.hypotheses.last().expect("just tracked").id;
+                Err(AwareError::InvalidHypothesisState { id: id.0, expected: "testable" })
+            }
+        }
+    }
+
+    /// Replaces a hypothesis with a user-corrected one (the paper's m4 →
+    /// m4′ override: Eve switches the default χ² distribution comparison
+    /// to a t-test on mean age). The old hypothesis is marked superseded —
+    /// its already-spent budget stays spent — and the new spec is tested
+    /// with a fresh bid.
+    pub fn override_hypothesis(
+        &mut self,
+        id: HypothesisId,
+        spec: NullSpec,
+    ) -> Result<(HypothesisId, TestRecord)> {
+        let idx = self.hypothesis_index(id)?;
+        if !self.hypotheses[idx].is_active() {
+            return Err(AwareError::InvalidHypothesisState { id: id.0, expected: "active" });
+        }
+        let source = self.hypotheses[idx].source;
+        let new = self.track_and_test(spec, source)?;
+        match new {
+            Some((new_id, record)) => {
+                self.hypotheses[idx].status = HypothesisStatus::Superseded { by: new_id };
+                Ok((new_id, record))
+            }
+            None => {
+                let new_id = self.hypotheses.last().expect("just tracked").id;
+                // The replacement was untestable; keep the original active.
+                Err(AwareError::InvalidHypothesisState { id: new_id.0, expected: "testable" })
+            }
+        }
+    }
+
+    /// Deletes a hypothesis: the user declares the visualization was just
+    /// descriptive. Spent wealth is *not* refunded (a refund would break
+    /// the mFDR guarantee — the test did happen).
+    pub fn delete_hypothesis(&mut self, id: HypothesisId) -> Result<()> {
+        let idx = self.hypothesis_index(id)?;
+        if !self.hypotheses[idx].is_active() {
+            return Err(AwareError::InvalidHypothesisState { id: id.0, expected: "active" });
+        }
+        self.hypotheses[idx].status = HypothesisStatus::Deleted;
+        Ok(())
+    }
+
+    /// Bookmarks (stars) a hypothesis as an important discovery.
+    pub fn bookmark(&mut self, id: HypothesisId) -> Result<()> {
+        let idx = self.hypothesis_index(id)?;
+        self.hypotheses[idx].bookmarked = true;
+        Ok(())
+    }
+
+    /// Removes a bookmark.
+    pub fn unbookmark(&mut self, id: HypothesisId) -> Result<()> {
+        let idx = self.hypothesis_index(id)?;
+        self.hypotheses[idx].bookmarked = false;
+        Ok(())
+    }
+
+    /// The bookmarked discoveries — the §6 "important discoveries" whose
+    /// mFDR is controlled at the same level α by Theorem 1.
+    pub fn important_discoveries(&self) -> Vec<&Hypothesis> {
+        self.hypotheses
+            .iter()
+            .filter(|h| h.bookmarked && h.is_discovery())
+            .collect()
+    }
+
+    /// Looks up a hypothesis by id.
+    pub fn hypothesis(&self, id: HypothesisId) -> Result<&Hypothesis> {
+        Ok(&self.hypotheses[self.hypothesis_index(id)?])
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn hypothesis_index(&self, id: HypothesisId) -> Result<usize> {
+        // Ids are dense indices by construction.
+        let idx = id.0 as usize;
+        if idx < self.hypotheses.len() {
+            Ok(idx)
+        } else {
+            Err(AwareError::UnknownHypothesis { id: id.0 })
+        }
+    }
+
+    fn supersede_hypotheses_of(&mut self, viz: VizId, by: HypothesisId) {
+        for h in &mut self.hypotheses {
+            if h.source == Some(viz) && h.is_active() && h.id != by {
+                h.status = HypothesisStatus::Superseded { by };
+            }
+        }
+    }
+
+    /// Runs `spec` through the engine and the investing machine, recording
+    /// a new hypothesis. Returns `None` when the spec is untestable
+    /// (recorded as such, nothing charged).
+    fn track_and_test(
+        &mut self,
+        spec: NullSpec,
+        source: Option<VizId>,
+    ) -> Result<Option<(HypothesisId, TestRecord)>> {
+        let id = HypothesisId(self.hypotheses.len() as u64);
+
+        let execution: Option<Execution> = match execute(&self.table, &spec) {
+            Ok(e) => Some(e),
+            Err(AwareError::Stats(_)) | Err(AwareError::Data(_)) => None,
+            Err(other) => return Err(other),
+        };
+
+        let Some(exec) = execution else {
+            self.hypotheses.push(Hypothesis {
+                id,
+                null: spec,
+                source,
+                status: HypothesisStatus::Untestable,
+                bookmarked: false,
+            });
+            return Ok(None);
+        };
+
+        // Budget the p-value through α-investing. Wealth exhaustion is a
+        // hard stop the caller must see.
+        let entry = match self
+            .investing
+            .test_with_support(exec.outcome.p_value, exec.support_fraction)
+        {
+            Ok(entry) => entry,
+            Err(e @ MhtError::WealthExhausted { .. }) => {
+                // Roll back the visualization bookkeeping? No: the view
+                // exists, only the hypothesis is untracked. Record it as
+                // untestable so the gauge shows what was asked.
+                self.hypotheses.push(Hypothesis {
+                    id,
+                    null: spec,
+                    source,
+                    status: HypothesisStatus::Untestable,
+                    bookmarked: false,
+                });
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        let flip = nh1::estimate(&exec.outcome, entry.bid).ok();
+        let record = TestRecord {
+            outcome: exec.outcome,
+            bid: entry.bid,
+            decision: entry.decision,
+            wealth_after: entry.wealth_after,
+            support_fraction: exec.support_fraction,
+            flip,
+        };
+        self.hypotheses.push(Hypothesis {
+            id,
+            null: spec,
+            source,
+            status: HypothesisStatus::Tested(record),
+            bookmarked: false,
+        });
+        Ok(Some((id, record)))
+    }
+}
+
+impl<P: InvestingPolicy> std::fmt::Debug for Session<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("rows", &self.table.rows())
+            .field("policy", &self.policy_name())
+            .field("wealth", &self.wealth())
+            .field("visualizations", &self.visualizations.len())
+            .field("hypotheses", &self.hypotheses.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use aware_data::census::{CensusGenerator, ATTRIBUTES, EDUCATION, MARITAL, RACE};
+    use aware_data::predicate::Predicate;
+    use aware_mht::investing::policies::Fixed;
+    use proptest::prelude::*;
+
+    /// Arbitrary exploration actions over the census schema.
+    fn action() -> impl Strategy<Value = (usize, usize, usize, bool)> {
+        (0..ATTRIBUTES.len(), 0..3usize, 0..5usize, any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// No sequence of visualizations panics; wealth never goes
+        /// negative; decisions never change once recorded; hypothesis ids
+        /// stay dense.
+        #[test]
+        fn random_exploration_never_breaks_invariants(actions in proptest::collection::vec(action(), 1..12)) {
+            let table = CensusGenerator::new(99).generate(800);
+            let mut s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
+            let mut frozen: Vec<(usize, aware_mht::Decision)> = Vec::new();
+            for (attr_i, filter_kind, value_i, negate) in actions {
+                let attribute = ATTRIBUTES[attr_i];
+                let filter = match filter_kind {
+                    0 => Predicate::eq("education", EDUCATION[value_i % EDUCATION.len()]),
+                    1 => Predicate::eq("marital_status", MARITAL[value_i % MARITAL.len()]),
+                    _ => Predicate::eq("race", RACE[value_i % RACE.len()]),
+                };
+                let filter = if negate { filter.negate() } else { filter };
+                match s.add_visualization(attribute, filter) {
+                    Ok(_) => {}
+                    Err(e) if e.is_wealth_exhausted() => break,
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+                }
+                prop_assert!(s.wealth() >= 0.0);
+                // Previously frozen decisions are untouched.
+                for &(idx, decision) in &frozen {
+                    let now = s.hypotheses()[idx]
+                        .record()
+                        .map(|r| r.decision);
+                    if let Some(now) = now {
+                        prop_assert_eq!(now, decision, "decision {} changed", idx);
+                    }
+                }
+                // Refresh the frozen snapshot.
+                frozen = s
+                    .hypotheses()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, h)| h.record().map(|r| (i, r.decision)))
+                    .collect();
+                // Ids are dense and ordered.
+                for (i, h) in s.hypotheses().iter().enumerate() {
+                    prop_assert_eq!(h.id.0 as usize, i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::Predicate;
+    use aware_mht::investing::policies::Fixed;
+    use aware_mht::Decision;
+
+    fn session() -> Session<Fixed> {
+        let table = CensusGenerator::new(33).generate(8_000);
+        Session::new(table, 0.05, Fixed::new(10.0)).unwrap()
+    }
+
+    #[test]
+    fn rule1_view_creates_no_hypothesis_and_spends_nothing() {
+        let mut s = session();
+        let w0 = s.wealth();
+        let out = s.add_visualization("sex", Predicate::True).unwrap();
+        assert!(out.hypothesis.is_none());
+        assert_eq!(s.wealth(), w0);
+        assert_eq!(s.hypotheses().len(), 0);
+        assert_eq!(s.visualizations().len(), 1);
+    }
+
+    #[test]
+    fn rule2_view_tests_and_spends_or_earns() {
+        let mut s = session();
+        let w0 = s.wealth();
+        let out = s
+            .add_visualization("education", Predicate::eq("salary_over_50k", true))
+            .unwrap();
+        let (id, record) = out.hypothesis.expect("rule 2 hypothesis");
+        // Planted dependency: should be discovered.
+        assert_eq!(record.decision, Decision::Reject);
+        assert!(s.wealth() > w0, "payout should grow wealth");
+        assert!(s.hypothesis(id).unwrap().is_discovery());
+        assert_eq!(s.discoveries().len(), 1);
+        assert!(record.flip.is_some());
+    }
+
+    #[test]
+    fn rule3_pair_supersedes_partner() {
+        let mut s = session();
+        let f = Predicate::eq("salary_over_50k", true);
+        let b = s.add_visualization("education", f.clone()).unwrap();
+        let (m1, _) = b.hypothesis.unwrap();
+        let c = s.add_visualization("education", f.negate()).unwrap();
+        let (m1_prime, _) = c.hypothesis.unwrap();
+        assert_ne!(m1, m1_prime);
+        match s.hypothesis(m1).unwrap().status {
+            HypothesisStatus::Superseded { by } => assert_eq!(by, m1_prime),
+            ref other => panic!("m1 should be superseded, is {other:?}"),
+        }
+        // Only the superseding hypothesis counts as a discovery now.
+        assert_eq!(s.discoveries().len(), 1);
+        assert_eq!(s.discoveries()[0].id, m1_prime);
+    }
+
+    #[test]
+    fn override_to_t_test_replaces_default() {
+        let mut s = session();
+        let f = Predicate::eq("salary_over_50k", true);
+        let out = s.add_visualization("age", f.clone()).unwrap();
+        let (m4, _) = out.hypothesis.unwrap();
+        let (m4_prime, record) = s
+            .override_hypothesis(
+                m4,
+                NullSpec::MeanEquality {
+                    attribute: "age".into(),
+                    filter_a: f.clone(),
+                    filter_b: f.clone().negate(),
+                },
+            )
+            .unwrap();
+        assert_eq!(record.outcome.kind, aware_stats::tests::TestKind::WelchT);
+        assert!(matches!(
+            s.hypothesis(m4).unwrap().status,
+            HypothesisStatus::Superseded { by } if by == m4_prime
+        ));
+        // Double-override of a superseded hypothesis is rejected.
+        let again = s.override_hypothesis(
+            m4,
+            NullSpec::NoFilterEffect { attribute: "age".into(), filter: f },
+        );
+        assert!(matches!(again, Err(AwareError::InvalidHypothesisState { .. })));
+    }
+
+    #[test]
+    fn delete_marks_without_refund() {
+        let mut s = session();
+        let out = s
+            .add_visualization("race", Predicate::eq("salary_over_50k", true))
+            .unwrap();
+        let (id, record) = out.hypothesis.unwrap();
+        let wealth_after_test = s.wealth();
+        assert_eq!(wealth_after_test, record.wealth_after);
+        s.delete_hypothesis(id).unwrap();
+        assert_eq!(s.wealth(), wealth_after_test, "no refund on delete");
+        assert!(!s.hypothesis(id).unwrap().is_active());
+        assert!(s.delete_hypothesis(id).is_err(), "double delete");
+    }
+
+    #[test]
+    fn bookmarks_select_important_discoveries() {
+        let mut s = session();
+        let (d1, r1) = s
+            .add_visualization("education", Predicate::eq("salary_over_50k", true))
+            .unwrap()
+            .hypothesis
+            .unwrap();
+        assert_eq!(r1.decision, Decision::Reject);
+        let out2 = s
+            .add_visualization("marital_status", Predicate::eq("education", "PhD"))
+            .unwrap();
+        let (d2, _) = out2.hypothesis.unwrap();
+        s.bookmark(d1).unwrap();
+        s.bookmark(d2).unwrap();
+        let important = s.important_discoveries();
+        // Only *discoveries* among the bookmarked count.
+        assert!(important.iter().all(|h| h.is_discovery()));
+        assert!(important.iter().any(|h| h.id == d1));
+        s.unbookmark(d1).unwrap();
+        assert!(!s.important_discoveries().iter().any(|h| h.id == d1));
+        assert!(s.bookmark(HypothesisId(99)).is_err());
+    }
+
+    #[test]
+    fn untestable_views_cost_nothing() {
+        let mut s = session();
+        let w0 = s.wealth();
+        let out = s
+            .add_visualization("sex", Predicate::eq("education", "Kindergarten"))
+            .unwrap();
+        assert!(out.hypothesis.is_none());
+        assert_eq!(s.wealth(), w0);
+        assert_eq!(s.hypotheses().len(), 1);
+        assert!(matches!(s.hypotheses()[0].status, HypothesisStatus::Untestable));
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected_before_tracking() {
+        let mut s = session();
+        assert!(s.add_visualization("ghost", Predicate::True).is_err());
+        assert_eq!(s.visualizations().len(), 0);
+    }
+
+    #[test]
+    fn wealth_exhaustion_surfaces_as_stop_signal() {
+        // γ = 1: a single null-ish acceptance drains the wealth.
+        let table = CensusGenerator::new(34).generate(4_000);
+        let mut s = Session::new(table, 0.05, Fixed::new(1.0)).unwrap();
+        // Test a true-null attribute repeatedly until exhaustion.
+        let mut exhausted = false;
+        for i in 0..5 {
+            let filter = Predicate::eq("survey_wave", format!("Wave-{}", (i % 4) + 1).as_str());
+            match s.add_visualization("race", filter) {
+                Ok(_) => {}
+                Err(e) if e.is_wealth_exhausted() => {
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(exhausted, "wealth should run out with gamma=1 on null data");
+        assert!(!s.can_continue());
+    }
+
+    #[test]
+    fn decisions_are_immutable_across_session_growth() {
+        let mut s = session();
+        let f = Predicate::eq("salary_over_50k", true);
+        let (id, record) = s.add_visualization("education", f).unwrap().hypothesis.unwrap();
+        let decision_before = record.decision;
+        // A pile of further exploration…
+        for attr in ["marital_status", "occupation", "race", "native_region"] {
+            let _ = s.add_visualization(attr, Predicate::eq("sex", "Female"));
+        }
+        // …must not touch the first decision.
+        let after = s.hypothesis(id).unwrap().record().unwrap().decision;
+        assert_eq!(decision_before, after);
+    }
+
+    #[test]
+    fn stochastic_override_flows_through_session() {
+        use crate::hypothesis::ShiftMethod;
+        let mut s = session();
+        let f = Predicate::eq("sex", "Male");
+        let (id, _) = s.add_visualization("hours_per_week", f.clone()).unwrap().hypothesis.unwrap();
+        let (_, rec) = s
+            .override_hypothesis(
+                id,
+                NullSpec::StochasticEquality {
+                    attribute: "hours_per_week".into(),
+                    filter_a: f.clone(),
+                    filter_b: f.negate(),
+                    method: ShiftMethod::MannWhitney,
+                },
+            )
+            .unwrap();
+        assert_eq!(rec.outcome.kind, aware_stats::tests::TestKind::MannWhitneyU);
+        assert!(rec.outcome.p_value < 0.01, "planted hours shift: p = {}", rec.outcome.p_value);
+    }
+
+    #[test]
+    fn explicit_hypotheses_without_visualization() {
+        let mut s = session();
+        let (id, record) = s
+            .add_hypothesis(NullSpec::MeanEquality {
+                attribute: "hours_per_week".into(),
+                filter_a: Predicate::eq("sex", "Male"),
+                filter_b: Predicate::eq("sex", "Female"),
+            })
+            .unwrap();
+        assert!(record.outcome.p_value < 0.05);
+        assert!(s.hypothesis(id).unwrap().source.is_none());
+        assert_eq!(s.visualizations().len(), 0);
+    }
+}

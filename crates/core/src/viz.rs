@@ -1,0 +1,69 @@
+//! The visualization model.
+//!
+//! AWARE's unit of interaction is a histogram visualization of one
+//! attribute under a filter chain (the paper's Figure 1). The session
+//! tracks every visualization ever placed so the heuristics can detect
+//! linked negated pairs (rule 3) and so deleted hypotheses can still point
+//! back at the view that spawned them.
+
+use aware_data::predicate::Predicate;
+
+/// Identifier of a visualization within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VizId(pub u64);
+
+impl std::fmt::Display for VizId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "viz#{}", self.0)
+    }
+}
+
+/// One histogram visualization: an attribute viewed under a filter chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Visualization {
+    /// Session-unique id.
+    pub id: VizId,
+    /// The attribute whose distribution is displayed.
+    pub attribute: String,
+    /// The conjunction of selections filtering the underlying rows;
+    /// [`Predicate::True`] for an unfiltered overview.
+    pub filter: Predicate,
+}
+
+impl Visualization {
+    /// True when no filter restricts the view (heuristic rule 1 applies).
+    pub fn is_unfiltered(&self) -> bool {
+        self.filter.is_trivial()
+    }
+
+    /// Compact label used by the risk gauge, e.g.
+    /// `sex | salary_over_50k=true`.
+    pub fn label(&self) -> String {
+        if self.is_unfiltered() {
+            self.attribute.clone()
+        } else {
+            format!("{} | {}", self.attribute, self.filter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let v = Visualization { id: VizId(1), attribute: "sex".into(), filter: Predicate::True };
+        assert!(v.is_unfiltered());
+        assert_eq!(v.label(), "sex");
+        assert_eq!(v.id.to_string(), "viz#1");
+
+        let v = Visualization {
+            id: VizId(2),
+            attribute: "sex".into(),
+            filter: Predicate::eq("salary_over_50k", true),
+        };
+        assert!(!v.is_unfiltered());
+        assert_eq!(v.label(), "sex | salary_over_50k=true");
+    }
+}

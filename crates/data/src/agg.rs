@@ -1,0 +1,229 @@
+//! Group-by aggregation: per-category moments of a numeric attribute.
+//!
+//! This powers the "does the mean of X differ across the categories of G"
+//! default hypothesis (one-way ANOVA in `aware-stats`) and the grouped
+//! summary panels an IDE shows next to a histogram. Single pass, Welford
+//! accumulators per group, selection-aware.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::table::Table;
+use crate::{DataError, Result};
+use aware_stats::summary::Moments;
+
+/// Per-group aggregate of one numeric attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedMoments {
+    /// The grouping attribute.
+    pub group_column: String,
+    /// The aggregated numeric attribute.
+    pub value_column: String,
+    /// Group labels in canonical (dictionary / domain) order.
+    pub labels: Vec<String>,
+    /// One accumulator per label (empty groups have `count() == 0`).
+    pub moments: Vec<Moments>,
+}
+
+impl GroupedMoments {
+    /// Number of groups (including empty ones).
+    pub fn num_groups(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total observations across groups.
+    pub fn total(&self) -> u64 {
+        self.moments.iter().map(|m| m.count()).sum()
+    }
+
+    /// Materializes per-group raw values for tests that need them —
+    /// returns `(label, values)` for non-empty groups only.
+    pub fn group_means(&self) -> Vec<(String, f64)> {
+        self.labels
+            .iter()
+            .zip(&self.moments)
+            .filter(|(_, m)| m.count() > 0)
+            .map(|(l, m)| (l.clone(), m.mean()))
+            .collect()
+    }
+}
+
+/// Computes per-group moments of `value_column` grouped by the categorical
+/// or boolean `group_column`, restricted to `selection` when given.
+pub fn grouped_moments(
+    table: &Table,
+    group_column: &str,
+    value_column: &str,
+    selection: Option<&Bitmap>,
+) -> Result<GroupedMoments> {
+    if let Some(sel) = selection {
+        table.check_selection(sel)?;
+    }
+    let values = table.column(value_column)?;
+    if values.numeric_at(0).is_none() && !values.is_empty() {
+        return Err(DataError::TypeMismatch {
+            column: value_column.to_owned(),
+            expected: "numeric (int64/float64)",
+            actual: values.column_type().name(),
+        });
+    }
+
+    let (labels, code_of): (Vec<String>, Box<dyn Fn(usize) -> usize>) =
+        match table.column(group_column)? {
+            Column::Categorical { labels, codes } => {
+                let codes = codes.clone();
+                (labels.clone(), Box::new(move |i| codes[i] as usize))
+            }
+            Column::Bool(vals) => {
+                let vals = vals.clone();
+                (
+                    vec!["false".to_owned(), "true".to_owned()],
+                    Box::new(move |i| vals[i] as usize),
+                )
+            }
+            other => {
+                return Err(DataError::TypeMismatch {
+                    column: group_column.to_owned(),
+                    expected: "categorical or bool",
+                    actual: other.column_type().name(),
+                })
+            }
+        };
+
+    let mut moments = vec![Moments::new(); labels.len()];
+    let mut push = |i: usize| -> Result<()> {
+        let v = values.numeric_at(i).ok_or_else(|| DataError::TypeMismatch {
+            column: value_column.to_owned(),
+            expected: "numeric (int64/float64)",
+            actual: values.column_type().name(),
+        })?;
+        moments[code_of(i)].push(v);
+        Ok(())
+    };
+    match selection {
+        Some(sel) => {
+            for i in sel.iter_ones() {
+                push(i)?;
+            }
+        }
+        None => {
+            for i in 0..table.rows() {
+                push(i)?;
+            }
+        }
+    }
+    Ok(GroupedMoments {
+        group_column: group_column.to_owned(),
+        value_column: value_column.to_owned(),
+        labels,
+        moments,
+    })
+}
+
+/// Extracts the per-group raw value vectors (for exact tests like ANOVA
+/// that need more than moments). Empty groups are returned empty.
+pub fn grouped_values(
+    table: &Table,
+    group_column: &str,
+    value_column: &str,
+    selection: Option<&Bitmap>,
+) -> Result<Vec<Vec<f64>>> {
+    // Reuse grouped_moments for validation and label universe.
+    let grouped = grouped_moments(table, group_column, value_column, selection)?;
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); grouped.num_groups()];
+    let values = table.column(value_column)?;
+    let codes: Vec<usize> = match table.column(group_column)? {
+        Column::Categorical { codes, .. } => codes.iter().map(|&c| c as usize).collect(),
+        Column::Bool(vals) => vals.iter().map(|&b| b as usize).collect(),
+        _ => unreachable!("validated by grouped_moments"),
+    };
+    let mut push = |i: usize| {
+        if let Some(v) = values.numeric_at(i) {
+            out[codes[i]].push(v);
+        }
+    };
+    match selection {
+        Some(sel) => sel.iter_ones().for_each(&mut push),
+        None => (0..table.rows()).for_each(&mut push),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::table::TableBuilder;
+
+    fn demo() -> Table {
+        TableBuilder::new()
+            .push(
+                "edu",
+                Column::categorical_from_strs(&["HS", "PhD", "HS", "PhD", "BA", "HS"]),
+            )
+            .push("wage", Column::Float64(vec![10.0, 30.0, 12.0, 34.0, 20.0, 11.0]))
+            .push("flag", Column::Bool(vec![true, false, true, false, true, false]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_moments_by_category() {
+        let t = demo();
+        let g = grouped_moments(&t, "edu", "wage", None).unwrap();
+        assert_eq!(g.labels, vec!["HS", "PhD", "BA"]);
+        assert_eq!(g.total(), 6);
+        let means = g.group_means();
+        assert_eq!(means[0], ("HS".to_string(), 11.0));
+        assert_eq!(means[1], ("PhD".to_string(), 32.0));
+        assert_eq!(means[2], ("BA".to_string(), 20.0));
+    }
+
+    #[test]
+    fn grouped_moments_by_bool_and_selection() {
+        let t = demo();
+        let sel = Predicate::eq("edu", "HS").eval(&t).unwrap();
+        let g = grouped_moments(&t, "flag", "wage", Some(&sel)).unwrap();
+        assert_eq!(g.labels, vec!["false", "true"]);
+        // HS rows: wages [10, 12, 11] with flags [true, true, false].
+        assert_eq!(g.moments[0].count(), 1);
+        assert_eq!(g.moments[1].count(), 2);
+        assert!((g.moments[1].mean() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_values_align_with_moments() {
+        let t = demo();
+        let vals = grouped_values(&t, "edu", "wage", None).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[0], vec![10.0, 12.0, 11.0]);
+        assert_eq!(vals[1], vec![30.0, 34.0]);
+        let g = grouped_moments(&t, "edu", "wage", None).unwrap();
+        for (v, m) in vals.iter().zip(&g.moments) {
+            assert_eq!(v.len() as u64, m.count());
+        }
+    }
+
+    #[test]
+    fn type_and_selection_errors() {
+        let t = demo();
+        assert!(matches!(
+            grouped_moments(&t, "wage", "wage", None),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            grouped_moments(&t, "edu", "edu", None),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(grouped_moments(&t, "ghost", "wage", None).is_err());
+        assert!(grouped_moments(&t, "edu", "wage", Some(&Bitmap::zeros(3))).is_err());
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_groups() {
+        let t = demo();
+        let none = Predicate::eq("edu", "Kindergarten").eval(&t).unwrap();
+        let g = grouped_moments(&t, "edu", "wage", Some(&none)).unwrap();
+        assert_eq!(g.total(), 0);
+        assert!(g.group_means().is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Packed selection bitmaps.
+//!
+//! Every filter a user drags out evaluates to a [`Bitmap`] over the table's
+//! rows. Filter chains are conjunctions (`and`), linked negated selections
+//! are complements (`not`), and histogram computation walks set bits. The
+//! representation is a plain `Vec<u64>` with the trailing word masked, so
+//! all boolean algebra runs word-at-a-time.
+
+/// A fixed-length bitset over table rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All-ones bitmap of `len` bits.
+    pub fn ones(len: usize) -> Bitmap {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Builds from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Bitmap {
+        let mut b = Bitmap::zeros(bits.len());
+        for (i, &v) in bits.iter().enumerate() {
+            if v {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Builds a bitmap of `len` bits with the given positions set.
+    ///
+    /// Panics in debug builds if an index is out of range.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Bitmap {
+        let mut b = Bitmap::zeros(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of bits (table rows).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Count of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of rows selected; 0 for an empty bitmap.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// In-place intersection. Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union. Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Intersection, by value.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Union, by value.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Complement, by value.
+    pub fn not(&self) -> Bitmap {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Zero out bits beyond `len` in the last word so counts stay exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set bits of one word.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1; // clear lowest set bit
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let z = Bitmap::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitmap::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert_eq!(o.selectivity(), 1.0);
+        assert!(Bitmap::zeros(0).is_empty());
+        assert_eq!(Bitmap::zeros(0).selectivity(), 0.0);
+    }
+
+    #[test]
+    fn ones_masks_tail_word() {
+        // 65 bits: second word must only contain 1 set bit.
+        let o = Bitmap::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        let mut n = o.not();
+        assert_eq!(n.count_ones(), 0);
+        n.not_assign();
+        assert_eq!(n.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(100);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let a = Bitmap::from_indices(200, &[1, 5, 64, 127, 199]);
+        let b = Bitmap::from_indices(200, &[5, 64, 150]);
+        // a ∧ b
+        let and = a.and(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![5, 64]);
+        // a ∨ b
+        let or = a.or(&b);
+        assert_eq!(or.count_ones(), 6);
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        // Double complement.
+        assert_eq!(a.not().not(), a);
+        // a ∧ ¬a = 0; a ∨ ¬a = 1.
+        assert_eq!(a.and(&a.not()).count_ones(), 0);
+        assert_eq!(a.or(&a.not()).count_ones(), 200);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..77).map(|i| i % 3 == 0).collect();
+        let b = Bitmap::from_bools(&bools);
+        assert_eq!(b.count_ones(), bools.iter().filter(|&&x| x).count());
+        for (i, &v) in bools.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let idx = [0usize, 2, 63, 64, 65, 128, 190];
+        let b = Bitmap::from_indices(191, &idx);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idx.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let mut a = Bitmap::zeros(10);
+        a.and_assign(&Bitmap::zeros(11));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bools(n: usize) -> impl Strategy<Value = Vec<bool>> {
+        proptest::collection::vec(any::<bool>(), n)
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_naive(v in bools(200)) {
+            let b = Bitmap::from_bools(&v);
+            prop_assert_eq!(b.count_ones(), v.iter().filter(|&&x| x).count());
+        }
+
+        #[test]
+        fn and_or_not_match_naive(a in bools(130), b in bools(130)) {
+            let ba = Bitmap::from_bools(&a);
+            let bb = Bitmap::from_bools(&b);
+            let and_naive: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x && *y).collect();
+            let or_naive: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x || *y).collect();
+            let not_naive: Vec<bool> = a.iter().map(|x| !x).collect();
+            prop_assert_eq!(ba.and(&bb), Bitmap::from_bools(&and_naive));
+            prop_assert_eq!(ba.or(&bb), Bitmap::from_bools(&or_naive));
+            prop_assert_eq!(ba.not(), Bitmap::from_bools(&not_naive));
+        }
+
+        #[test]
+        fn iter_ones_sorted_and_complete(v in bools(99)) {
+            let b = Bitmap::from_bools(&v);
+            let ones: Vec<usize> = b.iter_ones().collect();
+            prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(ones.len(), b.count_ones());
+            for i in ones {
+                prop_assert!(v[i]);
+            }
+        }
+    }
+}

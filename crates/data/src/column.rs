@@ -1,0 +1,208 @@
+//! Typed column storage.
+//!
+//! Columns are immutable once built. Categorical columns are
+//! dictionary-encoded (`u32` codes into a label vector) because census-style
+//! exploration data is dominated by low-cardinality attributes, and the χ²
+//! histogram path then reduces to counting codes.
+
+use crate::value::Value;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Int64,
+    /// 64-bit floats.
+    Float64,
+    /// Booleans.
+    Bool,
+    /// Dictionary-encoded strings.
+    Categorical,
+}
+
+impl ColumnType {
+    /// Static name used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColumnType::Int64 => "int64",
+            ColumnType::Float64 => "float64",
+            ColumnType::Bool => "bool",
+            ColumnType::Categorical => "categorical",
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One column of data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer data.
+    Int64(Vec<i64>),
+    /// Float data.
+    Float64(Vec<f64>),
+    /// Boolean data.
+    Bool(Vec<bool>),
+    /// Dictionary-encoded categorical data: `codes[i]` indexes `labels`.
+    Categorical {
+        /// Distinct labels, in first-seen order.
+        labels: Vec<String>,
+        /// Per-row code into `labels`.
+        codes: Vec<u32>,
+    },
+}
+
+impl Column {
+    /// Builds a categorical column from raw strings, constructing the
+    /// dictionary in first-seen order.
+    pub fn categorical_from_strs<S: AsRef<str>>(values: &[S]) -> Column {
+        let mut labels: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let s = v.as_ref();
+            let code = match labels.iter().position(|l| l == s) {
+                Some(i) => i as u32,
+                None => {
+                    labels.push(s.to_owned());
+                    (labels.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { labels, codes }
+    }
+
+    /// Builds a categorical column from pre-encoded codes and a dictionary.
+    ///
+    /// Panics in debug builds if any code is out of range.
+    pub fn categorical_from_codes(labels: Vec<String>, codes: Vec<u32>) -> Column {
+        debug_assert!(codes.iter().all(|&c| (c as usize) < labels.len()));
+        Column::Categorical { labels, codes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type tag.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Int64(_) => ColumnType::Int64,
+            Column::Float64(_) => ColumnType::Float64,
+            Column::Bool(_) => ColumnType::Bool,
+            Column::Categorical { .. } => ColumnType::Categorical,
+        }
+    }
+
+    /// Cell value at `row` (clones strings; intended for UI/debug paths).
+    pub fn value_at(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v) => Value::Int(v[row]),
+            Column::Float64(v) => Value::Float(v[row]),
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::Categorical { labels, codes } => {
+                Value::Str(labels[codes[row] as usize].clone())
+            }
+        }
+    }
+
+    /// Numeric view of the cell (ints/floats only).
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int64(v) => Some(v[row] as f64),
+            Column::Float64(v) => Some(v[row]),
+            _ => None,
+        }
+    }
+
+    /// Dictionary of a categorical column, if it is one.
+    pub fn labels(&self) -> Option<&[String]> {
+        match self {
+            Column::Categorical { labels, .. } => Some(labels),
+            _ => None,
+        }
+    }
+
+    /// Materializes the subset of rows with set bits in `selection`.
+    pub fn take(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(rows.iter().map(|&i| v[i]).collect()),
+            Column::Float64(v) => Column::Float64(rows.iter().map(|&i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(rows.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { labels, codes } => Column::Categorical {
+                labels: labels.clone(),
+                codes: rows.iter().map(|&i| codes[i]).collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_dictionary_first_seen_order() {
+        let c = Column::categorical_from_strs(&["b", "a", "b", "c", "a"]);
+        match &c {
+            Column::Categorical { labels, codes } => {
+                assert_eq!(labels, &["b", "a", "c"]);
+                assert_eq!(codes, &[0, 1, 0, 2, 1]);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.column_type(), ColumnType::Categorical);
+        assert_eq!(c.value_at(3), Value::Str("c".into()));
+        assert_eq!(c.labels().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn numeric_views() {
+        let c = Column::Int64(vec![1, 2, 3]);
+        assert_eq!(c.numeric_at(1), Some(2.0));
+        assert_eq!(c.value_at(2), Value::Int(3));
+        let f = Column::Float64(vec![0.5]);
+        assert_eq!(f.numeric_at(0), Some(0.5));
+        let b = Column::Bool(vec![true]);
+        assert_eq!(b.numeric_at(0), None);
+        assert_eq!(b.value_at(0), Value::Bool(true));
+        assert!(b.labels().is_none());
+    }
+
+    #[test]
+    fn take_subsets_preserve_dictionary() {
+        let c = Column::categorical_from_strs(&["x", "y", "x", "z"]);
+        let t = c.take(&[0, 2]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value_at(0), Value::Str("x".into()));
+        assert_eq!(t.value_at(1), Value::Str("x".into()));
+        // Dictionary is shared even if some labels are now unused.
+        assert_eq!(t.labels().unwrap(), c.labels().unwrap());
+
+        let i = Column::Int64(vec![10, 20, 30]);
+        assert_eq!(i.take(&[2, 0]), Column::Int64(vec![30, 10]));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(ColumnType::Int64.to_string(), "int64");
+        assert_eq!(ColumnType::Categorical.to_string(), "categorical");
+        assert!(Column::Int64(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Two-attribute contingency tables (cross-tabulation).
+//!
+//! Rule 3 builds 2×k tables by stacking two filtered histograms; the
+//! crosstab is the direct r×c construction for "are attributes X and Y
+//! associated (within this sub-population)?" — the question behind the
+//! paper's intro examples ("people with a Ph.D. earn more") when asked
+//! head-on rather than through a filter chain.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::table::Table;
+use crate::{DataError, Result};
+
+/// An r×c count table over two categorical/boolean attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossTab {
+    /// Row attribute name.
+    pub row_column: String,
+    /// Column attribute name.
+    pub col_column: String,
+    /// Row labels (dictionary/domain order).
+    pub row_labels: Vec<String>,
+    /// Column labels (dictionary/domain order).
+    pub col_labels: Vec<String>,
+    /// Counts, row-major: `counts[r][c]`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl CrossTab {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// The counts in the `Vec<Vec<u64>>` shape the χ²/G tests consume.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+}
+
+/// Encodes a categorical or boolean column as (labels, per-row codes).
+fn encode(table: &Table, name: &str) -> Result<(Vec<String>, Vec<usize>)> {
+    match table.column(name)? {
+        Column::Categorical { labels, codes } => {
+            Ok((labels.clone(), codes.iter().map(|&c| c as usize).collect()))
+        }
+        Column::Bool(vals) => Ok((
+            vec!["false".to_owned(), "true".to_owned()],
+            vals.iter().map(|&b| b as usize).collect(),
+        )),
+        other => Err(DataError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "categorical or bool",
+            actual: other.column_type().name(),
+        }),
+    }
+}
+
+/// Builds the crosstab of `row_column` × `col_column`, restricted to
+/// `selection` when given.
+pub fn crosstab(
+    table: &Table,
+    row_column: &str,
+    col_column: &str,
+    selection: Option<&Bitmap>,
+) -> Result<CrossTab> {
+    if let Some(sel) = selection {
+        table.check_selection(sel)?;
+    }
+    if row_column == col_column {
+        return Err(DataError::InvalidArgument {
+            context: "crosstab",
+            constraint: "row and column attributes must differ",
+        });
+    }
+    let (row_labels, row_codes) = encode(table, row_column)?;
+    let (col_labels, col_codes) = encode(table, col_column)?;
+    let mut counts = vec![vec![0u64; col_labels.len()]; row_labels.len()];
+    let mut bump = |i: usize| counts[row_codes[i]][col_codes[i]] += 1;
+    match selection {
+        Some(sel) => sel.iter_ones().for_each(&mut bump),
+        None => (0..table.rows()).for_each(&mut bump),
+    }
+    Ok(CrossTab {
+        row_column: row_column.to_owned(),
+        col_column: col_column.to_owned(),
+        row_labels,
+        col_labels,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::CensusGenerator;
+    use crate::predicate::Predicate;
+    use crate::table::TableBuilder;
+
+    fn demo() -> Table {
+        TableBuilder::new()
+            .push("edu", Column::categorical_from_strs(&["HS", "PhD", "HS", "PhD", "HS"]))
+            .push("rich", Column::Bool(vec![false, true, false, true, true]))
+            .push("age", Column::Int64(vec![20, 30, 40, 50, 60]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn crosstab_counts_hand_checked() {
+        let t = demo();
+        let ct = crosstab(&t, "edu", "rich", None).unwrap();
+        assert_eq!(ct.row_labels, vec!["HS", "PhD"]);
+        assert_eq!(ct.col_labels, vec!["false", "true"]);
+        // HS: rich [false, false, true] → [2, 1]; PhD: [0, 2].
+        assert_eq!(ct.counts, vec![vec![2, 1], vec![0, 2]]);
+        assert_eq!(ct.total(), 5);
+    }
+
+    #[test]
+    fn crosstab_with_selection() {
+        let t = demo();
+        let sel = Predicate::between("age", 25.0, 55.0).eval(&t).unwrap();
+        let ct = crosstab(&t, "edu", "rich", Some(&sel)).unwrap();
+        // rows 1,2,3: (PhD,true), (HS,false), (PhD,true).
+        assert_eq!(ct.counts, vec![vec![1, 0], vec![0, 2]]);
+        assert_eq!(ct.total(), 3);
+    }
+
+    #[test]
+    fn crosstab_validation() {
+        let t = demo();
+        assert!(crosstab(&t, "edu", "edu", None).is_err());
+        assert!(crosstab(&t, "edu", "age", None).is_err());
+        assert!(crosstab(&t, "ghost", "rich", None).is_err());
+        assert!(crosstab(&t, "edu", "rich", Some(&Bitmap::zeros(2))).is_err());
+    }
+
+    #[test]
+    fn crosstab_margins_match_histograms() {
+        let t = CensusGenerator::new(4).generate(3_000);
+        let ct = crosstab(&t, "education", "salary_over_50k", None).unwrap();
+        let edu_hist = crate::hist::categorical_histogram(&t, "education", None).unwrap();
+        let row_margins: Vec<u64> = ct.counts.iter().map(|r| r.iter().sum()).collect();
+        assert_eq!(row_margins, edu_hist.counts());
+        assert_eq!(ct.total(), 3_000);
+    }
+
+    #[test]
+    fn crosstab_feeds_independence_test() {
+        let t = CensusGenerator::new(4).generate(10_000);
+        let ct = crosstab(&t, "education", "salary_over_50k", None).unwrap();
+        let out = aware_stats::tests::chi_square_independence(ct.rows()).unwrap();
+        assert!(out.p_value < 1e-10, "planted dependence: p = {}", out.p_value);
+        let ct = crosstab(&t, "race", "salary_over_50k", None).unwrap();
+        let out = aware_stats::tests::chi_square_independence(ct.rows()).unwrap();
+        assert!(out.p_value > 1e-4, "null pair: p = {}", out.p_value);
+    }
+}

@@ -1,0 +1,434 @@
+//! Filter predicates — the AST behind a chain of linked visualizations.
+//!
+//! In the paper's Figure 1, Eve drags out "salary > 50k", then "education =
+//! PhD", then "marital-status ≠ Married"; each step is one [`Predicate`] and
+//! the chain is their conjunction. The dashed-line "inverted selection" of
+//! step C is [`Predicate::Not`]. Predicates render to compact strings
+//! (`salary_over_50k=true ∧ education=PhD`) which the hypothesis tracker
+//! uses as human-readable labels in the risk gauge.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+use crate::{DataError, Result};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Neq,
+    /// Less than (numeric only).
+    Lt,
+    /// Less or equal (numeric only).
+    Le,
+    /// Greater than (numeric only).
+    Gt,
+    /// Greater or equal (numeric only).
+    Ge,
+}
+
+impl CmpOp {
+    fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+
+    fn eval_f64(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A filter over table rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row (the empty filter chain).
+    True,
+    /// Column-vs-literal comparison.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// Column value is one of the listed literals.
+    In {
+        /// Column name.
+        column: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// Numeric column in the inclusive range `[lo, hi]` — a histogram
+    /// brush selection.
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Logical negation (the paper's dashed "inverted selection" link).
+    Not(Box<Predicate>),
+    /// Conjunction of sub-filters (a chain of linked visualizations).
+    And(Vec<Predicate>),
+    /// Disjunction of sub-filters.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: Value) -> Predicate {
+        Predicate::Cmp { column: column.into(), op, value }
+    }
+
+    /// Convenience constructor for equality — the most common filter.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::cmp(column, CmpOp::Eq, value.into())
+    }
+
+    /// Convenience constructor for a numeric brush.
+    pub fn between(column: impl Into<String>, lo: f64, hi: f64) -> Predicate {
+        Predicate::Between { column: column.into(), lo, hi }
+    }
+
+    /// Negates this predicate.
+    pub fn negate(self) -> Predicate {
+        match self {
+            Predicate::Not(inner) => *inner, // ¬¬p = p
+            other => Predicate::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjoins another predicate onto this one, flattening nested `And`s.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// True when this is the empty filter.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Predicate::True)
+    }
+
+    /// Evaluates the predicate to a selection bitmap over `table`.
+    pub fn eval(&self, table: &Table) -> Result<Bitmap> {
+        let rows = table.rows();
+        match self {
+            Predicate::True => Ok(Bitmap::ones(rows)),
+            Predicate::Cmp { column, op, value } => {
+                eval_cmp(table, column, *op, value)
+            }
+            Predicate::In { column, values } => {
+                let mut acc = Bitmap::zeros(rows);
+                for v in values {
+                    acc.or_assign(&eval_cmp(table, column, CmpOp::Eq, v)?);
+                }
+                Ok(acc)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = table.column(column)?;
+                match col {
+                    Column::Int64(v) => Ok(Bitmap::from_bools(
+                        &v.iter().map(|&x| (x as f64) >= *lo && (x as f64) <= *hi).collect::<Vec<_>>(),
+                    )),
+                    Column::Float64(v) => Ok(Bitmap::from_bools(
+                        &v.iter().map(|&x| x >= *lo && x <= *hi).collect::<Vec<_>>(),
+                    )),
+                    other => Err(DataError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "numeric (int64/float64)",
+                        actual: other.column_type().name(),
+                    }),
+                }
+            }
+            Predicate::Not(inner) => Ok(inner.eval(table)?.not()),
+            Predicate::And(parts) => {
+                let mut acc = Bitmap::ones(rows);
+                for p in parts {
+                    acc.and_assign(&p.eval(table)?);
+                }
+                Ok(acc)
+            }
+            Predicate::Or(parts) => {
+                let mut acc = Bitmap::zeros(rows);
+                for p in parts {
+                    acc.or_assign(&p.eval(table)?);
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+fn eval_cmp(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bitmap> {
+    let col = table.column(column)?;
+    let mismatch = || DataError::TypeMismatch {
+        column: column.to_owned(),
+        expected: value.type_name(),
+        actual: col.column_type().name(),
+    };
+    match col {
+        Column::Int64(v) => {
+            let rhs = value.as_f64().ok_or_else(mismatch)?;
+            Ok(Bitmap::from_bools(
+                &v.iter().map(|&x| op.eval_f64(x as f64, rhs)).collect::<Vec<_>>(),
+            ))
+        }
+        Column::Float64(v) => {
+            let rhs = value.as_f64().ok_or_else(mismatch)?;
+            Ok(Bitmap::from_bools(
+                &v.iter().map(|&x| op.eval_f64(x, rhs)).collect::<Vec<_>>(),
+            ))
+        }
+        Column::Bool(v) => {
+            let rhs = value.as_bool().ok_or_else(mismatch)?;
+            let res: Vec<bool> = match op {
+                CmpOp::Eq => v.iter().map(|&x| x == rhs).collect(),
+                CmpOp::Neq => v.iter().map(|&x| x != rhs).collect(),
+                _ => {
+                    return Err(DataError::InvalidArgument {
+                        context: "Predicate::eval",
+                        constraint: "bool columns support only =/≠",
+                    })
+                }
+            };
+            Ok(Bitmap::from_bools(&res))
+        }
+        Column::Categorical { labels, codes } => {
+            let rhs = value.as_str().ok_or_else(mismatch)?;
+            let target = labels.iter().position(|l| l == rhs).map(|i| i as u32);
+            let res: Vec<bool> = match (op, target) {
+                (CmpOp::Eq, Some(t)) => codes.iter().map(|&c| c == t).collect(),
+                (CmpOp::Eq, None) => vec![false; codes.len()],
+                (CmpOp::Neq, Some(t)) => codes.iter().map(|&c| c != t).collect(),
+                (CmpOp::Neq, None) => vec![true; codes.len()],
+                _ => {
+                    return Err(DataError::InvalidArgument {
+                        context: "Predicate::eval",
+                        constraint: "categorical columns support only =/≠",
+                    })
+                }
+            };
+            Ok(Bitmap::from_bools(&res))
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "⊤"),
+            Predicate::Cmp { column, op, value } => {
+                write!(f, "{column}{}{value}", op.symbol())
+            }
+            Predicate::In { column, values } => {
+                write!(f, "{column}∈{{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Predicate::Between { column, lo, hi } => write!(f, "{column}∈[{lo},{hi}]"),
+            Predicate::Not(inner) => write!(f, "¬({inner})"),
+            Predicate::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Predicate::Or(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::TableBuilder;
+
+    fn demo() -> Table {
+        TableBuilder::new()
+            .push("age", Column::Int64(vec![25, 40, 31, 60, 18]))
+            .push("salary", Column::Float64(vec![30.0, 80.0, 55.0, 20.0, 10.0]))
+            .push(
+                "education",
+                Column::categorical_from_strs(&["HS", "PhD", "Master", "HS", "Bachelor"]),
+            )
+            .push("over_50k", Column::Bool(vec![false, true, true, false, false]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let t = demo();
+        let sel = Predicate::cmp("age", CmpOp::Ge, Value::from(31i64)).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let sel = Predicate::cmp("salary", CmpOp::Lt, Value::from(30.0)).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![3, 4]);
+        // Int column compared against float literal coerces.
+        let sel = Predicate::cmp("age", CmpOp::Eq, Value::from(40.0)).eval(&t).unwrap();
+        assert_eq!(sel.count_ones(), 1);
+    }
+
+    #[test]
+    fn categorical_and_bool_comparisons() {
+        let t = demo();
+        let sel = Predicate::eq("education", "HS").eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+        let sel = Predicate::cmp("education", CmpOp::Neq, Value::from("HS")).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2, 4]);
+        // Unknown label: = matches nothing, ≠ matches everything.
+        assert_eq!(Predicate::eq("education", "Kindergarten").eval(&t).unwrap().count_ones(), 0);
+        assert_eq!(
+            Predicate::cmp("education", CmpOp::Neq, Value::from("Kindergarten"))
+                .eval(&t)
+                .unwrap()
+                .count_ones(),
+            5
+        );
+        let sel = Predicate::eq("over_50k", true).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let t = demo();
+        assert!(matches!(
+            Predicate::eq("education", 5i64).eval(&t),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Predicate::cmp("over_50k", CmpOp::Lt, Value::from(true)).eval(&t),
+            Err(DataError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            Predicate::cmp("education", CmpOp::Gt, Value::from("HS")).eval(&t),
+            Err(DataError::InvalidArgument { .. })
+        ));
+        assert!(Predicate::eq("ghost", 1i64).eval(&t).is_err());
+        assert!(matches!(
+            Predicate::between("education", 0.0, 1.0).eval(&t),
+            Err(DataError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn between_and_in() {
+        let t = demo();
+        let sel = Predicate::between("age", 20.0, 40.0).eval(&t).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let sel = Predicate::In {
+            column: "education".into(),
+            values: vec![Value::from("PhD"), Value::from("Master")],
+        }
+        .eval(&t)
+        .unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn logical_composition() {
+        let t = demo();
+        let phd_or_hs = Predicate::Or(vec![
+            Predicate::eq("education", "PhD"),
+            Predicate::eq("education", "HS"),
+        ]);
+        assert_eq!(phd_or_hs.eval(&t).unwrap().count_ones(), 3);
+
+        let young_high = Predicate::cmp("age", CmpOp::Lt, Value::from(45i64))
+            .and(Predicate::eq("over_50k", true));
+        assert_eq!(young_high.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+
+        let not_that = young_high.clone().negate();
+        assert_eq!(not_that.eval(&t).unwrap().count_ones(), 3);
+        // Double negation restores the predicate structurally.
+        assert_eq!(not_that.negate(), young_high);
+    }
+
+    #[test]
+    fn and_flattening_and_true_elision() {
+        let a = Predicate::eq("education", "PhD");
+        let b = Predicate::eq("over_50k", true);
+        let c = Predicate::between("age", 30.0, 50.0);
+        let chained = a.clone().and(b.clone()).and(c.clone());
+        match &chained {
+            Predicate::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+        assert_eq!(Predicate::True.and(a.clone()), a);
+        assert_eq!(a.clone().and(Predicate::True), a);
+        assert!(Predicate::True.is_trivial());
+        assert!(!a.is_trivial());
+    }
+
+    #[test]
+    fn display_renders_chains() {
+        let p = Predicate::eq("education", "PhD")
+            .and(Predicate::eq("marital", "Married").negate());
+        assert_eq!(p.to_string(), "education=PhD ∧ ¬(marital=Married)");
+        let q = Predicate::between("age", 18.0, 65.0);
+        assert_eq!(q.to_string(), "age∈[18,65]");
+        let r = Predicate::In {
+            column: "edu".into(),
+            values: vec![Value::from("HS"), Value::from("PhD")],
+        };
+        assert_eq!(r.to_string(), "edu∈{HS,PhD}");
+        assert_eq!(Predicate::True.to_string(), "⊤");
+    }
+
+    #[test]
+    fn conjunction_of_empty_parts_is_all_rows() {
+        let t = demo();
+        assert_eq!(Predicate::And(vec![]).eval(&t).unwrap().count_ones(), 5);
+        assert_eq!(Predicate::Or(vec![]).eval(&t).unwrap().count_ones(), 0);
+        assert_eq!(Predicate::True.eval(&t).unwrap().count_ones(), 5);
+    }
+}

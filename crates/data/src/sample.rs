@@ -1,0 +1,242 @@
+//! Seeded sampling utilities.
+//!
+//! Three operations from the paper's evaluation:
+//!
+//! * **down-sampling** — Exp.2 replays user workflows on 10–90% samples of
+//!   the census table to inject sampling uncertainty;
+//! * **hold-out splits** — the §4.1 discussion of exploration/validation
+//!   datasets;
+//! * **independent column permutation** — the "randomized Census" workload,
+//!   which preserves every marginal distribution while destroying every
+//!   association, making all independence hypotheses truly null.
+
+use crate::table::Table;
+use crate::{DataError, Result};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Draws a uniform sample of `fraction · rows` rows without replacement.
+///
+/// Row order of the sample follows the original table order (sorted
+/// indices), which keeps downstream iteration cache-friendly.
+pub fn downsample(table: &Table, fraction: f64, seed: u64) -> Result<Table> {
+    if !(0.0 < fraction && fraction <= 1.0) {
+        return Err(DataError::InvalidArgument {
+            context: "downsample",
+            constraint: "0 < fraction <= 1",
+        });
+    }
+    let n = ((table.rows() as f64) * fraction).round() as usize;
+    downsample_n(table, n.max(1), seed)
+}
+
+/// Draws exactly `n` rows without replacement (errors if `n > rows`).
+pub fn downsample_n(table: &Table, n: usize, seed: u64) -> Result<Table> {
+    if n == 0 || n > table.rows() {
+        return Err(DataError::InvalidArgument {
+            context: "downsample_n",
+            constraint: "1 <= n <= table.rows()",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut indices = reservoir_indices(table.rows(), n, &mut rng);
+    indices.sort_unstable();
+    take_rows(table, &indices)
+}
+
+/// Splits the table into `(exploration, validation)` parts, the §4.1
+/// hold-out construction. `fraction` is the exploration share.
+pub fn split_holdout(table: &Table, fraction: f64, seed: u64) -> Result<(Table, Table)> {
+    if !(0.0 < fraction && fraction < 1.0) {
+        return Err(DataError::InvalidArgument {
+            context: "split_holdout",
+            constraint: "0 < fraction < 1",
+        });
+    }
+    let n = table.rows();
+    let k = (((n as f64) * fraction).round() as usize).clamp(1, n - 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut left: Vec<usize> = perm[..k].to_vec();
+    let mut right: Vec<usize> = perm[k..].to_vec();
+    left.sort_unstable();
+    right.sort_unstable();
+    Ok((take_rows(table, &left)?, take_rows(table, &right)?))
+}
+
+/// Independently permutes every column, destroying all cross-column
+/// associations while preserving each marginal exactly.
+///
+/// This is the paper's "randomized Census data" (§7.3): after permutation
+/// every between-attribute hypothesis is a true null, so any discovery a
+/// procedure makes is a false discovery by construction.
+pub fn permute_columns(table: &Table, seed: u64) -> Result<Table> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = table.rows();
+    let columns = table
+        .column_names()
+        .iter()
+        .map(|name| {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let col = table.column(name).expect("name from table").take(&perm);
+            (name.clone(), col)
+        })
+        .collect();
+    Table::new(columns)
+}
+
+/// Uniform sample of `k` distinct indices from `0..n` (Vitter's reservoir).
+fn reservoir_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+fn take_rows(table: &Table, rows: &[usize]) -> Result<Table> {
+    let columns = table
+        .column_names()
+        .iter()
+        .map(|name| {
+            (
+                name.clone(),
+                table.column(name).expect("name from table").take(rows),
+            )
+        })
+        .collect();
+    Table::new(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::hist::histogram;
+    use crate::table::TableBuilder;
+
+    fn demo(n: usize) -> Table {
+        TableBuilder::new()
+            .push("id", Column::Int64((0..n as i64).collect()))
+            .push(
+                "grp",
+                Column::categorical_from_strs(
+                    &(0..n).map(|i| if i % 3 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+                ),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn downsample_sizes_and_determinism() {
+        let t = demo(1000);
+        let s = downsample(&t, 0.3, 7).unwrap();
+        assert_eq!(s.rows(), 300);
+        let s2 = downsample(&t, 0.3, 7).unwrap();
+        assert_eq!(s, s2);
+        let s3 = downsample(&t, 0.3, 8).unwrap();
+        assert_ne!(s, s3);
+        assert_eq!(downsample(&t, 1.0, 1).unwrap().rows(), 1000);
+        assert!(downsample(&t, 0.0, 1).is_err());
+        assert!(downsample(&t, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn downsample_has_no_duplicates() {
+        let t = demo(500);
+        let s = downsample_n(&t, 200, 42).unwrap();
+        let ids = s.numeric_values("id", None).unwrap();
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200);
+        // Sample preserves original row order.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(downsample_n(&t, 0, 1).is_err());
+        assert!(downsample_n(&t, 501, 1).is_err());
+    }
+
+    #[test]
+    fn downsample_is_roughly_uniform() {
+        // Sample 50% many times; each row should appear ~half the time.
+        let t = demo(100);
+        let mut hits = vec![0u32; 100];
+        for seed in 0..200 {
+            let s = downsample_n(&t, 50, seed).unwrap();
+            for id in s.numeric_values("id", None).unwrap() {
+                hits[id as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((60..=140).contains(&h), "row {i} sampled {h}/200 times");
+        }
+    }
+
+    #[test]
+    fn holdout_partitions_rows() {
+        let t = demo(100);
+        let (a, b) = split_holdout(&t, 0.7, 5).unwrap();
+        assert_eq!(a.rows(), 70);
+        assert_eq!(b.rows(), 30);
+        let mut ids: Vec<f64> = a
+            .numeric_values("id", None)
+            .unwrap()
+            .into_iter()
+            .chain(b.numeric_values("id", None).unwrap())
+            .collect();
+        ids.sort_by(|x, y| x.total_cmp(y));
+        assert_eq!(ids, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(split_holdout(&t, 0.0, 1).is_err());
+        assert!(split_holdout(&t, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn permutation_preserves_marginals() {
+        let t = demo(300);
+        let p = permute_columns(&t, 9).unwrap();
+        assert_eq!(p.rows(), 300);
+        let before = histogram(&t, "grp", None).unwrap();
+        let after = histogram(&p, "grp", None).unwrap();
+        assert_eq!(before.counts(), after.counts());
+        // Numeric column is a permutation of the original.
+        let mut a = t.numeric_values("id", None).unwrap();
+        let mut b = p.numeric_values("id", None).unwrap();
+        a.sort_by(|x, y| x.total_cmp(y));
+        b.sort_by(|x, y| x.total_cmp(y));
+        assert_eq!(a, b);
+        // And it actually moved things (overwhelmingly likely).
+        assert_ne!(t.numeric_values("id", None).unwrap(), p.numeric_values("id", None).unwrap());
+    }
+
+    #[test]
+    fn permutation_destroys_association() {
+        // Build a perfectly correlated pair; after permutation the
+        // association should be near zero.
+        let n = 2000;
+        let flag: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let t = TableBuilder::new()
+            .push("x", Column::Bool(flag.clone()))
+            .push("y", Column::Bool(flag))
+            .build()
+            .unwrap();
+        let p = permute_columns(&t, 3).unwrap();
+        let xs = match p.column("x").unwrap() {
+            Column::Bool(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        let ys = match p.column("y").unwrap() {
+            Column::Bool(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        let agree = xs.iter().zip(&ys).filter(|(a, b)| a == b).count();
+        let rate = agree as f64 / n as f64;
+        assert!((0.45..0.55).contains(&rate), "agreement after permutation: {rate}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Immutable column-oriented tables.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnType};
+use crate::value::Value;
+use crate::{DataError, Result};
+
+/// A named, typed, immutable table.
+///
+/// Tables are cheap to share (`Arc<Table>` upstream) and all exploration
+/// operations — filtering, histograms, sampling — are non-destructive reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Builds a table from `(name, column)` pairs.
+    ///
+    /// All columns must have equal length and distinct names. A table with
+    /// zero columns is invalid.
+    pub fn new(columns: Vec<(String, Column)>) -> Result<Table> {
+        if columns.is_empty() {
+            return Err(DataError::Empty { context: "Table::new" });
+        }
+        let rows = columns[0].1.len();
+        let mut names = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        for (name, col) in columns {
+            if names.contains(&name) {
+                return Err(DataError::DuplicateColumn { name });
+            }
+            if col.len() != rows {
+                return Err(DataError::LengthMismatch {
+                    expected: rows,
+                    got: col.len(),
+                    column: name,
+                });
+            }
+            names.push(name);
+            cols.push(col);
+        }
+        Ok(Table { names, columns: cols, rows })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DataError::UnknownColumn { name: name.to_owned() })
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// Type of a column by name.
+    pub fn column_type(&self, name: &str) -> Result<ColumnType> {
+        Ok(self.column(name)?.column_type())
+    }
+
+    /// Cell accessor (UI/debug path).
+    pub fn value(&self, name: &str, row: usize) -> Result<Value> {
+        let col = self.column(name)?;
+        if row >= self.rows {
+            return Err(DataError::InvalidArgument {
+                context: "Table::value",
+                constraint: "row < table.rows()",
+            });
+        }
+        Ok(col.value_at(row))
+    }
+
+    /// Validates that a selection bitmap matches this table's row count.
+    pub fn check_selection(&self, selection: &Bitmap) -> Result<()> {
+        if selection.len() != self.rows {
+            return Err(DataError::SelectionSizeMismatch {
+                table_rows: self.rows,
+                bitmap_bits: selection.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Materializes the rows with set bits into a new table.
+    pub fn filter(&self, selection: &Bitmap) -> Result<Table> {
+        self.check_selection(selection)?;
+        let rows: Vec<usize> = selection.iter_ones().collect();
+        let columns = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.columns.iter().map(|c| c.take(&rows)))
+            .collect();
+        Table::new(columns)
+    }
+
+    /// Projects a subset of columns into a new table.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut columns = Vec::with_capacity(names.len());
+        for &name in names {
+            let idx = self.column_index(name)?;
+            columns.push((self.names[idx].clone(), self.columns[idx].clone()));
+        }
+        Table::new(columns)
+    }
+
+    /// Numeric values of `column` restricted to `selection` (or all rows).
+    ///
+    /// Errors on non-numeric columns; this is the extraction path for
+    /// t-tests over filtered sub-populations.
+    pub fn numeric_values(&self, name: &str, selection: Option<&Bitmap>) -> Result<Vec<f64>> {
+        let col = self.column(name)?;
+        let extract = |i: usize| -> Result<f64> {
+            col.numeric_at(i).ok_or_else(|| DataError::TypeMismatch {
+                column: name.to_owned(),
+                expected: "numeric (int64/float64)",
+                actual: col.column_type().name(),
+            })
+        };
+        match selection {
+            Some(sel) => {
+                self.check_selection(sel)?;
+                sel.iter_ones().map(extract).collect()
+            }
+            None => (0..self.rows).map(extract).collect(),
+        }
+    }
+}
+
+/// Incremental table builder used by generators and the CSV reader.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    columns: Vec<(String, Column)>,
+}
+
+impl TableBuilder {
+    /// Empty builder.
+    pub fn new() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// Adds a column; order of insertion is preserved.
+    pub fn push(mut self, name: impl Into<String>, column: Column) -> TableBuilder {
+        self.columns.push((name.into(), column));
+        self
+    }
+
+    /// Finalizes the table, validating shapes and names.
+    pub fn build(self) -> Result<Table> {
+        Table::new(self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        TableBuilder::new()
+            .push("age", Column::Int64(vec![25, 40, 31, 60]))
+            .push("salary", Column::Float64(vec![30.0, 80.0, 55.0, 20.0]))
+            .push("sex", Column::categorical_from_strs(&["M", "F", "F", "M"]))
+            .push("employed", Column::Bool(vec![true, true, false, false]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = demo();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.column_names(), &["age", "salary", "sex", "employed"]);
+        assert_eq!(t.column_type("sex").unwrap(), ColumnType::Categorical);
+        assert_eq!(t.value("age", 1).unwrap(), Value::Int(40));
+        assert_eq!(t.value("sex", 2).unwrap(), Value::Str("F".into()));
+        assert!(t.value("age", 99).is_err());
+        assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(Table::new(vec![]), Err(DataError::Empty { .. })));
+        let dup = Table::new(vec![
+            ("a".into(), Column::Int64(vec![1])),
+            ("a".into(), Column::Int64(vec![2])),
+        ]);
+        assert!(matches!(dup, Err(DataError::DuplicateColumn { .. })));
+        let ragged = Table::new(vec![
+            ("a".into(), Column::Int64(vec![1, 2])),
+            ("b".into(), Column::Int64(vec![1])),
+        ]);
+        assert!(matches!(ragged, Err(DataError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn filter_materializes_selected_rows() {
+        let t = demo();
+        let sel = Bitmap::from_indices(4, &[1, 2]);
+        let f = t.filter(&sel).unwrap();
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.value("age", 0).unwrap(), Value::Int(40));
+        assert_eq!(f.value("sex", 1).unwrap(), Value::Str("F".into()));
+        // Wrong-size selection is rejected.
+        assert!(t.filter(&Bitmap::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn project_subsets_columns() {
+        let t = demo();
+        let p = t.project(&["sex", "age"]).unwrap();
+        assert_eq!(p.column_names(), &["sex", "age"]);
+        assert_eq!(p.rows(), 4);
+        assert!(t.project(&["sex", "ghost"]).is_err());
+    }
+
+    #[test]
+    fn numeric_values_with_selection() {
+        let t = demo();
+        let all = t.numeric_values("salary", None).unwrap();
+        assert_eq!(all, vec![30.0, 80.0, 55.0, 20.0]);
+        let sel = Bitmap::from_indices(4, &[0, 3]);
+        let some = t.numeric_values("age", Some(&sel)).unwrap();
+        assert_eq!(some, vec![25.0, 60.0]);
+        assert!(matches!(
+            t.numeric_values("sex", None),
+            Err(DataError::TypeMismatch { .. })
+        ));
+        assert!(t.numeric_values("age", Some(&Bitmap::zeros(2))).is_err());
+    }
+}

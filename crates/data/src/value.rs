@@ -1,0 +1,125 @@
+//! Dynamically-typed cell values used at the API boundary.
+//!
+//! Columns store data natively (see [`crate::column`]); `Value` only appears
+//! where users write predicates or read individual cells, so the dynamic
+//! dispatch cost never touches scan loops.
+
+use std::fmt;
+
+/// One cell of a table, or one literal in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Categorical label / string.
+    Str(String),
+}
+
+impl Value {
+    /// Static name of the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int64",
+            Value::Float(_) => "float64",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "categorical",
+        }
+    }
+
+    /// Numeric view: ints and floats coerce to `f64`, others are `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view for categorical comparisons.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_views() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("PhD").as_str(), Some("PhD"));
+        assert_eq!(Value::from("PhD".to_string()), Value::Str("PhD".into()));
+        assert_eq!(Value::from(true).as_f64(), None);
+        assert_eq!(Value::from(1i64).as_str(), None);
+        assert_eq!(Value::from(1.0).as_bool(), None);
+    }
+
+    #[test]
+    fn type_names_and_display() {
+        assert_eq!(Value::from(1i64).type_name(), "int64");
+        assert_eq!(Value::from(1.0).type_name(), "float64");
+        assert_eq!(Value::from(false).type_name(), "bool");
+        assert_eq!(Value::from("x").type_name(), "categorical");
+        assert_eq!(format!("{}", Value::from("Male")), "Male");
+        assert_eq!(format!("{}", Value::from(42i64)), "42");
+    }
+}

@@ -1,0 +1,62 @@
+//! Decisions and decision vectors.
+
+/// The outcome of testing one null hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Null hypothesis rejected — a *discovery* in the paper's vocabulary.
+    Reject,
+    /// Null hypothesis accepted (not rejected).
+    Accept,
+}
+
+impl Decision {
+    /// True if this decision is a rejection.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, Decision::Reject)
+    }
+
+    /// Builds a decision from a threshold comparison `p ≤ alpha`.
+    pub fn from_threshold(p: f64, alpha: f64) -> Decision {
+        if p <= alpha {
+            Decision::Reject
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Decision::Reject => write!(f, "reject"),
+            Decision::Accept => write!(f, "accept"),
+        }
+    }
+}
+
+/// Counts rejections in a decision vector.
+pub fn num_rejections(decisions: &[Decision]) -> usize {
+    decisions.iter().filter(|d| d.is_rejection()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        assert_eq!(Decision::from_threshold(0.05, 0.05), Decision::Reject);
+        assert_eq!(Decision::from_threshold(0.0500001, 0.05), Decision::Accept);
+        assert_eq!(Decision::from_threshold(0.0, 0.05), Decision::Reject);
+    }
+
+    #[test]
+    fn counting_and_display() {
+        let ds = [Decision::Reject, Decision::Accept, Decision::Reject];
+        assert_eq!(num_rejections(&ds), 2);
+        assert!(Decision::Reject.is_rejection());
+        assert!(!Decision::Accept.is_rejection());
+        assert_eq!(Decision::Reject.to_string(), "reject");
+        assert_eq!(Decision::Accept.to_string(), "accept");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the procedure crate.
+
+use std::fmt;
+
+/// Errors produced by multiple-hypothesis-testing procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MhtError {
+    /// A parameter (α, β, γ, δ, ε, ψ, η, …) was outside its domain.
+    InvalidParameter {
+        /// The routine rejecting the parameter.
+        context: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A p-value outside `[0, 1]` (or NaN) was fed to a procedure.
+    InvalidPValue {
+        /// The routine rejecting the p-value.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The α-investing wealth cannot cover any further test: the user must
+    /// stop exploring (§5.8 of the paper).
+    WealthExhausted {
+        /// Number of tests performed before exhaustion.
+        tests_run: usize,
+        /// Remaining (non-negative, un-investable) wealth.
+        remaining_wealth: f64,
+    },
+    /// Mismatched input lengths (e.g. support fractions vs p-values).
+    LengthMismatch {
+        /// Description of the two inputs.
+        context: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+}
+
+impl fmt::Display for MhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MhtError::InvalidParameter { context, constraint, value } => {
+                write!(f, "{context}: parameter violates `{constraint}` (value {value})")
+            }
+            MhtError::InvalidPValue { context, value } => {
+                write!(f, "{context}: p-value {value} outside [0, 1]")
+            }
+            MhtError::WealthExhausted { tests_run, remaining_wealth } => {
+                write!(
+                    f,
+                    "alpha-wealth exhausted after {tests_run} tests \
+                     (remaining {remaining_wealth:.6}); stop exploring to keep mFDR control"
+                )
+            }
+            MhtError::LengthMismatch { context, left, right } => {
+                write!(f, "{context}: length mismatch ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MhtError::WealthExhausted { tests_run: 12, remaining_wealth: 0.0001 };
+        assert!(e.to_string().contains("12 tests"));
+        assert!(e.to_string().contains("stop exploring"));
+        let e = MhtError::InvalidPValue { context: "bh", value: 1.2 };
+        assert!(e.to_string().contains("1.2"));
+    }
+}

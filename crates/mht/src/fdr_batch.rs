@@ -1,0 +1,240 @@
+//! Batch FDR procedures: Benjamini–Hochberg and Benjamini–Yekutieli
+//! (§4.3 of the paper).
+//!
+//! These control `E[V/R] ≤ α` and are the modern default for large-scale
+//! testing, but they are *batch* procedures: the decision for the first
+//! hypothesis depends on the p-value of the last, so they cannot drive an
+//! interactive session. The paper uses BHFDR as the static reference point
+//! in Exp.1a and motivates α-investing as its incremental replacement.
+
+use crate::decision::Decision;
+use crate::{check_alpha, check_p_value, Result};
+
+fn validate(p_values: &[f64], alpha: f64, context: &'static str) -> Result<()> {
+    check_alpha(alpha, context)?;
+    for &p in p_values {
+        check_p_value(p, context)?;
+    }
+    Ok(())
+}
+
+/// Benjamini–Hochberg step-up procedure at level `alpha`.
+///
+/// Sort p-values ascending; find the largest `k` with
+/// `p_(k) ≤ (k/m)·α` and reject the hypotheses with the `k` smallest
+/// p-values. Controls FDR at `α` for independent (or PRDS) p-values.
+pub fn benjamini_hochberg(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "benjamini_hochberg")?;
+    step_up(p_values, alpha, 1.0)
+}
+
+/// Benjamini–Yekutieli procedure: BH with the harmonic correction
+/// `c(m) = Σ 1/i`, valid under *arbitrary* dependence.
+pub fn benjamini_yekutieli(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "benjamini_yekutieli")?;
+    let m = p_values.len();
+    let c: f64 = (1..=m).map(|i| 1.0 / i as f64).sum();
+    step_up(p_values, alpha, c.max(1.0))
+}
+
+/// Shared step-up kernel: thresholds `(k/m)·α/c`.
+fn step_up(p_values: &[f64], alpha: f64, c: f64) -> Result<Vec<Decision>> {
+    let m = p_values.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut cutoff = None;
+    for rank in (0..m).rev() {
+        let threshold = (rank + 1) as f64 / m as f64 * alpha / c;
+        if p_values[order[rank]] <= threshold {
+            cutoff = Some(rank);
+            break;
+        }
+    }
+    let mut decisions = vec![Decision::Accept; m];
+    if let Some(k) = cutoff {
+        for &idx in &order[..=k] {
+            decisions[idx] = Decision::Reject;
+        }
+    }
+    Ok(decisions)
+}
+
+/// BH-adjusted p-values (q-values): the smallest FDR level at which each
+/// hypothesis would be rejected. Useful for the risk gauge's detail view.
+pub fn bh_adjusted_p_values(p_values: &[f64]) -> Result<Vec<f64>> {
+    for &p in p_values {
+        check_p_value(p, "bh_adjusted_p_values")?;
+    }
+    let m = p_values.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let q = p_values[idx] * m as f64 / (rank + 1) as f64;
+        running_min = running_min.min(q);
+        adjusted[idx] = running_min;
+    }
+    Ok(adjusted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::num_rejections;
+    use crate::fwer::bonferroni;
+
+    #[test]
+    fn bh_hand_worked_example() {
+        // Classic Benjamini–Hochberg (1995) worked example, m = 15, α = .05:
+        // rejects the 4 smallest p-values.
+        let ps = [
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.3240,
+            0.4262, 0.5719, 0.6528, 0.7590, 1.0000,
+        ];
+        let ds = benjamini_hochberg(&ps, 0.05).unwrap();
+        assert_eq!(num_rejections(&ds), 4);
+        for i in 0..4 {
+            assert_eq!(ds[i], Decision::Reject, "index {i}");
+        }
+        for i in 4..15 {
+            assert_eq!(ds[i], Decision::Accept, "index {i}");
+        }
+    }
+
+    #[test]
+    fn by_is_more_conservative_than_bh() {
+        // m = 8, thresholds (k/8)·0.05: BH stops at k = 2 (0.039 > 0.01875).
+        // BY divides further by c(8) ≈ 2.718, rejecting only p₁ = 0.001.
+        let ps = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205];
+        let bh = num_rejections(&benjamini_hochberg(&ps, 0.05).unwrap());
+        let by = num_rejections(&benjamini_yekutieli(&ps, 0.05).unwrap());
+        assert_eq!(bh, 2);
+        assert_eq!(by, 1);
+        assert!(by <= bh, "BY {by} should reject no more than BH {bh}");
+    }
+
+    #[test]
+    fn step_up_rejects_block_despite_local_failures() {
+        // p_(3) fails its threshold but p_(4) passes; step-up rejects all 4.
+        // thresholds (m=4): .0125, .025, .0375, .05
+        let ps = [0.01, 0.02, 0.04, 0.05];
+        let ds = benjamini_hochberg(&ps, 0.05).unwrap();
+        assert_eq!(num_rejections(&ds), 4);
+    }
+
+    #[test]
+    fn adjusted_p_values_match_decisions() {
+        let ps = [0.001, 0.008, 0.039, 0.041, 0.27, 0.9];
+        let q = bh_adjusted_p_values(&ps).unwrap();
+        let ds = benjamini_hochberg(&ps, 0.05).unwrap();
+        for i in 0..ps.len() {
+            assert_eq!(
+                q[i] <= 0.05,
+                ds[i].is_rejection(),
+                "index {i}: q = {}, decision = {:?}",
+                q[i],
+                ds[i]
+            );
+        }
+        // Adjusted p-values are monotone in the raw p-value order.
+        let mut pairs: Vec<(f64, f64)> = ps.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-15));
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert!(benjamini_hochberg(&[], 0.05).unwrap().is_empty());
+        assert!(bh_adjusted_p_values(&[]).unwrap().is_empty());
+        assert!(benjamini_hochberg(&[0.5], 0.0).is_err());
+        assert!(benjamini_hochberg(&[1.5], 0.05).is_err());
+        assert!(benjamini_yekutieli(&[f64::NAN], 0.05).is_err());
+    }
+
+    #[test]
+    fn bh_rejects_superset_of_bonferroni() {
+        let ps = [0.002, 0.009, 0.012, 0.033, 0.21, 0.76];
+        let bon = bonferroni(&ps, 0.05).unwrap();
+        let bh = benjamini_hochberg(&ps, 0.05).unwrap();
+        for (b, h) in bon.iter().zip(&bh) {
+            if b.is_rejection() {
+                assert!(h.is_rejection());
+            }
+        }
+        assert!(num_rejections(&bh) > num_rejections(&bon));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::decision::num_rejections;
+    use crate::fwer::bonferroni;
+    use proptest::prelude::*;
+
+    fn pvals() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.0f64..=1.0, 1..50)
+    }
+
+    proptest! {
+        #[test]
+        fn bh_superset_of_bonferroni(ps in pvals()) {
+            let bon = bonferroni(&ps, 0.05).unwrap();
+            let bh = benjamini_hochberg(&ps, 0.05).unwrap();
+            for (b, h) in bon.iter().zip(&bh) {
+                if b.is_rejection() {
+                    prop_assert!(h.is_rejection());
+                }
+            }
+        }
+
+        #[test]
+        fn bh_superset_of_by(ps in pvals()) {
+            let by = benjamini_yekutieli(&ps, 0.05).unwrap();
+            let bh = benjamini_hochberg(&ps, 0.05).unwrap();
+            for (y, h) in by.iter().zip(&bh) {
+                if y.is_rejection() {
+                    prop_assert!(h.is_rejection());
+                }
+            }
+        }
+
+        #[test]
+        fn bh_rejection_set_is_p_value_prefix(ps in pvals()) {
+            // If H_i is rejected, every hypothesis with a smaller p-value
+            // must be rejected too.
+            let ds = benjamini_hochberg(&ps, 0.05).unwrap();
+            for i in 0..ps.len() {
+                if ds[i].is_rejection() {
+                    for j in 0..ps.len() {
+                        if ps[j] < ps[i] {
+                            prop_assert!(ds[j].is_rejection());
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn bh_monotone_in_alpha(ps in pvals()) {
+            let lo = benjamini_hochberg(&ps, 0.01).unwrap();
+            let hi = benjamini_hochberg(&ps, 0.20).unwrap();
+            prop_assert!(num_rejections(&lo) <= num_rejections(&hi));
+        }
+
+        #[test]
+        fn adjusted_p_in_unit_interval(ps in pvals()) {
+            for q in bh_adjusted_p_values(&ps).unwrap() {
+                prop_assert!((0.0..=1.0).contains(&q));
+            }
+        }
+    }
+}

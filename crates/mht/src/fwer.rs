@@ -1,0 +1,257 @@
+//! Family-Wise Error Rate procedures (§4.2 of the paper).
+//!
+//! These control `Pr(V ≥ 1) ≤ α` — the probability of even one false
+//! discovery — which the paper argues is too pessimistic for data
+//! exploration: their per-test thresholds shrink like `α/m`, so power
+//! collapses as the session grows. They are implemented as the Exp.1a
+//! baselines and because Bonferroni doubles as the paper's ground-truth
+//! labeler for Exp.2.
+
+use crate::decision::Decision;
+use crate::{check_alpha, check_p_value, Result};
+
+fn validate(p_values: &[f64], alpha: f64, context: &'static str) -> Result<()> {
+    check_alpha(alpha, context)?;
+    for &p in p_values {
+        check_p_value(p, context)?;
+    }
+    Ok(())
+}
+
+/// Bonferroni correction: reject `H_i` iff `p_i ≤ α/m`.
+///
+/// Controls FWER in the strong sense for arbitrary dependence.
+pub fn bonferroni(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "bonferroni")?;
+    let m = p_values.len().max(1) as f64;
+    Ok(p_values.iter().map(|&p| Decision::from_threshold(p, alpha / m)).collect())
+}
+
+/// Šidák correction: reject `H_i` iff `p_i ≤ 1 − (1−α)^{1/m}`.
+///
+/// Slightly more powerful than Bonferroni; exact under independence.
+pub fn sidak(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "sidak")?;
+    let m = p_values.len().max(1) as f64;
+    let threshold = 1.0 - (1.0 - alpha).powf(1.0 / m);
+    Ok(p_values.iter().map(|&p| Decision::from_threshold(p, threshold)).collect())
+}
+
+/// Holm's step-down procedure.
+///
+/// Sort p-values ascending; walking up, reject while
+/// `p_(i) ≤ α/(m − i + 1)`; stop at the first failure. Uniformly more
+/// powerful than Bonferroni with the same strong FWER guarantee.
+pub fn holm(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "holm")?;
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut decisions = vec![Decision::Accept; m];
+    for (rank, &idx) in order.iter().enumerate() {
+        let threshold = alpha / (m - rank) as f64;
+        if p_values[idx] <= threshold {
+            decisions[idx] = Decision::Reject;
+        } else {
+            break; // step-down: stop at the first acceptance
+        }
+    }
+    Ok(decisions)
+}
+
+/// Hochberg's step-up procedure.
+///
+/// Walking down from the largest p-value, find the largest `i` with
+/// `p_(i) ≤ α/(m − i + 1)` and reject hypotheses `1..=i`. Valid under
+/// independence (or positive dependence); more powerful than Holm.
+pub fn hochberg(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    validate(p_values, alpha, "hochberg")?;
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
+    let mut decisions = vec![Decision::Accept; m];
+    // Find the largest rank whose threshold is met.
+    let mut cutoff = None;
+    for rank in (0..m).rev() {
+        let threshold = alpha / (m - rank) as f64;
+        if p_values[order[rank]] <= threshold {
+            cutoff = Some(rank);
+            break;
+        }
+    }
+    if let Some(k) = cutoff {
+        for &idx in &order[..=k] {
+            decisions[idx] = Decision::Reject;
+        }
+    }
+    Ok(decisions)
+}
+
+/// Simes' global test: the p-value for the *complete null* hypothesis.
+///
+/// `p_global = min_i ( m · p_(i) / i )`. This does not decide individual
+/// hypotheses — it answers "is anything at all going on?", which the AWARE
+/// UI can surface when a user asks whether a whole session's findings could
+/// be noise.
+pub fn simes_global_p(p_values: &[f64]) -> Result<f64> {
+    for &p in p_values {
+        check_p_value(p, "simes_global_p")?;
+    }
+    if p_values.is_empty() {
+        return Ok(1.0);
+    }
+    let mut sorted = p_values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let m = sorted.len() as f64;
+    let p = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &pv)| m * pv / (i + 1) as f64)
+        .fold(f64::INFINITY, f64::min);
+    Ok(p.min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::num_rejections;
+
+    const PS: [f64; 5] = [0.001, 0.012, 0.021, 0.04, 0.3];
+
+    #[test]
+    fn bonferroni_threshold() {
+        // α/m = 0.01: only 0.001 survives.
+        let ds = bonferroni(&PS, 0.05).unwrap();
+        assert_eq!(num_rejections(&ds), 1);
+        assert_eq!(ds[0], Decision::Reject);
+        // Single hypothesis degenerates to the plain test.
+        assert_eq!(bonferroni(&[0.04], 0.05).unwrap()[0], Decision::Reject);
+        assert!(bonferroni(&[], 0.05).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sidak_slightly_more_liberal_than_bonferroni() {
+        let m = 20usize;
+        let bon_t = 0.05 / m as f64;
+        let sid_t = 1.0 - 0.95f64.powf(1.0 / m as f64);
+        assert!(sid_t > bon_t);
+        // A p-value between the two thresholds separates them.
+        let p_mid = (bon_t + sid_t) / 2.0;
+        let mut ps = vec![0.9; m];
+        ps[0] = p_mid;
+        assert_eq!(num_rejections(&bonferroni(&ps, 0.05).unwrap()), 0);
+        assert_eq!(num_rejections(&sidak(&ps, 0.05).unwrap()), 1);
+    }
+
+    #[test]
+    fn holm_hand_worked() {
+        // m = 5, α = 0.05. Sorted thresholds: .01, .0125, .0167, .025, .05.
+        // p = [.001✓, .012✓, .021✗ stop] → two rejections.
+        let ds = holm(&PS, 0.05).unwrap();
+        assert_eq!(ds[0], Decision::Reject);
+        assert_eq!(ds[1], Decision::Reject);
+        assert_eq!(num_rejections(&ds), 2);
+    }
+
+    #[test]
+    fn hochberg_hand_worked() {
+        // Step-up: largest i with p_(i) ≤ α/(m−i+1).
+        // i=4 (p=.04 ≤ .025?) no; i=3 (.021 ≤ .0167?) no; wait ranks:
+        // rank 0:.001≤.01✓ …rank 3: .04 ≤ .05/2=.025✗, rank 4: .3≤.05✗,
+        // rank 2: .021 ≤ .05/3=.0167✗, rank 1: .012 ≤ .0125✓ → reject ranks 0..=1.
+        let ds = hochberg(&PS, 0.05).unwrap();
+        assert_eq!(num_rejections(&ds), 2);
+        assert_eq!(ds[0], Decision::Reject);
+        assert_eq!(ds[1], Decision::Reject);
+    }
+
+    #[test]
+    fn hochberg_at_least_as_powerful_as_holm() {
+        // A configuration where step-up beats step-down:
+        let ps = [0.02, 0.04];
+        // Holm: threshold rank0 = .025 ✓ then rank1 = .05: .04 ✓ → 2.
+        // Hochberg: rank1: .04 ≤ .05 ✓ → both. Equal here.
+        assert_eq!(num_rejections(&holm(&ps, 0.05).unwrap()), 2);
+        assert_eq!(num_rejections(&hochberg(&ps, 0.05).unwrap()), 2);
+        // Classic separating example: [0.04, 0.04].
+        let ps = [0.04, 0.04];
+        // Holm: rank0 threshold .025 ✗ → 0 rejections.
+        // Hochberg: rank1 threshold .05 → both rejected.
+        assert_eq!(num_rejections(&holm(&ps, 0.05).unwrap()), 0);
+        assert_eq!(num_rejections(&hochberg(&ps, 0.05).unwrap()), 2);
+    }
+
+    #[test]
+    fn simes_global_reference() {
+        // min(m·p_(i)/i): m=3, ps [.01,.02,.9] → min(.03, .03, .9) = .03.
+        let p = simes_global_p(&[0.02, 0.9, 0.01]).unwrap();
+        assert!((p - 0.03).abs() < 1e-12);
+        assert_eq!(simes_global_p(&[]).unwrap(), 1.0);
+        // Capped at 1.
+        assert_eq!(simes_global_p(&[1.0, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        for f in [bonferroni, sidak, holm, hochberg] {
+            assert!(f(&[0.5], 0.0).is_err());
+            assert!(f(&[-0.1], 0.05).is_err());
+            assert!(f(&[f64::NAN], 0.05).is_err());
+        }
+        assert!(simes_global_p(&[2.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::decision::num_rejections;
+    use proptest::prelude::*;
+
+    fn pvals() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.0f64..=1.0, 1..40)
+    }
+
+    proptest! {
+        #[test]
+        fn holm_dominates_bonferroni(ps in pvals()) {
+            let b = bonferroni(&ps, 0.05).unwrap();
+            let h = holm(&ps, 0.05).unwrap();
+            // Everything Bonferroni rejects, Holm rejects too.
+            for (db, dh) in b.iter().zip(&h) {
+                if db.is_rejection() {
+                    prop_assert!(dh.is_rejection());
+                }
+            }
+        }
+
+        #[test]
+        fn hochberg_dominates_holm(ps in pvals()) {
+            let h = holm(&ps, 0.05).unwrap();
+            let hb = hochberg(&ps, 0.05).unwrap();
+            for (dh, dhb) in h.iter().zip(&hb) {
+                if dh.is_rejection() {
+                    prop_assert!(dhb.is_rejection());
+                }
+            }
+        }
+
+        #[test]
+        fn rejections_monotone_in_alpha(ps in pvals()) {
+            let lo = holm(&ps, 0.01).unwrap();
+            let hi = holm(&ps, 0.10).unwrap();
+            prop_assert!(num_rejections(&lo) <= num_rejections(&hi));
+        }
+
+        #[test]
+        fn decisions_permutation_equivariant(ps in pvals()) {
+            // Reversing the input reverses the decisions (order must not
+            // matter for batch procedures).
+            let fwd = hochberg(&ps, 0.05).unwrap();
+            let rev_ps: Vec<f64> = ps.iter().rev().copied().collect();
+            let rev = hochberg(&rev_ps, 0.05).unwrap();
+            let rev_back: Vec<_> = rev.into_iter().rev().collect();
+            prop_assert_eq!(fwd, rev_back);
+        }
+    }
+}

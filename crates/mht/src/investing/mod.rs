@@ -1,0 +1,661 @@
+//! The α-investing procedure of Foster & Stine (2008) — the paper's §5.
+//!
+//! α-investing controls the *marginal false discovery rate*
+//!
+//! ```text
+//! mFDR_η(j) = E[V(j)] / (E[R(j)] + η) ≤ α
+//! ```
+//!
+//! while being both **incremental** (no need to know the number of
+//! hypotheses upfront) and **interactive** (a decision, once announced, is
+//! never revised — the property Section 3 demands of an IDE).
+//!
+//! The machine starts with wealth `W(0) = α·η`. Before the j-th test a
+//! policy bids `αⱼ`; if the null is rejected (`pⱼ ≤ αⱼ`) the wealth grows by
+//! the payout `ω = α`, otherwise it shrinks by `αⱼ/(1−αⱼ)`. Foster & Stine
+//! prove any such policy controls mFDR_η at level α.
+//!
+//! ### Paper errata handled here (see DESIGN.md §2)
+//!
+//! * The bid bound is `αⱼ ≤ W/(1+W)` (the paper's §5.1 misprints
+//!   `W/(1−W)`); [`AlphaInvesting::max_affordable_bid`] implements the
+//!   correct bound and a unit test pins it.
+//! * δ-hopeful's acceptance charge is `αⱼ/(1−αⱼ) = W(k*)/δ` (Rule 3
+//!   misprints `W(k*)/α*`).
+//!
+//! A policy whose bid the current wealth cannot cover halts the procedure
+//! with [`MhtError::WealthExhausted`] — the moment the paper's §5.8 says the
+//! user must stop exploring.
+
+pub mod policies;
+
+use crate::decision::Decision;
+use crate::{check_alpha, check_p_value, MhtError, Result};
+
+/// Wealth below which the procedure is considered exhausted.
+///
+/// This is double-precision dust: subtracting a charge from a wealth of
+/// magnitude ~0.05 leaves round-off residuals of order 1e-18, which must
+/// count as "zero wealth" (γ-fixed is *supposed* to halt after exactly γ
+/// acceptances). Thrifty policies like β-farsighted shrink geometrically
+/// and therefore cross this floor after a few dozen consecutive
+/// acceptances — the practical rendering of the paper's remark that their
+/// budget becomes "so small it is effectively impossible to reject".
+pub const WEALTH_EPSILON: f64 = 1e-15;
+
+/// Read-only view of the procedure state passed to policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WealthState {
+    /// Target mFDR level α.
+    pub alpha: f64,
+    /// Denominator bias η in mFDR_η (commonly 1 − α).
+    pub eta: f64,
+    /// Payout ω credited on each rejection (= α per the paper).
+    pub omega: f64,
+    /// Initial wealth `W(0) = α·η`.
+    pub initial_wealth: f64,
+    /// Current wealth `W(j)`.
+    pub wealth: f64,
+    /// Number of hypotheses tested so far (j).
+    pub tests_run: usize,
+    /// Number of rejections so far (R(j)).
+    pub rejections: usize,
+    /// Wealth immediately after the most recent rejection — the `W(k*)`
+    /// that δ-hopeful re-invests. Equals `W(0)` before any rejection.
+    pub wealth_at_last_rejection: f64,
+}
+
+/// Per-test context a policy may exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestContext {
+    /// Fraction of the full dataset supporting this test, `|j|/|n| ∈ (0,1]`.
+    /// The ψ-support rule discounts bids on thinly-supported hypotheses.
+    pub support_fraction: f64,
+}
+
+impl Default for TestContext {
+    fn default() -> Self {
+        TestContext { support_fraction: 1.0 }
+    }
+}
+
+/// An α-investing bidding policy ("investing rule" in the paper).
+pub trait InvestingPolicy {
+    /// Human-readable name including parameters, e.g. `γ-fixed(γ=10)`.
+    fn name(&self) -> String;
+
+    /// The bid `αⱼ` for the next test. Must be positive and `< 1`; the
+    /// machine verifies affordability (`αⱼ/(1−αⱼ) ≤ W`) and halts the
+    /// procedure if the policy overbids its wealth.
+    fn bid(&mut self, state: &WealthState, ctx: &TestContext) -> f64;
+
+    /// Observes the outcome of the test that was just run (after the
+    /// wealth update). Policies with memory (ε-hybrid's sliding window)
+    /// hook in here; the default is a no-op.
+    fn observe(&mut self, rejected: bool, state: &WealthState) {
+        let _ = (rejected, state);
+    }
+}
+
+/// One append-only ledger row — everything the AWARE risk gauge shows
+/// about a past test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerEntry {
+    /// 0-based stream index of the hypothesis.
+    pub index: usize,
+    /// The observed p-value.
+    pub p_value: f64,
+    /// The bid `αⱼ` the policy placed.
+    pub bid: f64,
+    /// The (final, never-revised) decision.
+    pub decision: Decision,
+    /// Wealth before the test.
+    pub wealth_before: f64,
+    /// Wealth after the payout/charge.
+    pub wealth_after: f64,
+}
+
+/// The α-investing testing machine.
+///
+/// Generic over the policy so policy state lives inline (no boxing in hot
+/// simulation loops); use `AlphaInvesting<Box<dyn InvestingPolicy>>` when
+/// dynamic dispatch is preferred — the trait is object-safe.
+#[derive(Debug, Clone)]
+pub struct AlphaInvesting<P> {
+    state: WealthState,
+    policy: P,
+    ledger: Vec<LedgerEntry>,
+}
+
+impl<P: InvestingPolicy> AlphaInvesting<P> {
+    /// Creates a machine controlling `mFDR_η` at level `alpha` with payout
+    /// `ω = alpha` and initial wealth `W(0) = alpha·eta` (the paper's
+    /// recommended configuration; `eta = 1 − alpha` additionally gives weak
+    /// FWER control).
+    pub fn new(alpha: f64, eta: f64, policy: P) -> Result<AlphaInvesting<P>> {
+        Self::with_payout(alpha, eta, alpha, policy)
+    }
+
+    /// Fully parameterized constructor; `omega ≤ alpha` is required for the
+    /// mFDR guarantee of Foster & Stine.
+    pub fn with_payout(alpha: f64, eta: f64, omega: f64, policy: P) -> Result<AlphaInvesting<P>> {
+        check_alpha(alpha, "AlphaInvesting")?;
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Err(MhtError::InvalidParameter {
+                context: "AlphaInvesting",
+                constraint: "0 < eta <= 1",
+                value: eta,
+            });
+        }
+        if !(omega > 0.0 && omega <= alpha) {
+            return Err(MhtError::InvalidParameter {
+                context: "AlphaInvesting",
+                constraint: "0 < omega <= alpha",
+                value: omega,
+            });
+        }
+        let w0 = alpha * eta;
+        Ok(AlphaInvesting {
+            state: WealthState {
+                alpha,
+                eta,
+                omega,
+                initial_wealth: w0,
+                wealth: w0,
+                tests_run: 0,
+                rejections: 0,
+                wealth_at_last_rejection: w0,
+            },
+            policy,
+            ledger: Vec::new(),
+        })
+    }
+
+    /// Current wealth `W(j)`.
+    pub fn wealth(&self) -> f64 {
+        self.state.wealth
+    }
+
+    /// The target level α.
+    pub fn alpha(&self) -> f64 {
+        self.state.alpha
+    }
+
+    /// Snapshot of the full state (for UIs and logging).
+    pub fn state(&self) -> &WealthState {
+        &self.state
+    }
+
+    /// Name of the underlying policy.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Number of tests run.
+    pub fn tests_run(&self) -> usize {
+        self.state.tests_run
+    }
+
+    /// Number of rejections (discoveries) so far.
+    pub fn rejections(&self) -> usize {
+        self.state.rejections
+    }
+
+    /// Largest bid the current wealth can cover: `α_max = W/(1+W)`
+    /// (charging `α_max/(1−α_max) = W` would zero the wealth exactly).
+    pub fn max_affordable_bid(&self) -> f64 {
+        let w = self.state.wealth.max(0.0);
+        w / (1.0 + w)
+    }
+
+    /// True when at least some positive bid is still affordable.
+    pub fn can_continue(&self) -> bool {
+        self.state.wealth > WEALTH_EPSILON
+    }
+
+    /// The append-only ledger of every test run so far.
+    pub fn ledger(&self) -> &[LedgerEntry] {
+        &self.ledger
+    }
+
+    /// Final decisions in stream order (a projection of the ledger).
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.ledger.iter().map(|e| e.decision).collect()
+    }
+
+    /// Tests the next hypothesis with full support (`|j| = |n|`).
+    pub fn test(&mut self, p_value: f64) -> Result<LedgerEntry> {
+        self.test_with_context(p_value, TestContext::default())
+    }
+
+    /// Tests the next hypothesis, exposing its support fraction to the
+    /// policy (ψ-support consumes this; other policies ignore it).
+    pub fn test_with_support(&mut self, p_value: f64, support_fraction: f64) -> Result<LedgerEntry> {
+        if !(support_fraction > 0.0 && support_fraction <= 1.0) {
+            return Err(MhtError::InvalidParameter {
+                context: "AlphaInvesting::test_with_support",
+                constraint: "0 < support_fraction <= 1",
+                value: support_fraction,
+            });
+        }
+        self.test_with_context(p_value, TestContext { support_fraction })
+    }
+
+    fn test_with_context(&mut self, p_value: f64, ctx: TestContext) -> Result<LedgerEntry> {
+        check_p_value(p_value, "AlphaInvesting::test")?;
+        if !self.can_continue() {
+            return Err(MhtError::WealthExhausted {
+                tests_run: self.state.tests_run,
+                remaining_wealth: self.state.wealth.max(0.0),
+            });
+        }
+        let bid = self.policy.bid(&self.state, &ctx);
+        if !bid.is_finite() || bid <= 0.0 || bid >= 1.0 {
+            return Err(MhtError::InvalidParameter {
+                context: "InvestingPolicy::bid",
+                constraint: "0 < bid < 1",
+                value: bid,
+            });
+        }
+        // Affordability: the acceptance charge must not drive wealth
+        // negative. A small epsilon forgives floating-point round-off in
+        // policies that bid their exact budget (γ-fixed does).
+        let charge = bid / (1.0 - bid);
+        if charge > self.state.wealth + 1e-9 {
+            return Err(MhtError::WealthExhausted {
+                tests_run: self.state.tests_run,
+                remaining_wealth: self.state.wealth,
+            });
+        }
+
+        let wealth_before = self.state.wealth;
+        let decision = Decision::from_threshold(p_value, bid);
+        let rejected = decision.is_rejection();
+        if rejected {
+            self.state.wealth += self.state.omega;
+        } else {
+            self.state.wealth = (self.state.wealth - charge).max(0.0);
+        }
+        self.state.tests_run += 1;
+        if rejected {
+            self.state.rejections += 1;
+            self.state.wealth_at_last_rejection = self.state.wealth;
+        }
+        debug_assert!(self.state.wealth >= 0.0, "wealth must stay non-negative");
+        self.policy.observe(rejected, &self.state);
+
+        let entry = LedgerEntry {
+            index: self.state.tests_run - 1,
+            p_value,
+            bid,
+            decision,
+            wealth_before,
+            wealth_after: self.state.wealth,
+        };
+        self.ledger.push(entry);
+        Ok(entry)
+    }
+
+    /// Runs an entire p-value stream, stopping early (without error) if the
+    /// wealth is exhausted; remaining hypotheses are accepted by default,
+    /// mirroring how the paper's experiments score a halted procedure.
+    pub fn decide_stream(&mut self, p_values: &[f64]) -> Result<Vec<Decision>> {
+        let mut decisions = Vec::with_capacity(p_values.len());
+        for &p in p_values {
+            match self.test(p) {
+                Ok(entry) => decisions.push(entry.decision),
+                Err(MhtError::WealthExhausted { .. }) => decisions.push(Decision::Accept),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(decisions)
+    }
+
+    /// Like [`Self::decide_stream`] with per-test support fractions.
+    pub fn decide_stream_with_support(
+        &mut self,
+        p_values: &[f64],
+        support_fractions: &[f64],
+    ) -> Result<Vec<Decision>> {
+        if p_values.len() != support_fractions.len() {
+            return Err(MhtError::LengthMismatch {
+                context: "decide_stream_with_support",
+                left: p_values.len(),
+                right: support_fractions.len(),
+            });
+        }
+        let mut decisions = Vec::with_capacity(p_values.len());
+        for (&p, &f) in p_values.iter().zip(support_fractions) {
+            match self.test_with_support(p, f) {
+                Ok(entry) => decisions.push(entry.decision),
+                Err(MhtError::WealthExhausted { .. }) => decisions.push(Decision::Accept),
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(decisions)
+    }
+}
+
+impl InvestingPolicy for Box<dyn InvestingPolicy> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn bid(&mut self, state: &WealthState, ctx: &TestContext) -> f64 {
+        self.as_mut().bid(state, ctx)
+    }
+
+    fn observe(&mut self, rejected: bool, state: &WealthState) {
+        self.as_mut().observe(rejected, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::policies::{best_foot_forward, Farsighted, Fixed, Hopeful};
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(AlphaInvesting::new(0.0, 0.95, Fixed::new(10.0)).is_err());
+        assert!(AlphaInvesting::new(0.05, 0.0, Fixed::new(10.0)).is_err());
+        assert!(AlphaInvesting::new(0.05, 1.5, Fixed::new(10.0)).is_err());
+        assert!(AlphaInvesting::with_payout(0.05, 0.95, 0.06, Fixed::new(10.0)).is_err());
+        assert!(AlphaInvesting::with_payout(0.05, 0.95, 0.0, Fixed::new(10.0)).is_err());
+        let m = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        assert!((m.wealth() - 0.0475).abs() < 1e-15);
+        assert!(m.can_continue());
+        assert_eq!(m.tests_run(), 0);
+    }
+
+    #[test]
+    fn max_affordable_bid_is_w_over_one_plus_w() {
+        // Paper erratum: αⱼ ≤ W/(1+W), not W/(1−W). Charging the max bid
+        // must zero the wealth exactly, never overdraw it.
+        let m = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        let w = m.wealth();
+        let a_max = m.max_affordable_bid();
+        assert!((a_max - w / (1.0 + w)).abs() < 1e-15);
+        let charge = a_max / (1.0 - a_max);
+        assert!((charge - w).abs() < 1e-12);
+        // The misprinted bound would overdraw:
+        let bad = w / (1.0 - w);
+        assert!(bad / (1.0 - bad) > w);
+    }
+
+    #[test]
+    fn rejection_pays_omega_acceptance_charges_odds() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        let w0 = m.wealth();
+        let e = m.test(1e-6).unwrap(); // far below any bid → reject
+        assert_eq!(e.decision, Decision::Reject);
+        assert!((e.wealth_after - (w0 + 0.05)).abs() < 1e-12);
+        assert_eq!(m.rejections(), 1);
+
+        let w1 = m.wealth();
+        let e = m.test(0.99).unwrap(); // accept
+        assert_eq!(e.decision, Decision::Accept);
+        let expected_charge = e.bid / (1.0 - e.bid);
+        assert!((w1 - e.wealth_after - expected_charge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_p_value_equal_to_bid_rejects() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        let bid = 0.0475 / (10.0 + 0.0475);
+        let e = m.test(bid).unwrap();
+        assert_eq!(e.decision, Decision::Reject);
+    }
+
+    #[test]
+    fn fixed_policy_exhausts_after_gamma_acceptances() {
+        // γ-fixed charges exactly W(0)/γ per acceptance, so γ consecutive
+        // acceptances spend the whole wealth and the (γ+1)-th test errors.
+        let gamma = 10.0;
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(gamma)).unwrap();
+        for i in 0..10 {
+            let e = m.test(0.9).expect("affordable");
+            assert_eq!(e.decision, Decision::Accept, "test {i}");
+        }
+        assert!(m.wealth() < 1e-12, "wealth {:.2e}", m.wealth());
+        let err = m.test(0.9).unwrap_err();
+        assert!(matches!(err, MhtError::WealthExhausted { tests_run: 10, .. }));
+        assert!(!m.can_continue());
+    }
+
+    #[test]
+    fn farsighted_preserves_beta_fraction() {
+        // All-acceptance stream: W(j) = β^j · W(0) exactly (Rule 1 line 7).
+        let beta = 0.25;
+        let mut m = AlphaInvesting::new(0.05, 0.95, Farsighted::new(beta).unwrap()).unwrap();
+        let w0 = m.wealth();
+        for j in 1..=6 {
+            m.test(0.9).unwrap();
+            let expected = w0 * beta.powi(j);
+            assert!(
+                (m.wealth() - expected).abs() < 1e-12,
+                "W({j}) = {}, expected {expected}",
+                m.wealth()
+            );
+        }
+        // Thrifty: still solvent after further losses (wealth shrinks
+        // geometrically, staying above the f64-dust floor for ~22 tests at
+        // β = 0.25; in exact arithmetic it never reaches zero).
+        for _ in 0..15 {
+            m.test(0.9).unwrap();
+        }
+        assert!(m.can_continue());
+    }
+
+    #[test]
+    fn best_foot_forward_spends_everything_on_first_acceptance() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, best_foot_forward()).unwrap();
+        m.test(0.9).unwrap();
+        // β = 0 ⇒ W(1) = 0 after one acceptance.
+        assert!(m.wealth() < 1e-12);
+        assert!(m.test(0.5).is_err());
+    }
+
+    #[test]
+    fn hopeful_reinvests_after_rejection() {
+        let delta = 10.0;
+        let mut m = AlphaInvesting::new(0.05, 0.95, Hopeful::new(delta)).unwrap();
+        let first_bid = m.test(0.9).unwrap().bid;
+        // Force a rejection; subsequent bid re-anchors on the richer W(k*).
+        let reject_entry = m.test(1e-9).unwrap();
+        assert_eq!(reject_entry.decision, Decision::Reject);
+        let post_rejection_bid = m.test(0.9).unwrap().bid;
+        assert!(
+            post_rejection_bid > first_bid,
+            "bid should grow after re-investment: {post_rejection_bid} vs {first_bid}"
+        );
+    }
+
+    #[test]
+    fn ledger_records_every_test_in_order() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(20.0)).unwrap();
+        let ps = [0.5, 0.0001, 0.3, 0.9];
+        for &p in &ps {
+            m.test(p).unwrap();
+        }
+        let ledger = m.ledger();
+        assert_eq!(ledger.len(), 4);
+        for (i, e) in ledger.iter().enumerate() {
+            assert_eq!(e.index, i);
+            assert_eq!(e.p_value, ps[i]);
+            assert!(e.wealth_after >= 0.0);
+        }
+        // Wealth chain is consistent: after[i] == before[i+1].
+        for w in ledger.windows(2) {
+            assert!((w[0].wealth_after - w[1].wealth_before).abs() < 1e-15);
+        }
+        assert_eq!(m.decisions().len(), 4);
+    }
+
+    #[test]
+    fn decide_stream_prefix_stability() {
+        // The decisions on a prefix equal the prefix of decisions on the
+        // full stream — the "incremental and interactive" property.
+        let ps: Vec<f64> = (0..40).map(|i| ((i * 37 % 100) as f64 + 0.5) / 101.0).collect();
+        let full = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0))
+            .unwrap()
+            .decide_stream(&ps)
+            .unwrap();
+        for k in 1..ps.len() {
+            let prefix = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0))
+                .unwrap()
+                .decide_stream(&ps[..k])
+                .unwrap();
+            assert_eq!(prefix, full[..k].to_vec(), "prefix length {k}");
+        }
+    }
+
+    #[test]
+    fn decide_stream_pads_acceptances_after_exhaustion() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(5.0)).unwrap();
+        let ps = vec![0.9; 12];
+        let ds = m.decide_stream(&ps).unwrap();
+        assert_eq!(ds.len(), 12);
+        assert!(ds.iter().all(|d| !d.is_rejection()));
+        assert_eq!(m.tests_run(), 5, "only 5 tests were affordable");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mut m = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        assert!(m.test(f64::NAN).is_err());
+        assert!(m.test(-0.1).is_err());
+        assert!(m.test_with_support(0.5, 0.0).is_err());
+        assert!(m.test_with_support(0.5, 1.5).is_err());
+        assert!(m
+            .decide_stream_with_support(&[0.5, 0.5], &[1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn boxed_policies_work_through_trait_object() {
+        let policy: Box<dyn InvestingPolicy> = Box::new(Fixed::new(10.0));
+        let mut m = AlphaInvesting::new(0.05, 0.95, policy).unwrap();
+        assert!(m.policy_name().contains("fixed"));
+        m.test(0.001).unwrap();
+        assert_eq!(m.rejections(), 1);
+    }
+
+    #[test]
+    fn wealth_never_negative_under_adversarial_stream() {
+        // Alternate barely-accepted and barely-rejected p-values across
+        // many policies; wealth must never dip below zero.
+        let policies: Vec<Box<dyn InvestingPolicy>> = vec![
+            Box::new(Fixed::new(2.0)),
+            Box::new(Farsighted::new(0.5).unwrap()),
+            Box::new(Hopeful::new(3.0)),
+        ];
+        for policy in policies {
+            let mut m = AlphaInvesting::new(0.05, 0.95, policy).unwrap();
+            for i in 0..200 {
+                let p = if i % 3 == 0 { 1e-8 } else { 0.999 };
+                match m.test(p) {
+                    Ok(e) => assert!(e.wealth_after >= 0.0),
+                    Err(MhtError::WealthExhausted { .. }) => break,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    //! Monte-Carlo verification of the mFDR guarantee.
+
+    use super::policies::{EpsilonHybrid, Farsighted, Fixed, Hopeful, SupportScaled};
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Under the complete null (uniform p-values), mFDR control at α with
+    /// η = 1 − α implies E[V] ≤ α per session (§5.1 of the paper). We run
+    /// many sessions and check the empirical mean with a generous CI.
+    fn empirical_false_discoveries<F>(make: F) -> f64
+    where
+        F: Fn() -> AlphaInvesting<Box<dyn InvestingPolicy>>,
+    {
+        let sessions = 3000;
+        let tests_per_session = 60;
+        let mut rng = SmallRng::seed_from_u64(0xA11CE);
+        let mut total_rejections = 0usize;
+        for _ in 0..sessions {
+            let mut m = make();
+            for _ in 0..tests_per_session {
+                let p: f64 = rng.gen();
+                match m.test(p) {
+                    Ok(_) => {}
+                    Err(MhtError::WealthExhausted { .. }) => break,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            total_rejections += m.rejections();
+        }
+        total_rejections as f64 / sessions as f64
+    }
+
+    #[test]
+    fn all_policies_control_expected_false_discoveries_under_null() {
+        let makers: Vec<(&str, Box<dyn Fn() -> AlphaInvesting<Box<dyn InvestingPolicy>>>)> = vec![
+            (
+                "γ-fixed",
+                Box::new(|| {
+                    AlphaInvesting::new(0.05, 0.95, Box::new(Fixed::new(10.0)) as Box<dyn InvestingPolicy>)
+                        .unwrap()
+                }),
+            ),
+            (
+                "β-farsighted",
+                Box::new(|| {
+                    AlphaInvesting::new(
+                        0.05,
+                        0.95,
+                        Box::new(Farsighted::new(0.25).unwrap()) as Box<dyn InvestingPolicy>,
+                    )
+                    .unwrap()
+                }),
+            ),
+            (
+                "δ-hopeful",
+                Box::new(|| {
+                    AlphaInvesting::new(0.05, 0.95, Box::new(Hopeful::new(10.0)) as Box<dyn InvestingPolicy>)
+                        .unwrap()
+                }),
+            ),
+            (
+                "ε-hybrid",
+                Box::new(|| {
+                    AlphaInvesting::new(
+                        0.05,
+                        0.95,
+                        Box::new(EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap())
+                            as Box<dyn InvestingPolicy>,
+                    )
+                    .unwrap()
+                }),
+            ),
+            (
+                "ψ-support",
+                Box::new(|| {
+                    AlphaInvesting::new(
+                        0.05,
+                        0.95,
+                        Box::new(SupportScaled::new(Fixed::new(10.0), 0.5).unwrap())
+                            as Box<dyn InvestingPolicy>,
+                    )
+                    .unwrap()
+                }),
+            ),
+        ];
+        for (name, make) in makers {
+            let mean_v = empirical_false_discoveries(&*make);
+            // E[V] ≤ α = 0.05; allow Monte-Carlo slack (σ/√n is ~0.005).
+            assert!(mean_v <= 0.05 + 0.015, "{name}: E[V] = {mean_v}");
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The investing rules of the paper's §5.3–§5.7, plus Foster & Stine's
+//! best-foot-forward as the β = 0 degenerate case of β-farsighted.
+//!
+//! | Rule | Policy | Character |
+//! |------|--------|-----------|
+//! | 1 | [`Farsighted`] (β) | thrifty: always preserves a β fraction of wealth |
+//! | 2 | [`Fixed`] (γ) | constant bid `W(0)/(γ+W(0))`; halts after γ net acceptances |
+//! | 3 | [`Hopeful`] (δ) | re-invests the wealth of the last rejection over the next δ tests |
+//! | 4 | [`EpsilonHybrid`] (ε) | switches between γ-fixed and δ-hopeful on estimated data randomness |
+//! | 5 | [`SupportScaled`] (ψ) | discounts any base policy's bid by `(|j|/|n|)^ψ` |
+//!
+//! Parameter defaults used throughout the evaluation (§7.2): β = 0.25,
+//! γ = 10, δ = 10, ε = 0.5 with an unlimited window, ψ = ½ over γ-fixed.
+
+use super::{InvestingPolicy, TestContext, WealthState};
+use crate::{MhtError, Result};
+use std::collections::VecDeque;
+
+/// Clamps a bid to the open interval (0, 1) against floating-point edge
+/// cases; policies compute bids < 1 by construction, this is a guard rail.
+fn sanitize(bid: f64) -> f64 {
+    bid.clamp(f64::MIN_POSITIVE, 1.0 - 1e-12)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: β-farsighted
+// ---------------------------------------------------------------------------
+
+/// β-farsighted (Investing Rule 1): bid so that even a loss preserves at
+/// least a β fraction of the current wealth:
+///
+/// `αⱼ = min(α, x/(1+x))` with `x = W(j−1)·(1−β)`, so an acceptance leaves
+/// `W(j) = β·W(j−1)` exactly.
+///
+/// Thrifty — the procedure never halts, though after a long acceptance run
+/// the bids become too small to reject anything. β = 0 recovers Foster &
+/// Stine's *best-foot-forward* policy (bid everything, every time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Farsighted {
+    beta: f64,
+}
+
+impl Farsighted {
+    /// Creates the policy; requires `0 ≤ beta < 1`.
+    pub fn new(beta: f64) -> Result<Farsighted> {
+        if !(0.0..1.0).contains(&beta) {
+            return Err(MhtError::InvalidParameter {
+                context: "Farsighted::new",
+                constraint: "0 <= beta < 1",
+                value: beta,
+            });
+        }
+        Ok(Farsighted { beta })
+    }
+
+    /// The preservation fraction β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl InvestingPolicy for Farsighted {
+    fn name(&self) -> String {
+        if self.beta == 0.0 {
+            "best-foot-forward".to_owned()
+        } else {
+            format!("β-farsighted(β={})", self.beta)
+        }
+    }
+
+    fn bid(&mut self, state: &WealthState, _ctx: &TestContext) -> f64 {
+        let x = state.wealth * (1.0 - self.beta);
+        sanitize(state.alpha.min(x / (1.0 + x)))
+    }
+}
+
+/// Foster & Stine's best-foot-forward policy: β-farsighted with β = 0.
+/// Commits the entire remaining wealth to every test; one unlucky
+/// acceptance ends the session.
+pub fn best_foot_forward() -> Farsighted {
+    Farsighted { beta: 0.0 }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: γ-fixed
+// ---------------------------------------------------------------------------
+
+/// γ-fixed (Investing Rule 2): every test gets the same bid
+/// `α* = W(0)/(γ + W(0))`, whose acceptance charge is exactly `W(0)/γ` —
+/// the initial wealth spread evenly over γ losses.
+///
+/// Non-thrifty: γ net acceptances exhaust the wealth and the machine halts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fixed {
+    gamma: f64,
+}
+
+impl Fixed {
+    /// Creates the policy. `gamma` is the number of losses the initial
+    /// wealth must survive; the paper suggests 5–20 for confident sessions
+    /// and 50–100 for conservative ones. Values `< 1` are rejected at bid
+    /// time by the affordability check, so the constructor only requires
+    /// positivity.
+    pub fn new(gamma: f64) -> Fixed {
+        Fixed { gamma: gamma.max(f64::MIN_POSITIVE) }
+    }
+
+    /// The spreading factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl InvestingPolicy for Fixed {
+    fn name(&self) -> String {
+        format!("γ-fixed(γ={})", self.gamma)
+    }
+
+    fn bid(&mut self, state: &WealthState, _ctx: &TestContext) -> f64 {
+        sanitize(state.initial_wealth / (self.gamma + state.initial_wealth))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: δ-hopeful
+// ---------------------------------------------------------------------------
+
+/// δ-hopeful (Investing Rule 3): bids `min(α, W(k*)/(δ + W(k*)))` where
+/// `W(k*)` is the wealth right after the most recent rejection (`W(0)`
+/// before any) — "hoping" one of the next δ tests rejects, and re-investing
+/// the entire winnings when it does.
+///
+/// More aggressive than γ-fixed: on signal-rich data the growing `W(k*)`
+/// raises every subsequent bid; on random data the fixed anchor drains in
+/// ~δ acceptances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hopeful {
+    delta: f64,
+}
+
+impl Hopeful {
+    /// Creates the policy with horizon `delta` (paper default 10).
+    pub fn new(delta: f64) -> Hopeful {
+        Hopeful { delta: delta.max(f64::MIN_POSITIVE) }
+    }
+
+    /// The hope horizon δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl InvestingPolicy for Hopeful {
+    fn name(&self) -> String {
+        format!("δ-hopeful(δ={})", self.delta)
+    }
+
+    fn bid(&mut self, state: &WealthState, _ctx: &TestContext) -> f64 {
+        let anchor = state.wealth_at_last_rejection;
+        sanitize(state.alpha.min(anchor / (self.delta + anchor)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: ε-hybrid
+// ---------------------------------------------------------------------------
+
+/// ε-hybrid (Investing Rule 4): estimates the data's randomness from the
+/// rejection rate over a sliding window of recent outcomes and switches
+/// between the γ-fixed arm (high randomness: rejection rate ≤ ε) and the
+/// δ-hopeful arm (low randomness: rejection rate > ε).
+///
+/// `window = None` means an unlimited window — the configuration used in
+/// the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct EpsilonHybrid {
+    gamma: f64,
+    delta: f64,
+    epsilon: f64,
+    window: Option<usize>,
+    history: VecDeque<bool>,
+    rejections_in_window: usize,
+}
+
+impl EpsilonHybrid {
+    /// Creates the policy; requires `0 < epsilon < 1` and a non-zero window
+    /// when one is given.
+    pub fn new(gamma: f64, delta: f64, epsilon: f64, window: Option<usize>) -> Result<EpsilonHybrid> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(MhtError::InvalidParameter {
+                context: "EpsilonHybrid::new",
+                constraint: "0 < epsilon < 1",
+                value: epsilon,
+            });
+        }
+        if window == Some(0) {
+            return Err(MhtError::InvalidParameter {
+                context: "EpsilonHybrid::new",
+                constraint: "window >= 1 when bounded",
+                value: 0.0,
+            });
+        }
+        Ok(EpsilonHybrid {
+            gamma: gamma.max(f64::MIN_POSITIVE),
+            delta: delta.max(f64::MIN_POSITIVE),
+            epsilon,
+            window,
+            history: VecDeque::new(),
+            rejections_in_window: 0,
+        })
+    }
+
+    /// True when the recent rejection rate classifies the data as "highly
+    /// random", selecting the conservative γ-fixed arm.
+    pub fn in_random_regime(&self) -> bool {
+        // Paper erratum: Rule 4 line 5 prints `Rejected(H_d) ≤ |H_d|`
+        // (vacuously true); the intended comparison is against ε·|H_d|.
+        self.rejections_in_window as f64 <= self.epsilon * self.history.len() as f64
+    }
+}
+
+impl InvestingPolicy for EpsilonHybrid {
+    fn name(&self) -> String {
+        format!("ε-hybrid(ε={})", self.epsilon)
+    }
+
+    fn bid(&mut self, state: &WealthState, _ctx: &TestContext) -> f64 {
+        let bid = if self.in_random_regime() {
+            state.initial_wealth / (self.gamma + state.initial_wealth)
+        } else {
+            let anchor = state.wealth_at_last_rejection;
+            state.alpha.min(anchor / (self.delta + anchor))
+        };
+        sanitize(bid)
+    }
+
+    fn observe(&mut self, rejected: bool, _state: &WealthState) {
+        self.history.push_back(rejected);
+        if rejected {
+            self.rejections_in_window += 1;
+        }
+        if let Some(w) = self.window {
+            while self.history.len() > w {
+                if self.history.pop_front() == Some(true) {
+                    self.rejections_in_window -= 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: ψ-support
+// ---------------------------------------------------------------------------
+
+/// ψ-support (Investing Rule 5): wraps any base policy and discounts its
+/// bid by `(|j|/|n|)^ψ` — hypotheses computed over a small filtered
+/// sub-population receive proportionally less trust, because small-support
+/// tests are where spurious "interesting" patterns live (§5.7).
+///
+/// The paper instantiates this over γ-fixed with ψ = ½; the wrapper is
+/// generic so any rule can be support-scaled.
+#[derive(Debug, Clone)]
+pub struct SupportScaled<P> {
+    base: P,
+    psi: f64,
+}
+
+impl<P: InvestingPolicy> SupportScaled<P> {
+    /// Wraps `base`, discounting bids by `support_fraction^psi`.
+    /// Suggested ψ values: 1, ⅔, ½, ⅓ (paper §5.7); default ½.
+    pub fn new(base: P, psi: f64) -> Result<SupportScaled<P>> {
+        if !(psi > 0.0) || !psi.is_finite() {
+            return Err(MhtError::InvalidParameter {
+                context: "SupportScaled::new",
+                constraint: "psi > 0",
+                value: psi,
+            });
+        }
+        Ok(SupportScaled { base, psi })
+    }
+
+    /// The support exponent ψ.
+    pub fn psi(&self) -> f64 {
+        self.psi
+    }
+}
+
+/// The paper's Rule 5 instantiation: ψ-support over γ-fixed.
+pub fn psi_support(gamma: f64, psi: f64) -> Result<SupportScaled<Fixed>> {
+    SupportScaled::new(Fixed::new(gamma), psi)
+}
+
+impl<P: InvestingPolicy> InvestingPolicy for SupportScaled<P> {
+    fn name(&self) -> String {
+        format!("ψ-support(ψ={}, base={})", self.psi, self.base.name())
+    }
+
+    fn bid(&mut self, state: &WealthState, ctx: &TestContext) -> f64 {
+        let base_bid = self.base.bid(state, ctx);
+        sanitize(base_bid * ctx.support_fraction.powf(self.psi))
+    }
+
+    fn observe(&mut self, rejected: bool, state: &WealthState) {
+        self.base.observe(rejected, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::investing::AlphaInvesting;
+
+    pub(super) fn state(wealth: f64) -> WealthState {
+        WealthState {
+            alpha: 0.05,
+            eta: 0.95,
+            omega: 0.05,
+            initial_wealth: 0.0475,
+            wealth,
+            tests_run: 0,
+            rejections: 0,
+            wealth_at_last_rejection: 0.0475,
+        }
+    }
+
+    #[test]
+    fn farsighted_bid_formula() {
+        let mut p = Farsighted::new(0.25).unwrap();
+        let s = state(0.0475);
+        let x: f64 = 0.0475 * 0.75;
+        let expected = (x / (1.0 + x)).min(0.05);
+        assert!((p.bid(&s, &TestContext::default()) - expected).abs() < 1e-15);
+        // Large wealth caps at α.
+        let s = state(5.0);
+        assert!((p.bid(&s, &TestContext::default()) - 0.05).abs() < 1e-15);
+        assert!(Farsighted::new(1.0).is_err());
+        assert!(Farsighted::new(-0.1).is_err());
+        assert_eq!(Farsighted::new(0.25).unwrap().beta(), 0.25);
+    }
+
+    #[test]
+    fn fixed_bid_is_constant_regardless_of_wealth() {
+        let mut p = Fixed::new(10.0);
+        let expected = 0.0475 / (10.0 + 0.0475);
+        assert!((p.bid(&state(0.0475), &TestContext::default()) - expected).abs() < 1e-15);
+        assert!((p.bid(&state(0.9), &TestContext::default()) - expected).abs() < 1e-15);
+        assert!((p.bid(&state(0.001), &TestContext::default()) - expected).abs() < 1e-15);
+        assert_eq!(p.gamma(), 10.0);
+    }
+
+    #[test]
+    fn hopeful_anchors_on_last_rejection_wealth() {
+        let mut p = Hopeful::new(10.0);
+        let mut s = state(0.01); // wealth has drained …
+        s.wealth_at_last_rejection = 0.0475; // … but anchor is W(0)
+        let expected = 0.0475 / (10.0 + 0.0475);
+        assert!((p.bid(&s, &TestContext::default()) - expected).abs() < 1e-15);
+        // After a rejection raised the anchor:
+        s.wealth_at_last_rejection = 0.2;
+        let expected = (0.2 / 10.2f64).min(0.05);
+        assert!((p.bid(&s, &TestContext::default()) - expected).abs() < 1e-15);
+        assert_eq!(p.delta(), 10.0);
+    }
+
+    #[test]
+    fn hybrid_switches_between_arms() {
+        let mut p = EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap();
+        let s = state(0.0475);
+        // No history → random regime → γ-fixed arm.
+        assert!(p.in_random_regime());
+        let fixed_bid = Fixed::new(10.0).bid(&state(0.0475), &TestContext::default());
+        assert!((p.bid(&s, &TestContext::default()) - fixed_bid).abs() < 1e-15);
+        // Three rejections out of four → rate 0.75 > ε → hopeful arm.
+        for rejected in [true, true, true, false] {
+            p.observe(rejected, &s);
+        }
+        assert!(!p.in_random_regime());
+        let mut s2 = s;
+        s2.wealth_at_last_rejection = 0.3;
+        let hopeful_bid = Hopeful::new(10.0).bid(&s2, &TestContext::default());
+        assert!((p.bid(&s2, &TestContext::default()) - hopeful_bid).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hybrid_sliding_window_forgets() {
+        let mut p = EpsilonHybrid::new(10.0, 10.0, 0.5, Some(3)).unwrap();
+        let s = state(0.0475);
+        for rejected in [true, true, true] {
+            p.observe(rejected, &s);
+        }
+        assert!(!p.in_random_regime());
+        // Three acceptances push the rejections out of the window.
+        for _ in 0..3 {
+            p.observe(false, &s);
+        }
+        assert!(p.in_random_regime());
+    }
+
+    #[test]
+    fn hybrid_constructor_validation() {
+        assert!(EpsilonHybrid::new(10.0, 10.0, 0.0, None).is_err());
+        assert!(EpsilonHybrid::new(10.0, 10.0, 1.0, None).is_err());
+        assert!(EpsilonHybrid::new(10.0, 10.0, 0.5, Some(0)).is_err());
+    }
+
+    #[test]
+    fn support_scales_bid_by_power_of_fraction() {
+        let mut p = psi_support(10.0, 0.5).unwrap();
+        let s = state(0.0475);
+        let full = p.bid(&s, &TestContext { support_fraction: 1.0 });
+        let quarter = p.bid(&s, &TestContext { support_fraction: 0.25 });
+        assert!((quarter - full * 0.5).abs() < 1e-15, "√0.25 = 0.5 scaling");
+        let mut linear = psi_support(10.0, 1.0).unwrap();
+        let tenth = linear.bid(&s, &TestContext { support_fraction: 0.1 });
+        let base = linear.bid(&s, &TestContext { support_fraction: 1.0 });
+        assert!((tenth - base * 0.1).abs() < 1e-15);
+        assert!(SupportScaled::new(Fixed::new(10.0), 0.0).is_err());
+        assert!(SupportScaled::new(Fixed::new(10.0), f64::NAN).is_err());
+        assert_eq!(psi_support(10.0, 0.5).unwrap().psi(), 0.5);
+    }
+
+    #[test]
+    fn names_identify_parameters() {
+        assert_eq!(Farsighted::new(0.25).unwrap().name(), "β-farsighted(β=0.25)");
+        assert_eq!(best_foot_forward().name(), "best-foot-forward");
+        assert_eq!(Fixed::new(10.0).name(), "γ-fixed(γ=10)");
+        assert_eq!(Hopeful::new(10.0).name(), "δ-hopeful(δ=10)");
+        assert!(EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap().name().contains("0.5"));
+        assert!(psi_support(10.0, 0.5).unwrap().name().contains("γ-fixed"));
+    }
+
+    #[test]
+    fn psi_support_spends_slower_on_small_support() {
+        // Two identical all-acceptance streams, one at full support and one
+        // at 10% support: the support-scaled run must retain more wealth.
+        let run = |fraction: f64| {
+            let mut m = AlphaInvesting::new(0.05, 0.95, psi_support(10.0, 0.5).unwrap()).unwrap();
+            for _ in 0..8 {
+                m.test_with_support(0.9, fraction).unwrap();
+            }
+            m.wealth()
+        };
+        assert!(run(0.1) > run(1.0));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn all_bids_in_open_unit_interval(
+            wealth in 1e-9f64..10.0,
+            anchor in 1e-9f64..10.0,
+            beta in 0.0f64..0.999,
+            gamma in 0.1f64..1000.0,
+            delta in 0.1f64..1000.0,
+            fraction in 1e-6f64..=1.0,
+        ) {
+            let mut s = super::tests::state(wealth);
+            s.wealth_at_last_rejection = anchor;
+            let ctx = TestContext { support_fraction: fraction };
+            let mut policies: Vec<Box<dyn InvestingPolicy>> = vec![
+                Box::new(Farsighted::new(beta).unwrap()),
+                Box::new(Fixed::new(gamma)),
+                Box::new(Hopeful::new(delta)),
+                Box::new(EpsilonHybrid::new(gamma, delta, 0.5, Some(8)).unwrap()),
+                Box::new(psi_support(gamma, 0.5).unwrap()),
+            ];
+            for p in policies.iter_mut() {
+                let bid = p.bid(&s, &ctx);
+                prop_assert!(bid > 0.0 && bid < 1.0, "{}: bid {bid}", p.name());
+            }
+        }
+
+        #[test]
+        fn farsighted_bid_never_exceeds_affordability(
+            wealth in 1e-9f64..10.0,
+            beta in 0.0f64..0.999,
+        ) {
+            let s = super::tests::state(wealth);
+            let mut p = Farsighted::new(beta).unwrap();
+            let bid = p.bid(&s, &TestContext::default());
+            // Charge must not exceed wealth: bid/(1-bid) <= wealth.
+            prop_assert!(bid / (1.0 - bid) <= wealth * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # aware-mht
+//!
+//! Multiple-hypothesis-testing procedures for the AWARE reproduction
+//! (*Zhao et al., "Controlling False Discoveries During Interactive Data
+//! Exploration"*, SIGMOD 2017).
+//!
+//! The crate implements every procedure the paper evaluates or discusses,
+//! organized by the taxonomy of its §4–§5:
+//!
+//! | Class | Procedures | Module |
+//! |-------|-----------|--------|
+//! | No control (per-comparison) | PCER | [`pcer`] |
+//! | Static FWER | Bonferroni, Šidák, Holm, Hochberg (+ Simes global test) | [`fwer`] |
+//! | Static FDR | Benjamini–Hochberg, Benjamini–Yekutieli | [`fdr_batch`] |
+//! | Incremental, non-interactive | α-spending (α·2⁻ʲ), Sequential FDR (ForwardStop) | [`sequential`] |
+//! | Incremental *and* interactive | α-investing with the paper's five policies | [`investing`] |
+//! | Post-paper online FDR (extensions) | LOND, LORD++ | [`online`] |
+//!
+//! The distinction that drives the paper: **interactive** procedures never
+//! revise a decision once it is announced to the user. The α-investing
+//! machine in [`investing`] enforces this structurally — its ledger is
+//! append-only — while batch procedures like Benjamini–Hochberg need every
+//! p-value up front, and ForwardStop may flip earlier acceptances to
+//! rejections as the stream grows.
+//!
+//! ## Example: γ-fixed α-investing over a p-value stream
+//!
+//! ```
+//! use aware_mht::investing::{AlphaInvesting, policies::Fixed};
+//!
+//! let mut proc = AlphaInvesting::new(0.05, 1.0 - 0.05, Fixed::new(10.0)).unwrap();
+//! for &p in &[0.001, 0.8, 0.02, 0.6] {
+//!     let d = proc.test(p).unwrap();
+//!     println!("p = {p} -> {:?} (wealth now {:.4})", d.decision, proc.wealth());
+//! }
+//! assert_eq!(proc.ledger().len(), 4);
+//! ```
+
+pub mod decision;
+pub mod error;
+pub mod fdr_batch;
+pub mod fwer;
+pub mod gai;
+pub mod investing;
+pub mod online;
+pub mod pcer;
+pub mod registry;
+pub mod sequential;
+
+pub use decision::Decision;
+pub use error::MhtError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MhtError>;
+
+/// Validates a significance level.
+pub(crate) fn check_alpha(alpha: f64, context: &'static str) -> Result<()> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(MhtError::InvalidParameter {
+            context,
+            constraint: "0 < alpha < 1",
+            value: alpha,
+        });
+    }
+    Ok(())
+}
+
+/// Validates a p-value.
+pub(crate) fn check_p_value(p: f64, context: &'static str) -> Result<()> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(MhtError::InvalidPValue { context, value: p });
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Post-paper online FDR procedures: LOND and LORD++.
+//!
+//! The paper's §9 calls for "developing new testing procedures" as future
+//! work; the online-FDR line that grew out of α-investing (Javanmard &
+//! Montanari 2015/2018, Ramdas et al. 2017) is exactly that. We implement
+//! the two canonical members as *extensions* — they appear in the ablation
+//! benches but not in the paper-replication figures:
+//!
+//! * **LOND** ("Levels based On Number of Discoveries"): significance
+//!   levels `αⱼ = βⱼ·(D(j−1) + 1)` with `Σβⱼ = α`, where `D(j−1)` counts
+//!   discoveries so far. Controls FDR (not just mFDR) under independence.
+//! * **LORD++** ("Levels based On Recent Discovery"): a wealth scheme that
+//!   re-distributes payout over future tests through a decaying sequence
+//!   `γ`, uniformly dominating the original LORD.
+//!
+//! Both are incremental *and* interactive in the paper's sense: decisions
+//! are final the moment they are made.
+
+use crate::decision::Decision;
+use crate::{check_alpha, check_p_value, Result};
+
+/// The default spend sequence `γⱼ ∝ 1/j²`, normalized to sum to one
+/// (`c = 6/π²`). A heavier tail than the theoretically optimal
+/// `log(j)/j·e^{√log j}` sequence but simpler and close in power for the
+/// session lengths an IDE produces.
+fn gamma_seq(j: usize) -> f64 {
+    debug_assert!(j >= 1);
+    (6.0 / (std::f64::consts::PI * std::f64::consts::PI)) / ((j * j) as f64)
+}
+
+// ---------------------------------------------------------------------------
+// LOND
+// ---------------------------------------------------------------------------
+
+/// The LOND online-FDR procedure.
+#[derive(Debug, Clone)]
+pub struct Lond {
+    alpha: f64,
+    tests_run: usize,
+    discoveries: usize,
+}
+
+impl Lond {
+    /// Creates LOND at FDR level `alpha`.
+    pub fn new(alpha: f64) -> Result<Lond> {
+        check_alpha(alpha, "Lond::new")?;
+        Ok(Lond { alpha, tests_run: 0, discoveries: 0 })
+    }
+
+    /// The level that will be granted to the next hypothesis.
+    pub fn next_level(&self) -> f64 {
+        self.alpha * gamma_seq(self.tests_run + 1) * (self.discoveries + 1) as f64
+    }
+
+    /// Tests the next hypothesis; the decision is final.
+    pub fn test_next(&mut self, p: f64) -> Result<Decision> {
+        check_p_value(p, "Lond::test_next")?;
+        let level = self.next_level();
+        self.tests_run += 1;
+        let d = Decision::from_threshold(p, level);
+        if d.is_rejection() {
+            self.discoveries += 1;
+        }
+        Ok(d)
+    }
+
+    /// Number of discoveries so far.
+    pub fn discoveries(&self) -> usize {
+        self.discoveries
+    }
+
+    /// Runs a whole stream.
+    pub fn decide_stream(alpha: f64, p_values: &[f64]) -> Result<Vec<Decision>> {
+        let mut proc = Lond::new(alpha)?;
+        p_values.iter().map(|&p| proc.test_next(p)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LORD++
+// ---------------------------------------------------------------------------
+
+/// The LORD++ online-FDR procedure (Ramdas et al. 2017 "improved LORD").
+///
+/// Wealth starts at `w0 = α/2`. The level for test `t` is
+///
+/// ```text
+/// α_t = γ_t·w0 + (α − w0)·γ_{t−τ1} + α·Σ_{j≥2, τj<t} γ_{t−τj}
+/// ```
+///
+/// where `τⱼ` is the index of the j-th rejection. Controls FDR under
+/// independence.
+#[derive(Debug, Clone)]
+pub struct LordPlusPlus {
+    alpha: f64,
+    w0: f64,
+    tests_run: usize,
+    rejection_times: Vec<usize>,
+}
+
+impl LordPlusPlus {
+    /// Creates LORD++ at FDR level `alpha` with the default `w0 = α/2`.
+    pub fn new(alpha: f64) -> Result<LordPlusPlus> {
+        check_alpha(alpha, "LordPlusPlus::new")?;
+        Ok(LordPlusPlus { alpha, w0: alpha / 2.0, tests_run: 0, rejection_times: Vec::new() })
+    }
+
+    /// The level that will be granted to the next hypothesis.
+    pub fn next_level(&self) -> f64 {
+        let t = self.tests_run + 1; // 1-based index of the upcoming test
+        let mut level = gamma_seq(t) * self.w0;
+        for (j, &tau) in self.rejection_times.iter().enumerate() {
+            let lag = t - tau; // ≥ 1 since tau < t
+            let payout = if j == 0 { self.alpha - self.w0 } else { self.alpha };
+            level += payout * gamma_seq(lag);
+        }
+        level
+    }
+
+    /// Tests the next hypothesis; the decision is final.
+    pub fn test_next(&mut self, p: f64) -> Result<Decision> {
+        check_p_value(p, "LordPlusPlus::test_next")?;
+        let level = self.next_level();
+        self.tests_run += 1;
+        let d = Decision::from_threshold(p, level);
+        if d.is_rejection() {
+            self.rejection_times.push(self.tests_run);
+        }
+        Ok(d)
+    }
+
+    /// Number of discoveries so far.
+    pub fn discoveries(&self) -> usize {
+        self.rejection_times.len()
+    }
+
+    /// Runs a whole stream.
+    pub fn decide_stream(alpha: f64, p_values: &[f64]) -> Result<Vec<Decision>> {
+        let mut proc = LordPlusPlus::new(alpha)?;
+        p_values.iter().map(|&p| proc.test_next(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::num_rejections;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gamma_sequence_sums_to_one() {
+        let s: f64 = (1..200_000).map(gamma_seq).sum();
+        assert!((s - 1.0).abs() < 1e-4, "partial sum {s}");
+    }
+
+    #[test]
+    fn lond_levels_grow_with_discoveries() {
+        let mut proc = Lond::new(0.05).unwrap();
+        let l1 = proc.next_level();
+        assert!((l1 - 0.05 * gamma_seq(1)).abs() < 1e-15);
+        proc.test_next(1e-9).unwrap(); // discovery
+        assert_eq!(proc.discoveries(), 1);
+        // Level for test 2 carries the (D+1) = 2 multiplier.
+        let l2 = proc.next_level();
+        assert!((l2 - 0.05 * gamma_seq(2) * 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lord_levels_spike_after_rejection() {
+        let mut proc = LordPlusPlus::new(0.05).unwrap();
+        let before: Vec<f64> = (0..3)
+            .map(|_| {
+                let l = proc.next_level();
+                proc.test_next(0.9).unwrap();
+                l
+            })
+            .collect();
+        // Levels decay while nothing is discovered.
+        assert!(before[0] > before[1] && before[1] > before[2]);
+        proc.test_next(1e-9).unwrap(); // discovery at t = 4
+        let after = proc.next_level();
+        // γ_1·(α − w0) alone exceeds the decayed pre-discovery level.
+        assert!(after > before[2], "after = {after}, before = {:?}", before);
+    }
+
+    #[test]
+    fn decisions_are_final_prefix_stability() {
+        let ps: Vec<f64> = (0..30).map(|i| ((i * 41 % 97) as f64 + 0.5) / 100.0).collect();
+        let full_lond = Lond::decide_stream(0.05, &ps).unwrap();
+        let full_lord = LordPlusPlus::decide_stream(0.05, &ps).unwrap();
+        for k in 1..ps.len() {
+            assert_eq!(Lond::decide_stream(0.05, &ps[..k]).unwrap(), full_lond[..k].to_vec());
+            assert_eq!(
+                LordPlusPlus::decide_stream(0.05, &ps[..k]).unwrap(),
+                full_lord[..k].to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_fdr_under_complete_null() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let sessions = 2000;
+        let mut lond_fdr_sum = 0.0;
+        let mut lord_fdr_sum = 0.0;
+        for _ in 0..sessions {
+            let ps: Vec<f64> = (0..50).map(|_| rng.gen::<f64>()).collect();
+            let r1 = num_rejections(&Lond::decide_stream(0.05, &ps).unwrap());
+            let r2 = num_rejections(&LordPlusPlus::decide_stream(0.05, &ps).unwrap());
+            // Under the complete null every rejection is false: V/R = 1{R>0}.
+            lond_fdr_sum += if r1 > 0 { 1.0 } else { 0.0 };
+            lord_fdr_sum += if r2 > 0 { 1.0 } else { 0.0 };
+        }
+        assert!(lond_fdr_sum / sessions as f64 <= 0.05 + 0.02);
+        assert!(lord_fdr_sum / sessions as f64 <= 0.05 + 0.02);
+    }
+
+    #[test]
+    fn signal_rich_stream_yields_discoveries() {
+        // Strong signals early: both procedures should find most of them.
+        let mut ps = vec![1e-8; 10];
+        ps.extend(vec![0.6; 20]);
+        let lond = num_rejections(&Lond::decide_stream(0.05, &ps).unwrap());
+        let lord = num_rejections(&LordPlusPlus::decide_stream(0.05, &ps).unwrap());
+        assert!(lond >= 8, "LOND found {lond}");
+        assert!(lord >= 8, "LORD++ found {lord}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Lond::new(0.0).is_err());
+        assert!(LordPlusPlus::new(1.0).is_err());
+        assert!(Lond::new(0.05).unwrap().test_next(1.5).is_err());
+        assert!(LordPlusPlus::new(0.05).unwrap().test_next(-0.2).is_err());
+    }
+}

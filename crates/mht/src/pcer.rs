@@ -1,0 +1,45 @@
+//! Per-Comparison Error Rate — the "no correction" baseline.
+//!
+//! PCER tests every hypothesis at level α as if it were the only one. The
+//! paper's Exp.1a (Figure 3) shows it has the highest power *and* a false
+//! discovery rate that grows without bound in the number of hypotheses —
+//! on completely random data it averages ~60% false discoveries at m = 64.
+//! It exists here as the cautionary baseline every figure includes.
+
+use crate::decision::Decision;
+use crate::{check_alpha, check_p_value, Result};
+
+/// Decides each hypothesis independently at level `alpha`.
+pub fn pcer(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
+    check_alpha(alpha, "pcer")?;
+    p_values
+        .iter()
+        .map(|&p| {
+            check_p_value(p, "pcer")?;
+            Ok(Decision::from_threshold(p, alpha))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_exactly_below_threshold() {
+        let ds = pcer(&[0.01, 0.05, 0.051, 0.9], 0.05).unwrap();
+        assert_eq!(
+            ds,
+            vec![Decision::Reject, Decision::Reject, Decision::Accept, Decision::Accept]
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(pcer(&[0.5], 0.0).is_err());
+        assert!(pcer(&[0.5], 1.0).is_err());
+        assert!(pcer(&[1.5], 0.05).is_err());
+        assert!(pcer(&[f64::NAN], 0.05).is_err());
+        assert!(pcer(&[], 0.05).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates the dependence extension experiment. See DESIGN.md §3.
+//!
+//! Usage: `cargo run -p aware-sim --release --bin dependence [--reps N] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = aware_sim::experiments::config_from_args(&args);
+    eprintln!("running dependence with {} replications (seed {})…", cfg.reps, cfg.seed);
+    let figures = aware_sim::experiments::dependence::run(&cfg);
+    aware_sim::experiments::emit(&figures);
+}

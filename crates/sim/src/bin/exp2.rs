@@ -1,0 +1,11 @@
+//! Regenerates the paper's exp2 artifact. See DESIGN.md §3.
+//!
+//! Usage: `cargo run -p aware-sim --release --bin exp2 [--reps N] [--quick] [--seed N] [--threads N]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = aware_sim::experiments::config_from_args(&args);
+    eprintln!("running exp2 with {} replications (seed {})…", cfg.reps, cfg.seed);
+    let figures = aware_sim::experiments::exp2::run(&cfg);
+    aware_sim::experiments::emit(&figures);
+}

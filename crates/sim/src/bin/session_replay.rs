@@ -1,0 +1,11 @@
+//! Regenerates the full-stack session-replay extension experiment.
+//!
+//! Usage: `cargo run -p aware-sim --release --bin session_replay [--reps N] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = aware_sim::experiments::config_from_args(&args);
+    eprintln!("running session_replay with {} replications (seed {})…", cfg.reps, cfg.seed);
+    let figures = aware_sim::experiments::session_replay::run(&cfg);
+    aware_sim::experiments::emit(&figures);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §6 / Theorem 1 subset-FDR experiment. See DESIGN.md §3.
+//!
+//! Usage: `cargo run -p aware-sim --release --bin subset_fdr [--reps N] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = aware_sim::experiments::config_from_args(&args);
+    eprintln!("running subset_fdr with {} replications (seed {})…", cfg.reps, cfg.seed);
+    let figures = aware_sim::experiments::subset::run(&cfg);
+    aware_sim::experiments::emit(&figures);
+}

@@ -1,0 +1,79 @@
+//! Exp.1a — Figure 3: static procedures on synthetic data.
+//!
+//! Motivates FDR over FWER and PCER: PCER has the highest power but an
+//! unbounded false-discovery share; Bonferroni has the lowest FDR but its
+//! power collapses with m; BHFDR sits between. Panels:
+//!
+//! * (a) 75% null: average discoveries
+//! * (b) 75% null: average FDR
+//! * (c) 75% null: average power
+//! * (d) 100% null: average discoveries
+//! * (e) 100% null: average FDR
+
+use super::{panel_figure, synthetic_grid};
+use crate::report::{Figure, Panel};
+use crate::runner::RunConfig;
+use crate::workload::SyntheticWorkload;
+use aware_mht::registry::ProcedureSpec;
+
+/// The m sweep used across Exp.1: 4–64 hypotheses.
+pub const M_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Runs Exp.1a and returns Figure 3's five panels.
+pub fn run(cfg: &RunConfig) -> Vec<Figure> {
+    let procedures = ProcedureSpec::exp1a_procedures();
+    let mut figures = Vec::new();
+    for (null_fraction, tag, panels) in [
+        (0.75, "75% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
+        (1.00, "100% Null", vec![Panel::Discoveries, Panel::Fdr]),
+    ] {
+        let sweep: Vec<(String, SyntheticWorkload)> = M_SWEEP
+            .iter()
+            .map(|&m| (m.to_string(), SyntheticWorkload::paper_default(m, null_fraction)))
+            .collect();
+        let grid = synthetic_grid(&sweep, &procedures, cfg);
+        for panel in panels {
+            figures.push(panel_figure(
+                format!("Fig 3 — Exp.1a {tag}: {}", panel.title()),
+                "num hypotheses",
+                &procedures,
+                &grid,
+                panel,
+            ));
+        }
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced-rep run must reproduce the paper's qualitative ordering.
+    #[test]
+    fn figure3_shape_holds() {
+        let cfg = RunConfig { reps: 120, ..RunConfig::default() };
+        let figs = run(&cfg);
+        assert_eq!(figs.len(), 5);
+
+        // Panel (c): 75% null power at m = 64 — PCER > BH > Bonferroni.
+        let power = &figs[2];
+        assert!(power.title.contains("Power"));
+        let last = power.rows.last().unwrap();
+        let pcer = last.cells[0].unwrap().mean;
+        let bonf = last.cells[1].unwrap().mean;
+        let bh = last.cells[2].unwrap().mean;
+        assert!(pcer > bh, "PCER {pcer} should beat BH {bh}");
+        assert!(bh > bonf, "BH {bh} should beat Bonferroni {bonf}");
+
+        // Panel (e): 100% null FDR — PCER far above α, BH/Bonferroni ≤ α.
+        let fdr_null = &figs[4];
+        let last = fdr_null.rows.last().unwrap();
+        let pcer = last.cells[0].unwrap().mean;
+        let bonf = last.cells[1].unwrap().mean;
+        let bh = last.cells[2].unwrap().mean;
+        assert!(pcer > 0.4, "PCER null FDR {pcer} (paper: ~0.6 at m=64)");
+        assert!(bonf <= 0.06, "Bonferroni null FDR {bonf}");
+        assert!(bh <= 0.07, "BH null FDR {bh}");
+    }
+}

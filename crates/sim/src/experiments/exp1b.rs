@@ -1,0 +1,134 @@
+//! Exp.1b — Figure 4: incremental procedures, varying number of
+//! hypotheses.
+//!
+//! Compares Sequential FDR (ForwardStop) against the five α-investing
+//! rules at the paper's §7.2 parameters across 25% / 75% / 100% null
+//! shares. Expected shape: every procedure keeps average FDR ≤ α = 0.05;
+//! β-farsighted starts strong and fades on long random streams; γ-fixed
+//! beats δ-hopeful on random data and loses on signal-rich data; ε-hybrid
+//! tracks the better arm.
+
+use super::{panel_figure, synthetic_grid};
+use crate::report::{Figure, Panel};
+use crate::runner::RunConfig;
+use crate::workload::SyntheticWorkload;
+use aware_mht::registry::ProcedureSpec;
+
+pub use super::exp1a::M_SWEEP;
+
+/// Runs Exp.1b and returns Figure 4's eight panels.
+pub fn run(cfg: &RunConfig) -> Vec<Figure> {
+    let procedures = ProcedureSpec::exp1b_procedures();
+    let mut figures = Vec::new();
+    for (null_fraction, tag, panels) in [
+        (0.25, "25% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
+        (0.75, "75% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
+        (1.00, "100% Null", vec![Panel::Discoveries, Panel::Fdr]),
+    ] {
+        let sweep: Vec<(String, SyntheticWorkload)> = M_SWEEP
+            .iter()
+            .map(|&m| (m.to_string(), SyntheticWorkload::paper_default(m, null_fraction)))
+            .collect();
+        let grid = synthetic_grid(&sweep, &procedures, cfg);
+        for panel in panels {
+            figures.push(panel_figure(
+                format!("Fig 4 — Exp.1b {tag}: {}", panel.title()),
+                "num hypotheses",
+                &procedures,
+                &grid,
+                panel,
+            ));
+        }
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_fdr_controlled_everywhere() {
+        let cfg = RunConfig { reps: 120, ..RunConfig::default() };
+        let figs = run(&cfg);
+        assert_eq!(figs.len(), 8);
+        // Every FDR panel (indices 1, 4, 7) stays ≤ α plus CI slack.
+        for idx in [1usize, 4, 7] {
+            let fig = &figs[idx];
+            assert!(fig.title.contains("FDR"), "{}", fig.title);
+            for row in &fig.rows {
+                for (series, cell) in fig.series.iter().zip(&row.cells) {
+                    let ci = cell.expect("FDR defined everywhere");
+                    assert!(
+                        ci.mean <= 0.05 + 2.0 * ci.half_width + 0.02,
+                        "{} in {} at m={}: FDR {}",
+                        series,
+                        fig.title,
+                        row.x,
+                        ci.mean
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_power_ordering_on_signal_rich_data() {
+        // 25% null: δ-hopeful should out-power γ-fixed at larger m
+        // (§7.2.2), and all investing rules should show nontrivial power.
+        let cfg = RunConfig { reps: 150, ..RunConfig::default() };
+        let procedures = ProcedureSpec::exp1b_procedures();
+        let sweep = vec![(
+            "64".to_string(),
+            SyntheticWorkload::paper_default(64, 0.25),
+        )];
+        let grid = synthetic_grid(&sweep, &procedures, &cfg);
+        let fig = panel_figure("t", "m", &procedures, &grid, Panel::Power);
+        let cells = &fig.rows[0].cells;
+        let series = &fig.series;
+        let power_of = |name: &str| {
+            cells[series.iter().position(|s| s == name).unwrap()]
+                .unwrap()
+                .mean
+        };
+        let fixed = power_of("Fixed");
+        let hopeful = power_of("Hopeful");
+        assert!(
+            hopeful > fixed,
+            "25% null m=64: δ-hopeful {hopeful} should beat γ-fixed {fixed}"
+        );
+        for s in series {
+            if s == "SeqFDR" {
+                // ForwardStop is order-sensitive: on a shuffled stream the
+                // early nulls poison its prefix average and its power is
+                // near zero — exactly the §4.3 criticism that motivates
+                // α-investing. No lower bound asserted.
+                continue;
+            }
+            assert!(power_of(s) > 0.25, "{s} power too low: {}", power_of(s));
+        }
+    }
+
+    #[test]
+    fn figure4_random_data_ordering() {
+        // 75% null at m = 64: γ-fixed should not be worse than δ-hopeful
+        // by much — the paper's §7.2.2 claims the fixed rule wins when data
+        // is more random. We assert the weaker directional claim with slack
+        // since the margin is small.
+        let cfg = RunConfig { reps: 200, ..RunConfig::default() };
+        let procedures =
+            vec![ProcedureSpec::Fixed { gamma: 10.0 }, ProcedureSpec::Hopeful { delta: 10.0 }];
+        let sweep = vec![(
+            "64".to_string(),
+            SyntheticWorkload::paper_default(64, 0.75),
+        )];
+        let grid = synthetic_grid(&sweep, &procedures, &cfg);
+        let fig = panel_figure("t", "m", &procedures, &grid, Panel::Power);
+        let fixed = fig.rows[0].cells[0].unwrap().mean;
+        let hopeful = fig.rows[0].cells[1].unwrap().mean;
+        assert!(
+            fixed > hopeful - 0.05,
+            "75% null m=64: γ-fixed {fixed} should be ≥ δ-hopeful {hopeful} (minus noise)"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Exp.1c — Figure 5: incremental procedures, varying sample (support)
+//! size at m = 64.
+//!
+//! Down-sampling shrinks every test's support, so achieved effects scale
+//! like `√f` and power drops. ψ-support is designed for this regime: it
+//! discounts bids on thin support, trading power for a lower FDR —
+//! visible in the 25%/75% null FDR panels.
+
+use super::{panel_figure, synthetic_grid};
+use crate::report::{Figure, Panel};
+use crate::runner::RunConfig;
+use crate::workload::SyntheticWorkload;
+use aware_mht::registry::ProcedureSpec;
+
+/// The paper's sample-size sweep.
+pub const SAMPLE_SWEEP: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Number of hypotheses in every Exp.1c configuration.
+pub const M: usize = 64;
+
+/// Runs Exp.1c and returns Figure 5's six panels.
+pub fn run(cfg: &RunConfig) -> Vec<Figure> {
+    let procedures = ProcedureSpec::exp1b_procedures();
+    let mut figures = Vec::new();
+    for (null_fraction, tag) in [(0.25, "25% Null"), (0.75, "75% Null")] {
+        let sweep: Vec<(String, SyntheticWorkload)> = SAMPLE_SWEEP
+            .iter()
+            .map(|&f| {
+                (
+                    format!("{:.0}%", f * 100.0),
+                    SyntheticWorkload::with_support(M, null_fraction, f),
+                )
+            })
+            .collect();
+        let grid = synthetic_grid(&sweep, &procedures, cfg);
+        for panel in [Panel::Discoveries, Panel::Fdr, Panel::Power] {
+            figures.push(panel_figure(
+                format!("Fig 5 — Exp.1c {tag}: {}", panel.title()),
+                "sample size",
+                &procedures,
+                &grid,
+                panel,
+            ));
+        }
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_power_grows_with_sample_size() {
+        let cfg = RunConfig { reps: 100, ..RunConfig::default() };
+        let figs = run(&cfg);
+        assert_eq!(figs.len(), 6);
+        let power = &figs[2]; // 25% null power panel
+        assert!(power.title.contains("Power"));
+        // Every procedure's power at 90% ≥ power at 10%.
+        for (i, series) in power.series.iter().enumerate() {
+            let lo = power.rows.first().unwrap().cells[i].unwrap().mean;
+            let hi = power.rows.last().unwrap().cells[i].unwrap().mean;
+            assert!(hi >= lo, "{series}: power {hi} at 90% < {lo} at 10%");
+        }
+    }
+
+    #[test]
+    fn figure5_psi_support_trades_power_for_fdr() {
+        // ψ-support's merit (§7.2.3): on thin support it bids — and
+        // therefore risks — less per test, keeping the average FDR at or
+        // below its γ-fixed base. (It may well make MORE total
+        // discoveries: smaller bids also mean smaller acceptance charges,
+        // so it survives far beyond γ-fixed's 10-acceptance horizon.)
+        let cfg = RunConfig { reps: 200, ..RunConfig::default() };
+        let procedures = vec![
+            ProcedureSpec::Fixed { gamma: 10.0 },
+            ProcedureSpec::PsiSupport { gamma: 10.0, psi: 0.5 },
+        ];
+        let sweep = vec![(
+            "10%".to_string(),
+            SyntheticWorkload::with_support(M, 0.25, 0.1),
+        )];
+        let grid = synthetic_grid(&sweep, &procedures, &cfg);
+        let fdr = panel_figure("t", "f", &procedures, &grid, Panel::Fdr);
+        let fixed_fdr = fdr.rows[0].cells[0].unwrap();
+        let support_fdr = fdr.rows[0].cells[1].unwrap();
+        assert!(
+            support_fdr.mean <= fixed_fdr.mean + fixed_fdr.half_width + 0.02,
+            "ψ-support FDR {} vs γ-fixed {}",
+            support_fdr.mean,
+            fixed_fdr.mean
+        );
+        // Both control mFDR at α regardless.
+        assert!(support_fdr.mean <= 0.05 + 2.0 * support_fdr.half_width + 0.02);
+        // The per-test bid really is discounted: on a fresh machine the
+        // first bid at 10% support is √0.1 of the full-support bid.
+        use aware_mht::investing::{policies::psi_support, AlphaInvesting};
+        let mut a = AlphaInvesting::new(0.05, 0.95, psi_support(10.0, 0.5).unwrap()).unwrap();
+        let mut b = AlphaInvesting::new(0.05, 0.95, psi_support(10.0, 0.5).unwrap()).unwrap();
+        let thin = a.test_with_support(0.9, 0.1).unwrap().bid;
+        let full = b.test_with_support(0.9, 1.0).unwrap().bid;
+        assert!((thin - full * 0.1f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! One module per paper artifact. Each exposes `run(&RunConfig) ->
+//! Vec<Figure>`; the corresponding binary prints the figures and writes
+//! CSVs under `target/experiments/`.
+
+pub mod ablation;
+pub mod dependence;
+pub mod exp1a;
+pub mod exp1b;
+pub mod exp1c;
+pub mod exp2;
+pub mod extensions;
+pub mod holdout;
+pub mod motivating;
+pub mod session_replay;
+pub mod subset;
+
+use crate::metrics::AggregateMetrics;
+use crate::report::{Figure, Panel};
+use crate::runner::{run_synthetic, RunConfig};
+use crate::workload::SyntheticWorkload;
+use aware_mht::registry::ProcedureSpec;
+
+/// Computes the full (x value × procedure) metric grid for a synthetic
+/// sweep. Rows keep the sweep order.
+pub fn synthetic_grid(
+    sweep: &[(String, SyntheticWorkload)],
+    procedures: &[ProcedureSpec],
+    cfg: &RunConfig,
+) -> Vec<(String, Vec<AggregateMetrics>)> {
+    sweep
+        .iter()
+        .map(|(x, workload)| {
+            let row = procedures
+                .iter()
+                .map(|spec| run_synthetic(spec, workload, cfg))
+                .collect();
+            (x.clone(), row)
+        })
+        .collect()
+}
+
+/// Slices one metric panel out of a grid into a printable figure.
+pub fn panel_figure(
+    title: impl Into<String>,
+    x_label: impl Into<String>,
+    procedures: &[ProcedureSpec],
+    grid: &[(String, Vec<AggregateMetrics>)],
+    panel: Panel,
+) -> Figure {
+    let mut fig = Figure::new(
+        title,
+        x_label,
+        procedures.iter().map(|p| p.label()).collect(),
+    );
+    for (x, row) in grid {
+        fig.push_row(x.clone(), row.iter().map(|agg| panel.extract(agg)).collect());
+    }
+    fig
+}
+
+/// Prints figures to stdout and saves CSVs, reporting the paths.
+pub fn emit(figures: &[Figure]) {
+    let dir = crate::report::experiments_dir();
+    for fig in figures {
+        println!("{}", fig.render());
+        match fig.write_csv(&dir) {
+            Ok(path) => println!("   ↳ csv: {}\n", path.display()),
+            Err(e) => eprintln!("   ↳ csv write failed: {e}\n"),
+        }
+    }
+}
+
+/// Minimal CLI parsing shared by the experiment binaries: recognizes
+/// `--quick`, `--reps N`, `--seed N`, `--threads N`.
+pub fn config_from_args(args: &[String]) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = RunConfig { reps: 200, ..cfg },
+            "--reps" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    cfg.reps = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    cfg.seed = v;
+                    i += 1;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    cfg.threads = v;
+                    i += 1;
+                }
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_panel_shapes() {
+        let cfg = RunConfig { reps: 20, ..RunConfig::default() };
+        let sweep = vec![
+            ("4".to_string(), SyntheticWorkload::paper_default(4, 0.75)),
+            ("8".to_string(), SyntheticWorkload::paper_default(8, 0.75)),
+        ];
+        let procs = vec![ProcedureSpec::Pcer, ProcedureSpec::Bonferroni];
+        let grid = synthetic_grid(&sweep, &procs, &cfg);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].1.len(), 2);
+        let fig = panel_figure("t", "m", &procs, &grid, Panel::Fdr);
+        assert_eq!(fig.rows.len(), 2);
+        assert_eq!(fig.series, vec!["PCER", "Bonferroni"]);
+        assert!(fig.rows[0].cells[0].is_some());
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let args: Vec<String> =
+            ["--reps", "37", "--seed", "9", "--threads", "2"].iter().map(|s| s.to_string()).collect();
+        let cfg = config_from_args(&args);
+        assert_eq!(cfg.reps, 37);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 2);
+        let quick = config_from_args(&["--quick".to_string()]);
+        assert_eq!(quick.reps, 200);
+        // Unknown args are ignored, not fatal.
+        let cfg = config_from_args(&["--wat".to_string()]);
+        assert_eq!(cfg.reps, RunConfig::default().reps);
+    }
+}

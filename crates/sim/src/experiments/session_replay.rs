@@ -1,0 +1,206 @@
+//! Full-stack session replay (extension): Exp.2 through the *entire*
+//! AWARE system.
+//!
+//! The other experiments feed pre-computed p-value streams to bare
+//! procedures. This one drives the real [`aware_core::session::Session`]:
+//! visualizations go in, the §2.3 heuristics derive the hypotheses, the
+//! engine picks the tests (χ² / Fisher fallback), the α-investing machine
+//! budgets them, and we score the session's *discoveries* against the
+//! census generator's oracle. It validates that the composed system —
+//! not just the procedure in isolation — controls false discoveries.
+
+use crate::metrics::{aggregate, RepMetrics};
+use crate::report::Figure;
+use crate::runner::{par_map, RunConfig};
+use aware_core::session::Session;
+use aware_data::census::{CensusGenerator, ATTRIBUTES};
+use aware_data::predicate::Predicate;
+use aware_data::sample::downsample;
+use aware_data::table::Table;
+use aware_mht::investing::policies::{EpsilonHybrid, Fixed};
+use aware_mht::investing::InvestingPolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows in the base census table.
+pub const CENSUS_ROWS: usize = 20_000;
+/// Visualizations placed per session.
+pub const STEPS: usize = 40;
+
+/// One scripted exploration: `STEPS` random filtered visualizations over
+/// the census schema (rule-2/rule-3 mix arises naturally from repeats).
+/// Returns per-session discovery metrics scored by the oracle.
+fn replay<P: InvestingPolicy>(table: &Table, mut session: Session<P>, seed: u64) -> RepMetrics {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..STEPS {
+        let target = ATTRIBUTES[rng.gen_range(0..ATTRIBUTES.len())];
+        let filter_attr = loop {
+            let a = ATTRIBUTES[rng.gen_range(0..ATTRIBUTES.len())];
+            if a != target {
+                break a;
+            }
+        };
+        let filter = random_condition(&mut rng, filter_attr, table);
+        let filter = if rng.gen_bool(0.3) { filter.negate() } else { filter };
+        match session.add_visualization(target, filter) {
+            Ok(_) => {}
+            Err(e) if e.is_wealth_exhausted() => break,
+            Err(_) => continue, // untestable probes are part of exploration
+        }
+    }
+
+    // Score every tested hypothesis against the oracle, reading the
+    // attribute pair straight from the hypothesis' own null spec so
+    // supersede/untestable bookkeeping cannot desynchronize the labels.
+    // (A superseded hypothesis' decision stands in the investing ledger —
+    // it was announced — so it is scored like any other.)
+    let mut metrics = RepMetrics {
+        discoveries: 0,
+        false_discoveries: 0,
+        true_discoveries: 0,
+        alternatives: 0,
+    };
+    for h in session.hypotheses() {
+        let record = match &h.status {
+            aware_core::hypothesis::HypothesisStatus::Tested(r) => r,
+            aware_core::hypothesis::HypothesisStatus::Superseded { .. } => continue,
+            _ => continue,
+        };
+        let (target, filter) = match &h.null {
+            aware_core::hypothesis::NullSpec::NoFilterEffect { attribute, filter } => {
+                (attribute, filter)
+            }
+            aware_core::hypothesis::NullSpec::NoDistributionDifference {
+                attribute,
+                filter_a,
+                ..
+            } => (attribute, filter_a),
+            _ => continue,
+        };
+        let Some(filter_attr) = single_condition_attribute(filter) else {
+            continue;
+        };
+        let truly_alt = CensusGenerator::is_dependent(target, filter_attr);
+        if truly_alt {
+            metrics.alternatives += 1;
+        }
+        if record.decision.is_rejection() {
+            metrics.discoveries += 1;
+            if truly_alt {
+                metrics.true_discoveries += 1;
+            } else {
+                metrics.false_discoveries += 1;
+            }
+        }
+    }
+    metrics
+}
+
+/// The column a single-condition filter (possibly negated) constrains.
+fn single_condition_attribute(p: &Predicate) -> Option<&str> {
+    match p {
+        Predicate::Cmp { column, .. }
+        | Predicate::In { column, .. }
+        | Predicate::Between { column, .. } => Some(column),
+        Predicate::Not(inner) => single_condition_attribute(inner),
+        _ => None,
+    }
+}
+
+fn random_condition(rng: &mut SmallRng, attr: &str, table: &Table) -> Predicate {
+    match attr {
+        "age" => {
+            let lo = rng.gen_range(18..55) as f64;
+            Predicate::between("age", lo, lo + rng.gen_range(10..25) as f64)
+        }
+        "hours_per_week" => {
+            let lo = rng.gen_range(10..55) as f64;
+            Predicate::between("hours_per_week", lo, lo + rng.gen_range(10..30) as f64)
+        }
+        "salary_over_50k" => Predicate::eq("salary_over_50k", rng.gen::<bool>()),
+        other => {
+            let labels = table
+                .column(other)
+                .expect("census attribute")
+                .labels()
+                .expect("categorical attribute")
+                .to_vec();
+            Predicate::eq(other, labels[rng.gen_range(0..labels.len())].as_str())
+        }
+    }
+}
+
+/// Runs session replays at two sample sizes under two policies.
+pub fn run(cfg: &RunConfig) -> Vec<Figure> {
+    let census = CensusGenerator::new(cfg.seed).generate(CENSUS_ROWS);
+    let mut fig = Figure::new(
+        "Session replay — full AWARE stack on census exploration (oracle labels)",
+        "configuration",
+        vec!["Avg FDR".into(), "Avg discoveries".into(), "Avg power".into()],
+    );
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn InvestingPolicy> + Sync>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        (
+            "γ-fixed(10)",
+            Box::new(|| Box::new(Fixed::new(10.0)) as Box<dyn InvestingPolicy>),
+        ),
+        (
+            "ε-hybrid(0.5)",
+            Box::new(|| {
+                Box::new(EpsilonHybrid::new(10.0, 10.0, 0.5, None).expect("valid parameters"))
+                    as Box<dyn InvestingPolicy>
+            }),
+        ),
+    ];
+    for (policy_name, make) in &policies {
+        for fraction in [0.25, 1.0] {
+            let reps = par_map(cfg, |seed| {
+                let table = if fraction < 1.0 {
+                    downsample(&census, fraction, seed).expect("valid fraction")
+                } else {
+                    census.clone()
+                };
+                let session =
+                    Session::new(table.clone(), cfg.alpha, make()).expect("valid config");
+                replay(&table, session, seed ^ 0xABCD)
+            });
+            let agg = aggregate(&reps, cfg.ci_level);
+            fig.push_row(
+                format!("{policy_name} @ {:.0}% sample", fraction * 100.0),
+                vec![
+                    Some(agg.avg_fdr),
+                    Some(agg.avg_discoveries),
+                    agg.avg_power,
+                ],
+            );
+        }
+    }
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_stack_controls_fdr_against_oracle() {
+        let cfg = RunConfig { reps: 25, ..RunConfig::default() };
+        let figs = run(&cfg);
+        let fig = &figs[0];
+        assert_eq!(fig.rows.len(), 4);
+        for row in &fig.rows {
+            let fdr = row.cells[0].unwrap();
+            assert!(
+                fdr.mean <= 0.05 + 2.0 * fdr.half_width + 0.03,
+                "{}: FDR {}",
+                row.x,
+                fdr.mean
+            );
+            // Sessions actually find things on the full sample.
+            let disc = row.cells[1].unwrap();
+            if row.x.contains("100%") {
+                assert!(disc.mean > 1.0, "{}: only {} discoveries", row.x, disc.mean);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluation metrics: average discoveries, average FDR, average power,
+//! each with a 95% confidence interval — the exact quantities plotted in
+//! the paper's Figures 3–6.
+
+use aware_mht::Decision;
+use aware_stats::summary::MeanCi;
+
+/// Counts from one replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepMetrics {
+    /// Total discoveries `R`.
+    pub discoveries: usize,
+    /// False discoveries `V` (rejected true nulls).
+    pub false_discoveries: usize,
+    /// True discoveries `S` (rejected true alternatives).
+    pub true_discoveries: usize,
+    /// Number of true alternatives available to find.
+    pub alternatives: usize,
+}
+
+impl RepMetrics {
+    /// Scores a decision vector against ground truth (`truth[i]` = "is a
+    /// real effect"). Panics in debug builds on length mismatch.
+    pub fn score(decisions: &[Decision], truth: &[bool]) -> RepMetrics {
+        debug_assert_eq!(decisions.len(), truth.len());
+        let mut m = RepMetrics {
+            discoveries: 0,
+            false_discoveries: 0,
+            true_discoveries: 0,
+            alternatives: truth.iter().filter(|&&t| t).count(),
+        };
+        for (d, &alt) in decisions.iter().zip(truth) {
+            if d.is_rejection() {
+                m.discoveries += 1;
+                if alt {
+                    m.true_discoveries += 1;
+                } else {
+                    m.false_discoveries += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// False discovery proportion `V/R`, defined as 0 when `R = 0`
+    /// (the paper's equation 3 convention).
+    pub fn fdp(&self) -> f64 {
+        if self.discoveries == 0 {
+            0.0
+        } else {
+            self.false_discoveries as f64 / self.discoveries as f64
+        }
+    }
+
+    /// Power `S / #alternatives`; `None` under the complete null, where
+    /// power is undefined (the paper omits those panels).
+    pub fn power(&self) -> Option<f64> {
+        if self.alternatives == 0 {
+            None
+        } else {
+            Some(self.true_discoveries as f64 / self.alternatives as f64)
+        }
+    }
+}
+
+/// Mean ± CI aggregation across replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateMetrics {
+    /// Average number of discoveries.
+    pub avg_discoveries: MeanCi,
+    /// Average false-discovery proportion (the paper's "Avg. FDR").
+    pub avg_fdr: MeanCi,
+    /// Average power; `None` when every replication had zero alternatives.
+    pub avg_power: Option<MeanCi>,
+    /// Replication count.
+    pub reps: usize,
+}
+
+/// Aggregates replication metrics at the given confidence level.
+pub fn aggregate(reps: &[RepMetrics], level: f64) -> AggregateMetrics {
+    let discoveries: Vec<f64> = reps.iter().map(|r| r.discoveries as f64).collect();
+    let fdrs: Vec<f64> = reps.iter().map(|r| r.fdp()).collect();
+    let powers: Vec<f64> = reps.iter().filter_map(|r| r.power()).collect();
+    AggregateMetrics {
+        avg_discoveries: MeanCi::from_samples(&discoveries, level),
+        avg_fdr: MeanCi::from_samples(&fdrs, level),
+        avg_power: if powers.is_empty() {
+            None
+        } else {
+            Some(MeanCi::from_samples(&powers, level))
+        },
+        reps: reps.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_mht::Decision::{Accept, Reject};
+
+    #[test]
+    fn scoring_hand_worked() {
+        let decisions = [Reject, Reject, Accept, Reject, Accept];
+        let truth = [true, false, true, true, false];
+        let m = RepMetrics::score(&decisions, &truth);
+        assert_eq!(m.discoveries, 3);
+        assert_eq!(m.false_discoveries, 1);
+        assert_eq!(m.true_discoveries, 2);
+        assert_eq!(m.alternatives, 3);
+        assert!((m.fdp() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((m.power().unwrap() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_discoveries_fdp_is_zero() {
+        let m = RepMetrics::score(&[Accept, Accept], &[true, false]);
+        assert_eq!(m.fdp(), 0.0);
+        assert_eq!(m.power(), Some(0.0));
+    }
+
+    #[test]
+    fn complete_null_power_is_undefined() {
+        let m = RepMetrics::score(&[Reject, Accept], &[false, false]);
+        assert_eq!(m.power(), None);
+        assert_eq!(m.fdp(), 1.0);
+    }
+
+    #[test]
+    fn aggregation_mixes_reps() {
+        let reps = vec![
+            RepMetrics { discoveries: 4, false_discoveries: 1, true_discoveries: 3, alternatives: 5 },
+            RepMetrics { discoveries: 0, false_discoveries: 0, true_discoveries: 0, alternatives: 5 },
+        ];
+        let agg = aggregate(&reps, 0.95);
+        assert_eq!(agg.reps, 2);
+        assert!((agg.avg_discoveries.mean - 2.0).abs() < 1e-15);
+        assert!((agg.avg_fdr.mean - 0.125).abs() < 1e-15);
+        assert!((agg.avg_power.unwrap().mean - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aggregation_all_null_reps_has_no_power() {
+        let reps = vec![RepMetrics {
+            discoveries: 1,
+            false_discoveries: 1,
+            true_discoveries: 0,
+            alternatives: 0,
+        }];
+        let agg = aggregate(&reps, 0.95);
+        assert!(agg.avg_power.is_none());
+        assert_eq!(agg.avg_fdr.mean, 1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Figure/table rendering: aligned text to stdout, CSV to
+//! `target/experiments/`, in the row/series layout of the paper's plots.
+
+use crate::metrics::AggregateMetrics;
+use aware_stats::summary::MeanCi;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Which metric a panel displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Average number of discoveries.
+    Discoveries,
+    /// Average false discovery rate.
+    Fdr,
+    /// Average power.
+    Power,
+}
+
+impl Panel {
+    /// Panel title fragment as used in the paper's captions.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Panel::Discoveries => "Avg. Discoveries",
+            Panel::Fdr => "Avg. FDR",
+            Panel::Power => "Avg. Power",
+        }
+    }
+
+    /// Extracts this panel's value from an aggregate.
+    pub fn extract(&self, agg: &AggregateMetrics) -> Option<MeanCi> {
+        match self {
+            Panel::Discoveries => Some(agg.avg_discoveries),
+            Panel::Fdr => Some(agg.avg_fdr),
+            Panel::Power => agg.avg_power,
+        }
+    }
+}
+
+/// One figure panel: x-axis values × procedure series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Caption, e.g. `Fig 4(e) — 75% Null: Avg. FDR`.
+    pub title: String,
+    /// X-axis label (number of hypotheses / sample size).
+    pub x_label: String,
+    /// One label per series (procedure).
+    pub series: Vec<String>,
+    /// One row per x value.
+    pub rows: Vec<FigureRow>,
+}
+
+/// One x-axis row of a figure.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// The x value, pre-formatted.
+    pub x: String,
+    /// One cell per series; `None` when the metric is undefined there.
+    pub cells: Vec<Option<MeanCi>>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Figure {
+        Figure { title: title.into(), x_label: x_label.into(), series, rows: Vec::new() }
+    }
+
+    /// Appends a row; panics in debug builds if the cell count differs
+    /// from the series count.
+    pub fn push_row(&mut self, x: impl Into<String>, cells: Vec<Option<MeanCi>>) {
+        debug_assert_eq!(cells.len(), self.series.len());
+        self.rows.push(FigureRow { x: x.into(), cells });
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ──", self.title);
+        let width = 18usize;
+        let xw = self.x_label.len().max(self.rows.iter().map(|r| r.x.len()).max().unwrap_or(0)) + 2;
+        let _ = write!(out, "{:<xw$}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{s:>width$}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:<xw$}", row.x);
+            for cell in &row.cells {
+                match cell {
+                    Some(ci) => {
+                        let _ = write!(out, "{:>width$}", format!("{:.3}±{:.3}", ci.mean, ci.half_width));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>width$}", "—");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV (`x,series,mean,ci_half_width` long format — easy to
+    /// plot with any tool).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,series,mean,ci95\n");
+        for row in &self.rows {
+            for (s, cell) in self.series.iter().zip(&row.cells) {
+                match cell {
+                    Some(ci) => {
+                        let _ = writeln!(out, "{},{},{},{}", row.x, s, ci.mean, ci.half_width);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{},{},,", row.x, s);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir`, deriving the filename from the title.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let name: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let mut path = dir.join(name.trim_matches('_'));
+        path.set_extension("csv");
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Default output directory for experiment CSVs.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_stats::summary::MeanCi;
+
+    fn ci(mean: f64) -> Option<MeanCi> {
+        Some(MeanCi { mean, half_width: 0.01, level: 0.95 })
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut fig = Figure::new("Fig X — demo", "m", vec!["A".into(), "B".into()]);
+        fig.push_row("4", vec![ci(1.0), ci(2.0)]);
+        fig.push_row("64", vec![ci(3.5), None]);
+        let text = fig.render();
+        assert!(text.contains("Fig X — demo"));
+        assert!(text.contains("1.000±0.010"));
+        assert!(text.contains('—'));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and data rows have equal width.
+        assert_eq!(lines[1].chars().count(), lines[2].chars().count());
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let mut fig = Figure::new("t", "x", vec!["P1".into()]);
+        fig.push_row("10", vec![ci(0.5)]);
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("x,series,mean,ci95\n"));
+        assert!(csv.contains("10,P1,0.5,0.01"));
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let mut fig = Figure::new("Fig 9(z) smoke", "x", vec!["P".into()]);
+        fig.push_row("1", vec![ci(1.0)]);
+        let dir = std::env::temp_dir().join("aware_report_test");
+        let path = fig.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1,P,1"));
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig_9"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panel_extraction() {
+        let agg = crate::metrics::aggregate(
+            &[crate::metrics::RepMetrics {
+                discoveries: 2,
+                false_discoveries: 1,
+                true_discoveries: 1,
+                alternatives: 4,
+            }],
+            0.95,
+        );
+        assert_eq!(Panel::Discoveries.extract(&agg).unwrap().mean, 2.0);
+        assert_eq!(Panel::Fdr.extract(&agg).unwrap().mean, 0.5);
+        assert_eq!(Panel::Power.extract(&agg).unwrap().mean, 0.25);
+        assert_eq!(Panel::Power.title(), "Avg. Power");
+    }
+}

@@ -1,0 +1,296 @@
+//! Census exploration workflows — the Exp.2 workload.
+//!
+//! The paper collected 115 hypotheses from user-study sessions over the
+//! Census dataset, "mostly formed by comparing histogram distributions by
+//! different filtering conditions", and replayed them in fixed order. The
+//! original workflows are not published, so this module synthesizes
+//! workflows with the same shape: rule-2 ("this filter changes the
+//! distribution of A") and rule-3 ("A differs between a filter and its
+//! negation") hypotheses over random attribute pairs, with occasional
+//! two-condition filter chains (see DESIGN.md §4).
+//!
+//! Two ground-truth labelings are provided:
+//!
+//! * [`CensusWorkflow::oracle_labels`] — exact truth from the census
+//!   generator's dependency DAG. The disjunction rule (a chain hypothesis
+//!   is alternative iff the target depends on at least one chained
+//!   attribute) is exact for this DAG because its only colliders
+//!   (`hours_per_week`, `salary_over_50k`) are themselves dependent on
+//!   every attribute that feeds them.
+//! * [`CensusWorkflow::bonferroni_labels`] — the paper's straw man:
+//!   label a hypothesis significant iff Bonferroni rejects it on the
+//!   *full* dataset.
+
+use aware_core::engine::execute;
+use aware_core::hypothesis::NullSpec;
+use aware_data::census::{CensusGenerator, ATTRIBUTES, EDUCATION, MARITAL, OCCUPATION, RACE, REGION, SEX, WAVE};
+use aware_data::predicate::Predicate;
+use aware_data::table::Table;
+use aware_mht::fwer::bonferroni;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One workflow hypothesis with its oracle truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowHypothesis {
+    /// The null being tested.
+    pub spec: NullSpec,
+    /// Exact generator-DAG truth: is the alternative true?
+    pub oracle_alternative: bool,
+}
+
+/// A fixed-order list of workflow hypotheses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusWorkflow {
+    /// Hypotheses in replay order.
+    pub hypotheses: Vec<WorkflowHypothesis>,
+}
+
+/// Generator for synthetic census workflows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkflowGenerator {
+    /// Number of hypotheses (the paper's study yielded 115).
+    pub num_hypotheses: usize,
+    /// Probability a hypothesis is a rule-3 negated-pair comparison.
+    pub linked_pair_prob: f64,
+    /// Probability a rule-2 filter chains two conditions.
+    pub chain_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkflowGenerator {
+    /// The paper's configuration: 115 hypotheses.
+    pub fn paper_default(seed: u64) -> WorkflowGenerator {
+        WorkflowGenerator { num_hypotheses: 115, linked_pair_prob: 0.35, chain_prob: 0.30, seed }
+    }
+
+    /// Generates the workflow (deterministic per seed).
+    pub fn generate(&self) -> CensusWorkflow {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut hypotheses = Vec::with_capacity(self.num_hypotheses);
+        while hypotheses.len() < self.num_hypotheses {
+            let target = random_attribute(&mut rng);
+            let filter_attr = loop {
+                let a = random_attribute(&mut rng);
+                if a != target {
+                    break a;
+                }
+            };
+            let filter = random_condition(&mut rng, filter_attr);
+
+            if rng.gen::<f64>() < self.linked_pair_prob {
+                // Rule-3 style: A | F vs A | ¬F.
+                let truth = CensusGenerator::is_dependent(target, filter_attr);
+                hypotheses.push(WorkflowHypothesis {
+                    spec: NullSpec::NoDistributionDifference {
+                        attribute: target.to_owned(),
+                        filter_a: filter.clone(),
+                        filter_b: filter.negate(),
+                    },
+                    oracle_alternative: truth,
+                });
+            } else if rng.gen::<f64>() < self.chain_prob {
+                // Rule-2 with a two-condition chain.
+                let second_attr = loop {
+                    let a = random_attribute(&mut rng);
+                    if a != target && a != filter_attr {
+                        break a;
+                    }
+                };
+                let chained = filter.and(random_condition(&mut rng, second_attr));
+                let truth = CensusGenerator::is_dependent(target, filter_attr)
+                    || CensusGenerator::is_dependent(target, second_attr);
+                hypotheses.push(WorkflowHypothesis {
+                    spec: NullSpec::NoFilterEffect { attribute: target.to_owned(), filter: chained },
+                    oracle_alternative: truth,
+                });
+            } else {
+                // Plain rule-2.
+                let truth = CensusGenerator::is_dependent(target, filter_attr);
+                hypotheses.push(WorkflowHypothesis {
+                    spec: NullSpec::NoFilterEffect { attribute: target.to_owned(), filter },
+                    oracle_alternative: truth,
+                });
+            }
+        }
+        CensusWorkflow { hypotheses }
+    }
+}
+
+impl CensusWorkflow {
+    /// Number of hypotheses.
+    pub fn len(&self) -> usize {
+        self.hypotheses.len()
+    }
+
+    /// True when the workflow is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hypotheses.is_empty()
+    }
+
+    /// Replays every hypothesis in order against `table`, producing the
+    /// p-value stream and per-test support fractions.
+    ///
+    /// A hypothesis whose test cannot run on this (possibly down-sampled)
+    /// table — empty filter cell, degenerate histogram — contributes
+    /// `p = 1.0` with minimal support: the replay observed nothing, and
+    /// every procedure will accept it.
+    pub fn evaluate(&self, table: &Table) -> (Vec<f64>, Vec<f64>) {
+        let mut ps = Vec::with_capacity(self.len());
+        let mut supports = Vec::with_capacity(self.len());
+        for h in &self.hypotheses {
+            match execute(table, &h.spec) {
+                Ok(exec) => {
+                    ps.push(exec.outcome.p_value);
+                    supports.push(exec.support_fraction);
+                }
+                Err(_) => {
+                    ps.push(1.0);
+                    supports.push(1.0 / table.rows().max(1) as f64);
+                }
+            }
+        }
+        (ps, supports)
+    }
+
+    /// Oracle labels from the generator DAG.
+    pub fn oracle_labels(&self) -> Vec<bool> {
+        self.hypotheses.iter().map(|h| h.oracle_alternative).collect()
+    }
+
+    /// The paper's labeling: run the workflow on the full table and call a
+    /// hypothesis "truly significant" iff Bonferroni rejects it there.
+    pub fn bonferroni_labels(&self, full_table: &Table, alpha: f64) -> Vec<bool> {
+        let (ps, _) = self.evaluate(full_table);
+        bonferroni(&ps, alpha)
+            .expect("p-values from evaluate are valid")
+            .iter()
+            .map(|d| d.is_rejection())
+            .collect()
+    }
+}
+
+fn random_attribute(rng: &mut SmallRng) -> &'static str {
+    ATTRIBUTES[rng.gen_range(0..ATTRIBUTES.len())]
+}
+
+/// Builds a random filter condition appropriate to the attribute's type.
+fn random_condition(rng: &mut SmallRng, attr: &'static str) -> Predicate {
+    match attr {
+        "age" => {
+            let lo = rng.gen_range(18..55) as f64;
+            Predicate::between("age", lo, lo + rng.gen_range(10..25) as f64)
+        }
+        "hours_per_week" => {
+            let lo = rng.gen_range(10..55) as f64;
+            Predicate::between("hours_per_week", lo, lo + rng.gen_range(10..30) as f64)
+        }
+        "salary_over_50k" => Predicate::eq("salary_over_50k", rng.gen::<bool>()),
+        "sex" => Predicate::eq("sex", SEX[rng.gen_range(0..2)]), // Male/Female (Other is tiny)
+        "education" => Predicate::eq("education", EDUCATION[rng.gen_range(0..EDUCATION.len())]),
+        "marital_status" => Predicate::eq("marital_status", MARITAL[rng.gen_range(0..MARITAL.len())]),
+        "occupation" => Predicate::eq("occupation", OCCUPATION[rng.gen_range(0..OCCUPATION.len())]),
+        "race" => Predicate::eq("race", RACE[rng.gen_range(0..RACE.len())]),
+        "native_region" => Predicate::eq("native_region", REGION[rng.gen_range(0..REGION.len())]),
+        "survey_wave" => Predicate::eq("survey_wave", WAVE[rng.gen_range(0..WAVE.len())]),
+        other => unreachable!("unknown census attribute {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_data::sample::downsample;
+
+    #[test]
+    fn generation_shape_and_determinism() {
+        let w = WorkflowGenerator::paper_default(3).generate();
+        assert_eq!(w.len(), 115);
+        assert!(!w.is_empty());
+        assert_eq!(w, WorkflowGenerator::paper_default(3).generate());
+        assert_ne!(w, WorkflowGenerator::paper_default(4).generate());
+        // Both hypothesis styles appear.
+        let pairs = w
+            .hypotheses
+            .iter()
+            .filter(|h| matches!(h.spec, NullSpec::NoDistributionDifference { .. }))
+            .count();
+        assert!(pairs > 10 && pairs < 105, "rule-3 share {pairs}/115");
+        // Both truths appear.
+        let alts = w.oracle_labels().iter().filter(|&&t| t).count();
+        assert!(alts > 10 && alts < 105, "alternatives {alts}/115");
+    }
+
+    #[test]
+    fn evaluation_on_full_census_tracks_oracle() {
+        let table = CensusGenerator::new(50).generate(20_000);
+        let w = WorkflowGenerator::paper_default(50).generate();
+        let (ps, supports) = w.evaluate(&table);
+        assert_eq!(ps.len(), 115);
+        assert!(ps.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(supports.iter().all(|&f| f > 0.0 && f <= 1.0));
+        // With 20k rows, true alternatives should mostly have small p and
+        // true nulls uniform-ish: compare median p by class.
+        let labels = w.oracle_labels();
+        let mut alt_small = 0;
+        let mut alt_total = 0;
+        let mut null_small = 0;
+        let mut null_total = 0;
+        for (p, alt) in ps.iter().zip(&labels) {
+            if *alt {
+                alt_total += 1;
+                if *p < 0.01 {
+                    alt_small += 1;
+                }
+            } else {
+                null_total += 1;
+                if *p < 0.01 {
+                    null_small += 1;
+                }
+            }
+        }
+        let alt_rate = alt_small as f64 / alt_total as f64;
+        let null_rate = null_small as f64 / null_total.max(1) as f64;
+        assert!(alt_rate > 0.6, "alternatives detected at {alt_rate}");
+        assert!(null_rate < 0.15, "null leakage {null_rate}");
+    }
+
+    #[test]
+    fn bonferroni_labels_agree_with_oracle_on_strong_effects() {
+        let table = CensusGenerator::new(51).generate(20_000);
+        let w = WorkflowGenerator::paper_default(52).generate();
+        let bonf = w.bonferroni_labels(&table, 0.05);
+        let oracle = w.oracle_labels();
+        assert_eq!(bonf.len(), oracle.len());
+        // Bonferroni on full data never labels a true null significant
+        // (probability ≤ α of any error across the family).
+        let false_labels = bonf
+            .iter()
+            .zip(&oracle)
+            .filter(|(b, o)| **b && !**o)
+            .count();
+        assert!(false_labels <= 1, "{false_labels} null hypotheses labeled significant");
+        // And it finds a decent share of the real ones (it is conservative,
+        // so not all).
+        let found = bonf.iter().zip(&oracle).filter(|(b, o)| **b && **o).count();
+        let total_alt = oracle.iter().filter(|&&o| o).count();
+        assert!(
+            found as f64 / total_alt as f64 > 0.4,
+            "Bonferroni found {found}/{total_alt}"
+        );
+    }
+
+    #[test]
+    fn downsampled_evaluation_degrades_gracefully() {
+        let table = CensusGenerator::new(53).generate(10_000);
+        let sample = downsample(&table, 0.1, 7).unwrap();
+        let w = WorkflowGenerator::paper_default(54).generate();
+        let (ps_full, _) = w.evaluate(&table);
+        let (ps_small, supports) = w.evaluate(&sample);
+        assert_eq!(ps_small.len(), ps_full.len());
+        // Everything stays in range even when filters go empty.
+        assert!(ps_small.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(supports.iter().all(|&f| f > 0.0 && f <= 1.0));
+    }
+}

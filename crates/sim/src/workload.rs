@@ -1,0 +1,339 @@
+//! The synthetic hypothesis-stream workload of Exp.1a–1c.
+//!
+//! Following the paper (§7.1, itself modeled on the Benjamini–Hochberg
+//! 1995 simulation): each session consists of `m` hypotheses; each
+//! hypothesis compares the expectations of two normal populations with
+//! σ = 1. A configurable fraction of hypotheses are true nulls (equal
+//! means); the rest receive standardized effects cycling through
+//! {5/4, 5/2, 15/4, 5} — calibrated so that at full support the z-test
+//! non-centrality equals those values, matching BH95's power spectrum.
+//!
+//! Support scaling (Exp.1c): at sample fraction `f`, each arm draws
+//! `⌈f·n⌉` observations. The per-observation mean shift is held constant,
+//! so the achieved non-centrality scales like `√f` — exactly what
+//! shrinking a dataset does to a real test.
+
+use aware_stats::tests::{z_test_two_sample, Alternative};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The BH95 effect levels: non-centrality at full support.
+pub const BH95_EFFECTS: [f64; 4] = [1.25, 2.5, 3.75, 5.0];
+
+/// Default observations per arm at full support.
+///
+/// The non-centrality calibration makes power independent of this choice
+/// at `f = 1`; it only sets the granularity of the Exp.1c support sweep.
+pub const DEFAULT_N_PER_ARM: usize = 32;
+
+/// Configuration of the synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticWorkload {
+    /// Number of hypotheses per session.
+    pub m: usize,
+    /// Fraction of hypotheses that are true nulls (0.25 / 0.75 / 1.0 in
+    /// the paper).
+    pub null_fraction: f64,
+    /// Non-centrality targets for the alternatives, cycled in order.
+    pub effect_levels: Vec<f64>,
+    /// Observations per arm at full support.
+    pub n_per_arm: usize,
+    /// Sample fraction `f ∈ (0, 1]` (Exp.1c sweeps 0.1–0.9).
+    pub support_fraction: f64,
+    /// Whether tests are two-sided (the default, as in BH95).
+    pub two_sided: bool,
+}
+
+impl SyntheticWorkload {
+    /// The paper's default configuration for a given `m` and null share.
+    pub fn paper_default(m: usize, null_fraction: f64) -> SyntheticWorkload {
+        SyntheticWorkload {
+            m,
+            null_fraction,
+            effect_levels: BH95_EFFECTS.to_vec(),
+            n_per_arm: DEFAULT_N_PER_ARM,
+            support_fraction: 1.0,
+            two_sided: true,
+        }
+    }
+
+    /// Same with a support fraction (Exp.1c).
+    pub fn with_support(m: usize, null_fraction: f64, f: f64) -> SyntheticWorkload {
+        SyntheticWorkload { support_fraction: f, ..Self::paper_default(m, null_fraction) }
+    }
+
+    /// Number of true nulls in a session (deterministic rounding, as in
+    /// the paper's fixed proportions).
+    pub fn num_nulls(&self) -> usize {
+        ((self.m as f64) * self.null_fraction).round() as usize
+    }
+
+    /// Generates one session: p-values, support fractions, and ground
+    /// truth (`true` = the hypothesis is a real effect).
+    pub fn generate(&self, seed: u64) -> GeneratedSession {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_null = self.num_nulls().min(self.m);
+
+        // True nulls are "uniformly distributed across all tests": shuffle
+        // a truth mask.
+        let mut is_alternative: Vec<bool> = (0..self.m).map(|i| i >= n_null).collect();
+        is_alternative.shuffle(&mut rng);
+
+        let n_f = ((self.n_per_arm as f64) * self.support_fraction).ceil().max(2.0) as usize;
+        // Per-observation shift that achieves ncp `e` at FULL support:
+        // z-ncp = μ·√(n/2) ⇒ μ = e·√(2/n_full).
+        let shift = |e: f64| e * (2.0 / self.n_per_arm as f64).sqrt();
+
+        let mut p_values = Vec::with_capacity(self.m);
+        let mut effect_cursor = 0usize;
+        for &alt in &is_alternative {
+            let mu = if alt {
+                let e = self.effect_levels[effect_cursor % self.effect_levels.len()];
+                effect_cursor += 1;
+                shift(e)
+            } else {
+                0.0
+            };
+            let a: Vec<f64> = (0..n_f).map(|_| sample_normal(&mut rng, mu)).collect();
+            let b: Vec<f64> = (0..n_f).map(|_| sample_normal(&mut rng, 0.0)).collect();
+            let alt_kind = if self.two_sided { Alternative::TwoSided } else { Alternative::Greater };
+            let out = z_test_two_sample(&a, &b, 1.0, alt_kind)
+                .expect("workload samples are valid by construction");
+            p_values.push(out.p_value);
+        }
+        GeneratedSession {
+            p_values,
+            support_fractions: vec![self.support_fraction; self.m],
+            truth: is_alternative,
+        }
+    }
+
+    /// Theoretical per-test power of a plain level-α test on this
+    /// workload's alternatives (averaged over effect levels) — used to
+    /// sanity-check the harness against closed forms.
+    pub fn theoretical_power(&self, alpha: f64) -> f64 {
+        let f = self.support_fraction;
+        // Achieved ncp at fraction f: e·√(n_f/n_full) ≈ e·√f.
+        let n_f = ((self.n_per_arm as f64) * f).ceil().max(2.0);
+        let scale = (n_f / self.n_per_arm as f64).sqrt();
+        let mean: f64 = self
+            .effect_levels
+            .iter()
+            .map(|&e| {
+                if self.two_sided {
+                    aware_stats::power::z_power_two_sided(e * scale, alpha).unwrap_or(0.0)
+                } else {
+                    aware_stats::power::z_power_one_sided(e * scale, alpha).unwrap_or(0.0)
+                }
+            })
+            .sum::<f64>()
+            / self.effect_levels.len() as f64;
+        mean
+    }
+}
+
+/// One generated session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedSession {
+    /// Stream-ordered p-values.
+    pub p_values: Vec<f64>,
+    /// Per-test support fraction (constant within a session here;
+    /// workflows vary it per hypothesis).
+    pub support_fractions: Vec<f64>,
+    /// `truth[i]` is true when hypothesis `i` is a real effect.
+    pub truth: Vec<bool>,
+}
+
+impl GeneratedSession {
+    /// Number of true alternatives in the session.
+    pub fn num_alternatives(&self) -> usize {
+        self.truth.iter().filter(|&&t| t).count()
+    }
+}
+
+/// Box–Muller standard normal with mean shift (kept local so the workload
+/// depends only on `rand`, not on distribution sampling choices elsewhere).
+fn sample_normal(rng: &mut SmallRng, mu: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    mu + (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Equicorrelated variant of the synthetic workload (extension; not in the
+/// paper's evaluation).
+///
+/// The paper's §5.1 notes that α-investing "does not in general require any
+/// assumption regarding the independence of the hypotheses … although
+/// opportune corrections are necessary" — but evaluates only independent
+/// streams. This workload generates one-factor equicorrelated test
+/// statistics, `zᵢ = √ρ·Z₀ + √(1−ρ)·ξᵢ + ncpᵢ`, the standard model for
+/// overlapping sub-population tests (every filtered view shares the same
+/// underlying rows). `rho = 0` recovers the independent workload exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedWorkload {
+    /// Number of hypotheses per session.
+    pub m: usize,
+    /// Fraction of true nulls.
+    pub null_fraction: f64,
+    /// Pairwise correlation of the test statistics, in `[0, 1)`.
+    pub rho: f64,
+    /// Non-centrality targets for alternatives, cycled in order.
+    pub effect_levels: Vec<f64>,
+}
+
+impl CorrelatedWorkload {
+    /// Paper-style configuration with correlation `rho`.
+    pub fn new(m: usize, null_fraction: f64, rho: f64) -> CorrelatedWorkload {
+        CorrelatedWorkload { m, null_fraction, rho, effect_levels: BH95_EFFECTS.to_vec() }
+    }
+
+    /// Generates one session of two-sided z-test p-values.
+    pub fn generate(&self, seed: u64) -> GeneratedSession {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_null = ((self.m as f64) * self.null_fraction).round() as usize;
+        let mut is_alternative: Vec<bool> = (0..self.m).map(|i| i >= n_null.min(self.m)).collect();
+        is_alternative.shuffle(&mut rng);
+
+        let shared = sample_normal(&mut rng, 0.0);
+        let mut effect_cursor = 0usize;
+        let p_values: Vec<f64> = is_alternative
+            .iter()
+            .map(|&alt| {
+                let ncp = if alt {
+                    let e = self.effect_levels[effect_cursor % self.effect_levels.len()];
+                    effect_cursor += 1;
+                    e
+                } else {
+                    0.0
+                };
+                let idio = sample_normal(&mut rng, 0.0);
+                let z = self.rho.sqrt() * shared + (1.0 - self.rho).sqrt() * idio + ncp;
+                (2.0 * aware_stats::special::normal_sf(z.abs())).min(1.0)
+            })
+            .collect();
+        GeneratedSession {
+            p_values,
+            support_fractions: vec![1.0; self.m],
+            truth: is_alternative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_counts_match_fraction() {
+        for (m, frac, expected) in [(64, 0.75, 48), (64, 1.0, 64), (8, 0.25, 2), (4, 0.75, 3)] {
+            let w = SyntheticWorkload::paper_default(m, frac);
+            assert_eq!(w.num_nulls(), expected);
+            let s = w.generate(1);
+            assert_eq!(s.p_values.len(), m);
+            assert_eq!(s.num_alternatives(), m - expected);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w = SyntheticWorkload::paper_default(16, 0.75);
+        assert_eq!(w.generate(9), w.generate(9));
+        assert_ne!(w.generate(9), w.generate(10));
+    }
+
+    #[test]
+    fn null_p_values_are_roughly_uniform() {
+        let w = SyntheticWorkload::paper_default(64, 1.0);
+        let mut all = Vec::new();
+        for seed in 0..150 {
+            all.extend(w.generate(seed).p_values);
+        }
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "null p mean {mean}");
+        let below_05 = all.iter().filter(|&&p| p <= 0.05).count() as f64 / all.len() as f64;
+        assert!((below_05 - 0.05).abs() < 0.01, "P(p<=.05) = {below_05}");
+    }
+
+    #[test]
+    fn alternative_p_values_match_theoretical_power() {
+        let w = SyntheticWorkload::paper_default(64, 0.0); // all alternatives
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        for seed in 0..150 {
+            let s = w.generate(seed);
+            rejected += s.p_values.iter().filter(|&&p| p <= 0.05).count();
+            total += s.p_values.len();
+        }
+        let empirical = rejected as f64 / total as f64;
+        let theoretical = w.theoretical_power(0.05);
+        assert!(
+            (empirical - theoretical).abs() < 0.02,
+            "empirical {empirical} vs theoretical {theoretical}"
+        );
+        // BH95 spectrum at α=.05 two-sided averages ≈ 0.80.
+        assert!((0.7..0.9).contains(&theoretical), "{theoretical}");
+    }
+
+    #[test]
+    fn support_scaling_reduces_power() {
+        let full = SyntheticWorkload::with_support(64, 0.0, 1.0);
+        let small = SyntheticWorkload::with_support(64, 0.0, 0.1);
+        assert!(small.theoretical_power(0.05) < full.theoretical_power(0.05) - 0.2);
+        // Empirically too.
+        let count = |w: &SyntheticWorkload| {
+            let mut rej = 0;
+            for seed in 0..60 {
+                rej += w.generate(seed).p_values.iter().filter(|&&p| p <= 0.05).count();
+            }
+            rej
+        };
+        assert!(count(&small) < count(&full));
+    }
+
+    #[test]
+    fn correlated_workload_zero_rho_matches_uniform_nulls() {
+        let w = CorrelatedWorkload::new(64, 1.0, 0.0);
+        let mut all = Vec::new();
+        for seed in 0..100 {
+            all.extend(w.generate(seed).p_values);
+        }
+        let below = all.iter().filter(|&&p| p <= 0.05).count() as f64 / all.len() as f64;
+        assert!((below - 0.05).abs() < 0.01, "null rejection rate {below}");
+    }
+
+    #[test]
+    fn correlated_workload_induces_covariance() {
+        // With high rho, within-session rejections cluster: the variance of
+        // the per-session rejection count far exceeds the binomial value.
+        let var_of = |rho: f64| {
+            let w = CorrelatedWorkload::new(64, 1.0, rho);
+            let counts: Vec<f64> = (0..400)
+                .map(|seed| {
+                    w.generate(seed).p_values.iter().filter(|&&p| p <= 0.05).count() as f64
+                })
+                .collect();
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (counts.len() - 1) as f64
+        };
+        let independent = var_of(0.0);
+        let correlated = var_of(0.8);
+        assert!(
+            correlated > 3.0 * independent,
+            "var(R): rho=0.8 gives {correlated}, rho=0 gives {independent}"
+        );
+    }
+
+    #[test]
+    fn truth_positions_are_shuffled() {
+        // Across seeds, alternatives should not always sit at the front.
+        let w = SyntheticWorkload::paper_default(16, 0.5);
+        let mut first_is_alt = 0;
+        for seed in 0..200 {
+            if w.generate(seed).truth[0] {
+                first_is_alt += 1;
+            }
+        }
+        assert!((60..140).contains(&first_is_alt), "{first_is_alt}/200");
+    }
+}

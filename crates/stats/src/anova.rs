@@ -1,0 +1,260 @@
+//! One-way analysis of variance and the exact binomial test.
+//!
+//! Two more default hypotheses for the AWARE session layer (§9 future
+//! work):
+//!
+//! * **one-way ANOVA** — "the mean of a numeric attribute is the same in
+//!   every category of a grouping attribute": the k-group generalization
+//!   of the t-test Eve uses in step F. Effect size is η² (variance
+//!   explained).
+//! * **exact binomial test** — "the share of `true` under this filter
+//!   equals the global share": the exact rule-2 test for boolean
+//!   attributes, valid at any support size (the χ² GoF needs expected
+//!   counts ≥ ~5).
+
+use crate::dist::{ContinuousDist, FisherF};
+use crate::special::{beta_inc, ln_gamma};
+use crate::summary::Moments;
+use crate::tests::{Alternative, TestKind, TestOutcome};
+use crate::{Result, StatsError};
+
+/// One-way ANOVA over `groups` (each a sample of the numeric attribute).
+///
+/// Requires at least two groups with data and at least one more total
+/// observation than groups (so the within-group degrees of freedom are
+/// positive). Empty groups are skipped.
+pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<TestOutcome> {
+    let live: Vec<&Vec<f64>> = groups.iter().filter(|g| !g.is_empty()).collect();
+    if live.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            context: "one_way_anova",
+            needed: 2,
+            got: live.len(),
+        });
+    }
+    for g in &live {
+        if g.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite { context: "one_way_anova" });
+        }
+    }
+    let k = live.len();
+    let n: usize = live.iter().map(|g| g.len()).sum();
+    if n <= k {
+        return Err(StatsError::InsufficientData {
+            context: "one_way_anova",
+            needed: k + 1,
+            got: n,
+        });
+    }
+
+    let moments: Vec<Moments> = live.iter().map(|g| Moments::from_slice(g)).collect();
+    let grand_mean =
+        moments.iter().map(|m| m.mean() * m.count() as f64).sum::<f64>() / n as f64;
+    let ss_between: f64 = moments
+        .iter()
+        .map(|m| m.count() as f64 * (m.mean() - grand_mean).powi(2))
+        .sum();
+    let ss_within: f64 = moments
+        .iter()
+        .map(|m| m.population_variance() * m.count() as f64)
+        .sum();
+    if ss_within <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "one_way_anova" });
+    }
+    let df_between = (k - 1) as f64;
+    let df_within = (n - k) as f64;
+    let f = (ss_between / df_between) / (ss_within / df_within);
+    let dist = FisherF::new(df_between, df_within).expect("dof positive");
+    let eta_squared = ss_between / (ss_between + ss_within);
+    Ok(TestOutcome {
+        kind: TestKind::OneWayAnova,
+        statistic: f,
+        df: df_between, // the numerator dof; denominator derivable from support
+        p_value: dist.sf(f),
+        effect_size: eta_squared.sqrt(), // η, comparable to a correlation
+        support: n,
+    })
+}
+
+/// Exact binomial test of `H0: success probability = p0` from counts.
+///
+/// Two-sided p-value by the minimum-likelihood method (sum the
+/// probabilities of all outcomes no more likely than the observed one),
+/// matching R's `binom.test`. Effect size is Cohen's h against `p0`.
+pub fn binomial_test(successes: u64, trials: u64, p0: f64, alt: Alternative) -> Result<TestOutcome> {
+    if trials == 0 {
+        return Err(StatsError::InsufficientData { context: "binomial_test", needed: 1, got: 0 });
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidTable { reason: "successes exceed trials" });
+    }
+    if !(p0 > 0.0 && p0 < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            context: "binomial_test",
+            constraint: "0 < p0 < 1",
+            value: p0,
+        });
+    }
+    let n = trials;
+    let x = successes;
+
+    let p_value = match alt {
+        // P(X ≥ x) = I_{p0}(x, n−x+1) (regularized incomplete beta).
+        Alternative::Greater => {
+            if x == 0 {
+                1.0
+            } else {
+                beta_inc(x as f64, (n - x + 1) as f64, p0)
+            }
+        }
+        // P(X ≤ x) = 1 − I_{p0}(x+1, n−x).
+        Alternative::Less => {
+            if x == n {
+                1.0
+            } else {
+                1.0 - beta_inc((x + 1) as f64, (n - x) as f64, p0)
+            }
+        }
+        Alternative::TwoSided => {
+            // Sum P(X = i) over all i with P(X = i) ≤ P(X = x)·(1+ε).
+            let ln_px = ln_binom_pmf(x, n, p0);
+            let mut total = 0.0f64;
+            for i in 0..=n {
+                let lp = ln_binom_pmf(i, n, p0);
+                if lp <= ln_px + 1e-7 {
+                    total += lp.exp();
+                }
+            }
+            total.min(1.0)
+        }
+    };
+
+    let p_hat = x as f64 / n as f64;
+    let h = 2.0 * p_hat.sqrt().asin() - 2.0 * p0.sqrt().asin();
+    Ok(TestOutcome {
+        kind: TestKind::ExactBinomial,
+        statistic: x as f64,
+        df: f64::NAN,
+        p_value,
+        effect_size: h,
+        support: n as usize,
+    })
+}
+
+/// ln of the binomial pmf.
+fn ln_binom_pmf(x: u64, n: u64, p: f64) -> f64 {
+    ln_gamma(n as f64 + 1.0) - ln_gamma(x as f64 + 1.0) - ln_gamma((n - x) as f64 + 1.0)
+        + x as f64 * p.ln()
+        + (n - x) as f64 * (1.0 - p).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn anova_reference() {
+        // Hand-worked: group means 5/9/10, grand mean 8, SSB = 84,
+        // SSW = 68 → F = (84/2)/(68/15) = 9.26470…; p ≈ 0.0024
+        // (scipy.stats.f_oneway agrees).
+        let groups = vec![
+            vec![6.0, 8.0, 4.0, 5.0, 3.0, 4.0],
+            vec![8.0, 12.0, 9.0, 11.0, 6.0, 8.0],
+            vec![13.0, 9.0, 11.0, 8.0, 7.0, 12.0],
+        ];
+        let out = one_way_anova(&groups).unwrap();
+        assert!(close(out.statistic, 9.264_705_882_352_942, 1e-9), "F = {}", out.statistic);
+        assert!(close(out.p_value, 0.002_398, 1e-4), "p = {}", out.p_value);
+        assert_eq!(out.df, 2.0);
+        assert_eq!(out.support, 18);
+        assert!(out.effect_size > 0.5, "η = {}", out.effect_size);
+    }
+
+    #[test]
+    fn anova_two_groups_matches_t_squared() {
+        // With k = 2 the ANOVA F equals the pooled t statistic squared.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![3.0, 4.0, 5.0, 6.0, 7.0];
+        let f = one_way_anova(&[a.clone(), b.clone()]).unwrap();
+        let t = crate::tests::student_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(close(f.statistic, t.statistic * t.statistic, 1e-9));
+        assert!(close(f.p_value, t.p_value, 1e-9));
+    }
+
+    #[test]
+    fn anova_null_data_large_p() {
+        let groups = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 3.0, 4.0, 1.0],
+            vec![4.0, 1.0, 2.0, 3.0],
+        ];
+        let out = one_way_anova(&groups).unwrap();
+        assert!(close(out.statistic, 0.0, 1e-12), "identical groups F = 0");
+        assert!(close(out.p_value, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn anova_skips_empty_groups_and_validates() {
+        let out = one_way_anova(&[
+            vec![1.0, 2.0],
+            vec![],
+            vec![3.0, 4.0],
+        ])
+        .unwrap();
+        assert_eq!(out.support, 4);
+        assert!(one_way_anova(&[vec![1.0, 2.0]]).is_err());
+        assert!(one_way_anova(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(one_way_anova(&[vec![1.0, 1.0], vec![1.0, 1.0]]).is_err());
+        assert!(one_way_anova(&[vec![1.0, f64::NAN], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn binomial_reference() {
+        // R: binom.test(7, 20, 0.5) → two-sided p = 0.2632.
+        let out = binomial_test(7, 20, 0.5, Alternative::TwoSided).unwrap();
+        assert!(close(out.p_value, 0.263_2, 2e-4), "p = {}", out.p_value);
+        // R: binom.test(15, 20, 0.5, alternative="greater") → 0.02069.
+        let out = binomial_test(15, 20, 0.5, Alternative::Greater).unwrap();
+        assert!(close(out.p_value, 0.020_69, 2e-4), "p = {}", out.p_value);
+        // Less-tail complement-ish sanity.
+        let out = binomial_test(3, 20, 0.5, Alternative::Less).unwrap();
+        assert!(out.p_value < 0.01);
+    }
+
+    #[test]
+    fn binomial_symmetric_two_sided_doubles_tail() {
+        // For p0 = 0.5 the two-sided p equals twice the smaller tail
+        // (capped at 1).
+        let two = binomial_test(6, 20, 0.5, Alternative::TwoSided).unwrap().p_value;
+        let tail = binomial_test(6, 20, 0.5, Alternative::Less).unwrap().p_value;
+        assert!(close(two, (2.0 * tail).min(1.0), 1e-9), "{two} vs 2×{tail}");
+    }
+
+    #[test]
+    fn binomial_edges_and_validation() {
+        assert!(close(binomial_test(0, 10, 0.5, Alternative::Greater).unwrap().p_value, 1.0, 1e-12));
+        assert!(close(binomial_test(10, 10, 0.5, Alternative::Less).unwrap().p_value, 1.0, 1e-12));
+        let sure = binomial_test(10, 10, 0.5, Alternative::Greater).unwrap();
+        assert!(close(sure.p_value, 0.5f64.powi(10), 1e-12));
+        assert!(binomial_test(1, 0, 0.5, Alternative::TwoSided).is_err());
+        assert!(binomial_test(5, 4, 0.5, Alternative::TwoSided).is_err());
+        assert!(binomial_test(1, 10, 0.0, Alternative::TwoSided).is_err());
+        assert!(binomial_test(1, 10, 1.0, Alternative::TwoSided).is_err());
+    }
+
+    #[test]
+    fn binomial_exact_matches_beta_tail_identity() {
+        // Cross-check the incomplete-beta tail against direct summation.
+        let n = 30u64;
+        let p0 = 0.3;
+        for x in [1u64, 5, 9, 15, 29] {
+            let via_beta = binomial_test(x, n, p0, Alternative::Greater).unwrap().p_value;
+            let direct: f64 = (x..=n).map(|i| ln_binom_pmf(i, n, p0).exp()).sum();
+            assert!(close(via_beta, direct, 1e-10), "x={x}: {via_beta} vs {direct}");
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Probability distributions with CDF, survival, quantile, and sampling.
+//!
+//! All tail computations route through [`crate::special`], so survival
+//! probabilities stay accurate deep into the tails (needed because
+//! α-investing hands out per-test budgets far below 0.05, and the simulation
+//! harness must distinguish p = 1e-12 from p = 1e-9).
+//!
+//! Sampling takes any `rand::Rng` so workloads are reproducible from seeds.
+
+use crate::special::{
+    beta_inc, gamma_p, gamma_q, inv_beta_inc, inv_gamma_p, inv_normal_cdf, ln_beta, ln_gamma,
+    normal_cdf, normal_pdf, normal_sf,
+};
+use rand::Rng;
+
+/// Common interface over the continuous distributions used by AWARE.
+pub trait ContinuousDist {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Survival function `P(X > x)`, computed tail-accurately.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+    /// Quantile (inverse CDF) at probability `p ∈ [0, 1]`.
+    fn quantile(&self, p: f64) -> f64;
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draw `n` samples into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Standard normal `N(0, 1)`.
+    pub const STANDARD: Normal = Normal { mu: 0.0, sigma: 1.0 };
+
+    /// Creates `N(mu, sigma²)`. Returns `None` unless `sigma > 0` and both
+    /// parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        (sigma > 0.0 && mu.is_finite() && sigma.is_finite()).then_some(Normal { mu, sigma })
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        normal_sf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * inv_normal_cdf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Marsaglia polar method; consumes uniforms in pairs but caches nothing
+    /// so that sampling stays deterministic given the RNG stream position.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mu + self.sigma * u * factor;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Student t
+// ---------------------------------------------------------------------------
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// The CDF uses the incomplete-beta reduction
+/// `P(T ≤ t) = 1 − ½·I_{ν/(ν+t²)}(ν/2, ½)` for `t ≥ 0`, which keeps the
+/// upper tail accurate for the small p-values that drive rejections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates a t distribution. Returns `None` unless `nu > 0` and finite.
+    pub fn new(nu: f64) -> Option<Self> {
+        (nu > 0.0 && nu.is_finite()).then_some(StudentT { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl ContinuousDist for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        let ln_c = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_c - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        let nu = self.nu;
+        let ib = beta_inc(nu / 2.0, 0.5, nu / (nu + x * x));
+        if x >= 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        // Symmetry: SF(x) = CDF(−x); CDF(−x) is computed without cancellation.
+        self.cdf(-x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        if p == 0.5 {
+            return 0.0;
+        }
+        let nu = self.nu;
+        // Invert via the beta reduction: for p > ½,
+        // x = sqrt(ν(1−w)/w) with w = invbeta(ν/2, ½, 2(1−p)).
+        let (tail, sign) = if p > 0.5 { (1.0 - p, 1.0) } else { (p, -1.0) };
+        let w = inv_beta_inc(nu / 2.0, 0.5, 2.0 * tail);
+        sign * (nu * (1.0 - w) / w).sqrt()
+    }
+
+    fn mean(&self) -> f64 {
+        if self.nu > 1.0 {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.nu > 2.0 {
+            self.nu / (self.nu - 2.0)
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Samples as `Z / sqrt(V/ν)` with `Z ~ N(0,1)` and `V ~ χ²(ν)`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = Normal::STANDARD.sample(rng);
+        let v = ChiSquared::new(self.nu).expect("nu validated").sample(rng);
+        z / (v / self.nu).sqrt()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chi-squared
+// ---------------------------------------------------------------------------
+
+/// χ² distribution with `k` degrees of freedom (k may be fractional).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a χ² distribution. Returns `None` unless `k > 0` and finite.
+    pub fn new(k: f64) -> Option<Self> {
+        (k > 0.0 && k.is_finite()).then_some(ChiSquared { k })
+    }
+
+    /// Degrees of freedom.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl ContinuousDist for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.k < 2.0 {
+                f64::INFINITY
+            } else if self.k == 2.0 {
+                0.5
+            } else {
+                0.0
+            };
+        }
+        let half_k = self.k / 2.0;
+        ((half_k - 1.0) * x.ln() - x / 2.0 - half_k * 2.0_f64.ln() - ln_gamma(half_k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        gamma_p(self.k / 2.0, x / 2.0)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        gamma_q(self.k / 2.0, x / 2.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        2.0 * inv_gamma_p(self.k / 2.0, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.k
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.k
+    }
+
+    /// Marsaglia–Tsang gamma sampling (shape k/2, scale 2).
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        2.0 * sample_gamma(rng, self.k / 2.0)
+    }
+}
+
+/// Marsaglia–Tsang (2000) sampler for Gamma(shape, 1). For `shape < 1` the
+/// boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = Normal::STANDARD.sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fisher F
+// ---------------------------------------------------------------------------
+
+/// Fisher–Snedecor F distribution with `(d1, d2)` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    d1: f64,
+    d2: f64,
+}
+
+impl FisherF {
+    /// Creates an F distribution. Returns `None` unless both dof are > 0.
+    pub fn new(d1: f64, d2: f64) -> Option<Self> {
+        (d1 > 0.0 && d2 > 0.0 && d1.is_finite() && d2.is_finite()).then_some(FisherF { d1, d2 })
+    }
+
+    /// Numerator degrees of freedom.
+    pub fn d1(&self) -> f64 {
+        self.d1
+    }
+
+    /// Denominator degrees of freedom.
+    pub fn d2(&self) -> f64 {
+        self.d2
+    }
+}
+
+impl ContinuousDist for FisherF {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        let ln_num = (d1 / 2.0) * (d1 / d2).ln() + (d1 / 2.0 - 1.0) * x.ln();
+        let ln_den = ((d1 + d2) / 2.0) * (1.0 + d1 * x / d2).ln() + ln_beta(d1 / 2.0, d2 / 2.0);
+        (ln_num - ln_den).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        beta_inc(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        // I_{1−u}(b,a) complement keeps the upper tail accurate.
+        beta_inc(d2 / 2.0, d1 / 2.0, d2 / (d1 * x + d2))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        let w = inv_beta_inc(d1 / 2.0, d2 / 2.0, p);
+        if w >= 1.0 {
+            return f64::INFINITY;
+        }
+        d2 * w / (d1 * (1.0 - w))
+    }
+
+    fn mean(&self) -> f64 {
+        if self.d2 > 2.0 {
+            self.d2 / (self.d2 - 2.0)
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        let (d1, d2) = (self.d1, self.d2);
+        if d2 > 4.0 {
+            2.0 * d2 * d2 * (d1 + d2 - 2.0) / (d1 * (d2 - 2.0).powi(2) * (d2 - 4.0))
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let num = sample_gamma(rng, self.d1 / 2.0) / self.d1;
+        let den = sample_gamma(rng, self.d2 / 2.0) / self.d2;
+        num / den
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+/// Continuous uniform distribution on `[lo, hi)`.
+///
+/// Under a true null hypothesis p-values are Uniform(0,1); the simulation
+/// harness uses this to model "completely random data" streams directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDist {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformDist {
+    /// Standard uniform `U(0, 1)`.
+    pub const STANDARD: UniformDist = UniformDist { lo: 0.0, hi: 1.0 };
+
+    /// Creates `U(lo, hi)`. Returns `None` unless `lo < hi` and finite.
+    pub fn new(lo: f64, hi: f64) -> Option<Self> {
+        (lo < hi && lo.is_finite() && hi.is_finite()).then_some(UniformDist { lo, hi })
+    }
+}
+
+impl ContinuousDist for UniformDist {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x < self.hi {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        (self.hi - self.lo).powi(2) / 12.0
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn normal_construction_validates() {
+        assert!(Normal::new(0.0, 0.0).is_none());
+        assert!(Normal::new(0.0, -1.0).is_none());
+        assert!(Normal::new(f64::NAN, 1.0).is_none());
+        assert!(Normal::new(3.0, 2.0).is_some());
+    }
+
+    #[test]
+    fn normal_cdf_quantile_reference() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert!(close(n.cdf(10.0), 0.5, 1e-14));
+        assert!(close(n.cdf(13.92), 0.975, 1e-3));
+        assert!(close(n.quantile(0.975), 10.0 + 2.0 * 1.959_963_984_540_054, 1e-10));
+        assert!(close(n.pdf(10.0), 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-12));
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // Two-sided 0.05 critical value for ν = 10 is 2.228138851986273.
+        let t = StudentT::new(10.0).unwrap();
+        assert!(close(t.cdf(2.228_138_851_986_273), 0.975, 1e-10));
+        assert!(close(t.quantile(0.975), 2.228_138_851_986_273, 1e-8));
+        // ν = 1 is Cauchy: CDF(1) = 0.75.
+        let c = StudentT::new(1.0).unwrap();
+        assert!(close(c.cdf(1.0), 0.75, 1e-10));
+        // Symmetry.
+        assert!(close(t.cdf(-1.3) + t.cdf(1.3), 1.0, 1e-12));
+        // Large ν approaches the normal.
+        let big = StudentT::new(1e6).unwrap();
+        assert!(close(big.cdf(1.96), Normal::STANDARD.cdf(1.96), 1e-5));
+    }
+
+    #[test]
+    fn student_t_tail_no_cancellation() {
+        let t = StudentT::new(30.0).unwrap();
+        let sf = t.sf(10.0);
+        assert!(sf > 0.0 && sf < 1e-10, "sf = {sf}");
+        assert!(close(t.sf(2.042_272_456_301_238), 0.025, 1e-8));
+    }
+
+    #[test]
+    fn chi_squared_reference_values() {
+        let c1 = ChiSquared::new(1.0).unwrap();
+        assert!(close(c1.cdf(3.841_458_820_694_124), 0.95, 1e-10));
+        assert!(close(c1.quantile(0.95), 3.841_458_820_694_124, 1e-7));
+        let c4 = ChiSquared::new(4.0).unwrap();
+        assert!(close(c4.cdf(9.487_729_036_781_154), 0.95, 1e-10));
+        assert_eq!(c4.cdf(-1.0), 0.0);
+        assert_eq!(c4.sf(-1.0), 1.0);
+        assert!(close(c4.mean(), 4.0, 0.0));
+        assert!(close(c4.variance(), 8.0, 0.0));
+    }
+
+    #[test]
+    fn fisher_f_reference_values() {
+        // F(5, 10) 95th percentile = 3.325834529923155.
+        let f = FisherF::new(5.0, 10.0).unwrap();
+        assert!(close(f.cdf(3.325_834_529_923_155), 0.95, 1e-9));
+        assert!(close(f.quantile(0.95), 3.325_834_529_923_155, 1e-6));
+        // F(1, k) = T(k)².
+        let f1 = FisherF::new(1.0, 10.0).unwrap();
+        let t = StudentT::new(10.0).unwrap();
+        let x = 2.228_138_851_986_273;
+        assert!(close(f1.cdf(x * x), 2.0 * t.cdf(x) - 1.0, 1e-10));
+    }
+
+    #[test]
+    fn uniform_basics() {
+        let u = UniformDist::new(2.0, 4.0).unwrap();
+        assert!(close(u.cdf(3.0), 0.5, 1e-15));
+        assert!(close(u.quantile(0.25), 2.5, 1e-15));
+        assert!(close(u.mean(), 3.0, 0.0));
+        assert!(UniformDist::new(4.0, 4.0).is_none());
+    }
+
+    #[test]
+    fn sampling_moments_match() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 40_000;
+
+        let norm = Normal::new(3.0, 2.0).unwrap();
+        let xs = norm.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "normal mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "normal var {var}");
+
+        let chi = ChiSquared::new(5.0).unwrap();
+        let xs = chi.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "chi2 mean {mean}");
+
+        let t = StudentT::new(12.0).unwrap();
+        let xs = t.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "t mean {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Normal::STANDARD;
+        let a = d.sample_n(&mut SmallRng::seed_from_u64(7), 16);
+        let b = d.sample_n(&mut SmallRng::seed_from_u64(7), 16);
+        assert_eq!(a, b);
+        let c = d.sample_n(&mut SmallRng::seed_from_u64(8), 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrips() {
+        let dists: Vec<Box<dyn Fn(f64) -> (f64, f64)>> = vec![
+            Box::new(|p| {
+                let d = StudentT::new(7.0).unwrap();
+                (d.cdf(d.quantile(p)), p)
+            }),
+            Box::new(|p| {
+                let d = ChiSquared::new(3.0).unwrap();
+                (d.cdf(d.quantile(p)), p)
+            }),
+            Box::new(|p| {
+                let d = FisherF::new(4.0, 9.0).unwrap();
+                (d.cdf(d.quantile(p)), p)
+            }),
+        ];
+        for f in &dists {
+            for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+                let (got, want) = f(p);
+                assert!(close(got, want, 1e-7), "roundtrip {want} -> {got}");
+            }
+        }
+    }
+}

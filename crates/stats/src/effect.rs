@@ -1,0 +1,156 @@
+//! Effect sizes and their qualitative interpretation.
+//!
+//! The AWARE risk gauge (Figure 2 of the paper) displays a color-coded
+//! effect size next to every hypothesis — "cohen's d 0.5", "cohen's d 0.01"
+//! — because a significant p-value with a negligible effect is exactly the
+//! kind of discovery users should distrust.
+
+use crate::summary::Moments;
+
+/// Cohen's d between two samples using the pooled standard deviation.
+///
+/// Returns NaN when either sample has fewer than two observations or the
+/// pooled variance is zero.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
+    cohens_d_from_moments(&Moments::from_slice(a), &Moments::from_slice(b))
+}
+
+/// Cohen's d from pre-computed moments.
+pub fn cohens_d_from_moments(a: &Moments, b: &Moments) -> f64 {
+    let (n1, n2) = (a.count() as f64, b.count() as f64);
+    if n1 < 2.0 || n2 < 2.0 {
+        return f64::NAN;
+    }
+    let sp2 = ((n1 - 1.0) * a.variance() + (n2 - 1.0) * b.variance()) / (n1 + n2 - 2.0);
+    if sp2 <= 0.0 {
+        return f64::NAN;
+    }
+    (a.mean() - b.mean()) / sp2.sqrt()
+}
+
+/// Hedges' g: Cohen's d with the small-sample bias correction
+/// `J = 1 − 3/(4·df − 1)`.
+pub fn hedges_g(a: &[f64], b: &[f64]) -> f64 {
+    let d = cohens_d(a, b);
+    let df = (a.len() + b.len()) as f64 - 2.0;
+    if df <= 0.25 {
+        return f64::NAN;
+    }
+    d * (1.0 - 3.0 / (4.0 * df - 1.0))
+}
+
+/// φ coefficient for 2×2 tables: `√(χ²/n)`.
+pub fn phi_coefficient(chi2: f64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::NAN;
+    }
+    (chi2 / n as f64).sqrt()
+}
+
+/// Cramér's V for r×c tables: `√(χ² / (n·(min(r,c) − 1)))`.
+pub fn cramers_v(chi2: f64, n: u64, rows: usize, cols: usize) -> f64 {
+    let k = rows.min(cols);
+    if n == 0 || k < 2 {
+        return f64::NAN;
+    }
+    (chi2 / (n as f64 * (k - 1) as f64)).sqrt()
+}
+
+/// Conventional qualitative magnitude of a standardized effect size.
+///
+/// Thresholds follow Cohen (1988): |d| < 0.2 negligible, < 0.5 small,
+/// < 0.8 medium, otherwise large. The risk gauge color-codes on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectMagnitude {
+    /// |d| < 0.2 — practically no effect even if significant.
+    Negligible,
+    /// 0.2 ≤ |d| < 0.5.
+    Small,
+    /// 0.5 ≤ |d| < 0.8.
+    Medium,
+    /// |d| ≥ 0.8.
+    Large,
+}
+
+impl EffectMagnitude {
+    /// Classifies a standardized effect size; NaN maps to `Negligible`.
+    pub fn classify(effect: f64) -> EffectMagnitude {
+        let e = effect.abs();
+        if !(e >= 0.2) {
+            EffectMagnitude::Negligible
+        } else if e < 0.5 {
+            EffectMagnitude::Small
+        } else if e < 0.8 {
+            EffectMagnitude::Medium
+        } else {
+            EffectMagnitude::Large
+        }
+    }
+}
+
+impl std::fmt::Display for EffectMagnitude {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EffectMagnitude::Negligible => "negligible",
+            EffectMagnitude::Small => "small",
+            EffectMagnitude::Medium => "medium",
+            EffectMagnitude::Large => "large",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohens_d_hand_computed() {
+        // a: mean 2, var 1; b: mean 4, var 1 → pooled sd 1 → d = −2.
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [3.0, 4.0, 5.0, 4.0];
+        let d = cohens_d(&a, &b);
+        let expected = -2.0 / (2.0f64 / 3.0).sqrt(); // var = 2/3 each
+        assert!((d - expected).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn cohens_d_degenerate_is_nan() {
+        assert!(cohens_d(&[1.0], &[1.0, 2.0]).is_nan());
+        assert!(cohens_d(&[1.0, 1.0], &[2.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn hedges_g_shrinks_toward_zero() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [3.0, 4.0, 5.0, 4.0];
+        let d = cohens_d(&a, &b);
+        let g = hedges_g(&a, &b);
+        assert!(g.abs() < d.abs());
+        assert!((g - d * (1.0 - 3.0 / 23.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_and_cramers_v() {
+        assert!((phi_coefficient(20.0, 80) - 0.5).abs() < 1e-12);
+        assert!(phi_coefficient(20.0, 0).is_nan());
+        // For 2×2, Cramér's V equals φ.
+        assert!((cramers_v(20.0, 80, 2, 2) - 0.5).abs() < 1e-12);
+        // 3×4 table.
+        assert!((cramers_v(18.0, 100, 3, 4) - (18.0f64 / 200.0).sqrt()).abs() < 1e-12);
+        assert!(cramers_v(1.0, 100, 1, 5).is_nan());
+    }
+
+    #[test]
+    fn magnitude_thresholds() {
+        assert_eq!(EffectMagnitude::classify(0.0), EffectMagnitude::Negligible);
+        assert_eq!(EffectMagnitude::classify(0.19), EffectMagnitude::Negligible);
+        assert_eq!(EffectMagnitude::classify(0.2), EffectMagnitude::Small);
+        assert_eq!(EffectMagnitude::classify(-0.49), EffectMagnitude::Small);
+        assert_eq!(EffectMagnitude::classify(0.5), EffectMagnitude::Medium);
+        assert_eq!(EffectMagnitude::classify(-0.79), EffectMagnitude::Medium);
+        assert_eq!(EffectMagnitude::classify(0.8), EffectMagnitude::Large);
+        assert_eq!(EffectMagnitude::classify(f64::NAN), EffectMagnitude::Negligible);
+        assert_eq!(format!("{}", EffectMagnitude::Large), "large");
+    }
+}

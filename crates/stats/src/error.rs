@@ -1,0 +1,123 @@
+//! Error type shared by all statistical routines.
+//!
+//! The AWARE session layer surfaces these errors to the user interface
+//! (e.g. "this visualization has too little data for a t-test"), so the
+//! variants are deliberately specific rather than a single opaque message.
+
+use std::fmt;
+
+/// Errors produced by statistical computations.
+///
+/// All routines in this crate are total over their valid domains and return
+/// `Err` — never panic — on degenerate input, because in interactive data
+/// exploration degenerate input (an empty filter selection, a zero-variance
+/// column) is an everyday occurrence, not a programming bug.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A sample had fewer observations than the test requires.
+    InsufficientData {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// Both samples (or the single sample) had zero variance, so the test
+    /// statistic is undefined.
+    ZeroVariance {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+    },
+    /// A parameter was outside its valid domain (e.g. `alpha` not in (0,1)).
+    InvalidParameter {
+        /// Name of the routine that rejected the parameter.
+        context: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A contingency table was malformed (ragged rows, all-zero margins, …).
+    InvalidTable {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        context: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Input contained NaN or infinite values.
+    NonFinite {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { context, needed, got } => {
+                write!(f, "{context}: needs at least {needed} observations, got {got}")
+            }
+            StatsError::ZeroVariance { context } => {
+                write!(f, "{context}: sample variance is zero; statistic undefined")
+            }
+            StatsError::InvalidParameter { context, constraint, value } => {
+                write!(f, "{context}: parameter violates `{constraint}` (value {value})")
+            }
+            StatsError::InvalidTable { reason } => {
+                write!(f, "invalid contingency table: {reason}")
+            }
+            StatsError::NoConvergence { context, iterations } => {
+                write!(f, "{context}: no convergence after {iterations} iterations")
+            }
+            StatsError::NonFinite { context } => {
+                write!(f, "{context}: input contains NaN or infinite values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InsufficientData { context: "welch_t_test", needed: 2, got: 1 };
+        assert!(e.to_string().contains("welch_t_test"));
+        assert!(e.to_string().contains("at least 2"));
+
+        let e = StatsError::InvalidParameter {
+            context: "alpha_investing",
+            constraint: "0 < alpha < 1",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("0 < alpha < 1"));
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&StatsError::ZeroVariance { context: "t" });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StatsError::NonFinite { context: "x" },
+            StatsError::NonFinite { context: "x" }
+        );
+        assert_ne!(
+            StatsError::NonFinite { context: "x" },
+            StatsError::ZeroVariance { context: "x" }
+        );
+    }
+}

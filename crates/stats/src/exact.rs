@@ -1,0 +1,235 @@
+//! Exact and likelihood-ratio count tests: Fisher's exact test and the
+//! G-test.
+//!
+//! The ψ-support investing rule exists because filtered sub-populations
+//! get small; but below a few dozen rows the χ² approximation itself
+//! degrades. Fisher's exact test gives calibrated p-values for 2×2 tables
+//! at any support size, and the G-test is the likelihood-ratio analogue of
+//! χ² (asymptotically equivalent, better behaved for skewed tables).
+
+use crate::dist::{ChiSquared, ContinuousDist};
+use crate::effect::{cramers_v, phi_coefficient};
+use crate::special::ln_gamma;
+use crate::tests::{TestKind, TestOutcome};
+use crate::{Result, StatsError};
+
+/// ln of the binomial coefficient `C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// ln of the hypergeometric point probability of the 2×2 table
+/// `[[a, b], [c, d]]` with fixed margins.
+fn ln_hypergeometric(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let n = a + b + c + d;
+    ln_choose(a + b, a) + ln_choose(c + d, c) - ln_choose(n, a + c)
+}
+
+/// Fisher's exact test on a 2×2 table, two-sided by the standard
+/// "sum all tables at most as probable as the observed one" rule
+/// (matching R's `fisher.test` and scipy's default).
+pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<TestOutcome> {
+    let [[a, b], [c, d]] = table;
+    let n = a + b + c + d;
+    if n == 0 {
+        return Err(StatsError::InvalidTable { reason: "no observations" });
+    }
+    let row1 = a + b;
+    let col1 = a + c;
+    if row1 == 0 || row1 == n || col1 == 0 || col1 == n {
+        return Err(StatsError::InvalidTable {
+            reason: "a margin is empty; association undefined",
+        });
+    }
+
+    let observed_ln_p = ln_hypergeometric(a, b, c, d);
+    // Enumerate all tables with the same margins: a' ranges over
+    // [max(0, row1+col1−n), min(row1, col1)].
+    let lo = row1.saturating_add(col1).saturating_sub(n);
+    let hi = row1.min(col1);
+    let mut p = 0.0f64;
+    // Tolerance for "as probable as observed" (standard practice: 1e-7
+    // relative slack to absorb floating-point noise).
+    const REL_EPS: f64 = 1e-7;
+    for a_alt in lo..=hi {
+        let b_alt = row1 - a_alt;
+        let c_alt = col1 - a_alt;
+        let d_alt = n - row1 - c_alt;
+        let lp = ln_hypergeometric(a_alt, b_alt, c_alt, d_alt);
+        if lp <= observed_ln_p + REL_EPS {
+            p += lp.exp();
+        }
+    }
+    let p = p.min(1.0);
+
+    // φ as the effect size, computed from the table's χ² statistic.
+    let expected =
+        |r: u64, cc: u64| -> f64 { (r as f64) * (cc as f64) / n as f64 };
+    let cells = [
+        (a, expected(row1, col1)),
+        (b, expected(row1, n - col1)),
+        (c, expected(n - row1, col1)),
+        (d, expected(n - row1, n - col1)),
+    ];
+    let chi2: f64 = cells
+        .iter()
+        .map(|&(o, e)| if e > 0.0 { (o as f64 - e).powi(2) / e } else { 0.0 })
+        .sum();
+
+    Ok(TestOutcome {
+        kind: TestKind::FisherExact,
+        statistic: chi2,
+        df: 1.0,
+        p_value: p,
+        effect_size: phi_coefficient(chi2, n),
+        support: n as usize,
+    })
+}
+
+/// G-test (likelihood-ratio) of independence on an r×c table:
+/// `G = 2 Σ O·ln(O/E)`, asymptotically χ²((r−1)(c−1)).
+pub fn g_test_independence(table: &[Vec<u64>]) -> Result<TestOutcome> {
+    let r = table.len();
+    if r < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two rows" });
+    }
+    let c = table[0].len();
+    if c < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two columns" });
+    }
+    if table.iter().any(|row| row.len() != c) {
+        return Err(StatsError::InvalidTable { reason: "ragged rows" });
+    }
+    let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let total: u64 = row_sums.iter().sum();
+    if total == 0 {
+        return Err(StatsError::InvalidTable { reason: "no observations" });
+    }
+    let live_rows: Vec<usize> = (0..r).filter(|&i| row_sums[i] > 0).collect();
+    let live_cols: Vec<usize> = (0..c).filter(|&j| col_sums[j] > 0).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return Err(StatsError::InvalidTable {
+            reason: "table collapses after dropping empty margins",
+        });
+    }
+
+    let mut g = 0.0f64;
+    for &i in &live_rows {
+        for &j in &live_cols {
+            let o = table[i][j] as f64;
+            if o > 0.0 {
+                let e = row_sums[i] as f64 * col_sums[j] as f64 / total as f64;
+                g += o * (o / e).ln();
+            }
+            // O = 0 contributes 0 (lim x→0 of x·ln x).
+        }
+    }
+    g *= 2.0;
+    let df = ((live_rows.len() - 1) * (live_cols.len() - 1)) as f64;
+    let dist = ChiSquared::new(df).expect("df >= 1");
+    Ok(TestOutcome {
+        kind: TestKind::GTest,
+        statistic: g,
+        df,
+        p_value: dist.sf(g.max(0.0)),
+        effect_size: cramers_v(g.max(0.0), total, live_rows.len(), live_cols.len()),
+        support: total as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::chi_square_independence;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn fisher_exact_reference() {
+        // The classic tea-tasting table [[3,1],[1,3]]:
+        // two-sided p = 0.4857142857.
+        let out = fisher_exact([[3, 1], [1, 3]]).unwrap();
+        assert!(close(out.p_value, 0.485_714_285_7, 1e-9), "p = {}", out.p_value);
+        assert_eq!(out.support, 8);
+        // scipy.stats.fisher_exact([[8, 2], [1, 5]]) → p = 0.03496503…
+        let out = fisher_exact([[8, 2], [1, 5]]).unwrap();
+        assert!(close(out.p_value, 0.034_965_034_97, 1e-8), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn fisher_exact_no_association() {
+        let out = fisher_exact([[10, 10], [10, 10]]).unwrap();
+        assert!(close(out.p_value, 1.0, 1e-12));
+        assert!(close(out.effect_size, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn fisher_exact_extreme_table() {
+        let out = fisher_exact([[20, 0], [0, 20]]).unwrap();
+        assert!(out.p_value < 1e-9, "p = {}", out.p_value);
+        assert!(out.effect_size > 0.9);
+    }
+
+    #[test]
+    fn fisher_exact_degenerate_margins() {
+        assert!(fisher_exact([[0, 0], [3, 4]]).is_err());
+        assert!(fisher_exact([[0, 3], [0, 4]]).is_err());
+        assert!(fisher_exact([[0, 0], [0, 0]]).is_err());
+    }
+
+    #[test]
+    fn fisher_p_is_valid_under_null_enumeration() {
+        // Exactness: for fixed margins, Σ P(table) over all tables = 1, so
+        // the two-sided p of ANY observed table must be in (0, 1].
+        for a in 0..=6u64 {
+            let table = [[a, 6 - a], [6 - a, a]];
+            if let Ok(out) = fisher_exact(table) {
+                assert!(out.p_value > 0.0 && out.p_value <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn g_test_agrees_with_chi2_on_large_tables() {
+        // Asymptotic equivalence: on a large well-filled table the G and
+        // χ² statistics and p-values are close.
+        let table = vec![vec![320u64, 280, 210], vec![290, 310, 240]];
+        let g = g_test_independence(&table).unwrap();
+        let x2 = chi_square_independence(&table).unwrap();
+        assert!(close(g.statistic, x2.statistic, 0.5), "{} vs {}", g.statistic, x2.statistic);
+        assert!(close(g.p_value, x2.p_value, 0.02), "{} vs {}", g.p_value, x2.p_value);
+        assert_eq!(g.df, x2.df);
+    }
+
+    #[test]
+    fn g_test_reference() {
+        // Hand check on [[10, 20], [30, 5]]:
+        // strong association → tiny p, df = 1.
+        let out = g_test_independence(&[vec![10, 20], vec![30, 5]]).unwrap();
+        assert_eq!(out.df, 1.0);
+        assert!(out.p_value < 1e-4, "p = {}", out.p_value);
+        // Zero cells are fine (0·ln 0 = 0).
+        let out = g_test_independence(&[vec![10, 0], vec![5, 7]]).unwrap();
+        assert!(out.statistic.is_finite());
+    }
+
+    #[test]
+    fn g_test_validation() {
+        assert!(g_test_independence(&[vec![1, 2]]).is_err());
+        assert!(g_test_independence(&[vec![1], vec![2]]).is_err());
+        assert!(g_test_independence(&[vec![1, 2], vec![3]]).is_err());
+        assert!(g_test_independence(&[vec![0, 0], vec![0, 0]]).is_err());
+        assert!(g_test_independence(&[vec![1, 0], vec![2, 0]]).is_err());
+    }
+
+    #[test]
+    fn ln_choose_reference() {
+        assert!(close(ln_choose(10, 3), 120.0f64.ln(), 1e-10));
+        assert!(close(ln_choose(5, 0), 0.0, 1e-12));
+        assert!(close(ln_choose(5, 5), 0.0, 1e-12));
+    }
+}

@@ -1,0 +1,61 @@
+//! # aware-stats
+//!
+//! Statistical substrate for the AWARE reproduction of *Zhao et al.,
+//! "Controlling False Discoveries During Interactive Data Exploration"*
+//! (SIGMOD 2017).
+//!
+//! The crate is self-contained: every special function, distribution,
+//! hypothesis test, effect size, and power computation used by the rest of
+//! the workspace is implemented here from first principles (no external
+//! numerics crates).
+//!
+//! Layout:
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma/beta, error
+//!   function, and the normal quantile. These are the numerical kernels that
+//!   every p-value in the system ultimately flows through.
+//! * [`dist`] — probability distributions (Normal, Student-t, χ², F,
+//!   Uniform) with CDF, survival, quantile, and seeded sampling.
+//! * [`tests`] — frequentist hypothesis tests: one/two-sample t (pooled and
+//!   Welch), z-tests, χ² goodness-of-fit and independence, two-proportion z.
+//!   Each returns a [`tests::TestOutcome`] carrying the statistic, degrees of
+//!   freedom, p-value, effect size, and support size.
+//! * [`effect`] — Cohen's d, Hedges' g, φ, Cramér's V and the qualitative
+//!   magnitude labels used by the AWARE risk gauge.
+//! * [`power`] — statistical power and required-sample-size solvers backing
+//!   the paper's `n_H1` ("how much more data flips this decision") feature.
+//! * [`summary`] — numerically stable streaming moments (Welford) and
+//!   descriptive statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use aware_stats::tests::{welch_t_test, Alternative};
+//!
+//! let young = [23.0, 25.0, 31.0, 27.0, 29.0, 26.0, 24.0, 30.0];
+//! let old = [41.0, 39.0, 44.0, 46.0, 38.0, 43.0, 45.0, 40.0];
+//! let out = welch_t_test(&young, &old, Alternative::TwoSided).unwrap();
+//! assert!(out.p_value < 1e-6);
+//! ```
+
+// Numeric code below deliberately writes `!(x > 0.0)` instead of
+// `x <= 0.0`: the negated form is true for NaN as well, which is exactly
+// the domain check a special-function kernel needs. Clippy's suggested
+// rewrite would silently change NaN handling.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod anova;
+pub mod dist;
+pub mod effect;
+pub mod error;
+pub mod exact;
+pub mod nonparametric;
+pub mod power;
+pub mod special;
+pub mod summary;
+pub mod tests;
+
+pub use error::StatsError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

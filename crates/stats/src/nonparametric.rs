@@ -1,0 +1,340 @@
+//! Nonparametric two-sample tests: Mann–Whitney U and two-sample
+//! Kolmogorov–Smirnov.
+//!
+//! The paper's §9 lists "creating and evaluating other types of default
+//! hypothesis" as future work: AWARE's χ²/t defaults assume categorical
+//! buckets or comparable means, but a user comparing two skewed numeric
+//! distributions is better served by a rank or distribution-distance test.
+//! These integrate with the session layer exactly like the parametric
+//! tests — they produce a [`TestOutcome`] whose p-value flows through
+//! α-investing unchanged.
+
+use crate::special::normal_sf;
+use crate::summary::Moments;
+use crate::tests::{Alternative, TestKind, TestOutcome};
+use crate::{Result, StatsError};
+
+/// Mann–Whitney U test (Wilcoxon rank-sum) with the normal approximation,
+/// tie-corrected. Requires at least 4 observations per sample — below
+/// that the normal approximation is meaningless.
+///
+/// The reported effect size is the rank-biserial correlation
+/// `r = 1 − 2U/(n₁n₂) ∈ [−1, 1]`.
+pub fn mann_whitney_u(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutcome> {
+    const MIN_N: usize = 4;
+    if a.len() < MIN_N || b.len() < MIN_N {
+        return Err(StatsError::InsufficientData {
+            context: "mann_whitney_u",
+            needed: MIN_N,
+            got: a.len().min(b.len()),
+        });
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite { context: "mann_whitney_u" });
+    }
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    let n = n1 + n2;
+
+    // Midranks over the pooled sample.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_correction = 0.0f64;
+    let mut i = 0usize;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let tied = (j - i + 1) as f64;
+        // Midrank of the tie group (1-based ranks i+1 ..= j+1).
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for k in i..=j {
+            if pooled[k].1 == 0 {
+                rank_sum_a += midrank;
+            }
+        }
+        if tied > 1.0 {
+            tie_correction += tied * tied * tied - tied;
+        }
+        i = j + 1;
+    }
+
+    let u_a = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+    let mean_u = n1 * n2 / 2.0;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "mann_whitney_u" });
+    }
+    // Continuity correction toward the mean.
+    let cc = 0.5 * (u_a - mean_u).signum();
+    let z = (u_a - mean_u - cc) / var_u.sqrt();
+    let p = match alt {
+        Alternative::TwoSided => (2.0 * normal_sf(z.abs())).min(1.0),
+        Alternative::Greater => normal_sf(z),
+        Alternative::Less => 1.0 - normal_sf(z),
+    };
+    let effect = 1.0 - 2.0 * u_a / (n1 * n2); // rank-biserial (sign: b > a positive)
+    Ok(TestOutcome {
+        kind: TestKind::MannWhitneyU,
+        statistic: z,
+        df: f64::NAN,
+        p_value: p,
+        effect_size: effect,
+        support: (n1 + n2) as usize,
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic Kolmogorov
+/// distribution (two-sided only — the KS statistic is inherently
+/// two-sided). Requires at least 4 observations per sample.
+///
+/// The reported effect size is the KS statistic D itself.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<TestOutcome> {
+    const MIN_N: usize = 4;
+    if a.len() < MIN_N || b.len() < MIN_N {
+        return Err(StatsError::InsufficientData {
+            context: "ks_two_sample",
+            needed: MIN_N,
+            got: a.len().min(b.len()),
+        });
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite { context: "ks_two_sample" });
+    }
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.total_cmp(q));
+    ys.sort_by(|p, q| p.total_cmp(q));
+    let (n1, n2) = (xs.len(), ys.len());
+
+    // Sweep the merged order, tracking the ECDF gap.
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n1 && j < n2 {
+        let (x, y) = (xs[i], ys[j]);
+        let t = x.min(y);
+        while i < n1 && xs[i] <= t {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= t {
+            j += 1;
+        }
+        let gap = (i as f64 / n1 as f64 - j as f64 / n2 as f64).abs();
+        d = d.max(gap);
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    // Asymptotic p with the Stephens small-sample adjustment.
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p = kolmogorov_sf(lambda);
+    Ok(TestOutcome {
+        kind: TestKind::KolmogorovSmirnov,
+        statistic: d,
+        df: f64::NAN,
+        p_value: p,
+        effect_size: d,
+        support: n1 + n2,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`, clamped to [0, 1].
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Extends [`Moments`]-style summaries with the Hodges–Lehmann location
+/// shift estimate (median of pairwise differences) — the effect the
+/// Mann–Whitney test is sensitive to. O(n₁·n₂); intended for the
+/// hypothesis-detail view, not scan loops.
+pub fn hodges_lehmann_shift(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::InsufficientData {
+            context: "hodges_lehmann_shift",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut diffs: Vec<f64> = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            if !(x - y).is_finite() {
+                return Err(StatsError::NonFinite { context: "hodges_lehmann_shift" });
+            }
+            diffs.push(x - y);
+        }
+    }
+    diffs.sort_by(|p, q| p.total_cmp(q));
+    let n = diffs.len();
+    Ok(if n % 2 == 1 { diffs[n / 2] } else { (diffs[n / 2 - 1] + diffs[n / 2]) / 2.0 })
+}
+
+/// Convenience: picks a reasonable numeric two-sample test automatically —
+/// Welch t when both samples look roughly normal-scale (moment-based
+/// heuristic), Mann–Whitney otherwise. Exposed so the session layer can
+/// offer a "robust" default.
+pub fn robust_two_sample(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutcome> {
+    let skewed = |xs: &[f64]| -> bool {
+        let m = Moments::from_slice(xs);
+        if m.count() < 8 || !(m.std_dev() > 0.0) {
+            return false;
+        }
+        let mean = m.mean();
+        let s = m.std_dev();
+        let skew = xs.iter().map(|x| ((x - mean) / s).powi(3)).sum::<f64>() / xs.len() as f64;
+        skew.abs() > 2.0
+    };
+    if skewed(a) || skewed(b) {
+        mann_whitney_u(a, b, alt)
+    } else {
+        crate::tests::welch_t_test(a, b, alt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn mann_whitney_reference() {
+        // Hand-worked: ranks of a are {1,2,4,5,6} → U_a = 18 − 15 = 3,
+        // z = (3 − 15 + 0.5)/√30 = −2.0996, two-sided p ≈ 0.0357
+        // (scipy.stats.mannwhitneyu with use_continuity=True agrees).
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [6.0, 7.0, 8.0, 9.0, 10.0, 2.5];
+        let out = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(close(out.statistic, -2.099_6, 1e-3), "z = {}", out.statistic);
+        assert!(close(out.p_value, 0.035_76, 1e-4), "p = {}", out.p_value);
+        // b stochastically larger than a → positive rank-biserial.
+        assert!(out.effect_size > 0.5);
+        assert_eq!(out.support, 11);
+    }
+
+    #[test]
+    fn mann_whitney_no_difference() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let out = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(out.p_value > 0.3, "p = {}", out.p_value);
+        assert!(out.effect_size.abs() < 0.3);
+    }
+
+    #[test]
+    fn mann_whitney_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 3.0, 3.0, 4.0];
+        let out = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        assert!((0.0..=1.0).contains(&out.p_value));
+        // All-identical data has zero rank variance → error, not NaN.
+        let c = [5.0; 6];
+        let d = [5.0; 6];
+        assert!(matches!(
+            mann_whitney_u(&c, &d, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+    }
+
+    #[test]
+    fn mann_whitney_one_sided_directions() {
+        let lo = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let hi = [10.0, 11.0, 12.0, 13.0, 14.0];
+        // H1: first sample greater — false here.
+        let g = mann_whitney_u(&lo, &hi, Alternative::Greater).unwrap();
+        // H1: first sample less — true here.
+        let l = mann_whitney_u(&lo, &hi, Alternative::Less).unwrap();
+        assert!(l.p_value < 0.05, "less p = {}", l.p_value);
+        assert!(g.p_value > 0.9, "greater p = {}", g.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_validation() {
+        assert!(mann_whitney_u(&[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0], Alternative::TwoSided).is_err());
+        assert!(mann_whitney_u(
+            &[1.0, 2.0, f64::NAN, 4.0],
+            &[1.0, 2.0, 3.0, 4.0],
+            Alternative::TwoSided
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ks_reference() {
+        // Clearly separated samples → D = 1, tiny p.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0];
+        let out = ks_two_sample(&a, &b).unwrap();
+        assert!(close(out.statistic, 1.0, 1e-12));
+        assert!(out.p_value < 0.001, "p = {}", out.p_value);
+        // Identical samples → D = 0, p = 1.
+        let out = ks_two_sample(&a, &a).unwrap();
+        assert!(close(out.statistic, 0.0, 1e-12));
+        assert!(close(out.p_value, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn ks_moderate_overlap() {
+        // Hand-worked: the max ECDF gap is 3/8 (e.g. at t = 3: F_a = 3/8,
+        // F_b = 0); scipy.stats.ks_2samp agrees on D = 0.375.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5];
+        let out = ks_two_sample(&a, &b).unwrap();
+        assert!(close(out.statistic, 0.375, 1e-12), "D = {}", out.statistic);
+        assert!((0.3..0.8).contains(&out.p_value), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known: Q(0.828) ≈ 0.4994, Q(1.36) ≈ 0.0505 (the classic 5% point).
+        assert!(close(kolmogorov_sf(1.36), 0.0505, 2e-3));
+        assert!(close(kolmogorov_sf(0.828), 0.4994, 5e-3));
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn hodges_lehmann_reference() {
+        let a = [10.0, 12.0, 14.0];
+        let b = [1.0, 2.0, 3.0];
+        // Pairwise diffs: 7..13, median = 10.
+        assert!(close(hodges_lehmann_shift(&a, &b).unwrap(), 10.0, 1e-12));
+        assert!(hodges_lehmann_shift(&[], &b).is_err());
+        assert!(hodges_lehmann_shift(&[f64::INFINITY], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn robust_dispatch() {
+        // Symmetric data → Welch t.
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| i as f64 + 3.0).collect();
+        let out = robust_two_sample(&a, &b, Alternative::TwoSided).unwrap();
+        assert_eq!(out.kind, TestKind::WelchT);
+        // Heavily skewed data → Mann–Whitney.
+        let mut c: Vec<f64> = vec![0.0; 19];
+        c.push(1e6);
+        let out = robust_two_sample(&c, &b, Alternative::TwoSided).unwrap();
+        assert_eq!(out.kind, TestKind::MannWhitneyU);
+    }
+}

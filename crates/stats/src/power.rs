@@ -1,0 +1,384 @@
+//! Statistical power, required sample sizes, and the paper's `n_H1`
+//! "how much more data flips this decision" estimator (§3 of the paper).
+//!
+//! The AWARE interface annotates each hypothesis with how much additional
+//! data — drawn from the currently observed distribution (to turn an
+//! acceptance into a rejection) or from the null distribution (to wash a
+//! rejection out) — would flip the decision. The closed forms used here
+//! follow from how each statistic scales with support size:
+//!
+//! * mean-comparison statistics grow like `√n` at a fixed observed effect,
+//!   and dilute like `1/√k` when `(k−1)·n` null observations are appended;
+//! * χ² statistics grow like `n` at a fixed observed distribution, and
+//!   decay like `1/k` under null dilution.
+//!
+//! Power computations use the standard normal approximation for t/z tests
+//! (exact as `n → ∞`, and the approximation the paper's own §4.1 example is
+//! consistent with) and the Patnaik approximation to the non-central χ² for
+//! goodness-of-fit power.
+
+use crate::dist::{ChiSquared, ContinuousDist};
+use crate::special::{inv_normal_cdf, normal_cdf, normal_sf};
+use crate::tests::{Alternative, TestKind, TestOutcome};
+use crate::{Result, StatsError};
+
+fn validate_alpha(alpha: f64, context: &'static str) -> Result<()> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            context,
+            constraint: "0 < alpha < 1",
+            value: alpha,
+        });
+    }
+    Ok(())
+}
+
+/// Power of a two-sample mean comparison with per-group size `n`, true mean
+/// difference `delta`, and common standard deviation `sigma`, at
+/// significance level `alpha` (normal approximation).
+///
+/// Reproduces the paper's §4.1 example: `delta = 1`, `sigma = 4`,
+/// `n = 500`, one-sided `alpha = 0.05` gives power ≈ 0.99, and `n = 250`
+/// gives ≈ 0.87.
+pub fn two_sample_power(
+    delta: f64,
+    sigma: f64,
+    n_per_group: u64,
+    alpha: f64,
+    alt: Alternative,
+) -> Result<f64> {
+    validate_alpha(alpha, "two_sample_power")?;
+    if !(sigma > 0.0) || !sigma.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "two_sample_power",
+            constraint: "sigma > 0",
+            value: sigma,
+        });
+    }
+    if n_per_group == 0 {
+        return Err(StatsError::InsufficientData {
+            context: "two_sample_power",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let n = n_per_group as f64;
+    let ncp = delta / (sigma * (2.0 / n).sqrt());
+    Ok(match alt {
+        Alternative::Greater => {
+            let zc = inv_normal_cdf(1.0 - alpha);
+            normal_cdf(ncp - zc)
+        }
+        Alternative::Less => {
+            let zc = inv_normal_cdf(1.0 - alpha);
+            normal_cdf(-ncp - zc)
+        }
+        Alternative::TwoSided => {
+            let zc = inv_normal_cdf(1.0 - alpha / 2.0);
+            normal_cdf(ncp - zc) + normal_cdf(-ncp - zc)
+        }
+    })
+}
+
+/// Per-group sample size needed for a two-sample mean comparison to reach
+/// `power` at level `alpha` (normal approximation; two-sided ignores the
+/// negligible far-tail term).
+pub fn required_n_two_sample(
+    delta: f64,
+    sigma: f64,
+    alpha: f64,
+    power: f64,
+    alt: Alternative,
+) -> Result<u64> {
+    validate_alpha(alpha, "required_n_two_sample")?;
+    if !(power > 0.0 && power < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            context: "required_n_two_sample",
+            constraint: "0 < power < 1",
+            value: power,
+        });
+    }
+    if !(sigma > 0.0) || delta == 0.0 || !delta.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "required_n_two_sample",
+            constraint: "sigma > 0 and delta != 0",
+            value: if sigma > 0.0 { delta } else { sigma },
+        });
+    }
+    let za = match alt {
+        Alternative::TwoSided => inv_normal_cdf(1.0 - alpha / 2.0),
+        _ => inv_normal_cdf(1.0 - alpha),
+    };
+    let zb = inv_normal_cdf(power);
+    let n = 2.0 * ((za + zb) * sigma / delta.abs()).powi(2);
+    Ok(n.ceil() as u64)
+}
+
+/// Survival function of the non-central χ² via the Patnaik (1949)
+/// central-χ² moment-matching approximation.
+///
+/// `ncχ²(df, λ) ≈ c·χ²(h)` with `c = (df + 2λ)/(df + λ)` and
+/// `h = (df + λ)²/(df + 2λ)`. Adequate (~1e-2 absolute) for the power
+/// screens AWARE displays; not used for p-values.
+pub fn noncentral_chi2_sf(x: f64, df: f64, lambda: f64) -> f64 {
+    if !(df > 0.0) || lambda < 0.0 {
+        return f64::NAN;
+    }
+    if lambda == 0.0 {
+        return ChiSquared::new(df).expect("df > 0").sf(x);
+    }
+    let c = (df + 2.0 * lambda) / (df + lambda);
+    let h = (df + lambda).powi(2) / (df + 2.0 * lambda);
+    ChiSquared::new(h).expect("h > 0").sf(x / c)
+}
+
+/// Power of a χ² goodness-of-fit test with Cohen effect size `w`,
+/// `cells` categories, and `n` observations at level `alpha`.
+pub fn chi2_gof_power(w: f64, cells: usize, n: u64, alpha: f64) -> Result<f64> {
+    validate_alpha(alpha, "chi2_gof_power")?;
+    if cells < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two categories" });
+    }
+    if w < 0.0 || !w.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "chi2_gof_power",
+            constraint: "w >= 0",
+            value: w,
+        });
+    }
+    let df = (cells - 1) as f64;
+    let crit = ChiSquared::new(df).expect("df >= 1").quantile(1.0 - alpha);
+    let lambda = n as f64 * w * w;
+    Ok(noncentral_chi2_sf(crit, df, lambda))
+}
+
+/// Which way a decision would flip if more data arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipDirection {
+    /// Currently accepted null; appending data that follows the *observed*
+    /// (alternative) distribution would eventually reject it.
+    ToRejection,
+    /// Currently rejected null; appending data that follows the *null*
+    /// distribution would eventually wash the rejection out.
+    ToAcceptance,
+}
+
+/// Estimate of how much additional data flips a test decision (the paper's
+/// `n_H1` risk-gauge annotation, rendered as the little squares in Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipEstimate {
+    /// Direction of the hypothetical flip.
+    pub direction: FlipDirection,
+    /// Total-data multiplier: the decision flips once the support reaches
+    /// `factor × current support` (factor ≥ 1; ∞ when the statistic is 0).
+    pub factor: f64,
+    /// Absolute number of *additional* observations implied by `factor`.
+    pub additional_observations: u64,
+}
+
+/// Computes the data-multiplier needed to flip the decision of `outcome`
+/// tested at per-test level `alpha` with alternative `alt`.
+///
+/// Scaling laws (derived in the module docs): for t/z statistics the factor
+/// is `(z_crit/z_obs)²` toward rejection and `(z_obs/z_crit)²` toward
+/// acceptance; for χ² statistics it is `crit/χ²` and `χ²/crit`.
+pub fn flip_estimate(outcome: &TestOutcome, alpha: f64, alt: Alternative) -> Result<FlipEstimate> {
+    validate_alpha(alpha, "flip_estimate")?;
+    let rejected = outcome.p_value <= alpha;
+    let factor = match outcome.kind {
+        TestKind::ChiSquareGof | TestKind::ChiSquareIndependence => {
+            let crit = ChiSquared::new(outcome.df)
+                .ok_or(StatsError::InvalidParameter {
+                    context: "flip_estimate",
+                    constraint: "df > 0",
+                    value: outcome.df,
+                })?
+                .quantile(1.0 - alpha);
+            if rejected {
+                outcome.statistic / crit
+            } else if outcome.statistic > 0.0 {
+                crit / outcome.statistic
+            } else {
+                f64::INFINITY
+            }
+        }
+        _ => {
+            // Mean-comparison statistics: use the normal approximation.
+            let zc = match alt {
+                Alternative::TwoSided => inv_normal_cdf(1.0 - alpha / 2.0),
+                _ => inv_normal_cdf(1.0 - alpha),
+            };
+            let zo = match alt {
+                Alternative::TwoSided => outcome.statistic.abs(),
+                Alternative::Greater => outcome.statistic,
+                Alternative::Less => -outcome.statistic,
+            };
+            if rejected {
+                (zo / zc).powi(2)
+            } else if zo > 0.0 {
+                (zc / zo).powi(2)
+            } else {
+                f64::INFINITY
+            }
+        }
+    };
+    let factor = factor.max(1.0);
+    let additional = if factor.is_finite() {
+        ((factor - 1.0) * outcome.support as f64).ceil() as u64
+    } else {
+        u64::MAX
+    };
+    Ok(FlipEstimate {
+        direction: if rejected { FlipDirection::ToAcceptance } else { FlipDirection::ToRejection },
+        factor,
+        additional_observations: additional,
+    })
+}
+
+/// Probability that a standard one-sided z-test at level `alpha` rejects
+/// when the true standardized effect (non-centrality) is `ncp`.
+///
+/// Convenience used by the simulation harness to compute the theoretical
+/// per-test power of the BH95 workload configurations.
+pub fn z_power_one_sided(ncp: f64, alpha: f64) -> Result<f64> {
+    validate_alpha(alpha, "z_power_one_sided")?;
+    Ok(normal_sf(inv_normal_cdf(1.0 - alpha) - ncp))
+}
+
+/// Two-sided variant of [`z_power_one_sided`].
+pub fn z_power_two_sided(ncp: f64, alpha: f64) -> Result<f64> {
+    validate_alpha(alpha, "z_power_two_sided")?;
+    let zc = inv_normal_cdf(1.0 - alpha / 2.0);
+    Ok(normal_sf(zc - ncp) + normal_cdf(-zc - ncp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{chi_square_gof, welch_t_test};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn paper_holdout_example_powers() {
+        // §4.1: µ1=0, µ2=1, σ=4, one-sided t-test.
+        let full = two_sample_power(1.0, 4.0, 500, 0.05, Alternative::Greater).unwrap();
+        assert!(close(full, 0.99, 0.005), "power(500) = {full}");
+        let half = two_sample_power(1.0, 4.0, 250, 0.05, Alternative::Greater).unwrap();
+        assert!(close(half, 0.87, 0.01), "power(250) = {half}");
+        // Combined two-stage power 0.87² ≈ 0.76.
+        assert!(close(half * half, 0.76, 0.015));
+    }
+
+    #[test]
+    fn two_sided_power_less_than_one_sided() {
+        let one = two_sample_power(0.5, 1.0, 30, 0.05, Alternative::Greater).unwrap();
+        let two = two_sample_power(0.5, 1.0, 30, 0.05, Alternative::TwoSided).unwrap();
+        assert!(two < one);
+        // Power at zero effect equals alpha (size of the test).
+        let size = two_sample_power(0.0, 1.0, 30, 0.05, Alternative::TwoSided).unwrap();
+        assert!(close(size, 0.05, 1e-10));
+    }
+
+    #[test]
+    fn required_n_inverts_power() {
+        let n = required_n_two_sample(1.0, 4.0, 0.05, 0.99, Alternative::Greater).unwrap();
+        // Power at the returned n must reach the target; at n−5 it must not.
+        let p = two_sample_power(1.0, 4.0, n, 0.05, Alternative::Greater).unwrap();
+        assert!(p >= 0.99, "n = {n}, power = {p}");
+        let p_less = two_sample_power(1.0, 4.0, n - 5, 0.05, Alternative::Greater).unwrap();
+        assert!(p_less < 0.99);
+        // The classical formula gives ~496 for this configuration.
+        assert!((480..=510).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(two_sample_power(1.0, -1.0, 10, 0.05, Alternative::Greater).is_err());
+        assert!(two_sample_power(1.0, 1.0, 0, 0.05, Alternative::Greater).is_err());
+        assert!(two_sample_power(1.0, 1.0, 10, 0.0, Alternative::Greater).is_err());
+        assert!(required_n_two_sample(0.0, 1.0, 0.05, 0.8, Alternative::Greater).is_err());
+        assert!(required_n_two_sample(1.0, 1.0, 0.05, 1.0, Alternative::Greater).is_err());
+        assert!(chi2_gof_power(0.3, 1, 100, 0.05).is_err());
+        assert!(z_power_one_sided(1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn noncentral_chi2_patnaik_sanity() {
+        // λ = 0 reduces to the central distribution.
+        let df = 3.0;
+        let central = ChiSquared::new(df).unwrap();
+        assert!(close(noncentral_chi2_sf(5.0, df, 0.0), central.sf(5.0), 1e-12));
+        // SF increases with λ at fixed x.
+        let a = noncentral_chi2_sf(7.81, df, 1.0);
+        let b = noncentral_chi2_sf(7.81, df, 5.0);
+        let c = noncentral_chi2_sf(7.81, df, 20.0);
+        assert!(a < b && b < c);
+        // Cohen (1988) Table: w=0.3, df=1 (2 cells), n=100, α=0.05 → power ≈ 0.85.
+        let p = chi2_gof_power(0.3, 2, 100, 0.05).unwrap();
+        assert!(close(p, 0.85, 0.03), "power = {p}");
+    }
+
+    #[test]
+    fn flip_estimate_chi2_scaling_law() {
+        // Rejected χ² test: factor = χ²/crit.
+        let out = chi_square_gof(&[80, 20], &[0.5, 0.5]).unwrap();
+        assert!(out.p_value < 0.05);
+        let est = flip_estimate(&out, 0.05, Alternative::TwoSided).unwrap();
+        assert_eq!(est.direction, FlipDirection::ToAcceptance);
+        let crit = ChiSquared::new(1.0).unwrap().quantile(0.95);
+        assert!(close(est.factor, out.statistic / crit, 1e-9));
+
+        // Accepted χ² test: factor = crit/χ², and the implied extra data
+        // would indeed push k·χ² over the critical value.
+        let out = chi_square_gof(&[52, 48], &[0.5, 0.5]).unwrap();
+        assert!(out.p_value > 0.05);
+        let est = flip_estimate(&out, 0.05, Alternative::TwoSided).unwrap();
+        assert_eq!(est.direction, FlipDirection::ToRejection);
+        assert!(est.factor * out.statistic >= crit * 0.999);
+    }
+
+    #[test]
+    fn flip_estimate_t_test_scaling_law() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.5, 2.5, 2.2, 1.8];
+        let b = [1.4, 2.4, 3.4, 2.4, 1.9, 2.9, 2.6, 2.2];
+        let out = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(out.p_value > 0.05);
+        let est = flip_estimate(&out, 0.05, Alternative::TwoSided).unwrap();
+        assert_eq!(est.direction, FlipDirection::ToRejection);
+        assert!(est.factor > 1.0 && est.factor.is_finite());
+        // Simulate the scaling: replicating both samples `factor`× should
+        // bring the z-approximated statistic to the critical value.
+        let z_scaled = out.statistic.abs() * est.factor.sqrt();
+        let zc = inv_normal_cdf(0.975);
+        assert!(close(z_scaled, zc, 1e-6), "z_scaled = {z_scaled}");
+    }
+
+    #[test]
+    fn flip_estimate_zero_statistic_is_infinite() {
+        let out = TestOutcome {
+            kind: TestKind::WelchT,
+            statistic: 0.0,
+            df: 10.0,
+            p_value: 1.0,
+            effect_size: 0.0,
+            support: 100,
+        };
+        let est = flip_estimate(&out, 0.05, Alternative::TwoSided).unwrap();
+        assert!(est.factor.is_infinite());
+        assert_eq!(est.additional_observations, u64::MAX);
+    }
+
+    #[test]
+    fn z_power_helpers() {
+        // ncp = 0 → power = α.
+        assert!(close(z_power_one_sided(0.0, 0.05).unwrap(), 0.05, 1e-12));
+        assert!(close(z_power_two_sided(0.0, 0.05).unwrap(), 0.05, 1e-12));
+        // BH95 effect 1.25, one-sided: Φ(1.25 − 1.645) = Φ(−0.395) ≈ 0.346.
+        assert!(close(z_power_one_sided(1.25, 0.05).unwrap(), 0.346, 0.002));
+        // Strong effect 5: Φ(5 − 1.96) ≈ 0.9988.
+        assert!(close(z_power_two_sided(5.0, 0.05).unwrap(), 0.9988, 5e-4));
+    }
+}

@@ -1,0 +1,301 @@
+//! Numerically stable descriptive statistics.
+//!
+//! The data-exploration engine recomputes means and variances for every
+//! filter selection a user drags out, so these run in a single pass with
+//! Welford's update and never materialize intermediate vectors.
+
+use crate::{Result, StatsError};
+
+/// Single-pass accumulator for count / mean / variance (Welford).
+///
+/// Merging two accumulators (parallel reduction) uses the Chan et al.
+/// pairwise update, so the engine can compute per-chunk moments and combine.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the accumulator from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges another accumulator into this one (order-insensitive up to
+    /// floating-point rounding).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); NaN for `n < 2`.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); NaN when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean `s / √n`.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Full descriptive summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Observation count.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of middle pair for even `n`).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary, rejecting empty or non-finite input.
+    pub fn describe(xs: &[f64]) -> Result<Summary> {
+        if xs.is_empty() {
+            return Err(StatsError::InsufficientData { context: "Summary::describe", needed: 1, got: 0 });
+        }
+        if xs.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite { context: "Summary::describe" });
+        }
+        let m = Moments::from_slice(xs);
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Ok(Summary {
+            n,
+            mean: m.mean(),
+            variance: if n >= 2 { m.variance() } else { 0.0 },
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+}
+
+/// Mean and a two-sided normal-approximation confidence interval.
+///
+/// Used by the experiment harness to report `mean ± 95% CI` exactly as the
+/// paper's figures do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl MeanCi {
+    /// Computes mean ± z·s/√n over a slice. Empty input yields NaNs.
+    pub fn from_samples(xs: &[f64], level: f64) -> MeanCi {
+        let m = Moments::from_slice(xs);
+        if m.count() == 0 {
+            return MeanCi { mean: f64::NAN, half_width: f64::NAN, level };
+        }
+        if m.count() == 1 {
+            return MeanCi { mean: m.mean(), half_width: 0.0, level };
+        }
+        let z = crate::special::inv_normal_cdf(0.5 + level / 2.0);
+        MeanCi { mean: m.mean(), half_width: z * m.std_err(), level }
+    }
+
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}±{:.4}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m = Moments::from_slice(&xs);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Catastrophic cancellation check: values ~1e9 with tiny variance.
+        let xs: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 3) as f64).collect();
+        let m = Moments::from_slice(&xs);
+        let expected_var = {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+        };
+        assert!((m.variance() - expected_var).abs() / expected_var < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..97).map(|i| (i as f64).sin() * 10.0).collect();
+        let full = Moments::from_slice(&xs);
+        let mut left = Moments::from_slice(&xs[..40]);
+        let right = Moments::from_slice(&xs[40..]);
+        left.merge(&right);
+        assert_eq!(left.count(), full.count());
+        assert!((left.mean() - full.mean()).abs() < 1e-12);
+        assert!((left.variance() - full.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut m = Moments::from_slice(&xs);
+        m.merge(&Moments::new());
+        assert_eq!(m, Moments::from_slice(&xs));
+        let mut e = Moments::new();
+        e.merge(&Moments::from_slice(&xs));
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn empty_and_single_element_edge_cases() {
+        let m = Moments::new();
+        assert!(m.mean().is_nan());
+        assert!(m.variance().is_nan());
+        let mut m = Moments::new();
+        m.push(5.0);
+        assert_eq!(m.mean(), 5.0);
+        assert!(m.variance().is_nan());
+    }
+
+    #[test]
+    fn describe_reference() {
+        let s = Summary::describe(&[3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+
+        let s = Summary::describe(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn describe_rejects_bad_input() {
+        assert!(matches!(
+            Summary::describe(&[]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            Summary::describe(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_ci_reference() {
+        // 100 identical values: zero-width interval.
+        let xs = vec![2.5; 100];
+        let ci = MeanCi::from_samples(&xs, 0.95);
+        assert_eq!(ci.mean, 2.5);
+        assert_eq!(ci.half_width, 0.0);
+
+        // Known half width: s = 1, n = 100 → 1.96/10.
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let ci = MeanCi::from_samples(&xs, 0.95);
+        assert!((ci.mean - 1.0).abs() < 1e-12);
+        let s = (100.0_f64 / 99.0).sqrt();
+        assert!((ci.half_width - 1.959_963_984_540_054 * s / 10.0).abs() < 1e-9);
+        assert!(ci.lo() < 1.0 && ci.hi() > 1.0);
+        assert_eq!(format!("{ci}"), format!("{:.4}±{:.4}", ci.mean, ci.half_width));
+    }
+}

@@ -1,0 +1,673 @@
+//! Frequentist hypothesis tests.
+//!
+//! These are the tests AWARE attaches to visualizations (§2.3 of the paper):
+//! the default for comparing histogram distributions is the χ² test, and the
+//! user may override to a t-test when the question is about means (as Eve
+//! does in step F of the running example). Every test returns a
+//! [`TestOutcome`] carrying everything the risk gauge displays: statistic,
+//! degrees of freedom, p-value, effect size, and support size.
+
+use crate::dist::{ChiSquared, ContinuousDist, Normal, StudentT};
+use crate::effect::{cohens_d_from_moments, cramers_v, phi_coefficient};
+use crate::summary::Moments;
+use crate::{Result, StatsError};
+
+/// Direction of the alternative hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alternative {
+    /// `H1: θ ≠ θ0` — the default for visual comparisons.
+    TwoSided,
+    /// `H1: θ < θ0`.
+    Less,
+    /// `H1: θ > θ0`.
+    Greater,
+}
+
+impl Alternative {
+    /// p-value for a symmetric-about-zero null distribution, given the
+    /// observed statistic and tail-accurate `cdf`/`sf` closures.
+    fn p_value_symmetric(self, stat: f64, cdf: impl Fn(f64) -> f64, sf: impl Fn(f64) -> f64) -> f64 {
+        match self {
+            Alternative::TwoSided => (2.0 * sf(stat.abs())).min(1.0),
+            Alternative::Greater => sf(stat),
+            Alternative::Less => cdf(stat),
+        }
+    }
+}
+
+impl std::fmt::Display for Alternative {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Alternative::TwoSided => write!(f, "two-sided"),
+            Alternative::Less => write!(f, "less"),
+            Alternative::Greater => write!(f, "greater"),
+        }
+    }
+}
+
+/// Which statistical test produced an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestKind {
+    /// Two-sample Welch t-test (unequal variances).
+    WelchT,
+    /// Two-sample pooled (Student) t-test.
+    StudentT,
+    /// One-sample t-test against a fixed mean.
+    OneSampleT,
+    /// Two-sample z-test with known variance.
+    ZTest,
+    /// χ² goodness-of-fit against expected proportions.
+    ChiSquareGof,
+    /// χ² test of independence on an r×c contingency table.
+    ChiSquareIndependence,
+    /// Two-proportion z-test.
+    TwoProportionZ,
+    /// Mann–Whitney U (rank-sum) test, see [`crate::nonparametric`].
+    MannWhitneyU,
+    /// Two-sample Kolmogorov–Smirnov test, see [`crate::nonparametric`].
+    KolmogorovSmirnov,
+    /// Fisher's exact test on a 2×2 table, see [`crate::exact`].
+    FisherExact,
+    /// Likelihood-ratio G-test of independence, see [`crate::exact`].
+    GTest,
+    /// One-way analysis of variance, see [`crate::anova`].
+    OneWayAnova,
+    /// Exact binomial proportion test, see [`crate::anova`].
+    ExactBinomial,
+}
+
+impl std::fmt::Display for TestKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TestKind::WelchT => "welch-t",
+            TestKind::StudentT => "student-t",
+            TestKind::OneSampleT => "one-sample-t",
+            TestKind::ZTest => "z-test",
+            TestKind::ChiSquareGof => "chi-square-gof",
+            TestKind::ChiSquareIndependence => "chi-square-indep",
+            TestKind::TwoProportionZ => "two-proportion-z",
+            TestKind::MannWhitneyU => "mann-whitney-u",
+            TestKind::KolmogorovSmirnov => "kolmogorov-smirnov",
+            TestKind::FisherExact => "fisher-exact",
+            TestKind::GTest => "g-test",
+            TestKind::OneWayAnova => "one-way-anova",
+            TestKind::ExactBinomial => "exact-binomial",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The test that was run.
+    pub kind: TestKind,
+    /// Observed test statistic (t, z, or χ²).
+    pub statistic: f64,
+    /// Degrees of freedom (NaN for exact z-tests).
+    pub df: f64,
+    /// The p-value in `[0, 1]`.
+    pub p_value: f64,
+    /// Standardized effect size: Cohen's d for mean comparisons, Cramér's V
+    /// (φ for 2×2 / 1-df cases) for χ² tests.
+    pub effect_size: f64,
+    /// Total number of observations supporting the test — the `|j|` that
+    /// the ψ-support investing rule consumes.
+    pub support: usize,
+}
+
+fn require_finite(xs: &[f64], context: &'static str) -> Result<()> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        Err(StatsError::NonFinite { context })
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// t-tests
+// ---------------------------------------------------------------------------
+
+/// Two-sample Welch t-test (unequal variances) on raw samples.
+pub fn welch_t_test(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutcome> {
+    require_finite(a, "welch_t_test")?;
+    require_finite(b, "welch_t_test")?;
+    welch_t_from_moments(&Moments::from_slice(a), &Moments::from_slice(b), alt)
+}
+
+/// Two-sample Welch t-test from pre-computed moments.
+///
+/// The data engine computes [`Moments`] per filter selection in one pass;
+/// this entry point avoids re-touching the raw column data.
+pub fn welch_t_from_moments(a: &Moments, b: &Moments, alt: Alternative) -> Result<TestOutcome> {
+    let (n1, n2) = (a.count() as f64, b.count() as f64);
+    if n1 < 2.0 || n2 < 2.0 {
+        return Err(StatsError::InsufficientData {
+            context: "welch_t_test",
+            needed: 2,
+            got: n1.min(n2) as usize,
+        });
+    }
+    let (v1, v2) = (a.variance(), b.variance());
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "welch_t_test" });
+    }
+    let t = (a.mean() - b.mean()) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2 / ((v1 / n1).powi(2) / (n1 - 1.0) + (v2 / n2).powi(2) / (n2 - 1.0));
+    let dist = StudentT::new(df).expect("df > 0 by construction");
+    let p = alt.p_value_symmetric(t, |x| dist.cdf(x), |x| dist.sf(x));
+    Ok(TestOutcome {
+        kind: TestKind::WelchT,
+        statistic: t,
+        df,
+        p_value: p,
+        effect_size: cohens_d_from_moments(a, b),
+        support: (n1 + n2) as usize,
+    })
+}
+
+/// Two-sample pooled-variance (Student) t-test on raw samples.
+pub fn student_t_test(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutcome> {
+    require_finite(a, "student_t_test")?;
+    require_finite(b, "student_t_test")?;
+    student_t_from_moments(&Moments::from_slice(a), &Moments::from_slice(b), alt)
+}
+
+/// Two-sample pooled t-test from pre-computed moments.
+pub fn student_t_from_moments(a: &Moments, b: &Moments, alt: Alternative) -> Result<TestOutcome> {
+    let (n1, n2) = (a.count() as f64, b.count() as f64);
+    if n1 < 2.0 || n2 < 2.0 {
+        return Err(StatsError::InsufficientData {
+            context: "student_t_test",
+            needed: 2,
+            got: n1.min(n2) as usize,
+        });
+    }
+    let df = n1 + n2 - 2.0;
+    let sp2 = ((n1 - 1.0) * a.variance() + (n2 - 1.0) * b.variance()) / df;
+    if sp2 <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "student_t_test" });
+    }
+    let t = (a.mean() - b.mean()) / (sp2 * (1.0 / n1 + 1.0 / n2)).sqrt();
+    let dist = StudentT::new(df).expect("df > 0 by construction");
+    let p = alt.p_value_symmetric(t, |x| dist.cdf(x), |x| dist.sf(x));
+    Ok(TestOutcome {
+        kind: TestKind::StudentT,
+        statistic: t,
+        df,
+        p_value: p,
+        effect_size: cohens_d_from_moments(a, b),
+        support: (n1 + n2) as usize,
+    })
+}
+
+/// One-sample t-test of `H0: mean = mu0`.
+pub fn one_sample_t_test(xs: &[f64], mu0: f64, alt: Alternative) -> Result<TestOutcome> {
+    require_finite(xs, "one_sample_t_test")?;
+    if !mu0.is_finite() {
+        return Err(StatsError::NonFinite { context: "one_sample_t_test" });
+    }
+    let m = Moments::from_slice(xs);
+    let n = m.count() as f64;
+    if n < 2.0 {
+        return Err(StatsError::InsufficientData {
+            context: "one_sample_t_test",
+            needed: 2,
+            got: n as usize,
+        });
+    }
+    let s = m.std_dev();
+    if s <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "one_sample_t_test" });
+    }
+    let t = (m.mean() - mu0) / (s / n.sqrt());
+    let df = n - 1.0;
+    let dist = StudentT::new(df).expect("df > 0 by construction");
+    let p = alt.p_value_symmetric(t, |x| dist.cdf(x), |x| dist.sf(x));
+    Ok(TestOutcome {
+        kind: TestKind::OneSampleT,
+        statistic: t,
+        df,
+        p_value: p,
+        effect_size: (m.mean() - mu0) / s,
+        support: n as usize,
+    })
+}
+
+/// Two-sample z-test with known common standard deviation `sigma`.
+///
+/// Used by the simulation harness to reproduce the BH95-style synthetic
+/// workload exactly (normal populations of known variance 1).
+pub fn z_test_two_sample(a: &[f64], b: &[f64], sigma: f64, alt: Alternative) -> Result<TestOutcome> {
+    require_finite(a, "z_test_two_sample")?;
+    require_finite(b, "z_test_two_sample")?;
+    if !(sigma > 0.0) || !sigma.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            context: "z_test_two_sample",
+            constraint: "sigma > 0",
+            value: sigma,
+        });
+    }
+    let (ma, mb) = (Moments::from_slice(a), Moments::from_slice(b));
+    let (n1, n2) = (ma.count() as f64, mb.count() as f64);
+    if n1 < 1.0 || n2 < 1.0 {
+        return Err(StatsError::InsufficientData {
+            context: "z_test_two_sample",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let z = (ma.mean() - mb.mean()) / (sigma * (1.0 / n1 + 1.0 / n2).sqrt());
+    let std = Normal::STANDARD;
+    let p = alt.p_value_symmetric(z, |x| std.cdf(x), |x| std.sf(x));
+    Ok(TestOutcome {
+        kind: TestKind::ZTest,
+        statistic: z,
+        df: f64::NAN,
+        p_value: p,
+        effect_size: (ma.mean() - mb.mean()) / sigma,
+        support: (n1 + n2) as usize,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// χ² tests
+// ---------------------------------------------------------------------------
+
+/// χ² goodness-of-fit of observed counts against expected proportions.
+///
+/// This is AWARE's heuristic-rule-2 default: "the filtered distribution is
+/// no different from the whole-dataset distribution". `expected_props` are
+/// normalized internally; categories with zero expected proportion must have
+/// zero observed count, otherwise the table is invalid.
+pub fn chi_square_gof(observed: &[u64], expected_props: &[f64]) -> Result<TestOutcome> {
+    if observed.len() != expected_props.len() {
+        return Err(StatsError::InvalidTable { reason: "observed/expected length mismatch" });
+    }
+    if observed.len() < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two categories" });
+    }
+    if expected_props.iter().any(|p| !p.is_finite() || *p < 0.0) {
+        return Err(StatsError::InvalidTable { reason: "expected proportions must be finite and non-negative" });
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return Err(StatsError::InvalidTable { reason: "no observations" });
+    }
+    let prop_sum: f64 = expected_props.iter().sum();
+    if prop_sum <= 0.0 {
+        return Err(StatsError::InvalidTable { reason: "expected proportions sum to zero" });
+    }
+
+    let mut chi2 = 0.0;
+    let mut used_cells = 0usize;
+    for (&obs, &prop) in observed.iter().zip(expected_props) {
+        let expected = total as f64 * prop / prop_sum;
+        if expected == 0.0 {
+            if obs > 0 {
+                return Err(StatsError::InvalidTable {
+                    reason: "observed count in a category with zero expected probability",
+                });
+            }
+            continue; // structurally empty category carries no information
+        }
+        chi2 += (obs as f64 - expected).powi(2) / expected;
+        used_cells += 1;
+    }
+    if used_cells < 2 {
+        return Err(StatsError::InvalidTable { reason: "fewer than two informative categories" });
+    }
+    let df = (used_cells - 1) as f64;
+    let dist = ChiSquared::new(df).expect("df >= 1");
+    let k = used_cells as f64;
+    // Effect size: Cramér's-V-style normalization √(χ²/(n·(k−1))).
+    let effect = (chi2 / (total as f64 * (k - 1.0))).sqrt();
+    Ok(TestOutcome {
+        kind: TestKind::ChiSquareGof,
+        statistic: chi2,
+        df,
+        p_value: dist.sf(chi2),
+        effect_size: effect,
+        support: total as usize,
+    })
+}
+
+/// χ² test of independence on an `r × c` contingency table (row-major).
+///
+/// This is AWARE's heuristic-rule-3 default: two linked visualizations with
+/// negated filters form a 2×k table of counts. All-zero rows and columns are
+/// dropped before computing expectations.
+pub fn chi_square_independence(table: &[Vec<u64>]) -> Result<TestOutcome> {
+    let r = table.len();
+    if r < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two rows" });
+    }
+    let c = table[0].len();
+    if c < 2 {
+        return Err(StatsError::InvalidTable { reason: "need at least two columns" });
+    }
+    if table.iter().any(|row| row.len() != c) {
+        return Err(StatsError::InvalidTable { reason: "ragged rows" });
+    }
+
+    let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let total: u64 = row_sums.iter().sum();
+    if total == 0 {
+        return Err(StatsError::InvalidTable { reason: "no observations" });
+    }
+
+    let live_rows: Vec<usize> = (0..r).filter(|&i| row_sums[i] > 0).collect();
+    let live_cols: Vec<usize> = (0..c).filter(|&j| col_sums[j] > 0).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return Err(StatsError::InvalidTable {
+            reason: "table collapses to a single row or column after dropping empty margins",
+        });
+    }
+
+    let mut chi2 = 0.0;
+    for &i in &live_rows {
+        for &j in &live_cols {
+            let expected = row_sums[i] as f64 * col_sums[j] as f64 / total as f64;
+            chi2 += (table[i][j] as f64 - expected).powi(2) / expected;
+        }
+    }
+    let df = ((live_rows.len() - 1) * (live_cols.len() - 1)) as f64;
+    let dist = ChiSquared::new(df).expect("df >= 1");
+    let effect = if live_rows.len() == 2 && live_cols.len() == 2 {
+        phi_coefficient(chi2, total)
+    } else {
+        cramers_v(chi2, total, live_rows.len(), live_cols.len())
+    };
+    Ok(TestOutcome {
+        kind: TestKind::ChiSquareIndependence,
+        statistic: chi2,
+        df,
+        p_value: dist.sf(chi2),
+        effect_size: effect,
+        support: total as usize,
+    })
+}
+
+/// Two-proportion z-test: `H0: p1 = p2` from success counts.
+pub fn two_proportion_z_test(
+    successes1: u64,
+    n1: u64,
+    successes2: u64,
+    n2: u64,
+    alt: Alternative,
+) -> Result<TestOutcome> {
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::InsufficientData {
+            context: "two_proportion_z_test",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if successes1 > n1 || successes2 > n2 {
+        return Err(StatsError::InvalidTable { reason: "successes exceed trials" });
+    }
+    let (p1, p2) = (successes1 as f64 / n1 as f64, successes2 as f64 / n2 as f64);
+    let pooled = (successes1 + successes2) as f64 / (n1 + n2) as f64;
+    let se2 = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if se2 <= 0.0 {
+        return Err(StatsError::ZeroVariance { context: "two_proportion_z_test" });
+    }
+    let z = (p1 - p2) / se2.sqrt();
+    let std = Normal::STANDARD;
+    let p = alt.p_value_symmetric(z, |x| std.cdf(x), |x| std.sf(x));
+    // Cohen's h as the effect size for proportions.
+    let h = 2.0 * p1.sqrt().asin() - 2.0 * p2.sqrt().asin();
+    Ok(TestOutcome {
+        kind: TestKind::TwoProportionZ,
+        statistic: z,
+        df: f64::NAN,
+        p_value: p,
+        effect_size: h,
+        support: (n1 + n2) as usize,
+    })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    // Reference values below were computed independently with scipy.stats
+    // (t-tests: ttest_ind / chi2_contingency / chisquare).
+
+    #[test]
+    fn welch_t_reference() {
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let out = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        // scipy.stats.ttest_ind(a, b, equal_var=False): t=1.959, p=0.0907
+        assert!(close(out.statistic, 1.959_00, 1e-3), "t = {}", out.statistic);
+        assert!(close(out.p_value, 0.090_77, 2e-3), "p = {}", out.p_value);
+        assert_eq!(out.support, 12);
+        assert_eq!(out.kind, TestKind::WelchT);
+    }
+
+    #[test]
+    fn student_t_reference() {
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let out = student_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        // scipy.stats.ttest_ind(a, b): t=1.959, df=10, p=0.0786
+        assert!(close(out.statistic, 1.959_00, 1e-3));
+        assert_eq!(out.df, 10.0);
+        assert!(close(out.p_value, 0.078_60, 2e-3), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn one_sample_t_reference() {
+        let xs = [5.1, 4.9, 5.3, 5.0, 4.8, 5.2, 5.4, 4.7];
+        let out = one_sample_t_test(&xs, 5.0, Alternative::TwoSided).unwrap();
+        // mean = 5.05, s = 0.2449..., t = 0.5774, p ≈ 0.5817
+        assert!(close(out.statistic, 0.577_35, 1e-3), "t = {}", out.statistic);
+        assert!(close(out.p_value, 0.581_7, 5e-3), "p = {}", out.p_value);
+        assert_eq!(out.df, 7.0);
+    }
+
+    #[test]
+    fn one_sided_alternatives_split_the_two_sided_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let two = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        let less = welch_t_test(&a, &b, Alternative::Less).unwrap();
+        let greater = welch_t_test(&a, &b, Alternative::Greater).unwrap();
+        assert!(close(less.p_value, two.p_value / 2.0, 1e-10));
+        assert!(close(less.p_value + greater.p_value, 1.0, 1e-10));
+        assert!(less.p_value < 0.05 && greater.p_value > 0.9);
+    }
+
+    #[test]
+    fn t_tests_reject_degenerate_input() {
+        assert!(matches!(
+            welch_t_test(&[1.0], &[1.0, 2.0], Alternative::TwoSided),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            welch_t_test(&[1.0, 1.0], &[2.0, 2.0], Alternative::TwoSided),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+        assert!(matches!(
+            welch_t_test(&[1.0, f64::NAN], &[2.0, 3.0], Alternative::TwoSided),
+            Err(StatsError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            one_sample_t_test(&[2.0, 2.0, 2.0], 0.0, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+    }
+
+    #[test]
+    fn z_test_reference() {
+        // Known sigma = 1; difference of means 0.5 with n = 50 each:
+        // z = 0.5/sqrt(2/50) = 2.5.
+        let a: Vec<f64> = (0..50).map(|i| 0.5 + ((i as f64 * 0.7).sin()) * 0.0).collect();
+        let b: Vec<f64> = (0..50).map(|_| 0.0).collect();
+        let out = z_test_two_sample(&a, &b, 1.0, Alternative::Greater).unwrap();
+        assert!(close(out.statistic, 2.5, 1e-12));
+        assert!(close(out.p_value, 0.006_209_665_325_776_132, 1e-9));
+        assert!(z_test_two_sample(&a, &b, 0.0, Alternative::Greater).is_err());
+    }
+
+    #[test]
+    fn chi_square_gof_reference() {
+        // Fair die, 60 rolls: observed [8,9,19,5,8,11], expected 10 each.
+        // chi2 = (4+1+81+25+4+1)/10 = 11.6; scipy.stats.chisquare p ≈ 0.0407.
+        let out = chi_square_gof(&[8, 9, 19, 5, 8, 11], &[1.0; 6]).unwrap();
+        assert!(close(out.statistic, 11.6, 1e-10));
+        assert_eq!(out.df, 5.0);
+        assert!(close(out.p_value, 0.040_7, 2e-3), "p = {}", out.p_value);
+        assert_eq!(out.support, 60);
+    }
+
+    #[test]
+    fn chi_square_gof_unnormalized_props_ok() {
+        // Proportions given as weights 2:1:1 are normalized internally.
+        let a = chi_square_gof(&[50, 30, 20], &[2.0, 1.0, 1.0]).unwrap();
+        let b = chi_square_gof(&[50, 30, 20], &[0.5, 0.25, 0.25]).unwrap();
+        assert!(close(a.statistic, b.statistic, 1e-12));
+    }
+
+    #[test]
+    fn chi_square_gof_zero_expected_category() {
+        // A structurally empty category with zero observations is dropped.
+        let out = chi_square_gof(&[50, 50, 0], &[0.5, 0.5, 0.0]).unwrap();
+        assert_eq!(out.df, 1.0);
+        // But observations in an impossible category invalidate the table.
+        assert!(chi_square_gof(&[50, 50, 3], &[0.5, 0.5, 0.0]).is_err());
+    }
+
+    #[test]
+    fn chi_square_gof_rejects_bad_tables() {
+        assert!(chi_square_gof(&[1, 2], &[0.5]).is_err());
+        assert!(chi_square_gof(&[5], &[1.0]).is_err());
+        assert!(chi_square_gof(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(chi_square_gof(&[1, 2], &[0.5, f64::NAN]).is_err());
+        assert!(chi_square_gof(&[1, 2], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn chi_square_independence_reference() {
+        // scipy.stats.chi2_contingency([[10, 20, 30], [6, 9, 17]],
+        // correction=False) -> chi2 = 0.27157465150403504, p = 0.873028283380073
+        let out = chi_square_independence(&[vec![10, 20, 30], vec![6, 9, 17]]).unwrap();
+        assert!(close(out.statistic, 0.271_574_651_504_035, 1e-9));
+        assert_eq!(out.df, 2.0);
+        assert!(close(out.p_value, 0.873_028_283_380_073, 1e-9));
+        assert_eq!(out.support, 92);
+    }
+
+    #[test]
+    fn chi_square_independence_2x2_uses_phi() {
+        // [[30, 10], [10, 30]]: chi2 = 20·... compute: margins 40/40, 40/40,
+        // expected all 20 → chi2 = 4·(100/20) = 20, phi = sqrt(20/80) = 0.5.
+        let out = chi_square_independence(&[vec![30, 10], vec![10, 30]]).unwrap();
+        assert!(close(out.statistic, 20.0, 1e-12));
+        assert!(close(out.effect_size, 0.5, 1e-12));
+        assert_eq!(out.df, 1.0);
+    }
+
+    #[test]
+    fn chi_square_independence_drops_empty_margins() {
+        let out = chi_square_independence(&[vec![30, 10, 0], vec![10, 30, 0]]).unwrap();
+        assert_eq!(out.df, 1.0); // third column vanished
+        assert!(chi_square_independence(&[vec![3, 4], vec![0, 0]]).is_err());
+        assert!(chi_square_independence(&[vec![3, 4]]).is_err());
+        assert!(chi_square_independence(&[vec![3, 4], vec![1]]).is_err());
+        assert!(chi_square_independence(&[vec![0, 0], vec![0, 0]]).is_err());
+    }
+
+    #[test]
+    fn two_proportion_z_reference() {
+        // p1 = 60/100, p2 = 40/100: pooled = 0.5,
+        // z = 0.2/sqrt(0.5·0.5·0.02) = 2.8284, two-sided p = 0.004678
+        let out = two_proportion_z_test(60, 100, 40, 100, Alternative::TwoSided).unwrap();
+        assert!(close(out.statistic, 2.828_427_124_746_19, 1e-10));
+        assert!(close(out.p_value, 0.004_677_734_981_63, 1e-6));
+        assert!(two_proportion_z_test(5, 4, 1, 10, Alternative::TwoSided).is_err());
+        assert!(two_proportion_z_test(0, 0, 1, 10, Alternative::TwoSided).is_err());
+        assert!(matches!(
+            two_proportion_z_test(0, 10, 0, 10, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance { .. })
+        ));
+    }
+
+    #[test]
+    fn p_values_always_in_unit_interval() {
+        let a = [1.0, 2.0, 3.0, 2.5, 1.5];
+        let b = [1000.0, 1001.0, 1002.0, 1001.5, 1000.5];
+        for alt in [Alternative::TwoSided, Alternative::Less, Alternative::Greater] {
+            let out = welch_t_test(&a, &b, alt).unwrap();
+            assert!((0.0..=1.0).contains(&out.p_value), "{alt}: {}", out.p_value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0f64..100.0, 3..40)
+    }
+
+    proptest! {
+        #[test]
+        fn welch_p_value_in_unit_interval(a in sample_strategy(), b in sample_strategy()) {
+            if let Ok(out) = welch_t_test(&a, &b, Alternative::TwoSided) {
+                prop_assert!((0.0..=1.0).contains(&out.p_value));
+                prop_assert!(out.df > 0.0);
+            }
+        }
+
+        #[test]
+        fn welch_is_antisymmetric(a in sample_strategy(), b in sample_strategy()) {
+            let ab = welch_t_test(&a, &b, Alternative::TwoSided);
+            let ba = welch_t_test(&b, &a, Alternative::TwoSided);
+            if let (Ok(x), Ok(y)) = (ab, ba) {
+                prop_assert!((x.statistic + y.statistic).abs() < 1e-9);
+                prop_assert!((x.p_value - y.p_value).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn one_sided_p_values_are_complementary(a in sample_strategy(), b in sample_strategy()) {
+            let less = welch_t_test(&a, &b, Alternative::Less);
+            let greater = welch_t_test(&a, &b, Alternative::Greater);
+            if let (Ok(l), Ok(g)) = (less, greater) {
+                prop_assert!((l.p_value + g.p_value - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn chi2_gof_nonnegative_statistic(
+            counts in proptest::collection::vec(0u64..500, 2..8),
+        ) {
+            let props = vec![1.0; counts.len()];
+            if let Ok(out) = chi_square_gof(&counts, &props) {
+                prop_assert!(out.statistic >= 0.0);
+                prop_assert!((0.0..=1.0).contains(&out.p_value));
+            }
+        }
+
+        #[test]
+        fn chi2_independence_row_swap_invariant(
+            a in 1u64..100, b in 1u64..100, c in 1u64..100, d in 1u64..100,
+        ) {
+            let t1 = chi_square_independence(&[vec![a, b], vec![c, d]]).unwrap();
+            let t2 = chi_square_independence(&[vec![c, d], vec![a, b]]).unwrap();
+            prop_assert!((t1.statistic - t2.statistic).abs() < 1e-9);
+            prop_assert!((t1.p_value - t2.p_value).abs() < 1e-9);
+        }
+    }
+}

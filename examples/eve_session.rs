@@ -1,0 +1,96 @@
+//! Eve's exploration session — the paper's Figure 1 / §2.4 walk-through,
+//! replayed end to end through the public API.
+//!
+//! Steps:
+//!   A  gender, unfiltered                      → descriptive, no test
+//!   B  gender | salary>50k                     → m1  (rule 2, χ² GoF)
+//!   C  gender | ¬(salary>50k), linked to B     → m1′ (rule 3, χ² indep.; supersedes m1)
+//!   D  marital | education=PhD                 → m2  (rule 2)
+//!   E  salary | PhD ∧ ¬married                 → m3  (rule 2)
+//!   F  age | chain ∧ salary>50k  vs  age | chain ∧ ¬(salary>50k)
+//!        → m4 (rule 3) which Eve overrides to m4′, a t-test on mean age —
+//!          the one test she performs *explicitly* in the paper.
+//!
+//! Run with `cargo run -p aware --example eve_session`.
+
+use aware::core::gauge;
+use aware::core::hypothesis::NullSpec;
+use aware::core::session::Session;
+use aware::data::census::CensusGenerator;
+use aware::data::predicate::Predicate;
+use aware::mht::investing::policies::EpsilonHybrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = CensusGenerator::new(1612).generate(30_000);
+    // ε-hybrid, the paper's most robust rule, with its §7.2 parameters.
+    let policy = EpsilonHybrid::new(10.0, 10.0, 0.5, None)?;
+    let mut eve = Session::new(table, 0.05, policy)?;
+
+    let over_50k = Predicate::eq("salary_over_50k", true);
+    let phd = Predicate::eq("education", "PhD");
+    let not_married = Predicate::eq("marital_status", "Married").negate();
+    let chain = phd.clone().and(not_married.clone());
+
+    // Step A — overview of gender. Just looking.
+    let a = eve.add_visualization("sex", Predicate::True)?;
+    assert!(a.hypothesis.is_none());
+    println!("A: descriptive view of `sex` — no hypothesis, wealth {:.4}", eve.wealth());
+
+    // Step B — gender filtered by high salary: m1.
+    let b = eve.add_visualization("sex", over_50k.clone())?;
+    report("B (m1)", &b);
+
+    // Step C — the inverted selection next to it: m1′ supersedes m1.
+    let c = eve.add_visualization("sex", over_50k.clone().negate())?;
+    report("C (m1′ supersedes m1)", &c);
+
+    // Step D — marital status of PhDs: m2.
+    let d = eve.add_visualization("marital_status", phd.clone())?;
+    report("D (m2)", &d);
+
+    // Step E — salary of unmarried PhDs: m3.
+    let e = eve.add_visualization("salary_over_50k", chain.clone())?;
+    report("E (m3)", &e);
+
+    // Step F — the two age histograms for the chain, high vs low salary.
+    let f1 = eve.add_visualization("age", chain.clone().and(over_50k.clone()))?;
+    report("F₁ (m4 pending pair)", &f1);
+    let f2 = eve.add_visualization("age", chain.clone().and(over_50k.clone().negate()))?;
+    report("F₂ (m4, rule 3)", &f2);
+
+    // Eve drags the charts together for an explicit t-test: m4′.
+    let (m4, _) = f2.hypothesis.expect("rule 3 fired");
+    let (m4_prime, record) = eve.override_hypothesis(
+        m4,
+        NullSpec::MeanEquality {
+            attribute: "age".into(),
+            filter_a: chain.clone().and(over_50k.clone()),
+            filter_b: chain.clone().and(over_50k.clone().negate()),
+        },
+    )?;
+    println!(
+        "F (m4′ override): t-test p = {:.4}, decision = {}, cohen's d = {:.3}",
+        record.outcome.p_value, record.decision, record.outcome.effect_size
+    );
+
+    // Eve stars the finding she wants to present.
+    eve.bookmark(m4_prime)?;
+
+    println!("\n{}", gauge::render(&eve));
+    println!(
+        "\nEve's starred discoveries keep mFDR ≤ {:.0}% by Theorem 1: {:?}",
+        eve.alpha() * 100.0,
+        eve.important_discoveries().iter().map(|h| h.id.to_string()).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn report(step: &str, out: &aware::core::session::VizOutcome) {
+    match &out.hypothesis {
+        Some((id, r)) => println!(
+            "{step}: {id} p = {:.4} vs bid {:.4} → {}",
+            r.outcome.p_value, r.bid, r.decision
+        ),
+        None => println!("{step}: no hypothesis"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Compares every incremental procedure on one synthetic exploration
+//! stream — a miniature of the paper's Exp.1b you can read in seconds.
+//!
+//! Run with `cargo run -p aware --release --example policy_comparison`.
+
+use aware::mht::registry::ProcedureSpec;
+use aware::sim::metrics::{aggregate, RepMetrics};
+use aware::sim::runner::{par_map, RunConfig};
+use aware::sim::workload::SyntheticWorkload;
+
+fn main() {
+    let cfg = RunConfig { reps: 400, ..RunConfig::default() };
+    println!(
+        "m = 64 hypotheses/session, 75% true nulls, α = {}, {} replications\n",
+        cfg.alpha, cfg.reps
+    );
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}",
+        "procedure", "avg disc.", "avg FDR", "avg power"
+    );
+
+    let workload = SyntheticWorkload::paper_default(64, 0.75);
+    let mut specs = ProcedureSpec::exp1a_procedures();
+    specs.extend(ProcedureSpec::exp1b_procedures());
+    specs.extend(ProcedureSpec::extension_procedures());
+
+    for spec in specs {
+        let reps: Vec<RepMetrics> = par_map(&cfg, |seed| {
+            let s = workload.generate(seed);
+            let ds = spec
+                .run_with_support(cfg.alpha, &s.p_values, &s.support_fractions)
+                .expect("valid stream");
+            RepMetrics::score(&ds, &s.truth)
+        });
+        let agg = aggregate(&reps, cfg.ci_level);
+        println!(
+            "{:<14}{:>14}{:>14}{:>14}",
+            spec.label(),
+            format!("{:.2}", agg.avg_discoveries.mean),
+            format!("{:.3}", agg.avg_fdr.mean),
+            agg.avg_power.map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "—".into()),
+        );
+    }
+    println!(
+        "\nReading guide: PCER's FDR ignores α; Bonferroni trades almost all power \
+         for FWER; the α-investing rules keep FDR ≤ α while staying incremental \
+         and interactive."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: open an AWARE session, explore, and read the risk gauge.
+//!
+//! Run with `cargo run -p aware --example quickstart`.
+
+use aware::core::gauge;
+use aware::core::session::Session;
+use aware::data::census::CensusGenerator;
+use aware::data::predicate::Predicate;
+use aware::mht::investing::policies::Fixed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A census-like table with known planted dependencies.
+    let table = CensusGenerator::new(2024).generate(20_000);
+
+    // Control mFDR at 5% with the γ-fixed investing rule (γ = 10).
+    let mut session = Session::new(table, 0.05, Fixed::new(10.0))?;
+
+    // An unfiltered overview is descriptive — no hypothesis, no α spent.
+    session.add_visualization("sex", Predicate::True)?;
+
+    // Filtered views become hypotheses automatically (heuristic rule 2).
+    let out = session.add_visualization("education", Predicate::eq("salary_over_50k", true))?;
+    if let Some((id, record)) = out.hypothesis {
+        println!(
+            "{id}: p = {:.2e}, decision = {}, effect = {:.3}",
+            record.outcome.p_value, record.decision, record.outcome.effect_size
+        );
+        // Star it for the report; Theorem 1 keeps the starred subset's
+        // mFDR at the same 5%.
+        session.bookmark(id)?;
+    }
+
+    // A known-null attribute: the gauge should (usually) show an accept.
+    session.add_visualization("race", Predicate::eq("salary_over_50k", true))?;
+
+    println!("\n{}", gauge::render(&session));
+    println!(
+        "\nimportant discoveries: {}",
+        session
+            .important_discoveries()
+            .iter()
+            .map(|h| h.null.alternative_label())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    Ok(())
+}

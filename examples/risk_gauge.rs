@@ -1,0 +1,65 @@
+//! Renders the Figure-2 risk gauge for a longer unscripted exploration,
+//! including wealth exhaustion — what the end of an AWARE session looks
+//! like when a user keeps chasing noise.
+//!
+//! Run with `cargo run -p aware --example risk_gauge`.
+
+use aware::core::gauge;
+use aware::core::session::Session;
+use aware::data::census::{CensusGenerator, EDUCATION, MARITAL, RACE, REGION, WAVE};
+use aware::data::predicate::Predicate;
+use aware::mht::investing::policies::Hopeful;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = CensusGenerator::new(99).generate(15_000);
+    // δ-hopeful: aggressive re-investment; drains fast on null-heavy paths.
+    let mut session = Session::new(table, 0.05, Hopeful::new(10.0))?;
+
+    // A realistic meander: a couple of real effects, then a long dig
+    // through attributes that contain nothing.
+    let mut probes: Vec<(&str, Predicate)> = vec![
+        ("education", Predicate::eq("salary_over_50k", true)),
+        ("hours_per_week", Predicate::eq("sex", "Male")),
+    ];
+    for label in RACE {
+        probes.push(("salary_over_50k", Predicate::eq("race", label)));
+    }
+    for label in REGION {
+        probes.push(("education", Predicate::eq("native_region", label)));
+    }
+    for label in WAVE {
+        probes.push(("marital_status", Predicate::eq("survey_wave", label)));
+    }
+    for label in EDUCATION {
+        probes.push(("race", Predicate::eq("education", label)));
+    }
+    for label in MARITAL {
+        probes.push(("native_region", Predicate::eq("marital_status", label)));
+    }
+
+    let mut stopped_at = None;
+    for (i, (attribute, filter)) in probes.into_iter().enumerate() {
+        match session.add_visualization(attribute, filter) {
+            Ok(_) => {}
+            Err(e) if e.is_wealth_exhausted() => {
+                stopped_at = Some(i);
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    println!("{}", gauge::render(&session));
+    match stopped_at {
+        Some(i) => println!(
+            "\nα-wealth exhausted at probe {i}: AWARE refuses further tests — \
+             continuing would break the mFDR ≤ {:.0}% guarantee (§5.8).",
+            session.alpha() * 100.0
+        ),
+        None => println!(
+            "\nwealth remaining: {:.4} — the session could continue.",
+            session.wealth()
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Integration test: the data path — generator → CSV → filters →
+//! histograms → χ² — behaves identically across round-trips, and the
+//! randomized-census workflow keeps every procedure's FDR in check.
+
+use aware::data::census::CensusGenerator;
+use aware::data::csv::{read_csv, write_csv};
+use aware::data::hist::{categorical_histogram, contingency_rows};
+use aware::data::predicate::Predicate;
+use aware::data::sample::downsample;
+use aware::mht::registry::ProcedureSpec;
+use aware::sim::metrics::RepMetrics;
+use aware::sim::workflow::WorkflowGenerator;
+use aware::stats::tests::chi_square_independence;
+
+#[test]
+fn csv_roundtrip_preserves_statistics() {
+    let table = CensusGenerator::new(5).generate(2_000);
+    let mut buf = Vec::new();
+    write_csv(&table, &mut buf).unwrap();
+    let back = read_csv(buf.as_slice()).unwrap();
+    assert_eq!(back.rows(), table.rows());
+    assert_eq!(back.column_names(), table.column_names());
+
+    // The exact same test on both tables gives the exact same p-value.
+    let p_of = |t: &aware::data::table::Table| {
+        let hi = Predicate::eq("salary_over_50k", true).eval(t).unwrap();
+        let lo = hi.not();
+        let a = categorical_histogram(t, "education", Some(&hi)).unwrap();
+        let b = categorical_histogram(t, "education", Some(&lo)).unwrap();
+        chi_square_independence(&contingency_rows(&a, &b).unwrap()).unwrap().p_value
+    };
+    assert_eq!(p_of(&table), p_of(&back));
+}
+
+#[test]
+fn downsampling_preserves_schema_and_shrinks_support() {
+    let table = CensusGenerator::new(6).generate(5_000);
+    let sample = downsample(&table, 0.25, 3).unwrap();
+    assert_eq!(sample.rows(), 1_250);
+    assert_eq!(sample.column_names(), table.column_names());
+    let full_sel = Predicate::eq("education", "PhD").eval(&table).unwrap();
+    let small_sel = Predicate::eq("education", "PhD").eval(&sample).unwrap();
+    // Selectivity is roughly preserved under uniform sampling.
+    assert!((full_sel.selectivity() - small_sel.selectivity()).abs() < 0.03);
+}
+
+#[test]
+fn randomized_census_yields_no_structural_discoveries() {
+    // On the permuted census every workflow hypothesis is null; across
+    // procedures the average false-discovery count must stay near the
+    // α-investing budget (≈ α per session), nowhere near PCER's blowup.
+    let table = CensusGenerator::new(9).generate_randomized(8_000);
+    let workflow = WorkflowGenerator::paper_default(12).generate();
+    let (ps, supports) = workflow.evaluate(&table);
+    let labels = vec![false; ps.len()];
+
+    for spec in ProcedureSpec::exp1b_procedures() {
+        let ds = spec.run_with_support(0.05, &ps, &supports).unwrap();
+        let m = RepMetrics::score(&ds, &labels);
+        assert!(
+            m.discoveries <= 4,
+            "{spec}: {} discoveries on fully randomized data",
+            m.discoveries
+        );
+    }
+    // PCER, for contrast, rejects ~5% of 115 ≈ 6 hypotheses.
+    let pcer = RepMetrics::score(
+        &ProcedureSpec::Pcer.run(0.05, &ps).unwrap(),
+        &labels,
+    );
+    assert!(pcer.discoveries >= 1, "PCER should stumble into something");
+}
+
+#[test]
+fn oracle_and_bonferroni_labels_are_consistent() {
+    let table = CensusGenerator::new(10).generate(20_000);
+    let workflow = WorkflowGenerator::paper_default(11).generate();
+    let oracle = workflow.oracle_labels();
+    let bonf = workflow.bonferroni_labels(&table, 0.05);
+    // Bonferroni labels are (almost surely) a subset of the oracle truth:
+    // it can miss weak effects but should not invent dependencies.
+    let invented = bonf.iter().zip(&oracle).filter(|(b, o)| **b && !**o).count();
+    assert!(invented <= 1, "Bonferroni invented {invented} dependencies");
+    let agreement = bonf
+        .iter()
+        .zip(&oracle)
+        .filter(|(b, o)| b == o)
+        .count() as f64
+        / bonf.len() as f64;
+    assert!(agreement > 0.6, "label agreement {agreement}");
+}

@@ -1,0 +1,70 @@
+//! Integration test: reduced-scale versions of the paper's experiments
+//! must reproduce the qualitative shapes of Figures 3–6. The full-scale
+//! regeneration lives in the `aware-sim` binaries; these are the fast
+//! guardrails that run on every `cargo test`.
+
+use aware::sim::experiments::{exp1a, holdout, motivating, subset};
+use aware::sim::runner::RunConfig;
+
+fn quick(reps: usize) -> RunConfig {
+    RunConfig { reps, threads: 0, ..RunConfig::default() }
+}
+
+#[test]
+fn figure3_static_procedure_ordering() {
+    let figs = exp1a::run(&quick(80));
+    // Panels: [disc75, fdr75, power75, disc100, fdr100].
+    let power = &figs[2];
+    let fdr100 = &figs[4];
+    // At every m: PCER power ≥ BH power ≥ Bonferroni power.
+    for row in &power.rows {
+        let pcer = row.cells[0].unwrap().mean;
+        let bonf = row.cells[1].unwrap().mean;
+        let bh = row.cells[2].unwrap().mean;
+        assert!(pcer + 1e-9 >= bh, "m={}: PCER {pcer} < BH {bh}", row.x);
+        assert!(bh + 0.02 >= bonf, "m={}: BH {bh} < Bonferroni {bonf}", row.x);
+    }
+    // On fully random data, PCER's FDR grows with m; BH's does not.
+    let first = fdr100.rows.first().unwrap();
+    let last = fdr100.rows.last().unwrap();
+    assert!(last.cells[0].unwrap().mean > first.cells[0].unwrap().mean);
+    assert!(last.cells[2].unwrap().mean <= 0.05 + 0.03);
+}
+
+#[test]
+fn motivating_example_reproduces_the_headline_numbers() {
+    let figs = motivating::run(&quick(200));
+    let fig = &figs[0];
+    // Theory column: 12.5 expected discoveries, 36% false share.
+    assert!((fig.rows[0].cells[0].unwrap().mean - 12.5).abs() < 1e-9);
+    assert!((fig.rows[1].cells[0].unwrap().mean - 0.36).abs() < 0.001);
+    // Simulated PCER lands on the same numbers.
+    let sim_disc = fig.rows[0].cells[1].unwrap();
+    assert!((sim_disc.mean - 12.5).abs() < 3.0 * sim_disc.half_width + 0.3);
+}
+
+#[test]
+fn holdout_analysis_matches_paper() {
+    let figs = holdout::run(&quick(300));
+    let fig = &figs[0];
+    let power_full = fig.rows[0].cells[0].unwrap().mean;
+    let power_split = fig.rows[1].cells[0].unwrap().mean;
+    assert!(power_full > 0.985);
+    assert!((0.73..0.79).contains(&power_split), "{power_split}");
+    // The simulated split power is far below the full-data power.
+    let sim_full = fig.rows[0].cells[1].unwrap().mean;
+    let sim_split = fig.rows[1].cells[1].unwrap().mean;
+    assert!(sim_full - sim_split > 0.1);
+}
+
+#[test]
+fn theorem1_subset_experiment_shape() {
+    let figs = subset::run(&quick(300));
+    let fig = &figs[0];
+    let all = fig.rows[0].cells[0].unwrap().mean;
+    let random = fig.rows[1].cells[0].unwrap().mean;
+    let adversarial = fig.rows[3].cells[0].unwrap().mean;
+    assert!(all <= subset::SUBSET_ALPHA + 0.05, "base FDR {all}");
+    assert!(random <= subset::SUBSET_ALPHA + 0.06, "random subset {random}");
+    assert!(adversarial > random, "adversarial {adversarial} vs random {random}");
+}

@@ -1,0 +1,146 @@
+//! Integration test: cross-crate statistical guarantees. Real p-values
+//! from `aware-stats` tests flow through every `aware-mht` procedure, and
+//! the paper's headline claims are checked empirically.
+
+use aware::mht::decision::num_rejections;
+use aware::mht::registry::ProcedureSpec;
+use aware::sim::metrics::RepMetrics;
+use aware::sim::workload::SyntheticWorkload;
+
+fn all_procedures() -> Vec<ProcedureSpec> {
+    let mut v = ProcedureSpec::exp1a_procedures();
+    v.extend(ProcedureSpec::exp1b_procedures());
+    v.extend(ProcedureSpec::extension_procedures());
+    v
+}
+
+/// Weak FWER control: under the complete null, P(any rejection) ≤ α for
+/// every procedure except PCER (for which the paper's whole point is that
+/// it explodes).
+#[test]
+fn weak_fwer_under_complete_null() {
+    let workload = SyntheticWorkload::paper_default(32, 1.0);
+    let reps = 400;
+    for spec in all_procedures() {
+        if spec == ProcedureSpec::Pcer {
+            continue;
+        }
+        let mut any_rejection = 0;
+        for seed in 0..reps {
+            let s = workload.generate(seed);
+            let ds = spec
+                .run_with_support(0.05, &s.p_values, &s.support_fractions)
+                .unwrap();
+            if num_rejections(&ds) > 0 {
+                any_rejection += 1;
+            }
+        }
+        let fwer = any_rejection as f64 / reps as f64;
+        // Binomial CI slack at 400 reps: ~2.2%.
+        assert!(fwer <= 0.05 + 0.035, "{spec}: weak FWER {fwer}");
+    }
+}
+
+/// PCER's family-wise error explodes with m — the §1 motivation.
+#[test]
+fn pcer_family_wise_error_explodes() {
+    let workload = SyntheticWorkload::paper_default(32, 1.0);
+    let mut any_rejection = 0;
+    let reps = 200;
+    for seed in 0..reps {
+        let s = workload.generate(seed);
+        let ds = ProcedureSpec::Pcer.run(0.05, &s.p_values).unwrap();
+        if num_rejections(&ds) > 0 {
+            any_rejection += 1;
+        }
+    }
+    let fwer = any_rejection as f64 / reps as f64;
+    // 1 − 0.95³² ≈ 0.81.
+    assert!(fwer > 0.6, "PCER FWER {fwer} should be far above α");
+}
+
+/// Interactive procedures never overturn decisions: prefix stability over
+/// real simulated streams, for every interactive spec in the registry.
+#[test]
+fn interactive_procedures_are_prefix_stable() {
+    let workload = SyntheticWorkload::paper_default(24, 0.5);
+    for spec in all_procedures() {
+        if !spec.is_interactive() {
+            continue;
+        }
+        for seed in 0..5 {
+            let s = workload.generate(seed);
+            let full = spec
+                .run_with_support(0.05, &s.p_values, &s.support_fractions)
+                .unwrap();
+            for k in [1usize, 7, 13, 24] {
+                let prefix = spec
+                    .run_with_support(0.05, &s.p_values[..k], &s.support_fractions[..k])
+                    .unwrap();
+                assert_eq!(prefix, full[..k].to_vec(), "{spec} prefix {k}");
+            }
+        }
+    }
+}
+
+/// ForwardStop (SeqFDR) is *not* prefix stable — the very property that
+/// disqualifies it for interactive exploration (§5 opening).
+#[test]
+fn forward_stop_is_not_prefix_stable() {
+    let ps = [0.12, 0.0001, 0.0001, 0.0001];
+    let spec = ProcedureSpec::ForwardStop;
+    let full = spec.run(0.05, &ps).unwrap();
+    let prefix = spec.run(0.05, &ps[..1]).unwrap();
+    assert_ne!(prefix[0], full[0], "late evidence flips the first decision");
+}
+
+/// mFDR control on mixed streams for the α-investing rules: average
+/// V/(R+1) over many sessions stays ≤ α (the quantity the procedure
+/// actually bounds, with η = 1).
+#[test]
+fn investing_rules_control_mfdr_on_mixed_streams() {
+    let workload = SyntheticWorkload::paper_default(48, 0.75);
+    for spec in ProcedureSpec::exp1b_procedures() {
+        if spec == ProcedureSpec::ForwardStop {
+            continue;
+        }
+        let reps = 300;
+        let mut v_sum = 0.0;
+        let mut r_sum = 0.0;
+        for seed in 0..reps {
+            let s = workload.generate(seed);
+            let ds = spec
+                .run_with_support(0.05, &s.p_values, &s.support_fractions)
+                .unwrap();
+            let m = RepMetrics::score(&ds, &s.truth);
+            v_sum += m.false_discoveries as f64;
+            r_sum += m.discoveries as f64;
+        }
+        let mfdr = (v_sum / reps as f64) / (r_sum / reps as f64 + 1.0);
+        assert!(mfdr <= 0.05 + 0.02, "{spec}: mFDR₁ = {mfdr}");
+    }
+}
+
+/// Static FDR procedures agree with hand-computed decisions when fed
+/// p-values produced by the stats crate's own tests.
+#[test]
+fn real_p_values_flow_through_batch_procedures() {
+    use aware::stats::tests::{welch_t_test, Alternative};
+    // Build 6 two-sample comparisons: 3 with real effects, 3 without.
+    let base: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut p_values = Vec::new();
+    for shift in [2.0, 1.5, 1.0, 0.0, 0.0, 0.0] {
+        let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
+        let out = welch_t_test(&base, &shifted, Alternative::TwoSided).unwrap();
+        p_values.push(out.p_value);
+    }
+    let bh = ProcedureSpec::BenjaminiHochberg.run(0.05, &p_values).unwrap();
+    // The three real effects are found; the three identical-sample tests
+    // (p = 1) are not.
+    for i in 0..3 {
+        assert!(bh[i].is_rejection(), "effect {i} missed, p = {}", p_values[i]);
+    }
+    for i in 3..6 {
+        assert!(!bh[i].is_rejection(), "null {i} rejected, p = {}", p_values[i]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration test: the full Figure-1/§2.4 "Eve" scenario driven through
+//! the public API of the umbrella crate, with the paper's bookkeeping
+//! checked at every step.
+
+use aware::core::hypothesis::{HypothesisStatus, NullSpec};
+use aware::core::session::Session;
+use aware::data::census::CensusGenerator;
+use aware::data::predicate::Predicate;
+use aware::mht::investing::policies::EpsilonHybrid;
+use aware::mht::Decision;
+
+#[test]
+fn eve_walkthrough_end_to_end() {
+    let table = CensusGenerator::new(1612).generate(30_000);
+    let policy = EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap();
+    let mut eve = Session::new(table, 0.05, policy).unwrap();
+    let w0 = eve.wealth();
+    assert!((w0 - 0.05 * 0.95).abs() < 1e-12, "W(0) = α(1−α)");
+
+    let over_50k = Predicate::eq("salary_over_50k", true);
+    let phd = Predicate::eq("education", "PhD");
+    let not_married = Predicate::eq("marital_status", "Married").negate();
+    let chain = phd.clone().and(not_married.clone());
+
+    // A: descriptive.
+    let a = eve.add_visualization("sex", Predicate::True).unwrap();
+    assert!(a.hypothesis.is_none());
+    assert_eq!(eve.wealth(), w0, "descriptive views are free");
+
+    // B: m1 (rule 2). sex↔salary is planted → should reject.
+    let b = eve.add_visualization("sex", over_50k.clone()).unwrap();
+    let (m1, r1) = b.hypothesis.expect("rule 2 fires");
+    assert_eq!(r1.decision, Decision::Reject, "p = {}", r1.outcome.p_value);
+
+    // C: m1′ (rule 3) supersedes m1.
+    let c = eve.add_visualization("sex", over_50k.clone().negate()).unwrap();
+    let (m1p, r1p) = c.hypothesis.expect("rule 3 fires");
+    assert!(matches!(
+        eve.hypothesis(m1).unwrap().status,
+        HypothesisStatus::Superseded { by } if by == m1p
+    ));
+    assert_eq!(
+        r1p.outcome.kind,
+        aware::stats::tests::TestKind::ChiSquareIndependence
+    );
+
+    // D: m2. marital|PhD vs global — marital↔education dependent via age.
+    let d = eve.add_visualization("marital_status", phd.clone()).unwrap();
+    let (_m2, _) = d.hypothesis.expect("rule 2 fires");
+
+    // E: m3. salary | PhD ∧ ¬married.
+    let e = eve.add_visualization("salary_over_50k", chain.clone()).unwrap();
+    let (_m3, r3) = e.hypothesis.expect("rule 2 fires");
+    assert!(r3.support_fraction < 0.2, "chain selects a small population");
+
+    // F: the linked age pair and the t-test override.
+    eve.add_visualization("age", chain.clone().and(over_50k.clone())).unwrap();
+    let f2 = eve
+        .add_visualization("age", chain.clone().and(over_50k.clone().negate()))
+        .unwrap();
+    let (m4, _) = f2.hypothesis.expect("rule 3 fires on the age pair");
+    let (m4p, rec) = eve
+        .override_hypothesis(
+            m4,
+            NullSpec::MeanEquality {
+                attribute: "age".into(),
+                filter_a: chain.clone().and(over_50k.clone()),
+                filter_b: chain.clone().and(over_50k.clone().negate()),
+            },
+        )
+        .unwrap();
+    assert_eq!(rec.outcome.kind, aware::stats::tests::TestKind::WelchT);
+    assert!(matches!(
+        eve.hypothesis(m4).unwrap().status,
+        HypothesisStatus::Superseded { by } if by == m4p
+    ));
+
+    // Bookkeeping: every decision recorded, none revised, wealth consistent.
+    let hypotheses = eve.hypotheses();
+    assert_eq!(hypotheses.len(), 7, "m1, m1′, m2, m3, m4(f1), m4(pair), m4′");
+    let last_wealth = hypotheses
+        .iter()
+        .filter_map(|h| h.record().map(|r| r.wealth_after))
+        .last()
+        .unwrap();
+    assert!((eve.wealth() - last_wealth).abs() < 1e-12);
+
+    // Bookmarks flow into important_discoveries only when discoveries.
+    eve.bookmark(m4p).unwrap();
+    eve.bookmark(m1p).unwrap();
+    let starred = eve.important_discoveries();
+    assert!(starred.iter().all(|h| h.is_discovery()));
+
+    // The gauge renders every state without panicking.
+    let text = aware::core::gauge::render(&eve);
+    assert!(text.contains("ε-hybrid"));
+    assert!(text.contains("★"));
+}
+
+#[test]
+fn session_decisions_survive_deletion_and_more_exploration() {
+    let table = CensusGenerator::new(77).generate(10_000);
+    let mut s = Session::new(table, 0.05, EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap())
+        .unwrap();
+
+    let (id, rec) = s
+        .add_visualization("education", Predicate::eq("salary_over_50k", true))
+        .unwrap()
+        .hypothesis
+        .unwrap();
+    let decision = rec.decision;
+
+    // Delete an unrelated hypothesis, add more views, bookmark things…
+    let (other, _) = s
+        .add_visualization("race", Predicate::eq("sex", "Female"))
+        .unwrap()
+        .hypothesis
+        .unwrap();
+    s.delete_hypothesis(other).unwrap();
+    for wave in ["Wave-1", "Wave-2", "Wave-3"] {
+        let _ = s.add_visualization("occupation", Predicate::eq("survey_wave", wave));
+    }
+
+    // …the original decision is untouched (paper §3 requirement 2).
+    assert_eq!(s.hypothesis(id).unwrap().record().unwrap().decision, decision);
+}
+
+#[test]
+fn session_flip_annotations_are_coherent() {
+    let table = CensusGenerator::new(41).generate(10_000);
+    let mut s = Session::new(table, 0.05, EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap())
+        .unwrap();
+    let (_, rec) = s
+        .add_visualization("education", Predicate::eq("salary_over_50k", true))
+        .unwrap()
+        .hypothesis
+        .unwrap();
+    let flip = rec.flip.expect("flip estimate computed");
+    match rec.decision {
+        Decision::Reject => {
+            assert_eq!(flip.direction, aware::stats::power::FlipDirection::ToAcceptance)
+        }
+        Decision::Accept => {
+            assert_eq!(flip.direction, aware::stats::power::FlipDirection::ToRejection)
+        }
+    }
+    assert!(flip.factor >= 1.0);
+}
