@@ -21,9 +21,11 @@ fn filters(c: &mut Criterion) {
         let chain = Predicate::eq("education", "PhD")
             .and(Predicate::eq("marital_status", "Married").negate())
             .and(Predicate::cmp("age", CmpOp::Ge, Value::from(30i64)));
-        group.bench_with_input(BenchmarkId::new("three_condition_chain", rows), &table, |b, t| {
-            b.iter(|| chain.eval(black_box(t)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("three_condition_chain", rows),
+            &table,
+            |b, t| b.iter(|| chain.eval(black_box(t)).unwrap()),
+        );
     }
     group.finish();
 }
@@ -56,7 +58,6 @@ fn sampling(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shared Criterion configuration: short but stable windows so the whole
 /// suite runs in a few minutes without CLI flags.

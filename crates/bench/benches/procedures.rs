@@ -37,7 +37,10 @@ fn fig4_incremental(c: &mut Criterion) {
         group.throughput(Throughput::Elements(m as u64));
         for spec in ProcedureSpec::exp1b_procedures() {
             group.bench_with_input(BenchmarkId::new(spec.label(), m), &ps, |b, ps| {
-                b.iter(|| spec.run_with_support(0.05, black_box(ps), &supports).unwrap())
+                b.iter(|| {
+                    spec.run_with_support(0.05, black_box(ps), &supports)
+                        .unwrap()
+                })
             });
         }
         for spec in ProcedureSpec::extension_procedures() {
@@ -58,12 +61,14 @@ fn fig5_support(c: &mut Criterion) {
     for psi in [0.33, 0.5, 1.0] {
         let spec = ProcedureSpec::PsiSupport { gamma: 10.0, psi };
         group.bench_with_input(BenchmarkId::new("psi", format!("{psi}")), &ps, |b, ps| {
-            b.iter(|| spec.run_with_support(0.05, black_box(ps), &supports).unwrap())
+            b.iter(|| {
+                spec.run_with_support(0.05, black_box(ps), &supports)
+                    .unwrap()
+            })
         });
     }
     group.finish();
 }
-
 
 /// Shared Criterion configuration: short but stable windows so the whole
 /// suite runs in a few minutes without CLI flags.

@@ -1,0 +1,124 @@
+//! End-to-end serving throughput: commands per second through the
+//! in-process `ServiceHandle` — the same dispatch, registry, and
+//! session path the TCP front end uses, minus socket I/O — at 1, 8,
+//! and 64 concurrent sessions.
+//!
+//! Each measured iteration creates the sessions, drives an interleaved
+//! per-session command stream (filtered visualizations → hypothesis
+//! tests through α-investing), and closes them, so no state leaks
+//! between iterations. One client thread per session; sessions are
+//! pinned to service workers by id, so the parallelism under test is
+//! the service's, not the driver's.
+
+use aware_data::census::{CensusGenerator, EDUCATION, RACE};
+use aware_data::predicate::CmpOp;
+use aware_data::table::Table;
+use aware_data::value::Value;
+use aware_serve::proto::{Command, FilterSpec, PolicySpec, SessionId, TranscriptFormat};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::{Response, ServiceHandle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+const COMMANDS_PER_SESSION: usize = 20;
+
+fn census() -> Arc<Table> {
+    Arc::new(CensusGenerator::new(2017).generate(5_000))
+}
+
+fn start_service(table: Arc<Table>) -> Service {
+    let service = Service::start(ServiceConfig::default());
+    service.handle().register_shared("census", table);
+    service
+}
+
+fn create_session(handle: &ServiceHandle) -> SessionId {
+    match handle.call(Command::CreateSession {
+        dataset: "census".into(),
+        alpha: 0.05,
+        policy: PolicySpec::Fixed { gamma: 100.0 },
+    }) {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("create failed: {other:?}"),
+    }
+}
+
+/// One session's command stream: filtered views (each a χ² test through
+/// the investing machine) with a gauge render and a transcript export
+/// mixed in — the shape of real interactive traffic.
+fn drive_session(handle: &ServiceHandle, sid: SessionId) {
+    for step in 0..COMMANDS_PER_SESSION {
+        let response = match step % 10 {
+            7 => handle.call(Command::Gauge { session: sid }),
+            9 => handle.call(Command::Transcript {
+                session: sid,
+                format: TranscriptFormat::Csv,
+            }),
+            _ => handle.call(Command::AddVisualization {
+                session: sid,
+                attribute: ["education", "race", "marital_status", "occupation"][step % 4].into(),
+                filter: match step % 3 {
+                    0 => FilterSpec::Cmp {
+                        column: "salary_over_50k".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Bool(true),
+                    },
+                    1 => FilterSpec::Cmp {
+                        column: "race".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Str(RACE[step % RACE.len()].into()),
+                    },
+                    _ => FilterSpec::Cmp {
+                        column: "education".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Str(EDUCATION[step % EDUCATION.len()].into()),
+                    },
+                },
+            }),
+        };
+        assert!(response.is_ok(), "{response:?}");
+    }
+    let closed = handle.call(Command::CloseSession { session: sid });
+    assert!(closed.is_ok(), "{closed:?}");
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let table = census();
+    let mut group = c.benchmark_group("serve_throughput");
+    for &sessions in &[1usize, 8, 64] {
+        let service = start_service(table.clone());
+        let handle = service.handle();
+        // create + commands + close, per session.
+        group.throughput(Throughput::Elements(
+            (sessions * (COMMANDS_PER_SESSION + 2)) as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..sessions {
+                            let handle = handle.clone();
+                            scope.spawn(move || {
+                                let sid = create_session(&handle);
+                                drive_session(&handle, sid);
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20);
+    targets = serve_throughput
+}
+criterion_main!(benches);

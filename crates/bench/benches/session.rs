@@ -16,21 +16,22 @@ fn session_step(c: &mut Criterion) {
     for &rows in &[10_000usize, 100_000] {
         let table = CensusGenerator::new(4).generate(rows);
         group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::new("add_visualization", rows), &table, |b, t| {
-            let mut i = 0usize;
-            b.iter_batched(
-                || Session::new(t.clone(), 0.05, Fixed::new(1e6)).unwrap(),
-                |mut s| {
-                    i = (i + 1) % RACE.len();
-                    s.add_visualization(
-                        black_box("education"),
-                        Predicate::eq("race", RACE[i]),
-                    )
-                    .unwrap()
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("add_visualization", rows),
+            &table,
+            |b, t| {
+                let mut i = 0usize;
+                b.iter_batched(
+                    || Session::new(t.clone(), 0.05, Fixed::new(1e6)).unwrap(),
+                    |mut s| {
+                        i = (i + 1) % RACE.len();
+                        s.add_visualization(black_box("education"), Predicate::eq("race", RACE[i]))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -45,7 +46,6 @@ fn fig6_workflow(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shared Criterion configuration: short but stable windows so the whole
 /// suite runs in a few minutes without CLI flags.

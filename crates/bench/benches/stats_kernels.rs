@@ -34,7 +34,6 @@ fn hypothesis_tests(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared Criterion configuration: short but stable windows so the whole
 /// suite runs in a few minutes without CLI flags.
 fn quick() -> Criterion {

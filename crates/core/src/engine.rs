@@ -17,12 +17,16 @@
 use crate::hypothesis::{NullSpec, ShiftMethod};
 use crate::Result;
 use aware_data::column::ColumnType;
-use aware_data::hist::{categorical_histogram, contingency_rows, histogram, numeric_histogram, Histogram};
+use aware_data::hist::{
+    categorical_histogram, contingency_rows, histogram, numeric_histogram, Histogram,
+};
 use aware_data::predicate::Predicate;
 use aware_data::table::Table;
 use aware_stats::exact::fisher_exact;
 use aware_stats::nonparametric::{ks_two_sample, mann_whitney_u};
-use aware_stats::tests::{chi_square_gof, chi_square_independence, welch_t_test, Alternative, TestOutcome};
+use aware_stats::tests::{
+    chi_square_gof, chi_square_independence, welch_t_test, Alternative, TestOutcome,
+};
 
 /// Below this minimum expected cell count on a 2×2 table, the χ²
 /// approximation is replaced by Fisher's exact test — the classical
@@ -57,7 +61,11 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
                 support_fraction: fraction(selection.count_ones(), table.rows()),
             })
         }
-        NullSpec::NoDistributionDifference { attribute, filter_a, filter_b } => {
+        NullSpec::NoDistributionDifference {
+            attribute,
+            filter_a,
+            filter_b,
+        } => {
             let sel_a = filter_a.eval(table)?;
             let sel_b = filter_b.eval(table)?;
             let hist_a = select_histogram_with_sel(table, attribute, &sel_a)?;
@@ -70,13 +78,14 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             };
             Ok(Execution {
                 outcome,
-                support_fraction: fraction(
-                    sel_a.count_ones() + sel_b.count_ones(),
-                    table.rows(),
-                ),
+                support_fraction: fraction(sel_a.count_ones() + sel_b.count_ones(), table.rows()),
             })
         }
-        NullSpec::MeanEquality { attribute, filter_a, filter_b } => {
+        NullSpec::MeanEquality {
+            attribute,
+            filter_a,
+            filter_b,
+        } => {
             let sel_a = filter_a.eval(table)?;
             let sel_b = filter_b.eval(table)?;
             let xs = table.numeric_values(attribute, Some(&sel_a))?;
@@ -87,14 +96,15 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
                 support_fraction: fraction(xs.len() + ys.len(), table.rows()),
             })
         }
-        NullSpec::IndependenceWithin { attribute_a, attribute_b, filter, use_g_test } => {
+        NullSpec::IndependenceWithin {
+            attribute_a,
+            attribute_b,
+            filter,
+            use_g_test,
+        } => {
             let selection = filter.eval(table)?;
-            let ct = aware_data::crosstab::crosstab(
-                table,
-                attribute_a,
-                attribute_b,
-                Some(&selection),
-            )?;
+            let ct =
+                aware_data::crosstab::crosstab(table, attribute_a, attribute_b, Some(&selection))?;
             let outcome = if *use_g_test {
                 aware_stats::exact::g_test_independence(ct.rows())?
             } else {
@@ -105,7 +115,11 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
                 support_fraction: fraction(selection.count_ones(), table.rows()),
             })
         }
-        NullSpec::NoGroupMeanDifference { value_attribute, group_attribute, filter } => {
+        NullSpec::NoGroupMeanDifference {
+            value_attribute,
+            group_attribute,
+            filter,
+        } => {
             let selection = filter.eval(table)?;
             let groups = aware_data::agg::grouped_values(
                 table,
@@ -119,7 +133,12 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
                 support_fraction: fraction(selection.count_ones(), table.rows()),
             })
         }
-        NullSpec::StochasticEquality { attribute, filter_a, filter_b, method } => {
+        NullSpec::StochasticEquality {
+            attribute,
+            filter_a,
+            filter_b,
+            method,
+        } => {
             let sel_a = filter_a.eval(table)?;
             let sel_b = filter_b.eval(table)?;
             let xs = table.numeric_values(attribute, Some(&sel_a))?;
@@ -183,7 +202,7 @@ fn fraction(selected: usize, total: usize) -> f64 {
     if total == 0 {
         return 1.0;
     }
-    ((selected as f64 / total as f64).min(1.0)).max(f64::MIN_POSITIVE)
+    (selected as f64 / total as f64).clamp(f64::MIN_POSITIVE, 1.0)
 }
 
 /// Convenience constructor for the common user override: compare the mean
@@ -301,10 +320,7 @@ mod tests {
     fn zero_variance_numeric_is_untestable() {
         let t = TableBuilder::new()
             .push("flat", Column::Float64(vec![1.0; 100]))
-            .push(
-                "grp",
-                Column::Bool((0..100).map(|i| i % 2 == 0).collect()),
-            )
+            .push("grp", Column::Bool((0..100).map(|i| i % 2 == 0).collect()))
             .build()
             .unwrap();
         let spec = NullSpec::MeanEquality {
@@ -326,7 +342,11 @@ mod tests {
                 use_g_test,
             };
             let exec = execute(&t, &spec).unwrap();
-            let expected = if use_g_test { TestKind::GTest } else { TestKind::ChiSquareIndependence };
+            let expected = if use_g_test {
+                TestKind::GTest
+            } else {
+                TestKind::ChiSquareIndependence
+            };
             assert_eq!(exec.outcome.kind, expected);
             assert!(exec.outcome.p_value < 1e-10, "p = {}", exec.outcome.p_value);
         }
@@ -407,7 +427,11 @@ mod tests {
             let exec = execute(&t, &spec).unwrap();
             assert_eq!(exec.outcome.kind, kind);
             // Planted +2.5h shift for men: both tests detect it at n≈8k.
-            assert!(exec.outcome.p_value < 1e-4, "{kind}: p = {}", exec.outcome.p_value);
+            assert!(
+                exec.outcome.p_value < 1e-4,
+                "{kind}: p = {}",
+                exec.outcome.p_value
+            );
         }
         // Categorical attribute errors cleanly.
         let spec = NullSpec::StochasticEquality {
@@ -435,7 +459,11 @@ mod tests {
             filter_b: Predicate::eq("grp", false),
         };
         let exec = execute(&t, &spec).unwrap();
-        assert_eq!(exec.outcome.kind, TestKind::FisherExact, "sparse table uses Fisher");
+        assert_eq!(
+            exec.outcome.kind,
+            TestKind::FisherExact,
+            "sparse table uses Fisher"
+        );
         // A large well-filled table keeps the χ² path.
         let t = census();
         let f = Predicate::eq("sex", "Male");

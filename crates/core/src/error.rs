@@ -97,12 +97,17 @@ mod tests {
         assert!(e.to_string().contains("statistics"));
         let e: AwareError = DataError::UnknownColumn { name: "x".into() }.into();
         assert!(e.to_string().contains("data engine"));
-        let e: AwareError =
-            MhtError::WealthExhausted { tests_run: 3, remaining_wealth: 0.0 }.into();
+        let e: AwareError = MhtError::WealthExhausted {
+            tests_run: 3,
+            remaining_wealth: 0.0,
+        }
+        .into();
         assert!(e.is_wealth_exhausted());
         assert!(e.to_string().contains("procedure"));
         assert!(!AwareError::UnknownHypothesis { id: 9 }.is_wealth_exhausted());
-        assert!(AwareError::UnknownVisualization { id: 2 }.to_string().contains("#2"));
+        assert!(AwareError::UnknownVisualization { id: 2 }
+            .to_string()
+            .contains("#2"));
     }
 
     #[test]

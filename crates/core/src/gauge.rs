@@ -19,7 +19,10 @@ pub fn render<P: InvestingPolicy>(session: &Session<P>) -> String {
     let mut out = String::new();
     let wealth_pct = session.wealth() * 100.0;
     let alpha_pct = session.alpha() * 100.0;
-    let _ = writeln!(out, "┌─ AWARE risk gauge ─────────────────────────────────────");
+    let _ = writeln!(
+        out,
+        "┌─ AWARE risk gauge ─────────────────────────────────────"
+    );
     let _ = writeln!(
         out,
         "│ policy {}   mFDR budget α = {alpha_pct:.1}%   wealth {wealth_pct:.2}%",
@@ -31,16 +34,26 @@ pub fn render<P: InvestingPolicy>(session: &Session<P>) -> String {
         "│ hypotheses {}   discoveries {}   can continue: {}",
         session.hypotheses().len(),
         discoveries,
-        if session.can_continue() { "yes" } else { "NO — stop exploring" },
+        if session.can_continue() {
+            "yes"
+        } else {
+            "NO — stop exploring"
+        },
     );
-    let _ = writeln!(out, "├────────────────────────────────────────────────────────");
+    let _ = writeln!(
+        out,
+        "├────────────────────────────────────────────────────────"
+    );
     if session.hypotheses().is_empty() {
         let _ = writeln!(out, "│ (no hypotheses tracked yet)");
     }
     for h in session.hypotheses() {
         let _ = writeln!(out, "│ {}", render_entry(h));
     }
-    let _ = write!(out, "└────────────────────────────────────────────────────────");
+    let _ = write!(
+        out,
+        "└────────────────────────────────────────────────────────"
+    );
     out
 }
 
@@ -49,7 +62,11 @@ pub fn render_entry(h: &Hypothesis) -> String {
     let star = if h.bookmarked { " ★" } else { "" };
     match &h.status {
         HypothesisStatus::Tested(r) => {
-            let mark = if r.decision.is_rejection() { "[✓]" } else { "[✗]" };
+            let mark = if r.decision.is_rejection() {
+                "[✓]"
+            } else {
+                "[✗]"
+            };
             let magnitude = EffectMagnitude::classify(r.effect_size_or_nan());
             let flip = r
                 .flip
@@ -67,13 +84,26 @@ pub fn render_entry(h: &Hypothesis) -> String {
             )
         }
         HypothesisStatus::Untestable => {
-            format!("[–] {} {}  (not testable on this data){star}", h.id, h.null.null_label())
+            format!(
+                "[–] {} {}  (not testable on this data){star}",
+                h.id,
+                h.null.null_label()
+            )
         }
         HypothesisStatus::Superseded { by } => {
-            format!("[⇢] {} {}  (superseded by H{}){star}", h.id, h.null.null_label(), by.0)
+            format!(
+                "[⇢] {} {}  (superseded by H{}){star}",
+                h.id,
+                h.null.null_label(),
+                by.0
+            )
         }
         HypothesisStatus::Deleted => {
-            format!("[␡] {} {}  (declared descriptive){star}", h.id, h.null.null_label())
+            format!(
+                "[␡] {} {}  (declared descriptive){star}",
+                h.id,
+                h.null.null_label()
+            )
         }
     }
 }
@@ -111,15 +141,21 @@ mod tests {
         let mut s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
         s.add_visualization("sex", Predicate::True).unwrap(); // descriptive
         let f = Predicate::eq("salary_over_50k", true);
-        let (m1, _) = s.add_visualization("education", f.clone()).unwrap().hypothesis.unwrap();
-        s.add_visualization("education", f.clone().negate()).unwrap(); // supersedes m1
+        let (m1, _) = s
+            .add_visualization("education", f.clone())
+            .unwrap()
+            .hypothesis
+            .unwrap();
+        s.add_visualization("education", f.clone().negate())
+            .unwrap(); // supersedes m1
         let (del, _) = s
             .add_visualization("race", Predicate::eq("sex", "Female"))
             .unwrap()
             .hypothesis
             .unwrap();
         s.delete_hypothesis(del).unwrap();
-        s.add_visualization("sex", Predicate::eq("education", "Kindergarten")).unwrap(); // untestable
+        s.add_visualization("sex", Predicate::eq("education", "Kindergarten"))
+            .unwrap(); // untestable
         let (star, _) = s
             .add_visualization("marital_status", Predicate::eq("education", "PhD"))
             .unwrap()

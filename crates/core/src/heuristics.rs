@@ -92,9 +92,7 @@ pub fn is_negated_pair(a: &Predicate, b: &Predicate) -> bool {
     for x in parts_a {
         if let Some(pos) = remaining_b.iter().position(|y| *y == x) {
             remaining_b.remove(pos);
-        } else if let Some(pos) =
-            remaining_b.iter().position(|y| x.clone().negate() == *y)
-        {
+        } else if let Some(pos) = remaining_b.iter().position(|y| x.clone().negate() == *y) {
             remaining_b.remove(pos);
             negated_matches += 1;
         } else {
@@ -111,7 +109,11 @@ mod tests {
     use aware_data::predicate::Predicate;
 
     fn viz(id: u64, attr: &str, filter: Predicate) -> Visualization {
-        Visualization { id: VizId(id), attribute: attr.into(), filter }
+        Visualization {
+            id: VizId(id),
+            attribute: attr.into(),
+            filter,
+        }
     }
 
     #[test]
@@ -120,7 +122,10 @@ mod tests {
         assert_eq!(derive_default_hypothesis(&[], &v), Derived::Descriptive);
         // Even with history, an unfiltered view stays descriptive.
         let history = vec![viz(1, "gender", Predicate::eq("salary", true))];
-        assert_eq!(derive_default_hypothesis(&history, &v), Derived::Descriptive);
+        assert_eq!(
+            derive_default_hypothesis(&history, &v),
+            Derived::Descriptive
+        );
     }
 
     #[test]
@@ -142,10 +147,17 @@ mod tests {
         let c = viz(2, "gender", Predicate::eq("salary_over_50k", true).negate());
         let history = vec![b.clone()];
         match derive_default_hypothesis(&history, &c) {
-            Derived::LinkedComparison { spec, partner_index } => {
+            Derived::LinkedComparison {
+                spec,
+                partner_index,
+            } => {
                 assert_eq!(partner_index, 0);
                 match spec {
-                    NullSpec::NoDistributionDifference { attribute, filter_a, filter_b } => {
+                    NullSpec::NoDistributionDifference {
+                        attribute,
+                        filter_a,
+                        filter_b,
+                    } => {
                         assert_eq!(attribute, "gender");
                         assert_eq!(filter_a, b.filter);
                         assert_eq!(filter_b, c.filter);
@@ -165,7 +177,10 @@ mod tests {
         let history = vec![first];
         assert!(matches!(
             derive_default_hypothesis(&history, &second),
-            Derived::LinkedComparison { partner_index: 0, .. }
+            Derived::LinkedComparison {
+                partner_index: 0,
+                ..
+            }
         ));
     }
 
@@ -174,7 +189,10 @@ mod tests {
         let b = viz(1, "gender", Predicate::eq("salary", true));
         let c = viz(2, "age", Predicate::eq("salary", true).negate());
         let history = vec![b];
-        assert!(matches!(derive_default_hypothesis(&history, &c), Derived::FilterEffect(_)));
+        assert!(matches!(
+            derive_default_hypothesis(&history, &c),
+            Derived::FilterEffect(_)
+        ));
     }
 
     #[test]
@@ -203,12 +221,18 @@ mod tests {
 
         // Step A: gender, unfiltered → no hypothesis.
         let a = viz(0, "gender", Predicate::True);
-        assert_eq!(derive_default_hypothesis(&history, &a), Derived::Descriptive);
+        assert_eq!(
+            derive_default_hypothesis(&history, &a),
+            Derived::Descriptive
+        );
         history.push(a);
 
         // Step B: gender | salary>50k → m1 (rule 2).
         let b = viz(1, "gender", over_50k.clone());
-        assert!(matches!(derive_default_hypothesis(&history, &b), Derived::FilterEffect(_)));
+        assert!(matches!(
+            derive_default_hypothesis(&history, &b),
+            Derived::FilterEffect(_)
+        ));
         history.push(b);
 
         // Step C: gender | ¬(salary>50k) → m1' supersedes m1 (rule 3).
@@ -221,17 +245,26 @@ mod tests {
 
         // Step D: marital_status | PhD → m2 (rule 2).
         let d = viz(3, "marital_status", phd.clone());
-        assert!(matches!(derive_default_hypothesis(&history, &d), Derived::FilterEffect(_)));
+        assert!(matches!(
+            derive_default_hypothesis(&history, &d),
+            Derived::FilterEffect(_)
+        ));
         history.push(d);
 
         // Step E: salary | PhD ∧ ¬married → m3 (rule 2).
         let e = viz(4, "salary_over_50k", chain.clone());
-        assert!(matches!(derive_default_hypothesis(&history, &e), Derived::FilterEffect(_)));
+        assert!(matches!(
+            derive_default_hypothesis(&history, &e),
+            Derived::FilterEffect(_)
+        ));
         history.push(e);
 
         // Step F first half: age | chain ∧ salary>50k → m4 (rule 2) …
         let f1 = viz(5, "age", chain_high.clone());
-        assert!(matches!(derive_default_hypothesis(&history, &f1), Derived::FilterEffect(_)));
+        assert!(matches!(
+            derive_default_hypothesis(&history, &f1),
+            Derived::FilterEffect(_)
+        ));
         history.push(f1);
 
         // … second half: age | chain ∧ ¬(salary>50k) — only the salary

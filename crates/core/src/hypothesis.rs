@@ -109,23 +109,45 @@ impl NullSpec {
             NullSpec::NoFilterEffect { attribute, filter } => {
                 format!("{attribute}|{filter} = {attribute}")
             }
-            NullSpec::NoDistributionDifference { attribute, filter_a, filter_b } => {
+            NullSpec::NoDistributionDifference {
+                attribute,
+                filter_a,
+                filter_b,
+            } => {
                 format!("{attribute}|{filter_a} = {attribute}|{filter_b}")
             }
-            NullSpec::MeanEquality { attribute, filter_a, filter_b } => {
+            NullSpec::MeanEquality {
+                attribute,
+                filter_a,
+                filter_b,
+            } => {
                 format!("mean({attribute})|{filter_a} = mean({attribute})|{filter_b}")
             }
-            NullSpec::StochasticEquality { attribute, filter_a, filter_b, .. } => {
+            NullSpec::StochasticEquality {
+                attribute,
+                filter_a,
+                filter_b,
+                ..
+            } => {
                 format!("dist({attribute})|{filter_a} = dist({attribute})|{filter_b}")
             }
-            NullSpec::NoGroupMeanDifference { value_attribute, group_attribute, filter } => {
+            NullSpec::NoGroupMeanDifference {
+                value_attribute,
+                group_attribute,
+                filter,
+            } => {
                 if filter.is_trivial() {
                     format!("mean({value_attribute}) equal across {group_attribute}")
                 } else {
                     format!("mean({value_attribute}) equal across {group_attribute} | {filter}")
                 }
             }
-            NullSpec::IndependenceWithin { attribute_a, attribute_b, filter, .. } => {
+            NullSpec::IndependenceWithin {
+                attribute_a,
+                attribute_b,
+                filter,
+                ..
+            } => {
                 if filter.is_trivial() {
                     format!("{attribute_a} ⊥ {attribute_b}")
                 } else {
@@ -141,23 +163,45 @@ impl NullSpec {
             NullSpec::NoFilterEffect { attribute, filter } => {
                 format!("{attribute}|{filter} <> {attribute}")
             }
-            NullSpec::NoDistributionDifference { attribute, filter_a, filter_b } => {
+            NullSpec::NoDistributionDifference {
+                attribute,
+                filter_a,
+                filter_b,
+            } => {
                 format!("{attribute}|{filter_a} <> {attribute}|{filter_b}")
             }
-            NullSpec::MeanEquality { attribute, filter_a, filter_b } => {
+            NullSpec::MeanEquality {
+                attribute,
+                filter_a,
+                filter_b,
+            } => {
                 format!("mean({attribute})|{filter_a} <> mean({attribute})|{filter_b}")
             }
-            NullSpec::StochasticEquality { attribute, filter_a, filter_b, .. } => {
+            NullSpec::StochasticEquality {
+                attribute,
+                filter_a,
+                filter_b,
+                ..
+            } => {
                 format!("dist({attribute})|{filter_a} <> dist({attribute})|{filter_b}")
             }
-            NullSpec::NoGroupMeanDifference { value_attribute, group_attribute, filter } => {
+            NullSpec::NoGroupMeanDifference {
+                value_attribute,
+                group_attribute,
+                filter,
+            } => {
                 if filter.is_trivial() {
                     format!("mean({value_attribute}) differs across {group_attribute}")
                 } else {
                     format!("mean({value_attribute}) differs across {group_attribute} | {filter}")
                 }
             }
-            NullSpec::IndependenceWithin { attribute_a, attribute_b, filter, .. } => {
+            NullSpec::IndependenceWithin {
+                attribute_a,
+                attribute_b,
+                filter,
+                ..
+            } => {
                 if filter.is_trivial() {
                     format!("{attribute_a} ⊥̸ {attribute_b}")
                 } else {
@@ -174,7 +218,9 @@ impl NullSpec {
             | NullSpec::NoDistributionDifference { attribute, .. }
             | NullSpec::MeanEquality { attribute, .. }
             | NullSpec::StochasticEquality { attribute, .. } => attribute,
-            NullSpec::NoGroupMeanDifference { value_attribute, .. } => value_attribute,
+            NullSpec::NoGroupMeanDifference {
+                value_attribute, ..
+            } => value_attribute,
             NullSpec::IndependenceWithin { attribute_a, .. } => attribute_a,
         }
     }
@@ -236,7 +282,10 @@ impl Hypothesis {
     /// True when the hypothesis is live (tested or untestable, not
     /// superseded/deleted).
     pub fn is_active(&self) -> bool {
-        matches!(self.status, HypothesisStatus::Tested(_) | HypothesisStatus::Untestable)
+        matches!(
+            self.status,
+            HypothesisStatus::Tested(_) | HypothesisStatus::Untestable
+        )
     }
 
     /// The test record if the hypothesis was tested (superseded hypotheses
@@ -251,7 +300,10 @@ impl Hypothesis {
     /// True when the hypothesis is an active discovery (null rejected).
     pub fn is_discovery(&self) -> bool {
         self.is_active()
-            && self.record().map(|r| r.decision.is_rejection()).unwrap_or(false)
+            && self
+                .record()
+                .map(|r| r.decision.is_rejection())
+                .unwrap_or(false)
     }
 }
 
@@ -325,7 +377,9 @@ mod tests {
         h.status = HypothesisStatus::Tested(record(Decision::Accept));
         assert!(!h.is_discovery());
 
-        h.status = HypothesisStatus::Superseded { by: HypothesisId(2) };
+        h.status = HypothesisStatus::Superseded {
+            by: HypothesisId(2),
+        };
         assert!(!h.is_active());
         assert!(!h.is_discovery());
         assert!(h.record().is_none());

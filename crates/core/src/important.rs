@@ -104,8 +104,7 @@ mod tests {
                 })
                 .collect();
             let ds = benjamini_hochberg(&ps, alpha).unwrap();
-            let rejected: Vec<usize> =
-                (0..m).filter(|&i| ds[i].is_rejection()).collect();
+            let rejected: Vec<usize> = (0..m).filter(|&i| ds[i].is_rejection()).collect();
             if rejected.is_empty() {
                 continue;
             }

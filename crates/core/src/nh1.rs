@@ -7,9 +7,9 @@
 //! effect out. The scaling laws live in `aware_stats::power`; this module
 //! adds the gauge-facing presentation (square counts and wording).
 
+use crate::Result;
 use aware_stats::power::{flip_estimate, FlipDirection, FlipEstimate};
 use aware_stats::tests::{Alternative, TestOutcome};
-use crate::Result;
 
 /// Maximum number of squares the gauge draws; beyond this the annotation
 /// reads "≫" (the flip is practically out of reach).
@@ -37,7 +37,11 @@ pub fn render_squares(flip: &FlipEstimate) -> String {
     if squares > MAX_SQUARES {
         format!("≫{MAX_SQUARES}x {direction}")
     } else {
-        format!("{} {:.1}x {direction}", "■".repeat(squares.max(1)), flip.factor)
+        format!(
+            "{} {:.1}x {direction}",
+            "■".repeat(squares.max(1)),
+            flip.factor
+        )
     }
 }
 

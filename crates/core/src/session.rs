@@ -25,6 +25,7 @@ use crate::Result;
 use aware_data::table::Table;
 use aware_mht::investing::{AlphaInvesting, InvestingPolicy};
 use aware_mht::MhtError;
+use std::sync::Arc;
 
 /// Outcome of placing a visualization: its id plus the report of the
 /// hypothesis test the heuristics triggered (if any).
@@ -38,8 +39,13 @@ pub struct VizOutcome {
 }
 
 /// An interactive exploration session with automatic mFDR control.
+///
+/// The table is held behind an [`Arc`] so a serving layer can run
+/// thousands of sessions over one in-memory dataset without cloning it;
+/// single-session callers pass an owned [`Table`] to [`Session::new`] and
+/// never see the sharing.
 pub struct Session<P> {
-    table: Table,
+    table: Arc<Table>,
     investing: AlphaInvesting<P>,
     visualizations: Vec<Visualization>,
     hypotheses: Vec<Hypothesis>,
@@ -49,8 +55,20 @@ impl<P: InvestingPolicy> Session<P> {
     /// Opens a session over `table`, controlling mFDR at `alpha` with
     /// `η = 1 − α` (which also yields weak FWER control) under `policy`.
     pub fn new(table: Table, alpha: f64, policy: P) -> Result<Session<P>> {
+        Session::shared(Arc::new(table), alpha, policy)
+    }
+
+    /// Opens a session over an already-shared table. This is the
+    /// constructor the multi-session serving layer uses: N sessions over
+    /// one census cost one table, not N.
+    pub fn shared(table: Arc<Table>, alpha: f64, policy: P) -> Result<Session<P>> {
         let investing = AlphaInvesting::new(alpha, 1.0 - alpha, policy)?;
-        Ok(Session { table, investing, visualizations: Vec::new(), hypotheses: Vec::new() })
+        Ok(Session {
+            table,
+            investing,
+            visualizations: Vec::new(),
+            hypotheses: Vec::new(),
+        })
     }
 
     /// The table being explored.
@@ -73,6 +91,14 @@ impl<P: InvestingPolicy> Session<P> {
         self.investing.policy_name()
     }
 
+    /// Swaps the bidding policy for subsequent tests, returning the old
+    /// one. Wealth, ledger, and every announced decision are untouched —
+    /// the mFDR guarantee is policy-agnostic (any affordable bid sequence
+    /// qualifies), so an interactive user may change rules mid-session.
+    pub fn replace_policy(&mut self, policy: P) -> P {
+        self.investing.replace_policy(policy)
+    }
+
     /// True while the wealth can still fund at least some test.
     pub fn can_continue(&self) -> bool {
         self.investing.can_continue()
@@ -91,7 +117,10 @@ impl<P: InvestingPolicy> Session<P> {
 
     /// Active discoveries: tested, null rejected, not superseded/deleted.
     pub fn discoveries(&self) -> Vec<&Hypothesis> {
-        self.hypotheses.iter().filter(|h| h.is_discovery()).collect()
+        self.hypotheses
+            .iter()
+            .filter(|h| h.is_discovery())
+            .collect()
     }
 
     /// Places a visualization of `attribute` under `filter`, applying the
@@ -121,19 +150,31 @@ impl<P: InvestingPolicy> Session<P> {
         self.visualizations.push(viz);
 
         match derived {
-            Derived::Descriptive => Ok(VizOutcome { viz: viz_id, hypothesis: None }),
+            Derived::Descriptive => Ok(VizOutcome {
+                viz: viz_id,
+                hypothesis: None,
+            }),
             Derived::FilterEffect(spec) => {
                 let h = self.track_and_test(spec, Some(viz_id))?;
-                Ok(VizOutcome { viz: viz_id, hypothesis: h })
+                Ok(VizOutcome {
+                    viz: viz_id,
+                    hypothesis: h,
+                })
             }
-            Derived::LinkedComparison { spec, partner_index } => {
+            Derived::LinkedComparison {
+                spec,
+                partner_index,
+            } => {
                 // Rule 3 supersedes the partner's rule-2 hypothesis.
                 let partner_viz = self.visualizations[partner_index].id;
                 let h = self.track_and_test(spec, Some(viz_id))?;
                 if let Some((new_id, _)) = h {
                     self.supersede_hypotheses_of(partner_viz, new_id);
                 }
-                Ok(VizOutcome { viz: viz_id, hypothesis: h })
+                Ok(VizOutcome {
+                    viz: viz_id,
+                    hypothesis: h,
+                })
             }
         }
     }
@@ -145,7 +186,10 @@ impl<P: InvestingPolicy> Session<P> {
             Some(pair) => Ok(pair),
             None => {
                 let id = self.hypotheses.last().expect("just tracked").id;
-                Err(AwareError::InvalidHypothesisState { id: id.0, expected: "testable" })
+                Err(AwareError::InvalidHypothesisState {
+                    id: id.0,
+                    expected: "testable",
+                })
             }
         }
     }
@@ -162,7 +206,10 @@ impl<P: InvestingPolicy> Session<P> {
     ) -> Result<(HypothesisId, TestRecord)> {
         let idx = self.hypothesis_index(id)?;
         if !self.hypotheses[idx].is_active() {
-            return Err(AwareError::InvalidHypothesisState { id: id.0, expected: "active" });
+            return Err(AwareError::InvalidHypothesisState {
+                id: id.0,
+                expected: "active",
+            });
         }
         let source = self.hypotheses[idx].source;
         let new = self.track_and_test(spec, source)?;
@@ -174,7 +221,10 @@ impl<P: InvestingPolicy> Session<P> {
             None => {
                 let new_id = self.hypotheses.last().expect("just tracked").id;
                 // The replacement was untestable; keep the original active.
-                Err(AwareError::InvalidHypothesisState { id: new_id.0, expected: "testable" })
+                Err(AwareError::InvalidHypothesisState {
+                    id: new_id.0,
+                    expected: "testable",
+                })
             }
         }
     }
@@ -185,7 +235,10 @@ impl<P: InvestingPolicy> Session<P> {
     pub fn delete_hypothesis(&mut self, id: HypothesisId) -> Result<()> {
         let idx = self.hypothesis_index(id)?;
         if !self.hypotheses[idx].is_active() {
-            return Err(AwareError::InvalidHypothesisState { id: id.0, expected: "active" });
+            return Err(AwareError::InvalidHypothesisState {
+                id: id.0,
+                expected: "active",
+            });
         }
         self.hypotheses[idx].status = HypothesisStatus::Deleted;
         Ok(())
@@ -466,9 +519,15 @@ mod tests {
         // Double-override of a superseded hypothesis is rejected.
         let again = s.override_hypothesis(
             m4,
-            NullSpec::NoFilterEffect { attribute: "age".into(), filter: f },
+            NullSpec::NoFilterEffect {
+                attribute: "age".into(),
+                filter: f,
+            },
         );
-        assert!(matches!(again, Err(AwareError::InvalidHypothesisState { .. })));
+        assert!(matches!(
+            again,
+            Err(AwareError::InvalidHypothesisState { .. })
+        ));
     }
 
     #[test]
@@ -520,7 +579,10 @@ mod tests {
         assert!(out.hypothesis.is_none());
         assert_eq!(s.wealth(), w0);
         assert_eq!(s.hypotheses().len(), 1);
-        assert!(matches!(s.hypotheses()[0].status, HypothesisStatus::Untestable));
+        assert!(matches!(
+            s.hypotheses()[0].status,
+            HypothesisStatus::Untestable
+        ));
     }
 
     #[test]
@@ -556,7 +618,11 @@ mod tests {
     fn decisions_are_immutable_across_session_growth() {
         let mut s = session();
         let f = Predicate::eq("salary_over_50k", true);
-        let (id, record) = s.add_visualization("education", f).unwrap().hypothesis.unwrap();
+        let (id, record) = s
+            .add_visualization("education", f)
+            .unwrap()
+            .hypothesis
+            .unwrap();
         let decision_before = record.decision;
         // A pile of further exploration…
         for attr in ["marital_status", "occupation", "race", "native_region"] {
@@ -572,7 +638,11 @@ mod tests {
         use crate::hypothesis::ShiftMethod;
         let mut s = session();
         let f = Predicate::eq("sex", "Male");
-        let (id, _) = s.add_visualization("hours_per_week", f.clone()).unwrap().hypothesis.unwrap();
+        let (id, _) = s
+            .add_visualization("hours_per_week", f.clone())
+            .unwrap()
+            .hypothesis
+            .unwrap();
         let (_, rec) = s
             .override_hypothesis(
                 id,
@@ -585,7 +655,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rec.outcome.kind, aware_stats::tests::TestKind::MannWhitneyU);
-        assert!(rec.outcome.p_value < 0.01, "planted hours shift: p = {}", rec.outcome.p_value);
+        assert!(
+            rec.outcome.p_value < 0.01,
+            "planted hours shift: p = {}",
+            rec.outcome.p_value
+        );
     }
 
     #[test]

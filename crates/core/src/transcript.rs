@@ -22,24 +22,23 @@ pub fn export_csv<P: InvestingPolicy>(session: &Session<P>) -> String {
     let mut out = String::from(TRANSCRIPT_HEADER);
     out.push('\n');
     for h in session.hypotheses() {
-        let (status, test, stat, df, p, bid, decision, wealth, support, effect) =
-            match &h.status {
-                HypothesisStatus::Tested(r) => (
-                    "tested".to_string(),
-                    r.outcome.kind.to_string(),
-                    fmt(r.outcome.statistic),
-                    fmt(r.outcome.df),
-                    fmt(r.outcome.p_value),
-                    fmt(r.bid),
-                    r.decision.to_string(),
-                    fmt(r.wealth_after),
-                    fmt(r.support_fraction),
-                    fmt(r.outcome.effect_size),
-                ),
-                HypothesisStatus::Untestable => blank_row("untestable"),
-                HypothesisStatus::Superseded { by } => blank_row(&format!("superseded-by-H{}", by.0)),
-                HypothesisStatus::Deleted => blank_row("deleted"),
-            };
+        let (status, test, stat, df, p, bid, decision, wealth, support, effect) = match &h.status {
+            HypothesisStatus::Tested(r) => (
+                "tested".to_string(),
+                r.outcome.kind.to_string(),
+                fmt(r.outcome.statistic),
+                fmt(r.outcome.df),
+                fmt(r.outcome.p_value),
+                fmt(r.bid),
+                r.decision.to_string(),
+                fmt(r.wealth_after),
+                fmt(r.support_fraction),
+                fmt(r.outcome.effect_size),
+            ),
+            HypothesisStatus::Untestable => blank_row("untestable"),
+            HypothesisStatus::Superseded { by } => blank_row(&format!("superseded-by-H{}", by.0)),
+            HypothesisStatus::Deleted => blank_row("deleted"),
+        };
         let _ = writeln!(
             out,
             "H{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -90,7 +89,18 @@ pub fn export_text<P: InvestingPolicy>(session: &Session<P>) -> String {
 /// in the investing ledger; the transcript records the *current* status.
 fn blank_row(
     status: &str,
-) -> (String, String, String, String, String, String, String, String, String, String) {
+) -> (
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+) {
     (
         status.to_string(),
         String::new(),
@@ -133,7 +143,11 @@ mod tests {
         let mut s = Session::new(table, 0.05, Fixed::new(10.0)).unwrap();
         s.add_visualization("sex", Predicate::True).unwrap();
         let f = Predicate::eq("salary_over_50k", true);
-        let (m1, _) = s.add_visualization("education", f.clone()).unwrap().hypothesis.unwrap();
+        let (m1, _) = s
+            .add_visualization("education", f.clone())
+            .unwrap()
+            .hypothesis
+            .unwrap();
         s.add_visualization("education", f.negate()).unwrap(); // supersedes m1
         let (d, _) = s
             .add_visualization("race", Predicate::eq("sex", "Female"))
@@ -206,10 +220,10 @@ mod tests {
         let csv = export_csv(&s);
         let table = aware_data::csv::read_csv(csv.as_bytes()).unwrap();
         assert_eq!(table.rows(), s.hypotheses().len());
-        assert_eq!(table.column_names().len(), TRANSCRIPT_HEADER.split(',').count());
         assert_eq!(
-            table.column_names()[0],
-            "hypothesis"
+            table.column_names().len(),
+            TRANSCRIPT_HEADER.split(',').count()
         );
+        assert_eq!(table.column_names()[0], "hypothesis");
     }
 }

@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn labels() {
-        let v = Visualization { id: VizId(1), attribute: "sex".into(), filter: Predicate::True };
+        let v = Visualization {
+            id: VizId(1),
+            attribute: "sex".into(),
+            filter: Predicate::True,
+        };
         assert!(v.is_unfiltered());
         assert_eq!(v.label(), "sex");
         assert_eq!(v.id.to_string(), "viz#1");

@@ -91,11 +91,13 @@ pub fn grouped_moments(
 
     let mut moments = vec![Moments::new(); labels.len()];
     let mut push = |i: usize| -> Result<()> {
-        let v = values.numeric_at(i).ok_or_else(|| DataError::TypeMismatch {
-            column: value_column.to_owned(),
-            expected: "numeric (int64/float64)",
-            actual: values.column_type().name(),
-        })?;
+        let v = values
+            .numeric_at(i)
+            .ok_or_else(|| DataError::TypeMismatch {
+                column: value_column.to_owned(),
+                expected: "numeric (int64/float64)",
+                actual: values.column_type().name(),
+            })?;
         moments[code_of(i)].push(v);
         Ok(())
     };
@@ -160,8 +162,14 @@ mod tests {
                 "edu",
                 Column::categorical_from_strs(&["HS", "PhD", "HS", "PhD", "BA", "HS"]),
             )
-            .push("wage", Column::Float64(vec![10.0, 30.0, 12.0, 34.0, 20.0, 11.0]))
-            .push("flag", Column::Bool(vec![true, false, true, false, true, false]))
+            .push(
+                "wage",
+                Column::Float64(vec![10.0, 30.0, 12.0, 34.0, 20.0, 11.0]),
+            )
+            .push(
+                "flag",
+                Column::Bool(vec![true, false, true, false, true, false]),
+            )
             .build()
             .unwrap()
     }

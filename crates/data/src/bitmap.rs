@@ -16,12 +16,18 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of `len` bits.
     pub fn zeros(len: usize) -> Bitmap {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-ones bitmap of `len` bits.
     pub fn ones(len: usize) -> Bitmap {
-        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         b.mask_tail();
         b
     }

@@ -34,7 +34,13 @@ pub const EDUCATION: [&str; 5] = ["HS", "Some-College", "Bachelor", "Master", "P
 /// Marital statuses.
 pub const MARITAL: [&str; 4] = ["Never-Married", "Married", "Divorced", "Widowed"];
 /// Occupations.
-pub const OCCUPATION: [&str; 5] = ["Service", "Manual", "Clerical", "Professional", "Managerial"];
+pub const OCCUPATION: [&str; 5] = [
+    "Service",
+    "Manual",
+    "Clerical",
+    "Professional",
+    "Managerial",
+];
 /// Sexes (the paper's Figure 1 uses a three-valued gender attribute; we keep
 /// the Adult dataset's binary "sex" plus "Other" to match the figure).
 pub const SEX: [&str; 3] = ["Male", "Female", "Other"];
@@ -291,7 +297,10 @@ mod tests {
         let sal = histogram(&t, "salary_over_50k", None).unwrap();
         let high_share = sal.proportions()[1];
         // Adult-like: roughly a quarter earn > 50k.
-        assert!((0.10..0.45).contains(&high_share), "high-earner share {high_share}");
+        assert!(
+            (0.10..0.45).contains(&high_share),
+            "high-earner share {high_share}"
+        );
     }
 
     #[test]
@@ -310,13 +319,23 @@ mod tests {
         let r_hi = categorical_histogram(&t, "race", Some(&hi)).unwrap();
         let r_lo = categorical_histogram(&t, "race", Some(&lo)).unwrap();
         let out = chi_square_independence(&[r_hi.counts(), r_lo.counts()]).unwrap();
-        assert!(out.p_value > 1e-4, "race×salary p = {} (should be null)", out.p_value);
+        assert!(
+            out.p_value > 1e-4,
+            "race×salary p = {} (should be null)",
+            out.p_value
+        );
     }
 
     #[test]
     fn oracle_is_symmetric_and_covers_null_attributes() {
-        assert!(CensusGenerator::is_dependent("education", "salary_over_50k"));
-        assert!(CensusGenerator::is_dependent("salary_over_50k", "education"));
+        assert!(CensusGenerator::is_dependent(
+            "education",
+            "salary_over_50k"
+        ));
+        assert!(CensusGenerator::is_dependent(
+            "salary_over_50k",
+            "education"
+        ));
         assert!(CensusGenerator::is_dependent("sex", "salary_over_50k"));
         assert!(!CensusGenerator::is_dependent("sex", "education"));
         assert!(!CensusGenerator::is_dependent("sex", "marital_status"));
@@ -342,7 +361,11 @@ mod tests {
         let h_lo = categorical_histogram(&t, "education", Some(&lo)).unwrap();
         let out = chi_square_independence(&[h_hi.counts(), h_lo.counts()]).unwrap();
         // The strongest planted dependency must vanish after permutation.
-        assert!(out.p_value > 1e-4, "permuted education×salary p = {}", out.p_value);
+        assert!(
+            out.p_value > 1e-4,
+            "permuted education×salary p = {}",
+            out.p_value
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
 
     fn demo() -> Table {
         TableBuilder::new()
-            .push("edu", Column::categorical_from_strs(&["HS", "PhD", "HS", "PhD", "HS"]))
+            .push(
+                "edu",
+                Column::categorical_from_strs(&["HS", "PhD", "HS", "PhD", "HS"]),
+            )
             .push("rich", Column::Bool(vec![false, true, false, true, true]))
             .push("age", Column::Int64(vec![20, 30, 40, 50, 60]))
             .build()
@@ -151,7 +154,11 @@ mod tests {
         let t = CensusGenerator::new(4).generate(10_000);
         let ct = crosstab(&t, "education", "salary_over_50k", None).unwrap();
         let out = aware_stats::tests::chi_square_independence(ct.rows()).unwrap();
-        assert!(out.p_value < 1e-10, "planted dependence: p = {}", out.p_value);
+        assert!(
+            out.p_value < 1e-10,
+            "planted dependence: p = {}",
+            out.p_value
+        );
         let ct = crosstab(&t, "race", "salary_over_50k", None).unwrap();
         let out = aware_stats::tests::chi_square_independence(ct.rows()).unwrap();
         assert!(out.p_value > 1e-4, "null pair: p = {}", out.p_value);

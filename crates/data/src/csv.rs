@@ -23,11 +23,19 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
     let mut lines = BufReader::new(reader).lines();
     let header_line = match lines.next() {
         Some(l) => l?,
-        None => return Err(DataError::Csv { line: 0, reason: "empty input".into() }),
+        None => {
+            return Err(DataError::Csv {
+                line: 0,
+                reason: "empty input".into(),
+            })
+        }
     };
     let headers = parse_record(&header_line, 0)?;
     if headers.is_empty() {
-        return Err(DataError::Csv { line: 0, reason: "empty header".into() });
+        return Err(DataError::Csv {
+            line: 0,
+            reason: "empty header".into(),
+        });
     }
     let ncols = headers.len();
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); ncols];
@@ -48,7 +56,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table> {
         }
     }
     if cells[0].is_empty() {
-        return Err(DataError::Csv { line: 1, reason: "no data rows".into() });
+        return Err(DataError::Csv {
+            line: 1,
+            reason: "no data rows".into(),
+        });
     }
     let columns = headers
         .into_iter()
@@ -122,7 +133,10 @@ fn parse_record(line: &str, lineno: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(DataError::Csv { line: lineno, reason: "unterminated quote".into() });
+        return Err(DataError::Csv {
+            line: lineno,
+            reason: "unterminated quote".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -185,8 +199,14 @@ mod tests {
         assert!(text.contains("\"Craft, repair\""));
         assert!(text.contains("\"Say \"\"hi\"\"\""));
         let back = read_csv(buf.as_slice()).unwrap();
-        assert_eq!(back.value("job", 0).unwrap(), Value::Str("Craft, repair".into()));
-        assert_eq!(back.value("job", 1).unwrap(), Value::Str("Say \"hi\"".into()));
+        assert_eq!(
+            back.value("job", 0).unwrap(),
+            Value::Str("Craft, repair".into())
+        );
+        assert_eq!(
+            back.value("job", 1).unwrap(),
+            Value::Str("Say \"hi\"".into())
+        );
     }
 
     #[test]
@@ -204,10 +224,22 @@ mod tests {
 
     #[test]
     fn malformed_input_errors() {
-        assert!(matches!(read_csv("".as_bytes()), Err(DataError::Csv { .. })));
-        assert!(matches!(read_csv("a,b\n1\n".as_bytes()), Err(DataError::Csv { .. })));
-        assert!(matches!(read_csv("a\n\"unterminated\n".as_bytes()), Err(DataError::Csv { .. })));
-        assert!(matches!(read_csv("a,b\n".as_bytes()), Err(DataError::Csv { .. })));
+        assert!(matches!(
+            read_csv("".as_bytes()),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(
+            read_csv("a,b\n1\n".as_bytes()),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(
+            read_csv("a\n\"unterminated\n".as_bytes()),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(
+            read_csv("a,b\n".as_bytes()),
+            Err(DataError::Csv { .. })
+        ));
     }
 
     #[test]

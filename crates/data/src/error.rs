@@ -70,19 +70,38 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
-            DataError::TypeMismatch { column, expected, actual } => {
+            DataError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
                 write!(f, "column `{column}`: expected {expected}, found {actual}")
             }
-            DataError::LengthMismatch { expected, got, column } => {
+            DataError::LengthMismatch {
+                expected,
+                got,
+                column,
+            } => {
                 write!(f, "column `{column}` has {got} rows, table has {expected}")
             }
-            DataError::SelectionSizeMismatch { table_rows, bitmap_bits } => {
-                write!(f, "selection has {bitmap_bits} bits but table has {table_rows} rows")
+            DataError::SelectionSizeMismatch {
+                table_rows,
+                bitmap_bits,
+            } => {
+                write!(
+                    f,
+                    "selection has {bitmap_bits} bits but table has {table_rows} rows"
+                )
             }
             DataError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
-            DataError::Csv { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+            DataError::Csv { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
             DataError::Empty { context } => write!(f, "{context}: empty input"),
-            DataError::InvalidArgument { context, constraint } => {
+            DataError::InvalidArgument {
+                context,
+                constraint,
+            } => {
                 write!(f, "{context}: argument violates `{constraint}`")
             }
             DataError::Io { message } => write!(f, "io error: {message}"),
@@ -94,7 +113,9 @@ impl std::error::Error for DataError {}
 
 impl From<std::io::Error> for DataError {
     fn from(e: std::io::Error) -> Self {
-        DataError::Io { message: e.to_string() }
+        DataError::Io {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -104,9 +125,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DataError::UnknownColumn { name: "wage".into() };
+        let e = DataError::UnknownColumn {
+            name: "wage".into(),
+        };
         assert!(e.to_string().contains("wage"));
-        let e = DataError::TypeMismatch { column: "age".into(), expected: "categorical", actual: "int64" };
+        let e = DataError::TypeMismatch {
+            column: "age".into(),
+            expected: "categorical",
+            actual: "int64",
+        };
         assert!(e.to_string().contains("age"));
         assert!(e.to_string().contains("categorical"));
         let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();

@@ -55,7 +55,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.buckets.len()];
         }
-        self.buckets.iter().map(|b| b.count as f64 / total as f64).collect()
+        self.buckets
+            .iter()
+            .map(|b| b.count as f64 / total as f64)
+            .collect()
     }
 
     /// Number of buckets.
@@ -111,7 +114,10 @@ pub fn categorical_histogram(
                 buckets: labels
                     .iter()
                     .zip(counts)
-                    .map(|(l, count)| Bucket { label: l.clone(), count })
+                    .map(|(l, count)| Bucket {
+                        label: l.clone(),
+                        count,
+                    })
                     .collect(),
             })
         }
@@ -132,8 +138,14 @@ pub fn categorical_histogram(
             Ok(Histogram {
                 column: column.to_owned(),
                 buckets: vec![
-                    Bucket { label: "false".into(), count: counts[0] },
-                    Bucket { label: "true".into(), count: counts[1] },
+                    Bucket {
+                        label: "false".into(),
+                        count: counts[0],
+                    },
+                    Bucket {
+                        label: "true".into(),
+                        count: counts[1],
+                    },
                 ],
             })
         }
@@ -172,7 +184,9 @@ pub fn numeric_histogram(
     };
     let n = table.rows();
     if n == 0 {
-        return Err(DataError::Empty { context: "numeric_histogram" });
+        return Err(DataError::Empty {
+            context: "numeric_histogram",
+        });
     }
     // Bin edges always come from the FULL column so selections align.
     let mut min = f64::INFINITY;
@@ -182,7 +196,11 @@ pub fn numeric_histogram(
         min = min.min(v);
         max = max.max(v);
     }
-    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
     let bin_of = |v: f64| -> usize { (((v - min) / width) as usize).min(bins - 1) };
 
     let mut counts = vec![0u64; bins];
@@ -206,7 +224,10 @@ pub fn numeric_histogram(
             .map(|(b, count)| {
                 let lo = min + b as f64 * width;
                 let hi = lo + width;
-                Bucket { label: format!("[{lo:.3},{hi:.3})"), count }
+                Bucket {
+                    label: format!("[{lo:.3},{hi:.3})"),
+                    count,
+                }
             })
             .collect(),
     })
@@ -322,7 +343,10 @@ mod tests {
     #[test]
     fn default_dispatch_by_type() {
         let t = demo();
-        assert_eq!(histogram(&t, "age", None).unwrap().num_buckets(), DEFAULT_NUMERIC_BINS);
+        assert_eq!(
+            histogram(&t, "age", None).unwrap().num_buckets(),
+            DEFAULT_NUMERIC_BINS
+        );
         assert_eq!(histogram(&t, "sex", None).unwrap().num_buckets(), 2);
     }
 

@@ -96,7 +96,11 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience constructor for a comparison.
     pub fn cmp(column: impl Into<String>, op: CmpOp, value: Value) -> Predicate {
-        Predicate::Cmp { column: column.into(), op, value }
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value,
+        }
     }
 
     /// Convenience constructor for equality — the most common filter.
@@ -106,7 +110,11 @@ impl Predicate {
 
     /// Convenience constructor for a numeric brush.
     pub fn between(column: impl Into<String>, lo: f64, hi: f64) -> Predicate {
-        Predicate::Between { column: column.into(), lo, hi }
+        Predicate::Between {
+            column: column.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Negates this predicate.
@@ -147,9 +155,7 @@ impl Predicate {
         let rows = table.rows();
         match self {
             Predicate::True => Ok(Bitmap::ones(rows)),
-            Predicate::Cmp { column, op, value } => {
-                eval_cmp(table, column, *op, value)
-            }
+            Predicate::Cmp { column, op, value } => eval_cmp(table, column, *op, value),
             Predicate::In { column, values } => {
                 let mut acc = Bitmap::zeros(rows);
                 for v in values {
@@ -161,7 +167,9 @@ impl Predicate {
                 let col = table.column(column)?;
                 match col {
                     Column::Int64(v) => Ok(Bitmap::from_bools(
-                        &v.iter().map(|&x| (x as f64) >= *lo && (x as f64) <= *hi).collect::<Vec<_>>(),
+                        &v.iter()
+                            .map(|&x| (x as f64) >= *lo && (x as f64) <= *hi)
+                            .collect::<Vec<_>>(),
                     )),
                     Column::Float64(v) => Ok(Bitmap::from_bools(
                         &v.iter().map(|&x| x >= *lo && x <= *hi).collect::<Vec<_>>(),
@@ -203,7 +211,9 @@ fn eval_cmp(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bit
         Column::Int64(v) => {
             let rhs = value.as_f64().ok_or_else(mismatch)?;
             Ok(Bitmap::from_bools(
-                &v.iter().map(|&x| op.eval_f64(x as f64, rhs)).collect::<Vec<_>>(),
+                &v.iter()
+                    .map(|&x| op.eval_f64(x as f64, rhs))
+                    .collect::<Vec<_>>(),
             ))
         }
         Column::Float64(v) => {
@@ -296,12 +306,18 @@ mod tests {
     fn demo() -> Table {
         TableBuilder::new()
             .push("age", Column::Int64(vec![25, 40, 31, 60, 18]))
-            .push("salary", Column::Float64(vec![30.0, 80.0, 55.0, 20.0, 10.0]))
+            .push(
+                "salary",
+                Column::Float64(vec![30.0, 80.0, 55.0, 20.0, 10.0]),
+            )
             .push(
                 "education",
                 Column::categorical_from_strs(&["HS", "PhD", "Master", "HS", "Bachelor"]),
             )
-            .push("over_50k", Column::Bool(vec![false, true, true, false, false]))
+            .push(
+                "over_50k",
+                Column::Bool(vec![false, true, true, false, false]),
+            )
             .build()
             .unwrap()
     }
@@ -309,12 +325,18 @@ mod tests {
     #[test]
     fn numeric_comparisons() {
         let t = demo();
-        let sel = Predicate::cmp("age", CmpOp::Ge, Value::from(31i64)).eval(&t).unwrap();
+        let sel = Predicate::cmp("age", CmpOp::Ge, Value::from(31i64))
+            .eval(&t)
+            .unwrap();
         assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
-        let sel = Predicate::cmp("salary", CmpOp::Lt, Value::from(30.0)).eval(&t).unwrap();
+        let sel = Predicate::cmp("salary", CmpOp::Lt, Value::from(30.0))
+            .eval(&t)
+            .unwrap();
         assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![3, 4]);
         // Int column compared against float literal coerces.
-        let sel = Predicate::cmp("age", CmpOp::Eq, Value::from(40.0)).eval(&t).unwrap();
+        let sel = Predicate::cmp("age", CmpOp::Eq, Value::from(40.0))
+            .eval(&t)
+            .unwrap();
         assert_eq!(sel.count_ones(), 1);
     }
 
@@ -323,10 +345,18 @@ mod tests {
         let t = demo();
         let sel = Predicate::eq("education", "HS").eval(&t).unwrap();
         assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
-        let sel = Predicate::cmp("education", CmpOp::Neq, Value::from("HS")).eval(&t).unwrap();
+        let sel = Predicate::cmp("education", CmpOp::Neq, Value::from("HS"))
+            .eval(&t)
+            .unwrap();
         assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![1, 2, 4]);
         // Unknown label: = matches nothing, ≠ matches everything.
-        assert_eq!(Predicate::eq("education", "Kindergarten").eval(&t).unwrap().count_ones(), 0);
+        assert_eq!(
+            Predicate::eq("education", "Kindergarten")
+                .eval(&t)
+                .unwrap()
+                .count_ones(),
+            0
+        );
         assert_eq!(
             Predicate::cmp("education", CmpOp::Neq, Value::from("Kindergarten"))
                 .eval(&t)
@@ -385,7 +415,10 @@ mod tests {
 
         let young_high = Predicate::cmp("age", CmpOp::Lt, Value::from(45i64))
             .and(Predicate::eq("over_50k", true));
-        assert_eq!(young_high.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            young_high.eval(&t).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
 
         let not_that = young_high.clone().negate();
         assert_eq!(not_that.eval(&t).unwrap().count_ones(), 3);
@@ -411,8 +444,7 @@ mod tests {
 
     #[test]
     fn display_renders_chains() {
-        let p = Predicate::eq("education", "PhD")
-            .and(Predicate::eq("marital", "Married").negate());
+        let p = Predicate::eq("education", "PhD").and(Predicate::eq("marital", "Married").negate());
         assert_eq!(p.to_string(), "education=PhD ∧ ¬(marital=Married)");
         let q = Predicate::between("age", 18.0, 65.0);
         assert_eq!(q.to_string(), "age∈[18,65]");

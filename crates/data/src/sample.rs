@@ -128,7 +128,9 @@ mod tests {
             .push(
                 "grp",
                 Column::categorical_from_strs(
-                    &(0..n).map(|i| if i % 3 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+                    &(0..n)
+                        .map(|i| if i % 3 == 0 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
                 ),
             )
             .build()
@@ -212,7 +214,10 @@ mod tests {
         b.sort_by(|x, y| x.total_cmp(y));
         assert_eq!(a, b);
         // And it actually moved things (overwhelmingly likely).
-        assert_ne!(t.numeric_values("id", None).unwrap(), p.numeric_values("id", None).unwrap());
+        assert_ne!(
+            t.numeric_values("id", None).unwrap(),
+            p.numeric_values("id", None).unwrap()
+        );
     }
 
     #[test]
@@ -237,6 +242,9 @@ mod tests {
         };
         let agree = xs.iter().zip(&ys).filter(|(a, b)| a == b).count();
         let rate = agree as f64 / n as f64;
-        assert!((0.45..0.55).contains(&rate), "agreement after permutation: {rate}");
+        assert!(
+            (0.45..0.55).contains(&rate),
+            "agreement after permutation: {rate}"
+        );
     }
 }

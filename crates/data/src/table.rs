@@ -23,7 +23,9 @@ impl Table {
     /// zero columns is invalid.
     pub fn new(columns: Vec<(String, Column)>) -> Result<Table> {
         if columns.is_empty() {
-            return Err(DataError::Empty { context: "Table::new" });
+            return Err(DataError::Empty {
+                context: "Table::new",
+            });
         }
         let rows = columns[0].1.len();
         let mut names = Vec::with_capacity(columns.len());
@@ -42,7 +44,11 @@ impl Table {
             names.push(name);
             cols.push(col);
         }
-        Ok(Table { names, columns: cols, rows })
+        Ok(Table {
+            names,
+            columns: cols,
+            rows,
+        })
     }
 
     /// Number of rows.
@@ -65,7 +71,9 @@ impl Table {
         self.names
             .iter()
             .position(|n| n == name)
-            .ok_or_else(|| DataError::UnknownColumn { name: name.to_owned() })
+            .ok_or_else(|| DataError::UnknownColumn {
+                name: name.to_owned(),
+            })
     }
 
     /// Column by name.

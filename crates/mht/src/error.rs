@@ -43,20 +43,34 @@ pub enum MhtError {
 impl fmt::Display for MhtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MhtError::InvalidParameter { context, constraint, value } => {
-                write!(f, "{context}: parameter violates `{constraint}` (value {value})")
+            MhtError::InvalidParameter {
+                context,
+                constraint,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{context}: parameter violates `{constraint}` (value {value})"
+                )
             }
             MhtError::InvalidPValue { context, value } => {
                 write!(f, "{context}: p-value {value} outside [0, 1]")
             }
-            MhtError::WealthExhausted { tests_run, remaining_wealth } => {
+            MhtError::WealthExhausted {
+                tests_run,
+                remaining_wealth,
+            } => {
                 write!(
                     f,
                     "alpha-wealth exhausted after {tests_run} tests \
                      (remaining {remaining_wealth:.6}); stop exploring to keep mFDR control"
                 )
             }
-            MhtError::LengthMismatch { context, left, right } => {
+            MhtError::LengthMismatch {
+                context,
+                left,
+                right,
+            } => {
                 write!(f, "{context}: length mismatch ({left} vs {right})")
             }
         }
@@ -71,10 +85,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MhtError::WealthExhausted { tests_run: 12, remaining_wealth: 0.0001 };
+        let e = MhtError::WealthExhausted {
+            tests_run: 12,
+            remaining_wealth: 0.0001,
+        };
         assert!(e.to_string().contains("12 tests"));
         assert!(e.to_string().contains("stop exploring"));
-        let e = MhtError::InvalidPValue { context: "bh", value: 1.2 };
+        let e = MhtError::InvalidPValue {
+            context: "bh",
+            value: 1.2,
+        };
         assert!(e.to_string().contains("1.2"));
     }
 }

@@ -96,16 +96,18 @@ mod tests {
         // Classic Benjamini–Hochberg (1995) worked example, m = 15, α = .05:
         // rejects the 4 smallest p-values.
         let ps = [
-            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.3240,
-            0.4262, 0.5719, 0.6528, 0.7590, 1.0000,
+            0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298, 0.0344, 0.0459, 0.3240, 0.4262,
+            0.5719, 0.6528, 0.7590, 1.0000,
         ];
         let ds = benjamini_hochberg(&ps, 0.05).unwrap();
         assert_eq!(num_rejections(&ds), 4);
-        for i in 0..4 {
-            assert_eq!(ds[i], Decision::Reject, "index {i}");
-        }
-        for i in 4..15 {
-            assert_eq!(ds[i], Decision::Accept, "index {i}");
+        for (i, d) in ds.iter().enumerate() {
+            let expected = if i < 4 {
+                Decision::Reject
+            } else {
+                Decision::Accept
+            };
+            assert_eq!(*d, expected, "index {i}");
         }
     }
 

@@ -24,7 +24,10 @@ fn validate(p_values: &[f64], alpha: f64, context: &'static str) -> Result<()> {
 pub fn bonferroni(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
     validate(p_values, alpha, "bonferroni")?;
     let m = p_values.len().max(1) as f64;
-    Ok(p_values.iter().map(|&p| Decision::from_threshold(p, alpha / m)).collect())
+    Ok(p_values
+        .iter()
+        .map(|&p| Decision::from_threshold(p, alpha / m))
+        .collect())
 }
 
 /// Šidák correction: reject `H_i` iff `p_i ≤ 1 − (1−α)^{1/m}`.
@@ -34,7 +37,10 @@ pub fn sidak(p_values: &[f64], alpha: f64) -> Result<Vec<Decision>> {
     validate(p_values, alpha, "sidak")?;
     let m = p_values.len().max(1) as f64;
     let threshold = 1.0 - (1.0 - alpha).powf(1.0 / m);
-    Ok(p_values.iter().map(|&p| Decision::from_threshold(p, threshold)).collect())
+    Ok(p_values
+        .iter()
+        .map(|&p| Decision::from_threshold(p, threshold))
+        .collect())
 }
 
 /// Holm's step-down procedure.

@@ -320,20 +320,27 @@ mod tests {
 
     #[test]
     fn validation_and_stream_padding() {
-        assert!(GeneralizedInvesting::new(0.0, 0.95, GaiSchedule::LinearPenalty { gamma: 10.0 })
-            .is_err());
-        assert!(GeneralizedInvesting::new(0.05, 0.0, GaiSchedule::LinearPenalty { gamma: 10.0 })
-            .is_err());
-        assert!(GeneralizedInvesting::new(0.05, 0.95, GaiSchedule::LinearPenalty { gamma: 0.0 })
-            .is_err());
-        assert!(GeneralizedInvesting::new(0.05, 0.95, GaiSchedule::FosterStine { level: 0.0 })
-            .is_err());
+        assert!(
+            GeneralizedInvesting::new(0.0, 0.95, GaiSchedule::LinearPenalty { gamma: 10.0 })
+                .is_err()
+        );
+        assert!(
+            GeneralizedInvesting::new(0.05, 0.0, GaiSchedule::LinearPenalty { gamma: 10.0 })
+                .is_err()
+        );
+        assert!(
+            GeneralizedInvesting::new(0.05, 0.95, GaiSchedule::LinearPenalty { gamma: 0.0 })
+                .is_err()
+        );
+        assert!(
+            GeneralizedInvesting::new(0.05, 0.95, GaiSchedule::FosterStine { level: 0.0 }).is_err()
+        );
         let mut gai =
             GeneralizedInvesting::new(0.05, 0.95, GaiSchedule::FosterStine { level: 0.02 })
                 .unwrap();
         assert!(gai.test(1.5).is_err());
         // F-S with a fixed level exhausts; the stream pads with accepts.
-        let ds = gai.decide_stream(&vec![0.9; 20]).unwrap();
+        let ds = gai.decide_stream(&[0.9; 20]).unwrap();
         assert_eq!(ds.len(), 20);
         assert!(ds.iter().all(|d| !d.is_rejection()));
     }

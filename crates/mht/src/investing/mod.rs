@@ -75,7 +75,9 @@ pub struct TestContext {
 
 impl Default for TestContext {
     fn default() -> Self {
-        TestContext { support_fraction: 1.0 }
+        TestContext {
+            support_fraction: 1.0,
+        }
     }
 }
 
@@ -191,6 +193,14 @@ impl<P: InvestingPolicy> AlphaInvesting<P> {
         self.policy.name()
     }
 
+    /// Swaps the bidding policy mid-stream, returning the old one. Wealth
+    /// and the ledger are untouched: Foster & Stine's guarantee holds for
+    /// *any* sequence of affordable bids, so which rule produces the next
+    /// bid may change between tests without weakening mFDR control.
+    pub fn replace_policy(&mut self, policy: P) -> P {
+        std::mem::replace(&mut self.policy, policy)
+    }
+
     /// Number of tests run.
     pub fn tests_run(&self) -> usize {
         self.state.tests_run
@@ -230,7 +240,11 @@ impl<P: InvestingPolicy> AlphaInvesting<P> {
 
     /// Tests the next hypothesis, exposing its support fraction to the
     /// policy (ψ-support consumes this; other policies ignore it).
-    pub fn test_with_support(&mut self, p_value: f64, support_fraction: f64) -> Result<LedgerEntry> {
+    pub fn test_with_support(
+        &mut self,
+        p_value: f64,
+        support_fraction: f64,
+    ) -> Result<LedgerEntry> {
         if !(support_fraction > 0.0 && support_fraction <= 1.0) {
             return Err(MhtError::InvalidParameter {
                 context: "AlphaInvesting::test_with_support",
@@ -336,7 +350,10 @@ impl<P: InvestingPolicy> AlphaInvesting<P> {
     }
 }
 
-impl InvestingPolicy for Box<dyn InvestingPolicy> {
+// Blanket impl so boxed policies work everywhere a concrete policy does,
+// including `Box<dyn InvestingPolicy>` and — for multi-threaded serving —
+// `Box<dyn InvestingPolicy + Send>`.
+impl<P: InvestingPolicy + ?Sized> InvestingPolicy for Box<P> {
     fn name(&self) -> String {
         self.as_ref().name()
     }
@@ -419,7 +436,10 @@ mod tests {
         }
         assert!(m.wealth() < 1e-12, "wealth {:.2e}", m.wealth());
         let err = m.test(0.9).unwrap_err();
-        assert!(matches!(err, MhtError::WealthExhausted { tests_run: 10, .. }));
+        assert!(matches!(
+            err,
+            MhtError::WealthExhausted { tests_run: 10, .. }
+        ));
         assert!(!m.can_continue());
     }
 
@@ -496,7 +516,9 @@ mod tests {
     fn decide_stream_prefix_stability() {
         // The decisions on a prefix equal the prefix of decisions on the
         // full stream — the "incremental and interactive" property.
-        let ps: Vec<f64> = (0..40).map(|i| ((i * 37 % 100) as f64 + 0.5) / 101.0).collect();
+        let ps: Vec<f64> = (0..40)
+            .map(|i| ((i * 37 % 100) as f64 + 0.5) / 101.0)
+            .collect();
         let full = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0))
             .unwrap()
             .decide_stream(&ps)
@@ -527,9 +549,7 @@ mod tests {
         assert!(m.test(-0.1).is_err());
         assert!(m.test_with_support(0.5, 0.0).is_err());
         assert!(m.test_with_support(0.5, 1.5).is_err());
-        assert!(m
-            .decide_stream_with_support(&[0.5, 0.5], &[1.0])
-            .is_err());
+        assert!(m.decide_stream_with_support(&[0.5, 0.5], &[1.0]).is_err());
     }
 
     #[test]
@@ -601,12 +621,17 @@ mod control_tests {
 
     #[test]
     fn all_policies_control_expected_false_discoveries_under_null() {
-        let makers: Vec<(&str, Box<dyn Fn() -> AlphaInvesting<Box<dyn InvestingPolicy>>>)> = vec![
+        type Maker = Box<dyn Fn() -> AlphaInvesting<Box<dyn InvestingPolicy>>>;
+        let makers: Vec<(&str, Maker)> = vec![
             (
                 "γ-fixed",
                 Box::new(|| {
-                    AlphaInvesting::new(0.05, 0.95, Box::new(Fixed::new(10.0)) as Box<dyn InvestingPolicy>)
-                        .unwrap()
+                    AlphaInvesting::new(
+                        0.05,
+                        0.95,
+                        Box::new(Fixed::new(10.0)) as Box<dyn InvestingPolicy>,
+                    )
+                    .unwrap()
                 }),
             ),
             (
@@ -623,8 +648,12 @@ mod control_tests {
             (
                 "δ-hopeful",
                 Box::new(|| {
-                    AlphaInvesting::new(0.05, 0.95, Box::new(Hopeful::new(10.0)) as Box<dyn InvestingPolicy>)
-                        .unwrap()
+                    AlphaInvesting::new(
+                        0.05,
+                        0.95,
+                        Box::new(Hopeful::new(10.0)) as Box<dyn InvestingPolicy>,
+                    )
+                    .unwrap()
                 }),
             ),
             (

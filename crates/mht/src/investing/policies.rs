@@ -102,7 +102,9 @@ impl Fixed {
     /// time by the affordability check, so the constructor only requires
     /// positivity.
     pub fn new(gamma: f64) -> Fixed {
-        Fixed { gamma: gamma.max(f64::MIN_POSITIVE) }
+        Fixed {
+            gamma: gamma.max(f64::MIN_POSITIVE),
+        }
     }
 
     /// The spreading factor γ.
@@ -141,7 +143,9 @@ pub struct Hopeful {
 impl Hopeful {
     /// Creates the policy with horizon `delta` (paper default 10).
     pub fn new(delta: f64) -> Hopeful {
-        Hopeful { delta: delta.max(f64::MIN_POSITIVE) }
+        Hopeful {
+            delta: delta.max(f64::MIN_POSITIVE),
+        }
     }
 
     /// The hope horizon δ.
@@ -185,7 +189,12 @@ pub struct EpsilonHybrid {
 impl EpsilonHybrid {
     /// Creates the policy; requires `0 < epsilon < 1` and a non-zero window
     /// when one is given.
-    pub fn new(gamma: f64, delta: f64, epsilon: f64, window: Option<usize>) -> Result<EpsilonHybrid> {
+    pub fn new(
+        gamma: f64,
+        delta: f64,
+        epsilon: f64,
+        window: Option<usize>,
+    ) -> Result<EpsilonHybrid> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
             return Err(MhtError::InvalidParameter {
                 context: "EpsilonHybrid::new",
@@ -408,12 +417,32 @@ mod tests {
     fn support_scales_bid_by_power_of_fraction() {
         let mut p = psi_support(10.0, 0.5).unwrap();
         let s = state(0.0475);
-        let full = p.bid(&s, &TestContext { support_fraction: 1.0 });
-        let quarter = p.bid(&s, &TestContext { support_fraction: 0.25 });
+        let full = p.bid(
+            &s,
+            &TestContext {
+                support_fraction: 1.0,
+            },
+        );
+        let quarter = p.bid(
+            &s,
+            &TestContext {
+                support_fraction: 0.25,
+            },
+        );
         assert!((quarter - full * 0.5).abs() < 1e-15, "√0.25 = 0.5 scaling");
         let mut linear = psi_support(10.0, 1.0).unwrap();
-        let tenth = linear.bid(&s, &TestContext { support_fraction: 0.1 });
-        let base = linear.bid(&s, &TestContext { support_fraction: 1.0 });
+        let tenth = linear.bid(
+            &s,
+            &TestContext {
+                support_fraction: 0.1,
+            },
+        );
+        let base = linear.bid(
+            &s,
+            &TestContext {
+                support_fraction: 1.0,
+            },
+        );
         assert!((tenth - base * 0.1).abs() < 1e-15);
         assert!(SupportScaled::new(Fixed::new(10.0), 0.0).is_err());
         assert!(SupportScaled::new(Fixed::new(10.0), f64::NAN).is_err());
@@ -422,11 +451,17 @@ mod tests {
 
     #[test]
     fn names_identify_parameters() {
-        assert_eq!(Farsighted::new(0.25).unwrap().name(), "β-farsighted(β=0.25)");
+        assert_eq!(
+            Farsighted::new(0.25).unwrap().name(),
+            "β-farsighted(β=0.25)"
+        );
         assert_eq!(best_foot_forward().name(), "best-foot-forward");
         assert_eq!(Fixed::new(10.0).name(), "γ-fixed(γ=10)");
         assert_eq!(Hopeful::new(10.0).name(), "δ-hopeful(δ=10)");
-        assert!(EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap().name().contains("0.5"));
+        assert!(EpsilonHybrid::new(10.0, 10.0, 0.5, None)
+            .unwrap()
+            .name()
+            .contains("0.5"));
         assert!(psi_support(10.0, 0.5).unwrap().name().contains("γ-fixed"));
     }
 

@@ -36,6 +36,12 @@
 //! assert_eq!(proc.ledger().len(), 4);
 //! ```
 
+// Parameter checks below deliberately write `!(x > 0.0)` instead of
+// `x <= 0.0`: the negated form is true for NaN as well, which is exactly
+// the validation a procedure boundary needs. Clippy's suggested rewrite
+// would silently change NaN handling. (Same rationale as aware-stats.)
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 pub mod decision;
 pub mod error;
 pub mod fdr_batch;

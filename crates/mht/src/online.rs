@@ -44,7 +44,11 @@ impl Lond {
     /// Creates LOND at FDR level `alpha`.
     pub fn new(alpha: f64) -> Result<Lond> {
         check_alpha(alpha, "Lond::new")?;
-        Ok(Lond { alpha, tests_run: 0, discoveries: 0 })
+        Ok(Lond {
+            alpha,
+            tests_run: 0,
+            discoveries: 0,
+        })
     }
 
     /// The level that will be granted to the next hypothesis.
@@ -102,7 +106,12 @@ impl LordPlusPlus {
     /// Creates LORD++ at FDR level `alpha` with the default `w0 = α/2`.
     pub fn new(alpha: f64) -> Result<LordPlusPlus> {
         check_alpha(alpha, "LordPlusPlus::new")?;
-        Ok(LordPlusPlus { alpha, w0: alpha / 2.0, tests_run: 0, rejection_times: Vec::new() })
+        Ok(LordPlusPlus {
+            alpha,
+            w0: alpha / 2.0,
+            tests_run: 0,
+            rejection_times: Vec::new(),
+        })
     }
 
     /// The level that will be granted to the next hypothesis.
@@ -111,7 +120,11 @@ impl LordPlusPlus {
         let mut level = gamma_seq(t) * self.w0;
         for (j, &tau) in self.rejection_times.iter().enumerate() {
             let lag = t - tau; // ≥ 1 since tau < t
-            let payout = if j == 0 { self.alpha - self.w0 } else { self.alpha };
+            let payout = if j == 0 {
+                self.alpha - self.w0
+            } else {
+                self.alpha
+            };
             level += payout * gamma_seq(lag);
         }
         level
@@ -186,11 +199,16 @@ mod tests {
 
     #[test]
     fn decisions_are_final_prefix_stability() {
-        let ps: Vec<f64> = (0..30).map(|i| ((i * 41 % 97) as f64 + 0.5) / 100.0).collect();
+        let ps: Vec<f64> = (0..30)
+            .map(|i| ((i * 41 % 97) as f64 + 0.5) / 100.0)
+            .collect();
         let full_lond = Lond::decide_stream(0.05, &ps).unwrap();
         let full_lord = LordPlusPlus::decide_stream(0.05, &ps).unwrap();
         for k in 1..ps.len() {
-            assert_eq!(Lond::decide_stream(0.05, &ps[..k]).unwrap(), full_lond[..k].to_vec());
+            assert_eq!(
+                Lond::decide_stream(0.05, &ps[..k]).unwrap(),
+                full_lond[..k].to_vec()
+            );
             assert_eq!(
                 LordPlusPlus::decide_stream(0.05, &ps[..k]).unwrap(),
                 full_lord[..k].to_vec()

@@ -30,7 +30,12 @@ mod tests {
         let ds = pcer(&[0.01, 0.05, 0.051, 0.9], 0.05).unwrap();
         assert_eq!(
             ds,
-            vec![Decision::Reject, Decision::Reject, Decision::Accept, Decision::Accept]
+            vec![
+                Decision::Reject,
+                Decision::Reject,
+                Decision::Accept,
+                Decision::Accept
+            ]
         );
     }
 

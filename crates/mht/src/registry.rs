@@ -187,10 +187,17 @@ impl ProcedureSpec {
                 AlphaInvesting::new(alpha, eta, Hopeful::new(*delta))?
                     .decide_stream_with_support(p_values, support_fractions)
             }
-            ProcedureSpec::Hybrid { gamma, delta, epsilon, window } => {
-                AlphaInvesting::new(alpha, eta, EpsilonHybrid::new(*gamma, *delta, *epsilon, *window)?)?
-                    .decide_stream_with_support(p_values, support_fractions)
-            }
+            ProcedureSpec::Hybrid {
+                gamma,
+                delta,
+                epsilon,
+                window,
+            } => AlphaInvesting::new(
+                alpha,
+                eta,
+                EpsilonHybrid::new(*gamma, *delta, *epsilon, *window)?,
+            )?
+            .decide_stream_with_support(p_values, support_fractions),
             ProcedureSpec::PsiSupport { gamma, psi } => {
                 AlphaInvesting::new(alpha, eta, psi_support(*gamma, *psi)?)?
                     .decide_stream_with_support(p_values, support_fractions)
@@ -206,7 +213,11 @@ impl ProcedureSpec {
 
     /// The static baselines of Exp.1a / Figure 3.
     pub fn exp1a_procedures() -> Vec<ProcedureSpec> {
-        vec![ProcedureSpec::Pcer, ProcedureSpec::Bonferroni, ProcedureSpec::BenjaminiHochberg]
+        vec![
+            ProcedureSpec::Pcer,
+            ProcedureSpec::Bonferroni,
+            ProcedureSpec::BenjaminiHochberg,
+        ]
     }
 
     /// The incremental procedures of Exp.1b–1c / Figures 4–5, with the
@@ -217,8 +228,16 @@ impl ProcedureSpec {
             ProcedureSpec::Farsighted { beta: 0.25 },
             ProcedureSpec::Fixed { gamma: 10.0 },
             ProcedureSpec::Hopeful { delta: 10.0 },
-            ProcedureSpec::Hybrid { gamma: 10.0, delta: 10.0, epsilon: 0.5, window: None },
-            ProcedureSpec::PsiSupport { gamma: 10.0, psi: 0.5 },
+            ProcedureSpec::Hybrid {
+                gamma: 10.0,
+                delta: 10.0,
+                epsilon: 0.5,
+                window: None,
+            },
+            ProcedureSpec::PsiSupport {
+                gamma: 10.0,
+                psi: 0.5,
+            },
         ]
     }
 
@@ -316,7 +335,10 @@ mod tests {
             spec.run_with_support(0.05, &ps, &thin).unwrap()
         );
         // ψ-support discounts bids → fewer (or equal) rejections on thin data.
-        let spec = ProcedureSpec::PsiSupport { gamma: 10.0, psi: 0.5 };
+        let spec = ProcedureSpec::PsiSupport {
+            gamma: 10.0,
+            psi: 0.5,
+        };
         let r_full = num_rejections(&spec.run_with_support(0.05, &ps, &full).unwrap());
         let r_thin = num_rejections(&spec.run_with_support(0.05, &ps, &thin).unwrap());
         assert!(r_thin <= r_full);

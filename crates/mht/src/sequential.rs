@@ -31,7 +31,10 @@ impl AlphaSpending {
     /// Creates the procedure at level `alpha`.
     pub fn new(alpha: f64) -> Result<AlphaSpending> {
         check_alpha(alpha, "AlphaSpending::new")?;
-        Ok(AlphaSpending { alpha, tests_run: 0 })
+        Ok(AlphaSpending {
+            alpha,
+            tests_run: 0,
+        })
     }
 
     /// Threshold that will be applied to the *next* hypothesis.
@@ -82,7 +85,12 @@ impl ForwardStop {
     /// Creates the procedure at level `alpha`.
     pub fn new(alpha: f64) -> Result<ForwardStop> {
         check_alpha(alpha, "ForwardStop::new")?;
-        Ok(ForwardStop { alpha, surprisal_sum: 0.0, observed: Vec::new(), k_hat: 0 })
+        Ok(ForwardStop {
+            alpha,
+            surprisal_sum: 0.0,
+            observed: Vec::new(),
+            k_hat: 0,
+        })
     }
 
     /// Observes the next p-value in the stream.
@@ -116,7 +124,13 @@ impl ForwardStop {
     /// `k̂` and overturn earlier acceptances (never earlier rejections).
     pub fn decisions(&self) -> Vec<Decision> {
         (0..self.observed.len())
-            .map(|i| if i < self.k_hat { Decision::Reject } else { Decision::Accept })
+            .map(|i| {
+                if i < self.k_hat {
+                    Decision::Reject
+                } else {
+                    Decision::Accept
+                }
+            })
             .collect()
     }
 
@@ -151,7 +165,13 @@ pub fn forward_stop_overturns(alpha: f64, p_values: &[f64]) -> Result<bool> {
 
 impl std::fmt::Display for ForwardStop {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ForwardStop(α={}, k̂={}/{})", self.alpha, self.k_hat, self.observed.len())
+        write!(
+            f,
+            "ForwardStop(α={}, k̂={}/{})",
+            self.alpha,
+            self.k_hat,
+            self.observed.len()
+        )
     }
 }
 
@@ -177,7 +197,12 @@ mod tests {
         let ds = AlphaSpending::decide_stream(0.05, &[0.02, 0.02, 0.001, 0.004]).unwrap();
         assert_eq!(
             ds,
-            vec![Decision::Reject, Decision::Accept, Decision::Reject, Decision::Accept]
+            vec![
+                Decision::Reject,
+                Decision::Accept,
+                Decision::Reject,
+                Decision::Accept
+            ]
         );
     }
 

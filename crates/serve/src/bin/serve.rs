@@ -1,0 +1,134 @@
+//! The `serve` binary: AWARE multi-session exploration service over TCP.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--workers N] [--rows 20000]
+//!       [--max-sessions N] [--idle-timeout-secs S] [--seed K]
+//! ```
+//!
+//! Registers a synthetic census dataset (the workspace's stand-in for
+//! UCI Adult) under the name `census` and speaks the NDJSON protocol
+//! documented in the repository README. Try it with netcat:
+//!
+//! ```text
+//! $ echo '{"id":1,"cmd":"create_session","dataset":"census","alpha":0.05,
+//!          "policy":{"kind":"fixed","gamma":10}}' | nc 127.0.0.1 7878
+//! ```
+
+use aware_data::census::CensusGenerator;
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::tcp::TcpServer;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: Option<usize>,
+    rows: usize,
+    max_sessions: u64,
+    idle_timeout: Duration,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        workers: None,
+        rows: 20_000,
+        max_sessions: 65_536,
+        idle_timeout: Duration::from_secs(15 * 60),
+        seed: 2017,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--rows" => {
+                args.rows = value("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--max-sessions" => {
+                args.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--idle-timeout-secs" => {
+                args.idle_timeout = Duration::from_secs(
+                    value("--idle-timeout-secs")?
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-secs: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "serve [--addr HOST:PORT] [--workers N] [--rows N] \
+                     [--max-sessions N] [--idle-timeout-secs S] [--seed K]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut config = ServiceConfig {
+        max_sessions: args.max_sessions,
+        idle_timeout: args.idle_timeout,
+        sweep_interval: Some(Duration::from_secs(5)),
+        ..ServiceConfig::default()
+    };
+    if let Some(w) = args.workers {
+        config.workers = w;
+    }
+
+    eprintln!(
+        "generating census dataset: {} rows (seed {}) …",
+        args.rows, args.seed
+    );
+    let table = CensusGenerator::new(args.seed).generate(args.rows);
+
+    let service = Service::start(config.clone());
+    let handle = service.handle();
+    handle.register_table("census", table);
+
+    let server = match TcpServer::bind(&args.addr, handle) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "aware-serve listening on {} ({} workers, {} max sessions, idle timeout {:?})",
+        server.local_addr(),
+        config.workers,
+        config.max_sessions,
+        config.idle_timeout,
+    );
+    server.join();
+}

@@ -1,0 +1,71 @@
+//! # aware-serve
+//!
+//! The serving layer of the AWARE reproduction: many concurrent
+//! interactive exploration sessions — each with its own α-investing
+//! mFDR budget — behind one multi-threaded service.
+//!
+//! The paper's guarantee (*Zhao et al., SIGMOD 2017*) is **per
+//! session** and **sequential**: within a session, hypothesis j's bid
+//! depends on the wealth left by hypotheses 1..j−1, and a decision
+//! once shown is never revised. Hardt & Ullman's hardness result for
+//! interactive reuse makes the isolation boundary load-bearing:
+//! sessions must not share statistical state. The service therefore
+//! serializes commands *within* a session (worker pinning, FIFO
+//! queues) while running distinct sessions in parallel, and shares
+//! only the immutable dataset (`Arc<Table>` — 1 000 sessions over one
+//! census cost one table).
+//!
+//! Layout:
+//!
+//! * [`proto`] — the typed [`proto::Command`]/[`proto::Response`] API
+//!   and its line-delimited JSON wire codec (hand-rolled; the crate is
+//!   std-only by design).
+//! * [`service`] — the worker-pool dispatcher, session admission with
+//!   LRU eviction, idle-timeout sweeps, and the in-process
+//!   [`service::ServiceHandle`] used by tests and benches.
+//! * [`registry`] — the sharded session registry
+//!   (`RwLock<HashMap<…>>` shards of `Mutex<Session>` entries).
+//! * [`tcp`] — the NDJSON-over-TCP front end and a reference client.
+//! * [`metrics`] — lock-free server counters behind the `stats`
+//!   command.
+//! * [`json`] — the minimal JSON value/parser/writer the protocol
+//!   rides on.
+//!
+//! ## Example
+//!
+//! ```
+//! use aware_data::census::CensusGenerator;
+//! use aware_serve::proto::{Command, FilterSpec, PolicySpec, Response};
+//! use aware_serve::service::{Service, ServiceConfig};
+//!
+//! let service = Service::start(ServiceConfig { workers: 2, ..Default::default() });
+//! let handle = service.handle();
+//! handle.register_table("census", CensusGenerator::new(1).generate(2_000));
+//!
+//! let session = match handle.call(Command::CreateSession {
+//!     dataset: "census".into(),
+//!     alpha: 0.05,
+//!     policy: PolicySpec::Fixed { gamma: 10.0 },
+//! }) {
+//!     Response::SessionCreated { session, .. } => session,
+//!     other => panic!("{other:?}"),
+//! };
+//! let reply = handle.call(Command::AddVisualization {
+//!     session,
+//!     attribute: "education".into(),
+//!     filter: FilterSpec::True,
+//! });
+//! assert!(reply.is_ok());
+//! ```
+
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod registry;
+pub mod service;
+pub mod tcp;
+
+pub use error::{ErrorCode, ServeError};
+pub use proto::{Command, PolicySpec, Response, SessionId};
+pub use service::{Service, ServiceConfig, ServiceHandle};

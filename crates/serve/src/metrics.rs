@@ -1,0 +1,123 @@
+//! Server-wide metrics: lock-free monotone counters plus a live-session
+//! gauge, snapshotted on demand by the `stats` command.
+
+use crate::proto::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter block shared by every worker and connection thread.
+///
+/// All counters are cumulative since server start except
+/// `sessions_live`, which is a gauge derived from the registry at
+/// snapshot time. Relaxed ordering is deliberate: each counter is an
+/// independent statistic, not a synchronization edge.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    sessions_created: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_evicted: AtomicU64,
+    commands: AtomicU64,
+    hypotheses_tested: AtomicU64,
+    discoveries: AtomicU64,
+    rejected_by_budget: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn session_created(&self) {
+        self.sessions_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn session_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn session_evicted(&self) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn command(&self) {
+        self.commands.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hypothesis_tested(&self, rejected: bool) {
+        self.hypotheses_tested.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.discoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn rejected_by_budget(&self) {
+        self.rejected_by_budget.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot with the given live-session gauge.
+    pub fn snapshot(&self, sessions_live: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_live,
+            commands: self.commands.load(Ordering::Relaxed),
+            hypotheses_tested: self.hypotheses_tested.load(Ordering::Relaxed),
+            discoveries: self.discoveries.load(Ordering::Relaxed),
+            rejected_by_budget: self.rejected_by_budget.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.session_created();
+        m.session_created();
+        m.session_closed();
+        m.session_evicted();
+        m.command();
+        m.hypothesis_tested(true);
+        m.hypothesis_tested(false);
+        m.rejected_by_budget();
+        m.error();
+        let s = m.snapshot(1);
+        assert_eq!(s.sessions_created, 2);
+        assert_eq!(s.sessions_closed, 1);
+        assert_eq!(s.sessions_evicted, 1);
+        assert_eq!(s.sessions_live, 1);
+        assert_eq!(s.commands, 1);
+        assert_eq!(s.hypotheses_tested, 2);
+        assert_eq!(s.discoveries, 1);
+        assert_eq!(s.rejected_by_budget, 1);
+        assert_eq!(s.errors, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.command();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.snapshot(0).commands, 80_000);
+    }
+}

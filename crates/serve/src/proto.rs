@@ -1,0 +1,1055 @@
+//! The typed command/response protocol of the serving layer, and its
+//! line-delimited JSON (NDJSON) wire encoding.
+//!
+//! One request per line, one response per line, in order. Every request
+//! object carries a `"cmd"` discriminator plus command-specific fields
+//! and an optional client-chosen `"id"` echoed verbatim on the response;
+//! responses carry `"ok"` plus either the payload or an `"error"`
+//! object. The full grammar with one example per command lives in the
+//! repository README.
+//!
+//! Filters travel as a small predicate AST (`FilterSpec`) mirroring
+//! `aware_data::predicate::Predicate`, and policies as a tagged
+//! `PolicySpec` naming one of the paper's five investing rules.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::json::Json;
+use aware_core::hypothesis::TestRecord;
+use aware_data::predicate::{CmpOp, Predicate};
+use aware_data::value::Value;
+use aware_mht::investing::policies::{EpsilonHybrid, Farsighted, Fixed, Hopeful, SupportScaled};
+use aware_mht::investing::InvestingPolicy;
+
+/// Identifier of a live session, allocated by the service.
+pub type SessionId = u64;
+
+/// A boxed investing policy usable across worker threads.
+pub type BoxedPolicy = Box<dyn InvestingPolicy + Send>;
+
+/// Which transcript rendering the client wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranscriptFormat {
+    /// The stable CSV audit log.
+    Csv,
+    /// The human-readable text report (summary + gauge).
+    Text,
+}
+
+impl TranscriptFormat {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TranscriptFormat::Csv => "csv",
+            TranscriptFormat::Text => "text",
+        }
+    }
+}
+
+/// One of the paper's five α-investing rules, by wire name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// γ-fixed: bid wealth/γ.
+    Fixed { gamma: f64 },
+    /// β-farsighted: bid a β-fraction of the affordable maximum.
+    Farsighted { beta: f64 },
+    /// δ-hopeful: re-invest the wealth held at the last rejection.
+    Hopeful { delta: f64 },
+    /// ε-hybrid of γ-fixed and δ-hopeful.
+    EpsilonHybrid {
+        gamma: f64,
+        delta: f64,
+        epsilon: f64,
+        window: Option<usize>,
+    },
+    /// ψ-support–scaled γ-fixed.
+    PsiSupport { gamma: f64, psi: f64 },
+}
+
+impl PolicySpec {
+    /// Instantiates the policy (validating its parameters).
+    pub fn build(&self) -> Result<BoxedPolicy, ServeError> {
+        let invalid = |e: aware_mht::MhtError| ServeError {
+            code: ErrorCode::InvalidArgument,
+            message: format!("invalid policy parameters: {e}"),
+        };
+        Ok(match *self {
+            PolicySpec::Fixed { gamma } => Box::new(Fixed::new(gamma)),
+            PolicySpec::Farsighted { beta } => Box::new(Farsighted::new(beta).map_err(invalid)?),
+            PolicySpec::Hopeful { delta } => Box::new(Hopeful::new(delta)),
+            PolicySpec::EpsilonHybrid {
+                gamma,
+                delta,
+                epsilon,
+                window,
+            } => Box::new(EpsilonHybrid::new(gamma, delta, epsilon, window).map_err(invalid)?),
+            PolicySpec::PsiSupport { gamma, psi } => {
+                Box::new(SupportScaled::new(Fixed::new(gamma), psi).map_err(invalid)?)
+            }
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        match *self {
+            PolicySpec::Fixed { gamma } => Json::obj(vec![
+                ("kind", Json::Str("fixed".into())),
+                ("gamma", Json::Num(gamma)),
+            ]),
+            PolicySpec::Farsighted { beta } => Json::obj(vec![
+                ("kind", Json::Str("farsighted".into())),
+                ("beta", Json::Num(beta)),
+            ]),
+            PolicySpec::Hopeful { delta } => Json::obj(vec![
+                ("kind", Json::Str("hopeful".into())),
+                ("delta", Json::Num(delta)),
+            ]),
+            PolicySpec::EpsilonHybrid {
+                gamma,
+                delta,
+                epsilon,
+                window,
+            } => {
+                let mut pairs = vec![
+                    ("kind", Json::Str("epsilon_hybrid".into())),
+                    ("gamma", Json::Num(gamma)),
+                    ("delta", Json::Num(delta)),
+                    ("epsilon", Json::Num(epsilon)),
+                ];
+                if let Some(w) = window {
+                    pairs.push(("window", Json::Num(w as f64)));
+                }
+                Json::obj(pairs)
+            }
+            PolicySpec::PsiSupport { gamma, psi } => Json::obj(vec![
+                ("kind", Json::Str("psi_support".into())),
+                ("gamma", Json::Num(gamma)),
+                ("psi", Json::Num(psi)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<PolicySpec, ServeError> {
+        let kind = req_str(v, "kind", "policy")?;
+        let num = |field: &str| req_num(v, field, "policy");
+        Ok(match kind {
+            "fixed" => PolicySpec::Fixed {
+                gamma: num("gamma")?,
+            },
+            "farsighted" => PolicySpec::Farsighted { beta: num("beta")? },
+            "hopeful" => PolicySpec::Hopeful {
+                delta: num("delta")?,
+            },
+            "epsilon_hybrid" => PolicySpec::EpsilonHybrid {
+                gamma: num("gamma")?,
+                delta: num("delta")?,
+                epsilon: num("epsilon")?,
+                window: match v.get("window") {
+                    None => None,
+                    Some(Json::Null) => None,
+                    Some(w) => Some(w.as_u64().ok_or_else(|| {
+                        ServeError::invalid("policy.window must be a non-negative integer")
+                    })? as usize),
+                },
+            },
+            "psi_support" => PolicySpec::PsiSupport {
+                gamma: num("gamma")?,
+                psi: num("psi")?,
+            },
+            other => {
+                return Err(ServeError::invalid(format!(
+                    "unknown policy kind '{other}' (expected fixed | farsighted | hopeful | \
+                     epsilon_hybrid | psi_support)"
+                )))
+            }
+        })
+    }
+}
+
+/// Wire-level predicate AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterSpec {
+    True,
+    Cmp {
+        column: String,
+        op: CmpOp,
+        value: Value,
+    },
+    In {
+        column: String,
+        values: Vec<Value>,
+    },
+    Between {
+        column: String,
+        lo: f64,
+        hi: f64,
+    },
+    Not(Box<FilterSpec>),
+    And(Vec<FilterSpec>),
+    Or(Vec<FilterSpec>),
+}
+
+fn cmp_op_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Neq => "neq",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn cmp_op_parse(name: &str) -> Option<CmpOp> {
+    Some(match name {
+        "eq" => CmpOp::Eq,
+        "neq" => CmpOp::Neq,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Num(*i as f64),
+        Value::Float(x) => Json::Num(*x),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn value_from_json(v: &Json) -> Result<Value, ServeError> {
+    Ok(match v {
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Str(s) => Value::Str(s.clone()),
+        // Integral JSON numbers become Int (categorical/integer columns
+        // compare by exact value); anything fractional stays Float.
+        Json::Num(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Value::Int(*n as i64),
+        Json::Num(n) => Value::Float(*n),
+        _ => return Err(ServeError::invalid("filter value must be a scalar")),
+    })
+}
+
+impl FilterSpec {
+    /// Converts to the engine predicate.
+    pub fn to_predicate(&self) -> Predicate {
+        match self {
+            FilterSpec::True => Predicate::True,
+            FilterSpec::Cmp { column, op, value } => Predicate::Cmp {
+                column: column.clone(),
+                op: *op,
+                value: value.clone(),
+            },
+            FilterSpec::In { column, values } => Predicate::In {
+                column: column.clone(),
+                values: values.clone(),
+            },
+            FilterSpec::Between { column, lo, hi } => Predicate::Between {
+                column: column.clone(),
+                lo: *lo,
+                hi: *hi,
+            },
+            FilterSpec::Not(inner) => Predicate::Not(Box::new(inner.to_predicate())),
+            FilterSpec::And(parts) => {
+                Predicate::And(parts.iter().map(FilterSpec::to_predicate).collect())
+            }
+            FilterSpec::Or(parts) => {
+                Predicate::Or(parts.iter().map(FilterSpec::to_predicate).collect())
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            FilterSpec::True => Json::obj(vec![("op", Json::Str("true".into()))]),
+            FilterSpec::Cmp { column, op, value } => Json::obj(vec![
+                ("op", Json::Str(cmp_op_name(*op).into())),
+                ("column", Json::Str(column.clone())),
+                ("value", value_to_json(value)),
+            ]),
+            FilterSpec::In { column, values } => Json::obj(vec![
+                ("op", Json::Str("in".into())),
+                ("column", Json::Str(column.clone())),
+                (
+                    "values",
+                    Json::Arr(values.iter().map(value_to_json).collect()),
+                ),
+            ]),
+            FilterSpec::Between { column, lo, hi } => Json::obj(vec![
+                ("op", Json::Str("between".into())),
+                ("column", Json::Str(column.clone())),
+                ("lo", Json::Num(*lo)),
+                ("hi", Json::Num(*hi)),
+            ]),
+            FilterSpec::Not(inner) => Json::obj(vec![
+                ("op", Json::Str("not".into())),
+                ("arg", inner.to_json()),
+            ]),
+            FilterSpec::And(parts) => Json::obj(vec![
+                ("op", Json::Str("and".into())),
+                (
+                    "args",
+                    Json::Arr(parts.iter().map(FilterSpec::to_json).collect()),
+                ),
+            ]),
+            FilterSpec::Or(parts) => Json::obj(vec![
+                ("op", Json::Str("or".into())),
+                (
+                    "args",
+                    Json::Arr(parts.iter().map(FilterSpec::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<FilterSpec, ServeError> {
+        let op = req_str(v, "op", "filter")?;
+        if let Some(cmp) = cmp_op_parse(op) {
+            return Ok(FilterSpec::Cmp {
+                column: req_str(v, "column", "filter")?.to_string(),
+                op: cmp,
+                value: value_from_json(
+                    v.get("value")
+                        .ok_or_else(|| ServeError::invalid("filter missing 'value'"))?,
+                )?,
+            });
+        }
+        Ok(match op {
+            "true" => FilterSpec::True,
+            "in" => FilterSpec::In {
+                column: req_str(v, "column", "filter")?.to_string(),
+                values: v
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServeError::invalid("filter 'in' needs a 'values' array"))?
+                    .iter()
+                    .map(value_from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            "between" => FilterSpec::Between {
+                column: req_str(v, "column", "filter")?.to_string(),
+                lo: req_num(v, "lo", "filter")?,
+                hi: req_num(v, "hi", "filter")?,
+            },
+            "not" => FilterSpec::Not(Box::new(FilterSpec::from_json(
+                v.get("arg")
+                    .ok_or_else(|| ServeError::invalid("filter 'not' needs 'arg'"))?,
+            )?)),
+            "and" | "or" => {
+                let parts = v
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServeError::invalid("filter and/or needs an 'args' array"))?
+                    .iter()
+                    .map(FilterSpec::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if op == "and" {
+                    FilterSpec::And(parts)
+                } else {
+                    FilterSpec::Or(parts)
+                }
+            }
+            other => return Err(ServeError::invalid(format!("unknown filter op '{other}'"))),
+        })
+    }
+}
+
+/// A request to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Opens a session over a registered dataset.
+    CreateSession {
+        dataset: String,
+        alpha: f64,
+        policy: PolicySpec,
+    },
+    /// Places a visualization; may derive and test a hypothesis.
+    AddVisualization {
+        session: SessionId,
+        attribute: String,
+        filter: FilterSpec,
+    },
+    /// Swaps the session's bidding policy for subsequent tests.
+    SetPolicy {
+        session: SessionId,
+        policy: PolicySpec,
+    },
+    /// Renders the session's risk gauge.
+    Gauge { session: SessionId },
+    /// Exports the session transcript.
+    Transcript {
+        session: SessionId,
+        format: TranscriptFormat,
+    },
+    /// Closes (removes) a session.
+    CloseSession { session: SessionId },
+    /// Server-wide metrics counters.
+    Stats,
+}
+
+impl Command {
+    /// The session this command addresses, if any — the dispatcher keys
+    /// ordering and worker routing on it.
+    pub fn session(&self) -> Option<SessionId> {
+        match *self {
+            Command::AddVisualization { session, .. }
+            | Command::SetPolicy { session, .. }
+            | Command::Gauge { session }
+            | Command::Transcript { session, .. }
+            | Command::CloseSession { session } => Some(session),
+            Command::CreateSession { .. } | Command::Stats => None,
+        }
+    }
+
+    /// Wire name of the command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::CreateSession { .. } => "create_session",
+            Command::AddVisualization { .. } => "add_visualization",
+            Command::SetPolicy { .. } => "set_policy",
+            Command::Gauge { .. } => "gauge",
+            Command::Transcript { .. } => "transcript",
+            Command::CloseSession { .. } => "close_session",
+            Command::Stats => "stats",
+        }
+    }
+
+    /// Encodes as a request object (without an `id`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("cmd", Json::Str(self.name().into()))];
+        match self {
+            Command::CreateSession {
+                dataset,
+                alpha,
+                policy,
+            } => {
+                pairs.push(("dataset", Json::Str(dataset.clone())));
+                pairs.push(("alpha", Json::Num(*alpha)));
+                pairs.push(("policy", policy.to_json()));
+            }
+            Command::AddVisualization {
+                session,
+                attribute,
+                filter,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("attribute", Json::Str(attribute.clone())));
+                pairs.push(("filter", filter.to_json()));
+            }
+            Command::SetPolicy { session, policy } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("policy", policy.to_json()));
+            }
+            Command::Gauge { session } | Command::CloseSession { session } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+            }
+            Command::Transcript { session, format } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("format", Json::Str(format.as_str().into())));
+            }
+            Command::Stats => {}
+        }
+        Json::obj(pairs)
+    }
+
+    /// Encodes as one request line (with optional client id).
+    pub fn encode_line(&self, id: Option<u64>) -> String {
+        let mut json = self.to_json();
+        if let (Some(id), Json::Obj(pairs)) = (id, &mut json) {
+            pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+        }
+        json.to_string()
+    }
+
+    /// Decodes a parsed request object.
+    pub fn from_json(v: &Json) -> Result<Command, ServeError> {
+        let cmd = req_str(v, "cmd", "request")?;
+        let session = || req_u64(v, "session", "request");
+        Ok(match cmd {
+            "create_session" => Command::CreateSession {
+                dataset: req_str(v, "dataset", "request")?.to_string(),
+                alpha: req_num(v, "alpha", "request")?,
+                policy: PolicySpec::from_json(
+                    v.get("policy")
+                        .ok_or_else(|| ServeError::invalid("missing 'policy'"))?,
+                )?,
+            },
+            "add_visualization" => Command::AddVisualization {
+                session: session()?,
+                attribute: req_str(v, "attribute", "request")?.to_string(),
+                filter: match v.get("filter") {
+                    None => FilterSpec::True,
+                    Some(f) => FilterSpec::from_json(f)?,
+                },
+            },
+            "set_policy" => Command::SetPolicy {
+                session: session()?,
+                policy: PolicySpec::from_json(
+                    v.get("policy")
+                        .ok_or_else(|| ServeError::invalid("missing 'policy'"))?,
+                )?,
+            },
+            "gauge" => Command::Gauge {
+                session: session()?,
+            },
+            "transcript" => Command::Transcript {
+                session: session()?,
+                format: match v.get("format").and_then(Json::as_str) {
+                    None | Some("csv") => TranscriptFormat::Csv,
+                    Some("text") => TranscriptFormat::Text,
+                    Some(other) => {
+                        return Err(ServeError::invalid(format!(
+                            "unknown transcript format '{other}' (expected csv | text)"
+                        )))
+                    }
+                },
+            },
+            "close_session" => Command::CloseSession {
+                session: session()?,
+            },
+            "stats" => Command::Stats,
+            other => {
+                return Err(ServeError {
+                    code: ErrorCode::UnknownCommand,
+                    message: format!("unknown command '{other}'"),
+                })
+            }
+        })
+    }
+
+    /// Parses one request line; returns the command and the echoed id.
+    pub fn decode_line(line: &str) -> Result<(Command, Option<u64>), ServeError> {
+        let v = Json::parse(line.trim()).map_err(|e| ServeError {
+            code: ErrorCode::BadRequest,
+            message: e.to_string(),
+        })?;
+        let id = v.get("id").and_then(Json::as_u64);
+        Ok((Command::from_json(&v)?, id))
+    }
+}
+
+/// The tested-hypothesis payload inside a [`Response::VizAdded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypothesisReport {
+    pub id: u64,
+    pub test: String,
+    pub statistic: f64,
+    pub p_value: f64,
+    pub bid: f64,
+    pub rejected: bool,
+    pub effect_size: f64,
+    pub support_fraction: f64,
+    pub wealth_after: f64,
+}
+
+impl HypothesisReport {
+    /// Builds from a session test record.
+    pub fn from_record(id: u64, record: &TestRecord) -> HypothesisReport {
+        HypothesisReport {
+            id,
+            test: record.outcome.kind.to_string(),
+            statistic: record.outcome.statistic,
+            p_value: record.outcome.p_value,
+            bid: record.bid,
+            rejected: record.decision.is_rejection(),
+            effect_size: record.outcome.effect_size,
+            support_fraction: record.support_fraction,
+            wealth_after: record.wealth_after,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Num(self.id as f64)),
+            ("test", Json::Str(self.test.clone())),
+            ("statistic", Json::Num(self.statistic)),
+            ("p_value", Json::Num(self.p_value)),
+            ("bid", Json::Num(self.bid)),
+            ("rejected", Json::Bool(self.rejected)),
+            ("effect_size", Json::Num(self.effect_size)),
+            ("support_fraction", Json::Num(self.support_fraction)),
+            ("wealth_after", Json::Num(self.wealth_after)),
+        ])
+    }
+}
+
+/// Server-wide counters, as returned by [`Command::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub sessions_created: u64,
+    pub sessions_closed: u64,
+    pub sessions_evicted: u64,
+    pub sessions_live: u64,
+    pub commands: u64,
+    pub hypotheses_tested: u64,
+    pub discoveries: u64,
+    pub rejected_by_budget: u64,
+    pub errors: u64,
+}
+
+impl StatsSnapshot {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("sessions_created", Json::Num(self.sessions_created as f64)),
+            ("sessions_closed", Json::Num(self.sessions_closed as f64)),
+            ("sessions_evicted", Json::Num(self.sessions_evicted as f64)),
+            ("sessions_live", Json::Num(self.sessions_live as f64)),
+            ("commands", Json::Num(self.commands as f64)),
+            (
+                "hypotheses_tested",
+                Json::Num(self.hypotheses_tested as f64),
+            ),
+            ("discoveries", Json::Num(self.discoveries as f64)),
+            (
+                "rejected_by_budget",
+                Json::Num(self.rejected_by_budget as f64),
+            ),
+            ("errors", Json::Num(self.errors as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<StatsSnapshot, ServeError> {
+        let field = |name: &str| req_u64(v, name, "stats");
+        Ok(StatsSnapshot {
+            sessions_created: field("sessions_created")?,
+            sessions_closed: field("sessions_closed")?,
+            sessions_evicted: field("sessions_evicted")?,
+            sessions_live: field("sessions_live")?,
+            commands: field("commands")?,
+            hypotheses_tested: field("hypotheses_tested")?,
+            discoveries: field("discoveries")?,
+            rejected_by_budget: field("rejected_by_budget")?,
+            errors: field("errors")?,
+        })
+    }
+}
+
+/// A reply from the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    SessionCreated {
+        session: SessionId,
+        wealth: f64,
+        policy: String,
+    },
+    VizAdded {
+        session: SessionId,
+        viz: u64,
+        wealth: f64,
+        hypothesis: Option<HypothesisReport>,
+    },
+    PolicySet {
+        session: SessionId,
+        policy: String,
+    },
+    GaugeText {
+        session: SessionId,
+        text: String,
+    },
+    TranscriptText {
+        session: SessionId,
+        format: TranscriptFormat,
+        text: String,
+    },
+    SessionClosed {
+        session: SessionId,
+        hypotheses: u64,
+        discoveries: u64,
+    },
+    Stats(StatsSnapshot),
+    Error(ServeError),
+}
+
+impl Response {
+    /// True for non-error responses.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error(_))
+    }
+
+    /// Encodes as a response object (without an `id`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![("ok", Json::Bool(self.is_ok()))];
+        match self {
+            Response::SessionCreated {
+                session,
+                wealth,
+                policy,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("wealth", Json::Num(*wealth)));
+                pairs.push(("policy", Json::Str(policy.clone())));
+            }
+            Response::VizAdded {
+                session,
+                viz,
+                wealth,
+                hypothesis,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("viz", Json::Num(*viz as f64)));
+                pairs.push(("wealth", Json::Num(*wealth)));
+                pairs.push((
+                    "hypothesis",
+                    hypothesis
+                        .as_ref()
+                        .map(HypothesisReport::to_json)
+                        .unwrap_or(Json::Null),
+                ));
+            }
+            Response::PolicySet { session, policy } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("policy", Json::Str(policy.clone())));
+            }
+            Response::GaugeText { session, text } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("gauge", Json::Str(text.clone())));
+            }
+            Response::TranscriptText {
+                session,
+                format,
+                text,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("format", Json::Str(format.as_str().into())));
+                pairs.push(("transcript", Json::Str(text.clone())));
+            }
+            Response::SessionClosed {
+                session,
+                hypotheses,
+                discoveries,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("hypotheses", Json::Num(*hypotheses as f64)));
+                pairs.push(("discoveries", Json::Num(*discoveries as f64)));
+            }
+            Response::Stats(snapshot) => {
+                pairs.push(("stats", snapshot.to_json()));
+            }
+            Response::Error(e) => {
+                pairs.push((
+                    "error",
+                    Json::obj(vec![
+                        ("code", Json::Str(e.code.as_str().into())),
+                        ("message", Json::Str(e.message.clone())),
+                    ]),
+                ));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Encodes as one response line (echoing the request id, if any).
+    pub fn encode_line(&self, id: Option<u64>) -> String {
+        let mut json = self.to_json();
+        if let (Some(id), Json::Obj(pairs)) = (id, &mut json) {
+            pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+        }
+        json.to_string()
+    }
+
+    /// Decodes one response line (used by clients and tests); returns the
+    /// response and the echoed id.
+    pub fn decode_line(line: &str) -> Result<(Response, Option<u64>), ServeError> {
+        let v = Json::parse(line.trim()).map_err(|e| ServeError {
+            code: ErrorCode::BadRequest,
+            message: e.to_string(),
+        })?;
+        let id = v.get("id").and_then(Json::as_u64);
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ServeError::invalid("response missing 'ok'"))?;
+        if !ok {
+            let err = v
+                .get("error")
+                .ok_or_else(|| ServeError::invalid("missing 'error'"))?;
+            return Ok((
+                Response::Error(ServeError {
+                    code: ErrorCode::parse(req_str(err, "code", "error")?),
+                    message: req_str(err, "message", "error")?.to_string(),
+                }),
+                id,
+            ));
+        }
+        let session = || req_u64(&v, "session", "response");
+        let response = if let Some(stats) = v.get("stats") {
+            Response::Stats(StatsSnapshot::from_json(stats)?)
+        } else if let Some(gauge) = v.get("gauge") {
+            Response::GaugeText {
+                session: session()?,
+                text: gauge.as_str().unwrap_or("").into(),
+            }
+        } else if let Some(t) = v.get("transcript") {
+            Response::TranscriptText {
+                session: session()?,
+                format: match v.get("format").and_then(Json::as_str) {
+                    Some("text") => TranscriptFormat::Text,
+                    _ => TranscriptFormat::Csv,
+                },
+                text: t.as_str().unwrap_or("").into(),
+            }
+        } else if let Some(viz) = v.get("viz") {
+            Response::VizAdded {
+                session: session()?,
+                viz: viz
+                    .as_u64()
+                    .ok_or_else(|| ServeError::invalid("bad 'viz'"))?,
+                wealth: req_num(&v, "wealth", "response")?,
+                hypothesis: match v.get("hypothesis") {
+                    None | Some(Json::Null) => None,
+                    Some(h) => Some(HypothesisReport {
+                        id: req_u64(h, "id", "hypothesis")?,
+                        test: req_str(h, "test", "hypothesis")?.to_string(),
+                        statistic: req_num(h, "statistic", "hypothesis")?,
+                        p_value: req_num(h, "p_value", "hypothesis")?,
+                        bid: req_num(h, "bid", "hypothesis")?,
+                        rejected: h
+                            .get("rejected")
+                            .and_then(Json::as_bool)
+                            .ok_or_else(|| ServeError::invalid("bad 'rejected'"))?,
+                        effect_size: req_num(h, "effect_size", "hypothesis")?,
+                        support_fraction: req_num(h, "support_fraction", "hypothesis")?,
+                        wealth_after: req_num(h, "wealth_after", "hypothesis")?,
+                    }),
+                },
+            }
+        } else if let Some(h) = v.get("hypotheses") {
+            Response::SessionClosed {
+                session: session()?,
+                hypotheses: h
+                    .as_u64()
+                    .ok_or_else(|| ServeError::invalid("bad 'hypotheses'"))?,
+                discoveries: req_u64(&v, "discoveries", "response")?,
+            }
+        } else if v.get("wealth").is_some() && v.get("policy").is_some() {
+            Response::SessionCreated {
+                session: session()?,
+                wealth: req_num(&v, "wealth", "response")?,
+                policy: req_str(&v, "policy", "response")?.to_string(),
+            }
+        } else if let Some(policy) = v.get("policy") {
+            Response::PolicySet {
+                session: session()?,
+                policy: policy.as_str().unwrap_or("").to_string(),
+            }
+        } else {
+            return Err(ServeError::invalid("unrecognized response shape"));
+        };
+        Ok((response, id))
+    }
+}
+
+// -- field helpers ----------------------------------------------------------
+
+fn req_str<'a>(v: &'a Json, field: &str, ctx: &str) -> Result<&'a str, ServeError> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::invalid(format!("{ctx} missing string field '{field}'")))
+}
+
+fn req_num(v: &Json, field: &str, ctx: &str) -> Result<f64, ServeError> {
+    v.get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ServeError::invalid(format!("{ctx} missing numeric field '{field}'")))
+}
+
+fn req_u64(v: &Json, field: &str, ctx: &str) -> Result<u64, ServeError> {
+    v.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::invalid(format!("{ctx} missing integer field '{field}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_cmd(cmd: Command) {
+        let line = cmd.encode_line(Some(7));
+        let (decoded, id) = Command::decode_line(&line).unwrap();
+        assert_eq!(decoded, cmd, "{line}");
+        assert_eq!(id, Some(7));
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        round_trip_cmd(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+        });
+        round_trip_cmd(Command::AddVisualization {
+            session: 3,
+            attribute: "education".into(),
+            filter: FilterSpec::And(vec![
+                FilterSpec::Cmp {
+                    column: "salary_over_50k".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Bool(true),
+                },
+                FilterSpec::Not(Box::new(FilterSpec::Between {
+                    column: "age".into(),
+                    lo: 18.0,
+                    hi: 30.0,
+                })),
+                FilterSpec::In {
+                    column: "race".into(),
+                    values: vec![Value::Str("White".into()), Value::Str("Asian".into())],
+                },
+            ]),
+        });
+        round_trip_cmd(Command::SetPolicy {
+            session: 2,
+            policy: PolicySpec::EpsilonHybrid {
+                gamma: 10.0,
+                delta: 5.0,
+                epsilon: 0.5,
+                window: Some(8),
+            },
+        });
+        round_trip_cmd(Command::Gauge { session: 1 });
+        round_trip_cmd(Command::Transcript {
+            session: 1,
+            format: TranscriptFormat::Text,
+        });
+        round_trip_cmd(Command::CloseSession { session: 9 });
+        round_trip_cmd(Command::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::SessionCreated {
+                session: 1,
+                wealth: 0.0475,
+                policy: "γ-fixed(γ=10)".into(),
+            },
+            Response::VizAdded {
+                session: 1,
+                viz: 0,
+                wealth: 0.0475,
+                hypothesis: None,
+            },
+            Response::VizAdded {
+                session: 1,
+                viz: 1,
+                wealth: 0.09,
+                hypothesis: Some(HypothesisReport {
+                    id: 0,
+                    test: "chi-square-independence".into(),
+                    statistic: 223.4,
+                    p_value: 1e-9,
+                    bid: 0.004,
+                    rejected: true,
+                    effect_size: 0.21,
+                    support_fraction: 1.0,
+                    wealth_after: 0.09,
+                }),
+            },
+            Response::PolicySet {
+                session: 1,
+                policy: "δ-hopeful(δ=5)".into(),
+            },
+            Response::GaugeText {
+                session: 1,
+                text: "┌─ AWARE risk gauge ─┐\n│ …".into(),
+            },
+            Response::TranscriptText {
+                session: 1,
+                format: TranscriptFormat::Csv,
+                text: "hypothesis,status\nH0,tested\n".into(),
+            },
+            Response::SessionClosed {
+                session: 1,
+                hypotheses: 4,
+                discoveries: 2,
+            },
+            Response::Stats(StatsSnapshot {
+                sessions_created: 10,
+                commands: 55,
+                ..Default::default()
+            }),
+            Response::Error(ServeError {
+                code: ErrorCode::UnknownSession,
+                message: "no session 99".into(),
+            }),
+        ] {
+            let line = resp.encode_line(Some(42));
+            let (decoded, id) = Response::decode_line(&line).unwrap();
+            assert_eq!(decoded, resp, "{line}");
+            assert_eq!(id, Some(42));
+        }
+    }
+
+    #[test]
+    fn policy_specs_build_real_policies() {
+        assert_eq!(
+            PolicySpec::Fixed { gamma: 10.0 }.build().unwrap().name(),
+            "γ-fixed(γ=10)"
+        );
+        assert!(PolicySpec::Farsighted { beta: 0.5 }.build().is_ok());
+        assert!(PolicySpec::Farsighted { beta: 1.5 }.build().is_err());
+        assert!(PolicySpec::Hopeful { delta: 2.0 }.build().is_ok());
+        assert!(PolicySpec::PsiSupport {
+            gamma: 10.0,
+            psi: 0.5
+        }
+        .build()
+        .is_ok());
+        assert!(PolicySpec::PsiSupport {
+            gamma: 10.0,
+            psi: -0.5
+        }
+        .build()
+        .is_err());
+        assert!(PolicySpec::EpsilonHybrid {
+            gamma: 10.0,
+            delta: 5.0,
+            epsilon: 2.0,
+            window: None
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn filters_lower_to_predicates() {
+        let f = FilterSpec::Not(Box::new(FilterSpec::Cmp {
+            column: "sex".into(),
+            op: CmpOp::Eq,
+            value: Value::Str("Male".into()),
+        }));
+        assert_eq!(f.to_predicate(), Predicate::eq("sex", "Male").negate());
+        assert_eq!(FilterSpec::True.to_predicate(), Predicate::True);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Command::decode_line("not json").is_err());
+        assert!(Command::decode_line("{\"cmd\":\"warp\"}").is_err());
+        assert!(
+            Command::decode_line("{\"cmd\":\"gauge\"}").is_err(),
+            "missing session"
+        );
+        assert!(Command::decode_line(
+            "{\"cmd\":\"create_session\",\"dataset\":\"x\",\"alpha\":0.05,\
+             \"policy\":{\"kind\":\"nope\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn missing_filter_defaults_to_unfiltered() {
+        let (cmd, _) = Command::decode_line(
+            "{\"cmd\":\"add_visualization\",\"session\":0,\"attribute\":\"sex\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::AddVisualization {
+                session: 0,
+                attribute: "sex".into(),
+                filter: FilterSpec::True
+            }
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! The sharded session registry.
+//!
+//! Sessions live behind `N` shards of `RwLock<HashMap<SessionId,
+//! Arc<SessionEntry>>>`, so lookups from many worker threads contend
+//! only on the shard they hash to, and an eviction sweep never stops
+//! the world. The entry's `Mutex<Session>` serializes *statistical*
+//! state per session — the α-investing guarantee is sequential, so a
+//! session's decisions must happen one at a time even though the map
+//! itself is freely concurrent.
+//!
+//! Recency is tracked twice per entry, because its two consumers need
+//! different properties: the **idle sweep** compares wall-clock
+//! milliseconds since the registry epoch (a timeout is a duration), while
+//! **LRU admission eviction** orders by a registry-global monotone touch
+//! sequence — milliseconds are too coarse there, since under load many
+//! touches share one millisecond and a "touched after the scan" re-check
+//! on ms stamps could still evict an actively-used session.
+
+use crate::proto::{BoxedPolicy, SessionId};
+use aware_core::session::Session;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A session as the service stores it: dynamic policy, shared table.
+pub type ServedSession = Session<BoxedPolicy>;
+
+/// One registered session plus its bookkeeping.
+pub struct SessionEntry {
+    /// The session's id (key in its shard).
+    pub id: SessionId,
+    /// The serialized session state. Workers lock this for the duration
+    /// of one command.
+    pub session: Mutex<ServedSession>,
+    /// Milliseconds since the registry epoch at last use (idle sweeps).
+    last_used_ms: AtomicU64,
+    /// Registry-global touch sequence at last use (LRU ordering).
+    touch_seq: AtomicU64,
+}
+
+impl SessionEntry {
+    /// Recency in epoch-milliseconds.
+    pub fn last_used_ms(&self) -> u64 {
+        self.last_used_ms.load(Ordering::Relaxed)
+    }
+
+    /// Recency in the registry's monotone touch sequence.
+    pub fn touch_seq(&self) -> u64 {
+        self.touch_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// Sharded id → session map.
+pub struct Registry {
+    shards: Vec<RwLock<HashMap<SessionId, Arc<SessionEntry>>>>,
+    epoch: Instant,
+    seq: AtomicU64,
+    live: AtomicU64,
+}
+
+impl Registry {
+    /// Creates a registry with `shards` shards (rounded up to 1).
+    pub fn new(shards: usize) -> Registry {
+        let shards = shards.max(1);
+        Registry {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: SessionId) -> &RwLock<HashMap<SessionId, Arc<SessionEntry>>> {
+        // Ids are sequential; a multiplicative hash spreads neighbours
+        // across shards so one busy tenant block doesn't pile onto one lock.
+        let h = id.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Milliseconds since the registry was created.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn touch(&self, entry: &SessionEntry) {
+        entry.last_used_ms.store(self.now_ms(), Ordering::Relaxed);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.touch_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a fresh session under `id`, stamping it used-now.
+    pub fn insert(&self, id: SessionId, session: ServedSession) -> Arc<SessionEntry> {
+        let entry = Arc::new(SessionEntry {
+            id,
+            session: Mutex::new(session),
+            last_used_ms: AtomicU64::new(0),
+            touch_seq: AtomicU64::new(0),
+        });
+        self.touch(&entry);
+        let prev = self.shard(id).write().unwrap().insert(id, entry.clone());
+        debug_assert!(prev.is_none(), "session ids are unique by construction");
+        self.live.fetch_add(1, Ordering::Relaxed);
+        entry
+    }
+
+    /// Looks up a session and bumps its recency.
+    pub fn get(&self, id: SessionId) -> Option<Arc<SessionEntry>> {
+        let entry = self.shard(id).read().unwrap().get(&id).cloned()?;
+        self.touch(&entry);
+        Some(entry)
+    }
+
+    /// Unlinks a session; in-flight holders of the `Arc` finish their
+    /// command, after which the state drops.
+    pub fn remove(&self, id: SessionId) -> Option<Arc<SessionEntry>> {
+        let removed = self.shard(id).write().unwrap().remove(&id);
+        if removed.is_some() {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Removes `id` only if it is still idle past `cutoff_ms`, checked
+    /// under the shard's write lock so a just-touched session survives.
+    pub fn remove_if_idle(&self, id: SessionId, cutoff_ms: u64) -> bool {
+        let mut shard = self.shard(id).write().unwrap();
+        match shard.get(&id) {
+            Some(entry) if entry.last_used_ms() < cutoff_ms => {
+                shard.remove(&id);
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ids of sessions idle since before `cutoff_ms` (epoch-relative).
+    pub fn idle_ids(&self, cutoff_ms: u64) -> Vec<SessionId> {
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            for entry in shard.read().unwrap().values() {
+                if entry.last_used_ms() < cutoff_ms {
+                    ids.push(entry.id);
+                }
+            }
+        }
+        ids
+    }
+
+    /// The least-recently-used session, if any, with the touch sequence
+    /// observed during the scan — the LRU eviction candidate when the
+    /// registry is full. The sequence is globally monotone, so "touched
+    /// after the scan" is exact (ties on ms timestamps cannot hide a
+    /// touch). Pass the observed sequence to
+    /// [`Self::remove_if_unused_since`].
+    pub fn lru_candidate(&self) -> Option<(SessionId, u64)> {
+        let mut best: Option<(u64, SessionId)> = None;
+        for shard in &self.shards {
+            for entry in shard.read().unwrap().values() {
+                let key = (entry.touch_seq(), entry.id);
+                if best.is_none() || key < best.unwrap() {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(seq, id)| (id, seq))
+    }
+
+    /// Removes `id` only if its touch sequence has not advanced past
+    /// `observed_seq` since the caller's scan, checked under the shard's
+    /// write lock — an actively-used session never falls to LRU eviction.
+    pub fn remove_if_unused_since(&self, id: SessionId, observed_seq: u64) -> bool {
+        let mut shard = self.shard(id).write().unwrap();
+        match shard.get(&id) {
+            Some(entry) if entry.touch_seq() <= observed_seq => {
+                shard.remove(&id);
+                self.live.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::PolicySpec;
+    use aware_data::census::CensusGenerator;
+
+    fn session(table: &Arc<aware_data::table::Table>) -> ServedSession {
+        Session::shared(
+            table.clone(),
+            0.05,
+            PolicySpec::Fixed { gamma: 10.0 }.build().unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_lifecycle() {
+        let table = Arc::new(CensusGenerator::new(1).generate(200));
+        let reg = Registry::new(8);
+        assert!(reg.is_empty());
+        reg.insert(0, session(&table));
+        reg.insert(1, session(&table));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(0).is_some());
+        assert!(reg.get(99).is_none());
+        assert!(reg.remove(0).is_some());
+        assert!(reg.remove(0).is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn sessions_share_one_table() {
+        let table = Arc::new(CensusGenerator::new(2).generate(100));
+        let reg = Registry::new(4);
+        for id in 0..50 {
+            reg.insert(id, session(&table));
+        }
+        // 50 sessions + this handle: 51 strong refs, one table.
+        assert_eq!(Arc::strong_count(&table), 51);
+    }
+
+    #[test]
+    fn touch_sequence_orders_lru_exactly() {
+        let table = Arc::new(CensusGenerator::new(3).generate(100));
+        let reg = Registry::new(4);
+        for id in 0..4 {
+            reg.insert(id, session(&table));
+        }
+        // Insertion order is the initial LRU order, even though all four
+        // inserts very likely landed in the same millisecond.
+        let (victim, _) = reg.lru_candidate().unwrap();
+        assert_eq!(victim, 0);
+        // Touching 0 makes 1 the LRU.
+        reg.get(0).unwrap();
+        let (victim, _) = reg.lru_candidate().unwrap();
+        assert_eq!(victim, 1);
+        // Touching everything in reverse order makes 3 the LRU.
+        for id in (0..4u64).rev() {
+            reg.get(id).unwrap();
+        }
+        let (victim, _) = reg.lru_candidate().unwrap();
+        assert_eq!(victim, 3);
+    }
+
+    #[test]
+    fn idle_scan_uses_wall_clock_ms() {
+        let table = Arc::new(CensusGenerator::new(4).generate(100));
+        let reg = Registry::new(4);
+        for id in 0..3 {
+            reg.insert(id, session(&table));
+        }
+        // Deterministic recency without sleeping: stamp ms by hand.
+        for id in 0..3u64 {
+            reg.get(id)
+                .unwrap()
+                .last_used_ms
+                .store(10 * id, Ordering::Relaxed);
+        }
+        let mut idle = reg.idle_ids(15);
+        idle.sort_unstable();
+        assert_eq!(idle, vec![0, 1]);
+        assert!(reg.remove_if_idle(0, 15));
+        assert!(!reg.remove_if_idle(2, 15), "still fresh");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn stale_lru_candidate_survives_removal() {
+        let table = Arc::new(CensusGenerator::new(5).generate(100));
+        let reg = Registry::new(4);
+        reg.insert(0, session(&table));
+        let (victim, seq) = reg.lru_candidate().unwrap();
+        // The session is touched after the scan (same millisecond is
+        // fine — the sequence is what's compared)…
+        reg.get(victim).unwrap();
+        // …so the stale candidate must not be evicted.
+        assert!(!reg.remove_if_unused_since(victim, seq));
+        assert_eq!(reg.len(), 1);
+        // A fresh scan observes the new sequence and may evict.
+        let (victim, seq) = reg.lru_candidate().unwrap();
+        assert!(reg.remove_if_unused_since(victim, seq));
+        assert_eq!(reg.len(), 0);
+        assert!(
+            !reg.remove_if_unused_since(victim, u64::MAX),
+            "already gone"
+        );
+    }
+}

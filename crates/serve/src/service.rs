@@ -1,0 +1,793 @@
+//! The multi-session service: worker pool, dispatch, and eviction.
+//!
+//! ## Ordering model
+//!
+//! α-investing is a *sequential* guarantee: within one session, bids and
+//! decisions must happen in a single total order, and a decision once
+//! announced is final. Across sessions there is no coupling at all. The
+//! dispatcher encodes exactly that:
+//!
+//! * every session-addressed command is routed to the worker
+//!   `session_id % workers`, and each worker drains its queue FIFO —
+//!   so one session's commands execute in arrival order, one at a time,
+//!   no matter how many client threads address it;
+//! * distinct sessions land on distinct workers (or interleave on one
+//!   worker's queue), so the pool scales across sessions while never
+//!   reordering within one.
+//!
+//! The registry's per-entry mutex is a second line of defense (the
+//! eviction sweeper is the only other toucher), not the ordering
+//! mechanism.
+//!
+//! ## Eviction
+//!
+//! Interactive sessions are abandoned, not closed. The service evicts
+//! sessions idle longer than `idle_timeout` (via [`Service::sweep_idle`]
+//! or the optional background sweeper) and, when the registry is at
+//! `max_sessions`, evicts the least-recently-used session to admit a
+//! new one. Eviction is indistinguishable from `close_session` to a
+//! late-returning client: both yield `unknown_session`.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::metrics::Metrics;
+use crate::proto::{Command, HypothesisReport, PolicySpec, Response, SessionId, TranscriptFormat};
+use crate::registry::Registry;
+use aware_core::session::Session;
+use aware_core::{gauge, transcript};
+use aware_data::table::Table;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining command queues. Sessions are pinned to
+    /// workers by `id % workers`.
+    pub workers: usize,
+    /// Registry shard count.
+    pub shards: usize,
+    /// Hard cap on live sessions; beyond it, creation evicts the LRU
+    /// session.
+    pub max_sessions: u64,
+    /// Sessions idle longer than this are evicted by sweeps.
+    pub idle_timeout: Duration,
+    /// Interval of the background eviction sweeper; `None` (the default)
+    /// means sweeps only happen when [`Service::sweep_idle`] is called.
+    pub sweep_interval: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            shards: 16,
+            max_sessions: 65_536,
+            idle_timeout: Duration::from_secs(15 * 60),
+            sweep_interval: None,
+        }
+    }
+}
+
+/// State shared by workers, handles, and the sweeper.
+struct Inner {
+    registry: Registry,
+    metrics: Metrics,
+    datasets: RwLock<HashMap<String, Arc<Table>>>,
+    next_session: AtomicU64,
+    config: ServiceConfig,
+}
+
+enum Job {
+    Run {
+        cmd: Command,
+        assigned: Option<SessionId>,
+        reply: mpsc::Sender<Response>,
+    },
+    Shutdown,
+}
+
+/// A cloneable, thread-safe client of an in-process service — the same
+/// code path the TCP front end uses, minus the socket.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+    senders: Arc<Vec<mpsc::Sender<Job>>>,
+}
+
+impl ServiceHandle {
+    /// Executes one command to completion and returns its response.
+    ///
+    /// Blocks until the session's worker has processed every earlier
+    /// command addressed to that session (FIFO per session).
+    pub fn call(&self, cmd: Command) -> Response {
+        self.inner.metrics.command();
+        // Stats is session-free and read-only: answer inline rather than
+        // serializing it behind some arbitrary worker's queue.
+        if matches!(cmd, Command::Stats) {
+            return Response::Stats(self.inner.metrics.snapshot(self.inner.registry.len()));
+        }
+        let (assigned, route) = match cmd.session() {
+            Some(sid) => (None, sid),
+            None => {
+                // CreateSession: allocate the id up front so the command
+                // routes to — and the session stays pinned on — its worker.
+                let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+                (Some(id), id)
+            }
+        };
+        let worker = (route % self.senders.len() as u64) as usize;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job::Run {
+            cmd,
+            assigned,
+            reply: reply_tx,
+        };
+        if self.senders[worker].send(job).is_err() {
+            self.inner.metrics.error();
+            return Response::Error(ServeError {
+                code: ErrorCode::Shutdown,
+                message: "service is shut down".into(),
+            });
+        }
+        match reply_rx.recv() {
+            Ok(response) => response,
+            Err(_) => {
+                self.inner.metrics.error();
+                Response::Error(ServeError {
+                    code: ErrorCode::Shutdown,
+                    message: "service is shut down".into(),
+                })
+            }
+        }
+    }
+
+    /// Registers (or replaces) a dataset under `name`.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) {
+        self.register_shared(name, Arc::new(table));
+    }
+
+    /// Registers an already-shared dataset — N sessions, one table.
+    pub fn register_shared(&self, name: impl Into<String>, table: Arc<Table>) {
+        self.inner
+            .datasets
+            .write()
+            .unwrap()
+            .insert(name.into(), table);
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .datasets
+            .read()
+            .unwrap()
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of live sessions.
+    pub fn live_sessions(&self) -> u64 {
+        self.inner.registry.len()
+    }
+
+    /// Evicts every session idle longer than the configured timeout;
+    /// returns how many were evicted.
+    pub fn sweep_idle(&self) -> usize {
+        sweep_idle(&self.inner)
+    }
+
+    /// Counts a request that failed before reaching a command (frame too
+    /// long, malformed JSON, unknown command) so the `stats` counters see
+    /// protocol-level abuse, not only session-level errors.
+    pub fn record_protocol_error(&self) {
+        self.inner.metrics.command();
+        self.inner.metrics.error();
+    }
+}
+
+/// The running service: worker threads plus the shared state. Dropping
+/// (or calling [`Service::shutdown`]) stops the workers; commands sent
+/// through surviving handles then answer with a `shutdown` error.
+pub struct Service {
+    handle: ServiceHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service with the given configuration.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            registry: Registry::new(config.shards),
+            metrics: Metrics::new(),
+            datasets: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            config,
+        });
+
+        let mut senders = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let inner = inner.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("aware-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, inner))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        if let Some(interval) = inner.config.sweep_interval {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("aware-serve-sweeper".into())
+                .spawn(move || sweeper_loop(weak, interval))
+                .expect("spawn sweeper thread");
+        }
+
+        Service {
+            handle: ServiceHandle {
+                inner,
+                senders: Arc::new(senders),
+            },
+            workers: joins,
+        }
+    }
+
+    /// Starts with defaults.
+    pub fn with_defaults() -> Service {
+        Service::start(ServiceConfig::default())
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// See [`ServiceHandle::sweep_idle`].
+    pub fn sweep_idle(&self) -> usize {
+        self.handle.sweep_idle()
+    }
+
+    /// Stops the workers and waits for them to finish their queues.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for tx in self.handle.senders.iter() {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for join in self.workers.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn sweeper_loop(inner: Weak<Inner>, interval: Duration) {
+    loop {
+        std::thread::sleep(interval);
+        match inner.upgrade() {
+            Some(inner) => {
+                sweep_idle(&inner);
+            }
+            None => return, // service is gone
+        }
+    }
+}
+
+fn sweep_idle(inner: &Inner) -> usize {
+    let timeout_ms = inner.config.idle_timeout.as_millis() as u64;
+    let Some(cutoff) = inner.registry.now_ms().checked_sub(timeout_ms) else {
+        return 0; // the service is younger than the timeout
+    };
+    let mut evicted = 0;
+    for id in inner.registry.idle_ids(cutoff) {
+        // Recency is re-checked under the shard write lock: a session
+        // touched between the scan and the removal survives the sweep.
+        if inner.registry.remove_if_idle(id, cutoff) {
+            inner.metrics.session_evicted();
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
+fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Shutdown => return,
+            Job::Run {
+                cmd,
+                assigned,
+                reply,
+            } => {
+                // Panic isolation: a handler panic (poisoned session
+                // mutex, engine bug) must cost one error response — at
+                // worst one bricked session — never this worker and the
+                // 1/W of all sessions pinned to it.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&inner, cmd, assigned)
+                }))
+                .unwrap_or_else(|panic| {
+                    let what = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    Response::Error(ServeError {
+                        code: ErrorCode::SessionError,
+                        message: format!("internal error executing command: {what}"),
+                    })
+                });
+                if matches!(response, Response::Error(_)) {
+                    inner.metrics.error();
+                }
+                let _ = reply.send(response);
+            }
+        }
+    }
+}
+
+fn execute(inner: &Inner, cmd: Command, assigned: Option<SessionId>) -> Response {
+    match cmd {
+        Command::CreateSession {
+            dataset,
+            alpha,
+            policy,
+        } => create_session(
+            inner,
+            assigned.expect("create is pre-assigned"),
+            dataset,
+            alpha,
+            policy,
+        ),
+        Command::AddVisualization {
+            session,
+            attribute,
+            filter,
+        } => add_visualization(inner, session, attribute, filter),
+        Command::SetPolicy { session, policy } => set_policy(inner, session, policy),
+        Command::Gauge { session } => with_session(inner, session, |s| Response::GaugeText {
+            session,
+            text: gauge::render(s),
+        }),
+        Command::Transcript { session, format } => with_session(inner, session, |s| {
+            let text = match format {
+                TranscriptFormat::Csv => transcript::export_csv(s),
+                TranscriptFormat::Text => transcript::export_text(s),
+            };
+            Response::TranscriptText {
+                session,
+                format,
+                text,
+            }
+        }),
+        Command::CloseSession { session } => close_session(inner, session),
+        Command::Stats => Response::Stats(inner.metrics.snapshot(inner.registry.len())),
+    }
+}
+
+fn create_session(
+    inner: &Inner,
+    id: SessionId,
+    dataset: String,
+    alpha: f64,
+    policy: PolicySpec,
+) -> Response {
+    let Some(table) = inner.datasets.read().unwrap().get(&dataset).cloned() else {
+        return Response::Error(ServeError {
+            code: ErrorCode::UnknownDataset,
+            message: format!("no dataset '{dataset}' registered"),
+        });
+    };
+    let boxed = match policy.build() {
+        Ok(p) => p,
+        Err(e) => return Response::Error(e),
+    };
+    let session = match Session::shared(table, alpha, boxed) {
+        Ok(s) => s,
+        Err(e) => return Response::Error(ServeError::invalid(format!("cannot open session: {e}"))),
+    };
+
+    // Admission control: evict LRU sessions until there is room. The
+    // victim's recency is re-checked under its shard write lock, so a
+    // session touched after the scan survives and the scan re-runs; a
+    // bounded number of attempts turns a registry full of hot sessions
+    // into an `overloaded` error instead of a livelock. Under concurrent
+    // creates this can momentarily overshoot by a few evictions —
+    // harmless, the cap is a resource bound, not an exact count.
+    let mut attempts = 0;
+    while inner.registry.len() >= inner.config.max_sessions {
+        attempts += 1;
+        let evicted = match inner.registry.lru_candidate() {
+            Some((victim, observed_ms)) => {
+                inner.registry.remove_if_unused_since(victim, observed_ms)
+            }
+            None => false,
+        };
+        if evicted {
+            inner.metrics.session_evicted();
+        } else if attempts >= 16 {
+            return Response::Error(ServeError {
+                code: ErrorCode::Overloaded,
+                message: "session capacity exhausted and nothing evictable".into(),
+            });
+        }
+    }
+
+    let wealth = session.wealth();
+    let policy_name = session.policy_name();
+    inner.registry.insert(id, session);
+    inner.metrics.session_created();
+    Response::SessionCreated {
+        session: id,
+        wealth,
+        policy: policy_name,
+    }
+}
+
+fn with_session(
+    inner: &Inner,
+    id: SessionId,
+    f: impl FnOnce(&mut crate::registry::ServedSession) -> Response,
+) -> Response {
+    match inner.registry.get(id) {
+        Some(entry) => f(&mut entry.session.lock().unwrap()),
+        None => Response::Error(ServeError::unknown_session(id)),
+    }
+}
+
+fn add_visualization(
+    inner: &Inner,
+    id: SessionId,
+    attribute: String,
+    filter: crate::proto::FilterSpec,
+) -> Response {
+    with_session(inner, id, |s| {
+        match s.add_visualization(attribute, filter.to_predicate()) {
+            Ok(outcome) => {
+                let hypothesis = outcome.hypothesis.map(|(hid, record)| {
+                    inner
+                        .metrics
+                        .hypothesis_tested(record.decision.is_rejection());
+                    HypothesisReport::from_record(hid.0, &record)
+                });
+                Response::VizAdded {
+                    session: id,
+                    viz: outcome.viz.0,
+                    wealth: s.wealth(),
+                    hypothesis,
+                }
+            }
+            Err(e) if e.is_wealth_exhausted() => {
+                inner.metrics.rejected_by_budget();
+                Response::Error(ServeError::from_session(e))
+            }
+            Err(e) => Response::Error(ServeError::from_session(e)),
+        }
+    })
+}
+
+fn set_policy(inner: &Inner, id: SessionId, policy: PolicySpec) -> Response {
+    let boxed = match policy.build() {
+        Ok(p) => p,
+        Err(e) => return Response::Error(e),
+    };
+    with_session(inner, id, |s| {
+        s.replace_policy(boxed);
+        Response::PolicySet {
+            session: id,
+            policy: s.policy_name(),
+        }
+    })
+}
+
+fn close_session(inner: &Inner, id: SessionId) -> Response {
+    match inner.registry.remove(id) {
+        Some(entry) => {
+            let s = entry.session.lock().unwrap();
+            inner.metrics.session_closed();
+            Response::SessionClosed {
+                session: id,
+                hypotheses: s.hypotheses().len() as u64,
+                discoveries: s.discoveries().len() as u64,
+            }
+        }
+        None => Response::Error(ServeError::unknown_session(id)),
+    }
+}
+
+// Compile-time proof that sessions may cross threads: the whole serving
+// design rests on it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<crate::registry::ServedSession>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::FilterSpec;
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::CmpOp;
+    use aware_data::value::Value;
+
+    fn test_service(config: ServiceConfig) -> Service {
+        let service = Service::start(config);
+        service
+            .handle()
+            .register_table("census", CensusGenerator::new(7).generate(4_000));
+        service
+    }
+
+    fn fixed_policy() -> PolicySpec {
+        PolicySpec::Fixed { gamma: 10.0 }
+    }
+
+    fn create(h: &ServiceHandle) -> SessionId {
+        match h.call(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: fixed_policy(),
+        }) {
+            Response::SessionCreated {
+                session, wealth, ..
+            } => {
+                assert!((wealth - 0.0475).abs() < 1e-12);
+                session
+            }
+            other => panic!("create failed: {other:?}"),
+        }
+    }
+
+    fn salary_filter() -> FilterSpec {
+        FilterSpec::Cmp {
+            column: "salary_over_50k".into(),
+            op: CmpOp::Eq,
+            value: Value::Bool(true),
+        }
+    }
+
+    #[test]
+    fn full_session_lifecycle_through_the_handle() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let sid = create(&h);
+
+        // Descriptive view: no hypothesis.
+        let r = h.call(Command::AddVisualization {
+            session: sid,
+            attribute: "sex".into(),
+            filter: FilterSpec::True,
+        });
+        match r {
+            Response::VizAdded {
+                viz, hypothesis, ..
+            } => {
+                assert_eq!(viz, 0);
+                assert!(hypothesis.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Filtered view on a planted dependency: discovery.
+        let r = h.call(Command::AddVisualization {
+            session: sid,
+            attribute: "education".into(),
+            filter: salary_filter(),
+        });
+        match r {
+            Response::VizAdded {
+                hypothesis: Some(hyp),
+                wealth,
+                ..
+            } => {
+                assert!(hyp.rejected, "planted dependency: p = {}", hyp.p_value);
+                assert!(wealth > 0.0475, "payout grows wealth");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Gauge and transcripts render.
+        match h.call(Command::Gauge { session: sid }) {
+            Response::GaugeText { text, .. } => assert!(text.contains("AWARE risk gauge")),
+            other => panic!("{other:?}"),
+        }
+        match h.call(Command::Transcript {
+            session: sid,
+            format: TranscriptFormat::Csv,
+        }) {
+            Response::TranscriptText { text, .. } => {
+                assert!(text.starts_with(transcript::TRANSCRIPT_HEADER));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Policy swap keeps the session but renames the policy.
+        match h.call(Command::SetPolicy {
+            session: sid,
+            policy: PolicySpec::Hopeful { delta: 5.0 },
+        }) {
+            Response::PolicySet { policy, .. } => assert!(policy.contains("hopeful")),
+            other => panic!("{other:?}"),
+        }
+
+        // Close reports totals; a second close is unknown.
+        match h.call(Command::CloseSession { session: sid }) {
+            Response::SessionClosed {
+                hypotheses,
+                discoveries,
+                ..
+            } => {
+                assert_eq!(hypotheses, 1);
+                assert_eq!(discoveries, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match h.call(Command::CloseSession { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("{other:?}"),
+        }
+
+        // Metrics saw it all.
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.sessions_created, 1);
+                assert_eq!(s.sessions_closed, 1);
+                assert_eq!(s.sessions_live, 0);
+                assert_eq!(s.hypotheses_tested, 1);
+                assert_eq!(s.discoveries, 1);
+                assert!(s.commands >= 8);
+                assert_eq!(s.errors, 1, "the double-close");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_and_session_are_clean_errors() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        match h.call(Command::CreateSession {
+            dataset: "nope".into(),
+            alpha: 0.05,
+            policy: fixed_policy(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownDataset),
+            other => panic!("{other:?}"),
+        }
+        match h.call(Command::Gauge { session: 123 }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("{other:?}"),
+        }
+        // Bad alpha surfaces as invalid_argument.
+        match h.call(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 2.0,
+            policy: fixed_policy(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::InvalidArgument),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wealth_exhaustion_maps_to_budget_rejection() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let sid = match h.call(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 1.0 }, // one acceptance drains it
+        }) {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("{other:?}"),
+        };
+        let mut saw_exhaustion = false;
+        for wave in ["Wave-1", "Wave-2", "Wave-3", "Wave-4", "Wave-1"] {
+            let r = h.call(Command::AddVisualization {
+                session: sid,
+                attribute: "race".into(),
+                filter: FilterSpec::Cmp {
+                    column: "survey_wave".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Str(wave.into()),
+                },
+            });
+            if let Response::Error(e) = r {
+                assert_eq!(e.code, ErrorCode::WealthExhausted);
+                saw_exhaustion = true;
+                break;
+            }
+        }
+        assert!(saw_exhaustion, "γ=1 on null views must exhaust the budget");
+        match h.call(Command::Stats) {
+            Response::Stats(s) => assert!(s.rejected_by_budget >= 1),
+            other => panic!("{other:?}"),
+        }
+        // The session survives exhaustion: the gauge still renders.
+        assert!(h.call(Command::Gauge { session: sid }).is_ok());
+    }
+
+    #[test]
+    fn lru_cap_evicts_oldest_session() {
+        let service = test_service(ServiceConfig {
+            max_sessions: 4,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let first = create(&h);
+        let rest: Vec<SessionId> = (0..3).map(|_| create(&h)).collect();
+        assert_eq!(h.live_sessions(), 4);
+        // Touch every session except the first so it is clearly LRU.
+        for &sid in &rest {
+            assert!(h.call(Command::Gauge { session: sid }).is_ok());
+        }
+        let fifth = create(&h);
+        assert_eq!(h.live_sessions(), 4);
+        match h.call(Command::Gauge { session: first }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("evicted session should be gone: {other:?}"),
+        }
+        assert!(h.call(Command::Gauge { session: fifth }).is_ok());
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.sessions_created, 5);
+                assert_eq!(s.sessions_evicted, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_sweep_evicts_abandoned_sessions() {
+        let service = test_service(ServiceConfig {
+            idle_timeout: Duration::from_millis(40),
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let idle = create(&h);
+        let busy = create(&h);
+        assert_eq!(h.sweep_idle(), 0, "nothing is idle yet");
+        std::thread::sleep(Duration::from_millis(60));
+        // Keep one session warm across the idle line.
+        assert!(h.call(Command::Gauge { session: busy }).is_ok());
+        assert_eq!(h.sweep_idle(), 1);
+        assert!(matches!(
+            h.call(Command::Gauge { session: idle }),
+            Response::Error(_)
+        ));
+        assert!(h.call(Command::Gauge { session: busy }).is_ok());
+    }
+
+    #[test]
+    fn shutdown_answers_late_callers_with_shutdown_error() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let sid = create(&h);
+        service.shutdown();
+        match h.call(Command::Gauge { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Shutdown),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! TCP front end: the NDJSON protocol over a socket.
+//!
+//! One thread per connection (the worker pool behind the
+//! [`ServiceHandle`] is what bounds statistical work, so connection
+//! threads are thin readers/writers). Each request line is answered
+//! with exactly one response line carrying the request's `id`, in
+//! request order per connection.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::proto::{Command, Response};
+use crate::service::ServiceHandle;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Request lines longer than this are answered with `bad_request` and
+/// discarded (the reader resynchronizes at the next newline) — a client
+/// cannot make the server buffer unbounded input.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// A listening TCP server bound to an address.
+///
+/// Dropping the server stops the accept loop and joins its thread;
+/// already-open connections drain on their own threads.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+    /// starts accepting connections, each served on its own thread.
+    pub fn bind(addr: &str, handle: ServiceHandle) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("aware-serve-accept".into())
+            .spawn(move || accept_loop(listener, handle, stop_flag))?;
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks on the accept loop forever (the `serve` binary's main).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                let handle = handle.clone();
+                let _ = std::thread::Builder::new()
+                    .name("aware-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, handle);
+                    });
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One capped request line, or how reading it ended.
+enum RequestLine {
+    Eof,
+    TooLong,
+    Text(String),
+}
+
+/// Reads up to the next newline, buffering at most `max` bytes. An
+/// over-long line is consumed through its newline (the protocol stream
+/// stays synchronized) but reported as [`RequestLine::TooLong`].
+fn read_request_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<RequestLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                RequestLine::TooLong
+            } else if buf.is_empty() {
+                RequestLine::Eof
+            } else {
+                RequestLine::Text(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !overflow {
+                if buf.len() + pos > max {
+                    overflow = true;
+                    buf.clear();
+                } else {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+            }
+            reader.consume(pos + 1);
+            return Ok(if overflow {
+                RequestLine::TooLong
+            } else {
+                RequestLine::Text(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let len = chunk.len();
+        if !overflow {
+            if buf.len() + len > max {
+                overflow = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        reader.consume(len);
+    }
+}
+
+/// Serves one connection until EOF or I/O error.
+fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let reply_line = match read_request_line(&mut reader, MAX_REQUEST_BYTES)? {
+            RequestLine::Eof => return Ok(()),
+            RequestLine::TooLong => {
+                handle.record_protocol_error();
+                Response::Error(ServeError {
+                    code: ErrorCode::BadRequest,
+                    message: format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+                })
+                .encode_line(None)
+            }
+            RequestLine::Text(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Command::decode_line(&line) {
+                    Ok((cmd, id)) => handle.call(cmd).encode_line(id),
+                    Err(e) => {
+                        handle.record_protocol_error();
+                        Response::Error(e).encode_line(None)
+                    }
+                }
+            }
+        };
+        writer.write_all(reply_line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// A minimal blocking client for the NDJSON protocol — used by tests,
+/// benches, and as reference client code.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a serve endpoint.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Sends one command and waits for its response, verifying the id
+    /// echo.
+    pub fn call(&mut self, cmd: &Command) -> Result<Response, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let io_err = |e: std::io::Error| ServeError {
+            code: ErrorCode::Shutdown,
+            message: format!("connection lost: {e}"),
+        };
+        self.writer
+            .write_all(cmd.encode_line(Some(id)).as_bytes())
+            .map_err(io_err)?;
+        self.writer.write_all(b"\n").map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut line = String::new();
+        use std::io::BufRead as _;
+        let n = self.reader.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(ServeError {
+                code: ErrorCode::Shutdown,
+                message: "server closed the connection".into(),
+            });
+        }
+        let (response, echoed) = Response::decode_line(&line)?;
+        if echoed != Some(id) {
+            return Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("response id {echoed:?} does not match request id {id}"),
+            });
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{FilterSpec, PolicySpec, TranscriptFormat};
+    use crate::service::{Service, ServiceConfig};
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::CmpOp;
+    use aware_data::value::Value;
+
+    fn served() -> (Service, TcpServer) {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service
+            .handle()
+            .register_table("census", CensusGenerator::new(11).generate(3_000));
+        let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+        (service, server)
+    }
+
+    #[test]
+    fn end_to_end_over_a_socket() {
+        let (_service, server) = served();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let sid = match client
+            .call(&Command::CreateSession {
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 10.0 },
+            })
+            .unwrap()
+        {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("{other:?}"),
+        };
+
+        match client
+            .call(&Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: FilterSpec::Cmp {
+                    column: "salary_over_50k".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Bool(true),
+                },
+            })
+            .unwrap()
+        {
+            Response::VizAdded {
+                hypothesis: Some(h),
+                ..
+            } => assert!(h.rejected),
+            other => panic!("{other:?}"),
+        }
+
+        match client
+            .call(&Command::Transcript {
+                session: sid,
+                format: TranscriptFormat::Text,
+            })
+            .unwrap()
+        {
+            Response::TranscriptText { text, .. } => {
+                assert!(text.contains("AWARE session transcript"))
+            }
+            other => panic!("{other:?}"),
+        }
+
+        match client.call(&Command::Stats).unwrap() {
+            Response::Stats(s) => assert_eq!(s.sessions_created, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_disconnects() {
+        let (_service, server) = served();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        writer
+            .write_all(b"this is not json\n{\"cmd\":\"warp\"}\n\n{\"cmd\":\"stats\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let (r, _) = Response::decode_line(&line).unwrap();
+        assert!(
+            matches!(r, Response::Error(ref e) if e.code == ErrorCode::BadRequest),
+            "{r:?}"
+        );
+
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let (r, _) = Response::decode_line(&line).unwrap();
+        assert!(
+            matches!(r, Response::Error(ref e) if e.code == ErrorCode::UnknownCommand),
+            "{r:?}"
+        );
+
+        // The empty line was skipped; the stats request still answers.
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let (r, _) = Response::decode_line(&line).unwrap();
+        assert!(matches!(r, Response::Stats(_)), "{r:?}");
+    }
+
+    #[test]
+    fn request_line_cap_is_exact_at_the_newline_chunk() {
+        // A line one byte over the cap whose newline arrives in the same
+        // buffered chunk must still be rejected (regression: the cap was
+        // once only enforced on newline-free chunks).
+        let mut input = std::io::Cursor::new({
+            let mut v = vec![b'x'; 10 + 1];
+            v.push(b'\n');
+            v.extend_from_slice(b"ok\n");
+            v
+        });
+        match read_request_line(&mut input, 10).unwrap() {
+            RequestLine::TooLong => {}
+            RequestLine::Text(t) => panic!("accepted over-cap line of {} bytes", t.len()),
+            RequestLine::Eof => panic!("eof"),
+        }
+        // The stream resynchronized at the newline.
+        match read_request_line(&mut input, 10).unwrap() {
+            RequestLine::Text(t) => assert_eq!(t, "ok"),
+            other => panic!("{:?}", std::mem::discriminant(&other)),
+        }
+        // Exactly at the cap is accepted.
+        let mut input = std::io::Cursor::new(
+            vec![b'y'; 10]
+                .into_iter()
+                .chain(*b"\n")
+                .collect::<Vec<u8>>(),
+        );
+        match read_request_line(&mut input, 10).unwrap() {
+            RequestLine::Text(t) => assert_eq!(t.len(), 10),
+            _ => panic!("at-cap line must pass"),
+        }
+        assert!(matches!(
+            read_request_line(&mut input, 10).unwrap(),
+            RequestLine::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_stream_resyncs() {
+        let (_service, server) = served();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        // A 2 MiB line (deeply-nested-bomb shaped) followed by a valid
+        // request on the same connection.
+        let bomb = "[".repeat(2 * MAX_REQUEST_BYTES);
+        writer.write_all(bomb.as_bytes()).unwrap();
+        writer.write_all(b"\n{\"cmd\":\"stats\"}\n").unwrap();
+        writer.flush().unwrap();
+
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let (r, _) = Response::decode_line(&line).unwrap();
+        assert!(
+            matches!(r, Response::Error(ref e) if e.code == ErrorCode::BadRequest),
+            "{r:?}"
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let (r, _) = Response::decode_line(&line).unwrap();
+        match r {
+            // Protocol errors are visible to the stats counters.
+            Response::Stats(s) => assert!(s.errors >= 1, "{s:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_the_server_stops_accepting() {
+        let (_service, server) = served();
+        let addr = server.local_addr();
+        drop(server);
+        // The listener is gone: new connections are refused (or accepted
+        // by nothing and immediately closed — read returns EOF).
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                let n = reader.read_line(&mut line).unwrap_or(0);
+                assert_eq!(n, 0, "no server should answer: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_clients_drive_independent_sessions() {
+        let (_service, server) = served();
+        let mut a = Client::connect(server.local_addr()).unwrap();
+        let mut b = Client::connect(server.local_addr()).unwrap();
+        let make = |c: &mut Client| match c
+            .call(&Command::CreateSession {
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 10.0 },
+            })
+            .unwrap()
+        {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("{other:?}"),
+        };
+        let sa = make(&mut a);
+        let sb = make(&mut b);
+        assert_ne!(sa, sb);
+        // Interleave commands; each session only sees its own.
+        for (c, sid) in [(&mut a, sa), (&mut b, sb)] {
+            match c.call(&Command::Gauge { session: sid }).unwrap() {
+                Response::GaugeText { session, text } => {
+                    assert_eq!(session, sid);
+                    assert!(text.contains("no hypotheses tracked yet"));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The determinism-under-concurrency smoke test.
+//!
+//! The α-investing guarantee is sequential *per session*: hypothesis
+//! j's bid is a function of the wealth left by hypotheses 1..j−1, so a
+//! server may only scale across sessions, never reorder within one.
+//! This test drives ≥ 64 sessions from ≥ 8 client threads (≥ 10 000
+//! commands total, interleaved across sessions, workers, registry
+//! shards, and one shared table) and then asserts that every session's
+//! final gauge and transcripts are **byte-identical** to a
+//! single-threaded replay of that session's exact command stream on a
+//! fresh single-worker service.
+
+use aware_data::census::{CensusGenerator, EDUCATION, MARITAL, RACE, REGION, WAVE};
+use aware_data::predicate::CmpOp;
+use aware_data::table::Table;
+use aware_data::value::Value;
+use aware_serve::proto::{Command, FilterSpec, PolicySpec, SessionId, TranscriptFormat};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::{Response, ServiceHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SESSIONS: usize = 72;
+const THREADS: usize = 12;
+const STEPS_PER_SESSION: usize = 150;
+const TABLE_ROWS: usize = 3_000;
+const TABLE_SEED: u64 = 4217;
+
+/// Tiny deterministic generator for command scripts (independent of the
+/// workspace RNG so the script is fixed forever).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn eq(column: &str, value: Value) -> FilterSpec {
+    FilterSpec::Cmp {
+        column: column.into(),
+        op: CmpOp::Eq,
+        value,
+    }
+}
+
+/// The deterministic per-session exploration script. `session`
+/// placeholder 0 — the driver rewrites ids after `create_session`.
+fn session_script(index: usize) -> Vec<Command> {
+    let mut rng = Lcg(0x5EED ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut script = Vec::with_capacity(STEPS_PER_SESSION);
+    for step in 0..STEPS_PER_SESSION {
+        let cmd = match step % 15 {
+            // A read command every few steps keeps the recency stamps and
+            // render paths in the concurrent mix.
+            4 => Command::Gauge { session: 0 },
+            9 => Command::Transcript {
+                session: 0,
+                format: TranscriptFormat::Csv,
+            },
+            // An occasional policy swap (wealth/ledger carry over).
+            12 => Command::SetPolicy {
+                session: 0,
+                policy: match rng.pick(3) {
+                    0 => PolicySpec::Fixed {
+                        gamma: 5.0 + rng.pick(20) as f64,
+                    },
+                    1 => PolicySpec::Hopeful {
+                        delta: 2.0 + rng.pick(10) as f64,
+                    },
+                    _ => PolicySpec::PsiSupport {
+                        gamma: 10.0,
+                        psi: 0.5,
+                    },
+                },
+            },
+            _ => {
+                let attribute = [
+                    "sex",
+                    "education",
+                    "marital_status",
+                    "occupation",
+                    "race",
+                    "native_region",
+                    "age",
+                    "hours_per_week",
+                    "salary_over_50k",
+                ][rng.pick(9)];
+                let filter = match rng.pick(8) {
+                    0 => FilterSpec::True,
+                    1 => eq("salary_over_50k", Value::Bool(true)),
+                    2 => eq("race", Value::Str(RACE[rng.pick(RACE.len())].into())),
+                    3 => eq(
+                        "education",
+                        Value::Str(EDUCATION[rng.pick(EDUCATION.len())].into()),
+                    ),
+                    4 => eq("survey_wave", Value::Str(WAVE[rng.pick(WAVE.len())].into())),
+                    5 => {
+                        let lo = 18.0 + rng.pick(40) as f64;
+                        FilterSpec::Between {
+                            column: "age".into(),
+                            lo,
+                            hi: lo + 12.0,
+                        }
+                    }
+                    6 => FilterSpec::Not(Box::new(eq(
+                        "marital_status",
+                        Value::Str(MARITAL[rng.pick(MARITAL.len())].into()),
+                    ))),
+                    _ => FilterSpec::And(vec![
+                        eq("sex", Value::Str(["Male", "Female"][rng.pick(2)].into())),
+                        eq(
+                            "native_region",
+                            Value::Str(REGION[rng.pick(REGION.len())].into()),
+                        ),
+                    ]),
+                };
+                Command::AddVisualization {
+                    session: 0,
+                    attribute: attribute.into(),
+                    filter,
+                }
+            }
+        };
+        script.push(cmd);
+    }
+    script
+}
+
+fn with_session_id(cmd: &Command, sid: SessionId) -> Command {
+    let mut cmd = cmd.clone();
+    match &mut cmd {
+        Command::AddVisualization { session, .. }
+        | Command::SetPolicy { session, .. }
+        | Command::Gauge { session }
+        | Command::Transcript { session, .. }
+        | Command::CloseSession { session } => *session = sid,
+        Command::CreateSession { .. } | Command::Stats => {}
+    }
+    cmd
+}
+
+/// Final observable state of one session: gauge + both transcripts.
+#[derive(PartialEq)]
+struct Fingerprint {
+    gauge: String,
+    csv: String,
+    text: String,
+}
+
+fn shared_table() -> Arc<Table> {
+    Arc::new(CensusGenerator::new(TABLE_SEED).generate(TABLE_ROWS))
+}
+
+fn create_session(handle: &ServiceHandle) -> SessionId {
+    match handle.call(Command::CreateSession {
+        dataset: "census".into(),
+        alpha: 0.05,
+        policy: PolicySpec::Fixed { gamma: 10.0 },
+    }) {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("create_session failed: {other:?}"),
+    }
+}
+
+/// Runs `script` against an existing session, returning its fingerprint.
+/// Command errors (wealth exhaustion under an aggressive policy draw)
+/// are part of the deterministic record, not failures.
+fn drive(
+    handle: &ServiceHandle,
+    sid: SessionId,
+    script: &[Command],
+    commands: &AtomicU64,
+) -> Fingerprint {
+    for cmd in script {
+        let response = handle.call(with_session_id(cmd, sid));
+        commands.fetch_add(1, Ordering::Relaxed);
+        if let Response::Error(e) = &response {
+            assert!(
+                matches!(e.code, aware_serve::ErrorCode::WealthExhausted),
+                "unexpected error for {cmd:?}: {e}"
+            );
+        }
+    }
+    let gauge = match handle.call(Command::Gauge { session: sid }) {
+        Response::GaugeText { text, .. } => text,
+        other => panic!("{other:?}"),
+    };
+    let csv = match handle.call(Command::Transcript {
+        session: sid,
+        format: TranscriptFormat::Csv,
+    }) {
+        Response::TranscriptText { text, .. } => text,
+        other => panic!("{other:?}"),
+    };
+    let text = match handle.call(Command::Transcript {
+        session: sid,
+        format: TranscriptFormat::Text,
+    }) {
+        Response::TranscriptText { text, .. } => text,
+        other => panic!("{other:?}"),
+    };
+    commands.fetch_add(3, Ordering::Relaxed);
+    Fingerprint { gauge, csv, text }
+}
+
+#[test]
+fn concurrent_sessions_replay_byte_identically() {
+    let table = shared_table();
+
+    // --- Concurrent run: 12 threads × 6 sessions each, command-major
+    // interleaving within each thread so its sessions' commands mix on
+    // the worker queues.
+    let service = Service::start(ServiceConfig {
+        workers: 8,
+        shards: 16,
+        ..Default::default()
+    });
+    let handle = service.handle();
+    handle.register_shared("census", table.clone());
+    let commands = Arc::new(AtomicU64::new(0));
+
+    let mut fingerprints: Vec<Option<Fingerprint>> = (0..SESSIONS).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut chunks: Vec<&mut [Option<Fingerprint>]> = Vec::new();
+        let per_thread = SESSIONS / THREADS;
+        let mut rest = &mut fingerprints[..];
+        for _ in 0..THREADS {
+            let (head, tail) = rest.split_at_mut(per_thread);
+            chunks.push(head);
+            rest = tail;
+        }
+        for (t, chunk) in chunks.into_iter().enumerate() {
+            let handle = handle.clone();
+            let commands = commands.clone();
+            scope.spawn(move || {
+                let base = t * per_thread;
+                let scripts: Vec<Vec<Command>> =
+                    (0..per_thread).map(|i| session_script(base + i)).collect();
+                let sids: Vec<SessionId> =
+                    (0..per_thread).map(|_| create_session(&handle)).collect();
+                commands.fetch_add(per_thread as u64, Ordering::Relaxed);
+                // Command-major: step k of every owned session before
+                // step k+1 of any — maximal cross-session interleaving.
+                for step in 0..STEPS_PER_SESSION {
+                    for (script, sid) in scripts.iter().zip(&sids) {
+                        let response = handle.call(with_session_id(&script[step], *sid));
+                        commands.fetch_add(1, Ordering::Relaxed);
+                        if let Response::Error(e) = &response {
+                            assert!(
+                                matches!(e.code, aware_serve::ErrorCode::WealthExhausted),
+                                "unexpected error: {e}"
+                            );
+                        }
+                    }
+                }
+                for (i, sid) in sids.iter().enumerate() {
+                    let gauge = match handle.call(Command::Gauge { session: *sid }) {
+                        Response::GaugeText { text, .. } => text,
+                        other => panic!("{other:?}"),
+                    };
+                    let csv = match handle.call(Command::Transcript {
+                        session: *sid,
+                        format: TranscriptFormat::Csv,
+                    }) {
+                        Response::TranscriptText { text, .. } => text,
+                        other => panic!("{other:?}"),
+                    };
+                    let text = match handle.call(Command::Transcript {
+                        session: *sid,
+                        format: TranscriptFormat::Text,
+                    }) {
+                        Response::TranscriptText { text, .. } => text,
+                        other => panic!("{other:?}"),
+                    };
+                    commands.fetch_add(3, Ordering::Relaxed);
+                    chunk[i] = Some(Fingerprint { gauge, csv, text });
+                }
+            });
+        }
+    });
+    let total_commands = commands.load(Ordering::Relaxed);
+    assert!(
+        total_commands >= 10_000,
+        "acceptance floor: drove only {total_commands} commands"
+    );
+    match handle.call(Command::Stats) {
+        Response::Stats(s) => {
+            assert_eq!(s.sessions_created as usize, SESSIONS);
+            assert!(s.hypotheses_tested > 0);
+            assert!(s.discoveries > 0, "planted dependencies must surface");
+        }
+        other => panic!("{other:?}"),
+    }
+    drop(handle);
+    service.shutdown();
+
+    // --- Sequential replay: one worker, one session at a time, same
+    // table bytes, same scripts.
+    let replay_service = Service::start(ServiceConfig {
+        workers: 1,
+        shards: 1,
+        ..Default::default()
+    });
+    let replay = replay_service.handle();
+    replay.register_shared("census", table);
+    let replay_commands = AtomicU64::new(0);
+    for (index, concurrent) in fingerprints.iter().enumerate() {
+        let script = session_script(index);
+        let sid = create_session(&replay);
+        let sequential = drive(&replay, sid, &script, &replay_commands);
+        let concurrent = concurrent
+            .as_ref()
+            .expect("driver thread filled every slot");
+        assert_eq!(
+            concurrent.gauge, sequential.gauge,
+            "session {index}: gauge diverged under concurrency"
+        );
+        assert_eq!(
+            concurrent.csv, sequential.csv,
+            "session {index}: CSV transcript diverged under concurrency"
+        );
+        assert_eq!(
+            concurrent.text, sequential.text,
+            "session {index}: text transcript diverged under concurrency"
+        );
+    }
+}
+
+/// Session-free sanity floor for the constants above — keeps the
+/// acceptance numbers from silently eroding in refactors.
+#[test]
+#[allow(clippy::assertions_on_constants)] // asserting the constants is the point
+fn smoke_parameters_meet_acceptance_floor() {
+    assert!(SESSIONS >= 64);
+    assert!(THREADS >= 8);
+    assert!(
+        SESSIONS.is_multiple_of(THREADS),
+        "sessions must split evenly across threads"
+    );
+    // create + steps + 3 reads per session.
+    assert!(SESSIONS * (STEPS_PER_SESSION + 4) >= 10_000);
+}

@@ -5,7 +5,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = aware_sim::experiments::config_from_args(&args);
-    eprintln!("running subset_fdr with {} replications (seed {})…", cfg.reps, cfg.seed);
+    eprintln!(
+        "running subset_fdr with {} replications (seed {})…",
+        cfg.reps, cfg.seed
+    );
     let figures = aware_sim::experiments::subset::run(&cfg);
     aware_sim::experiments::emit(&figures);
 }

@@ -48,7 +48,12 @@ fn sweeps() -> Vec<(&'static str, Vec<(String, ProcedureSpec)>)> {
                 .map(|&epsilon| {
                     (
                         format!("ε={epsilon}"),
-                        ProcedureSpec::Hybrid { gamma: 10.0, delta: 10.0, epsilon, window: None },
+                        ProcedureSpec::Hybrid {
+                            gamma: 10.0,
+                            delta: 10.0,
+                            epsilon,
+                            window: None,
+                        },
                     )
                 })
                 .collect(),
@@ -57,7 +62,12 @@ fn sweeps() -> Vec<(&'static str, Vec<(String, ProcedureSpec)>)> {
             "ψ-support",
             [1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0]
                 .iter()
-                .map(|&psi| (format!("ψ={psi:.2}"), ProcedureSpec::PsiSupport { gamma: 10.0, psi }))
+                .map(|&psi| {
+                    (
+                        format!("ψ={psi:.2}"),
+                        ProcedureSpec::PsiSupport { gamma: 10.0, psi },
+                    )
+                })
                 .collect(),
         ),
     ]
@@ -75,7 +85,11 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
             let mut fig = Figure::new(
                 format!("Ablation — {rule} parameter sweep, {tag} (m = 64)"),
                 "parameter",
-                vec!["Avg FDR".into(), "Avg Power".into(), "Avg Discoveries".into()],
+                vec![
+                    "Avg FDR".into(),
+                    "Avg Power".into(),
+                    "Avg Discoveries".into(),
+                ],
             );
             let row = &grid[0].1;
             for ((label, _), agg) in variants.iter().zip(row) {
@@ -100,7 +114,10 @@ mod tests {
 
     #[test]
     fn all_parameterizations_control_fdr() {
-        let cfg = RunConfig { reps: 80, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 80,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 10);
         for fig in &figs {
@@ -126,7 +143,10 @@ mod tests {
         // survives the whole session and ends with strictly more total
         // discoveries. (On short or signal-rich streams the ordering
         // reverses — that is the trade-off the sweep exposes.)
-        let cfg = RunConfig { reps: 150, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 150,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let gamma_75 = figs
             .iter()

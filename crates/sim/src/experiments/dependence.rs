@@ -33,7 +33,12 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
         ProcedureSpec::BenjaminiHochberg,
         ProcedureSpec::BenjaminiYekutieli,
         ProcedureSpec::Fixed { gamma: 10.0 },
-        ProcedureSpec::Hybrid { gamma: 10.0, delta: 10.0, epsilon: 0.5, window: None },
+        ProcedureSpec::Hybrid {
+            gamma: 10.0,
+            delta: 10.0,
+            epsilon: 0.5,
+            window: None,
+        },
         ProcedureSpec::LordPlusPlus,
     ];
     let grid: Vec<(String, Vec<AggregateMetrics>)> = RHO_SWEEP
@@ -61,7 +66,10 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
         .into_iter()
         .map(|panel| {
             panel_figure(
-                format!("Dependence — equicorrelated hypotheses, 75% null: {}", panel.title()),
+                format!(
+                    "Dependence — equicorrelated hypotheses, 75% null: {}",
+                    panel.title()
+                ),
                 "correlation",
                 &procedures,
                 &grid,
@@ -77,7 +85,10 @@ mod tests {
 
     #[test]
     fn independence_column_matches_known_behaviour() {
-        let cfg = RunConfig { reps: 150, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 150,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let fdr = &figs[0];
         // At ρ = 0 everything controls FDR at α.
@@ -104,7 +115,10 @@ mod tests {
         // Average FDR (mean of V/R) remains controlled for BH under PRDS;
         // we check it doesn't explode for any procedure (realized FDP gets
         // burstier — wider CIs — but the mean stays near α).
-        let cfg = RunConfig { reps: 200, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 200,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let fdr = &figs[0];
         for row in &fdr.rows {

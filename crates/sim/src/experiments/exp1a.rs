@@ -24,12 +24,21 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     let procedures = ProcedureSpec::exp1a_procedures();
     let mut figures = Vec::new();
     for (null_fraction, tag, panels) in [
-        (0.75, "75% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
+        (
+            0.75,
+            "75% Null",
+            vec![Panel::Discoveries, Panel::Fdr, Panel::Power],
+        ),
         (1.00, "100% Null", vec![Panel::Discoveries, Panel::Fdr]),
     ] {
         let sweep: Vec<(String, SyntheticWorkload)> = M_SWEEP
             .iter()
-            .map(|&m| (m.to_string(), SyntheticWorkload::paper_default(m, null_fraction)))
+            .map(|&m| {
+                (
+                    m.to_string(),
+                    SyntheticWorkload::paper_default(m, null_fraction),
+                )
+            })
             .collect();
         let grid = synthetic_grid(&sweep, &procedures, cfg);
         for panel in panels {
@@ -52,7 +61,10 @@ mod tests {
     /// A reduced-rep run must reproduce the paper's qualitative ordering.
     #[test]
     fn figure3_shape_holds() {
-        let cfg = RunConfig { reps: 120, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 120,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 5);
 

@@ -21,13 +21,26 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     let procedures = ProcedureSpec::exp1b_procedures();
     let mut figures = Vec::new();
     for (null_fraction, tag, panels) in [
-        (0.25, "25% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
-        (0.75, "75% Null", vec![Panel::Discoveries, Panel::Fdr, Panel::Power]),
+        (
+            0.25,
+            "25% Null",
+            vec![Panel::Discoveries, Panel::Fdr, Panel::Power],
+        ),
+        (
+            0.75,
+            "75% Null",
+            vec![Panel::Discoveries, Panel::Fdr, Panel::Power],
+        ),
         (1.00, "100% Null", vec![Panel::Discoveries, Panel::Fdr]),
     ] {
         let sweep: Vec<(String, SyntheticWorkload)> = M_SWEEP
             .iter()
-            .map(|&m| (m.to_string(), SyntheticWorkload::paper_default(m, null_fraction)))
+            .map(|&m| {
+                (
+                    m.to_string(),
+                    SyntheticWorkload::paper_default(m, null_fraction),
+                )
+            })
             .collect();
         let grid = synthetic_grid(&sweep, &procedures, cfg);
         for panel in panels {
@@ -49,7 +62,10 @@ mod tests {
 
     #[test]
     fn figure4_fdr_controlled_everywhere() {
-        let cfg = RunConfig { reps: 120, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 120,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 8);
         // Every FDR panel (indices 1, 4, 7) stays ≤ α plus CI slack.
@@ -76,12 +92,12 @@ mod tests {
     fn figure4_power_ordering_on_signal_rich_data() {
         // 25% null: δ-hopeful should out-power γ-fixed at larger m
         // (§7.2.2), and all investing rules should show nontrivial power.
-        let cfg = RunConfig { reps: 150, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 150,
+            ..RunConfig::default()
+        };
         let procedures = ProcedureSpec::exp1b_procedures();
-        let sweep = vec![(
-            "64".to_string(),
-            SyntheticWorkload::paper_default(64, 0.25),
-        )];
+        let sweep = vec![("64".to_string(), SyntheticWorkload::paper_default(64, 0.25))];
         let grid = synthetic_grid(&sweep, &procedures, &cfg);
         let fig = panel_figure("t", "m", &procedures, &grid, Panel::Power);
         let cells = &fig.rows[0].cells;
@@ -115,13 +131,15 @@ mod tests {
         // by much — the paper's §7.2.2 claims the fixed rule wins when data
         // is more random. We assert the weaker directional claim with slack
         // since the margin is small.
-        let cfg = RunConfig { reps: 200, ..RunConfig::default() };
-        let procedures =
-            vec![ProcedureSpec::Fixed { gamma: 10.0 }, ProcedureSpec::Hopeful { delta: 10.0 }];
-        let sweep = vec![(
-            "64".to_string(),
-            SyntheticWorkload::paper_default(64, 0.75),
-        )];
+        let cfg = RunConfig {
+            reps: 200,
+            ..RunConfig::default()
+        };
+        let procedures = vec![
+            ProcedureSpec::Fixed { gamma: 10.0 },
+            ProcedureSpec::Hopeful { delta: 10.0 },
+        ];
+        let sweep = vec![("64".to_string(), SyntheticWorkload::paper_default(64, 0.75))];
         let grid = synthetic_grid(&sweep, &procedures, &cfg);
         let fig = panel_figure("t", "m", &procedures, &grid, Panel::Power);
         let fixed = fig.rows[0].cells[0].unwrap().mean;

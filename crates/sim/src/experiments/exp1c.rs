@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn figure5_power_grows_with_sample_size() {
-        let cfg = RunConfig { reps: 100, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 100,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 6);
         let power = &figs[2]; // 25% null power panel
@@ -72,10 +75,16 @@ mod tests {
         // below its γ-fixed base. (It may well make MORE total
         // discoveries: smaller bids also mean smaller acceptance charges,
         // so it survives far beyond γ-fixed's 10-acceptance horizon.)
-        let cfg = RunConfig { reps: 200, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 200,
+            ..RunConfig::default()
+        };
         let procedures = vec![
             ProcedureSpec::Fixed { gamma: 10.0 },
-            ProcedureSpec::PsiSupport { gamma: 10.0, psi: 0.5 },
+            ProcedureSpec::PsiSupport {
+                gamma: 10.0,
+                psi: 0.5,
+            },
         ];
         let sweep = vec![(
             "10%".to_string(),

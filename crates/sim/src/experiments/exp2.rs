@@ -136,7 +136,11 @@ mod tests {
     /// sample size.
     #[test]
     fn exp2_reduced_scale_shape() {
-        let cfg = RunConfig { reps: 12, threads: 4, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 12,
+            threads: 4,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 2 + 3 + 3);
 
@@ -168,6 +172,9 @@ mod tests {
                 grew += 1;
             }
         }
-        assert!(grew >= power.series.len() - 1, "power should grow with sample size");
+        assert!(
+            grew >= power.series.len() - 1,
+            "power should grow with sample size"
+        );
     }
 }

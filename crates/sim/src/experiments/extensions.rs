@@ -20,7 +20,12 @@ pub use super::exp1a::M_SWEEP;
 pub fn procedures() -> Vec<ProcedureSpec> {
     vec![
         ProcedureSpec::Fixed { gamma: 10.0 },
-        ProcedureSpec::Hybrid { gamma: 10.0, delta: 10.0, epsilon: 0.5, window: None },
+        ProcedureSpec::Hybrid {
+            gamma: 10.0,
+            delta: 10.0,
+            epsilon: 0.5,
+            window: None,
+        },
         ProcedureSpec::BestFootForward,
         ProcedureSpec::GaiLinearPenalty { gamma: 10.0 },
         ProcedureSpec::Lond,
@@ -35,12 +40,20 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     for (null_fraction, tag) in [(0.25, "25% Null"), (0.75, "75% Null")] {
         let sweep: Vec<(String, SyntheticWorkload)> = M_SWEEP
             .iter()
-            .map(|&m| (m.to_string(), SyntheticWorkload::paper_default(m, null_fraction)))
+            .map(|&m| {
+                (
+                    m.to_string(),
+                    SyntheticWorkload::paper_default(m, null_fraction),
+                )
+            })
             .collect();
         let grid = synthetic_grid(&sweep, &procedures, cfg);
         for panel in [Panel::Fdr, Panel::Power] {
             figures.push(panel_figure(
-                format!("Extensions — online FDR vs α-investing, {tag}: {}", panel.title()),
+                format!(
+                    "Extensions — online FDR vs α-investing, {tag}: {}",
+                    panel.title()
+                ),
                 "num hypotheses",
                 &procedures,
                 &grid,
@@ -57,7 +70,10 @@ mod tests {
 
     #[test]
     fn every_extension_controls_fdr() {
-        let cfg = RunConfig { reps: 120, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 120,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         assert_eq!(figs.len(), 4);
         // Match the panel name, not the figure family name (which itself
@@ -82,7 +98,10 @@ mod tests {
         // LORD++'s payout redistribution makes it strong when discoveries
         // are frequent: at 25% null, m = 64, it should be within striking
         // distance of γ-fixed.
-        let cfg = RunConfig { reps: 150, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 150,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let power = figs
             .iter()
@@ -91,7 +110,9 @@ mod tests {
         let last = power.rows.last().unwrap();
         let series = &power.series;
         let of = |name: &str| {
-            last.cells[series.iter().position(|s| s == name).unwrap()].unwrap().mean
+            last.cells[series.iter().position(|s| s == name).unwrap()]
+                .unwrap()
+                .mean
         };
         let fixed = of("Fixed");
         let lord = of("LORD++");

@@ -69,7 +69,13 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
         "quantity",
         vec!["analytic".into(), "simulated".into()],
     );
-    let exact = |v: f64| Some(MeanCi { mean: v, half_width: 0.0, level: cfg.ci_level });
+    let exact = |v: f64| {
+        Some(MeanCi {
+            mean: v,
+            half_width: 0.0,
+            level: cfg.ci_level,
+        })
+    };
     let ci = |hits: &[bool]| {
         let xs: Vec<f64> = hits.iter().map(|&h| if h { 1.0 } else { 0.0 }).collect();
         Some(MeanCi::from_samples(&xs, cfg.ci_level))
@@ -78,8 +84,14 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     // Analytic values.
     let power_full = two_sample_power(DELTA, SIGMA, N_FULL as u64, ALPHA, Alternative::Greater)
         .expect("valid parameters");
-    let power_half = two_sample_power(DELTA, SIGMA, (N_FULL / 2) as u64, ALPHA, Alternative::Greater)
-        .expect("valid parameters");
+    let power_half = two_sample_power(
+        DELTA,
+        SIGMA,
+        (N_FULL / 2) as u64,
+        ALPHA,
+        Alternative::Greater,
+    )
+    .expect("valid parameters");
     let inflated = 1.0 - (1.0 - ALPHA * ALPHA).powi(25);
 
     // Monte-Carlo under the alternative.
@@ -90,9 +102,18 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     let null: Vec<(bool, bool)> = par_map(cfg, |seed| replicate(seed ^ 0x5A5A, true));
     let split_false: Vec<bool> = null.iter().map(|r| r.1).collect();
 
-    fig.push_row("power, full data (n=500/arm)", vec![exact(power_full), ci(&full_hits)]);
-    fig.push_row("power, two-stage split (250+250)", vec![exact(power_half * power_half), ci(&split_hits)]);
-    fig.push_row("size of two-stage test (α²)", vec![exact(ALPHA * ALPHA), ci(&split_false)]);
+    fig.push_row(
+        "power, full data (n=500/arm)",
+        vec![exact(power_full), ci(&full_hits)],
+    );
+    fig.push_row(
+        "power, two-stage split (250+250)",
+        vec![exact(power_half * power_half), ci(&split_hits)],
+    );
+    fig.push_row(
+        "size of two-stage test (α²)",
+        vec![exact(ALPHA * ALPHA), ci(&split_false)],
+    );
     fig.push_row("FWER of 25 split tests", vec![exact(inflated), None]);
     vec![fig]
 }
@@ -103,7 +124,10 @@ mod tests {
 
     #[test]
     fn paper_numbers_reproduce() {
-        let cfg = RunConfig { reps: 600, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 600,
+            ..RunConfig::default()
+        };
         let fig = &run(&cfg)[0];
 
         // Analytic column matches the paper's quoted values.

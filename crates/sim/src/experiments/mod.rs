@@ -53,7 +53,10 @@ pub fn panel_figure(
         procedures.iter().map(|p| p.label()).collect(),
     );
     for (x, row) in grid {
-        fig.push_row(x.clone(), row.iter().map(|agg| panel.extract(agg)).collect());
+        fig.push_row(
+            x.clone(),
+            row.iter().map(|agg| panel.extract(agg)).collect(),
+        );
     }
     fig
 }
@@ -109,7 +112,10 @@ mod tests {
 
     #[test]
     fn grid_and_panel_shapes() {
-        let cfg = RunConfig { reps: 20, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 20,
+            ..RunConfig::default()
+        };
         let sweep = vec![
             ("4".to_string(), SyntheticWorkload::paper_default(4, 0.75)),
             ("8".to_string(), SyntheticWorkload::paper_default(8, 0.75)),
@@ -126,8 +132,10 @@ mod tests {
 
     #[test]
     fn cli_parsing() {
-        let args: Vec<String> =
-            ["--reps", "37", "--seed", "9", "--threads", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--reps", "37", "--seed", "9", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let cfg = config_from_args(&args);
         assert_eq!(cfg.reps, 37);
         assert_eq!(cfg.seed, 9);

@@ -84,8 +84,17 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
         })
         .collect();
 
-    let exact = |v: f64| Some(MeanCi { mean: v, half_width: 0.0, level: cfg.ci_level });
-    let agg: Vec<_> = per_spec.iter().map(|reps| aggregate(reps, cfg.ci_level)).collect();
+    let exact = |v: f64| {
+        Some(MeanCi {
+            mean: v,
+            half_width: 0.0,
+            level: cfg.ci_level,
+        })
+    };
+    let agg: Vec<_> = per_spec
+        .iter()
+        .map(|reps| aggregate(reps, cfg.ci_level))
+        .collect();
 
     fig.push_row(
         "avg discoveries",
@@ -114,21 +123,30 @@ mod tests {
 
     #[test]
     fn pcer_matches_paper_arithmetic() {
-        let cfg = RunConfig { reps: 400, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 400,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let fig = &figs[0];
         // Column 1 is simulated PCER.
         let disc = fig.rows[0].cells[1].unwrap().mean;
         assert!((disc - 12.5).abs() < 0.5, "E[R] = {disc}, paper says ≈13");
         let share = fig.rows[1].cells[1].unwrap().mean;
-        assert!((0.30..0.45).contains(&share), "false share {share}, paper says ≈40%");
+        assert!(
+            (0.30..0.45).contains(&share),
+            "false share {share}, paper says ≈40%"
+        );
         let power = fig.rows[2].cells[1].unwrap().mean;
         assert!((power - 0.8).abs() < 0.03, "power {power}");
     }
 
     #[test]
     fn corrections_cut_the_false_share() {
-        let cfg = RunConfig { reps: 300, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 300,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let fig = &figs[0];
         let pcer_share = fig.rows[1].cells[1].unwrap().mean;
@@ -138,7 +156,10 @@ mod tests {
         assert!(bonf_share < 0.05, "Bonferroni share {bonf_share}");
         assert!(bh_share <= 0.05 + 0.02, "BH share {bh_share}");
         assert!(invest_share <= 0.05 + 0.02, "γ-fixed share {invest_share}");
-        assert!(pcer_share > 4.0 * bh_share, "correction should slash the share");
+        assert!(
+            pcer_share > 4.0 * bh_share,
+            "correction should slash the share"
+        );
     }
 
     #[test]

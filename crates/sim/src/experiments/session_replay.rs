@@ -41,7 +41,11 @@ fn replay<P: InvestingPolicy>(table: &Table, mut session: Session<P>, seed: u64)
             }
         };
         let filter = random_condition(&mut rng, filter_attr, table);
-        let filter = if rng.gen_bool(0.3) { filter.negate() } else { filter };
+        let filter = if rng.gen_bool(0.3) {
+            filter.negate()
+        } else {
+            filter
+        };
         match session.add_visualization(target, filter) {
             Ok(_) => {}
             Err(e) if e.is_wealth_exhausted() => break,
@@ -136,7 +140,11 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
     let mut fig = Figure::new(
         "Session replay — full AWARE stack on census exploration (oracle labels)",
         "configuration",
-        vec!["Avg FDR".into(), "Avg discoveries".into(), "Avg power".into()],
+        vec![
+            "Avg FDR".into(),
+            "Avg discoveries".into(),
+            "Avg power".into(),
+        ],
     );
     type PolicyFactory = Box<dyn Fn() -> Box<dyn InvestingPolicy> + Sync>;
     let policies: Vec<(&str, PolicyFactory)> = vec![
@@ -160,18 +168,13 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
                 } else {
                     census.clone()
                 };
-                let session =
-                    Session::new(table.clone(), cfg.alpha, make()).expect("valid config");
+                let session = Session::new(table.clone(), cfg.alpha, make()).expect("valid config");
                 replay(&table, session, seed ^ 0xABCD)
             });
             let agg = aggregate(&reps, cfg.ci_level);
             fig.push_row(
                 format!("{policy_name} @ {:.0}% sample", fraction * 100.0),
-                vec![
-                    Some(agg.avg_fdr),
-                    Some(agg.avg_discoveries),
-                    agg.avg_power,
-                ],
+                vec![Some(agg.avg_fdr), Some(agg.avg_discoveries), agg.avg_power],
             );
         }
     }
@@ -184,7 +187,10 @@ mod tests {
 
     #[test]
     fn full_stack_controls_fdr_against_oracle() {
-        let cfg = RunConfig { reps: 25, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 25,
+            ..RunConfig::default()
+        };
         let figs = run(&cfg);
         let fig = &figs[0];
         assert_eq!(fig.rows.len(), 4);

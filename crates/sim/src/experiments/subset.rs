@@ -70,7 +70,10 @@ pub fn run(cfg: &RunConfig) -> Vec<Figure> {
         let discoveries: Vec<usize> = (0..decisions.len())
             .filter(|&i| decisions[i].is_rejection())
             .collect();
-        let mut rep = Rep { all: Some(RepMetrics::score(&decisions, &session.truth)), ..Rep::default() };
+        let mut rep = Rep {
+            all: Some(RepMetrics::score(&decisions, &session.truth)),
+            ..Rep::default()
+        };
         if discoveries.is_empty() {
             return rep;
         }
@@ -125,7 +128,10 @@ mod tests {
 
     #[test]
     fn independent_subsets_keep_the_bound_dependent_ones_break_it() {
-        let cfg = RunConfig { reps: 600, ..RunConfig::default() };
+        let cfg = RunConfig {
+            reps: 600,
+            ..RunConfig::default()
+        };
         let fig = &run(&cfg)[0];
         let fdr = |row: usize| fig.rows[row].cells[0].unwrap();
 
@@ -135,7 +141,11 @@ mod tests {
         let adversarial = fdr(3);
 
         let bound = SUBSET_ALPHA;
-        assert!(all.mean <= bound + 2.0 * all.half_width + 0.02, "base FDR {}", all.mean);
+        assert!(
+            all.mean <= bound + 2.0 * all.half_width + 0.02,
+            "base FDR {}",
+            all.mean
+        );
         assert!(
             random.mean <= bound + 2.0 * random.half_width + 0.03,
             "random-subset FDR {}",

@@ -128,8 +128,18 @@ mod tests {
     #[test]
     fn aggregation_mixes_reps() {
         let reps = vec![
-            RepMetrics { discoveries: 4, false_discoveries: 1, true_discoveries: 3, alternatives: 5 },
-            RepMetrics { discoveries: 0, false_discoveries: 0, true_discoveries: 0, alternatives: 5 },
+            RepMetrics {
+                discoveries: 4,
+                false_discoveries: 1,
+                true_discoveries: 3,
+                alternatives: 5,
+            },
+            RepMetrics {
+                discoveries: 0,
+                false_discoveries: 0,
+                true_discoveries: 0,
+                alternatives: 5,
+            },
         ];
         let agg = aggregate(&reps, 0.95);
         assert_eq!(agg.reps, 2);

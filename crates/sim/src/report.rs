@@ -61,8 +61,17 @@ pub struct FigureRow {
 
 impl Figure {
     /// Creates an empty figure.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Figure {
-        Figure { title: title.into(), x_label: x_label.into(), series, rows: Vec::new() }
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Figure {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; panics in debug builds if the cell count differs
@@ -77,7 +86,11 @@ impl Figure {
         let mut out = String::new();
         let _ = writeln!(out, "── {} ──", self.title);
         let width = 18usize;
-        let xw = self.x_label.len().max(self.rows.iter().map(|r| r.x.len()).max().unwrap_or(0)) + 2;
+        let xw = self
+            .x_label
+            .len()
+            .max(self.rows.iter().map(|r| r.x.len()).max().unwrap_or(0))
+            + 2;
         let _ = write!(out, "{:<xw$}", self.x_label);
         for s in &self.series {
             let _ = write!(out, "{s:>width$}");
@@ -88,7 +101,11 @@ impl Figure {
             for cell in &row.cells {
                 match cell {
                     Some(ci) => {
-                        let _ = write!(out, "{:>width$}", format!("{:.3}±{:.3}", ci.mean, ci.half_width));
+                        let _ = write!(
+                            out,
+                            "{:>width$}",
+                            format!("{:.3}±{:.3}", ci.mean, ci.half_width)
+                        );
                     }
                     None => {
                         let _ = write!(out, "{:>width$}", "—");
@@ -125,7 +142,13 @@ impl Figure {
         let name: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let mut path = dir.join(name.trim_matches('_'));
         path.set_extension("csv");
@@ -145,7 +168,11 @@ mod tests {
     use aware_stats::summary::MeanCi;
 
     fn ci(mean: f64) -> Option<MeanCi> {
-        Some(MeanCi { mean, half_width: 0.01, level: 0.95 })
+        Some(MeanCi {
+            mean,
+            half_width: 0.01,
+            level: 0.95,
+        })
     }
 
     #[test]
@@ -180,7 +207,12 @@ mod tests {
         let path = fig.write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("1,P,1"));
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig_9"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig_9"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

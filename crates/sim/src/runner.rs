@@ -26,21 +26,32 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { alpha: 0.05, reps: 1000, seed: 0x5EED, threads: 0, ci_level: 0.95 }
+        RunConfig {
+            alpha: 0.05,
+            reps: 1000,
+            seed: 0x5EED,
+            threads: 0,
+            ci_level: 0.95,
+        }
     }
 }
 
 impl RunConfig {
     /// A faster configuration for smoke tests and `--quick` runs.
     pub fn quick() -> RunConfig {
-        RunConfig { reps: 200, ..RunConfig::default() }
+        RunConfig {
+            reps: 200,
+            ..RunConfig::default()
+        }
     }
 
     fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -96,7 +107,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("every rep filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every rep filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -107,8 +121,16 @@ mod tests {
     fn parallel_equals_serial() {
         let w = SyntheticWorkload::paper_default(16, 0.75);
         let spec = ProcedureSpec::Fixed { gamma: 10.0 };
-        let serial = RunConfig { reps: 40, threads: 1, ..RunConfig::default() };
-        let parallel = RunConfig { reps: 40, threads: 4, ..RunConfig::default() };
+        let serial = RunConfig {
+            reps: 40,
+            threads: 1,
+            ..RunConfig::default()
+        };
+        let parallel = RunConfig {
+            reps: 40,
+            threads: 4,
+            ..RunConfig::default()
+        };
         let a = run_synthetic(&spec, &w, &serial);
         let b = run_synthetic(&spec, &w, &parallel);
         assert_eq!(a.avg_discoveries.mean, b.avg_discoveries.mean);
@@ -119,8 +141,24 @@ mod tests {
     fn different_seeds_differ() {
         let w = SyntheticWorkload::paper_default(16, 0.75);
         let spec = ProcedureSpec::BenjaminiHochberg;
-        let a = run_synthetic(&spec, &w, &RunConfig { reps: 30, seed: 1, ..RunConfig::default() });
-        let b = run_synthetic(&spec, &w, &RunConfig { reps: 30, seed: 2, ..RunConfig::default() });
+        let a = run_synthetic(
+            &spec,
+            &w,
+            &RunConfig {
+                reps: 30,
+                seed: 1,
+                ..RunConfig::default()
+            },
+        );
+        let b = run_synthetic(
+            &spec,
+            &w,
+            &RunConfig {
+                reps: 30,
+                seed: 2,
+                ..RunConfig::default()
+            },
+        );
         assert_ne!(a.avg_discoveries.mean, b.avg_discoveries.mean);
     }
 
@@ -131,10 +169,16 @@ mod tests {
         let agg = run_synthetic(
             &ProcedureSpec::BenjaminiHochberg,
             &w,
-            &RunConfig { reps: 300, ..RunConfig::default() },
+            &RunConfig {
+                reps: 300,
+                ..RunConfig::default()
+            },
         );
-        assert!(agg.avg_fdr.mean <= 0.05 + 2.0 * agg.avg_fdr.half_width + 0.01,
-            "BH FDR {}", agg.avg_fdr.mean);
+        assert!(
+            agg.avg_fdr.mean <= 0.05 + 2.0 * agg.avg_fdr.half_width + 0.01,
+            "BH FDR {}",
+            agg.avg_fdr.mean
+        );
         assert!(agg.avg_power.unwrap().mean > 0.3);
     }
 
@@ -145,7 +189,10 @@ mod tests {
         let agg = run_synthetic(
             &ProcedureSpec::Pcer,
             &w,
-            &RunConfig { reps: 200, ..RunConfig::default() },
+            &RunConfig {
+                reps: 200,
+                ..RunConfig::default()
+            },
         );
         assert!(agg.avg_fdr.mean > 0.5, "PCER null FDR {}", agg.avg_fdr.mean);
         assert!(agg.avg_power.is_none());
@@ -153,7 +200,11 @@ mod tests {
 
     #[test]
     fn run_reps_count_and_quick_config() {
-        let cfg = RunConfig { reps: 7, threads: 3, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            reps: 7,
+            threads: 3,
+            ..RunConfig::quick()
+        };
         let reps = run_reps(&cfg, |seed| RepMetrics {
             discoveries: seed as usize % 3,
             false_discoveries: 0,

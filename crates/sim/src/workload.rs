@@ -60,7 +60,10 @@ impl SyntheticWorkload {
 
     /// Same with a support fraction (Exp.1c).
     pub fn with_support(m: usize, null_fraction: f64, f: f64) -> SyntheticWorkload {
-        SyntheticWorkload { support_fraction: f, ..Self::paper_default(m, null_fraction) }
+        SyntheticWorkload {
+            support_fraction: f,
+            ..Self::paper_default(m, null_fraction)
+        }
     }
 
     /// Number of true nulls in a session (deterministic rounding, as in
@@ -80,7 +83,9 @@ impl SyntheticWorkload {
         let mut is_alternative: Vec<bool> = (0..self.m).map(|i| i >= n_null).collect();
         is_alternative.shuffle(&mut rng);
 
-        let n_f = ((self.n_per_arm as f64) * self.support_fraction).ceil().max(2.0) as usize;
+        let n_f = ((self.n_per_arm as f64) * self.support_fraction)
+            .ceil()
+            .max(2.0) as usize;
         // Per-observation shift that achieves ncp `e` at FULL support:
         // z-ncp = μ·√(n/2) ⇒ μ = e·√(2/n_full).
         let shift = |e: f64| e * (2.0 / self.n_per_arm as f64).sqrt();
@@ -97,7 +102,11 @@ impl SyntheticWorkload {
             };
             let a: Vec<f64> = (0..n_f).map(|_| sample_normal(&mut rng, mu)).collect();
             let b: Vec<f64> = (0..n_f).map(|_| sample_normal(&mut rng, 0.0)).collect();
-            let alt_kind = if self.two_sided { Alternative::TwoSided } else { Alternative::Greater };
+            let alt_kind = if self.two_sided {
+                Alternative::TwoSided
+            } else {
+                Alternative::Greater
+            };
             let out = z_test_two_sample(&a, &b, 1.0, alt_kind)
                 .expect("workload samples are valid by construction");
             p_values.push(out.p_value);
@@ -185,7 +194,12 @@ pub struct CorrelatedWorkload {
 impl CorrelatedWorkload {
     /// Paper-style configuration with correlation `rho`.
     pub fn new(m: usize, null_fraction: f64, rho: f64) -> CorrelatedWorkload {
-        CorrelatedWorkload { m, null_fraction, rho, effect_levels: BH95_EFFECTS.to_vec() }
+        CorrelatedWorkload {
+            m,
+            null_fraction,
+            rho,
+            effect_levels: BH95_EFFECTS.to_vec(),
+        }
     }
 
     /// Generates one session of two-sided z-test p-values.
@@ -284,7 +298,12 @@ mod tests {
         let count = |w: &SyntheticWorkload| {
             let mut rej = 0;
             for seed in 0..60 {
-                rej += w.generate(seed).p_values.iter().filter(|&&p| p <= 0.05).count();
+                rej += w
+                    .generate(seed)
+                    .p_values
+                    .iter()
+                    .filter(|&&p| p <= 0.05)
+                    .count();
             }
             rej
         };
@@ -310,7 +329,11 @@ mod tests {
             let w = CorrelatedWorkload::new(64, 1.0, rho);
             let counts: Vec<f64> = (0..400)
                 .map(|seed| {
-                    w.generate(seed).p_values.iter().filter(|&&p| p <= 0.05).count() as f64
+                    w.generate(seed)
+                        .p_values
+                        .iter()
+                        .filter(|&&p| p <= 0.05)
+                        .count() as f64
                 })
                 .collect();
             let mean = counts.iter().sum::<f64>() / counts.len() as f64;

@@ -34,7 +34,9 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<TestOutcome> {
     }
     for g in &live {
         if g.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::NonFinite { context: "one_way_anova" });
+            return Err(StatsError::NonFinite {
+                context: "one_way_anova",
+            });
         }
     }
     let k = live.len();
@@ -48,8 +50,11 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<TestOutcome> {
     }
 
     let moments: Vec<Moments> = live.iter().map(|g| Moments::from_slice(g)).collect();
-    let grand_mean =
-        moments.iter().map(|m| m.mean() * m.count() as f64).sum::<f64>() / n as f64;
+    let grand_mean = moments
+        .iter()
+        .map(|m| m.mean() * m.count() as f64)
+        .sum::<f64>()
+        / n as f64;
     let ss_between: f64 = moments
         .iter()
         .map(|m| m.count() as f64 * (m.mean() - grand_mean).powi(2))
@@ -59,7 +64,9 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<TestOutcome> {
         .map(|m| m.population_variance() * m.count() as f64)
         .sum();
     if ss_within <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "one_way_anova" });
+        return Err(StatsError::ZeroVariance {
+            context: "one_way_anova",
+        });
     }
     let df_between = (k - 1) as f64;
     let df_within = (n - k) as f64;
@@ -81,12 +88,23 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Result<TestOutcome> {
 /// Two-sided p-value by the minimum-likelihood method (sum the
 /// probabilities of all outcomes no more likely than the observed one),
 /// matching R's `binom.test`. Effect size is Cohen's h against `p0`.
-pub fn binomial_test(successes: u64, trials: u64, p0: f64, alt: Alternative) -> Result<TestOutcome> {
+pub fn binomial_test(
+    successes: u64,
+    trials: u64,
+    p0: f64,
+    alt: Alternative,
+) -> Result<TestOutcome> {
     if trials == 0 {
-        return Err(StatsError::InsufficientData { context: "binomial_test", needed: 1, got: 0 });
+        return Err(StatsError::InsufficientData {
+            context: "binomial_test",
+            needed: 1,
+            got: 0,
+        });
     }
     if successes > trials {
-        return Err(StatsError::InvalidTable { reason: "successes exceed trials" });
+        return Err(StatsError::InvalidTable {
+            reason: "successes exceed trials",
+        });
     }
     if !(p0 > 0.0 && p0 < 1.0) {
         return Err(StatsError::InvalidParameter {
@@ -167,7 +185,11 @@ mod tests {
             vec![13.0, 9.0, 11.0, 8.0, 7.0, 12.0],
         ];
         let out = one_way_anova(&groups).unwrap();
-        assert!(close(out.statistic, 9.264_705_882_352_942, 1e-9), "F = {}", out.statistic);
+        assert!(
+            close(out.statistic, 9.264_705_882_352_942, 1e-9),
+            "F = {}",
+            out.statistic
+        );
         assert!(close(out.p_value, 0.002_398, 1e-4), "p = {}", out.p_value);
         assert_eq!(out.df, 2.0);
         assert_eq!(out.support, 18);
@@ -199,12 +221,7 @@ mod tests {
 
     #[test]
     fn anova_skips_empty_groups_and_validates() {
-        let out = one_way_anova(&[
-            vec![1.0, 2.0],
-            vec![],
-            vec![3.0, 4.0],
-        ])
-        .unwrap();
+        let out = one_way_anova(&[vec![1.0, 2.0], vec![], vec![3.0, 4.0]]).unwrap();
         assert_eq!(out.support, 4);
         assert!(one_way_anova(&[vec![1.0, 2.0]]).is_err());
         assert!(one_way_anova(&[vec![1.0], vec![2.0]]).is_err());
@@ -229,15 +246,31 @@ mod tests {
     fn binomial_symmetric_two_sided_doubles_tail() {
         // For p0 = 0.5 the two-sided p equals twice the smaller tail
         // (capped at 1).
-        let two = binomial_test(6, 20, 0.5, Alternative::TwoSided).unwrap().p_value;
-        let tail = binomial_test(6, 20, 0.5, Alternative::Less).unwrap().p_value;
+        let two = binomial_test(6, 20, 0.5, Alternative::TwoSided)
+            .unwrap()
+            .p_value;
+        let tail = binomial_test(6, 20, 0.5, Alternative::Less)
+            .unwrap()
+            .p_value;
         assert!(close(two, (2.0 * tail).min(1.0), 1e-9), "{two} vs 2×{tail}");
     }
 
     #[test]
     fn binomial_edges_and_validation() {
-        assert!(close(binomial_test(0, 10, 0.5, Alternative::Greater).unwrap().p_value, 1.0, 1e-12));
-        assert!(close(binomial_test(10, 10, 0.5, Alternative::Less).unwrap().p_value, 1.0, 1e-12));
+        assert!(close(
+            binomial_test(0, 10, 0.5, Alternative::Greater)
+                .unwrap()
+                .p_value,
+            1.0,
+            1e-12
+        ));
+        assert!(close(
+            binomial_test(10, 10, 0.5, Alternative::Less)
+                .unwrap()
+                .p_value,
+            1.0,
+            1e-12
+        ));
         let sure = binomial_test(10, 10, 0.5, Alternative::Greater).unwrap();
         assert!(close(sure.p_value, 0.5f64.powi(10), 1e-12));
         assert!(binomial_test(1, 0, 0.5, Alternative::TwoSided).is_err());
@@ -252,9 +285,14 @@ mod tests {
         let n = 30u64;
         let p0 = 0.3;
         for x in [1u64, 5, 9, 15, 29] {
-            let via_beta = binomial_test(x, n, p0, Alternative::Greater).unwrap().p_value;
+            let via_beta = binomial_test(x, n, p0, Alternative::Greater)
+                .unwrap()
+                .p_value;
             let direct: f64 = (x..=n).map(|i| ln_binom_pmf(i, n, p0).exp()).sum();
-            assert!(close(via_beta, direct, 1e-10), "x={x}: {via_beta} vs {direct}");
+            assert!(
+                close(via_beta, direct, 1e-10),
+                "x={x}: {via_beta} vs {direct}"
+            );
         }
     }
 }

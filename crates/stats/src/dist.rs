@@ -51,7 +51,10 @@ pub struct Normal {
 
 impl Normal {
     /// Standard normal `N(0, 1)`.
-    pub const STANDARD: Normal = Normal { mu: 0.0, sigma: 1.0 };
+    pub const STANDARD: Normal = Normal {
+        mu: 0.0,
+        sigma: 1.0,
+    };
 
     /// Creates `N(mu, sigma²)`. Returns `None` unless `sigma > 0` and both
     /// parameters are finite.
@@ -477,8 +480,16 @@ mod tests {
         let n = Normal::new(10.0, 2.0).unwrap();
         assert!(close(n.cdf(10.0), 0.5, 1e-14));
         assert!(close(n.cdf(13.92), 0.975, 1e-3));
-        assert!(close(n.quantile(0.975), 10.0 + 2.0 * 1.959_963_984_540_054, 1e-10));
-        assert!(close(n.pdf(10.0), 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-12));
+        assert!(close(
+            n.quantile(0.975),
+            10.0 + 2.0 * 1.959_963_984_540_054,
+            1e-10
+        ));
+        assert!(close(
+            n.pdf(10.0),
+            1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-12
+        ));
     }
 
     #[test]
@@ -575,7 +586,8 @@ mod tests {
 
     #[test]
     fn quantile_cdf_roundtrips() {
-        let dists: Vec<Box<dyn Fn(f64) -> (f64, f64)>> = vec![
+        type Roundtrip = Box<dyn Fn(f64) -> (f64, f64)>;
+        let dists: Vec<Roundtrip> = vec![
             Box::new(|p| {
                 let d = StudentT::new(7.0).unwrap();
                 (d.cdf(d.quantile(p)), p)

@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(EffectMagnitude::classify(0.5), EffectMagnitude::Medium);
         assert_eq!(EffectMagnitude::classify(-0.79), EffectMagnitude::Medium);
         assert_eq!(EffectMagnitude::classify(0.8), EffectMagnitude::Large);
-        assert_eq!(EffectMagnitude::classify(f64::NAN), EffectMagnitude::Negligible);
+        assert_eq!(
+            EffectMagnitude::classify(f64::NAN),
+            EffectMagnitude::Negligible
+        );
         assert_eq!(format!("{}", EffectMagnitude::Large), "large");
     }
 }

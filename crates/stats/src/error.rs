@@ -60,19 +60,36 @@ pub enum StatsError {
 impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StatsError::InsufficientData { context, needed, got } => {
-                write!(f, "{context}: needs at least {needed} observations, got {got}")
+            StatsError::InsufficientData {
+                context,
+                needed,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{context}: needs at least {needed} observations, got {got}"
+                )
             }
             StatsError::ZeroVariance { context } => {
                 write!(f, "{context}: sample variance is zero; statistic undefined")
             }
-            StatsError::InvalidParameter { context, constraint, value } => {
-                write!(f, "{context}: parameter violates `{constraint}` (value {value})")
+            StatsError::InvalidParameter {
+                context,
+                constraint,
+                value,
+            } => {
+                write!(
+                    f,
+                    "{context}: parameter violates `{constraint}` (value {value})"
+                )
             }
             StatsError::InvalidTable { reason } => {
                 write!(f, "invalid contingency table: {reason}")
             }
-            StatsError::NoConvergence { context, iterations } => {
+            StatsError::NoConvergence {
+                context,
+                iterations,
+            } => {
                 write!(f, "{context}: no convergence after {iterations} iterations")
             }
             StatsError::NonFinite { context } => {
@@ -90,7 +107,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StatsError::InsufficientData { context: "welch_t_test", needed: 2, got: 1 };
+        let e = StatsError::InsufficientData {
+            context: "welch_t_test",
+            needed: 2,
+            got: 1,
+        };
         assert!(e.to_string().contains("welch_t_test"));
         assert!(e.to_string().contains("at least 2"));
 

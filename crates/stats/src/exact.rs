@@ -33,7 +33,9 @@ pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<TestOutcome> {
     let [[a, b], [c, d]] = table;
     let n = a + b + c + d;
     if n == 0 {
-        return Err(StatsError::InvalidTable { reason: "no observations" });
+        return Err(StatsError::InvalidTable {
+            reason: "no observations",
+        });
     }
     let row1 = a + b;
     let col1 = a + c;
@@ -64,8 +66,7 @@ pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<TestOutcome> {
     let p = p.min(1.0);
 
     // φ as the effect size, computed from the table's χ² statistic.
-    let expected =
-        |r: u64, cc: u64| -> f64 { (r as f64) * (cc as f64) / n as f64 };
+    let expected = |r: u64, cc: u64| -> f64 { (r as f64) * (cc as f64) / n as f64 };
     let cells = [
         (a, expected(row1, col1)),
         (b, expected(row1, n - col1)),
@@ -74,7 +75,13 @@ pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<TestOutcome> {
     ];
     let chi2: f64 = cells
         .iter()
-        .map(|&(o, e)| if e > 0.0 { (o as f64 - e).powi(2) / e } else { 0.0 })
+        .map(|&(o, e)| {
+            if e > 0.0 {
+                (o as f64 - e).powi(2) / e
+            } else {
+                0.0
+            }
+        })
         .sum();
 
     Ok(TestOutcome {
@@ -92,20 +99,30 @@ pub fn fisher_exact(table: [[u64; 2]; 2]) -> Result<TestOutcome> {
 pub fn g_test_independence(table: &[Vec<u64>]) -> Result<TestOutcome> {
     let r = table.len();
     if r < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two rows" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two rows",
+        });
     }
     let c = table[0].len();
     if c < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two columns" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two columns",
+        });
     }
     if table.iter().any(|row| row.len() != c) {
-        return Err(StatsError::InvalidTable { reason: "ragged rows" });
+        return Err(StatsError::InvalidTable {
+            reason: "ragged rows",
+        });
     }
     let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<u64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
     let total: u64 = row_sums.iter().sum();
     if total == 0 {
-        return Err(StatsError::InvalidTable { reason: "no observations" });
+        return Err(StatsError::InvalidTable {
+            reason: "no observations",
+        });
     }
     let live_rows: Vec<usize> = (0..r).filter(|&i| row_sums[i] > 0).collect();
     let live_cols: Vec<usize> = (0..c).filter(|&j| col_sums[j] > 0).collect();
@@ -153,11 +170,19 @@ mod tests {
         // The classic tea-tasting table [[3,1],[1,3]]:
         // two-sided p = 0.4857142857.
         let out = fisher_exact([[3, 1], [1, 3]]).unwrap();
-        assert!(close(out.p_value, 0.485_714_285_7, 1e-9), "p = {}", out.p_value);
+        assert!(
+            close(out.p_value, 0.485_714_285_7, 1e-9),
+            "p = {}",
+            out.p_value
+        );
         assert_eq!(out.support, 8);
         // scipy.stats.fisher_exact([[8, 2], [1, 5]]) → p = 0.03496503…
         let out = fisher_exact([[8, 2], [1, 5]]).unwrap();
-        assert!(close(out.p_value, 0.034_965_034_97, 1e-8), "p = {}", out.p_value);
+        assert!(
+            close(out.p_value, 0.034_965_034_97, 1e-8),
+            "p = {}",
+            out.p_value
+        );
     }
 
     #[test]
@@ -200,8 +225,18 @@ mod tests {
         let table = vec![vec![320u64, 280, 210], vec![290, 310, 240]];
         let g = g_test_independence(&table).unwrap();
         let x2 = chi_square_independence(&table).unwrap();
-        assert!(close(g.statistic, x2.statistic, 0.5), "{} vs {}", g.statistic, x2.statistic);
-        assert!(close(g.p_value, x2.p_value, 0.02), "{} vs {}", g.p_value, x2.p_value);
+        assert!(
+            close(g.statistic, x2.statistic, 0.5),
+            "{} vs {}",
+            g.statistic,
+            x2.statistic
+        );
+        assert!(
+            close(g.p_value, x2.p_value, 0.02),
+            "{} vs {}",
+            g.p_value,
+            x2.p_value
+        );
         assert_eq!(g.df, x2.df);
     }
 

@@ -30,7 +30,9 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutc
         });
     }
     if a.iter().chain(b).any(|x| !x.is_finite()) {
-        return Err(StatsError::NonFinite { context: "mann_whitney_u" });
+        return Err(StatsError::NonFinite {
+            context: "mann_whitney_u",
+        });
     }
     let (n1, n2) = (a.len() as f64, b.len() as f64);
     let n = n1 + n2;
@@ -54,8 +56,8 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutc
         let tied = (j - i + 1) as f64;
         // Midrank of the tie group (1-based ranks i+1 ..= j+1).
         let midrank = (i + 1 + j + 1) as f64 / 2.0;
-        for k in i..=j {
-            if pooled[k].1 == 0 {
+        for entry in &pooled[i..=j] {
+            if entry.1 == 0 {
                 rank_sum_a += midrank;
             }
         }
@@ -69,7 +71,9 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64], alt: Alternative) -> Result<TestOutc
     let mean_u = n1 * n2 / 2.0;
     let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
     if var_u <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "mann_whitney_u" });
+        return Err(StatsError::ZeroVariance {
+            context: "mann_whitney_u",
+        });
     }
     // Continuity correction toward the mean.
     let cc = 0.5 * (u_a - mean_u).signum();
@@ -105,7 +109,9 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<TestOutcome> {
         });
     }
     if a.iter().chain(b).any(|x| !x.is_finite()) {
-        return Err(StatsError::NonFinite { context: "ks_two_sample" });
+        return Err(StatsError::NonFinite {
+            context: "ks_two_sample",
+        });
     }
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
@@ -178,14 +184,20 @@ pub fn hodges_lehmann_shift(a: &[f64], b: &[f64]) -> Result<f64> {
     for &x in a {
         for &y in b {
             if !(x - y).is_finite() {
-                return Err(StatsError::NonFinite { context: "hodges_lehmann_shift" });
+                return Err(StatsError::NonFinite {
+                    context: "hodges_lehmann_shift",
+                });
             }
             diffs.push(x - y);
         }
     }
     diffs.sort_by(|p, q| p.total_cmp(q));
     let n = diffs.len();
-    Ok(if n % 2 == 1 { diffs[n / 2] } else { (diffs[n / 2 - 1] + diffs[n / 2]) / 2.0 })
+    Ok(if n % 2 == 1 {
+        diffs[n / 2]
+    } else {
+        (diffs[n / 2 - 1] + diffs[n / 2]) / 2.0
+    })
 }
 
 /// Convenience: picks a reasonable numeric two-sample test automatically —
@@ -226,7 +238,11 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
         let b = [6.0, 7.0, 8.0, 9.0, 10.0, 2.5];
         let out = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
-        assert!(close(out.statistic, -2.099_6, 1e-3), "z = {}", out.statistic);
+        assert!(
+            close(out.statistic, -2.099_6, 1e-3),
+            "z = {}",
+            out.statistic
+        );
         assert!(close(out.p_value, 0.035_76, 1e-4), "p = {}", out.p_value);
         // b stochastically larger than a → positive rank-biserial.
         assert!(out.effect_size > 0.5);

@@ -137,7 +137,9 @@ pub fn noncentral_chi2_sf(x: f64, df: f64, lambda: f64) -> f64 {
 pub fn chi2_gof_power(w: f64, cells: usize, n: u64, alpha: f64) -> Result<f64> {
     validate_alpha(alpha, "chi2_gof_power")?;
     if cells < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two categories" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two categories",
+        });
     }
     if w < 0.0 || !w.is_finite() {
         return Err(StatsError::InvalidParameter {
@@ -229,7 +231,11 @@ pub fn flip_estimate(outcome: &TestOutcome, alpha: f64, alt: Alternative) -> Res
         u64::MAX
     };
     Ok(FlipEstimate {
-        direction: if rejected { FlipDirection::ToAcceptance } else { FlipDirection::ToRejection },
+        direction: if rejected {
+            FlipDirection::ToAcceptance
+        } else {
+            FlipDirection::ToRejection
+        },
         factor,
         additional_observations: additional,
     })
@@ -310,7 +316,11 @@ mod tests {
         // λ = 0 reduces to the central distribution.
         let df = 3.0;
         let central = ChiSquared::new(df).unwrap();
-        assert!(close(noncentral_chi2_sf(5.0, df, 0.0), central.sf(5.0), 1e-12));
+        assert!(close(
+            noncentral_chi2_sf(5.0, df, 0.0),
+            central.sf(5.0),
+            1e-12
+        ));
         // SF increases with λ at fixed x.
         let a = noncentral_chi2_sf(7.81, df, 1.0);
         let b = noncentral_chi2_sf(7.81, df, 5.0);

@@ -31,14 +31,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
-        -176.615_029_162_140_59,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
 
@@ -306,7 +306,7 @@ pub fn inv_normal_cdf(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -371,7 +371,11 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
     let gln = ln_gamma(a);
     let a1 = a - 1.0;
     let lna1 = if a > 1.0 { a1.ln() } else { 0.0 };
-    let afac = if a > 1.0 { (a1 * (lna1 - 1.0) - gln).exp() } else { 0.0 };
+    let afac = if a > 1.0 {
+        (a1 * (lna1 - 1.0) - gln).exp()
+    } else {
+        0.0
+    };
 
     // Starting guess.
     let mut x = if a > 1.0 {

@@ -124,10 +124,16 @@ impl Summary {
     /// Computes a summary, rejecting empty or non-finite input.
     pub fn describe(xs: &[f64]) -> Result<Summary> {
         if xs.is_empty() {
-            return Err(StatsError::InsufficientData { context: "Summary::describe", needed: 1, got: 0 });
+            return Err(StatsError::InsufficientData {
+                context: "Summary::describe",
+                needed: 1,
+                got: 0,
+            });
         }
         if xs.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::NonFinite { context: "Summary::describe" });
+            return Err(StatsError::NonFinite {
+                context: "Summary::describe",
+            });
         }
         let m = Moments::from_slice(xs);
         let mut sorted = xs.to_vec();
@@ -168,13 +174,25 @@ impl MeanCi {
     pub fn from_samples(xs: &[f64], level: f64) -> MeanCi {
         let m = Moments::from_slice(xs);
         if m.count() == 0 {
-            return MeanCi { mean: f64::NAN, half_width: f64::NAN, level };
+            return MeanCi {
+                mean: f64::NAN,
+                half_width: f64::NAN,
+                level,
+            };
         }
         if m.count() == 1 {
-            return MeanCi { mean: m.mean(), half_width: 0.0, level };
+            return MeanCi {
+                mean: m.mean(),
+                half_width: 0.0,
+                level,
+            };
         }
         let z = crate::special::inv_normal_cdf(0.5 + level / 2.0);
-        MeanCi { mean: m.mean(), half_width: z * m.std_err(), level }
+        MeanCi {
+            mean: m.mean(),
+            half_width: z * m.std_err(),
+            level,
+        }
     }
 
     /// Lower bound of the interval.
@@ -290,12 +308,17 @@ mod tests {
         assert_eq!(ci.half_width, 0.0);
 
         // Known half width: s = 1, n = 100 → 1.96/10.
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 2.0 })
+            .collect();
         let ci = MeanCi::from_samples(&xs, 0.95);
         assert!((ci.mean - 1.0).abs() < 1e-12);
         let s = (100.0_f64 / 99.0).sqrt();
         assert!((ci.half_width - 1.959_963_984_540_054 * s / 10.0).abs() < 1e-9);
         assert!(ci.lo() < 1.0 && ci.hi() > 1.0);
-        assert_eq!(format!("{ci}"), format!("{:.4}±{:.4}", ci.mean, ci.half_width));
+        assert_eq!(
+            format!("{ci}"),
+            format!("{:.4}±{:.4}", ci.mean, ci.half_width)
+        );
     }
 }

@@ -26,7 +26,12 @@ pub enum Alternative {
 impl Alternative {
     /// p-value for a symmetric-about-zero null distribution, given the
     /// observed statistic and tail-accurate `cdf`/`sf` closures.
-    fn p_value_symmetric(self, stat: f64, cdf: impl Fn(f64) -> f64, sf: impl Fn(f64) -> f64) -> f64 {
+    fn p_value_symmetric(
+        self,
+        stat: f64,
+        cdf: impl Fn(f64) -> f64,
+        sf: impl Fn(f64) -> f64,
+    ) -> f64 {
         match self {
             Alternative::TwoSided => (2.0 * sf(stat.abs())).min(1.0),
             Alternative::Greater => sf(stat),
@@ -151,7 +156,9 @@ pub fn welch_t_from_moments(a: &Moments, b: &Moments, alt: Alternative) -> Resul
     let (v1, v2) = (a.variance(), b.variance());
     let se2 = v1 / n1 + v2 / n2;
     if se2 <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "welch_t_test" });
+        return Err(StatsError::ZeroVariance {
+            context: "welch_t_test",
+        });
     }
     let t = (a.mean() - b.mean()) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
@@ -188,7 +195,9 @@ pub fn student_t_from_moments(a: &Moments, b: &Moments, alt: Alternative) -> Res
     let df = n1 + n2 - 2.0;
     let sp2 = ((n1 - 1.0) * a.variance() + (n2 - 1.0) * b.variance()) / df;
     if sp2 <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "student_t_test" });
+        return Err(StatsError::ZeroVariance {
+            context: "student_t_test",
+        });
     }
     let t = (a.mean() - b.mean()) / (sp2 * (1.0 / n1 + 1.0 / n2)).sqrt();
     let dist = StudentT::new(df).expect("df > 0 by construction");
@@ -207,7 +216,9 @@ pub fn student_t_from_moments(a: &Moments, b: &Moments, alt: Alternative) -> Res
 pub fn one_sample_t_test(xs: &[f64], mu0: f64, alt: Alternative) -> Result<TestOutcome> {
     require_finite(xs, "one_sample_t_test")?;
     if !mu0.is_finite() {
-        return Err(StatsError::NonFinite { context: "one_sample_t_test" });
+        return Err(StatsError::NonFinite {
+            context: "one_sample_t_test",
+        });
     }
     let m = Moments::from_slice(xs);
     let n = m.count() as f64;
@@ -220,7 +231,9 @@ pub fn one_sample_t_test(xs: &[f64], mu0: f64, alt: Alternative) -> Result<TestO
     }
     let s = m.std_dev();
     if s <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "one_sample_t_test" });
+        return Err(StatsError::ZeroVariance {
+            context: "one_sample_t_test",
+        });
     }
     let t = (m.mean() - mu0) / (s / n.sqrt());
     let df = n - 1.0;
@@ -240,7 +253,12 @@ pub fn one_sample_t_test(xs: &[f64], mu0: f64, alt: Alternative) -> Result<TestO
 ///
 /// Used by the simulation harness to reproduce the BH95-style synthetic
 /// workload exactly (normal populations of known variance 1).
-pub fn z_test_two_sample(a: &[f64], b: &[f64], sigma: f64, alt: Alternative) -> Result<TestOutcome> {
+pub fn z_test_two_sample(
+    a: &[f64],
+    b: &[f64],
+    sigma: f64,
+    alt: Alternative,
+) -> Result<TestOutcome> {
     require_finite(a, "z_test_two_sample")?;
     require_finite(b, "z_test_two_sample")?;
     if !(sigma > 0.0) || !sigma.is_finite() {
@@ -284,21 +302,31 @@ pub fn z_test_two_sample(a: &[f64], b: &[f64], sigma: f64, alt: Alternative) -> 
 /// zero observed count, otherwise the table is invalid.
 pub fn chi_square_gof(observed: &[u64], expected_props: &[f64]) -> Result<TestOutcome> {
     if observed.len() != expected_props.len() {
-        return Err(StatsError::InvalidTable { reason: "observed/expected length mismatch" });
+        return Err(StatsError::InvalidTable {
+            reason: "observed/expected length mismatch",
+        });
     }
     if observed.len() < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two categories" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two categories",
+        });
     }
     if expected_props.iter().any(|p| !p.is_finite() || *p < 0.0) {
-        return Err(StatsError::InvalidTable { reason: "expected proportions must be finite and non-negative" });
+        return Err(StatsError::InvalidTable {
+            reason: "expected proportions must be finite and non-negative",
+        });
     }
     let total: u64 = observed.iter().sum();
     if total == 0 {
-        return Err(StatsError::InvalidTable { reason: "no observations" });
+        return Err(StatsError::InvalidTable {
+            reason: "no observations",
+        });
     }
     let prop_sum: f64 = expected_props.iter().sum();
     if prop_sum <= 0.0 {
-        return Err(StatsError::InvalidTable { reason: "expected proportions sum to zero" });
+        return Err(StatsError::InvalidTable {
+            reason: "expected proportions sum to zero",
+        });
     }
 
     let mut chi2 = 0.0;
@@ -317,7 +345,9 @@ pub fn chi_square_gof(observed: &[u64], expected_props: &[f64]) -> Result<TestOu
         used_cells += 1;
     }
     if used_cells < 2 {
-        return Err(StatsError::InvalidTable { reason: "fewer than two informative categories" });
+        return Err(StatsError::InvalidTable {
+            reason: "fewer than two informative categories",
+        });
     }
     let df = (used_cells - 1) as f64;
     let dist = ChiSquared::new(df).expect("df >= 1");
@@ -342,21 +372,31 @@ pub fn chi_square_gof(observed: &[u64], expected_props: &[f64]) -> Result<TestOu
 pub fn chi_square_independence(table: &[Vec<u64>]) -> Result<TestOutcome> {
     let r = table.len();
     if r < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two rows" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two rows",
+        });
     }
     let c = table[0].len();
     if c < 2 {
-        return Err(StatsError::InvalidTable { reason: "need at least two columns" });
+        return Err(StatsError::InvalidTable {
+            reason: "need at least two columns",
+        });
     }
     if table.iter().any(|row| row.len() != c) {
-        return Err(StatsError::InvalidTable { reason: "ragged rows" });
+        return Err(StatsError::InvalidTable {
+            reason: "ragged rows",
+        });
     }
 
     let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<u64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
     let total: u64 = row_sums.iter().sum();
     if total == 0 {
-        return Err(StatsError::InvalidTable { reason: "no observations" });
+        return Err(StatsError::InvalidTable {
+            reason: "no observations",
+        });
     }
 
     let live_rows: Vec<usize> = (0..r).filter(|&i| row_sums[i] > 0).collect();
@@ -407,13 +447,17 @@ pub fn two_proportion_z_test(
         });
     }
     if successes1 > n1 || successes2 > n2 {
-        return Err(StatsError::InvalidTable { reason: "successes exceed trials" });
+        return Err(StatsError::InvalidTable {
+            reason: "successes exceed trials",
+        });
     }
     let (p1, p2) = (successes1 as f64 / n1 as f64, successes2 as f64 / n2 as f64);
     let pooled = (successes1 + successes2) as f64 / (n1 + n2) as f64;
     let se2 = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
     if se2 <= 0.0 {
-        return Err(StatsError::ZeroVariance { context: "two_proportion_z_test" });
+        return Err(StatsError::ZeroVariance {
+            context: "two_proportion_z_test",
+        });
     }
     let z = (p1 - p2) / se2.sqrt();
     let std = Normal::STANDARD;
@@ -447,7 +491,11 @@ mod unit {
         let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
         let out = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
         // scipy.stats.ttest_ind(a, b, equal_var=False): t=1.959, p=0.0907
-        assert!(close(out.statistic, 1.959_00, 1e-3), "t = {}", out.statistic);
+        assert!(
+            close(out.statistic, 1.959_00, 1e-3),
+            "t = {}",
+            out.statistic
+        );
         assert!(close(out.p_value, 0.090_77, 2e-3), "p = {}", out.p_value);
         assert_eq!(out.support, 12);
         assert_eq!(out.kind, TestKind::WelchT);
@@ -469,7 +517,11 @@ mod unit {
         let xs = [5.1, 4.9, 5.3, 5.0, 4.8, 5.2, 5.4, 4.7];
         let out = one_sample_t_test(&xs, 5.0, Alternative::TwoSided).unwrap();
         // mean = 5.05, s = 0.2449..., t = 0.5774, p ≈ 0.5817
-        assert!(close(out.statistic, 0.577_35, 1e-3), "t = {}", out.statistic);
+        assert!(
+            close(out.statistic, 0.577_35, 1e-3),
+            "t = {}",
+            out.statistic
+        );
         assert!(close(out.p_value, 0.581_7, 5e-3), "p = {}", out.p_value);
         assert_eq!(out.df, 7.0);
     }
@@ -510,7 +562,9 @@ mod unit {
     fn z_test_reference() {
         // Known sigma = 1; difference of means 0.5 with n = 50 each:
         // z = 0.5/sqrt(2/50) = 2.5.
-        let a: Vec<f64> = (0..50).map(|i| 0.5 + ((i as f64 * 0.7).sin()) * 0.0).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|i| 0.5 + ((i as f64 * 0.7).sin()) * 0.0)
+            .collect();
         let b: Vec<f64> = (0..50).map(|_| 0.0).collect();
         let out = z_test_two_sample(&a, &b, 1.0, Alternative::Greater).unwrap();
         assert!(close(out.statistic, 2.5, 1e-12));
@@ -605,7 +659,11 @@ mod unit {
     fn p_values_always_in_unit_interval() {
         let a = [1.0, 2.0, 3.0, 2.5, 1.5];
         let b = [1000.0, 1001.0, 1002.0, 1001.5, 1000.5];
-        for alt in [Alternative::TwoSided, Alternative::Less, Alternative::Greater] {
+        for alt in [
+            Alternative::TwoSided,
+            Alternative::Less,
+            Alternative::Greater,
+        ] {
             let out = welch_t_test(&a, &b, alt).unwrap();
             assert!((0.0..=1.0).contains(&out.p_value), "{alt}: {}", out.p_value);
         }

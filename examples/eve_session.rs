@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step A — overview of gender. Just looking.
     let a = eve.add_visualization("sex", Predicate::True)?;
     assert!(a.hypothesis.is_none());
-    println!("A: descriptive view of `sex` — no hypothesis, wealth {:.4}", eve.wealth());
+    println!(
+        "A: descriptive view of `sex` — no hypothesis, wealth {:.4}",
+        eve.wealth()
+    );
 
     // Step B — gender filtered by high salary: m1.
     let b = eve.add_visualization("sex", over_50k.clone())?;
@@ -80,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nEve's starred discoveries keep mFDR ≤ {:.0}% by Theorem 1: {:?}",
         eve.alpha() * 100.0,
-        eve.important_discoveries().iter().map(|h| h.id.to_string()).collect::<Vec<_>>()
+        eve.important_discoveries()
+            .iter()
+            .map(|h| h.id.to_string())
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

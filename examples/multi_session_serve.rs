@@ -1,0 +1,118 @@
+//! Multi-session serving: many explorers, one dataset, one mFDR budget
+//! *per explorer*.
+//!
+//! Run with `cargo run -p aware --example multi_session_serve --release`.
+//!
+//! Three "users" explore the same census concurrently through the
+//! `aware-serve` service. Each gets an isolated α-investing session —
+//! user A burning budget on null questions never affects user B's
+//! wealth — while the immutable table is shared (`Arc`) across all of
+//! them.
+
+use aware::data::census::CensusGenerator;
+use aware_data::predicate::CmpOp;
+use aware_data::value::Value;
+use aware_serve::proto::{Command, FilterSpec, PolicySpec, TranscriptFormat};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::Response;
+
+fn eq(column: &str, value: Value) -> FilterSpec {
+    FilterSpec::Cmp {
+        column: column.into(),
+        op: CmpOp::Eq,
+        value,
+    }
+}
+
+fn main() {
+    let service = Service::start(ServiceConfig::default());
+    let handle = service.handle();
+    handle.register_table("census", CensusGenerator::new(2024).generate(20_000));
+
+    // Three users with different investing temperaments.
+    let users = [
+        ("alice", PolicySpec::Fixed { gamma: 10.0 }),
+        ("bob", PolicySpec::Hopeful { delta: 5.0 }),
+        (
+            "carol",
+            PolicySpec::PsiSupport {
+                gamma: 10.0,
+                psi: 0.5,
+            },
+        ),
+    ];
+
+    std::thread::scope(|scope| {
+        for (name, policy) in users {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                let sid = match handle.call(Command::CreateSession {
+                    dataset: "census".into(),
+                    alpha: 0.05,
+                    policy,
+                }) {
+                    Response::SessionCreated {
+                        session,
+                        policy,
+                        wealth,
+                    } => {
+                        println!("[{name}] session {session} open: {policy}, wealth {wealth:.4}");
+                        session
+                    }
+                    other => panic!("{other:?}"),
+                };
+
+                // The same exploration each: one descriptive view, then
+                // filtered views that trigger hypothesis tests.
+                let views: [(&str, FilterSpec); 4] = [
+                    ("sex", FilterSpec::True),
+                    ("education", eq("salary_over_50k", Value::Bool(true))),
+                    ("race", eq("survey_wave", Value::Str("Wave-2".into()))),
+                    ("marital_status", eq("education", Value::Str("PhD".into()))),
+                ];
+                for (attribute, filter) in views {
+                    match handle.call(Command::AddVisualization {
+                        session: sid,
+                        attribute: attribute.into(),
+                        filter,
+                    }) {
+                        Response::VizAdded {
+                            hypothesis: Some(h),
+                            ..
+                        } => println!(
+                            "[{name}] {attribute}: p = {:.2e} -> {}",
+                            h.p_value,
+                            if h.rejected {
+                                "DISCOVERY"
+                            } else {
+                                "accept null"
+                            },
+                        ),
+                        Response::VizAdded {
+                            hypothesis: None, ..
+                        } => {
+                            println!("[{name}] {attribute}: descriptive (no α spent)")
+                        }
+                        Response::Error(e) => println!("[{name}] {attribute}: {e}"),
+                        other => panic!("{other:?}"),
+                    }
+                }
+
+                if let Response::TranscriptText { text, .. } = handle.call(Command::Transcript {
+                    session: sid,
+                    format: TranscriptFormat::Text,
+                }) {
+                    let header = text.lines().take(2).collect::<Vec<_>>().join("\n");
+                    println!("[{name}] final state:\n{header}");
+                }
+            });
+        }
+    });
+
+    if let Response::Stats(s) = handle.call(Command::Stats) {
+        println!(
+            "server totals: {} sessions, {} hypotheses, {} discoveries, {} commands",
+            s.sessions_created, s.hypotheses_tested, s.discoveries, s.commands
+        );
+    }
+}

@@ -9,7 +9,10 @@ use aware::sim::runner::{par_map, RunConfig};
 use aware::sim::workload::SyntheticWorkload;
 
 fn main() {
-    let cfg = RunConfig { reps: 400, ..RunConfig::default() };
+    let cfg = RunConfig {
+        reps: 400,
+        ..RunConfig::default()
+    };
     println!(
         "m = 64 hypotheses/session, 75% true nulls, α = {}, {} replications\n",
         cfg.alpha, cfg.reps
@@ -38,7 +41,9 @@ fn main() {
             spec.label(),
             format!("{:.2}", agg.avg_discoveries.mean),
             format!("{:.3}", agg.avg_fdr.mean),
-            agg.avg_power.map(|p| format!("{:.3}", p.mean)).unwrap_or_else(|| "—".into()),
+            agg.avg_power
+                .map(|p| format!("{:.3}", p.mean))
+                .unwrap_or_else(|| "—".into()),
         );
     }
     println!(

@@ -27,7 +27,9 @@ fn csv_roundtrip_preserves_statistics() {
         let lo = hi.not();
         let a = categorical_histogram(t, "education", Some(&hi)).unwrap();
         let b = categorical_histogram(t, "education", Some(&lo)).unwrap();
-        chi_square_independence(&contingency_rows(&a, &b).unwrap()).unwrap().p_value
+        chi_square_independence(&contingency_rows(&a, &b).unwrap())
+            .unwrap()
+            .p_value
     };
     assert_eq!(p_of(&table), p_of(&back));
 }
@@ -64,10 +66,7 @@ fn randomized_census_yields_no_structural_discoveries() {
         );
     }
     // PCER, for contrast, rejects ~5% of 115 ≈ 6 hypotheses.
-    let pcer = RepMetrics::score(
-        &ProcedureSpec::Pcer.run(0.05, &ps).unwrap(),
-        &labels,
-    );
+    let pcer = RepMetrics::score(&ProcedureSpec::Pcer.run(0.05, &ps).unwrap(), &labels);
     assert!(pcer.discoveries >= 1, "PCER should stumble into something");
 }
 
@@ -79,13 +78,13 @@ fn oracle_and_bonferroni_labels_are_consistent() {
     let bonf = workflow.bonferroni_labels(&table, 0.05);
     // Bonferroni labels are (almost surely) a subset of the oracle truth:
     // it can miss weak effects but should not invent dependencies.
-    let invented = bonf.iter().zip(&oracle).filter(|(b, o)| **b && !**o).count();
-    assert!(invented <= 1, "Bonferroni invented {invented} dependencies");
-    let agreement = bonf
+    let invented = bonf
         .iter()
         .zip(&oracle)
-        .filter(|(b, o)| b == o)
-        .count() as f64
-        / bonf.len() as f64;
+        .filter(|(b, o)| **b && !**o)
+        .count();
+    assert!(invented <= 1, "Bonferroni invented {invented} dependencies");
+    let agreement =
+        bonf.iter().zip(&oracle).filter(|(b, o)| b == o).count() as f64 / bonf.len() as f64;
     assert!(agreement > 0.6, "label agreement {agreement}");
 }

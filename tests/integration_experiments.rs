@@ -7,7 +7,11 @@ use aware::sim::experiments::{exp1a, holdout, motivating, subset};
 use aware::sim::runner::RunConfig;
 
 fn quick(reps: usize) -> RunConfig {
-    RunConfig { reps, threads: 0, ..RunConfig::default() }
+    RunConfig {
+        reps,
+        threads: 0,
+        ..RunConfig::default()
+    }
 }
 
 #[test]
@@ -22,7 +26,11 @@ fn figure3_static_procedure_ordering() {
         let bonf = row.cells[1].unwrap().mean;
         let bh = row.cells[2].unwrap().mean;
         assert!(pcer + 1e-9 >= bh, "m={}: PCER {pcer} < BH {bh}", row.x);
-        assert!(bh + 0.02 >= bonf, "m={}: BH {bh} < Bonferroni {bonf}", row.x);
+        assert!(
+            bh + 0.02 >= bonf,
+            "m={}: BH {bh} < Bonferroni {bonf}",
+            row.x
+        );
     }
     // On fully random data, PCER's FDR grows with m; BH's does not.
     let first = fdr100.rows.first().unwrap();
@@ -65,6 +73,12 @@ fn theorem1_subset_experiment_shape() {
     let random = fig.rows[1].cells[0].unwrap().mean;
     let adversarial = fig.rows[3].cells[0].unwrap().mean;
     assert!(all <= subset::SUBSET_ALPHA + 0.05, "base FDR {all}");
-    assert!(random <= subset::SUBSET_ALPHA + 0.06, "random subset {random}");
-    assert!(adversarial > random, "adversarial {adversarial} vs random {random}");
+    assert!(
+        random <= subset::SUBSET_ALPHA + 0.06,
+        "random subset {random}"
+    );
+    assert!(
+        adversarial > random,
+        "adversarial {adversarial} vs random {random}"
+    );
 }

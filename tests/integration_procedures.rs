@@ -134,13 +134,23 @@ fn real_p_values_flow_through_batch_procedures() {
         let out = welch_t_test(&base, &shifted, Alternative::TwoSided).unwrap();
         p_values.push(out.p_value);
     }
-    let bh = ProcedureSpec::BenjaminiHochberg.run(0.05, &p_values).unwrap();
+    let bh = ProcedureSpec::BenjaminiHochberg
+        .run(0.05, &p_values)
+        .unwrap();
     // The three real effects are found; the three identical-sample tests
     // (p = 1) are not.
     for i in 0..3 {
-        assert!(bh[i].is_rejection(), "effect {i} missed, p = {}", p_values[i]);
+        assert!(
+            bh[i].is_rejection(),
+            "effect {i} missed, p = {}",
+            p_values[i]
+        );
     }
     for i in 3..6 {
-        assert!(!bh[i].is_rejection(), "null {i} rejected, p = {}", p_values[i]);
+        assert!(
+            !bh[i].is_rejection(),
+            "null {i} rejected, p = {}",
+            p_values[i]
+        );
     }
 }

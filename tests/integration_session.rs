@@ -33,7 +33,9 @@ fn eve_walkthrough_end_to_end() {
     assert_eq!(r1.decision, Decision::Reject, "p = {}", r1.outcome.p_value);
 
     // C: m1′ (rule 3) supersedes m1.
-    let c = eve.add_visualization("sex", over_50k.clone().negate()).unwrap();
+    let c = eve
+        .add_visualization("sex", over_50k.clone().negate())
+        .unwrap();
     let (m1p, r1p) = c.hypothesis.expect("rule 3 fires");
     assert!(matches!(
         eve.hypothesis(m1).unwrap().status,
@@ -45,16 +47,24 @@ fn eve_walkthrough_end_to_end() {
     );
 
     // D: m2. marital|PhD vs global — marital↔education dependent via age.
-    let d = eve.add_visualization("marital_status", phd.clone()).unwrap();
+    let d = eve
+        .add_visualization("marital_status", phd.clone())
+        .unwrap();
     let (_m2, _) = d.hypothesis.expect("rule 2 fires");
 
     // E: m3. salary | PhD ∧ ¬married.
-    let e = eve.add_visualization("salary_over_50k", chain.clone()).unwrap();
+    let e = eve
+        .add_visualization("salary_over_50k", chain.clone())
+        .unwrap();
     let (_m3, r3) = e.hypothesis.expect("rule 2 fires");
-    assert!(r3.support_fraction < 0.2, "chain selects a small population");
+    assert!(
+        r3.support_fraction < 0.2,
+        "chain selects a small population"
+    );
 
     // F: the linked age pair and the t-test override.
-    eve.add_visualization("age", chain.clone().and(over_50k.clone())).unwrap();
+    eve.add_visualization("age", chain.clone().and(over_50k.clone()))
+        .unwrap();
     let f2 = eve
         .add_visualization("age", chain.clone().and(over_50k.clone().negate()))
         .unwrap();
@@ -77,11 +87,15 @@ fn eve_walkthrough_end_to_end() {
 
     // Bookkeeping: every decision recorded, none revised, wealth consistent.
     let hypotheses = eve.hypotheses();
-    assert_eq!(hypotheses.len(), 7, "m1, m1′, m2, m3, m4(f1), m4(pair), m4′");
+    assert_eq!(
+        hypotheses.len(),
+        7,
+        "m1, m1′, m2, m3, m4(f1), m4(pair), m4′"
+    );
     let last_wealth = hypotheses
         .iter()
         .filter_map(|h| h.record().map(|r| r.wealth_after))
-        .last()
+        .next_back()
         .unwrap();
     assert!((eve.wealth() - last_wealth).abs() < 1e-12);
 
@@ -100,8 +114,12 @@ fn eve_walkthrough_end_to_end() {
 #[test]
 fn session_decisions_survive_deletion_and_more_exploration() {
     let table = CensusGenerator::new(77).generate(10_000);
-    let mut s = Session::new(table, 0.05, EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap())
-        .unwrap();
+    let mut s = Session::new(
+        table,
+        0.05,
+        EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap(),
+    )
+    .unwrap();
 
     let (id, rec) = s
         .add_visualization("education", Predicate::eq("salary_over_50k", true))
@@ -122,14 +140,21 @@ fn session_decisions_survive_deletion_and_more_exploration() {
     }
 
     // …the original decision is untouched (paper §3 requirement 2).
-    assert_eq!(s.hypothesis(id).unwrap().record().unwrap().decision, decision);
+    assert_eq!(
+        s.hypothesis(id).unwrap().record().unwrap().decision,
+        decision
+    );
 }
 
 #[test]
 fn session_flip_annotations_are_coherent() {
     let table = CensusGenerator::new(41).generate(10_000);
-    let mut s = Session::new(table, 0.05, EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap())
-        .unwrap();
+    let mut s = Session::new(
+        table,
+        0.05,
+        EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap(),
+    )
+    .unwrap();
     let (_, rec) = s
         .add_visualization("education", Predicate::eq("salary_over_50k", true))
         .unwrap()
@@ -138,10 +163,16 @@ fn session_flip_annotations_are_coherent() {
     let flip = rec.flip.expect("flip estimate computed");
     match rec.decision {
         Decision::Reject => {
-            assert_eq!(flip.direction, aware::stats::power::FlipDirection::ToAcceptance)
+            assert_eq!(
+                flip.direction,
+                aware::stats::power::FlipDirection::ToAcceptance
+            )
         }
         Decision::Accept => {
-            assert_eq!(flip.direction, aware::stats::power::FlipDirection::ToRejection)
+            assert_eq!(
+                flip.direction,
+                aware::stats::power::FlipDirection::ToRejection
+            )
         }
     }
     assert!(flip.factor >= 1.0);
