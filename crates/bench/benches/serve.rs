@@ -1,24 +1,38 @@
-//! End-to-end serving throughput: commands per second through the
-//! in-process `ServiceHandle` — the same dispatch, registry, and
-//! session path the TCP front end uses, minus socket I/O — at 1, 8,
-//! and 64 concurrent sessions.
+//! End-to-end serving throughput, three angles:
 //!
-//! Each measured iteration creates the sessions, drives an interleaved
-//! per-session command stream (filtered visualizations → hypothesis
-//! tests through α-investing), and closes them, so no state leaks
-//! between iterations. One client thread per session; sessions are
-//! pinned to service workers by id, so the parallelism under test is
-//! the service's, not the driver's.
+//! * `serve_throughput` — commands per second through the in-process
+//!   `ServiceHandle` at 1, 8, and 64 concurrent sessions (the same
+//!   dispatch, registry, and session path the TCP front end uses,
+//!   minus socket I/O). Each measured iteration creates the sessions,
+//!   drives an interleaved per-session command stream (filtered
+//!   visualizations → hypothesis tests through α-investing), and
+//!   closes them, so no state leaks between iterations. One client
+//!   thread per session; sessions are pinned to service workers by id,
+//!   so the parallelism under test is the service's, not the driver's.
+//! * `serve_batch_dispatch` — protocol v2's reason to exist: the same
+//!   64 single-session commands as 64 `call`s vs one `call_batch`, at
+//!   batch sizes 1/8/64/256. The per-command work is held light
+//!   (gauge renders) so what's measured is dispatch overhead — two
+//!   channel hops and a reply allocation per *unit*, not per command.
+//! * `serve_wire` — full TCP loopback at the same batch sizes in both
+//!   encodings (NDJSON lines vs AWR2 binary frames), so the codec and
+//!   syscall savings are visible end to end.
 
 use aware_data::census::{CensusGenerator, EDUCATION, RACE};
 use aware_data::predicate::CmpOp;
 use aware_data::table::Table;
 use aware_data::value::Value;
-use aware_serve::proto::{Command, FilterSpec, PolicySpec, SessionId, TranscriptFormat};
+use aware_serve::proto::{
+    BatchMode, Command, Encoding, FilterSpec, PolicySpec, SessionId, TranscriptFormat,
+};
 use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::tcp::{Client, TcpServer};
 use aware_serve::{Response, ServiceHandle};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
+
+/// The ISSUE-mandated sweep; matches `BATCH_SIZE_BUCKETS` edges.
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
 
 const COMMANDS_PER_SESSION: usize = 20;
 
@@ -113,12 +127,80 @@ fn serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One `call` per command vs one `call_batch` for all of them, same
+/// session, same light command mix. The batch path must win on cmd/s —
+/// that is the acceptance bar for the batched dispatcher.
+fn serve_batch_dispatch(c: &mut Criterion) {
+    let table = census();
+    let service = start_service(table);
+    let handle = service.handle();
+    let sid = create_session(&handle);
+    let mut group = c.benchmark_group("serve_batch_dispatch");
+    for &size in &BATCH_SIZES {
+        let cmds: Vec<Command> = (0..size).map(|_| Command::Gauge { session: sid }).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("call", size), &cmds, |b, cmds| {
+            b.iter(|| {
+                for cmd in cmds {
+                    assert!(handle.call(cmd.clone()).is_ok());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("call_batch", size), &cmds, |b, cmds| {
+            b.iter(|| {
+                let responses = handle.call_batch(cmds.clone());
+                assert!(responses.iter().all(Response::is_ok));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same sweep over a real socket, NDJSON lines vs binary frames —
+/// one pipelined envelope per iteration on the batch path.
+fn serve_wire(c: &mut Criterion) {
+    let table = census();
+    let service = start_service(table);
+    let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+    let mut group = c.benchmark_group("serve_wire");
+    for encoding in [Encoding::Json, Encoding::Binary] {
+        let mut client = Client::connect_with(server.local_addr(), encoding).unwrap();
+        let sid = match client.call(&create_command()).unwrap() {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+        for &size in &BATCH_SIZES {
+            let cmds: Vec<Command> = (0..size).map(|_| Command::Gauge { session: sid }).collect();
+            group.throughput(Throughput::Elements(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(encoding.as_str(), size),
+                &cmds,
+                |b, cmds| {
+                    b.iter(|| {
+                        let responses = client.call_batch(cmds, BatchMode::Continue).unwrap();
+                        assert!(responses.iter().all(Response::is_ok));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn create_command() -> Command {
+    Command::CreateSession {
+        dataset: "census".into(),
+        alpha: 0.05,
+        policy: PolicySpec::Fixed { gamma: 100.0 },
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(3))
         .sample_size(20);
-    targets = serve_throughput
+    targets = serve_throughput, serve_batch_dispatch, serve_wire
 }
 criterion_main!(benches);

@@ -3,11 +3,14 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--rows 20000]
 //!       [--max-sessions N] [--idle-timeout-secs S] [--seed K]
+//!       [--max-pending N]
 //! ```
 //!
 //! Registers a synthetic census dataset (the workspace's stand-in for
-//! UCI Adult) under the name `census` and speaks the NDJSON protocol
-//! documented in the repository README. Try it with netcat:
+//! UCI Adult) under the name `census` and speaks both protocol
+//! surfaces documented in the repository README — v1 NDJSON and v2
+//! envelopes (JSON or AWR2 binary frames), auto-detected per
+//! connection by first byte. Try v1 with netcat:
 //!
 //! ```text
 //! $ echo '{"id":1,"cmd":"create_session","dataset":"census","alpha":0.05,
@@ -26,6 +29,7 @@ struct Args {
     max_sessions: u64,
     idle_timeout: Duration,
     seed: u64,
+    max_pending: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         max_sessions: 65_536,
         idle_timeout: Duration::from_secs(15 * 60),
         seed: 2017,
+        max_pending: 4096,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,10 +79,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--max-pending" => {
+                args.max_pending = value("--max-pending")?
+                    .parse()
+                    .map_err(|e| format!("--max-pending: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--workers N] [--rows N] \
-                     [--max-sessions N] [--idle-timeout-secs S] [--seed K]"
+                     [--max-sessions N] [--idle-timeout-secs S] [--seed K] \
+                     [--max-pending N]"
                 );
                 std::process::exit(0);
             }
@@ -100,6 +111,7 @@ fn main() {
         max_sessions: args.max_sessions,
         idle_timeout: args.idle_timeout,
         sweep_interval: Some(Duration::from_secs(5)),
+        max_pending_per_session: args.max_pending,
         ..ServiceConfig::default()
     };
     if let Some(w) = args.workers {

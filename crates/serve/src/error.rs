@@ -23,8 +23,11 @@ pub enum ErrorCode {
     /// The session rejected the operation (unknown attribute, untestable
     /// override target, …).
     SessionError,
-    /// The server refused to create a session (capacity exhausted and
-    /// nothing evictable).
+    /// The command was skipped: an earlier command of the same session
+    /// stream failed inside a fail-fast batch.
+    Aborted,
+    /// The server refused the work: session capacity exhausted and
+    /// nothing evictable, or the session's pending-command cap is full.
     Overloaded,
     /// The service is shutting down.
     Shutdown,
@@ -40,6 +43,7 @@ impl ErrorCode {
             ErrorCode::UnknownSession => "unknown_session",
             ErrorCode::WealthExhausted => "wealth_exhausted",
             ErrorCode::SessionError => "session_error",
+            ErrorCode::Aborted => "aborted",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Shutdown => "shutdown",
         }
@@ -55,6 +59,7 @@ impl ErrorCode {
             "unknown_dataset" => ErrorCode::UnknownDataset,
             "unknown_session" => ErrorCode::UnknownSession,
             "wealth_exhausted" => ErrorCode::WealthExhausted,
+            "aborted" => ErrorCode::Aborted,
             "overloaded" => ErrorCode::Overloaded,
             "shutdown" => ErrorCode::Shutdown,
             _ => ErrorCode::SessionError,
@@ -124,6 +129,7 @@ mod tests {
             ErrorCode::UnknownSession,
             ErrorCode::WealthExhausted,
             ErrorCode::SessionError,
+            ErrorCode::Aborted,
             ErrorCode::Overloaded,
             ErrorCode::Shutdown,
         ] {

@@ -1,0 +1,223 @@
+//! Length-prefixed binary framing for protocol v2.
+//!
+//! Every binary wire message is one frame:
+//!
+//! ```text
+//! offset 0  magic   "AWR2"          (4 bytes)
+//! offset 4  version 0x02            (1 byte)
+//! offset 5  length  u32 big-endian  (payload bytes that follow)
+//! offset 9  payload                 (see `crate::wire` for the codec)
+//! ```
+//!
+//! The magic's first byte (`A`, 0x41) is what the TCP front end keys
+//! v1/v2 auto-detection on: no JSON request line can start with it
+//! (lines open with `{` or whitespace), so the first byte of a
+//! connection decides the surface.
+//!
+//! Framing errors are classified so the connection loop can react
+//! proportionately: an oversized frame is skippable (the length prefix
+//! says exactly how many bytes to discard, so the stream stays
+//! synchronized), while bad magic or a truncated header means framing
+//! is lost and the connection must close.
+
+use std::io::{BufRead, Read, Write};
+
+/// Frame magic; `MAGIC[0]` doubles as the v2 auto-detection byte.
+pub const MAGIC: [u8; 4] = *b"AWR2";
+
+/// Frame-format version carried in every header.
+pub const VERSION: u8 = 2;
+
+/// Bytes before the payload: magic + version + u32 length.
+pub const HEADER_LEN: usize = 9;
+
+/// Hard ceiling on a frame payload. Mirrors the NDJSON request-line cap
+/// in purpose (a client cannot make the server buffer unbounded input)
+/// but is higher because batches legitimately carry many commands.
+pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// How reading one frame ended.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// One complete payload.
+    Frame(Vec<u8>),
+    /// The header declared more than the cap; the payload has NOT been
+    /// consumed — call [`skip_payload`] to resynchronize.
+    TooLarge { declared: u32 },
+    /// Framing is lost (bad magic, unsupported version, or the stream
+    /// ended mid-frame); the connection cannot be trusted further.
+    Corrupt(String),
+}
+
+/// Reads one frame, enforcing `max` on the declared payload length.
+pub fn read_frame(reader: &mut impl BufRead, max: usize) -> std::io::Result<FrameRead> {
+    let mut header = [0u8; HEADER_LEN];
+    // EOF before the first header byte is a clean close; EOF anywhere
+    // later is a truncated frame.
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 {
+                FrameRead::Eof
+            } else {
+                FrameRead::Corrupt(format!(
+                    "stream ended after {filled} of {HEADER_LEN} header bytes"
+                ))
+            });
+        }
+        filled += n;
+    }
+    if header[..4] != MAGIC {
+        return Ok(FrameRead::Corrupt(format!(
+            "bad frame magic {:02x}{:02x}{:02x}{:02x} (expected \"AWR2\")",
+            header[0], header[1], header[2], header[3]
+        )));
+    }
+    if header[4] != VERSION {
+        return Ok(FrameRead::Corrupt(format!(
+            "unsupported frame version {} (expected {VERSION})",
+            header[4]
+        )));
+    }
+    let declared = u32::from_be_bytes([header[5], header[6], header[7], header[8]]);
+    if declared as usize > max {
+        return Ok(FrameRead::TooLarge { declared });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    if let Err(e) = reader.read_exact(&mut payload) {
+        return Ok(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameRead::Corrupt(format!("stream ended inside a {declared}-byte payload"))
+        } else {
+            return Err(e);
+        });
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Discards the payload of a [`FrameRead::TooLarge`] frame so the next
+/// header starts cleanly. Bounded memory (64 KiB scratch), unbounded
+/// patience — the same trade the NDJSON reader makes when it consumes
+/// an over-long line through its newline.
+pub fn skip_payload(reader: &mut impl Read, mut remaining: u64) -> std::io::Result<()> {
+    let mut scratch = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(scratch.len() as u64) as usize;
+        let n = reader.read(&mut scratch[..want])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream ended while skipping an oversized frame",
+            ));
+        }
+        remaining -= n as u64;
+    }
+    Ok(())
+}
+
+/// Writes one frame around `payload`.
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes — the in-process
+/// encoders cap batches far below that.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame payload fits u32");
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"x", &[0u8; 1000]] {
+            let mut cursor = Cursor::new(framed(payload));
+            match read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap() {
+                FrameRead::Frame(read) => assert_eq!(read, payload),
+                other => panic!("{other:?}"),
+            }
+            assert!(matches!(
+                read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap(),
+                FrameRead::Eof
+            ));
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_synchronized() {
+        let mut bytes = framed(b"first");
+        bytes.extend_from_slice(&framed(b"second"));
+        let mut cursor = Cursor::new(bytes);
+        for expected in [&b"first"[..], b"second"] {
+            match read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap() {
+                FrameRead::Frame(read) => assert_eq!(read, expected),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_corrupt() {
+        // Header cut short.
+        let mut cursor = Cursor::new(b"AWR2".to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap(),
+            FrameRead::Corrupt(_)
+        ));
+        // Payload cut short.
+        let mut bytes = framed(b"full payload");
+        bytes.truncate(bytes.len() - 3);
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap() {
+            FrameRead::Corrupt(msg) => assert!(msg.contains("payload"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_corrupt() {
+        let mut bytes = framed(b"x");
+        bytes[0] = b'B';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bytes), MAX_FRAME_BYTES).unwrap(),
+            FrameRead::Corrupt(_)
+        ));
+        let mut bytes = framed(b"x");
+        bytes[4] = 9; // version
+        match read_frame(&mut Cursor::new(bytes), MAX_FRAME_BYTES).unwrap() {
+            FrameRead::Corrupt(msg) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_reported_and_skippable() {
+        let payload = vec![7u8; 100];
+        let mut bytes = framed(&payload);
+        bytes.extend_from_slice(&framed(b"next"));
+        let mut cursor = Cursor::new(bytes);
+        let declared = match read_frame(&mut cursor, 10).unwrap() {
+            FrameRead::TooLarge { declared } => declared,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(declared, 100);
+        skip_payload(&mut cursor, declared as u64).unwrap();
+        // The stream resynchronized at the next frame.
+        match read_frame(&mut cursor, 10).unwrap() {
+            FrameRead::Frame(read) => assert_eq!(read, b"next"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

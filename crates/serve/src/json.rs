@@ -144,17 +144,27 @@ fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
 
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+    // Write unescaped spans in bulk; only the rare escape goes through
+    // the formatter one piece at a time.
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        let escape: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            c if (c as u32) < 0x20 => None, // \uXXXX, formatted below
+            _ => continue,
+        };
+        f.write_str(&s[start..i])?;
+        match escape {
+            Some(text) => f.write_str(text)?,
+            None => write!(f, "\\u{:04x}", c as u32)?,
         }
+        start = i + c.len_utf8();
     }
+    f.write_str(&s[start..])?;
     f.write_str("\"")
 }
 
@@ -352,13 +362,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // bytes are valid UTF-8 by construction).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-copy the span up to the next quote or escape.
+                    // The input is a &str (valid UTF-8 by construction)
+                    // and both delimiters are ASCII, so the span never
+                    // splits a multi-byte character — and the copy stays
+                    // O(span), not O(remaining input) per character,
+                    // which matters for transcript-sized strings.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let span = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(span);
                 }
             }
         }

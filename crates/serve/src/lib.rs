@@ -17,19 +17,26 @@
 //!
 //! Layout:
 //!
-//! * [`proto`] — the typed [`proto::Command`]/[`proto::Response`] API
-//!   and its line-delimited JSON wire codec (hand-rolled; the crate is
-//!   std-only by design).
-//! * [`service`] — the worker-pool dispatcher, session admission with
-//!   LRU eviction, idle-timeout sweeps, and the in-process
-//!   [`service::ServiceHandle`] used by tests and benches.
+//! * [`proto`] — the typed [`proto::Command`]/[`proto::Response`] API,
+//!   the protocol-v2 [`proto::Envelope`]/[`proto::Batch`] layer
+//!   (batched commands, hello negotiation), and the line-delimited
+//!   JSON codec (hand-rolled; the crate is std-only by design).
+//! * [`frame`] — the v2 binary framing: `AWR2` magic, version byte,
+//!   u32 length prefix.
+//! * [`wire`] — the compact tag-based binary codec the frames carry.
+//! * [`service`] — the worker-pool dispatcher
+//!   ([`service::ServiceHandle::call_batch`]: same-session commands as
+//!   one pinned unit, cross-session fan-out), per-session pending-
+//!   command caps, session admission with sampled-LRU eviction, and
+//!   idle-timeout sweeps.
 //! * [`registry`] — the sharded session registry
 //!   (`RwLock<HashMap<…>>` shards of `Mutex<Session>` entries).
-//! * [`tcp`] — the NDJSON-over-TCP front end and a reference client.
+//! * [`tcp`] — the TCP front end (both surfaces, auto-detected by
+//!   first byte) and a reference client with pipelined batches.
 //! * [`metrics`] — lock-free server counters behind the `stats`
-//!   command.
-//! * [`json`] — the minimal JSON value/parser/writer the protocol
-//!   rides on.
+//!   command, including per-encoding and batch-size telemetry.
+//! * [`json`] — the minimal JSON value/parser/writer the NDJSON
+//!   surface rides on.
 //!
 //! ## Example
 //!
@@ -59,13 +66,18 @@
 //! ```
 
 pub mod error;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod service;
 pub mod tcp;
+pub mod wire;
 
 pub use error::{ErrorCode, ServeError};
-pub use proto::{Command, PolicySpec, Response, SessionId};
+pub use proto::{
+    Batch, BatchItem, BatchMode, Command, Encoding, Envelope, PolicySpec, Reply, Response,
+    SessionId,
+};
 pub use service::{Service, ServiceConfig, ServiceHandle};

@@ -1,7 +1,7 @@
 //! Server-wide metrics: lock-free monotone counters plus a live-session
 //! gauge, snapshotted on demand by the `stats` command.
 
-use crate::proto::StatsSnapshot;
+use crate::proto::{Encoding, StatsSnapshot, BATCH_SIZE_BUCKETS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counter block shared by every worker and connection thread.
@@ -20,6 +20,21 @@ pub struct Metrics {
     discoveries: AtomicU64,
     rejected_by_budget: AtomicU64,
     errors: AtomicU64,
+    batches: AtomicU64,
+    batch_commands: AtomicU64,
+    overloaded: AtomicU64,
+    ndjson_requests: AtomicU64,
+    binary_frames: AtomicU64,
+    batch_size_hist: [AtomicU64; 5],
+}
+
+/// Histogram bucket index for a batch of `n` commands; edges are
+/// [`BATCH_SIZE_BUCKETS`].
+fn batch_bucket(n: usize) -> usize {
+    BATCH_SIZE_BUCKETS
+        .iter()
+        .position(|&edge| n as u64 <= edge)
+        .unwrap_or(BATCH_SIZE_BUCKETS.len())
 }
 
 impl Metrics {
@@ -58,8 +73,34 @@ impl Metrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One dispatch unit of `n` commands accepted by `call_batch` (a
+    /// plain `call` is a batch of one).
+    pub fn batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_commands.fetch_add(n as u64, Ordering::Relaxed);
+        self.batch_size_hist[batch_bucket(n)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Work refused by backpressure (session capacity or pending cap).
+    pub fn overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One wire message received on the given surface.
+    pub fn wire_request(&self, encoding: Encoding) {
+        match encoding {
+            Encoding::Json => &self.ndjson_requests,
+            Encoding::Binary => &self.binary_frames,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot with the given live-session gauge.
     pub fn snapshot(&self, sessions_live: u64) -> StatsSnapshot {
+        let mut batch_size_hist = [0u64; 5];
+        for (slot, counter) in batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
@@ -70,6 +111,12 @@ impl Metrics {
             discoveries: self.discoveries.load(Ordering::Relaxed),
             rejected_by_budget: self.rejected_by_budget.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_commands: self.batch_commands.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            ndjson_requests: self.ndjson_requests.load(Ordering::Relaxed),
+            binary_frames: self.binary_frames.load(Ordering::Relaxed),
+            batch_size_hist,
         }
     }
 }
@@ -90,6 +137,15 @@ mod tests {
         m.hypothesis_tested(false);
         m.rejected_by_budget();
         m.error();
+        m.batch(1);
+        m.batch(8);
+        m.batch(64);
+        m.batch(65);
+        m.batch(1000);
+        m.overloaded();
+        m.wire_request(Encoding::Json);
+        m.wire_request(Encoding::Binary);
+        m.wire_request(Encoding::Binary);
         let s = m.snapshot(1);
         assert_eq!(s.sessions_created, 2);
         assert_eq!(s.sessions_closed, 1);
@@ -100,6 +156,12 @@ mod tests {
         assert_eq!(s.discoveries, 1);
         assert_eq!(s.rejected_by_budget, 1);
         assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 5);
+        assert_eq!(s.batch_commands, 1 + 8 + 64 + 65 + 1000);
+        assert_eq!(s.batch_size_hist, [1, 1, 1, 1, 1]);
+        assert_eq!(s.overloaded, 1);
+        assert_eq!(s.ndjson_requests, 1);
+        assert_eq!(s.binary_frames, 2);
     }
 
     #[test]

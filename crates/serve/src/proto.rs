@@ -1,12 +1,25 @@
 //! The typed command/response protocol of the serving layer, and its
 //! line-delimited JSON (NDJSON) wire encoding.
 //!
+//! ## v1: one command per line
+//!
 //! One request per line, one response per line, in order. Every request
 //! object carries a `"cmd"` discriminator plus command-specific fields
 //! and an optional client-chosen `"id"` echoed verbatim on the response;
 //! responses carry `"ok"` plus either the payload or an `"error"`
 //! object. The full grammar with one example per command lives in the
 //! repository README.
+//!
+//! ## v2: versioned envelopes
+//!
+//! Protocol v2 wraps commands in an [`Envelope`]: a `hello` negotiation
+//! message, a [`Batch`] carrying N ordered commands (with per-item ids
+//! and a [`BatchMode`]), or a bare single command (every v1 request is
+//! a valid v2 envelope). Replies mirror the shape as [`Reply`]. The
+//! envelope layer is encoding-agnostic — the same types travel as JSON
+//! lines (this module) or as length-prefixed binary frames
+//! ([`crate::frame`] + [`crate::wire`]), negotiated per connection by
+//! the hello handshake and auto-detected by first byte.
 //!
 //! Filters travel as a small predicate AST (`FilterSpec`) mirroring
 //! `aware_data::predicate::Predicate`, and policies as a tagged
@@ -25,6 +38,330 @@ pub type SessionId = u64;
 
 /// A boxed investing policy usable across worker threads.
 pub type BoxedPolicy = Box<dyn InvestingPolicy + Send>;
+
+/// The protocol version spoken after a successful v2 handshake. Version
+/// 1 is the implicit NDJSON single-command surface and needs no hello.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Hard ceiling on items per batch envelope, enforced at decode time on
+/// both encodings — a client cannot make one wire message fan out into
+/// unbounded dispatch work.
+pub const MAX_BATCH_ITEMS: usize = 4096;
+
+/// Wire encoding of a connection, negotiated by the `hello` handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// Line-delimited JSON — the v1 surface and the debug default.
+    #[default]
+    Json,
+    /// `AWR2` length-prefixed frames with the compact tag codec.
+    Binary,
+}
+
+impl Encoding {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Encoding::Json => "json",
+            Encoding::Binary => "binary",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Encoding> {
+        match s {
+            "json" => Some(Encoding::Json),
+            "binary" => Some(Encoding::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// How a batch reacts to a failing item.
+///
+/// Fail-fast honours the same boundary as the ordering guarantee: it
+/// aborts the *same-session command stream* that failed (later items
+/// addressed to that stream answer [`ErrorCode::Aborted`]), while items
+/// for other sessions — which execute in parallel and share no
+/// statistical state — still run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Every item executes; errors are reported per item.
+    #[default]
+    Continue,
+    /// After an item errors, later same-session items are skipped.
+    FailFast,
+}
+
+impl BatchMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchMode::Continue => "continue",
+            BatchMode::FailFast => "fail_fast",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<BatchMode> {
+        match s {
+            "continue" => Some(BatchMode::Continue),
+            "fail_fast" => Some(BatchMode::FailFast),
+            _ => None,
+        }
+    }
+}
+
+/// One command inside a batch, with its client-chosen item id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    pub id: Option<u64>,
+    pub cmd: Command,
+}
+
+/// An ordered batch of commands sharing one wire round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    pub mode: BatchMode,
+    pub items: Vec<BatchItem>,
+}
+
+/// A v2 request envelope: everything a client can put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Version/encoding negotiation.
+    Hello {
+        id: Option<u64>,
+        version: u32,
+        encoding: Encoding,
+    },
+    /// N ordered commands, one round trip.
+    Batch { id: Option<u64>, batch: Batch },
+    /// A bare v1 command (every v1 request is a valid envelope).
+    Single { id: Option<u64>, cmd: Command },
+}
+
+/// A v2 reply envelope, mirroring [`Envelope`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Successful negotiation: the server's accepted version/encoding
+    /// and its frame-size ceiling for the binary surface.
+    HelloAck {
+        id: Option<u64>,
+        version: u32,
+        encoding: Encoding,
+        max_frame: u64,
+    },
+    /// Ordered responses, one per batch item, with item ids echoed.
+    Batch {
+        id: Option<u64>,
+        items: Vec<(Option<u64>, Response)>,
+    },
+    /// A bare v1 response.
+    Single { id: Option<u64>, response: Response },
+}
+
+impl Envelope {
+    /// Encodes as one JSON request line.
+    pub fn encode_line(&self) -> String {
+        match self {
+            Envelope::Hello {
+                id,
+                version,
+                encoding,
+            } => {
+                let mut pairs = Vec::new();
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Num(*id as f64)));
+                }
+                pairs.push(("cmd", Json::Str("hello".into())));
+                pairs.push(("version", Json::Num(*version as f64)));
+                pairs.push(("encoding", Json::Str(encoding.as_str().into())));
+                Json::obj(pairs).to_string()
+            }
+            Envelope::Batch { id, batch } => {
+                let mut pairs = Vec::new();
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Num(*id as f64)));
+                }
+                pairs.push(("mode", Json::Str(batch.mode.as_str().into())));
+                pairs.push((
+                    "batch",
+                    Json::Arr(
+                        batch
+                            .items
+                            .iter()
+                            .map(|item| {
+                                let mut json = item.cmd.to_json();
+                                if let (Some(id), Json::Obj(pairs)) = (item.id, &mut json) {
+                                    pairs.insert(0, ("id".to_string(), Json::Num(id as f64)));
+                                }
+                                json
+                            })
+                            .collect(),
+                    ),
+                ));
+                Json::obj(pairs).to_string()
+            }
+            Envelope::Single { id, cmd } => cmd.encode_line(*id),
+        }
+    }
+
+    /// Decodes a parsed request object into an envelope.
+    pub fn from_json(v: &Json) -> Result<Envelope, ServeError> {
+        let id = v.get("id").and_then(Json::as_u64);
+        if let Some(items) = v.get("batch") {
+            let items = items
+                .as_arr()
+                .ok_or_else(|| ServeError::invalid("'batch' must be an array of requests"))?;
+            if items.len() > MAX_BATCH_ITEMS {
+                return Err(ServeError::invalid(format!(
+                    "batch of {} items exceeds the {MAX_BATCH_ITEMS}-item ceiling",
+                    items.len()
+                )));
+            }
+            let mode = match v.get("mode") {
+                None => BatchMode::Continue,
+                Some(m) => m.as_str().and_then(BatchMode::parse).ok_or_else(|| {
+                    ServeError::invalid("'mode' must be \"continue\" or \"fail_fast\"")
+                })?,
+            };
+            let items = items
+                .iter()
+                .map(|item| {
+                    Ok(BatchItem {
+                        id: item.get("id").and_then(Json::as_u64),
+                        cmd: Command::from_json(item)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ServeError>>()?;
+            return Ok(Envelope::Batch {
+                id,
+                batch: Batch { mode, items },
+            });
+        }
+        if v.get("cmd").and_then(Json::as_str) == Some("hello") {
+            let version = v
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServeError::invalid("hello missing integer field 'version'"))?;
+            let encoding = match v.get("encoding") {
+                None => Encoding::Json,
+                Some(e) => e.as_str().and_then(Encoding::parse).ok_or_else(|| {
+                    ServeError::invalid("hello 'encoding' must be \"json\" or \"binary\"")
+                })?,
+            };
+            return Ok(Envelope::Hello {
+                id,
+                version: version.min(u32::MAX as u64) as u32,
+                encoding,
+            });
+        }
+        Ok(Envelope::Single {
+            id,
+            cmd: Command::from_json(v)?,
+        })
+    }
+
+    /// Parses one request line into an envelope.
+    pub fn decode_line(line: &str) -> Result<Envelope, ServeError> {
+        let v = Json::parse(line.trim()).map_err(|e| ServeError {
+            code: ErrorCode::BadRequest,
+            message: e.to_string(),
+        })?;
+        Envelope::from_json(&v)
+    }
+}
+
+impl Reply {
+    /// Encodes as one JSON response line.
+    pub fn encode_line(&self) -> String {
+        match self {
+            Reply::HelloAck {
+                id,
+                version,
+                encoding,
+                max_frame,
+            } => {
+                let mut pairs = Vec::new();
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Num(*id as f64)));
+                }
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push((
+                    "hello",
+                    Json::obj(vec![
+                        ("version", Json::Num(*version as f64)),
+                        ("encoding", Json::Str(encoding.as_str().into())),
+                        ("max_frame", Json::Num(*max_frame as f64)),
+                    ]),
+                ));
+                Json::obj(pairs).to_string()
+            }
+            Reply::Batch { id, items } => {
+                let mut pairs = Vec::new();
+                if let Some(id) = id {
+                    pairs.push(("id", Json::Num(*id as f64)));
+                }
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push((
+                    "responses",
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|(item_id, response)| {
+                                let mut json = response.to_json();
+                                if let (Some(id), Json::Obj(pairs)) = (item_id, &mut json) {
+                                    pairs.insert(0, ("id".to_string(), Json::Num(*id as f64)));
+                                }
+                                json
+                            })
+                            .collect(),
+                    ),
+                ));
+                Json::obj(pairs).to_string()
+            }
+            Reply::Single { id, response } => response.encode_line(*id),
+        }
+    }
+
+    /// Decodes a parsed response object into a reply envelope.
+    pub fn from_json(v: &Json) -> Result<Reply, ServeError> {
+        let id = v.get("id").and_then(Json::as_u64);
+        if let Some(hello) = v.get("hello") {
+            return Ok(Reply::HelloAck {
+                id,
+                version: req_u64(hello, "version", "hello")? as u32,
+                encoding: Encoding::parse(req_str(hello, "encoding", "hello")?)
+                    .ok_or_else(|| ServeError::invalid("unknown hello encoding"))?,
+                max_frame: req_u64(hello, "max_frame", "hello")?,
+            });
+        }
+        if let Some(items) = v.get("responses") {
+            let items = items
+                .as_arr()
+                .ok_or_else(|| ServeError::invalid("'responses' must be an array"))?
+                .iter()
+                .map(|item| {
+                    Ok((
+                        item.get("id").and_then(Json::as_u64),
+                        Response::from_json(item)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, ServeError>>()?;
+            return Ok(Reply::Batch { id, items });
+        }
+        Ok(Reply::Single {
+            id,
+            response: Response::from_json(v)?,
+        })
+    }
+
+    /// Parses one response line into a reply envelope.
+    pub fn decode_line(line: &str) -> Result<Reply, ServeError> {
+        let v = Json::parse(line.trim()).map_err(|e| ServeError {
+            code: ErrorCode::BadRequest,
+            message: e.to_string(),
+        })?;
+        Reply::from_json(&v)
+    }
+}
 
 /// Which transcript rendering the client wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -573,6 +910,11 @@ impl HypothesisReport {
     }
 }
 
+/// Upper edges of the batch-size histogram buckets reported in
+/// [`StatsSnapshot::batch_size_hist`]: sizes 1, 2–8, 9–64, 65–256, and
+/// everything larger. The edges match the serve bench's batch sizes.
+pub const BATCH_SIZE_BUCKETS: [u64; 4] = [1, 8, 64, 256];
+
 /// Server-wide counters, as returned by [`Command::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
@@ -585,6 +927,20 @@ pub struct StatsSnapshot {
     pub discoveries: u64,
     pub rejected_by_budget: u64,
     pub errors: u64,
+    /// Dispatch units accepted by `call_batch` (a single `call` counts
+    /// as a batch of one).
+    pub batches: u64,
+    /// Commands carried inside those batches.
+    pub batch_commands: u64,
+    /// Work refused by backpressure: session capacity or a session's
+    /// pending-command cap.
+    pub overloaded: u64,
+    /// Wire messages received on the NDJSON surface.
+    pub ndjson_requests: u64,
+    /// Wire frames received on the binary surface.
+    pub binary_frames: u64,
+    /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
+    pub batch_size_hist: [u64; 5],
 }
 
 impl StatsSnapshot {
@@ -605,11 +961,34 @@ impl StatsSnapshot {
                 Json::Num(self.rejected_by_budget as f64),
             ),
             ("errors", Json::Num(self.errors as f64)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("batch_commands", Json::Num(self.batch_commands as f64)),
+            ("overloaded", Json::Num(self.overloaded as f64)),
+            ("ndjson_requests", Json::Num(self.ndjson_requests as f64)),
+            ("binary_frames", Json::Num(self.binary_frames as f64)),
+            (
+                "batch_size_hist",
+                Json::Arr(
+                    self.batch_size_hist
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     fn from_json(v: &Json) -> Result<StatsSnapshot, ServeError> {
         let field = |name: &str| req_u64(v, name, "stats");
+        // The v2 counters decode leniently (missing -> 0) so a snapshot
+        // from an older server still parses.
+        let lenient = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let mut batch_size_hist = [0u64; 5];
+        if let Some(buckets) = v.get("batch_size_hist").and_then(Json::as_arr) {
+            for (slot, bucket) in batch_size_hist.iter_mut().zip(buckets) {
+                *slot = bucket.as_u64().unwrap_or(0);
+            }
+        }
         Ok(StatsSnapshot {
             sessions_created: field("sessions_created")?,
             sessions_closed: field("sessions_closed")?,
@@ -620,6 +999,12 @@ impl StatsSnapshot {
             discoveries: field("discoveries")?,
             rejected_by_budget: field("rejected_by_budget")?,
             errors: field("errors")?,
+            batches: lenient("batches"),
+            batch_commands: lenient("batch_commands"),
+            overloaded: lenient("overloaded"),
+            ndjson_requests: lenient("ndjson_requests"),
+            binary_frames: lenient("binary_frames"),
+            batch_size_hist,
         })
     }
 }
@@ -755,6 +1140,12 @@ impl Response {
             message: e.to_string(),
         })?;
         let id = v.get("id").and_then(Json::as_u64);
+        Ok((Response::from_json(&v)?, id))
+    }
+
+    /// Decodes a parsed response object (the per-item payload of a batch
+    /// reply, or one v1 response line minus its id).
+    pub fn from_json(v: &Json) -> Result<Response, ServeError> {
         let ok = v
             .get("ok")
             .and_then(Json::as_bool)
@@ -763,15 +1154,12 @@ impl Response {
             let err = v
                 .get("error")
                 .ok_or_else(|| ServeError::invalid("missing 'error'"))?;
-            return Ok((
-                Response::Error(ServeError {
-                    code: ErrorCode::parse(req_str(err, "code", "error")?),
-                    message: req_str(err, "message", "error")?.to_string(),
-                }),
-                id,
-            ));
+            return Ok(Response::Error(ServeError {
+                code: ErrorCode::parse(req_str(err, "code", "error")?),
+                message: req_str(err, "message", "error")?.to_string(),
+            }));
         }
-        let session = || req_u64(&v, "session", "response");
+        let session = || req_u64(v, "session", "response");
         let response = if let Some(stats) = v.get("stats") {
             Response::Stats(StatsSnapshot::from_json(stats)?)
         } else if let Some(gauge) = v.get("gauge") {
@@ -794,7 +1182,7 @@ impl Response {
                 viz: viz
                     .as_u64()
                     .ok_or_else(|| ServeError::invalid("bad 'viz'"))?,
-                wealth: req_num(&v, "wealth", "response")?,
+                wealth: req_num(v, "wealth", "response")?,
                 hypothesis: match v.get("hypothesis") {
                     None | Some(Json::Null) => None,
                     Some(h) => Some(HypothesisReport {
@@ -819,13 +1207,13 @@ impl Response {
                 hypotheses: h
                     .as_u64()
                     .ok_or_else(|| ServeError::invalid("bad 'hypotheses'"))?,
-                discoveries: req_u64(&v, "discoveries", "response")?,
+                discoveries: req_u64(v, "discoveries", "response")?,
             }
         } else if v.get("wealth").is_some() && v.get("policy").is_some() {
             Response::SessionCreated {
                 session: session()?,
-                wealth: req_num(&v, "wealth", "response")?,
-                policy: req_str(&v, "policy", "response")?.to_string(),
+                wealth: req_num(v, "wealth", "response")?,
+                policy: req_str(v, "policy", "response")?.to_string(),
             }
         } else if let Some(policy) = v.get("policy") {
             Response::PolicySet {
@@ -835,7 +1223,7 @@ impl Response {
         } else {
             return Err(ServeError::invalid("unrecognized response shape"));
         };
-        Ok((response, id))
+        Ok(response)
     }
 }
 

@@ -15,6 +15,15 @@
 //! sequence — milliseconds are too coarse there, since under load many
 //! touches share one millisecond and a "touched after the scan" re-check
 //! on ms stamps could still evict an actively-used session.
+//!
+//! Admission eviction is *sampled* past [`LRU_EXACT_THRESHOLD`] live
+//! sessions (Redis-style: draw a uniformly random shard, evict its
+//! oldest entry), so a full registry pays O(live/shards) under one
+//! lock per create instead of an O(live) all-shard scan; the exact
+//! scan survives for small registries and as the fallback when drawn
+//! shards are empty. Safety never depends on the choice being exact —
+//! any candidate is re-checked for freshness under the shard write
+//! lock before removal.
 
 use crate::proto::{BoxedPolicy, SessionId};
 use aware_core::session::Session;
@@ -51,12 +60,19 @@ impl SessionEntry {
     }
 }
 
+/// Live-session count at or below which [`Registry::lru_candidate`]
+/// scans exactly instead of sampling — an exact scan over a few dozen
+/// entries is cheaper than worrying about sample coverage.
+pub const LRU_EXACT_THRESHOLD: u64 = 64;
+
 /// Sharded id → session map.
 pub struct Registry {
     shards: Vec<RwLock<HashMap<SessionId, Arc<SessionEntry>>>>,
     epoch: Instant,
     seq: AtomicU64,
     live: AtomicU64,
+    /// xorshift64 state for sampled eviction.
+    rng: AtomicU64,
 }
 
 impl Registry {
@@ -68,6 +84,7 @@ impl Registry {
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
             live: AtomicU64::new(0),
+            rng: AtomicU64::new(0x9E3779B97F4A7C15),
         }
     }
 
@@ -158,13 +175,33 @@ impl Registry {
         ids
     }
 
-    /// The least-recently-used session, if any, with the touch sequence
-    /// observed during the scan — the LRU eviction candidate when the
-    /// registry is full. The sequence is globally monotone, so "touched
-    /// after the scan" is exact (ties on ms timestamps cannot hide a
-    /// touch). Pass the observed sequence to
-    /// [`Self::remove_if_unused_since`].
+    /// An eviction candidate with the touch sequence observed during
+    /// the scan — used when the registry is full. The sequence is
+    /// globally monotone, so "touched after the scan" is exact (ties on
+    /// ms timestamps cannot hide a touch). Pass the observed sequence
+    /// to [`Self::remove_if_unused_since`].
+    ///
+    /// Small registries (≤ [`LRU_EXACT_THRESHOLD`] live sessions) get
+    /// the exact least-recently-used session. Beyond that the cost of
+    /// an exact scan — O(live) across every shard lock, paid on
+    /// *every* create once the registry sits at capacity — buys
+    /// nothing a Redis-style sample does not: one random shard is
+    /// scanned and its oldest entry is the candidate, an O(live/shards)
+    /// single-lock approximation whose victims sit in the oldest tail
+    /// of the recency distribution with overwhelming probability.
+    /// Either way the caller re-checks recency under the shard write
+    /// lock before removal, so an actively-used session never falls to
+    /// eviction.
     pub fn lru_candidate(&self) -> Option<(SessionId, u64)> {
+        if self.len() <= LRU_EXACT_THRESHOLD {
+            self.lru_candidate_exact()
+        } else {
+            self.lru_candidate_sampled()
+        }
+    }
+
+    /// Exact full scan over every shard.
+    fn lru_candidate_exact(&self) -> Option<(SessionId, u64)> {
         let mut best: Option<(u64, SessionId)> = None;
         for shard in &self.shards {
             for entry in shard.read().unwrap().values() {
@@ -175,6 +212,48 @@ impl Registry {
             }
         }
         best.map(|(seq, id)| (id, seq))
+    }
+
+    /// Sampled scan: draw one random shard and evict-candidate its
+    /// oldest entry — the sample is the shard's whole population, so
+    /// the candidate is the true LRU of a uniformly random 1/shards
+    /// slice of the registry. One pass, one read lock, O(live/shards):
+    /// `HashMap` offers no O(1) random access, so any K-point sample
+    /// would pay the same iterator walk for a strictly worse candidate.
+    /// Uniformity across shards is load-bearing, not cosmetic: a fixed
+    /// probe window could wedge admission if exactly those entries were
+    /// hot, whereas here a failed re-check just re-draws a shard. Falls
+    /// back to the exact scan if the drawn shards are empty — possible
+    /// only under heavy concurrent removal. (True O(1) sampling needs
+    /// an auxiliary dense index; see the ROADMAP backpressure notes.)
+    fn lru_candidate_sampled(&self) -> Option<(SessionId, u64)> {
+        for _ in 0..4 {
+            let r = self.next_rand();
+            let shard = &self.shards[(r as usize >> 8) % self.shards.len()];
+            let shard = shard.read().unwrap();
+            let mut best: Option<(u64, SessionId)> = None;
+            for entry in shard.values() {
+                let key = (entry.touch_seq(), entry.id);
+                if best.is_none() || key < best.unwrap() {
+                    best = Some(key);
+                }
+            }
+            if let Some((seq, id)) = best {
+                return Some((id, seq));
+            }
+        }
+        self.lru_candidate_exact()
+    }
+
+    /// Next value of the sampling generator (xorshift64; racy updates
+    /// under contention merely repeat a draw, which is harmless).
+    fn next_rand(&self) -> u64 {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x
     }
 
     /// Removes `id` only if its touch sequence has not advanced past
@@ -277,6 +356,41 @@ mod tests {
         assert!(reg.remove_if_idle(0, 15));
         assert!(!reg.remove_if_idle(2, 15), "still fresh");
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn sampled_eviction_avoids_the_hot_tail_and_respects_the_recheck() {
+        let table = Arc::new(CensusGenerator::new(6).generate(100));
+        let reg = Registry::new(8);
+        let total: u64 = 4 * LRU_EXACT_THRESHOLD; // well into the sampled regime
+        for id in 0..total {
+            reg.insert(id, session(&table));
+        }
+        // Touch everything once in id order so recency is fully known;
+        // the most recent 8 are the ids at the end.
+        for id in 0..total {
+            reg.get(id).unwrap();
+        }
+        let hottest: Vec<SessionId> = (total - 8..total).collect();
+        // The candidate is the oldest entry of a random shard; landing
+        // in the hottest 8 of 256 would require a whole shard (~32
+        // entries) to fit inside those 8 — impossible by pigeonhole.
+        let (victim, seq) = reg.lru_candidate().unwrap();
+        assert!(
+            !hottest.contains(&victim),
+            "sampled eviction picked one of the most recently used sessions"
+        );
+        // Touched-after-scan still survives, exactly as on the exact path.
+        reg.get(victim).unwrap();
+        assert!(!reg.remove_if_unused_since(victim, seq));
+        // Under churn the sampled candidates keep the registry draining:
+        // every fresh scan must yield an evictable session.
+        while reg.len() > LRU_EXACT_THRESHOLD {
+            let before = reg.len();
+            let (victim, seq) = reg.lru_candidate().unwrap();
+            assert!(reg.remove_if_unused_since(victim, seq));
+            assert_eq!(reg.len(), before - 1);
+        }
     }
 
     #[test]

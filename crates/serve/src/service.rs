@@ -30,14 +30,16 @@
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::Metrics;
-use crate::proto::{Command, HypothesisReport, PolicySpec, Response, SessionId, TranscriptFormat};
+use crate::proto::{
+    BatchMode, Command, HypothesisReport, PolicySpec, Response, SessionId, TranscriptFormat,
+};
 use crate::registry::Registry;
 use aware_core::session::Session;
 use aware_core::{gauge, transcript};
 use aware_data::table::Table;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, RwLock, Weak};
+use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -57,6 +59,15 @@ pub struct ServiceConfig {
     /// Interval of the background eviction sweeper; `None` (the default)
     /// means sweeps only happen when [`Service::sweep_idle`] is called.
     pub sweep_interval: Option<Duration>,
+    /// Backpressure: commands a single session may have queued (submitted
+    /// but not yet executed) before further submissions are refused with
+    /// [`ErrorCode::Overloaded`]. A whole batch unit counts at once, so a
+    /// same-session batch larger than this cap is always refused — which
+    /// is why the default equals [`crate::proto::MAX_BATCH_ITEMS`]: any
+    /// protocol-legal batch fits on an idle server. Operators lowering it
+    /// constrain the usable same-session batch size too. One chatty
+    /// client saturates its own session, never a worker.
+    pub max_pending_per_session: usize,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +80,56 @@ impl Default for ServiceConfig {
             max_sessions: 65_536,
             idle_timeout: Duration::from_secs(15 * 60),
             sweep_interval: None,
+            max_pending_per_session: crate::proto::MAX_BATCH_ITEMS,
+        }
+    }
+}
+
+/// Pending-command accounting per session stream, sharded like the
+/// registry. Counts are held only while commands sit on worker queues;
+/// an entry disappears as soon as its stream drains to zero, so the map
+/// stays proportional to *actively loaded* sessions, not live ones.
+struct PendingTable {
+    shards: Vec<Mutex<HashMap<u64, usize>>>,
+}
+
+impl PendingTable {
+    fn new(shards: usize) -> PendingTable {
+        PendingTable {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, usize>> {
+        let h = key.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Reserves `n` pending slots for `key`, refusing (without partial
+    /// effect) if that would exceed `cap`.
+    fn try_acquire(&self, key: u64, n: usize, cap: usize) -> bool {
+        let mut shard = self.shard(key).lock().unwrap();
+        let count = shard.entry(key).or_insert(0);
+        if *count + n > cap {
+            if *count == 0 {
+                shard.remove(&key);
+            }
+            return false;
+        }
+        *count += n;
+        true
+    }
+
+    /// Releases `n` slots for `key` (after execution or a failed send).
+    fn release(&self, key: u64, n: usize) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if let Some(count) = shard.get_mut(&key) {
+            *count = count.saturating_sub(n);
+            if *count == 0 {
+                shard.remove(&key);
+            }
         }
     }
 }
@@ -79,14 +140,28 @@ struct Inner {
     metrics: Metrics,
     datasets: RwLock<HashMap<String, Arc<Table>>>,
     next_session: AtomicU64,
+    pending: PendingTable,
     config: ServiceConfig,
 }
 
+/// One command of a dispatch unit, tagged with its position in the
+/// submitting batch so responses reassemble in order.
+struct UnitItem {
+    index: usize,
+    cmd: Command,
+    /// Pre-allocated session id for `create_session` items.
+    assigned: Option<SessionId>,
+}
+
 enum Job {
-    Run {
-        cmd: Command,
-        assigned: Option<SessionId>,
-        reply: mpsc::Sender<Response>,
+    /// A batch's same-session run: executed back-to-back on the pinned
+    /// worker, never interleaved with other queue entries.
+    Unit {
+        items: Vec<UnitItem>,
+        mode: BatchMode,
+        /// The pending-table key to release, one slot per item executed.
+        pending_key: u64,
+        reply: mpsc::Sender<(usize, Response)>,
     },
     Shutdown,
 }
@@ -99,51 +174,191 @@ pub struct ServiceHandle {
     senders: Arc<Vec<mpsc::Sender<Job>>>,
 }
 
+fn shutdown_error() -> Response {
+    Response::Error(ServeError {
+        code: ErrorCode::Shutdown,
+        message: "service is shut down".into(),
+    })
+}
+
 impl ServiceHandle {
-    /// Executes one command to completion and returns its response.
+    /// Executes one command to completion and returns its response —
+    /// semantically a one-element [`ServiceHandle::call_batch`]
+    /// (identical metrics, routing, and backpressure), but on a fast
+    /// path that skips the batch partitioning structures: no slot
+    /// vector, no route map — the dominant v1 traffic shape should not
+    /// pay for machinery a single command cannot use.
     ///
     /// Blocks until the session's worker has processed every earlier
     /// command addressed to that session (FIFO per session).
     pub fn call(&self, cmd: Command) -> Response {
+        self.inner.metrics.batch(1);
         self.inner.metrics.command();
-        // Stats is session-free and read-only: answer inline rather than
-        // serializing it behind some arbitrary worker's queue.
         if matches!(cmd, Command::Stats) {
             return Response::Stats(self.inner.metrics.snapshot(self.inner.registry.len()));
         }
         let (assigned, route) = match cmd.session() {
             Some(sid) => (None, sid),
             None => {
-                // CreateSession: allocate the id up front so the command
-                // routes to — and the session stays pinned on — its worker.
                 let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
                 (Some(id), id)
             }
         };
+        let cap = self.inner.config.max_pending_per_session;
+        if !self.inner.pending.try_acquire(route, 1, cap) {
+            self.inner.metrics.overloaded();
+            self.inner.metrics.error();
+            return Response::Error(ServeError {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "session stream {route} has reached its pending-command cap ({cap})"
+                ),
+            });
+        }
         let worker = (route % self.senders.len() as u64) as usize;
         let (reply_tx, reply_rx) = mpsc::channel();
-        let job = Job::Run {
-            cmd,
-            assigned,
+        let job = Job::Unit {
+            items: vec![UnitItem {
+                index: 0,
+                cmd,
+                assigned,
+            }],
+            mode: BatchMode::Continue,
+            pending_key: route,
             reply: reply_tx,
         };
         if self.senders[worker].send(job).is_err() {
+            self.inner.pending.release(route, 1);
             self.inner.metrics.error();
-            return Response::Error(ServeError {
-                code: ErrorCode::Shutdown,
-                message: "service is shut down".into(),
-            });
+            return shutdown_error();
         }
         match reply_rx.recv() {
-            Ok(response) => response,
+            Ok((_, response)) => response,
             Err(_) => {
                 self.inner.metrics.error();
-                Response::Error(ServeError {
-                    code: ErrorCode::Shutdown,
-                    message: "service is shut down".into(),
-                })
+                shutdown_error()
             }
         }
+    }
+
+    /// Executes an ordered batch of commands and returns their
+    /// responses in submission order, errors reported per item.
+    ///
+    /// Same-session commands execute as one pinned unit on the
+    /// session's worker — back-to-back, in batch order, never
+    /// interleaved with commands from other clients — so the
+    /// α-investing decision sequence a batch observes is exactly the
+    /// sequence a v1 client would have produced with N round trips.
+    /// Commands for distinct sessions fan out to their workers in
+    /// parallel; the call blocks until every response is back.
+    pub fn call_batch(&self, cmds: Vec<Command>) -> Vec<Response> {
+        self.call_batch_mode(cmds, BatchMode::Continue)
+    }
+
+    /// [`ServiceHandle::call_batch`] with an explicit failure mode. In
+    /// [`BatchMode::FailFast`], an item error aborts the *rest of its
+    /// same-session unit* (those items answer `aborted`); items for
+    /// other sessions are untouched — sessions share no statistical
+    /// state, so there is nothing coherent to abort across them.
+    pub fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+        let n = cmds.len();
+        self.inner.metrics.batch(n);
+        let mut slots: Vec<Option<Response>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        // Partition into per-route units, preserving batch order within
+        // each route. `order` keeps unit submission deterministic.
+        let mut order: Vec<u64> = Vec::new();
+        let mut units: HashMap<u64, Vec<UnitItem>> = HashMap::new();
+        for (index, cmd) in cmds.into_iter().enumerate() {
+            self.inner.metrics.command();
+            // Stats is session-free and read-only: answer inline rather
+            // than serializing it behind some arbitrary worker's queue.
+            if matches!(cmd, Command::Stats) {
+                slots[index] = Some(Response::Stats(
+                    self.inner.metrics.snapshot(self.inner.registry.len()),
+                ));
+                continue;
+            }
+            let (assigned, route) = match cmd.session() {
+                Some(sid) => (None, sid),
+                None => {
+                    // CreateSession: allocate the id up front so the
+                    // command routes to — and the session stays pinned
+                    // on — its worker.
+                    let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+                    (Some(id), id)
+                }
+            };
+            units
+                .entry(route)
+                .or_insert_with(|| {
+                    order.push(route);
+                    Vec::new()
+                })
+                .push(UnitItem {
+                    index,
+                    cmd,
+                    assigned,
+                });
+        }
+
+        // Submit every unit, then collect responses as workers finish —
+        // cross-session units run in parallel.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let cap = self.inner.config.max_pending_per_session;
+        let mut outstanding = 0usize;
+        for route in order {
+            let items = units.remove(&route).expect("unit recorded in order");
+            let count = items.len();
+            if !self.inner.pending.try_acquire(route, count, cap) {
+                self.inner.metrics.overloaded();
+                for item in items {
+                    self.inner.metrics.error();
+                    slots[item.index] = Some(Response::Error(ServeError {
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "session stream {route} has reached its pending-command cap ({cap})"
+                        ),
+                    }));
+                }
+                continue;
+            }
+            let worker = (route % self.senders.len() as u64) as usize;
+            let job = Job::Unit {
+                items,
+                mode,
+                pending_key: route,
+                reply: reply_tx.clone(),
+            };
+            if let Err(mpsc::SendError(job)) = self.senders[worker].send(job) {
+                self.inner.pending.release(route, count);
+                if let Job::Unit { items, .. } = job {
+                    for item in items {
+                        self.inner.metrics.error();
+                        slots[item.index] = Some(shutdown_error());
+                    }
+                }
+                continue;
+            }
+            outstanding += count;
+        }
+        drop(reply_tx);
+        for _ in 0..outstanding {
+            match reply_rx.recv() {
+                Ok((index, response)) => slots[index] = Some(response),
+                Err(_) => break, // workers died mid-batch; fill below
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    self.inner.metrics.error();
+                    shutdown_error()
+                })
+            })
+            .collect()
     }
 
     /// Registers (or replaces) a dataset under `name`.
@@ -192,6 +407,12 @@ impl ServiceHandle {
         self.inner.metrics.command();
         self.inner.metrics.error();
     }
+
+    /// Counts one wire message on the given surface (called by the TCP
+    /// front end; the in-process handle has no wire).
+    pub fn record_wire_request(&self, encoding: crate::proto::Encoding) {
+        self.inner.metrics.wire_request(encoding);
+    }
 }
 
 /// The running service: worker threads plus the shared state. Dropping
@@ -211,6 +432,7 @@ impl Service {
             metrics: Metrics::new(),
             datasets: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(0),
+            pending: PendingTable::new(config.shards),
             config,
         });
 
@@ -314,33 +536,61 @@ fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Shutdown => return,
-            Job::Run {
-                cmd,
-                assigned,
+            Job::Unit {
+                items,
+                mode,
+                pending_key,
                 reply,
             } => {
-                // Panic isolation: a handler panic (poisoned session
-                // mutex, engine bug) must cost one error response — at
-                // worst one bricked session — never this worker and the
-                // 1/W of all sessions pinned to it.
-                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute(&inner, cmd, assigned)
-                }))
-                .unwrap_or_else(|panic| {
-                    let what = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".into());
-                    Response::Error(ServeError {
-                        code: ErrorCode::SessionError,
-                        message: format!("internal error executing command: {what}"),
-                    })
-                });
-                if matches!(response, Response::Error(_)) {
-                    inner.metrics.error();
+                // The unit runs back-to-back: nothing else dequeues on
+                // this worker until the whole same-session run is done,
+                // which is what makes a batched stream's decision order
+                // identical to N sequential round trips.
+                let mut aborted = false;
+                for item in items {
+                    let UnitItem {
+                        index,
+                        cmd,
+                        assigned,
+                    } = item;
+                    let response = if aborted {
+                        Response::Error(ServeError {
+                            code: ErrorCode::Aborted,
+                            message: "skipped: an earlier command of this session stream \
+                                      failed in a fail_fast batch"
+                                .into(),
+                        })
+                    } else {
+                        // Panic isolation: a handler panic (poisoned
+                        // session mutex, engine bug) must cost one error
+                        // response — at worst one bricked session —
+                        // never this worker and the 1/W of all sessions
+                        // pinned to it. The command moves into the
+                        // closure — no per-command clone on the hot path.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            execute(&inner, cmd, assigned)
+                        }))
+                        .unwrap_or_else(|panic| {
+                            let what = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic".into());
+                            Response::Error(ServeError {
+                                code: ErrorCode::SessionError,
+                                message: format!("internal error executing command: {what}"),
+                            })
+                        })
+                    };
+                    inner.pending.release(pending_key, 1);
+                    if matches!(response, Response::Error(_)) {
+                        inner.metrics.error();
+                        if mode == BatchMode::FailFast {
+                            aborted = true;
+                        }
+                    }
+                    let _ = reply.send((index, response));
                 }
-                let _ = reply.send(response);
             }
         }
     }
@@ -426,6 +676,7 @@ fn create_session(
         if evicted {
             inner.metrics.session_evicted();
         } else if attempts >= 16 {
+            inner.metrics.overloaded();
             return Response::Error(ServeError {
                 code: ErrorCode::Overloaded,
                 message: "session capacity exhausted and nothing evictable".into(),
@@ -658,6 +909,148 @@ mod tests {
                 assert!(s.commands >= 8);
                 assert_eq!(s.errors, 1, "the double-close");
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batches_mix_sessions_and_preserve_submission_order() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        // Two creates in one batch: both pre-assigned, distinct ids.
+        let make = Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: fixed_policy(),
+        };
+        let created = h.call_batch(vec![make.clone(), make]);
+        let sids: Vec<SessionId> = created
+            .iter()
+            .map(|r| match r {
+                Response::SessionCreated { session, .. } => *session,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_ne!(sids[0], sids[1]);
+
+        // A mixed batch: per-session streams interleaved, plus an
+        // inline stats item in the middle.
+        let batch = vec![
+            Command::AddVisualization {
+                session: sids[0],
+                attribute: "education".into(),
+                filter: salary_filter(),
+            },
+            Command::Gauge { session: sids[1] },
+            Command::Stats,
+            Command::Gauge { session: sids[0] },
+            Command::AddVisualization {
+                session: sids[1],
+                attribute: "race".into(),
+                filter: FilterSpec::True,
+            },
+        ];
+        let responses = h.call_batch(batch);
+        assert_eq!(responses.len(), 5);
+        // Responses come back in submission order, each for the session
+        // that its command addressed.
+        match &responses[0] {
+            Response::VizAdded { session, .. } => assert_eq!(*session, sids[0]),
+            other => panic!("{other:?}"),
+        }
+        match &responses[1] {
+            Response::GaugeText { session, .. } => assert_eq!(*session, sids[1]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&responses[2], Response::Stats(_)));
+        match &responses[3] {
+            Response::GaugeText { session, .. } => assert_eq!(*session, sids[0]),
+            other => panic!("{other:?}"),
+        }
+        match &responses[4] {
+            Response::VizAdded { session, .. } => assert_eq!(*session, sids[1]),
+            other => panic!("{other:?}"),
+        }
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert!(s.batches >= 2);
+                assert!(s.batch_commands >= 7);
+                assert!(s.batch_size_hist[1] >= 2, "{:?}", s.batch_size_hist);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_fast_aborts_only_the_failing_session_stream() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let healthy = create(&h);
+        let failing = create(&h);
+        let responses = h.call_batch_mode(
+            vec![
+                Command::Gauge { session: failing },
+                Command::AddVisualization {
+                    session: failing,
+                    attribute: "no_such_column".into(),
+                    filter: FilterSpec::True,
+                },
+                Command::Gauge { session: failing },
+                Command::Gauge { session: healthy },
+            ],
+            BatchMode::FailFast,
+        );
+        assert!(responses[0].is_ok(), "{:?}", responses[0]);
+        match &responses[1] {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::SessionError),
+            other => panic!("{other:?}"),
+        }
+        // The rest of the failing stream is skipped…
+        match &responses[2] {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Aborted),
+            other => panic!("{other:?}"),
+        }
+        // …but the healthy session's stream is untouched.
+        assert!(responses[3].is_ok(), "{:?}", responses[3]);
+        // The aborted session itself survives (nothing was applied).
+        assert!(h.call(Command::Gauge { session: failing }).is_ok());
+        // Same shape in continue mode: the post-error gauge executes.
+        let responses = h.call_batch(vec![
+            Command::AddVisualization {
+                session: failing,
+                attribute: "no_such_column".into(),
+                filter: FilterSpec::True,
+            },
+            Command::Gauge { session: failing },
+        ]);
+        assert!(matches!(&responses[0], Response::Error(_)));
+        assert!(responses[1].is_ok(), "{:?}", responses[1]);
+    }
+
+    #[test]
+    fn pending_cap_refuses_oversized_session_streams() {
+        let service = test_service(ServiceConfig {
+            max_pending_per_session: 4,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let sid = create(&h);
+        // A same-session unit larger than the cap is refused whole…
+        let responses = h.call_batch(vec![Command::Gauge { session: sid }; 5]);
+        for r in &responses {
+            match r {
+                Response::Error(e) => assert_eq!(e.code, ErrorCode::Overloaded),
+                other => panic!("{other:?}"),
+            }
+        }
+        // …while one at the cap sails through, and the cap releases as
+        // commands execute (the stream is reusable afterwards).
+        for _ in 0..3 {
+            let responses = h.call_batch(vec![Command::Gauge { session: sid }; 4]);
+            assert!(responses.iter().all(Response::is_ok));
+        }
+        match h.call(Command::Stats) {
+            Response::Stats(s) => assert!(s.overloaded >= 1),
             other => panic!("{other:?}"),
         }
     }

@@ -1,14 +1,28 @@
-//! TCP front end: the NDJSON protocol over a socket.
+//! TCP front end: both protocol surfaces over a socket.
 //!
 //! One thread per connection (the worker pool behind the
 //! [`ServiceHandle`] is what bounds statistical work, so connection
-//! threads are thin readers/writers). Each request line is answered
-//! with exactly one response line carrying the request's `id`, in
-//! request order per connection.
+//! threads are thin readers/writers). The surface is auto-detected by
+//! the connection's first byte:
+//!
+//! * `{` (or whitespace) — the NDJSON surface: v1 single commands and
+//!   v2 JSON envelopes (`hello`, batches), one line per message,
+//!   answered in order.
+//! * `A` (the first byte of the `AWR2` frame magic) — the binary
+//!   surface: length-prefixed frames carrying the compact tag codec.
+//!   The first frame must be a `hello` naming the protocol version.
+//!
+//! A JSON `hello` requesting `"encoding":"binary"` upgrades the
+//! connection in place: the ack is the last JSON line, everything after
+//! it is frames — both directions.
 
 use crate::error::{ErrorCode, ServeError};
-use crate::proto::{Command, Response};
+use crate::frame::{self, FrameRead, MAX_FRAME_BYTES};
+use crate::proto::{
+    Batch, BatchMode, Command, Encoding, Envelope, Reply, Response, PROTOCOL_VERSION,
+};
 use crate::service::ServiceHandle;
+use crate::wire;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +93,11 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBoo
         }
         match stream {
             Ok(stream) => {
+                // Replies are written once per request envelope and then
+                // awaited — Nagle buys nothing here and its interaction
+                // with delayed ACKs costs tens of ms on multi-segment
+                // batch replies.
+                let _ = stream.set_nodelay(true);
                 let handle = handle.clone();
                 let _ = std::thread::Builder::new()
                     .name("aware-serve-conn".into())
@@ -144,10 +163,65 @@ fn read_request_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<R
     }
 }
 
-/// Serves one connection until EOF or I/O error.
+/// Validates a hello against what this server speaks on the given
+/// surface; `Ok` is the ack to send back.
+fn negotiate(version: u32, encoding: Encoding, surface: Encoding) -> Result<Reply, ServeError> {
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::invalid(format!(
+            "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION}; \
+             v1 needs no hello)"
+        )));
+    }
+    if surface == Encoding::Binary && encoding != Encoding::Binary {
+        return Err(ServeError::invalid(
+            "a binary-framed connection cannot negotiate the json encoding",
+        ));
+    }
+    Ok(Reply::HelloAck {
+        id: None, // caller fills the echoed id
+        version: PROTOCOL_VERSION,
+        encoding,
+        max_frame: MAX_FRAME_BYTES as u64,
+    })
+}
+
+/// Executes a batch envelope and pairs the responses with their item
+/// ids for the reply.
+fn run_batch(handle: &ServiceHandle, batch: Batch) -> Vec<(Option<u64>, Response)> {
+    let mut ids = Vec::with_capacity(batch.items.len());
+    let mut cmds = Vec::with_capacity(batch.items.len());
+    let mode = batch.mode;
+    for item in batch.items {
+        ids.push(item.id);
+        cmds.push(item.cmd);
+    }
+    ids.into_iter()
+        .zip(handle.call_batch_mode(cmds, mode))
+        .collect()
+}
+
+/// Serves one connection until EOF or I/O error, auto-detecting the
+/// surface from the first byte.
 fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer = BufWriter::new(stream);
+    let first = match reader.fill_buf()? {
+        [] => return Ok(()), // closed before a single byte
+        bytes => bytes[0],
+    };
+    if first == frame::MAGIC[0] {
+        return serve_binary(reader, writer, handle, false);
+    }
+    serve_ndjson(reader, writer, handle)
+}
+
+/// The NDJSON surface: v1 commands plus v2 JSON envelopes. Returns by
+/// tail-calling into [`serve_binary`] if a hello upgrades the encoding.
+fn serve_ndjson(
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    handle: ServiceHandle,
+) -> std::io::Result<()> {
     loop {
         let reply_line = match read_request_line(&mut reader, MAX_REQUEST_BYTES)? {
             RequestLine::Eof => return Ok(()),
@@ -163,8 +237,47 @@ fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result
                 if line.trim().is_empty() {
                     continue;
                 }
-                match Command::decode_line(&line) {
-                    Ok((cmd, id)) => handle.call(cmd).encode_line(id),
+                handle.record_wire_request(Encoding::Json);
+                match Envelope::decode_line(&line) {
+                    Ok(Envelope::Hello {
+                        id,
+                        version,
+                        encoding,
+                    }) => match negotiate(version, encoding, Encoding::Json) {
+                        Ok(Reply::HelloAck {
+                            version,
+                            encoding,
+                            max_frame,
+                            ..
+                        }) => {
+                            let ack = Reply::HelloAck {
+                                id,
+                                version,
+                                encoding,
+                                max_frame,
+                            };
+                            writer.write_all(ack.encode_line().as_bytes())?;
+                            writer.write_all(b"\n")?;
+                            writer.flush()?;
+                            if encoding == Encoding::Binary {
+                                // The ack was the last JSON line; frames
+                                // from here on, both directions.
+                                return serve_binary(reader, writer, handle, true);
+                            }
+                            continue;
+                        }
+                        Ok(_) => unreachable!("negotiate acks with HelloAck"),
+                        Err(e) => {
+                            handle.record_protocol_error();
+                            Response::Error(e).encode_line(id)
+                        }
+                    },
+                    Ok(Envelope::Batch { id, batch }) => Reply::Batch {
+                        id,
+                        items: run_batch(&handle, batch),
+                    }
+                    .encode_line(),
+                    Ok(Envelope::Single { id, cmd }) => handle.call(cmd).encode_line(id),
                     Err(e) => {
                         handle.record_protocol_error();
                         Response::Error(e).encode_line(None)
@@ -178,24 +291,247 @@ fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result
     }
 }
 
-/// A minimal blocking client for the NDJSON protocol — used by tests,
-/// benches, and as reference client code.
+/// Encodes and writes one reply frame, honouring the frame ceiling the
+/// server advertises in its hello ack: a reply whose payload would
+/// exceed it (a batch of thousands of transcript exports can get there
+/// legitimately) is downgraded to an error reply instead of being
+/// written — an oversized frame would leave the client unable to trust
+/// the stream, and a > 4 GiB one would poison the u32 length field.
+/// The error is explicit that the commands *did* execute and only
+/// their responses were discarded.
+fn write_reply_frame(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
+    let payload = wire::encode_reply(reply);
+    if payload.len() <= MAX_FRAME_BYTES {
+        return frame::write_frame(writer, &payload);
+    }
+    let id = match reply {
+        Reply::HelloAck { id, .. } | Reply::Batch { id, .. } | Reply::Single { id, .. } => *id,
+    };
+    let fallback = Reply::Single {
+        id,
+        response: Response::Error(ServeError {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "reply of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame ceiling; the \
+                 commands executed, but their responses were discarded — split the batch",
+                payload.len()
+            ),
+        }),
+    };
+    frame::write_frame(writer, &wire::encode_reply(&fallback))
+}
+
+/// The binary surface. `greeted` is true when the connection already
+/// negotiated through a JSON hello; a cold binary connection must greet
+/// in its first frame so the server knows the client really speaks v2
+/// (and not, say, a stray HTTP request that happens to start with 'A').
+fn serve_binary(
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    handle: ServiceHandle,
+    mut greeted: bool,
+) -> std::io::Result<()> {
+    loop {
+        let payload = match frame::read_frame(&mut reader, MAX_FRAME_BYTES)? {
+            FrameRead::Eof => return Ok(()),
+            FrameRead::TooLarge { declared } => {
+                // The length prefix tells us exactly how much to discard;
+                // the stream stays synchronized, the connection lives.
+                handle.record_protocol_error();
+                frame::skip_payload(&mut reader, declared as u64)?;
+                let reply = Reply::Single {
+                    id: None,
+                    response: Response::Error(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "frame payload of {declared} bytes exceeds {MAX_FRAME_BYTES}"
+                        ),
+                    }),
+                };
+                frame::write_frame(&mut writer, &wire::encode_reply(&reply))?;
+                writer.flush()?;
+                continue;
+            }
+            FrameRead::Corrupt(message) => {
+                // Framing is lost — answer once and hang up.
+                handle.record_protocol_error();
+                let reply = Reply::Single {
+                    id: None,
+                    response: Response::Error(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message,
+                    }),
+                };
+                let _ = frame::write_frame(&mut writer, &wire::encode_reply(&reply));
+                let _ = writer.flush();
+                return Ok(());
+            }
+            FrameRead::Frame(payload) => payload,
+        };
+        handle.record_wire_request(Encoding::Binary);
+        let reply = match wire::decode_envelope(&payload) {
+            Ok(Envelope::Hello {
+                id,
+                version,
+                encoding,
+            }) => match negotiate(version, encoding, Encoding::Binary) {
+                Ok(Reply::HelloAck {
+                    version,
+                    encoding,
+                    max_frame,
+                    ..
+                }) => {
+                    greeted = true;
+                    Reply::HelloAck {
+                        id,
+                        version,
+                        encoding,
+                        max_frame,
+                    }
+                }
+                Ok(_) => unreachable!("negotiate acks with HelloAck"),
+                Err(e) => {
+                    handle.record_protocol_error();
+                    Reply::Single {
+                        id,
+                        response: Response::Error(e),
+                    }
+                }
+            },
+            Ok(envelope) if !greeted => {
+                // First frame was well-formed v2 but not a hello.
+                handle.record_protocol_error();
+                let id = match envelope {
+                    Envelope::Batch { id, .. } | Envelope::Single { id, .. } => id,
+                    Envelope::Hello { id, .. } => id,
+                };
+                let reply = Reply::Single {
+                    id,
+                    response: Response::Error(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: "a binary connection must open with a hello frame".into(),
+                    }),
+                };
+                frame::write_frame(&mut writer, &wire::encode_reply(&reply))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Envelope::Batch { id, batch }) => Reply::Batch {
+                id,
+                items: run_batch(&handle, batch),
+            },
+            Ok(Envelope::Single { id, cmd }) => Reply::Single {
+                id,
+                response: handle.call(cmd),
+            },
+            Err(e) => {
+                handle.record_protocol_error();
+                let reply = Reply::Single {
+                    id: None,
+                    response: Response::Error(e),
+                };
+                if !greeted {
+                    // An un-greeted binary connection sending garbage is
+                    // held to the same hello-first contract as one
+                    // sending well-formed non-hello envelopes: one
+                    // error, then hang up.
+                    write_reply_frame(&mut writer, &reply)?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                reply
+            }
+        };
+        write_reply_frame(&mut writer, &reply)?;
+        writer.flush()?;
+    }
+}
+
+/// A minimal blocking client for both protocol surfaces — used by
+/// tests, benches, and as reference client code.
+///
+/// [`Client::connect`] speaks plain v1 NDJSON (no handshake);
+/// [`Client::connect_with`] performs the v2 hello and can upgrade the
+/// connection to binary framing. Batches go out pipelined: the whole
+/// envelope is written and flushed once, then the single reply envelope
+/// is read back — one wire round trip for N commands.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    encoding: Encoding,
+}
+
+fn io_err(e: std::io::Error) -> ServeError {
+    ServeError {
+        code: ErrorCode::Shutdown,
+        message: format!("connection lost: {e}"),
+    }
 }
 
 impl Client {
-    /// Connects to a serve endpoint.
+    /// Connects to a serve endpoint on the v1 NDJSON surface.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?; // request→response, never coalesced
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
             next_id: 0,
+            encoding: Encoding::Json,
         })
+    }
+
+    /// Connects and performs the v2 hello, upgrading to binary framing
+    /// when asked.
+    pub fn connect_with(addr: SocketAddr, encoding: Encoding) -> Result<Client, ServeError> {
+        let mut client = Client::connect(addr).map_err(io_err)?;
+        client.hello(encoding)?;
+        Ok(client)
+    }
+
+    /// The encoding this client currently speaks.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Negotiates protocol v2 with the given encoding. The hello goes
+    /// out on the connection's current surface.
+    pub fn hello(&mut self, encoding: Encoding) -> Result<(), ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let hello = Envelope::Hello {
+            id: Some(id),
+            version: PROTOCOL_VERSION,
+            encoding,
+        };
+        self.send_envelope(&hello)?;
+        match self.read_reply()? {
+            Reply::HelloAck {
+                id: echoed,
+                version,
+                encoding: granted,
+                ..
+            } => {
+                if echoed != Some(id) || version != PROTOCOL_VERSION || granted != encoding {
+                    return Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: "hello ack does not match the hello".into(),
+                    });
+                }
+                self.encoding = encoding;
+                Ok(())
+            }
+            Reply::Single {
+                response: Response::Error(e),
+                ..
+            } => Err(e),
+            other => Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("unexpected hello reply: {other:?}"),
+            }),
+        }
     }
 
     /// Sends one command and waits for its response, verifying the id
@@ -203,32 +539,142 @@ impl Client {
     pub fn call(&mut self, cmd: &Command) -> Result<Response, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        let io_err = |e: std::io::Error| ServeError {
-            code: ErrorCode::Shutdown,
-            message: format!("connection lost: {e}"),
-        };
-        self.writer
-            .write_all(cmd.encode_line(Some(id)).as_bytes())
-            .map_err(io_err)?;
-        self.writer.write_all(b"\n").map_err(io_err)?;
-        self.writer.flush().map_err(io_err)?;
-        let mut line = String::new();
-        use std::io::BufRead as _;
-        let n = self.reader.read_line(&mut line).map_err(io_err)?;
-        if n == 0 {
-            return Err(ServeError {
-                code: ErrorCode::Shutdown,
-                message: "server closed the connection".into(),
-            });
-        }
-        let (response, echoed) = Response::decode_line(&line)?;
-        if echoed != Some(id) {
-            return Err(ServeError {
+        self.send_envelope(&Envelope::Single {
+            id: Some(id),
+            cmd: cmd.clone(),
+        })?;
+        match self.read_reply()? {
+            Reply::Single {
+                id: echoed,
+                response,
+            } => {
+                if echoed != Some(id) {
+                    return Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("response id {echoed:?} does not match request id {id}"),
+                    });
+                }
+                Ok(response)
+            }
+            other => Err(ServeError {
                 code: ErrorCode::BadRequest,
-                message: format!("response id {echoed:?} does not match request id {id}"),
-            });
+                message: format!("unexpected reply shape: {other:?}"),
+            }),
         }
-        Ok(response)
+    }
+
+    /// Submits `cmds` as one pipelined batch — a single envelope, a
+    /// single flush, a single reply — and returns the responses in
+    /// submission order, verifying every id echo.
+    pub fn call_batch(
+        &mut self,
+        cmds: &[Command],
+        mode: BatchMode,
+    ) -> Result<Vec<Response>, ServeError> {
+        let batch_id = self.next_id;
+        let first_item = batch_id + 1;
+        self.next_id += 1 + cmds.len() as u64;
+        let envelope = Envelope::Batch {
+            id: Some(batch_id),
+            batch: Batch {
+                mode,
+                items: cmds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cmd)| crate::proto::BatchItem {
+                        id: Some(first_item + i as u64),
+                        cmd: cmd.clone(),
+                    })
+                    .collect(),
+            },
+        };
+        self.send_envelope(&envelope)?;
+        match self.read_reply()? {
+            Reply::Batch { id, items } => {
+                if id != Some(batch_id) {
+                    return Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("batch reply id {id:?} does not match {batch_id}"),
+                    });
+                }
+                if items.len() != cmds.len() {
+                    return Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "batch reply carries {} responses for {} commands",
+                            items.len(),
+                            cmds.len()
+                        ),
+                    });
+                }
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (item_id, response))| {
+                        if item_id != Some(first_item + i as u64) {
+                            return Err(ServeError {
+                                code: ErrorCode::BadRequest,
+                                message: format!("item {i} echoed the wrong id {item_id:?}"),
+                            });
+                        }
+                        Ok(response)
+                    })
+                    .collect()
+            }
+            other => Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("unexpected reply shape: {other:?}"),
+            }),
+        }
+    }
+
+    fn send_envelope(&mut self, envelope: &Envelope) -> Result<(), ServeError> {
+        match self.encoding {
+            Encoding::Json => {
+                self.writer
+                    .write_all(envelope.encode_line().as_bytes())
+                    .map_err(io_err)?;
+                self.writer.write_all(b"\n").map_err(io_err)?;
+            }
+            Encoding::Binary => {
+                frame::write_frame(&mut self.writer, &wire::encode_envelope(envelope))
+                    .map_err(io_err)?;
+            }
+        }
+        self.writer.flush().map_err(io_err)
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ServeError> {
+        match self.encoding {
+            Encoding::Json => {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line).map_err(io_err)?;
+                if n == 0 {
+                    return Err(ServeError {
+                        code: ErrorCode::Shutdown,
+                        message: "server closed the connection".into(),
+                    });
+                }
+                Reply::decode_line(&line)
+            }
+            Encoding::Binary => {
+                match frame::read_frame(&mut self.reader, MAX_FRAME_BYTES).map_err(io_err)? {
+                    FrameRead::Eof => Err(ServeError {
+                        code: ErrorCode::Shutdown,
+                        message: "server closed the connection".into(),
+                    }),
+                    FrameRead::Frame(payload) => wire::decode_reply(&payload),
+                    FrameRead::TooLarge { declared } => Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: format!("server sent an oversized {declared}-byte frame"),
+                    }),
+                    FrameRead::Corrupt(message) => Err(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message,
+                    }),
+                }
+            }
+        }
     }
 }
 

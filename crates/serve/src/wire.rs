@@ -1,0 +1,1073 @@
+//! The compact tag-based binary codec for protocol v2 payloads.
+//!
+//! Each frame payload (see [`crate::frame`] for the outer framing) is
+//! one [`Envelope`] or [`Reply`], encoded with four primitives:
+//!
+//! * unsigned integers as LEB128 varints (`session`, counts, ids);
+//! * signed integers zig-zag folded, then varint;
+//! * `f64` as its 8 IEEE-754 bytes, little-endian — p-values survive
+//!   bit-exactly, no decimal detour;
+//! * strings and transcripts as a varint byte length + UTF-8 bytes.
+//!
+//! Every composite value opens with a one-byte tag. The codec is
+//! self-contained (no lengths besides string/collection counts), so a
+//! decoder either consumes exactly the payload or reports the byte
+//! offset where it lost the plot. Decoding is hardened the same way the
+//! JSON parser is: filter nesting is depth-capped and batch item counts
+//! honour [`MAX_BATCH_ITEMS`], so a hostile frame cannot blow the stack
+//! or fan out unbounded work.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::proto::{
+    Batch, BatchItem, BatchMode, Command, Encoding, Envelope, HypothesisReport, Reply, Response,
+    StatsSnapshot, TranscriptFormat, MAX_BATCH_ITEMS,
+};
+use aware_data::predicate::CmpOp;
+use aware_data::value::Value;
+
+use crate::proto::{FilterSpec, PolicySpec};
+
+/// Decoded-filter nesting ceiling, mirroring the JSON parser's.
+const MAX_FILTER_DEPTH: usize = 128;
+
+// Envelope tags.
+const TAG_HELLO: u8 = 0x01;
+const TAG_BATCH: u8 = 0x02;
+const TAG_SINGLE: u8 = 0x03;
+
+// Reply tags.
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_BATCH_REPLY: u8 = 0x82;
+const TAG_SINGLE_REPLY: u8 = 0x83;
+
+/// Encodes a request envelope into one frame payload.
+pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
+    let mut w = Writer::new();
+    match envelope {
+        Envelope::Hello {
+            id,
+            version,
+            encoding,
+        } => {
+            w.u8(TAG_HELLO);
+            w.opt_varint(*id);
+            w.varint(*version as u64);
+            w.u8(encoding_tag(*encoding));
+        }
+        Envelope::Batch { id, batch } => {
+            w.u8(TAG_BATCH);
+            w.opt_varint(*id);
+            w.u8(match batch.mode {
+                BatchMode::Continue => 0,
+                BatchMode::FailFast => 1,
+            });
+            w.varint(batch.items.len() as u64);
+            for item in &batch.items {
+                w.opt_varint(item.id);
+                w.command(&item.cmd);
+            }
+        }
+        Envelope::Single { id, cmd } => {
+            w.u8(TAG_SINGLE);
+            w.opt_varint(*id);
+            w.command(cmd);
+        }
+    }
+    w.buf
+}
+
+/// Encodes a reply envelope into one frame payload.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut w = Writer::new();
+    match reply {
+        Reply::HelloAck {
+            id,
+            version,
+            encoding,
+            max_frame,
+        } => {
+            w.u8(TAG_HELLO_ACK);
+            w.opt_varint(*id);
+            w.varint(*version as u64);
+            w.u8(encoding_tag(*encoding));
+            w.varint(*max_frame);
+        }
+        Reply::Batch { id, items } => {
+            w.u8(TAG_BATCH_REPLY);
+            w.opt_varint(*id);
+            w.varint(items.len() as u64);
+            for (item_id, response) in items {
+                w.opt_varint(*item_id);
+                w.response(response);
+            }
+        }
+        Reply::Single { id, response } => {
+            w.u8(TAG_SINGLE_REPLY);
+            w.opt_varint(*id);
+            w.response(response);
+        }
+    }
+    w.buf
+}
+
+/// Decodes one frame payload as a request envelope.
+pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, ServeError> {
+    let mut r = Reader::new(payload);
+    let envelope = match r.u8("envelope tag")? {
+        TAG_HELLO => {
+            let id = r.opt_varint("hello id")?;
+            let version = r.varint("hello version")?;
+            let encoding = r.encoding()?;
+            Envelope::Hello {
+                id,
+                version: version.min(u32::MAX as u64) as u32,
+                encoding,
+            }
+        }
+        TAG_BATCH => {
+            let id = r.opt_varint("batch id")?;
+            let mode = match r.u8("batch mode")? {
+                0 => BatchMode::Continue,
+                1 => BatchMode::FailFast,
+                other => return Err(r.bad(format!("unknown batch mode {other}"))),
+            };
+            let count = r.varint("batch item count")? as usize;
+            if count > MAX_BATCH_ITEMS {
+                return Err(ServeError::invalid(format!(
+                    "batch of {count} items exceeds the {MAX_BATCH_ITEMS}-item ceiling"
+                )));
+            }
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let id = r.opt_varint("item id")?;
+                let cmd = r.command()?;
+                items.push(BatchItem { id, cmd });
+            }
+            Envelope::Batch {
+                id,
+                batch: Batch { mode, items },
+            }
+        }
+        TAG_SINGLE => {
+            let id = r.opt_varint("single id")?;
+            let cmd = r.command()?;
+            Envelope::Single { id, cmd }
+        }
+        other => return Err(r.bad(format!("unknown envelope tag 0x{other:02x}"))),
+    };
+    r.finish()?;
+    Ok(envelope)
+}
+
+/// Decodes one frame payload as a reply envelope.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, ServeError> {
+    let mut r = Reader::new(payload);
+    let reply = match r.u8("reply tag")? {
+        TAG_HELLO_ACK => {
+            let id = r.opt_varint("hello id")?;
+            let version = r.varint("hello version")?;
+            let encoding = r.encoding()?;
+            let max_frame = r.varint("max_frame")?;
+            Reply::HelloAck {
+                id,
+                version: version.min(u32::MAX as u64) as u32,
+                encoding,
+                max_frame,
+            }
+        }
+        TAG_BATCH_REPLY => {
+            let id = r.opt_varint("batch id")?;
+            let count = r.varint("response count")? as usize;
+            if count > MAX_BATCH_ITEMS {
+                return Err(ServeError::invalid(format!(
+                    "batch reply of {count} items exceeds the {MAX_BATCH_ITEMS}-item ceiling"
+                )));
+            }
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let item_id = r.opt_varint("item id")?;
+                let response = r.response()?;
+                items.push((item_id, response));
+            }
+            Reply::Batch { id, items }
+        }
+        TAG_SINGLE_REPLY => {
+            let id = r.opt_varint("single id")?;
+            let response = r.response()?;
+            Reply::Single { id, response }
+        }
+        other => return Err(r.bad(format!("unknown reply tag 0x{other:02x}"))),
+    };
+    r.finish()?;
+    Ok(reply)
+}
+
+fn encoding_tag(encoding: Encoding) -> u8 {
+    match encoding {
+        Encoding::Json => 0,
+        Encoding::Binary => 1,
+    }
+}
+
+fn cmp_op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 1,
+        CmpOp::Neq => 2,
+        CmpOp::Lt => 3,
+        CmpOp::Le => 4,
+        CmpOp::Gt => 5,
+        CmpOp::Ge => 6,
+    }
+}
+
+// -- writer -----------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn varint(&mut self, mut n: u64) {
+        loop {
+            let byte = (n & 0x7f) as u8;
+            n >>= 7;
+            if n == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn zigzag(&mut self, n: i64) {
+        self.varint(((n << 1) ^ (n >> 63)) as u64);
+    }
+
+    fn opt_varint(&mut self, n: Option<u64>) {
+        match n {
+            None => self.u8(0),
+            Some(n) => {
+                self.u8(1);
+                self.varint(n);
+            }
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(0);
+                self.zigzag(*i);
+            }
+            Value::Float(x) => {
+                self.u8(1);
+                self.f64(*x);
+            }
+            Value::Bool(b) => {
+                self.u8(2);
+                self.u8(*b as u8);
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+        }
+    }
+
+    fn policy(&mut self, p: &PolicySpec) {
+        match *p {
+            PolicySpec::Fixed { gamma } => {
+                self.u8(1);
+                self.f64(gamma);
+            }
+            PolicySpec::Farsighted { beta } => {
+                self.u8(2);
+                self.f64(beta);
+            }
+            PolicySpec::Hopeful { delta } => {
+                self.u8(3);
+                self.f64(delta);
+            }
+            PolicySpec::EpsilonHybrid {
+                gamma,
+                delta,
+                epsilon,
+                window,
+            } => {
+                self.u8(4);
+                self.f64(gamma);
+                self.f64(delta);
+                self.f64(epsilon);
+                self.opt_varint(window.map(|w| w as u64));
+            }
+            PolicySpec::PsiSupport { gamma, psi } => {
+                self.u8(5);
+                self.f64(gamma);
+                self.f64(psi);
+            }
+        }
+    }
+
+    fn filter(&mut self, f: &FilterSpec) {
+        match f {
+            FilterSpec::True => self.u8(0),
+            FilterSpec::Cmp { column, op, value } => {
+                self.u8(cmp_op_tag(*op));
+                self.str(column);
+                self.value(value);
+            }
+            FilterSpec::In { column, values } => {
+                self.u8(7);
+                self.str(column);
+                self.varint(values.len() as u64);
+                for v in values {
+                    self.value(v);
+                }
+            }
+            FilterSpec::Between { column, lo, hi } => {
+                self.u8(8);
+                self.str(column);
+                self.f64(*lo);
+                self.f64(*hi);
+            }
+            FilterSpec::Not(inner) => {
+                self.u8(9);
+                self.filter(inner);
+            }
+            FilterSpec::And(parts) => {
+                self.u8(10);
+                self.varint(parts.len() as u64);
+                for p in parts {
+                    self.filter(p);
+                }
+            }
+            FilterSpec::Or(parts) => {
+                self.u8(11);
+                self.varint(parts.len() as u64);
+                for p in parts {
+                    self.filter(p);
+                }
+            }
+        }
+    }
+
+    fn command(&mut self, cmd: &Command) {
+        match cmd {
+            Command::CreateSession {
+                dataset,
+                alpha,
+                policy,
+            } => {
+                self.u8(1);
+                self.str(dataset);
+                self.f64(*alpha);
+                self.policy(policy);
+            }
+            Command::AddVisualization {
+                session,
+                attribute,
+                filter,
+            } => {
+                self.u8(2);
+                self.varint(*session);
+                self.str(attribute);
+                self.filter(filter);
+            }
+            Command::SetPolicy { session, policy } => {
+                self.u8(3);
+                self.varint(*session);
+                self.policy(policy);
+            }
+            Command::Gauge { session } => {
+                self.u8(4);
+                self.varint(*session);
+            }
+            Command::Transcript { session, format } => {
+                self.u8(5);
+                self.varint(*session);
+                self.u8(matches!(format, TranscriptFormat::Text) as u8);
+            }
+            Command::CloseSession { session } => {
+                self.u8(6);
+                self.varint(*session);
+            }
+            Command::Stats => self.u8(7),
+        }
+    }
+
+    fn response(&mut self, response: &Response) {
+        match response {
+            Response::SessionCreated {
+                session,
+                wealth,
+                policy,
+            } => {
+                self.u8(1);
+                self.varint(*session);
+                self.f64(*wealth);
+                self.str(policy);
+            }
+            Response::VizAdded {
+                session,
+                viz,
+                wealth,
+                hypothesis,
+            } => {
+                self.u8(2);
+                self.varint(*session);
+                self.varint(*viz);
+                self.f64(*wealth);
+                match hypothesis {
+                    None => self.u8(0),
+                    Some(h) => {
+                        self.u8(1);
+                        self.varint(h.id);
+                        self.str(&h.test);
+                        self.f64(h.statistic);
+                        self.f64(h.p_value);
+                        self.f64(h.bid);
+                        self.u8(h.rejected as u8);
+                        self.f64(h.effect_size);
+                        self.f64(h.support_fraction);
+                        self.f64(h.wealth_after);
+                    }
+                }
+            }
+            Response::PolicySet { session, policy } => {
+                self.u8(3);
+                self.varint(*session);
+                self.str(policy);
+            }
+            Response::GaugeText { session, text } => {
+                self.u8(4);
+                self.varint(*session);
+                self.str(text);
+            }
+            Response::TranscriptText {
+                session,
+                format,
+                text,
+            } => {
+                self.u8(5);
+                self.varint(*session);
+                self.u8(matches!(format, TranscriptFormat::Text) as u8);
+                self.str(text);
+            }
+            Response::SessionClosed {
+                session,
+                hypotheses,
+                discoveries,
+            } => {
+                self.u8(6);
+                self.varint(*session);
+                self.varint(*hypotheses);
+                self.varint(*discoveries);
+            }
+            Response::Stats(s) => {
+                self.u8(7);
+                for n in [
+                    s.sessions_created,
+                    s.sessions_closed,
+                    s.sessions_evicted,
+                    s.sessions_live,
+                    s.commands,
+                    s.hypotheses_tested,
+                    s.discoveries,
+                    s.rejected_by_budget,
+                    s.errors,
+                    s.batches,
+                    s.batch_commands,
+                    s.overloaded,
+                    s.ndjson_requests,
+                    s.binary_frames,
+                ] {
+                    self.varint(n);
+                }
+                for n in s.batch_size_hist {
+                    self.varint(n);
+                }
+            }
+            Response::Error(e) => {
+                self.u8(8);
+                self.str(e.code.as_str());
+                self.str(&e.message);
+            }
+        }
+    }
+}
+
+// -- reader -----------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn bad(&self, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: ErrorCode::BadRequest,
+            message: format!("binary payload at byte {}: {}", self.pos, message.into()),
+        }
+    }
+
+    fn finish(&self) -> Result<(), ServeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.bad(format!(
+                "{} trailing bytes after the message",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.bad(format!("truncated payload reading {what}")))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, ServeError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(self.bad(format!("varint overflow reading {what}")));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.bad(format!("varint longer than 10 bytes reading {what}")));
+            }
+        }
+    }
+
+    fn zigzag(&mut self, what: &str) -> Result<i64, ServeError> {
+        let n = self.varint(what)?;
+        Ok((n >> 1) as i64 ^ -((n & 1) as i64))
+    }
+
+    fn opt_varint(&mut self, what: &str) -> Result<Option<u64>, ServeError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.varint(what)?)),
+            other => Err(self.bad(format!("bad optional flag {other} for {what}"))),
+        }
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        if self.pos + 8 > self.bytes.len() {
+            return Err(self.bad(format!("truncated payload reading {what}")));
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_le_bytes(raw))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.varint(what)? as usize;
+        // Compare against the remainder, never `pos + len` — a hostile
+        // length near u64::MAX must be an error, not an overflow.
+        if len > self.bytes.len() - self.pos {
+            return Err(self.bad(format!("string length {len} overruns payload in {what}")));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|_| self.bad(format!("invalid UTF-8 in {what}")))?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn encoding(&mut self) -> Result<Encoding, ServeError> {
+        match self.u8("encoding")? {
+            0 => Ok(Encoding::Json),
+            1 => Ok(Encoding::Binary),
+            other => Err(self.bad(format!("unknown encoding tag {other}"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ServeError> {
+        Ok(match self.u8("value tag")? {
+            0 => Value::Int(self.zigzag("int value")?),
+            1 => Value::Float(self.f64("float value")?),
+            2 => Value::Bool(self.u8("bool value")? != 0),
+            3 => Value::Str(self.str("string value")?),
+            other => return Err(self.bad(format!("unknown value tag {other}"))),
+        })
+    }
+
+    fn policy(&mut self) -> Result<PolicySpec, ServeError> {
+        Ok(match self.u8("policy tag")? {
+            1 => PolicySpec::Fixed {
+                gamma: self.f64("gamma")?,
+            },
+            2 => PolicySpec::Farsighted {
+                beta: self.f64("beta")?,
+            },
+            3 => PolicySpec::Hopeful {
+                delta: self.f64("delta")?,
+            },
+            4 => PolicySpec::EpsilonHybrid {
+                gamma: self.f64("gamma")?,
+                delta: self.f64("delta")?,
+                epsilon: self.f64("epsilon")?,
+                window: self.opt_varint("window")?.map(|w| w as usize),
+            },
+            5 => PolicySpec::PsiSupport {
+                gamma: self.f64("gamma")?,
+                psi: self.f64("psi")?,
+            },
+            other => return Err(self.bad(format!("unknown policy tag {other}"))),
+        })
+    }
+
+    fn filter(&mut self, depth: usize) -> Result<FilterSpec, ServeError> {
+        if depth > MAX_FILTER_DEPTH {
+            return Err(self.bad(format!(
+                "filter nesting deeper than {MAX_FILTER_DEPTH} levels"
+            )));
+        }
+        let tag = self.u8("filter tag")?;
+        Ok(match tag {
+            0 => FilterSpec::True,
+            1..=6 => {
+                let op = match tag {
+                    1 => CmpOp::Eq,
+                    2 => CmpOp::Neq,
+                    3 => CmpOp::Lt,
+                    4 => CmpOp::Le,
+                    5 => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                FilterSpec::Cmp {
+                    column: self.str("filter column")?,
+                    op,
+                    value: self.value()?,
+                }
+            }
+            7 => {
+                let column = self.str("filter column")?;
+                let count = self.varint("in-list count")? as usize;
+                let mut values = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    values.push(self.value()?);
+                }
+                FilterSpec::In { column, values }
+            }
+            8 => FilterSpec::Between {
+                column: self.str("filter column")?,
+                lo: self.f64("between lo")?,
+                hi: self.f64("between hi")?,
+            },
+            9 => FilterSpec::Not(Box::new(self.filter(depth + 1)?)),
+            10 | 11 => {
+                let count = self.varint("junction arity")? as usize;
+                let mut parts = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    parts.push(self.filter(depth + 1)?);
+                }
+                if tag == 10 {
+                    FilterSpec::And(parts)
+                } else {
+                    FilterSpec::Or(parts)
+                }
+            }
+            other => return Err(self.bad(format!("unknown filter tag {other}"))),
+        })
+    }
+
+    fn command(&mut self) -> Result<Command, ServeError> {
+        Ok(match self.u8("command tag")? {
+            1 => Command::CreateSession {
+                dataset: self.str("dataset")?,
+                alpha: self.f64("alpha")?,
+                policy: self.policy()?,
+            },
+            2 => Command::AddVisualization {
+                session: self.varint("session")?,
+                attribute: self.str("attribute")?,
+                filter: self.filter(0)?,
+            },
+            3 => Command::SetPolicy {
+                session: self.varint("session")?,
+                policy: self.policy()?,
+            },
+            4 => Command::Gauge {
+                session: self.varint("session")?,
+            },
+            5 => Command::Transcript {
+                session: self.varint("session")?,
+                format: self.transcript_format()?,
+            },
+            6 => Command::CloseSession {
+                session: self.varint("session")?,
+            },
+            7 => Command::Stats,
+            other => {
+                return Err(ServeError {
+                    code: ErrorCode::UnknownCommand,
+                    message: format!("unknown command tag {other}"),
+                })
+            }
+        })
+    }
+
+    fn transcript_format(&mut self) -> Result<TranscriptFormat, ServeError> {
+        match self.u8("transcript format")? {
+            0 => Ok(TranscriptFormat::Csv),
+            1 => Ok(TranscriptFormat::Text),
+            other => Err(self.bad(format!("unknown transcript format {other}"))),
+        }
+    }
+
+    fn response(&mut self) -> Result<Response, ServeError> {
+        Ok(match self.u8("response tag")? {
+            1 => Response::SessionCreated {
+                session: self.varint("session")?,
+                wealth: self.f64("wealth")?,
+                policy: self.str("policy")?,
+            },
+            2 => Response::VizAdded {
+                session: self.varint("session")?,
+                viz: self.varint("viz")?,
+                wealth: self.f64("wealth")?,
+                hypothesis: match self.u8("hypothesis flag")? {
+                    0 => None,
+                    1 => Some(HypothesisReport {
+                        id: self.varint("hypothesis id")?,
+                        test: self.str("test")?,
+                        statistic: self.f64("statistic")?,
+                        p_value: self.f64("p_value")?,
+                        bid: self.f64("bid")?,
+                        rejected: self.u8("rejected")? != 0,
+                        effect_size: self.f64("effect_size")?,
+                        support_fraction: self.f64("support_fraction")?,
+                        wealth_after: self.f64("wealth_after")?,
+                    }),
+                    other => return Err(self.bad(format!("bad hypothesis flag {other}"))),
+                },
+            },
+            3 => Response::PolicySet {
+                session: self.varint("session")?,
+                policy: self.str("policy")?,
+            },
+            4 => Response::GaugeText {
+                session: self.varint("session")?,
+                text: self.str("gauge")?,
+            },
+            5 => Response::TranscriptText {
+                session: self.varint("session")?,
+                format: self.transcript_format()?,
+                text: self.str("transcript")?,
+            },
+            6 => Response::SessionClosed {
+                session: self.varint("session")?,
+                hypotheses: self.varint("hypotheses")?,
+                discoveries: self.varint("discoveries")?,
+            },
+            7 => {
+                let mut fields = [0u64; 14];
+                for slot in &mut fields {
+                    *slot = self.varint("stats field")?;
+                }
+                let mut batch_size_hist = [0u64; 5];
+                for slot in &mut batch_size_hist {
+                    *slot = self.varint("stats histogram")?;
+                }
+                Response::Stats(StatsSnapshot {
+                    sessions_created: fields[0],
+                    sessions_closed: fields[1],
+                    sessions_evicted: fields[2],
+                    sessions_live: fields[3],
+                    commands: fields[4],
+                    hypotheses_tested: fields[5],
+                    discoveries: fields[6],
+                    rejected_by_budget: fields[7],
+                    errors: fields[8],
+                    batches: fields[9],
+                    batch_commands: fields[10],
+                    overloaded: fields[11],
+                    ndjson_requests: fields[12],
+                    binary_frames: fields[13],
+                    batch_size_hist,
+                })
+            }
+            8 => Response::Error(ServeError {
+                code: ErrorCode::parse(&self.str("error code")?),
+                message: self.str("error message")?,
+            }),
+            other => return Err(self.bad(format!("unknown response tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_envelope(envelope: Envelope) {
+        let bytes = encode_envelope(&envelope);
+        assert_eq!(decode_envelope(&bytes).unwrap(), envelope);
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let bytes = encode_reply(&reply);
+        assert_eq!(decode_reply(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        round_trip_envelope(Envelope::Hello {
+            id: Some(1),
+            version: 2,
+            encoding: Encoding::Binary,
+        });
+        round_trip_envelope(Envelope::Single {
+            id: None,
+            cmd: Command::Stats,
+        });
+        round_trip_envelope(Envelope::Batch {
+            id: Some(9),
+            batch: Batch {
+                mode: BatchMode::FailFast,
+                items: vec![
+                    BatchItem {
+                        id: Some(0),
+                        cmd: Command::CreateSession {
+                            dataset: "census".into(),
+                            alpha: 0.05,
+                            policy: PolicySpec::EpsilonHybrid {
+                                gamma: 10.0,
+                                delta: 5.0,
+                                epsilon: 0.5,
+                                window: Some(8),
+                            },
+                        },
+                    },
+                    BatchItem {
+                        id: None,
+                        cmd: Command::AddVisualization {
+                            session: u64::MAX,
+                            attribute: "edu".into(),
+                            filter: FilterSpec::And(vec![
+                                FilterSpec::Cmp {
+                                    column: "age".into(),
+                                    op: CmpOp::Ge,
+                                    value: Value::Int(-40),
+                                },
+                                FilterSpec::Not(Box::new(FilterSpec::In {
+                                    column: "race".into(),
+                                    values: vec![Value::Str("é😀".into()), Value::Bool(true)],
+                                })),
+                                FilterSpec::Between {
+                                    column: "hours".into(),
+                                    lo: 1.5,
+                                    hi: 60.0,
+                                },
+                                FilterSpec::Or(vec![FilterSpec::True]),
+                            ]),
+                        },
+                    },
+                    BatchItem {
+                        id: Some(u64::MAX),
+                        cmd: Command::Transcript {
+                            session: 3,
+                            format: TranscriptFormat::Text,
+                        },
+                    },
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Reply::HelloAck {
+            id: None,
+            version: 2,
+            encoding: Encoding::Binary,
+            max_frame: 8 << 20,
+        });
+        round_trip_reply(Reply::Batch {
+            id: Some(4),
+            items: vec![
+                (
+                    Some(0),
+                    Response::VizAdded {
+                        session: 1,
+                        viz: 2,
+                        wealth: 0.0475,
+                        hypothesis: Some(HypothesisReport {
+                            id: 0,
+                            test: "chi-square".into(),
+                            statistic: 223.4,
+                            p_value: 4.9e-324, // bit-exactness at the subnormal edge
+                            bid: 0.004,
+                            rejected: true,
+                            effect_size: 0.21,
+                            support_fraction: 1.0,
+                            wealth_after: 0.09,
+                        }),
+                    },
+                ),
+                (
+                    None,
+                    Response::Error(ServeError {
+                        code: ErrorCode::Aborted,
+                        message: "skipped".into(),
+                    }),
+                ),
+                (
+                    Some(2),
+                    Response::Stats(StatsSnapshot {
+                        batches: 3,
+                        batch_size_hist: [1, 0, 2, 0, 9],
+                        ..Default::default()
+                    }),
+                ),
+            ],
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(7),
+            response: Response::GaugeText {
+                session: 0,
+                text: "┌─ AWARE risk gauge ─┐".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn truncations_are_rejected_at_every_prefix() {
+        let bytes = encode_envelope(&Envelope::Batch {
+            id: Some(3),
+            batch: Batch {
+                mode: BatchMode::Continue,
+                items: vec![BatchItem {
+                    id: Some(1),
+                    cmd: Command::AddVisualization {
+                        session: 300,
+                        attribute: "sex".into(),
+                        filter: FilterSpec::Between {
+                            column: "age".into(),
+                            lo: 18.0,
+                            hi: 30.0,
+                        },
+                    },
+                }],
+            },
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_envelope(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // …and trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_envelope(&padded).is_err());
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected() {
+        // Unknown envelope tag.
+        assert!(decode_envelope(&[0x7f]).is_err());
+        // Unknown command tag inside a single.
+        assert!(matches!(
+            decode_envelope(&[TAG_SINGLE, 0, 99]),
+            Err(e) if e.code == ErrorCode::UnknownCommand
+        ));
+        // Batch claiming more items than the ceiling.
+        let mut bomb = vec![TAG_BATCH, 0, 0];
+        let mut w = Writer::new();
+        w.varint(MAX_BATCH_ITEMS as u64 + 1);
+        bomb.extend_from_slice(&w.buf);
+        assert!(matches!(
+            decode_envelope(&bomb),
+            Err(e) if e.code == ErrorCode::InvalidArgument
+        ));
+        // A deeply nested Not-chain must hit the depth ceiling, not the
+        // stack guard: add_visualization with 100k Not tags.
+        let mut deep = vec![TAG_SINGLE, 0, 2, 0];
+        let mut w = Writer::new();
+        w.str("sex");
+        deep.extend_from_slice(&w.buf);
+        deep.extend(std::iter::repeat_n(9u8, 100_000));
+        deep.push(0);
+        let err = decode_envelope(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Varint overflow (11 continuation bytes).
+        let overflow = [
+            TAG_SINGLE, 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        ];
+        assert!(decode_envelope(&overflow).is_err());
+        // A string claiming a near-u64::MAX length must be a clean
+        // error, not an arithmetic overflow: create_session whose
+        // dataset length varint is u64::MAX - 1.
+        let mut huge = vec![TAG_SINGLE, 0, 1];
+        let mut w = Writer::new();
+        w.varint(u64::MAX - 1);
+        huge.extend_from_slice(&w.buf);
+        match decode_envelope(&huge) {
+            Err(e) => assert!(e.message.contains("overruns"), "{e}"),
+            Ok(v) => panic!("decoded {v:?}"),
+        }
+    }
+
+    #[test]
+    fn readme_hex_example_is_accurate() {
+        // The README's worked frame example must match the codec bytes.
+        let payload = encode_envelope(&Envelope::Single {
+            id: Some(5),
+            cmd: Command::Gauge { session: 7 },
+        });
+        assert_eq!(payload, [0x03, 0x01, 0x05, 0x04, 0x07]);
+        let mut framed = Vec::new();
+        crate::frame::write_frame(&mut framed, &payload).unwrap();
+        assert_eq!(
+            framed,
+            [0x41, 0x57, 0x52, 0x32, 0x02, 0, 0, 0, 5, 0x03, 0x01, 0x05, 0x04, 0x07]
+        );
+    }
+
+    #[test]
+    fn singles_are_compact() {
+        // The envelope layer should cost bytes, not the payload: a gauge
+        // command with an id fits in a handful of bytes.
+        let bytes = encode_envelope(&Envelope::Single {
+            id: Some(5),
+            cmd: Command::Gauge { session: 7 },
+        });
+        assert!(bytes.len() <= 6, "{} bytes: {bytes:?}", bytes.len());
+    }
+}

@@ -335,6 +335,134 @@ fn concurrent_sessions_replay_byte_identically() {
     }
 }
 
+/// The v2 counterpart: the same byte-identity guarantee must hold when
+/// commands arrive through `call_batch` in *mixed-session* batches —
+/// same-session items execute as one pinned unit, cross-session items
+/// fan out, and every session's final state must equal a v1
+/// single-threaded replay of its command stream.
+#[test]
+fn batched_mixed_session_replay_matches_v1() {
+    const BATCH_SESSIONS: usize = 24;
+    const BATCH_THREADS: usize = 8;
+    const PER_THREAD: usize = BATCH_SESSIONS / BATCH_THREADS;
+    /// Steps of every owned session per batch: each submitted batch
+    /// interleaves CHUNK_STEPS commands from each of the thread's
+    /// sessions, step-major, so one wire message mixes sessions.
+    const CHUNK_STEPS: usize = 5;
+
+    let table = shared_table();
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        shards: 8,
+        ..Default::default()
+    });
+    let handle = service.handle();
+    handle.register_shared("census", table.clone());
+
+    let mut fingerprints: Vec<Option<Fingerprint>> = (0..BATCH_SESSIONS).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, chunk) in fingerprints.chunks_mut(PER_THREAD).enumerate() {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                let base = t * PER_THREAD;
+                let scripts: Vec<Vec<Command>> =
+                    (0..PER_THREAD).map(|i| session_script(base + i)).collect();
+                // All of this thread's sessions open in one batch.
+                let created = handle.call_batch(vec![
+                    Command::CreateSession {
+                        dataset: "census".into(),
+                        alpha: 0.05,
+                        policy: PolicySpec::Fixed { gamma: 10.0 },
+                    };
+                    PER_THREAD
+                ]);
+                let sids: Vec<SessionId> = created
+                    .iter()
+                    .map(|r| match r {
+                        Response::SessionCreated { session, .. } => *session,
+                        other => panic!("batched create failed: {other:?}"),
+                    })
+                    .collect();
+                // Step-major mixed batches across the owned sessions.
+                for start in (0..STEPS_PER_SESSION).step_by(CHUNK_STEPS) {
+                    let steps =
+                        (start..STEPS_PER_SESSION.min(start + CHUNK_STEPS)).flat_map(|step| {
+                            scripts
+                                .iter()
+                                .zip(&sids)
+                                .map(move |(script, sid)| with_session_id(&script[step], *sid))
+                        });
+                    for response in handle.call_batch(steps.collect()) {
+                        if let Response::Error(e) = &response {
+                            assert!(
+                                matches!(e.code, aware_serve::ErrorCode::WealthExhausted),
+                                "unexpected error in batch: {e}"
+                            );
+                        }
+                    }
+                }
+                // Fingerprints read back through a batch as well.
+                for (i, sid) in sids.iter().enumerate() {
+                    let mut reads = handle.call_batch(vec![
+                        Command::Gauge { session: *sid },
+                        Command::Transcript {
+                            session: *sid,
+                            format: TranscriptFormat::Csv,
+                        },
+                        Command::Transcript {
+                            session: *sid,
+                            format: TranscriptFormat::Text,
+                        },
+                    ]);
+                    let text = match reads.pop() {
+                        Some(Response::TranscriptText { text, .. }) => text,
+                        other => panic!("{other:?}"),
+                    };
+                    let csv = match reads.pop() {
+                        Some(Response::TranscriptText { text, .. }) => text,
+                        other => panic!("{other:?}"),
+                    };
+                    let gauge = match reads.pop() {
+                        Some(Response::GaugeText { text, .. }) => text,
+                        other => panic!("{other:?}"),
+                    };
+                    chunk[i] = Some(Fingerprint { gauge, csv, text });
+                }
+            });
+        }
+    });
+    drop(handle);
+    service.shutdown();
+
+    // v1 replay: one worker, single `call`s, one session at a time.
+    let replay_service = Service::start(ServiceConfig {
+        workers: 1,
+        shards: 1,
+        ..Default::default()
+    });
+    let replay = replay_service.handle();
+    replay.register_shared("census", table);
+    let replay_commands = AtomicU64::new(0);
+    for (index, batched) in fingerprints.iter().enumerate() {
+        let script = session_script(index);
+        let sid = create_session(&replay);
+        let sequential = drive(&replay, sid, &script, &replay_commands);
+        let batched = batched.as_ref().expect("driver thread filled every slot");
+        assert_eq!(
+            batched.gauge, sequential.gauge,
+            "session {index}: gauge diverged under batching"
+        );
+        assert_eq!(
+            batched.csv, sequential.csv,
+            "session {index}: CSV transcript diverged under batching"
+        );
+        assert_eq!(
+            batched.text, sequential.text,
+            "session {index}: text transcript diverged under batching"
+        );
+    }
+}
+
 /// Session-free sanity floor for the constants above — keeps the
 /// acceptance numbers from silently eroding in refactors.
 #[test]

@@ -63,19 +63,28 @@ fn main() {
                 };
 
                 // The same exploration each: one descriptive view, then
-                // filtered views that trigger hypothesis tests.
+                // filtered views that trigger hypothesis tests — fired
+                // as ONE protocol-v2 batch. The service executes the
+                // whole same-session run as a pinned unit, so the
+                // α-investing decision order is exactly what four
+                // separate calls would have produced, for one round
+                // trip's worth of dispatch.
                 let views: [(&str, FilterSpec); 4] = [
                     ("sex", FilterSpec::True),
                     ("education", eq("salary_over_50k", Value::Bool(true))),
                     ("race", eq("survey_wave", Value::Str("Wave-2".into()))),
                     ("marital_status", eq("education", Value::Str("PhD".into()))),
                 ];
-                for (attribute, filter) in views {
-                    match handle.call(Command::AddVisualization {
+                let batch = views
+                    .iter()
+                    .map(|(attribute, filter)| Command::AddVisualization {
                         session: sid,
-                        attribute: attribute.into(),
-                        filter,
-                    }) {
+                        attribute: (*attribute).into(),
+                        filter: filter.clone(),
+                    })
+                    .collect();
+                for ((attribute, _), response) in views.iter().zip(handle.call_batch(batch)) {
+                    match response {
                         Response::VizAdded {
                             hypothesis: Some(h),
                             ..
