@@ -46,6 +46,71 @@ fn histograms(c: &mut Criterion) {
     group.finish();
 }
 
+/// The evaluation cache on the growing-chain shape: cold chains pay the
+/// naive fold, warm chains pay fingerprint lookups, and one-clause
+/// extensions pay one scan + one word-level AND.
+fn eval_cache(c: &mut Criterion) {
+    use aware_data::cache::EvalCache;
+    let rows = 100_000usize;
+    let table = CensusGenerator::new(4).generate(rows);
+    let chain = Predicate::eq("education", "PhD")
+        .and(Predicate::eq("marital_status", "Married").negate())
+        .and(Predicate::cmp("age", CmpOp::Ge, Value::from(30i64)))
+        .and(Predicate::eq("salary_over_50k", true));
+    let mut group = c.benchmark_group("eval_cache");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function("chain_cold", |b| {
+        b.iter_batched(
+            EvalCache::new,
+            |cache| cache.selection(black_box(&table), &chain).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let warm = EvalCache::new();
+    warm.selection(&table, &chain).unwrap();
+    group.bench_function("chain_warm", |b| {
+        b.iter(|| warm.selection(black_box(&table), &chain).unwrap())
+    });
+    // One new clause on a warm prefix: the interactive step cost.
+    let extended = chain.clone().and(Predicate::eq("sex", "Male"));
+    group.bench_function("chain_extend_one_clause", |b| {
+        b.iter_batched(
+            || {
+                let cache = EvalCache::new();
+                cache.selection(&table, &chain).unwrap();
+                cache
+            },
+            |cache| cache.selection(black_box(&table), &extended).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("invariants_warm", |b| {
+        b.iter(|| warm.invariants(black_box(&table), "age").unwrap())
+    });
+    group.finish();
+}
+
+/// The single-scan membership kernel (`In` used to be one full scan per
+/// listed value).
+fn in_membership(c: &mut Criterion) {
+    use aware_data::value::Value;
+    let rows = 100_000usize;
+    let table = CensusGenerator::new(5).generate(rows);
+    let pred = Predicate::In {
+        column: "education".into(),
+        values: ["HS", "Some-College", "Bachelor", "Master"]
+            .iter()
+            .map(|&s| Value::from(s))
+            .collect(),
+    };
+    let mut group = c.benchmark_group("in_membership");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_with_input(BenchmarkId::new("four_values", rows), &table, |b, t| {
+        b.iter(|| pred.eval(black_box(t)).unwrap())
+    });
+    group.finish();
+}
+
 fn sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling");
     let table = CensusGenerator::new(3).generate(100_000);
@@ -71,6 +136,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = filters, histograms, sampling
+    targets = filters, histograms, eval_cache, in_membership, sampling
 }
 criterion_main!(benches);

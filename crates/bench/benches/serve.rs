@@ -195,12 +195,99 @@ fn create_command() -> Command {
     }
 }
 
+/// Eve's workload from Figure 1 of the paper: the step-N filter is the
+/// step-N−1 filter plus one clause, so a naive engine re-evaluates an
+/// ever-growing conjunction from scratch at every step while a chain-aware
+/// cache pays one clause per step. Clauses are broad (≠ on minority
+/// labels, wide brushes) so every step keeps a testable selection.
+const CHAIN_STEPS: usize = 12;
+
+fn chain_clause(step: usize) -> FilterSpec {
+    let neq = |column: &str, value: &str| FilterSpec::Cmp {
+        column: column.into(),
+        op: CmpOp::Neq,
+        value: Value::Str(value.into()),
+    };
+    match step {
+        0 => neq("education", "PhD"),
+        1 => neq("marital_status", "Widowed"),
+        2 => neq("race", RACE[4]),
+        3 => neq("native_region", "Overseas"),
+        4 => neq("survey_wave", "Wave-4"),
+        5 => FilterSpec::Between {
+            column: "age".into(),
+            lo: 18.0,
+            hi: 75.0,
+        },
+        6 => FilterSpec::Cmp {
+            column: "salary_over_50k".into(),
+            op: CmpOp::Eq,
+            value: Value::Bool(false),
+        },
+        7 => neq("sex", "Other"),
+        8 => FilterSpec::Between {
+            column: "hours_per_week".into(),
+            lo: 1.0,
+            hi: 95.0,
+        },
+        9 => neq("survey_wave", "Wave-3"),
+        10 => neq("race", RACE[3]),
+        _ => neq("marital_status", "Divorced"),
+    }
+}
+
+/// One session's growing-chain stream: step k visualizes a rotating
+/// attribute under the conjunction of clauses 0..=k (a rule-2 hypothesis
+/// test through α-investing at every step).
+fn drive_chain_session(handle: &ServiceHandle, sid: SessionId) {
+    let mut clauses: Vec<FilterSpec> = Vec::with_capacity(CHAIN_STEPS);
+    for step in 0..CHAIN_STEPS {
+        clauses.push(chain_clause(step));
+        let response = handle.call(Command::AddVisualization {
+            session: sid,
+            attribute: ["education", "race", "occupation", "marital_status"][step % 4].into(),
+            filter: FilterSpec::And(clauses.clone()),
+        });
+        assert!(response.is_ok(), "{response:?}");
+    }
+    let closed = handle.call(Command::CloseSession { session: sid });
+    assert!(closed.is_ok(), "{closed:?}");
+}
+
+/// The ISSUE-3 acceptance bench: repeated-filter-chain hypothesis
+/// workload. Many sessions replay the same exploration over one shared
+/// dataset — the redundancy interactive exploration creates, and exactly
+/// what the shared per-dataset evaluation cache exists to absorb.
+fn serve_filter_chain(c: &mut Criterion) {
+    let table = census();
+    let mut group = c.benchmark_group("serve_filter_chain");
+    for &sessions in &[1usize, 16] {
+        let service = start_service(table.clone());
+        let handle = service.handle();
+        // create + chain steps + close, per session.
+        group.throughput(Throughput::Elements((sessions * (CHAIN_STEPS + 2)) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    for _ in 0..sessions {
+                        let sid = create_session(&handle);
+                        drive_chain_session(&handle, sid);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(3))
         .sample_size(20);
-    targets = serve_throughput, serve_batch_dispatch, serve_wire
+    targets = serve_throughput, serve_filter_chain, serve_batch_dispatch, serve_wire
 }
 criterion_main!(benches);

@@ -238,6 +238,55 @@ impl Bencher {
     }
 }
 
+/// Appends one benchmark record to the JSON-lines file named by the
+/// `BENCH_JSON` environment variable (no-op when unset). CI points this
+/// at an artifact (e.g. `BENCH_serve.json`) so the perf trajectory is
+/// tracked across PRs; test-mode runs record `"mode":"test"` with zero
+/// timings, real runs record the measured median and rate.
+fn record_json(label: &str, mode: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    record_json_to(&path, label, mode, median_ns, throughput);
+}
+
+fn record_json_to(
+    path: &str,
+    label: &str,
+    mode: &str,
+    median_ns: f64,
+    throughput: Option<Throughput>,
+) {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+            n as f64 / (median_ns * 1e-9)
+        }
+        _ => 0.0,
+    };
+    let unit = match throughput {
+        Some(Throughput::Bytes(_)) => "bytes_per_sec",
+        _ => "elements_per_sec",
+    };
+    let line = format!(
+        "{{\"bench\":\"{escaped}\",\"mode\":\"{mode}\",\"median_ns\":{median_ns:.1},\"{unit}\":{rate:.1}}}\n",
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(
     c: &Criterion,
     label: &str,
@@ -252,6 +301,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         };
         f(&mut b);
         println!("test-mode bench {label}: ok");
+        record_json(label, "test", 0.0, throughput);
         return;
     }
 
@@ -301,6 +351,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let lo = samples[0];
     let hi = samples[samples.len() - 1];
 
+    record_json(label, "measured", median, throughput);
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  {:>12}/s", si(n as f64 / (median * 1e-9))),
         Throughput::Bytes(n) => format!("  {:>10}B/s", si(n as f64 / (median * 1e-9))),
@@ -408,6 +459,36 @@ mod tests {
             ..Criterion::default()
         };
         sample_bench(&mut c);
+    }
+
+    #[test]
+    fn bench_json_records_are_well_formed() {
+        let dir = std::env::temp_dir().join(format!("bench_json_{}", std::process::id()));
+        let path = dir.join("BENCH_test.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().unwrap();
+        record_json_to(
+            path_str,
+            "group/\"case\"/1",
+            "measured",
+            2_000.0,
+            Some(Throughput::Elements(64)),
+        );
+        record_json_to(path_str, "group/case/8", "test", 0.0, None);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"mode\":\"measured\""));
+        assert!(
+            lines[0].contains("\\\"case\\\""),
+            "quote escaped: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"elements_per_sec\":32000000.0"));
+        assert!(lines[1].contains("\"median_ns\":0.0"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -16,9 +16,12 @@
 
 use crate::hypothesis::{NullSpec, ShiftMethod};
 use crate::Result;
+use aware_data::bitmap::Bitmap;
+use aware_data::cache::EvalCache;
 use aware_data::column::ColumnType;
 use aware_data::hist::{
-    categorical_histogram, contingency_rows, histogram, numeric_histogram, Histogram,
+    categorical_histogram, contingency_rows, histogram, numeric_histogram_with_bounds, Histogram,
+    DEFAULT_NUMERIC_BINS,
 };
 use aware_data::predicate::Predicate;
 use aware_data::table::Table;
@@ -27,6 +30,7 @@ use aware_stats::nonparametric::{ks_two_sample, mann_whitney_u};
 use aware_stats::tests::{
     chi_square_gof, chi_square_independence, welch_t_test, Alternative, TestOutcome,
 };
+use std::sync::Arc;
 
 /// Below this minimum expected cell count on a 2×2 table, the χ²
 /// approximation is replaced by Fisher's exact test — the classical
@@ -46,16 +50,36 @@ pub struct Execution {
 
 /// Runs the test described by `spec` against `table`.
 ///
+/// `cache` is the dataset's shared [`EvalCache`]: selections come from
+/// (and feed) the fingerprint-keyed bitmap cache, and full-table
+/// invariants — global histograms, bucket proportions, numeric bin
+/// bounds — are memoized instead of rescanned. Passing `None` evaluates
+/// everything cold; both paths are bit-identical by construction (and by
+/// the equivalence property suites).
+///
 /// Errors (insufficient data, empty selections, zero variance) propagate
 /// so the session can mark the hypothesis `Untestable` *without* spending
 /// any α-wealth.
-pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
+pub fn execute(table: &Table, spec: &NullSpec, cache: Option<&EvalCache>) -> Result<Execution> {
     match spec {
         NullSpec::NoFilterEffect { attribute, filter } => {
-            let selection = filter.eval(table)?;
-            let global = histogram(table, attribute, None)?;
-            let filtered = select_histogram_with_sel(table, attribute, &selection)?;
-            let outcome = chi_square_gof(&filtered.counts(), &global.proportions())?;
+            let selection = eval_selection(table, filter, cache)?;
+            // The χ² reference distribution is a per-dataset invariant:
+            // the global bucket proportions of the attribute. One cache
+            // probe serves both the proportions and the bin bounds.
+            let outcome = match cache {
+                Some(c) => {
+                    let inv = c.invariants(table, attribute)?;
+                    let filtered = select_histogram(table, attribute, &selection, inv.bounds)?;
+                    chi_square_gof(&filtered.counts(), &inv.proportions)?
+                }
+                None => {
+                    let global = histogram(table, attribute, None)?;
+                    let bounds = histogram_bounds(table, attribute, cache)?;
+                    let filtered = select_histogram(table, attribute, &selection, bounds)?;
+                    chi_square_gof(&filtered.counts(), &global.proportions())?
+                }
+            };
             Ok(Execution {
                 outcome,
                 support_fraction: fraction(selection.count_ones(), table.rows()),
@@ -66,10 +90,12 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             filter_a,
             filter_b,
         } => {
-            let sel_a = filter_a.eval(table)?;
-            let sel_b = filter_b.eval(table)?;
-            let hist_a = select_histogram_with_sel(table, attribute, &sel_a)?;
-            let hist_b = select_histogram_with_sel(table, attribute, &sel_b)?;
+            let sel_a = eval_selection(table, filter_a, cache)?;
+            let sel_b = eval_selection(table, filter_b, cache)?;
+            // Bin bounds are resolved once for both selections.
+            let bounds = histogram_bounds(table, attribute, cache)?;
+            let hist_a = select_histogram(table, attribute, &sel_a, bounds)?;
+            let hist_b = select_histogram(table, attribute, &sel_b, bounds)?;
             let rows = contingency_rows(&hist_a, &hist_b)?;
             let outcome = if let Some(square) = as_sparse_2x2(&hist_a, &hist_b) {
                 fisher_exact(square)?
@@ -78,7 +104,7 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             };
             Ok(Execution {
                 outcome,
-                support_fraction: fraction(sel_a.count_ones() + sel_b.count_ones(), table.rows()),
+                support_fraction: fraction(union_count(&sel_a, &sel_b), table.rows()),
             })
         }
         NullSpec::MeanEquality {
@@ -86,14 +112,14 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             filter_a,
             filter_b,
         } => {
-            let sel_a = filter_a.eval(table)?;
-            let sel_b = filter_b.eval(table)?;
+            let sel_a = eval_selection(table, filter_a, cache)?;
+            let sel_b = eval_selection(table, filter_b, cache)?;
             let xs = table.numeric_values(attribute, Some(&sel_a))?;
             let ys = table.numeric_values(attribute, Some(&sel_b))?;
             let outcome = welch_t_test(&xs, &ys, Alternative::TwoSided)?;
             Ok(Execution {
                 outcome,
-                support_fraction: fraction(xs.len() + ys.len(), table.rows()),
+                support_fraction: fraction(union_count(&sel_a, &sel_b), table.rows()),
             })
         }
         NullSpec::IndependenceWithin {
@@ -102,7 +128,7 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             filter,
             use_g_test,
         } => {
-            let selection = filter.eval(table)?;
+            let selection = eval_selection(table, filter, cache)?;
             let ct =
                 aware_data::crosstab::crosstab(table, attribute_a, attribute_b, Some(&selection))?;
             let outcome = if *use_g_test {
@@ -120,7 +146,7 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             group_attribute,
             filter,
         } => {
-            let selection = filter.eval(table)?;
+            let selection = eval_selection(table, filter, cache)?;
             let groups = aware_data::agg::grouped_values(
                 table,
                 group_attribute,
@@ -139,8 +165,8 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             filter_b,
             method,
         } => {
-            let sel_a = filter_a.eval(table)?;
-            let sel_b = filter_b.eval(table)?;
+            let sel_a = eval_selection(table, filter_a, cache)?;
+            let sel_b = eval_selection(table, filter_b, cache)?;
             let xs = table.numeric_values(attribute, Some(&sel_a))?;
             let ys = table.numeric_values(attribute, Some(&sel_b))?;
             let outcome = match method {
@@ -149,9 +175,21 @@ pub fn execute(table: &Table, spec: &NullSpec) -> Result<Execution> {
             };
             Ok(Execution {
                 outcome,
-                support_fraction: fraction(xs.len() + ys.len(), table.rows()),
+                support_fraction: fraction(union_count(&sel_a, &sel_b), table.rows()),
             })
         }
+    }
+}
+
+/// Filter evaluation, through the cache when one is attached.
+fn eval_selection(
+    table: &Table,
+    filter: &Predicate,
+    cache: Option<&EvalCache>,
+) -> Result<Arc<Bitmap>> {
+    match cache {
+        Some(c) => Ok(c.selection(table, filter)?),
+        None => Ok(Arc::new(filter.eval(table)?)),
     }
 }
 
@@ -178,26 +216,58 @@ fn as_sparse_2x2(a: &Histogram, b: &Histogram) -> Option<[[u64; 2]; 2]> {
     (min_expected < FISHER_EXPECTED_THRESHOLD).then_some(square)
 }
 
-/// Histogram of an attribute over a selection, dispatching on type.
-fn select_histogram_with_sel(
+/// Resolves the fixed bin bounds a numeric attribute's histograms share
+/// (`None` for categorical/bool attributes): one cache probe — or one
+/// min/max scan, cold — reused for every selection of the same test.
+fn histogram_bounds(
     table: &Table,
     attribute: &str,
-    selection: &aware_data::bitmap::Bitmap,
-) -> Result<aware_data::hist::Histogram> {
-    let h = match table.column_type(attribute)? {
-        ColumnType::Int64 | ColumnType::Float64 => numeric_histogram(
+    cache: Option<&EvalCache>,
+) -> Result<Option<(f64, f64)>> {
+    match table.column_type(attribute)? {
+        ColumnType::Int64 | ColumnType::Float64 => match cache {
+            Some(c) => Ok(Some(
+                c.invariants(table, attribute)?
+                    .bounds
+                    .expect("numeric column has bounds"),
+            )),
+            None => Ok(Some(aware_data::hist::numeric_bounds(table, attribute)?)),
+        },
+        _ => Ok(None),
+    }
+}
+
+/// Histogram of an attribute over a selection, with pre-resolved bounds
+/// (`Some` ⇔ numeric attribute, from [`histogram_bounds`]).
+fn select_histogram(
+    table: &Table,
+    attribute: &str,
+    selection: &Bitmap,
+    bounds: Option<(f64, f64)>,
+) -> Result<Histogram> {
+    let h = match bounds {
+        Some(b) => numeric_histogram_with_bounds(
             table,
             attribute,
             Some(selection),
-            aware_data::hist::DEFAULT_NUMERIC_BINS,
+            DEFAULT_NUMERIC_BINS,
+            b,
         )?,
-        _ => categorical_histogram(table, attribute, Some(selection))?,
+        None => categorical_histogram(table, attribute, Some(selection))?,
     };
     Ok(h)
 }
 
-/// Clamped support fraction: selections can in principle overlap (rule 3
-/// filters need not partition the data), so cap at 1.
+/// Rows covered by either selection: `|A| + |B| − |A ∩ B|`, with the
+/// intersection counted word-at-a-time — no intersection bitmap is ever
+/// allocated. For the partitioned filters rule 3 produces (`f` vs `¬f`)
+/// this equals the plain sum; for overlapping filters it is the honest
+/// union instead of a clamped double count.
+fn union_count(a: &Bitmap, b: &Bitmap) -> usize {
+    a.count_ones() + b.count_ones() - a.count_ones_and(b)
+}
+
+/// Clamped support fraction, kept in (0, 1].
 fn fraction(selected: usize, total: usize) -> f64 {
     if total == 0 {
         return 1.0;
@@ -235,7 +305,7 @@ mod tests {
             attribute: "education".into(),
             filter: Predicate::eq("salary_over_50k", true),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(exec.outcome.kind, TestKind::ChiSquareGof);
         // education ⟂̸ salary by construction: overwhelming evidence.
         assert!(exec.outcome.p_value < 1e-8, "p = {}", exec.outcome.p_value);
@@ -249,7 +319,7 @@ mod tests {
             attribute: "race".into(),
             filter: Predicate::eq("salary_over_50k", true),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         // race ⟂ salary: p should not be extreme (fails w.p. ~1e-4).
         assert!(exec.outcome.p_value > 1e-4, "p = {}", exec.outcome.p_value);
     }
@@ -263,7 +333,7 @@ mod tests {
             filter_a: f.clone(),
             filter_b: f.negate(),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(exec.outcome.kind, TestKind::ChiSquareIndependence);
         assert!(exec.outcome.p_value < 1e-8);
         // The two selections partition the table: support ≈ 1.
@@ -279,7 +349,7 @@ mod tests {
             filter_a: f.clone(),
             filter_b: f.negate(),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         // age ⟂̸ salary by construction.
         assert!(exec.outcome.p_value < 1e-6, "p = {}", exec.outcome.p_value);
     }
@@ -288,7 +358,7 @@ mod tests {
     fn mean_equality_runs_welch_t() {
         let t = census();
         let spec = mean_comparison("hours_per_week", Predicate::eq("sex", "Male"));
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(exec.outcome.kind, TestKind::WelchT);
         // Planted: men average +2.5 hours.
         assert!(exec.outcome.p_value < 1e-6, "p = {}", exec.outcome.p_value);
@@ -302,7 +372,7 @@ mod tests {
             attribute: "sex".into(),
             filter: Predicate::eq("education", "Kindergarten"), // matches nothing
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -313,7 +383,7 @@ mod tests {
             filter_a: Predicate::eq("sex", "Male"),
             filter_b: Predicate::eq("sex", "Female"),
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -328,7 +398,7 @@ mod tests {
             filter_a: Predicate::eq("grp", true),
             filter_b: Predicate::eq("grp", false),
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -341,7 +411,7 @@ mod tests {
                 filter: Predicate::True,
                 use_g_test,
             };
-            let exec = execute(&t, &spec).unwrap();
+            let exec = execute(&t, &spec, None).unwrap();
             let expected = if use_g_test {
                 TestKind::GTest
             } else {
@@ -358,7 +428,7 @@ mod tests {
             filter: Predicate::eq("sex", "Female"),
             use_g_test: false,
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert!(exec.support_fraction < 0.6);
         assert!(exec.outcome.p_value > 1e-4, "p = {}", exec.outcome.p_value);
         // Numeric attributes are rejected by the crosstab.
@@ -368,7 +438,7 @@ mod tests {
             filter: Predicate::True,
             use_g_test: false,
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -380,7 +450,7 @@ mod tests {
             group_attribute: "education".into(),
             filter: Predicate::True,
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(exec.outcome.kind, TestKind::OneWayAnova);
         assert!(exec.outcome.p_value < 1e-8, "p = {}", exec.outcome.p_value);
         assert!((exec.support_fraction - 1.0).abs() < 1e-12);
@@ -391,7 +461,7 @@ mod tests {
             group_attribute: "race".into(),
             filter: Predicate::True,
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert!(exec.outcome.p_value > 1e-4, "p = {}", exec.outcome.p_value);
 
         // Filtered variant restricts support.
@@ -400,7 +470,7 @@ mod tests {
             group_attribute: "sex".into(),
             filter: Predicate::eq("education", "PhD"),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert!(exec.support_fraction < 0.2);
         // Grouping by a numeric attribute errors cleanly.
         let spec = NullSpec::NoGroupMeanDifference {
@@ -408,7 +478,7 @@ mod tests {
             group_attribute: "age".into(),
             filter: Predicate::True,
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -424,7 +494,7 @@ mod tests {
                 filter_b: Predicate::eq("sex", "Female"),
                 method,
             };
-            let exec = execute(&t, &spec).unwrap();
+            let exec = execute(&t, &spec, None).unwrap();
             assert_eq!(exec.outcome.kind, kind);
             // Planted +2.5h shift for men: both tests detect it at n≈8k.
             assert!(
@@ -440,7 +510,7 @@ mod tests {
             filter_b: Predicate::eq("sex", "Female"),
             method: ShiftMethod::MannWhitney,
         };
-        assert!(execute(&t, &spec).is_err());
+        assert!(execute(&t, &spec, None).is_err());
     }
 
     #[test]
@@ -458,7 +528,7 @@ mod tests {
             filter_a: Predicate::eq("grp", true),
             filter_b: Predicate::eq("grp", false),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(
             exec.outcome.kind,
             TestKind::FisherExact,
@@ -472,8 +542,83 @@ mod tests {
             filter_a: f.clone(),
             filter_b: f.negate(),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         assert_eq!(exec.outcome.kind, TestKind::ChiSquareIndependence);
+    }
+
+    #[test]
+    fn cached_execution_is_byte_identical_to_cold() {
+        use aware_data::cache::EvalCache;
+        let t = census();
+        let f = Predicate::eq("salary_over_50k", true);
+        let chain = f
+            .clone()
+            .and(Predicate::eq("sex", "Male"))
+            .and(Predicate::between("age", 25.0, 55.0));
+        let specs = vec![
+            NullSpec::NoFilterEffect {
+                attribute: "education".into(),
+                filter: chain.clone(),
+            },
+            NullSpec::NoFilterEffect {
+                attribute: "age".into(),
+                filter: f.clone(),
+            },
+            NullSpec::NoDistributionDifference {
+                attribute: "age".into(),
+                filter_a: f.clone(),
+                filter_b: f.clone().negate(),
+            },
+            mean_comparison("hours_per_week", chain.clone()),
+            NullSpec::IndependenceWithin {
+                attribute_a: "education".into(),
+                attribute_b: "marital_status".into(),
+                filter: chain.clone(),
+                use_g_test: false,
+            },
+            NullSpec::NoGroupMeanDifference {
+                value_attribute: "hours_per_week".into(),
+                group_attribute: "education".into(),
+                filter: f.clone(),
+            },
+            NullSpec::StochasticEquality {
+                attribute: "hours_per_week".into(),
+                filter_a: f.clone(),
+                filter_b: f.clone().negate(),
+                method: ShiftMethod::MannWhitney,
+            },
+        ];
+        let cache = EvalCache::new();
+        for spec in &specs {
+            // Byte-identical rendering (NaN-tolerant, still catches any
+            // ULP of drift in p-values, statistics, or support).
+            let cold = format!("{:?}", execute(&t, spec, None).unwrap());
+            let first = format!("{:?}", execute(&t, spec, Some(&cache)).unwrap());
+            let warm = format!("{:?}", execute(&t, spec, Some(&cache)).unwrap());
+            assert_eq!(cold, first, "first cached run diverged");
+            assert_eq!(cold, warm, "warm cached run diverged");
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "second pass must hit: {stats:?}");
+    }
+
+    #[test]
+    fn support_fraction_is_the_union_of_the_two_selections() {
+        use aware_data::predicate::CmpOp;
+        // Overlapping filters: support is |A ∪ B|, not a clamped sum.
+        let t = census();
+        let spec = NullSpec::MeanEquality {
+            attribute: "hours_per_week".into(),
+            filter_a: Predicate::cmp("age", CmpOp::Ge, aware_data::value::Value::from(30i64)),
+            filter_b: Predicate::cmp("age", CmpOp::Ge, aware_data::value::Value::from(50i64)),
+        };
+        let exec = execute(&t, &spec, None).unwrap();
+        let a = Predicate::cmp("age", CmpOp::Ge, aware_data::value::Value::from(30i64))
+            .eval(&t)
+            .unwrap();
+        let expected = a.count_ones() as f64 / t.rows() as f64;
+        // B ⊆ A, so the union is exactly A.
+        assert!((exec.support_fraction - expected).abs() < 1e-12);
     }
 
     #[test]
@@ -483,7 +628,7 @@ mod tests {
             attribute: "sex".into(),
             filter: Predicate::eq("education", "PhD"),
         };
-        let exec = execute(&t, &spec).unwrap();
+        let exec = execute(&t, &spec, None).unwrap();
         // PhDs are ~4% of the population.
         assert!(exec.support_fraction < 0.15, "{}", exec.support_fraction);
         assert!(exec.support_fraction > 0.005, "{}", exec.support_fraction);

@@ -22,6 +22,7 @@ use crate::hypothesis::{Hypothesis, HypothesisId, HypothesisStatus, NullSpec, Te
 use crate::nh1;
 use crate::viz::{Visualization, VizId};
 use crate::Result;
+use aware_data::cache::EvalCache;
 use aware_data::table::Table;
 use aware_mht::investing::{AlphaInvesting, InvestingPolicy};
 use aware_mht::MhtError;
@@ -46,6 +47,7 @@ pub struct VizOutcome {
 /// never see the sharing.
 pub struct Session<P> {
     table: Arc<Table>,
+    cache: Option<Arc<EvalCache>>,
     investing: AlphaInvesting<P>,
     visualizations: Vec<Visualization>,
     hypotheses: Vec<Hypothesis>,
@@ -58,13 +60,44 @@ impl<P: InvestingPolicy> Session<P> {
         Session::shared(Arc::new(table), alpha, policy)
     }
 
-    /// Opens a session over an already-shared table. This is the
-    /// constructor the multi-session serving layer uses: N sessions over
-    /// one census cost one table, not N.
+    /// Opens a session over an already-shared table with a private
+    /// evaluation cache (chain prefixes and global histograms are still
+    /// reused *within* the session). The multi-session serving layer
+    /// uses [`Session::shared_with_cache`] instead, so N sessions over
+    /// one census share one cache as well as one table.
     pub fn shared(table: Arc<Table>, alpha: f64, policy: P) -> Result<Session<P>> {
+        let cache = Arc::new(EvalCache::new());
+        Session::shared_with_cache(table, alpha, policy, cache)
+    }
+
+    /// Opens a session over a shared table *and* a shared per-dataset
+    /// evaluation cache: a thousand sessions over one census warm (and
+    /// are warmed by) the same selection bitmaps and invariants.
+    pub fn shared_with_cache(
+        table: Arc<Table>,
+        alpha: f64,
+        policy: P,
+        cache: Arc<EvalCache>,
+    ) -> Result<Session<P>> {
         let investing = AlphaInvesting::new(alpha, 1.0 - alpha, policy)?;
         Ok(Session {
             table,
+            cache: Some(cache),
+            investing,
+            visualizations: Vec::new(),
+            hypotheses: Vec::new(),
+        })
+    }
+
+    /// Opens a session that evaluates everything cold — the scalar
+    /// reference path the equivalence suites compare cached sessions
+    /// against. Statistically indistinguishable from a cached session;
+    /// only slower.
+    pub fn uncached(table: Arc<Table>, alpha: f64, policy: P) -> Result<Session<P>> {
+        let investing = AlphaInvesting::new(alpha, 1.0 - alpha, policy)?;
+        Ok(Session {
+            table,
+            cache: None,
             investing,
             visualizations: Vec::new(),
             hypotheses: Vec::new(),
@@ -74,6 +107,11 @@ impl<P: InvestingPolicy> Session<P> {
     /// The table being explored.
     pub fn table(&self) -> &Table {
         &self.table
+    }
+
+    /// The evaluation cache in use, if any.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
     }
 
     /// Remaining α-wealth.
@@ -302,7 +340,8 @@ impl<P: InvestingPolicy> Session<P> {
     ) -> Result<Option<(HypothesisId, TestRecord)>> {
         let id = HypothesisId(self.hypotheses.len() as u64);
 
-        let execution: Option<Execution> = match execute(&self.table, &spec) {
+        let execution: Option<Execution> = match execute(&self.table, &spec, self.cache.as_deref())
+        {
             Ok(e) => Some(e),
             Err(AwareError::Stats(_)) | Err(AwareError::Data(_)) => None,
             Err(other) => return Err(other),
@@ -385,6 +424,59 @@ mod props {
     /// Arbitrary exploration actions over the census schema.
     fn action() -> impl Strategy<Value = (usize, usize, usize, bool)> {
         (0..ATTRIBUTES.len(), 0..3usize, 0..5usize, any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Three sessions replay the same random exploration: one cold
+        /// (no cache), one with a fresh shared cache, one *reusing* that
+        /// now-warm cache. Every observable — gauge, CSV transcript,
+        /// text transcript — must be byte-identical across all three,
+        /// which is the session-level proof that cached evaluation never
+        /// changes a p-value, a bid, or a decision.
+        #[test]
+        fn cached_and_cold_sessions_render_byte_identical_transcripts(
+            actions in proptest::collection::vec(action(), 1..14),
+        ) {
+            use crate::{gauge, transcript};
+            let table = Arc::new(CensusGenerator::new(7).generate(900));
+            let cache = Arc::new(aware_data::cache::EvalCache::new());
+            let replay = |cache: Option<Arc<aware_data::cache::EvalCache>>|
+                -> Result<(String, String, String)> {
+                let mut s = match cache {
+                    Some(c) => Session::shared_with_cache(
+                        table.clone(), 0.05, Fixed::new(10.0), c)?,
+                    None => Session::uncached(table.clone(), 0.05, Fixed::new(10.0))?,
+                };
+                for &(attr_i, filter_kind, value_i, negate) in &actions {
+                    let attribute = ATTRIBUTES[attr_i];
+                    let filter = match filter_kind {
+                        0 => Predicate::eq("education", EDUCATION[value_i % EDUCATION.len()]),
+                        1 => Predicate::eq("marital_status", MARITAL[value_i % MARITAL.len()]),
+                        _ => Predicate::eq("race", RACE[value_i % RACE.len()]),
+                    };
+                    let filter = if negate { filter.negate() } else { filter };
+                    match s.add_visualization(attribute, filter) {
+                        Ok(_) => {}
+                        Err(e) if e.is_wealth_exhausted() => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok((
+                    gauge::render(&s),
+                    transcript::export_csv(&s),
+                    transcript::export_text(&s),
+                ))
+            };
+            let cold = replay(None).unwrap();
+            let fresh = replay(Some(cache.clone())).unwrap();
+            let warm = replay(Some(cache.clone())).unwrap();
+            prop_assert_eq!(&cold, &fresh, "fresh-cache session diverged from cold");
+            prop_assert_eq!(&cold, &warm, "warm-cache session diverged from cold");
+            // The third replay ran against a cache warmed by the second.
+            prop_assert!(cache.stats().hits > 0);
+        }
     }
 
     proptest! {

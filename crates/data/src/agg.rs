@@ -6,7 +6,7 @@
 //! accumulators per group, selection-aware.
 
 use crate::bitmap::Bitmap;
-use crate::column::Column;
+use crate::column::{CodeView, Column};
 use crate::table::Table;
 use crate::{DataError, Result};
 use aware_stats::summary::Moments;
@@ -47,14 +47,15 @@ impl GroupedMoments {
     }
 }
 
-/// Computes per-group moments of `value_column` grouped by the categorical
-/// or boolean `group_column`, restricted to `selection` when given.
-pub fn grouped_moments(
-    table: &Table,
+/// Validates the value/group columns and returns the label universe with
+/// borrowed codes. Error order matches the historical scalar path:
+/// selection size, then value-column type, then group-column type.
+fn encode_grouping<'a>(
+    table: &'a Table,
     group_column: &str,
     value_column: &str,
     selection: Option<&Bitmap>,
-) -> Result<GroupedMoments> {
+) -> Result<(Vec<String>, CodeView<'a>)> {
     if let Some(sel) = selection {
         table.check_selection(sel)?;
     }
@@ -66,53 +67,52 @@ pub fn grouped_moments(
             actual: values.column_type().name(),
         });
     }
+    let group = table.column(group_column)?;
+    group.code_view().ok_or_else(|| DataError::TypeMismatch {
+        column: group_column.to_owned(),
+        expected: "categorical or bool",
+        actual: group.column_type().name(),
+    })
+}
 
-    let (labels, code_of): (Vec<String>, Box<dyn Fn(usize) -> usize>) =
-        match table.column(group_column)? {
-            Column::Categorical { labels, codes } => {
-                let codes = codes.clone();
-                (labels.clone(), Box::new(move |i| codes[i] as usize))
-            }
-            Column::Bool(vals) => {
-                let vals = vals.clone();
-                (
-                    vec!["false".to_owned(), "true".to_owned()],
-                    Box::new(move |i| vals[i] as usize),
-                )
-            }
-            other => {
-                return Err(DataError::TypeMismatch {
-                    column: group_column.to_owned(),
-                    expected: "categorical or bool",
-                    actual: other.column_type().name(),
-                })
-            }
-        };
-
-    let mut moments = vec![Moments::new(); labels.len()];
-    let mut push = |i: usize| -> Result<()> {
-        let v = values
-            .numeric_at(i)
-            .ok_or_else(|| DataError::TypeMismatch {
-                column: value_column.to_owned(),
-                expected: "numeric (int64/float64)",
-                actual: values.column_type().name(),
-            })?;
-        moments[code_of(i)].push(v);
-        Ok(())
-    };
-    match selection {
-        Some(sel) => {
-            for i in sel.iter_ones() {
-                push(i)?;
-            }
-        }
-        None => {
-            for i in 0..table.rows() {
-                push(i)?;
-            }
+/// Single-pass accumulation of `value_column` by group under the
+/// optional selection (word-at-a-time over set bits).
+fn accumulate(
+    table: &Table,
+    value_column: &str,
+    codes: &CodeView<'_>,
+    selection: Option<&Bitmap>,
+    mut sink: impl FnMut(usize, f64),
+) -> Result<()> {
+    fn walk(selection: Option<&Bitmap>, rows: usize, mut visit: impl FnMut(usize)) {
+        match selection {
+            Some(sel) => sel.for_each_set(&mut visit),
+            None => (0..rows).for_each(&mut visit),
         }
     }
+    match table.column(value_column)? {
+        Column::Int64(v) => walk(selection, table.rows(), |i| sink(codes.at(i), v[i] as f64)),
+        Column::Float64(v) => walk(selection, table.rows(), |i| sink(codes.at(i), v[i])),
+        // encode_grouping admits a non-numeric value column only when it
+        // is empty, in which case there is nothing to visit.
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Computes per-group moments of `value_column` grouped by the categorical
+/// or boolean `group_column`, restricted to `selection` when given.
+pub fn grouped_moments(
+    table: &Table,
+    group_column: &str,
+    value_column: &str,
+    selection: Option<&Bitmap>,
+) -> Result<GroupedMoments> {
+    let (labels, codes) = encode_grouping(table, group_column, value_column, selection)?;
+    let mut moments = vec![Moments::new(); labels.len()];
+    accumulate(table, value_column, &codes, selection, |g, v| {
+        moments[g].push(v)
+    })?;
     Ok(GroupedMoments {
         group_column: group_column.to_owned(),
         value_column: value_column.to_owned(),
@@ -122,31 +122,20 @@ pub fn grouped_moments(
 }
 
 /// Extracts the per-group raw value vectors (for exact tests like ANOVA
-/// that need more than moments). Empty groups are returned empty.
+/// that need more than moments). Empty groups are returned empty. One
+/// validation + one accumulation pass (this used to run a full Welford
+/// pass just to validate).
 pub fn grouped_values(
     table: &Table,
     group_column: &str,
     value_column: &str,
     selection: Option<&Bitmap>,
 ) -> Result<Vec<Vec<f64>>> {
-    // Reuse grouped_moments for validation and label universe.
-    let grouped = grouped_moments(table, group_column, value_column, selection)?;
-    let mut out: Vec<Vec<f64>> = vec![Vec::new(); grouped.num_groups()];
-    let values = table.column(value_column)?;
-    let codes: Vec<usize> = match table.column(group_column)? {
-        Column::Categorical { codes, .. } => codes.iter().map(|&c| c as usize).collect(),
-        Column::Bool(vals) => vals.iter().map(|&b| b as usize).collect(),
-        _ => unreachable!("validated by grouped_moments"),
-    };
-    let mut push = |i: usize| {
-        if let Some(v) = values.numeric_at(i) {
-            out[codes[i]].push(v);
-        }
-    };
-    match selection {
-        Some(sel) => sel.iter_ones().for_each(&mut push),
-        None => (0..table.rows()).for_each(&mut push),
-    }
+    let (labels, codes) = encode_grouping(table, group_column, value_column, selection)?;
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+    accumulate(table, value_column, &codes, selection, |g, v| {
+        out[g].push(v)
+    })?;
     Ok(out)
 }
 

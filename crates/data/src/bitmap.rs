@@ -32,14 +32,47 @@ impl Bitmap {
         b
     }
 
-    /// Builds from a boolean slice.
+    /// Builds from a boolean slice, packing 64 bits per word.
     pub fn from_bools(bits: &[bool]) -> Bitmap {
-        let mut b = Bitmap::zeros(bits.len());
-        for (i, &v) in bits.iter().enumerate() {
-            if v {
-                b.set(i);
+        Bitmap::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Builds a bitmap of `len` bits where bit `i` is `f(i)`, packing 64
+    /// rows per word with no `Vec<bool>` intermediate — the bulk
+    /// constructor behind [`Bitmap::from_bools`]. (The predicate kernels
+    /// use a slice-specialized sibling of this loop, `pack` in
+    /// `predicate.rs`, whose `chunks(64)` inner loop elides bounds
+    /// checks; use `from_fn` when there is no backing slice to chunk.)
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Bitmap {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0;
+        while i + 64 <= len {
+            let mut w = 0u64;
+            for bit in 0..64 {
+                w |= (f(i + bit) as u64) << bit;
             }
+            words.push(w);
+            i += 64;
         }
+        if i < len {
+            let mut w = 0u64;
+            for bit in 0..(len - i) {
+                w |= (f(i + bit) as u64) << bit;
+            }
+            words.push(w);
+        }
+        Bitmap { words, len }
+    }
+
+    /// Builds from pre-packed words. The caller must have masked the
+    /// trailing word; debug builds verify it.
+    pub(crate) fn from_words(words: Vec<u64>, len: usize) -> Bitmap {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        let b = Bitmap { words, len };
+        debug_assert!(
+            len.is_multiple_of(64) || b.words.last().is_none_or(|w| w >> (len % 64) == 0),
+            "unmasked tail word"
+        );
         b
     }
 
@@ -85,6 +118,51 @@ impl Bitmap {
     /// Count of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `(self ∧ other).count_ones()` without allocating the intersection
+    /// bitmap. Panics if lengths differ.
+    pub fn count_ones_and(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Calls `f(i)` for every set bit `i` in ascending order — the
+    /// word-at-a-time loop behind selection-restricted counting, without
+    /// per-bit iterator machinery.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let base = wi * 64;
+            let mut w = word;
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Calls `f(i)` for every *clear* bit `i` in ascending order — the
+    /// complement walk used when a selection covers more than half the
+    /// rows and counting the complement is cheaper.
+    #[inline]
+    pub fn for_each_clear(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let base = wi * 64;
+            let bits = std::cmp::min(64, self.len - base);
+            let mut w = !word;
+            if bits < 64 {
+                w &= (1u64 << bits) - 1;
+            }
+            while w != 0 {
+                f(base + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
     }
 
     /// Fraction of rows selected; 0 for an empty bitmap.
@@ -262,6 +340,39 @@ mod tests {
     fn and_length_mismatch_panics() {
         let mut a = Bitmap::zeros(10);
         a.and_assign(&Bitmap::zeros(11));
+    }
+
+    #[test]
+    fn from_fn_matches_from_bools() {
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bools: Vec<bool> = (0..len).map(|i| i % 7 == 0 || i % 3 == 1).collect();
+            assert_eq!(
+                Bitmap::from_fn(len, |i| bools[i]),
+                Bitmap::from_bools(&bools)
+            );
+        }
+    }
+
+    #[test]
+    fn count_ones_and_matches_materialized_intersection() {
+        let a = Bitmap::from_indices(150, &[0, 5, 63, 64, 100, 149]);
+        let b = Bitmap::from_indices(150, &[5, 64, 99, 149]);
+        assert_eq!(a.count_ones_and(&b), a.and(&b).count_ones());
+        assert_eq!(a.count_ones_and(&b), 3);
+    }
+
+    #[test]
+    fn for_each_set_and_clear_partition_the_rows() {
+        let b = Bitmap::from_indices(130, &[0, 1, 64, 65, 127, 129]);
+        let mut set = Vec::new();
+        let mut clear = Vec::new();
+        b.for_each_set(|i| set.push(i));
+        b.for_each_clear(|i| clear.push(i));
+        assert_eq!(set, b.iter_ones().collect::<Vec<_>>());
+        assert_eq!(set.len() + clear.len(), 130);
+        assert!(clear.iter().all(|&i| !b.get(i)));
+        // The complement walk never reports out-of-range tail bits.
+        assert!(clear.iter().all(|&i| i < 130));
     }
 }
 

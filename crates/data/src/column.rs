@@ -38,6 +38,24 @@ impl std::fmt::Display for ColumnType {
     }
 }
 
+/// Borrowed per-row code view of a categorical (`u32` dictionary codes)
+/// or boolean (`false`→0, `true`→1) column.
+pub(crate) enum CodeView<'a> {
+    Cat(&'a [u32]),
+    Bool(&'a [bool]),
+}
+
+impl CodeView<'_> {
+    /// The row's code (an index into the domain labels).
+    #[inline]
+    pub(crate) fn at(&self, i: usize) -> usize {
+        match self {
+            CodeView::Cat(codes) => codes[i] as usize,
+            CodeView::Bool(vals) => vals[i] as usize,
+        }
+    }
+}
+
 /// One column of data.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
@@ -134,6 +152,20 @@ impl Column {
     pub fn labels(&self) -> Option<&[String]> {
         match self {
             Column::Categorical { labels, .. } => Some(labels),
+            _ => None,
+        }
+    }
+
+    /// `(domain labels, borrowed per-row codes)` of a categorical or
+    /// boolean column — the shared encoding the crosstab and group-by
+    /// kernels bucket by, with no materialized copy of the column.
+    pub(crate) fn code_view(&self) -> Option<(Vec<String>, CodeView<'_>)> {
+        match self {
+            Column::Categorical { labels, codes } => Some((labels.clone(), CodeView::Cat(codes))),
+            Column::Bool(vals) => Some((
+                vec!["false".to_owned(), "true".to_owned()],
+                CodeView::Bool(vals),
+            )),
             _ => None,
         }
     }

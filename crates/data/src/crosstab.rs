@@ -7,7 +7,7 @@
 //! head-on rather than through a filter chain.
 
 use crate::bitmap::Bitmap;
-use crate::column::Column;
+use crate::column::CodeView;
 use crate::table::Table;
 use crate::{DataError, Result};
 
@@ -38,26 +38,23 @@ impl CrossTab {
     }
 }
 
-/// Encodes a categorical or boolean column as (labels, per-row codes).
-fn encode(table: &Table, name: &str) -> Result<(Vec<String>, Vec<usize>)> {
-    match table.column(name)? {
-        Column::Categorical { labels, codes } => {
-            Ok((labels.clone(), codes.iter().map(|&c| c as usize).collect()))
-        }
-        Column::Bool(vals) => Ok((
-            vec!["false".to_owned(), "true".to_owned()],
-            vals.iter().map(|&b| b as usize).collect(),
-        )),
-        other => Err(DataError::TypeMismatch {
-            column: name.to_owned(),
-            expected: "categorical or bool",
-            actual: other.column_type().name(),
-        }),
-    }
+/// Encodes a categorical or boolean column as (labels, borrowed codes).
+fn encode<'a>(table: &'a Table, name: &str) -> Result<(Vec<String>, CodeView<'a>)> {
+    let col = table.column(name)?;
+    col.code_view().ok_or_else(|| DataError::TypeMismatch {
+        column: name.to_owned(),
+        expected: "categorical or bool",
+        actual: col.column_type().name(),
+    })
 }
 
 /// Builds the crosstab of `row_column` × `col_column`, restricted to
 /// `selection` when given.
+///
+/// Counts accumulate into one flat row-major `Vec<u64>` (a single cache
+/// line for the common small tables, no per-row nested indexing) with
+/// the same word-at-a-time selection walk the histograms use, then
+/// reshape into the public `Vec<Vec<u64>>`.
 pub fn crosstab(
     table: &Table,
     row_column: &str,
@@ -75,12 +72,19 @@ pub fn crosstab(
     }
     let (row_labels, row_codes) = encode(table, row_column)?;
     let (col_labels, col_codes) = encode(table, col_column)?;
-    let mut counts = vec![vec![0u64; col_labels.len()]; row_labels.len()];
-    let mut bump = |i: usize| counts[row_codes[i]][col_codes[i]] += 1;
-    match selection {
-        Some(sel) => sel.iter_ones().for_each(&mut bump),
-        None => (0..table.rows()).for_each(&mut bump),
-    }
+    let width = col_labels.len();
+    // The r×c grid is a flattened bucket space, so selection counting
+    // (including the majority complement-and-subtract trick) is the
+    // histogram kernel.
+    let flat =
+        crate::hist::count_selected(table.rows(), row_labels.len() * width, selection, |i| {
+            row_codes.at(i) * width + col_codes.at(i)
+        });
+    let counts = if width == 0 {
+        vec![Vec::new(); row_labels.len()]
+    } else {
+        flat.chunks(width).map(<[u64]>::to_vec).collect()
+    };
     Ok(CrossTab {
         row_column: row_column.to_owned(),
         col_column: col_column.to_owned(),
@@ -94,6 +98,7 @@ pub fn crosstab(
 mod tests {
     use super::*;
     use crate::census::CensusGenerator;
+    use crate::column::Column;
     use crate::predicate::Predicate;
     use crate::table::TableBuilder;
 

@@ -71,6 +71,41 @@ impl Histogram {
 /// IDE tools (Vizdom renders ~10 bars).
 pub const DEFAULT_NUMERIC_BINS: usize = 10;
 
+/// Bucket counting over an optional selection: the shared word-at-a-time
+/// kernel behind every histogram (and, with a flattened bucket space,
+/// the crosstab).
+///
+/// * no selection → one tight full-column loop;
+/// * selection covering ≤ ½ the rows → walk set bits per word;
+/// * selection covering > ½ the rows → count the *complement* against the
+///   full-column counts and subtract — the walked bit count is always
+///   min(|sel|, n−|sel|).
+pub(crate) fn count_selected(
+    rows: usize,
+    buckets: usize,
+    selection: Option<&Bitmap>,
+    bucket_of: impl Fn(usize) -> usize,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; buckets];
+    match selection {
+        None => {
+            for i in 0..rows {
+                counts[bucket_of(i)] += 1;
+            }
+        }
+        Some(sel) if 2 * sel.count_ones() > rows => {
+            for i in 0..rows {
+                counts[bucket_of(i)] += 1;
+            }
+            sel.for_each_clear(|i| counts[bucket_of(i)] -= 1);
+        }
+        Some(sel) => {
+            sel.for_each_set(|i| counts[bucket_of(i)] += 1);
+        }
+    }
+    counts
+}
+
 /// Computes the histogram of `column` over `selection` (or all rows).
 ///
 /// Categorical and bool columns bucket by value; numeric columns use
@@ -96,19 +131,8 @@ pub fn categorical_histogram(
     let col = table.column(column)?;
     match col {
         Column::Categorical { labels, codes } => {
-            let mut counts = vec![0u64; labels.len()];
-            match selection {
-                Some(sel) => {
-                    for i in sel.iter_ones() {
-                        counts[codes[i] as usize] += 1;
-                    }
-                }
-                None => {
-                    for &c in codes {
-                        counts[c as usize] += 1;
-                    }
-                }
-            }
+            let counts =
+                count_selected(codes.len(), labels.len(), selection, |i| codes[i] as usize);
             Ok(Histogram {
                 column: column.to_owned(),
                 buckets: labels
@@ -122,19 +146,7 @@ pub fn categorical_histogram(
             })
         }
         Column::Bool(values) => {
-            let mut counts = [0u64; 2];
-            match selection {
-                Some(sel) => {
-                    for i in sel.iter_ones() {
-                        counts[values[i] as usize] += 1;
-                    }
-                }
-                None => {
-                    for &v in values {
-                        counts[v as usize] += 1;
-                    }
-                }
-            }
+            let counts = count_selected(values.len(), 2, selection, |i| values[i] as usize);
             Ok(Histogram {
                 column: column.to_owned(),
                 buckets: vec![
@@ -174,27 +186,63 @@ pub fn numeric_histogram(
     if let Some(sel) = selection {
         table.check_selection(sel)?;
     }
+    let bounds = numeric_bounds(table, column)?;
+    numeric_histogram_with_bounds(table, column, selection, bins, bounds)
+}
+
+/// Full-column `(min, max)` of a numeric column — the per-dataset
+/// invariant bin edges derive from. Memoized by the evaluation cache so
+/// repeated histograms of one attribute never rescan for it.
+pub fn numeric_bounds(table: &Table, column: &str) -> Result<(f64, f64)> {
     let col = table.column(column)?;
-    let value_at = |i: usize| -> Result<f64> {
-        col.numeric_at(i).ok_or_else(|| DataError::TypeMismatch {
-            column: column.to_owned(),
-            expected: "numeric (int64/float64)",
-            actual: col.column_type().name(),
+    if table.rows() == 0 {
+        return Err(DataError::Empty {
+            context: "numeric_histogram",
+        });
+    }
+    // Sequential fold, same order as the counting scan, so cached and
+    // cold paths agree bit-for-bit on the edges.
+    let fold = |it: &mut dyn Iterator<Item = f64>| {
+        it.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
         })
     };
+    match col {
+        Column::Int64(v) => Ok(fold(&mut v.iter().map(|&x| x as f64))),
+        Column::Float64(v) => Ok(fold(&mut v.iter().copied())),
+        other => Err(DataError::TypeMismatch {
+            column: column.to_owned(),
+            expected: "numeric (int64/float64)",
+            actual: other.column_type().name(),
+        }),
+    }
+}
+
+/// [`numeric_histogram`] with pre-computed full-column bounds (from
+/// [`numeric_bounds`], possibly memoized): bin edges derive from the
+/// bounds, counting runs word-at-a-time over the selection.
+pub fn numeric_histogram_with_bounds(
+    table: &Table,
+    column: &str,
+    selection: Option<&Bitmap>,
+    bins: usize,
+    (min, max): (f64, f64),
+) -> Result<Histogram> {
+    if bins == 0 {
+        return Err(DataError::InvalidArgument {
+            context: "numeric_histogram",
+            constraint: "bins >= 1",
+        });
+    }
+    if let Some(sel) = selection {
+        table.check_selection(sel)?;
+    }
+    let col = table.column(column)?;
     let n = table.rows();
     if n == 0 {
         return Err(DataError::Empty {
             context: "numeric_histogram",
         });
-    }
-    // Bin edges always come from the FULL column so selections align.
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    for i in 0..n {
-        let v = value_at(i)?;
-        min = min.min(v);
-        max = max.max(v);
     }
     let width = if max > min {
         (max - min) / bins as f64
@@ -202,20 +250,17 @@ pub fn numeric_histogram(
         1.0
     };
     let bin_of = |v: f64| -> usize { (((v - min) / width) as usize).min(bins - 1) };
-
-    let mut counts = vec![0u64; bins];
-    match selection {
-        Some(sel) => {
-            for i in sel.iter_ones() {
-                counts[bin_of(value_at(i)?)] += 1;
-            }
+    let counts = match col {
+        Column::Int64(v) => count_selected(n, bins, selection, |i| bin_of(v[i] as f64)),
+        Column::Float64(v) => count_selected(n, bins, selection, |i| bin_of(v[i])),
+        other => {
+            return Err(DataError::TypeMismatch {
+                column: column.to_owned(),
+                expected: "numeric (int64/float64)",
+                actual: other.column_type().name(),
+            })
         }
-        None => {
-            for i in 0..n {
-                counts[bin_of(value_at(i)?)] += 1;
-            }
-        }
-    }
+    };
     Ok(Histogram {
         column: column.to_owned(),
         buckets: counts

@@ -12,6 +12,10 @@
 //!   `Categorical` column storage.
 //! * [`bitmap`] — packed selection vectors with fast boolean algebra; every
 //!   filter evaluates to one of these.
+//! * [`cache`] — the shared per-dataset evaluation cache: canonical
+//!   predicate fingerprints, LRU-bounded selection bitmaps with
+//!   incremental filter-chain evaluation, memoized per-attribute
+//!   invariants (global histograms, bin edges, proportions).
 //! * [`predicate`] — the filter AST users build by dragging visualizations
 //!   together (equality, ranges, negation, conjunction, disjunction).
 //! * [`hist`] — histogram/group-by computation over selections, the
@@ -40,6 +44,7 @@
 
 pub mod agg;
 pub mod bitmap;
+pub mod cache;
 pub mod census;
 pub mod column;
 pub mod crosstab;

@@ -41,17 +41,6 @@ impl CmpOp {
             CmpOp::Ge => "≥",
         }
     }
-
-    fn eval_f64(&self, a: f64, b: f64) -> bool {
-        match self {
-            CmpOp::Eq => a == b,
-            CmpOp::Neq => a != b,
-            CmpOp::Lt => a < b,
-            CmpOp::Le => a <= b,
-            CmpOp::Gt => a > b,
-            CmpOp::Ge => a >= b,
-        }
-    }
 }
 
 /// A filter over table rows.
@@ -126,6 +115,11 @@ impl Predicate {
     }
 
     /// Conjoins another predicate onto this one, flattening nested `And`s.
+    ///
+    /// Every arm is O(1) amortized (the old `p ∧ And(b)` case shifted the
+    /// whole vector to keep written order); conjunction is commutative
+    /// and the evaluation cache orders clauses canonically at fingerprint
+    /// time, so clause order is cosmetic.
     pub fn and(self, other: Predicate) -> Predicate {
         match (self, other) {
             (Predicate::True, p) | (p, Predicate::True) => p,
@@ -133,13 +127,9 @@ impl Predicate {
                 a.extend(b);
                 Predicate::And(a)
             }
-            (Predicate::And(mut a), p) => {
+            (Predicate::And(mut a), p) | (p, Predicate::And(mut a)) => {
                 a.push(p);
                 Predicate::And(a)
-            }
-            (p, Predicate::And(mut b)) => {
-                b.insert(0, p);
-                Predicate::And(b)
             }
             (a, b) => Predicate::And(vec![a, b]),
         }
@@ -151,29 +141,25 @@ impl Predicate {
     }
 
     /// Evaluates the predicate to a selection bitmap over `table`.
+    ///
+    /// Leaf predicates run word-packed kernels: 64 rows fold into one
+    /// `u64` per inner-loop trip with no `Vec<bool>` intermediate, `In`
+    /// scans the column once against a membership set, and boolean
+    /// combinators stay word-at-a-time on the packed bitmaps.
     pub fn eval(&self, table: &Table) -> Result<Bitmap> {
         let rows = table.rows();
         match self {
             Predicate::True => Ok(Bitmap::ones(rows)),
             Predicate::Cmp { column, op, value } => eval_cmp(table, column, *op, value),
-            Predicate::In { column, values } => {
-                let mut acc = Bitmap::zeros(rows);
-                for v in values {
-                    acc.or_assign(&eval_cmp(table, column, CmpOp::Eq, v)?);
-                }
-                Ok(acc)
-            }
+            Predicate::In { column, values } => eval_in(table, column, values),
             Predicate::Between { column, lo, hi } => {
-                let col = table.column(column)?;
-                match col {
-                    Column::Int64(v) => Ok(Bitmap::from_bools(
-                        &v.iter()
-                            .map(|&x| (x as f64) >= *lo && (x as f64) <= *hi)
-                            .collect::<Vec<_>>(),
-                    )),
-                    Column::Float64(v) => Ok(Bitmap::from_bools(
-                        &v.iter().map(|&x| x >= *lo && x <= *hi).collect::<Vec<_>>(),
-                    )),
+                let (lo, hi) = (*lo, *hi);
+                match table.column(column)? {
+                    Column::Int64(v) => Ok(pack(v, |x| {
+                        let x = x as f64;
+                        x >= lo && x <= hi
+                    })),
+                    Column::Float64(v) => Ok(pack(v, |x| x >= lo && x <= hi)),
                     other => Err(DataError::TypeMismatch {
                         column: column.clone(),
                         expected: "numeric (int64/float64)",
@@ -200,6 +186,38 @@ impl Predicate {
     }
 }
 
+/// Packs `pred(vals[i])` into a bitmap 64 rows per word. `chunks(64)`
+/// keeps the inner loop bounds-check-free so simple predicates
+/// auto-vectorize.
+#[inline]
+fn pack<T: Copy>(vals: &[T], pred: impl Fn(T) -> bool) -> Bitmap {
+    let words = vals
+        .chunks(64)
+        .map(|chunk| {
+            let mut w = 0u64;
+            for (i, &v) in chunk.iter().enumerate() {
+                w |= (pred(v) as u64) << i;
+            }
+            w
+        })
+        .collect();
+    Bitmap::from_words(words, vals.len())
+}
+
+/// Comparison kernel over a numeric slice: the operator is matched once,
+/// outside the scan, so each arm is a tight branch-free loop.
+#[inline]
+fn pack_cmp<T: Copy>(vals: &[T], op: CmpOp, rhs: f64, conv: impl Fn(T) -> f64) -> Bitmap {
+    match op {
+        CmpOp::Eq => pack(vals, |x| conv(x) == rhs),
+        CmpOp::Neq => pack(vals, |x| conv(x) != rhs),
+        CmpOp::Lt => pack(vals, |x| conv(x) < rhs),
+        CmpOp::Le => pack(vals, |x| conv(x) <= rhs),
+        CmpOp::Gt => pack(vals, |x| conv(x) > rhs),
+        CmpOp::Ge => pack(vals, |x| conv(x) >= rhs),
+    }
+}
+
 fn eval_cmp(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bitmap> {
     let col = table.column(column)?;
     let mismatch = || DataError::TypeMismatch {
@@ -210,50 +228,112 @@ fn eval_cmp(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bit
     match col {
         Column::Int64(v) => {
             let rhs = value.as_f64().ok_or_else(mismatch)?;
-            Ok(Bitmap::from_bools(
-                &v.iter()
-                    .map(|&x| op.eval_f64(x as f64, rhs))
-                    .collect::<Vec<_>>(),
-            ))
+            Ok(pack_cmp(v, op, rhs, |x| x as f64))
         }
         Column::Float64(v) => {
             let rhs = value.as_f64().ok_or_else(mismatch)?;
-            Ok(Bitmap::from_bools(
-                &v.iter().map(|&x| op.eval_f64(x, rhs)).collect::<Vec<_>>(),
-            ))
+            Ok(pack_cmp(v, op, rhs, |x| x))
         }
         Column::Bool(v) => {
             let rhs = value.as_bool().ok_or_else(mismatch)?;
-            let res: Vec<bool> = match op {
-                CmpOp::Eq => v.iter().map(|&x| x == rhs).collect(),
-                CmpOp::Neq => v.iter().map(|&x| x != rhs).collect(),
-                _ => {
-                    return Err(DataError::InvalidArgument {
-                        context: "Predicate::eval",
-                        constraint: "bool columns support only =/≠",
-                    })
-                }
-            };
-            Ok(Bitmap::from_bools(&res))
+            match op {
+                CmpOp::Eq => Ok(pack(v, |x| x == rhs)),
+                CmpOp::Neq => Ok(pack(v, |x| x != rhs)),
+                _ => Err(DataError::InvalidArgument {
+                    context: "Predicate::eval",
+                    constraint: "bool columns support only =/≠",
+                }),
+            }
         }
         Column::Categorical { labels, codes } => {
             let rhs = value.as_str().ok_or_else(mismatch)?;
             let target = labels.iter().position(|l| l == rhs).map(|i| i as u32);
-            let res: Vec<bool> = match (op, target) {
-                (CmpOp::Eq, Some(t)) => codes.iter().map(|&c| c == t).collect(),
-                (CmpOp::Eq, None) => vec![false; codes.len()],
-                (CmpOp::Neq, Some(t)) => codes.iter().map(|&c| c != t).collect(),
-                (CmpOp::Neq, None) => vec![true; codes.len()],
-                _ => {
-                    return Err(DataError::InvalidArgument {
-                        context: "Predicate::eval",
-                        constraint: "categorical columns support only =/≠",
-                    })
-                }
-            };
-            Ok(Bitmap::from_bools(&res))
+            match (op, target) {
+                (CmpOp::Eq, Some(t)) => Ok(pack(codes, |c| c == t)),
+                (CmpOp::Eq, None) => Ok(Bitmap::zeros(codes.len())),
+                (CmpOp::Neq, Some(t)) => Ok(pack(codes, |c| c != t)),
+                (CmpOp::Neq, None) => Ok(Bitmap::ones(codes.len())),
+                _ => Err(DataError::InvalidArgument {
+                    context: "Predicate::eval",
+                    constraint: "categorical columns support only =/≠",
+                }),
+            }
         }
     }
+}
+
+/// Membership kernel: one scan of the column against a pre-resolved
+/// value set, instead of the old one-full-scan-per-listed-value
+/// (O(k·n) plus k bitmap allocations).
+fn eval_in(table: &Table, column: &str, values: &[Value]) -> Result<Bitmap> {
+    let col = table.column(column)?;
+    match col {
+        Column::Int64(v) => {
+            let set = numeric_set(column, col, values)?;
+            Ok(pack(v, |x| set.contains_value(x as f64)))
+        }
+        Column::Float64(v) => {
+            let set = numeric_set(column, col, values)?;
+            Ok(pack(v, |x| set.contains_value(x)))
+        }
+        Column::Bool(v) => {
+            // member[0] ⇔ `false` is listed, member[1] ⇔ `true` is listed.
+            let mut member = [false; 2];
+            for value in values {
+                let rhs = value.as_bool().ok_or_else(|| DataError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: value.type_name(),
+                    actual: col.column_type().name(),
+                })?;
+                member[rhs as usize] = true;
+            }
+            Ok(pack(v, |x| member[x as usize]))
+        }
+        Column::Categorical { labels, codes } => {
+            // A code-indexed membership table: `In` over a dictionary
+            // column reduces to a range-free lookup per row.
+            let mut member = vec![false; labels.len()];
+            for value in values {
+                let rhs = value.as_str().ok_or_else(|| DataError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: value.type_name(),
+                    actual: col.column_type().name(),
+                })?;
+                if let Some(i) = labels.iter().position(|l| l == rhs) {
+                    member[i] = true;
+                }
+            }
+            Ok(pack(codes, |c| member[c as usize]))
+        }
+    }
+}
+
+/// The resolved numeric membership set of an `In` predicate. Kept as a
+/// plain slice scanned with `==` (not a sorted/bitwise structure) so
+/// `-0.0`/`0.0` and every other IEEE equality edge matches the scalar
+/// semantics exactly; listed values are few.
+struct NumericSet(Vec<f64>);
+
+impl NumericSet {
+    #[inline]
+    fn contains_value(&self, x: f64) -> bool {
+        self.0.contains(&x)
+    }
+}
+
+fn numeric_set(column: &str, col: &Column, values: &[Value]) -> Result<NumericSet> {
+    let mut set = Vec::with_capacity(values.len());
+    for value in values {
+        let rhs = value.as_f64().ok_or_else(|| DataError::TypeMismatch {
+            column: column.to_owned(),
+            expected: value.type_name(),
+            actual: col.column_type().name(),
+        })?;
+        if !set.contains(&rhs) {
+            set.push(rhs);
+        }
+    }
+    Ok(NumericSet(set))
 }
 
 impl std::fmt::Display for Predicate {
@@ -292,6 +372,311 @@ impl std::fmt::Display for Predicate {
                     write!(f, "({p})")?;
                 }
                 Ok(())
+            }
+        }
+    }
+}
+
+/// The scalar reference evaluator: row-at-a-time, bit-at-a-time, no
+/// word packing anywhere. It exists solely as the oracle for the
+/// equivalence property suite — the vectorized kernels must produce
+/// bit-identical bitmaps (and identical errors) on every input.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Scalar comparison, one row at a time.
+    fn eval_f64(op: CmpOp, a: f64, b: f64) -> bool {
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    pub fn eval(pred: &Predicate, table: &Table) -> Result<Bitmap> {
+        let rows = table.rows();
+        match pred {
+            Predicate::True => {
+                let mut b = Bitmap::zeros(rows);
+                for i in 0..rows {
+                    b.set(i);
+                }
+                Ok(b)
+            }
+            Predicate::Cmp { column, op, value } => scalar_cmp(table, column, *op, value),
+            Predicate::In { column, values } => {
+                table.column(column)?;
+                let mut acc = Bitmap::zeros(rows);
+                for v in values {
+                    let one = scalar_cmp(table, column, CmpOp::Eq, v)?;
+                    for i in 0..rows {
+                        if one.get(i) {
+                            acc.set(i);
+                        }
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = table.column(column)?;
+                match col {
+                    Column::Int64(_) | Column::Float64(_) => {
+                        let mut b = Bitmap::zeros(rows);
+                        for i in 0..rows {
+                            let x = col.numeric_at(i).expect("numeric column");
+                            if x >= *lo && x <= *hi {
+                                b.set(i);
+                            }
+                        }
+                        Ok(b)
+                    }
+                    other => Err(DataError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "numeric (int64/float64)",
+                        actual: other.column_type().name(),
+                    }),
+                }
+            }
+            Predicate::Not(inner) => {
+                let pos = eval(inner, table)?;
+                let mut b = Bitmap::zeros(rows);
+                for i in 0..rows {
+                    if !pos.get(i) {
+                        b.set(i);
+                    }
+                }
+                Ok(b)
+            }
+            Predicate::And(parts) => {
+                let mut acc = eval(&Predicate::True, table)?;
+                for p in parts {
+                    let one = eval(p, table)?;
+                    for i in 0..rows {
+                        if !one.get(i) {
+                            acc.clear(i);
+                        }
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Or(parts) => {
+                let mut acc = Bitmap::zeros(rows);
+                for p in parts {
+                    let one = eval(p, table)?;
+                    for i in 0..rows {
+                        if one.get(i) {
+                            acc.set(i);
+                        }
+                    }
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    fn scalar_cmp(table: &Table, column: &str, op: CmpOp, value: &Value) -> Result<Bitmap> {
+        let col = table.column(column)?;
+        let mismatch = || DataError::TypeMismatch {
+            column: column.to_owned(),
+            expected: value.type_name(),
+            actual: col.column_type().name(),
+        };
+        let rows = col.len();
+        let mut b = Bitmap::zeros(rows);
+        match col {
+            Column::Int64(v) => {
+                let rhs = value.as_f64().ok_or_else(mismatch)?;
+                for (i, &x) in v.iter().enumerate() {
+                    if eval_f64(op, x as f64, rhs) {
+                        b.set(i);
+                    }
+                }
+            }
+            Column::Float64(v) => {
+                let rhs = value.as_f64().ok_or_else(mismatch)?;
+                for (i, &x) in v.iter().enumerate() {
+                    if eval_f64(op, x, rhs) {
+                        b.set(i);
+                    }
+                }
+            }
+            Column::Bool(v) => {
+                let rhs = value.as_bool().ok_or_else(mismatch)?;
+                for (i, &x) in v.iter().enumerate() {
+                    let hit = match op {
+                        CmpOp::Eq => x == rhs,
+                        CmpOp::Neq => x != rhs,
+                        _ => {
+                            return Err(DataError::InvalidArgument {
+                                context: "Predicate::eval",
+                                constraint: "bool columns support only =/≠",
+                            })
+                        }
+                    };
+                    if hit {
+                        b.set(i);
+                    }
+                }
+            }
+            Column::Categorical { labels, codes } => {
+                let rhs = value.as_str().ok_or_else(mismatch)?;
+                let target = labels.iter().position(|l| l == rhs).map(|i| i as u32);
+                for (i, &c) in codes.iter().enumerate() {
+                    let hit = match (op, target) {
+                        (CmpOp::Eq, Some(t)) => c == t,
+                        (CmpOp::Eq, None) => false,
+                        (CmpOp::Neq, Some(t)) => c != t,
+                        (CmpOp::Neq, None) => true,
+                        _ => {
+                            return Err(DataError::InvalidArgument {
+                                context: "Predicate::eval",
+                                constraint: "categorical columns support only =/≠",
+                            })
+                        }
+                    };
+                    if hit {
+                        b.set(i);
+                    }
+                }
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// Deterministic generators for random tables and predicate ASTs, shared
+/// by the equivalence suites here and in [`crate::cache`].
+#[cfg(test)]
+pub(crate) mod arbitrary {
+    use super::*;
+    use crate::column::Column;
+    use crate::table::TableBuilder;
+
+    /// Splitmix-style generator, independent of the workspace RNG so the
+    /// case corpus is a pure function of the drawn seed.
+    pub struct Gen(pub u64);
+
+    impl Gen {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn pick(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    pub const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+    pub const FLOATS: [f64; 5] = [-1.5, 0.0, 2.5, 7.25, 64.0];
+    pub const COLUMNS: [&str; 5] = ["i", "f", "b", "c", "ghost"];
+
+    /// A small table over one column of each type (plus adversarial
+    /// lengths: 0, tail-word, multi-word row counts all occur).
+    pub fn table(g: &mut Gen, rows: usize) -> Table {
+        let ints: Vec<i64> = (0..rows).map(|_| g.pick(6) as i64 - 2).collect();
+        let floats: Vec<f64> = (0..rows).map(|_| FLOATS[g.pick(FLOATS.len())]).collect();
+        let bools: Vec<bool> = (0..rows).map(|_| g.pick(2) == 0).collect();
+        let cats: Vec<&str> = (0..rows).map(|_| LABELS[g.pick(LABELS.len())]).collect();
+        TableBuilder::new()
+            .push("i", Column::Int64(ints))
+            .push("f", Column::Float64(floats))
+            .push("b", Column::Bool(bools))
+            .push("c", Column::categorical_from_strs(&cats))
+            .build()
+            .expect("generated table is well-formed")
+    }
+
+    pub fn value(g: &mut Gen) -> Value {
+        match g.pick(4) {
+            0 => Value::Int(g.pick(6) as i64 - 2),
+            1 => Value::Float(FLOATS[g.pick(FLOATS.len())]),
+            2 => Value::Bool(g.pick(2) == 0),
+            // "zz" is never a column label: exercises the unknown-label
+            // arms of the categorical kernels.
+            _ => Value::Str(["a", "b", "c", "d", "zz"][g.pick(5)].into()),
+        }
+    }
+
+    pub fn predicate(g: &mut Gen, depth: usize) -> Predicate {
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        // Leaves only at the depth floor; combinators otherwise.
+        let variant = if depth == 0 { g.pick(10) } else { g.pick(16) };
+        match variant {
+            0..=5 => Predicate::Cmp {
+                column: COLUMNS[g.pick(COLUMNS.len())].into(),
+                op: ops[g.pick(ops.len())],
+                value: value(g),
+            },
+            6 | 7 => {
+                let column = COLUMNS[g.pick(COLUMNS.len())].into();
+                let k = g.pick(4);
+                Predicate::In {
+                    column,
+                    values: (0..k).map(|_| value(g)).collect(),
+                }
+            }
+            8 => {
+                let a = FLOATS[g.pick(FLOATS.len())];
+                let b = FLOATS[g.pick(FLOATS.len())];
+                Predicate::Between {
+                    column: COLUMNS[g.pick(COLUMNS.len())].into(),
+                    lo: a.min(b),
+                    hi: a.max(b),
+                }
+            }
+            9 => Predicate::True,
+            10 => Predicate::Not(Box::new(predicate(g, depth - 1))),
+            11..=13 => {
+                let k = g.pick(4);
+                Predicate::And((0..k).map(|_| predicate(g, depth - 1)).collect())
+            }
+            _ => {
+                let k = g.pick(4);
+                Predicate::Or((0..k).map(|_| predicate(g, depth - 1)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::arbitrary::Gen;
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The word-packed kernels agree with the scalar reference on
+        /// every random table × random AST — bit-identical bitmaps on
+        /// success, identical errors on failure.
+        #[test]
+        fn vectorized_eval_matches_scalar_reference(
+            seed in 0u64..u64::MAX,
+            rows in 0usize..200,
+        ) {
+            let mut g = Gen(seed);
+            let table = super::arbitrary::table(&mut g, rows);
+            for _ in 0..4 {
+                let pred = super::arbitrary::predicate(&mut g, 3);
+                let fast = pred.eval(&table);
+                let slow = reference::eval(&pred, &table);
+                prop_assert_eq!(fast, slow, "diverged on {}", pred);
             }
         }
     }
@@ -388,6 +773,30 @@ mod tests {
             Predicate::between("education", 0.0, 1.0).eval(&t),
             Err(DataError::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn in_on_unknown_column_errors_even_with_no_values() {
+        // Intentional change with the single-scan membership kernel:
+        // the column is resolved before the value list is consulted, so
+        // an unknown column is always an error. (The old per-value scan
+        // returned Ok(zeros) for an empty list because it never touched
+        // the column; at the session layer both shapes were Untestable.)
+        let t = demo();
+        let empty_in = Predicate::In {
+            column: "ghost".into(),
+            values: vec![],
+        };
+        assert!(matches!(
+            empty_in.eval(&t),
+            Err(DataError::UnknownColumn { .. })
+        ));
+        // On a known column, an empty list still selects nothing.
+        let none = Predicate::In {
+            column: "education".into(),
+            values: vec![],
+        };
+        assert_eq!(none.eval(&t).unwrap().count_ones(), 0);
     }
 
     #[test]

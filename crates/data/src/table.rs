@@ -139,24 +139,43 @@ impl Table {
 
     /// Numeric values of `column` restricted to `selection` (or all rows).
     ///
-    /// Errors on non-numeric columns; this is the extraction path for
-    /// t-tests over filtered sub-populations.
+    /// Errors on non-numeric columns (when any row is requested); this
+    /// is the extraction path for t-tests over filtered sub-populations.
+    /// The output is allocated exactly once (`|selection|` capacity) and
+    /// filled with a word-at-a-time walk of the selection.
     pub fn numeric_values(&self, name: &str, selection: Option<&Bitmap>) -> Result<Vec<f64>> {
         let col = self.column(name)?;
-        let extract = |i: usize| -> Result<f64> {
-            col.numeric_at(i).ok_or_else(|| DataError::TypeMismatch {
-                column: name.to_owned(),
-                expected: "numeric (int64/float64)",
-                actual: col.column_type().name(),
-            })
-        };
-        match selection {
-            Some(sel) => {
-                self.check_selection(sel)?;
-                sel.iter_ones().map(extract).collect()
-            }
-            None => (0..self.rows).map(extract).collect(),
+        if let Some(sel) = selection {
+            self.check_selection(sel)?;
         }
+        let wanted = match selection {
+            Some(sel) => sel.count_ones(),
+            None => self.rows,
+        };
+        let mut out = Vec::with_capacity(wanted);
+        match col {
+            Column::Int64(v) => match selection {
+                Some(sel) => sel.for_each_set(|i| out.push(v[i] as f64)),
+                None => out.extend(v.iter().map(|&x| x as f64)),
+            },
+            Column::Float64(v) => match selection {
+                Some(sel) => sel.for_each_set(|i| out.push(v[i])),
+                None => out.extend_from_slice(v),
+            },
+            other => {
+                // Matches the scalar semantics: extracting zero rows
+                // from a non-numeric column is an empty Ok, extracting
+                // any row is a type error.
+                if wanted > 0 {
+                    return Err(DataError::TypeMismatch {
+                        column: name.to_owned(),
+                        expected: "numeric (int64/float64)",
+                        actual: other.column_type().name(),
+                    });
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -39,9 +39,13 @@ pub type SessionId = u64;
 /// A boxed investing policy usable across worker threads.
 pub type BoxedPolicy = Box<dyn InvestingPolicy + Send>;
 
-/// The protocol version spoken after a successful v2 handshake. Version
-/// 1 is the implicit NDJSON single-command surface and needs no hello.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// The protocol version spoken after a successful hello handshake.
+/// Version 1 is the implicit NDJSON single-command surface and needs no
+/// hello. Version 3 kept version 2's envelope/batch/framing design but
+/// changed the binary `stats` payload (the scalar-counter list became
+/// count-prefixed and gained `cache_hits`/`cache_misses`), so version-2
+/// peers are refused at the handshake instead of mis-decoding stats.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard ceiling on items per batch envelope, enforced at decode time on
 /// both encodings — a client cannot make one wire message fan out into
@@ -939,6 +943,11 @@ pub struct StatsSnapshot {
     pub ndjson_requests: u64,
     /// Wire frames received on the binary surface.
     pub binary_frames: u64,
+    /// Evaluation-cache probes answered from the cache, summed over
+    /// every registered dataset's shared cache.
+    pub cache_hits: u64,
+    /// Evaluation-cache probes that had to evaluate cold.
+    pub cache_misses: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
 }
@@ -966,6 +975,8 @@ impl StatsSnapshot {
             ("overloaded", Json::Num(self.overloaded as f64)),
             ("ndjson_requests", Json::Num(self.ndjson_requests as f64)),
             ("binary_frames", Json::Num(self.binary_frames as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1004,6 +1015,8 @@ impl StatsSnapshot {
             overloaded: lenient("overloaded"),
             ndjson_requests: lenient("ndjson_requests"),
             binary_frames: lenient("binary_frames"),
+            cache_hits: lenient("cache_hits"),
+            cache_misses: lenient("cache_misses"),
             batch_size_hist,
         })
     }

@@ -36,6 +36,7 @@ use crate::proto::{
 use crate::registry::Registry;
 use aware_core::session::Session;
 use aware_core::{gauge, transcript};
+use aware_data::cache::EvalCache;
 use aware_data::table::Table;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,14 +135,36 @@ impl PendingTable {
     }
 }
 
+/// A registered dataset: the immutable table plus its shared evaluation
+/// cache. Every session opened on the dataset gets both, so 1k sessions
+/// over one census share one table *and* one warm cache.
+struct Dataset {
+    table: Arc<Table>,
+    cache: Arc<EvalCache>,
+}
+
 /// State shared by workers, handles, and the sweeper.
 struct Inner {
     registry: Registry,
     metrics: Metrics,
-    datasets: RwLock<HashMap<String, Arc<Table>>>,
+    datasets: RwLock<HashMap<String, Dataset>>,
     next_session: AtomicU64,
     pending: PendingTable,
     config: ServiceConfig,
+}
+
+/// Stats snapshot with the evaluation-cache counters summed over every
+/// registered dataset folded in.
+fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
+    let mut snapshot = inner.metrics.snapshot(inner.registry.len());
+    for dataset in inner.datasets.read().unwrap().values() {
+        // counters() reads two atomics — a stats poll never touches the
+        // cache's stripe locks, so it cannot stall hot-path evaluation.
+        let (hits, misses) = dataset.cache.counters();
+        snapshot.cache_hits += hits;
+        snapshot.cache_misses += misses;
+    }
+    snapshot
 }
 
 /// One command of a dispatch unit, tagged with its position in the
@@ -195,7 +218,7 @@ impl ServiceHandle {
         self.inner.metrics.batch(1);
         self.inner.metrics.command();
         if matches!(cmd, Command::Stats) {
-            return Response::Stats(self.inner.metrics.snapshot(self.inner.registry.len()));
+            return Response::Stats(snapshot_with_caches(&self.inner));
         }
         let (assigned, route) = match cmd.session() {
             Some(sid) => (None, sid),
@@ -275,9 +298,7 @@ impl ServiceHandle {
             // Stats is session-free and read-only: answer inline rather
             // than serializing it behind some arbitrary worker's queue.
             if matches!(cmd, Command::Stats) {
-                slots[index] = Some(Response::Stats(
-                    self.inner.metrics.snapshot(self.inner.registry.len()),
-                ));
+                slots[index] = Some(Response::Stats(snapshot_with_caches(&self.inner)));
                 continue;
             }
             let (assigned, route) = match cmd.session() {
@@ -366,13 +387,16 @@ impl ServiceHandle {
         self.register_shared(name, Arc::new(table));
     }
 
-    /// Registers an already-shared dataset — N sessions, one table.
+    /// Registers an already-shared dataset — N sessions, one table, one
+    /// fresh evaluation cache.
     pub fn register_shared(&self, name: impl Into<String>, table: Arc<Table>) {
-        self.inner
-            .datasets
-            .write()
-            .unwrap()
-            .insert(name.into(), table);
+        self.inner.datasets.write().unwrap().insert(
+            name.into(),
+            Dataset {
+                table,
+                cache: Arc::new(EvalCache::new()),
+            },
+        );
     }
 
     /// Registered dataset names, sorted.
@@ -631,7 +655,7 @@ fn execute(inner: &Inner, cmd: Command, assigned: Option<SessionId>) -> Response
             }
         }),
         Command::CloseSession { session } => close_session(inner, session),
-        Command::Stats => Response::Stats(inner.metrics.snapshot(inner.registry.len())),
+        Command::Stats => Response::Stats(snapshot_with_caches(inner)),
     }
 }
 
@@ -642,7 +666,13 @@ fn create_session(
     alpha: f64,
     policy: PolicySpec,
 ) -> Response {
-    let Some(table) = inner.datasets.read().unwrap().get(&dataset).cloned() else {
+    let Some((table, cache)) = inner
+        .datasets
+        .read()
+        .unwrap()
+        .get(&dataset)
+        .map(|d| (d.table.clone(), d.cache.clone()))
+    else {
         return Response::Error(ServeError {
             code: ErrorCode::UnknownDataset,
             message: format!("no dataset '{dataset}' registered"),
@@ -652,7 +682,9 @@ fn create_session(
         Ok(p) => p,
         Err(e) => return Response::Error(e),
     };
-    let session = match Session::shared(table, alpha, boxed) {
+    // All sessions on one dataset share its evaluation cache: filter
+    // chains and global histograms warmed by any session serve them all.
+    let session = match Session::shared_with_cache(table, alpha, boxed, cache) {
         Ok(s) => s,
         Err(e) => return Response::Error(ServeError::invalid(format!("cannot open session: {e}"))),
     };

@@ -30,6 +30,11 @@ use crate::proto::{FilterSpec, PolicySpec};
 /// Decoded-filter nesting ceiling, mirroring the JSON parser's.
 const MAX_FILTER_DEPTH: usize = 128;
 
+/// Scalar counters in a binary `Stats` reply. The wire carries this as
+/// a count prefix so the list can grow without breaking older decoders
+/// (unknown trailing counters are skipped, missing ones default to 0).
+const STATS_SCALAR_FIELDS: usize = 16;
+
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
 const TAG_BATCH: u8 = 0x02;
@@ -482,6 +487,11 @@ impl Writer {
             }
             Response::Stats(s) => {
                 self.u8(7);
+                // The scalar-counter list is count-prefixed so the set
+                // can grow (as cache_hits/cache_misses did) without a
+                // framing break: readers take the counters they know
+                // and skip the rest.
+                self.varint(STATS_SCALAR_FIELDS as u64);
                 for n in [
                     s.sessions_created,
                     s.sessions_closed,
@@ -497,6 +507,8 @@ impl Writer {
                     s.overloaded,
                     s.ndjson_requests,
                     s.binary_frames,
+                    s.cache_hits,
+                    s.cache_misses,
                 ] {
                     self.varint(n);
                 }
@@ -796,9 +808,19 @@ impl<'a> Reader<'a> {
                 discoveries: self.varint("discoveries")?,
             },
             7 => {
-                let mut fields = [0u64; 14];
-                for slot in &mut fields {
-                    *slot = self.varint("stats field")?;
+                // Count-prefixed scalar counters: decode the ones this
+                // build knows, default the missing (older peer), skip
+                // the surplus (newer peer).
+                let count = self.varint("stats field count")? as usize;
+                if count > 256 {
+                    return Err(self.bad(format!("stats field count {count} exceeds cap")));
+                }
+                let mut fields = [0u64; STATS_SCALAR_FIELDS];
+                for slot_index in 0..count {
+                    let value = self.varint("stats field")?;
+                    if let Some(slot) = fields.get_mut(slot_index) {
+                        *slot = value;
+                    }
                 }
                 let mut batch_size_hist = [0u64; 5];
                 for slot in &mut batch_size_hist {
@@ -819,6 +841,8 @@ impl<'a> Reader<'a> {
                     overloaded: fields[11],
                     ndjson_requests: fields[12],
                     binary_frames: fields[13],
+                    cache_hits: fields[14],
+                    cache_misses: fields[15],
                     batch_size_hist,
                 })
             }
@@ -964,6 +988,55 @@ mod tests {
                 text: "┌─ AWARE risk gauge ─┐".into(),
             },
         });
+    }
+
+    #[test]
+    fn stats_field_count_prefix_tolerates_older_and_newer_peers() {
+        // Hand-build a Single(Stats) reply whose scalar-counter list is
+        // shorter (older peer) or longer (newer peer) than this build's
+        // STATS_SCALAR_FIELDS: both must decode, defaulting the missing
+        // counters and skipping the surplus.
+        for (count, extra) in [(14usize, 0u64), (18, 2)] {
+            let mut w = Writer::new();
+            w.u8(TAG_SINGLE_REPLY);
+            w.opt_varint(Some(9));
+            w.u8(7); // Response::Stats tag
+            w.varint(count as u64);
+            for i in 0..count {
+                w.varint(100 + i as u64);
+            }
+            for i in 0..5u64 {
+                w.varint(i);
+            }
+            let reply = decode_reply(&w.buf).unwrap();
+            let Reply::Single {
+                id: Some(9),
+                response: Response::Stats(s),
+            } = reply
+            else {
+                panic!("expected Single(Stats), got {reply:?}");
+            };
+            assert_eq!(s.sessions_created, 100);
+            assert_eq!(s.binary_frames, 113);
+            // Fields beyond the sender's count default to zero; fields
+            // beyond ours are skipped (`extra` of them existed).
+            if count < STATS_SCALAR_FIELDS {
+                assert_eq!(s.cache_hits, 0);
+                assert_eq!(s.cache_misses, 0);
+            } else {
+                assert_eq!(s.cache_hits, 114);
+                assert_eq!(s.cache_misses, 115);
+            }
+            assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
+            let _ = extra;
+        }
+        // An absurd count is rejected before any allocation.
+        let mut w = Writer::new();
+        w.u8(TAG_SINGLE_REPLY);
+        w.opt_varint(None);
+        w.u8(7);
+        w.varint(10_000);
+        assert!(decode_reply(&w.buf).is_err());
     }
 
     #[test]

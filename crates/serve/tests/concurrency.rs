@@ -297,6 +297,11 @@ fn concurrent_sessions_replay_byte_identically() {
             assert_eq!(s.sessions_created as usize, SESSIONS);
             assert!(s.hypotheses_tested > 0);
             assert!(s.discoveries > 0, "planted dependencies must surface");
+            // 72 sessions over one census share one evaluation cache:
+            // the overlapping filter draws must have produced warm hits,
+            // and the replay below then proves warm results are
+            // byte-identical to a cold single-threaded run.
+            assert!(s.cache_hits > 0, "shared-cache run reported no hits: {s:?}");
         }
         other => panic!("{other:?}"),
     }

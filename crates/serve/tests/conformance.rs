@@ -215,4 +215,22 @@ fn v1_and_v2_transcripts_are_byte_identical() {
         v1_text, v2_text,
         "text transcripts diverged between surfaces"
     );
+    // The v2 run replayed the same filters over the same dataset as the
+    // v1 run, so the shared per-dataset evaluation cache was warm: the
+    // server must report hits, and the transcript equality above is what
+    // proves those hits changed nothing.
+    let mut client = Client::connect_with(addr, Encoding::Binary).unwrap();
+    match client.call(&Command::Stats).unwrap() {
+        Response::Stats(s) => {
+            assert!(
+                s.cache_hits > 0,
+                "warm second run reported no cache hits: {s:?}"
+            );
+            assert!(
+                s.cache_misses > 0,
+                "the cold first run must have missed: {s:?}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
 }

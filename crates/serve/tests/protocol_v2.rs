@@ -16,7 +16,7 @@ use aware_data::value::Value;
 use aware_serve::frame::{self, FrameRead, MAX_FRAME_BYTES};
 use aware_serve::proto::{
     Batch, BatchItem, BatchMode, Command, Encoding, Envelope, FilterSpec, HypothesisReport,
-    PolicySpec, Reply, StatsSnapshot, TranscriptFormat,
+    PolicySpec, Reply, StatsSnapshot, TranscriptFormat, PROTOCOL_VERSION,
 };
 use aware_serve::service::{Service, ServiceConfig};
 use aware_serve::tcp::{Client, TcpServer};
@@ -334,7 +334,7 @@ fn malformed_hellos_are_rejected_without_killing_the_connection() {
         .unwrap();
     // Unknown encoding.
     writer
-        .write_all(b"{\"id\":2,\"cmd\":\"hello\",\"version\":2,\"encoding\":\"morse\"}\n")
+        .write_all(b"{\"id\":2,\"cmd\":\"hello\",\"version\":3,\"encoding\":\"morse\"}\n")
         .unwrap();
     // Missing version entirely.
     writer.write_all(b"{\"cmd\":\"hello\"}\n").unwrap();
@@ -536,7 +536,7 @@ fn oversized_frames_are_rejected_and_the_stream_resynchronizes() {
     // Greet properly first.
     let hello = wire::encode_envelope(&Envelope::Hello {
         id: Some(1),
-        version: 2,
+        version: PROTOCOL_VERSION,
         encoding: Encoding::Binary,
     });
     frame::write_frame(&mut writer, &hello).unwrap();
@@ -605,7 +605,7 @@ fn binary_surface_refuses_a_json_downgrade() {
     let mut writer = BufWriter::new(stream);
     let hello = wire::encode_envelope(&Envelope::Hello {
         id: Some(1),
-        version: 2,
+        version: PROTOCOL_VERSION,
         encoding: Encoding::Json,
     });
     frame::write_frame(&mut writer, &hello).unwrap();

@@ -152,8 +152,11 @@ impl CensusWorkflow {
     pub fn evaluate(&self, table: &Table) -> (Vec<f64>, Vec<f64>) {
         let mut ps = Vec::with_capacity(self.len());
         let mut supports = Vec::with_capacity(self.len());
+        // One replay-local cache: workflow hypotheses repeat filters and
+        // attributes heavily, and results are bit-identical either way.
+        let cache = aware_data::cache::EvalCache::new();
         for h in &self.hypotheses {
-            match execute(table, &h.spec) {
+            match execute(table, &h.spec, Some(&cache)) {
                 Ok(exec) => {
                     ps.push(exec.outcome.p_value);
                     supports.push(exec.support_fraction);
