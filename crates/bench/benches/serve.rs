@@ -282,12 +282,53 @@ fn serve_filter_chain(c: &mut Criterion) {
     group.finish();
 }
 
+/// Steady-state cost of durability: the `serve_throughput` workload
+/// (create + 20 commands + close per session) with the snapshot store
+/// off, on with a background snapshotter (the recommended production
+/// setting — mutations only set a dirty flag, disk work happens off the
+/// hot path), and on in synchronous mode (every mutating command writes
+/// and fsyncs its snapshot before replying — the upper bound, priced
+/// honestly). `close_session` deletes the session's snapshot files, so
+/// iterations don't accrete disk state.
+fn serve_persistence(c: &mut Criterion) {
+    let table = census();
+    let data_dir = std::env::temp_dir().join(format!("aware-bench-snap-{}", std::process::id()));
+    let mut group = c.benchmark_group("serve_persistence");
+    let configs: [(&str, Option<std::time::Duration>); 3] = [
+        ("off", None),
+        ("periodic-1s", Some(std::time::Duration::from_secs(1))),
+        ("sync", Some(std::time::Duration::ZERO)),
+    ];
+    for (label, snapshot_every) in configs {
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let service = Service::start(ServiceConfig {
+            data_dir: snapshot_every.is_some().then(|| data_dir.clone()),
+            snapshot_every,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        handle.register_shared("census", table.clone());
+        group.throughput(Throughput::Elements((COMMANDS_PER_SESSION + 2) as u64));
+        group.bench_with_input(BenchmarkId::new("snapshots", label), &(), |b, ()| {
+            b.iter(|| {
+                let sid = create_session(&handle);
+                drive_session(&handle, sid);
+            })
+        });
+        drop(handle);
+        service.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&data_dir);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(3))
         .sample_size(20);
-    targets = serve_throughput, serve_filter_chain, serve_batch_dispatch, serve_wire
+    targets = serve_throughput, serve_filter_chain, serve_batch_dispatch, serve_wire,
+        serve_persistence
 }
 criterion_main!(benches);

@@ -24,9 +24,26 @@ use crate::viz::{Visualization, VizId};
 use crate::Result;
 use aware_data::cache::EvalCache;
 use aware_data::table::Table;
-use aware_mht::investing::{AlphaInvesting, InvestingPolicy};
+use aware_mht::investing::{AlphaInvesting, InvestingPolicy, MachineSnapshot};
 use aware_mht::MhtError;
 use std::sync::Arc;
+
+/// Frozen, serializable image of a session: the investing machine's
+/// snapshot plus the visualization and hypothesis histories. This is
+/// *all* the state a session owns — deliberately, no selection bitmaps
+/// and nothing sized by the table: selections are a pure function of
+/// the stored predicates and are re-derived through the per-dataset
+/// [`EvalCache`] on restore, so a snapshot's size tracks the
+/// exploration, never the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The α-investing machine: parameters + full ledger.
+    pub machine: MachineSnapshot,
+    /// Every visualization ever placed, in order (ids are dense).
+    pub visualizations: Vec<Visualization>,
+    /// Every hypothesis ever tracked, in order (ids are dense).
+    pub hypotheses: Vec<Hypothesis>,
+}
 
 /// Outcome of placing a visualization: its id plus the report of the
 /// hypothesis test the heuristics triggered (if any).
@@ -308,6 +325,126 @@ impl<P: InvestingPolicy> Session<P> {
     /// Looks up a hypothesis by id.
     pub fn hypothesis(&self, id: HypothesisId) -> Result<&Hypothesis> {
         Ok(&self.hypotheses[self.hypothesis_index(id)?])
+    }
+
+    /// Number of hypothesis tests actually charged through the investing
+    /// machine (untestable hypotheses don't count). A persistence layer
+    /// records this when a policy is swapped, so a later
+    /// [`Session::restore`] knows where the new policy's observation
+    /// history starts.
+    pub fn tests_run(&self) -> usize {
+        self.investing.tests_run()
+    }
+
+    /// Captures the session's exact state for persistence. The snapshot
+    /// holds predicates, ledger rows, and hypothesis records — never
+    /// selection bitmaps; see [`SessionSnapshot`].
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            machine: self.investing.snapshot(),
+            visualizations: self.visualizations.clone(),
+            hypotheses: self.hypotheses.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot over (a fresh handle to) its
+    /// table and per-dataset evaluation cache.
+    ///
+    /// `policy` is a freshly built instance of the policy that was
+    /// active at snapshot time and `observe_from` the ledger index at
+    /// which it was installed (see [`AlphaInvesting::restore`]); the
+    /// round trip is exact — gauge, CSV, and text transcripts of a
+    /// restored session are byte-identical to the original's, and so is
+    /// every future decision.
+    ///
+    /// Selections are re-derived, not deserialized: each stored filter
+    /// is probed through `cache`, so restoring against a warm shared
+    /// cache is nearly free and restoring cold re-warms the cache for
+    /// every session that follows. Validation failures (non-dense ids,
+    /// a ledger the machine refuses) surface as
+    /// [`MhtError::CorruptSnapshot`].
+    pub fn restore(
+        table: Arc<Table>,
+        cache: Option<Arc<EvalCache>>,
+        snapshot: SessionSnapshot,
+        policy: P,
+        observe_from: usize,
+    ) -> Result<Session<P>> {
+        let SessionSnapshot {
+            machine,
+            visualizations,
+            hypotheses,
+        } = snapshot;
+        let corrupt = |violation: &'static str, index: usize| {
+            AwareError::Mht(MhtError::CorruptSnapshot { violation, index })
+        };
+        for (i, viz) in visualizations.iter().enumerate() {
+            if viz.id.0 as usize != i {
+                return Err(corrupt("visualization ids are not dense", i));
+            }
+        }
+        let mut tested = 0usize;
+        for (i, h) in hypotheses.iter().enumerate() {
+            if h.id.0 as usize != i {
+                return Err(corrupt("hypothesis ids are not dense", i));
+            }
+            if matches!(h.status, HypothesisStatus::Tested(_)) {
+                tested += 1;
+            }
+        }
+        if tested > machine.ledger.len() {
+            return Err(corrupt(
+                "more tested hypotheses than ledger entries",
+                tested,
+            ));
+        }
+        // Transcripts render from the per-hypothesis records, so each
+        // `Tested` record must literally be one of the ledger's rows —
+        // otherwise a tampered snapshot could display p-values, bids,
+        // decisions, or wealth the ledger never produced. Records appear
+        // in ledger order, so greedy subsequence matching is exact
+        // (superseded/untestable hypotheses may skip ledger entries but
+        // never reorder them).
+        let mut unmatched = machine.ledger.as_slice();
+        for (i, h) in hypotheses.iter().enumerate() {
+            if let HypothesisStatus::Tested(rec) = &h.status {
+                let found = unmatched.iter().position(|e| {
+                    e.p_value.to_bits() == rec.outcome.p_value.to_bits()
+                        && e.bid.to_bits() == rec.bid.to_bits()
+                        && e.decision == rec.decision
+                        && e.wealth_after.to_bits() == rec.wealth_after.to_bits()
+                });
+                match found {
+                    Some(at) => unmatched = &unmatched[at + 1..],
+                    None => {
+                        return Err(corrupt("hypothesis record matches no ledger entry", i));
+                    }
+                }
+            }
+        }
+        let investing = AlphaInvesting::restore(machine, policy, observe_from)?;
+        if let Some(cache) = &cache {
+            // Re-derive the selections this exploration depends on. The
+            // bitmaps were deliberately not serialized: evaluating the
+            // stored predicates through the shared cache either finds
+            // them still warm (a cache hit per filter) or re-computes
+            // and re-caches them for every session of the dataset.
+            // Errors are ignored on purpose — a filter that no longer
+            // evaluates belonged to an untestable hypothesis and was
+            // never cached in the first place.
+            for viz in &visualizations {
+                if !viz.filter.is_trivial() {
+                    let _ = cache.selection(&table, &viz.filter);
+                }
+            }
+        }
+        Ok(Session {
+            table,
+            cache,
+            investing,
+            visualizations,
+            hypotheses,
+        })
     }
 
     // -- internals ---------------------------------------------------------
@@ -752,6 +889,125 @@ mod tests {
             "planted hours shift: p = {}",
             rec.outcome.p_value
         );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_transcripts_and_future_behaviour() {
+        use crate::{gauge, transcript};
+        let table = Arc::new(CensusGenerator::new(55).generate(2_000));
+        let cache = Arc::new(aware_data::cache::EvalCache::new());
+        let actions: Vec<(&str, Predicate)> = vec![
+            ("sex", Predicate::True),
+            ("education", Predicate::eq("salary_over_50k", true)),
+            ("race", Predicate::eq("survey_wave", "Wave-2")),
+            ("sex", Predicate::eq("education", "Kindergarten")), // untestable
+            ("marital_status", Predicate::eq("sex", "Female")),
+            ("occupation", Predicate::eq("race", "White")),
+        ];
+        for cut in 0..=actions.len() {
+            let mut original =
+                Session::shared_with_cache(table.clone(), 0.05, Fixed::new(10.0), cache.clone())
+                    .unwrap();
+            for (attr, filter) in &actions[..cut] {
+                original.add_visualization(*attr, filter.clone()).unwrap();
+            }
+            let mut restored = Session::restore(
+                table.clone(),
+                Some(cache.clone()),
+                original.snapshot(),
+                Fixed::new(10.0),
+                0,
+            )
+            .unwrap();
+            // Byte-identical observables at the cut …
+            assert_eq!(gauge::render(&original), gauge::render(&restored));
+            assert_eq!(
+                transcript::export_csv(&original),
+                transcript::export_csv(&restored)
+            );
+            assert_eq!(
+                transcript::export_text(&original),
+                transcript::export_text(&restored)
+            );
+            // … and identical futures beyond it.
+            for (attr, filter) in &actions[cut..] {
+                let a = original.add_visualization(*attr, filter.clone()).unwrap();
+                let b = restored.add_visualization(*attr, filter.clone()).unwrap();
+                assert_eq!(a, b, "cut {cut}");
+            }
+            assert_eq!(
+                transcript::export_csv(&original),
+                transcript::export_csv(&restored),
+                "post-restore exploration diverged at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_warms_the_shared_cache_from_predicates() {
+        let table = Arc::new(CensusGenerator::new(56).generate(1_500));
+        let cache = Arc::new(aware_data::cache::EvalCache::new());
+        let mut s =
+            Session::shared_with_cache(table.clone(), 0.05, Fixed::new(10.0), cache.clone())
+                .unwrap();
+        s.add_visualization("education", Predicate::eq("salary_over_50k", true))
+            .unwrap();
+        s.add_visualization("race", Predicate::eq("sex", "Female"))
+            .unwrap();
+        let snapshot = s.snapshot();
+        drop(s);
+        // Restoring against the still-warm shared cache must *hit* it —
+        // the selections are re-derived from predicates, not decoded.
+        let hits_before = cache.stats().hits;
+        let restored = Session::restore(
+            table.clone(),
+            Some(cache.clone()),
+            snapshot,
+            Fixed::new(10.0),
+            0,
+        )
+        .unwrap();
+        assert!(
+            cache.stats().hits > hits_before,
+            "restore should probe the cache for every stored filter"
+        );
+        assert_eq!(restored.hypotheses().len(), 2);
+    }
+
+    #[test]
+    fn tampered_session_snapshots_are_refused() {
+        let table = Arc::new(CensusGenerator::new(57).generate(1_000));
+        let mut s = Session::shared(table.clone(), 0.05, Fixed::new(10.0)).unwrap();
+        s.add_visualization("education", Predicate::eq("salary_over_50k", true))
+            .unwrap();
+        let good = s.snapshot();
+        // Wealth forgery is caught by the machine-level validation.
+        let mut forged = good.clone();
+        forged.machine.ledger[0].wealth_after *= 2.0;
+        assert!(matches!(
+            Session::restore(table.clone(), None, forged, Fixed::new(10.0), 0),
+            Err(AwareError::Mht(MhtError::CorruptSnapshot { .. }))
+        ));
+        // Non-dense hypothesis ids are caught at the session level.
+        let mut shuffled = good.clone();
+        shuffled.hypotheses[0].id = HypothesisId(9);
+        assert!(matches!(
+            Session::restore(table.clone(), None, shuffled, Fixed::new(10.0), 0),
+            Err(AwareError::Mht(MhtError::CorruptSnapshot { .. }))
+        ));
+        // A forged *hypothesis record* (the ledger untouched) must be
+        // refused too: transcripts render from these records, so each
+        // one must literally be a ledger row.
+        let mut display_forged = good.clone();
+        match &mut display_forged.hypotheses[0].status {
+            HypothesisStatus::Tested(rec) => rec.wealth_after *= 2.0,
+            other => panic!("fixture hypothesis should be tested, is {other:?}"),
+        }
+        assert!(matches!(
+            Session::restore(table.clone(), None, display_forged, Fixed::new(10.0), 0),
+            Err(AwareError::Mht(MhtError::CorruptSnapshot { .. }))
+        ));
+        assert!(Session::restore(table, None, good, Fixed::new(10.0), 0).is_ok());
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub enum MhtError {
         /// Length of the second input.
         right: usize,
     },
+    /// A persisted machine snapshot failed validation on restore: its
+    /// ledger does not describe a state any live machine could have
+    /// reached (broken wealth chain, decision inconsistent with its own
+    /// bid, out-of-range p-value, …). Restoring it would silently
+    /// forge α-wealth, so the restore is refused instead.
+    CorruptSnapshot {
+        /// The validation that failed.
+        violation: &'static str,
+        /// 0-based ledger index where it failed (ledger length for
+        /// whole-snapshot violations).
+        index: usize,
+    },
 }
 
 impl fmt::Display for MhtError {
@@ -72,6 +84,12 @@ impl fmt::Display for MhtError {
                 right,
             } => {
                 write!(f, "{context}: length mismatch ({left} vs {right})")
+            }
+            MhtError::CorruptSnapshot { violation, index } => {
+                write!(
+                    f,
+                    "corrupt machine snapshot at ledger index {index}: {violation}"
+                )
             }
         }
     }

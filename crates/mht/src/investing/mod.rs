@@ -117,6 +117,25 @@ pub struct LedgerEntry {
     pub wealth_after: f64,
 }
 
+/// Frozen, serializable image of a machine: the three parameters plus
+/// the full append-only ledger. Everything else in [`WealthState`] —
+/// wealth, test/rejection counts, the δ-hopeful anchor — is a pure
+/// function of the ledger, so it is re-derived (and cross-checked) on
+/// restore rather than stored twice. [`AlphaInvesting::restore`]
+/// rebuilds a machine whose future behaviour is bit-identical to the
+/// machine that was snapshotted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    /// Target mFDR level α.
+    pub alpha: f64,
+    /// Denominator bias η.
+    pub eta: f64,
+    /// Rejection payout ω.
+    pub omega: f64,
+    /// Every test run so far, in stream order.
+    pub ledger: Vec<LedgerEntry>,
+}
+
 /// The α-investing testing machine.
 ///
 /// Generic over the policy so policy state lives inline (no boxing in hot
@@ -231,6 +250,110 @@ impl<P: InvestingPolicy> AlphaInvesting<P> {
     /// Final decisions in stream order (a projection of the ledger).
     pub fn decisions(&self) -> Vec<Decision> {
         self.ledger.iter().map(|e| e.decision).collect()
+    }
+
+    /// Captures the machine's exact state for persistence. The snapshot
+    /// carries the parameters and the full ledger; see
+    /// [`AlphaInvesting::restore`] for the inverse.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            alpha: self.state.alpha,
+            eta: self.state.eta,
+            omega: self.state.omega,
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    /// Rebuilds a machine from a snapshot, with exact-state round-trip
+    /// guarantees: every [`WealthState`] field is recomputed from the
+    /// ledger with the same IEEE-754 operations the live machine used,
+    /// so a `snapshot → restore` round trip reproduces the original
+    /// state bit for bit and all future bids/decisions are identical.
+    ///
+    /// `policy` is a freshly built instance of the policy that was
+    /// active at snapshot time; its internal state (ε-hybrid's sliding
+    /// window) is rebuilt by replaying [`InvestingPolicy::observe`] for
+    /// the ledger entries from `observe_from` onward — pass the ledger
+    /// index at which this policy was installed (0 if it has bid since
+    /// the start, [`MachineSnapshot::ledger`]`.len()` if it was swapped
+    /// in after the last test).
+    ///
+    /// The ledger is fully validated before anything is replayed: a
+    /// broken wealth chain, a decision inconsistent with its own bid,
+    /// or an out-of-range value is a [`MhtError::CorruptSnapshot`] —
+    /// restoring such a snapshot would silently forge α-wealth, which
+    /// is exactly the adaptive attack persistence exists to prevent.
+    pub fn restore(
+        snapshot: MachineSnapshot,
+        policy: P,
+        observe_from: usize,
+    ) -> Result<AlphaInvesting<P>> {
+        let MachineSnapshot {
+            alpha,
+            eta,
+            omega,
+            ledger,
+        } = snapshot;
+        let mut machine = AlphaInvesting::with_payout(alpha, eta, omega, policy)?;
+        let corrupt =
+            |violation: &'static str, index: usize| MhtError::CorruptSnapshot { violation, index };
+        if observe_from > ledger.len() {
+            return Err(corrupt("observe_from exceeds ledger length", ledger.len()));
+        }
+        for (i, entry) in ledger.iter().enumerate() {
+            if entry.index != i {
+                return Err(corrupt("ledger indices are not dense", i));
+            }
+            if !(entry.p_value >= 0.0 && entry.p_value <= 1.0) {
+                return Err(corrupt("p-value outside [0, 1]", i));
+            }
+            if !entry.bid.is_finite() || entry.bid <= 0.0 || entry.bid >= 1.0 {
+                return Err(corrupt("bid outside (0, 1)", i));
+            }
+            if entry.decision != Decision::from_threshold(entry.p_value, entry.bid) {
+                return Err(corrupt("decision contradicts its own p-value/bid", i));
+            }
+            if entry.wealth_before.to_bits() != machine.state.wealth.to_bits() {
+                return Err(corrupt("wealth chain is broken", i));
+            }
+            // Mirror the live machine's admission gates exactly: no test
+            // runs once the wealth is exhausted, and no bid may charge
+            // more than the wealth can cover (same epsilon as
+            // `test_with_context`). Without these, a handcrafted ledger
+            // could "accept" its way to wealth 0.0 with an unaffordable
+            // bid and then mint ω from a rejection — arithmetic that
+            // reproduces bit-for-bit but that no live machine would ever
+            // have allowed.
+            if machine.state.wealth <= WEALTH_EPSILON {
+                return Err(corrupt("test recorded after wealth exhaustion", i));
+            }
+            let charge = entry.bid / (1.0 - entry.bid);
+            if charge > machine.state.wealth + 1e-9 {
+                return Err(corrupt("bid unaffordable at its recorded wealth", i));
+            }
+            // Re-run the live update with the recorded inputs; the result
+            // must match the recorded wealth bit for bit.
+            let rejected = entry.decision.is_rejection();
+            let expected_after = if rejected {
+                machine.state.wealth + machine.state.omega
+            } else {
+                (machine.state.wealth - entry.bid / (1.0 - entry.bid)).max(0.0)
+            };
+            if entry.wealth_after.to_bits() != expected_after.to_bits() {
+                return Err(corrupt("wealth update does not reproduce", i));
+            }
+            machine.state.wealth = expected_after;
+            machine.state.tests_run += 1;
+            if rejected {
+                machine.state.rejections += 1;
+                machine.state.wealth_at_last_rejection = machine.state.wealth;
+            }
+            if i >= observe_from {
+                machine.policy.observe(rejected, &machine.state);
+            }
+        }
+        machine.ledger = ledger;
+        Ok(machine)
     }
 
     /// Tests the next hypothesis with full support (`|j| = |n|`).
@@ -559,6 +682,142 @@ mod tests {
         assert!(m.policy_name().contains("fixed"));
         m.test(0.001).unwrap();
         assert_eq!(m.rejections(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exact_state_and_future() {
+        use super::super::investing::policies::EpsilonHybrid;
+        // Drive a stateful policy (ε-hybrid keeps a sliding window) far
+        // enough to exercise both arms, snapshot, restore, and require
+        // the restored machine to agree bit for bit — on state and on
+        // every future bid/decision.
+        let ps = [0.5, 1e-6, 0.3, 1e-7, 0.9, 0.04, 0.6, 1e-5, 0.2, 0.8];
+        let policy = || EpsilonHybrid::new(10.0, 10.0, 0.5, Some(4)).unwrap();
+        for cut in 0..=ps.len() {
+            let mut original = AlphaInvesting::new(0.05, 0.95, policy()).unwrap();
+            for &p in &ps[..cut] {
+                original.test(p).unwrap();
+            }
+            let mut restored = AlphaInvesting::restore(original.snapshot(), policy(), 0).unwrap();
+            assert_eq!(restored.state(), original.state(), "cut {cut}");
+            assert_eq!(restored.ledger(), original.ledger());
+            for &p in &ps[cut..] {
+                let a = original.test(p).unwrap();
+                let b = restored.test(p).unwrap();
+                assert_eq!(a, b, "divergence after restore at cut {cut}");
+                assert_eq!(a.wealth_after.to_bits(), b.wealth_after.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_replays_observe_only_from_policy_installation() {
+        use super::super::investing::policies::EpsilonHybrid;
+        // A policy swapped in mid-stream must not "remember" outcomes
+        // that predate it: observe_from marks where replay starts.
+        let ps = [1e-6, 1e-6, 1e-6, 0.9, 0.9];
+        let mut machine = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        for &p in &ps {
+            machine.test(p).unwrap();
+        }
+        let swapped_at = machine.tests_run();
+        let hybrid = || EpsilonHybrid::new(10.0, 10.0, 0.5, None).unwrap();
+        let mut boxed: AlphaInvesting<Box<dyn InvestingPolicy>> =
+            AlphaInvesting::restore(machine.snapshot(), Box::new(hybrid()) as _, swapped_at)
+                .unwrap();
+        // With an empty observed history the hybrid sits in the random
+        // regime (γ-fixed arm) despite the ledger's three rejections.
+        let state_now = *boxed.state();
+        let fixed_bid = Fixed::new(10.0).bid(&state_now, &TestContext::default());
+        let e = boxed.test(0.5).unwrap();
+        assert!(
+            (e.bid - fixed_bid).abs() < 1e-15,
+            "swapped-in hybrid must start from a fresh window: {} vs {fixed_bid}",
+            e.bid
+        );
+        // Replaying from 0 instead feeds it the full history, flipping
+        // it into the hopeful arm — a genuinely different bid.
+        let mut replayed: AlphaInvesting<Box<dyn InvestingPolicy>> =
+            AlphaInvesting::restore(machine.snapshot(), Box::new(hybrid()) as _, 0).unwrap();
+        let e2 = replayed.test(0.5).unwrap();
+        assert!(
+            (e2.bid - fixed_bid).abs() > 1e-12,
+            "full replay should land in the hopeful arm"
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_refused() {
+        let mut machine = AlphaInvesting::new(0.05, 0.95, Fixed::new(10.0)).unwrap();
+        for &p in &[1e-6, 0.9, 0.4] {
+            machine.test(p).unwrap();
+        }
+        let good = machine.snapshot();
+        let expect_corrupt = |snapshot: MachineSnapshot| {
+            matches!(
+                AlphaInvesting::restore(snapshot, Fixed::new(10.0), 0),
+                Err(MhtError::CorruptSnapshot { .. })
+            )
+        };
+        // Forged wealth: inflate the final balance.
+        let mut forged = good.clone();
+        forged.ledger[2].wealth_after += 1.0;
+        assert!(expect_corrupt(forged));
+        // Broken chain: entry 1 doesn't start where entry 0 ended.
+        let mut broken = good.clone();
+        broken.ledger[1].wealth_before *= 0.5;
+        assert!(expect_corrupt(broken));
+        // Revised decision: the recorded verdict contradicts p vs bid.
+        let mut revised = good.clone();
+        revised.ledger[0].decision = Decision::Accept;
+        assert!(expect_corrupt(revised));
+        // Non-dense indices.
+        let mut shuffled = good.clone();
+        shuffled.ledger[1].index = 7;
+        assert!(expect_corrupt(shuffled));
+        // Out-of-range values.
+        let mut bad_p = good.clone();
+        bad_p.ledger[0].p_value = 1.5;
+        assert!(expect_corrupt(bad_p));
+        // observe_from past the end.
+        assert!(matches!(
+            AlphaInvesting::restore(good.clone(), Fixed::new(10.0), 4),
+            Err(MhtError::CorruptSnapshot { .. })
+        ));
+        // The wealth-minting forgery: an unaffordable bid whose update
+        // arithmetic still reproduces ((w − charge).max(0) clamps to
+        // exactly 0.0), followed by a "rejection" minting ω from the
+        // exhausted state. Every number checks out bit-for-bit — but no
+        // live machine would have admitted either test, and restore
+        // must mirror those admission gates.
+        let w0 = 0.05 * 0.95;
+        let bid = 0.5; // charge = 1.0 ≫ w0
+        let minted = MachineSnapshot {
+            alpha: 0.05,
+            eta: 0.95,
+            omega: 0.05,
+            ledger: vec![
+                LedgerEntry {
+                    index: 0,
+                    p_value: 0.9,
+                    bid,
+                    decision: Decision::Accept,
+                    wealth_before: w0,
+                    wealth_after: (w0 - bid / (1.0 - bid)).max(0.0),
+                },
+                LedgerEntry {
+                    index: 1,
+                    p_value: 1e-9,
+                    bid: 0.01,
+                    decision: Decision::Reject,
+                    wealth_before: 0.0,
+                    wealth_after: 0.05,
+                },
+            ],
+        };
+        assert!(expect_corrupt(minted));
+        // The untampered snapshot still restores.
+        assert!(AlphaInvesting::restore(good, Fixed::new(10.0), 0).is_ok());
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--rows 20000]
 //!       [--max-sessions N] [--idle-timeout-secs S] [--seed K]
-//!       [--max-pending N]
+//!       [--max-pending N] [--data-dir DIR] [--snapshot-every SECS]
 //! ```
+//!
+//! With `--data-dir`, sessions are durable: eviction spills to disk,
+//! commands addressing spilled sessions restore them lazily, and a
+//! restart over the same directory resumes every session.
+//! `--snapshot-every SECS` sets the background snapshot cadence
+//! (default 30 s); `--snapshot-every 0` makes every mutating command
+//! write its snapshot before the response is released.
 //!
 //! Registers a synthetic census dataset (the workspace's stand-in for
 //! UCI Adult) under the name `census` and speaks both protocol
@@ -20,6 +27,7 @@
 use aware_data::census::CensusGenerator;
 use aware_serve::service::{Service, ServiceConfig};
 use aware_serve::tcp::TcpServer;
+use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
@@ -30,6 +38,8 @@ struct Args {
     idle_timeout: Duration,
     seed: u64,
     max_pending: usize,
+    data_dir: Option<PathBuf>,
+    snapshot_every: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         idle_timeout: Duration::from_secs(15 * 60),
         seed: 2017,
         max_pending: 4096,
+        data_dir: None,
+        snapshot_every: Duration::from_secs(30),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,11 +96,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-pending: {e}"))?
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--snapshot-every" => {
+                args.snapshot_every = Duration::from_secs(
+                    value("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--workers N] [--rows N] \
                      [--max-sessions N] [--idle-timeout-secs S] [--seed K] \
-                     [--max-pending N]"
+                     [--max-pending N] [--data-dir DIR] [--snapshot-every SECS]"
                 );
                 std::process::exit(0);
             }
@@ -112,6 +132,8 @@ fn main() {
         idle_timeout: args.idle_timeout,
         sweep_interval: Some(Duration::from_secs(5)),
         max_pending_per_session: args.max_pending,
+        data_dir: args.data_dir.clone(),
+        snapshot_every: args.data_dir.as_ref().map(|_| args.snapshot_every),
         ..ServiceConfig::default()
     };
     if let Some(w) = args.workers {
@@ -135,6 +157,16 @@ fn main() {
             std::process::exit(1);
         }
     };
+    match (&config.data_dir, config.snapshot_every) {
+        (Some(dir), Some(every)) if every.is_zero() => eprintln!(
+            "persistence: {} (synchronous — every mutation hits disk)",
+            dir.display()
+        ),
+        (Some(dir), Some(every)) => {
+            eprintln!("persistence: {} (snapshot every {every:?})", dir.display())
+        }
+        _ => {}
+    }
     eprintln!(
         "aware-serve listening on {} ({} workers, {} max sessions, idle timeout {:?})",
         server.local_addr(),

@@ -29,6 +29,13 @@ pub enum ErrorCode {
     /// The server refused the work: session capacity exhausted and
     /// nothing evictable, or the session's pending-command cap is full.
     Overloaded,
+    /// The session was spilled to disk but every on-disk snapshot
+    /// generation failed validation; the session cannot be restored.
+    /// Deliberately distinct from `unknown_session`: a client must be
+    /// able to tell "your wealth ledger is gone" from "your wealth
+    /// ledger is unreadable" — the latter must never be silently
+    /// answered with a fresh budget.
+    CorruptSnapshot,
     /// The service is shutting down.
     Shutdown,
 }
@@ -45,6 +52,7 @@ impl ErrorCode {
             ErrorCode::SessionError => "session_error",
             ErrorCode::Aborted => "aborted",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::CorruptSnapshot => "corrupt_snapshot",
             ErrorCode::Shutdown => "shutdown",
         }
     }
@@ -61,6 +69,7 @@ impl ErrorCode {
             "wealth_exhausted" => ErrorCode::WealthExhausted,
             "aborted" => ErrorCode::Aborted,
             "overloaded" => ErrorCode::Overloaded,
+            "corrupt_snapshot" => ErrorCode::CorruptSnapshot,
             "shutdown" => ErrorCode::Shutdown,
             _ => ErrorCode::SessionError,
         }
@@ -131,6 +140,7 @@ mod tests {
             ErrorCode::SessionError,
             ErrorCode::Aborted,
             ErrorCode::Overloaded,
+            ErrorCode::CorruptSnapshot,
             ErrorCode::Shutdown,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), code);

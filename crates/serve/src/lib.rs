@@ -33,6 +33,12 @@
 //!   (`RwLock<HashMap<…>>` shards of `Mutex<Session>` entries).
 //! * [`tcp`] — the TCP front end (both surfaces, auto-detected by
 //!   first byte) and a reference client with pipelined batches.
+//! * [`snapshot`] — the durable `AWRS` session-snapshot codec
+//!   (versioned, length-prefixed, checksummed; reuses the wire's tag
+//!   codec) and [`store`] — the write-ahead snapshot directory
+//!   (atomic tmp+rename+fsync, two generations per session) that lets
+//!   sessions survive restarts and LRU eviction spill to disk instead
+//!   of dropping α-wealth.
 //! * [`metrics`] — lock-free server counters behind the `stats`
 //!   command, including per-encoding and batch-size telemetry.
 //! * [`json`] — the minimal JSON value/parser/writer the NDJSON
@@ -72,6 +78,8 @@ pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod service;
+pub mod snapshot;
+pub mod store;
 pub mod tcp;
 pub mod wire;
 

@@ -116,10 +116,12 @@ impl Metrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             ndjson_requests: self.ndjson_requests.load(Ordering::Relaxed),
             binary_frames: self.binary_frames.load(Ordering::Relaxed),
-            // Evaluation-cache counters live with each dataset's cache,
-            // not here; the service folds them in at snapshot time.
+            // Evaluation-cache counters live with each dataset's cache
+            // and the persisted gauge with the snapshot store, not here;
+            // the service folds them in at snapshot time.
             cache_hits: 0,
             cache_misses: 0,
+            persisted: 0,
             batch_size_hist,
         }
     }

@@ -572,6 +572,38 @@ fn value_from_json(v: &Json) -> Result<Value, ServeError> {
 }
 
 impl FilterSpec {
+    /// Converts an engine predicate back into the wire AST — the exact
+    /// inverse of [`FilterSpec::to_predicate`] (both ASTs mirror each
+    /// other node for node). The snapshot codec leans on this so
+    /// persisted sessions reuse the hardened wire filter codec instead
+    /// of growing a second predicate serializer.
+    pub fn from_predicate(p: &Predicate) -> FilterSpec {
+        match p {
+            Predicate::True => FilterSpec::True,
+            Predicate::Cmp { column, op, value } => FilterSpec::Cmp {
+                column: column.clone(),
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::In { column, values } => FilterSpec::In {
+                column: column.clone(),
+                values: values.clone(),
+            },
+            Predicate::Between { column, lo, hi } => FilterSpec::Between {
+                column: column.clone(),
+                lo: *lo,
+                hi: *hi,
+            },
+            Predicate::Not(inner) => FilterSpec::Not(Box::new(FilterSpec::from_predicate(inner))),
+            Predicate::And(parts) => {
+                FilterSpec::And(parts.iter().map(FilterSpec::from_predicate).collect())
+            }
+            Predicate::Or(parts) => {
+                FilterSpec::Or(parts.iter().map(FilterSpec::from_predicate).collect())
+            }
+        }
+    }
+
     /// Converts to the engine predicate.
     pub fn to_predicate(&self) -> Predicate {
         match self {
@@ -948,6 +980,10 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Evaluation-cache probes that had to evaluate cold.
     pub cache_misses: u64,
+    /// Sessions with a durable snapshot on disk — both live sessions
+    /// that have been snapshotted and sessions spilled out of memory.
+    /// Zero when the server runs without a `--data-dir`.
+    pub persisted: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
 }
@@ -977,6 +1013,7 @@ impl StatsSnapshot {
             ("binary_frames", Json::Num(self.binary_frames as f64)),
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("persisted", Json::Num(self.persisted as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1017,6 +1054,7 @@ impl StatsSnapshot {
             binary_frames: lenient("binary_frames"),
             cache_hits: lenient("cache_hits"),
             cache_misses: lenient("cache_misses"),
+            persisted: lenient("persisted"),
             batch_size_hist,
         })
     }

@@ -25,15 +25,30 @@
 //! any candidate is re-checked for freshness under the shard write
 //! lock before removal.
 
-use crate::proto::{BoxedPolicy, SessionId};
+use crate::proto::{BoxedPolicy, PolicySpec, SessionId};
 use aware_core::session::Session;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// A session as the service stores it: dynamic policy, shared table.
 pub type ServedSession = Session<BoxedPolicy>;
+
+/// Persistence bookkeeping the session itself cannot carry: which
+/// dataset it explores and which wire-level policy spec is active (the
+/// boxed policy object is opaque — the spec is what a snapshot stores
+/// and a restore rebuilds from).
+#[derive(Debug, Clone)]
+pub struct SessionMeta {
+    /// Name of the registered dataset the session was opened on.
+    pub dataset: String,
+    /// The policy spec currently in force.
+    pub policy: PolicySpec,
+    /// Ledger index at which `policy` was installed (0 = at creation);
+    /// restore replays `observe` from here.
+    pub policy_since: u64,
+}
 
 /// One registered session plus its bookkeeping.
 pub struct SessionEntry {
@@ -42,6 +57,12 @@ pub struct SessionEntry {
     /// The serialized session state. Workers lock this for the duration
     /// of one command.
     pub session: Mutex<ServedSession>,
+    /// Persistence metadata (dataset name, active policy spec).
+    pub meta: Mutex<SessionMeta>,
+    /// Set by state-mutating commands, cleared when a snapshot of the
+    /// session reaches disk — the periodic snapshotter skips clean
+    /// sessions.
+    dirty: AtomicBool,
     /// Milliseconds since the registry epoch at last use (idle sweeps).
     last_used_ms: AtomicU64,
     /// Registry-global touch sequence at last use (LRU ordering).
@@ -57,6 +78,22 @@ impl SessionEntry {
     /// Recency in the registry's monotone touch sequence.
     pub fn touch_seq(&self) -> u64 {
         self.touch_seq.load(Ordering::Relaxed)
+    }
+
+    /// Marks the session as changed since its last durable snapshot.
+    pub fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// True when the session changed since its last durable snapshot.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// Clears the dirty flag (call with the session mutex held, after
+    /// capturing the snapshot that will be written).
+    pub fn clear_dirty(&self) {
+        self.dirty.store(false, Ordering::Release);
     }
 }
 
@@ -116,11 +153,19 @@ impl Registry {
         self.len() == 0
     }
 
-    /// Inserts a fresh session under `id`, stamping it used-now.
-    pub fn insert(&self, id: SessionId, session: ServedSession) -> Arc<SessionEntry> {
+    /// Inserts a fresh (or freshly restored) session under `id`,
+    /// stamping it used-now.
+    pub fn insert(
+        &self,
+        id: SessionId,
+        session: ServedSession,
+        meta: SessionMeta,
+    ) -> Arc<SessionEntry> {
         let entry = Arc::new(SessionEntry {
             id,
             session: Mutex::new(session),
+            meta: Mutex::new(meta),
+            dirty: AtomicBool::new(false),
             last_used_ms: AtomicU64::new(0),
             touch_seq: AtomicU64::new(0),
         });
@@ -136,6 +181,22 @@ impl Registry {
         let entry = self.shard(id).read().unwrap().get(&id).cloned()?;
         self.touch(&entry);
         Some(entry)
+    }
+
+    /// Looks up a session *without* bumping its recency — the spill
+    /// paths use this so snapshotting a victim doesn't make it look
+    /// freshly used and dodge its own eviction.
+    pub fn peek(&self, id: SessionId) -> Option<Arc<SessionEntry>> {
+        self.shard(id).read().unwrap().get(&id).cloned()
+    }
+
+    /// Every live entry (the periodic snapshotter walks these).
+    pub fn entries(&self) -> Vec<Arc<SessionEntry>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().unwrap().values().cloned());
+        }
+        out
     }
 
     /// Unlinks a session; in-flight holders of the `Arc` finish their
@@ -287,13 +348,21 @@ mod tests {
         .unwrap()
     }
 
+    fn meta() -> SessionMeta {
+        SessionMeta {
+            dataset: "census".into(),
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+            policy_since: 0,
+        }
+    }
+
     #[test]
     fn insert_get_remove_lifecycle() {
         let table = Arc::new(CensusGenerator::new(1).generate(200));
         let reg = Registry::new(8);
         assert!(reg.is_empty());
-        reg.insert(0, session(&table));
-        reg.insert(1, session(&table));
+        reg.insert(0, session(&table), meta());
+        reg.insert(1, session(&table), meta());
         assert_eq!(reg.len(), 2);
         assert!(reg.get(0).is_some());
         assert!(reg.get(99).is_none());
@@ -307,7 +376,7 @@ mod tests {
         let table = Arc::new(CensusGenerator::new(2).generate(100));
         let reg = Registry::new(4);
         for id in 0..50 {
-            reg.insert(id, session(&table));
+            reg.insert(id, session(&table), meta());
         }
         // 50 sessions + this handle: 51 strong refs, one table.
         assert_eq!(Arc::strong_count(&table), 51);
@@ -318,7 +387,7 @@ mod tests {
         let table = Arc::new(CensusGenerator::new(3).generate(100));
         let reg = Registry::new(4);
         for id in 0..4 {
-            reg.insert(id, session(&table));
+            reg.insert(id, session(&table), meta());
         }
         // Insertion order is the initial LRU order, even though all four
         // inserts very likely landed in the same millisecond.
@@ -341,7 +410,7 @@ mod tests {
         let table = Arc::new(CensusGenerator::new(4).generate(100));
         let reg = Registry::new(4);
         for id in 0..3 {
-            reg.insert(id, session(&table));
+            reg.insert(id, session(&table), meta());
         }
         // Deterministic recency without sleeping: stamp ms by hand.
         for id in 0..3u64 {
@@ -364,7 +433,7 @@ mod tests {
         let reg = Registry::new(8);
         let total: u64 = 4 * LRU_EXACT_THRESHOLD; // well into the sampled regime
         for id in 0..total {
-            reg.insert(id, session(&table));
+            reg.insert(id, session(&table), meta());
         }
         // Touch everything once in id order so recency is fully known;
         // the most recent 8 are the ids at the end.
@@ -397,7 +466,7 @@ mod tests {
     fn stale_lru_candidate_survives_removal() {
         let table = Arc::new(CensusGenerator::new(5).generate(100));
         let reg = Registry::new(4);
-        reg.insert(0, session(&table));
+        reg.insert(0, session(&table), meta());
         let (victim, seq) = reg.lru_candidate().unwrap();
         // The session is touched after the scan (same millisecond is
         // fine — the sequence is what's compared)…

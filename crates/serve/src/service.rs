@@ -25,20 +25,44 @@
 //! sessions idle longer than `idle_timeout` (via [`Service::sweep_idle`]
 //! or the optional background sweeper) and, when the registry is at
 //! `max_sessions`, evicts the least-recently-used session to admit a
-//! new one. Eviction is indistinguishable from `close_session` to a
-//! late-returning client: both yield `unknown_session`.
+//! new one. Without persistence, eviction is indistinguishable from
+//! `close_session` to a late-returning client: both yield
+//! `unknown_session`.
+//!
+//! ## Persistence
+//!
+//! With a [`ServiceConfig::data_dir`] configured, the service keeps a
+//! write-ahead snapshot directory ([`crate::store`]):
+//!
+//! * **eviction spills** — both LRU admission eviction and the idle
+//!   sweep write the victim's snapshot to disk *before* unlinking it,
+//!   so eviction parks α-wealth instead of destroying it;
+//! * **lazy restore** — a command addressing a session that is not in
+//!   memory but has a snapshot on disk restores it transparently
+//!   (selections re-derived through the dataset's shared `EvalCache`,
+//!   never deserialized);
+//! * **periodic snapshots** — a background thread writes every dirty
+//!   session each [`ServiceConfig::snapshot_every`]; a `Some(ZERO)`
+//!   interval instead makes every mutating command write its snapshot
+//!   *before* its response is released (synchronous durability);
+//! * **restart** — a new service over the same directory resumes id
+//!   allocation above every persisted id and restores sessions on
+//!   first touch.
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::Metrics;
 use crate::proto::{
     BatchMode, Command, HypothesisReport, PolicySpec, Response, SessionId, TranscriptFormat,
 };
-use crate::registry::Registry;
+use crate::registry::{Registry, SessionEntry, SessionMeta};
+use crate::snapshot::SessionImage;
+use crate::store::SnapshotStore;
 use aware_core::session::Session;
 use aware_core::{gauge, transcript};
 use aware_data::cache::EvalCache;
 use aware_data::table::Table;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
@@ -69,6 +93,17 @@ pub struct ServiceConfig {
     /// constrain the usable same-session batch size too. One chatty
     /// client saturates its own session, never a worker.
     pub max_pending_per_session: usize,
+    /// Snapshot directory for durable sessions. `None` (the default)
+    /// keeps every session in memory only — the pre-persistence
+    /// behaviour. `Some(dir)` enables eviction spill, lazy restore, and
+    /// restart recovery.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot cadence when `data_dir` is set: `Some(interval)` runs a
+    /// background thread writing every dirty session each interval;
+    /// `Some(Duration::ZERO)` means *synchronous* — each mutating
+    /// command writes its session's snapshot before its response is
+    /// released; `None` snapshots only on eviction/spill and shutdown.
+    pub snapshot_every: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +117,8 @@ impl Default for ServiceConfig {
             idle_timeout: Duration::from_secs(15 * 60),
             sweep_interval: None,
             max_pending_per_session: crate::proto::MAX_BATCH_ITEMS,
+            data_dir: None,
+            snapshot_every: None,
         }
     }
 }
@@ -150,11 +187,19 @@ struct Inner {
     datasets: RwLock<HashMap<String, Dataset>>,
     next_session: AtomicU64,
     pending: PendingTable,
+    store: Option<SnapshotStore>,
     config: ServiceConfig,
 }
 
+impl Inner {
+    /// True when every mutating command must hit disk before replying.
+    fn sync_snapshots(&self) -> bool {
+        self.store.is_some() && self.config.snapshot_every == Some(Duration::ZERO)
+    }
+}
+
 /// Stats snapshot with the evaluation-cache counters summed over every
-/// registered dataset folded in.
+/// registered dataset folded in, plus the persisted-session gauge.
 fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
     let mut snapshot = inner.metrics.snapshot(inner.registry.len());
     for dataset in inner.datasets.read().unwrap().values() {
@@ -164,7 +209,68 @@ fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
         snapshot.cache_hits += hits;
         snapshot.cache_misses += misses;
     }
+    if let Some(store) = &inner.store {
+        snapshot.persisted = store.persisted();
+    }
     snapshot
+}
+
+/// Builds the durable image of a session; call with the session mutex
+/// held so the image is a consistent cut.
+fn image_of(entry: &SessionEntry, session: &crate::registry::ServedSession) -> SessionImage {
+    let meta = entry.meta.lock().unwrap();
+    SessionImage {
+        id: entry.id,
+        dataset: meta.dataset.clone(),
+        policy: meta.policy.clone(),
+        policy_since: meta.policy_since,
+        session: session.snapshot(),
+    }
+}
+
+/// Writes `image` to the store (when one is configured), reporting
+/// failures without tearing the service down.
+fn save_image(inner: &Inner, image: &SessionImage) -> bool {
+    let Some(store) = &inner.store else {
+        return true;
+    };
+    match store.save(image) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("aware-serve: failed to persist session {}: {e}", image.id);
+            false
+        }
+    }
+}
+
+/// Snapshots `id` to disk if a store is configured and the session is
+/// live. Returns `false` only when a configured store *failed* the
+/// write — the caller must then keep the session in memory rather than
+/// drop unspilled α-wealth.
+fn spill_to_disk(inner: &Inner, id: SessionId) -> bool {
+    let Some(store) = &inner.store else {
+        return true;
+    };
+    let Some(entry) = inner.registry.peek(id) else {
+        return true;
+    };
+    // A clean session that is already on disk has a current snapshot —
+    // evicting it must not pay encode + write + two fsyncs for bytes
+    // the store already holds.
+    if !entry.is_dirty() && store.contains(id) {
+        return true;
+    }
+    let image = {
+        let session = entry.session.lock().unwrap();
+        entry.clear_dirty();
+        image_of(&entry, &session)
+    };
+    if save_image(inner, &image) {
+        true
+    } else {
+        entry.mark_dirty();
+        false
+    }
 }
 
 /// One command of a dispatch unit, tagged with its position in the
@@ -449,14 +555,37 @@ pub struct Service {
 
 impl Service {
     /// Starts a service with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ServiceConfig::data_dir`] is set but the snapshot
+    /// directory cannot be created or scanned — running "durable" with
+    /// a broken store would be a silent lie.
     pub fn start(config: ServiceConfig) -> Service {
         let workers = config.workers.max(1);
+        let store = config.data_dir.as_ref().map(|dir| {
+            SnapshotStore::open(dir).unwrap_or_else(|e| {
+                panic!(
+                    "aware-serve: cannot open snapshot directory {}: {e}",
+                    dir.display()
+                )
+            })
+        });
+        // Resume id allocation above every persisted session, so a
+        // restored session and a newly created one can never collide —
+        // handing a returning client someone else's fresh wealth would
+        // be exactly the reset persistence exists to prevent.
+        let first_free_id = store
+            .as_ref()
+            .and_then(SnapshotStore::max_session_id)
+            .map_or(0, |max| max + 1);
         let inner = Arc::new(Inner {
             registry: Registry::new(config.shards),
             metrics: Metrics::new(),
             datasets: RwLock::new(HashMap::new()),
-            next_session: AtomicU64::new(0),
+            next_session: AtomicU64::new(first_free_id),
             pending: PendingTable::new(config.shards),
+            store,
             config,
         });
 
@@ -480,6 +609,18 @@ impl Service {
                 .name("aware-serve-sweeper".into())
                 .spawn(move || sweeper_loop(weak, interval))
                 .expect("spawn sweeper thread");
+        }
+
+        if inner.store.is_some() {
+            if let Some(interval) = inner.config.snapshot_every {
+                if !interval.is_zero() {
+                    let weak = Arc::downgrade(&inner);
+                    std::thread::Builder::new()
+                        .name("aware-serve-snapshotter".into())
+                        .spawn(move || snapshotter_loop(weak, interval))
+                        .expect("spawn snapshotter thread");
+                }
+            }
         }
 
         Service {
@@ -518,6 +659,16 @@ impl Service {
         for join in self.workers.drain(..) {
             let _ = join.join();
         }
+        // Workers are quiet now: flush every dirty session so a graceful
+        // restart loses nothing even in periodic-snapshot mode.
+        let inner = &self.handle.inner;
+        if inner.store.is_some() {
+            for entry in inner.registry.entries() {
+                if entry.is_dirty() {
+                    spill_to_disk(inner, entry.id);
+                }
+            }
+        }
     }
 }
 
@@ -546,14 +697,34 @@ fn sweep_idle(inner: &Inner) -> usize {
     };
     let mut evicted = 0;
     for id in inner.registry.idle_ids(cutoff) {
-        // Recency is re-checked under the shard write lock: a session
-        // touched between the scan and the removal survives the sweep.
-        if inner.registry.remove_if_idle(id, cutoff) {
+        // With a store, spill before unlinking: idle eviction parks
+        // wealth on disk instead of destroying it. A failed spill keeps
+        // the session in memory. Recency is re-checked under the shard
+        // write lock: a session touched between the scan and the
+        // removal survives the sweep (its just-written snapshot is then
+        // merely stale, and overwritten on its next spill).
+        if spill_to_disk(inner, id) && inner.registry.remove_if_idle(id, cutoff) {
             inner.metrics.session_evicted();
             evicted += 1;
         }
     }
     evicted
+}
+
+fn snapshotter_loop(inner: Weak<Inner>, interval: Duration) {
+    loop {
+        std::thread::sleep(interval);
+        match inner.upgrade() {
+            Some(inner) => {
+                for entry in inner.registry.entries() {
+                    if entry.is_dirty() {
+                        spill_to_disk(&inner, entry.id);
+                    }
+                }
+            }
+            None => return, // service is gone
+        }
+    }
 }
 
 fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
@@ -689,37 +860,39 @@ fn create_session(
         Err(e) => return Response::Error(ServeError::invalid(format!("cannot open session: {e}"))),
     };
 
-    // Admission control: evict LRU sessions until there is room. The
-    // victim's recency is re-checked under its shard write lock, so a
-    // session touched after the scan survives and the scan re-runs; a
-    // bounded number of attempts turns a registry full of hot sessions
-    // into an `overloaded` error instead of a livelock. Under concurrent
-    // creates this can momentarily overshoot by a few evictions —
-    // harmless, the cap is a resource bound, not an exact count.
-    let mut attempts = 0;
-    while inner.registry.len() >= inner.config.max_sessions {
-        attempts += 1;
-        let evicted = match inner.registry.lru_candidate() {
-            Some((victim, observed_ms)) => {
-                inner.registry.remove_if_unused_since(victim, observed_ms)
-            }
-            None => false,
-        };
-        if evicted {
-            inner.metrics.session_evicted();
-        } else if attempts >= 16 {
-            inner.metrics.overloaded();
-            return Response::Error(ServeError {
-                code: ErrorCode::Overloaded,
-                message: "session capacity exhausted and nothing evictable".into(),
-            });
-        }
+    if let Err(refusal) = ensure_capacity(inner) {
+        return refusal;
     }
 
     let wealth = session.wealth();
     let policy_name = session.policy_name();
-    inner.registry.insert(id, session);
+    let entry = inner.registry.insert(
+        id,
+        session,
+        SessionMeta {
+            dataset,
+            policy,
+            policy_since: 0,
+        },
+    );
     inner.metrics.session_created();
+    // A created session is durable the moment the client learns its id:
+    // in synchronous mode the initial snapshot is on disk before this
+    // response is released; otherwise the dirty flag queues it for the
+    // next periodic pass.
+    entry.mark_dirty();
+    if inner.sync_snapshots() {
+        let image = {
+            let session = entry.session.lock().unwrap();
+            entry.clear_dirty();
+            image_of(&entry, &session)
+        };
+        if !save_image(inner, &image) {
+            // The write-before-reply promise broke; leave the session
+            // dirty so the shutdown flush (and any later spill) retries.
+            entry.mark_dirty();
+        }
+    }
     Response::SessionCreated {
         session: id,
         wealth,
@@ -727,15 +900,144 @@ fn create_session(
     }
 }
 
+/// Makes room for one more session, spilling (with a store) or dropping
+/// (without) LRU victims. The victim's recency is re-checked under its
+/// shard write lock, so a session touched after the scan survives and
+/// the scan re-runs; a bounded number of attempts turns a registry full
+/// of hot sessions into an `overloaded` error instead of a livelock.
+/// Under concurrent creates this can momentarily overshoot by a few
+/// evictions — harmless, the cap is a resource bound, not an exact
+/// count.
+// An `Err` here is one `Response` about to hit the wire — cold path,
+// not worth boxing.
+#[allow(clippy::result_large_err)]
+fn ensure_capacity(inner: &Inner) -> Result<(), Response> {
+    let mut attempts = 0;
+    while inner.registry.len() >= inner.config.max_sessions {
+        attempts += 1;
+        let evicted = match inner.registry.lru_candidate() {
+            Some((victim, observed_seq)) => {
+                // Spill before unlinking: LRU eviction parks the
+                // victim's wealth on disk. A session touched (and
+                // possibly mutated) after the scan is not removed; its
+                // just-written snapshot is then merely stale and will
+                // be overwritten by its next spill.
+                spill_to_disk(inner, victim)
+                    && inner.registry.remove_if_unused_since(victim, observed_seq)
+            }
+            None => false,
+        };
+        if evicted {
+            inner.metrics.session_evicted();
+        } else if attempts >= 16 {
+            inner.metrics.overloaded();
+            return Err(Response::Error(ServeError {
+                code: ErrorCode::Overloaded,
+                message: "session capacity exhausted and nothing evictable".into(),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Finds a live session, transparently restoring it from the snapshot
+/// store when it was spilled (or the server restarted). Restore
+/// re-derives every selection from the stored predicates through the
+/// dataset's shared evaluation cache — snapshots carry no bitmaps.
+#[allow(clippy::result_large_err)] // cold path, the Err is the reply
+fn lookup_or_restore(inner: &Inner, id: SessionId) -> Result<Arc<SessionEntry>, Response> {
+    if let Some(entry) = inner.registry.get(id) {
+        return Ok(entry);
+    }
+    let Some(store) = &inner.store else {
+        return Err(Response::Error(ServeError::unknown_session(id)));
+    };
+    if !store.contains(id) {
+        return Err(Response::Error(ServeError::unknown_session(id)));
+    }
+    let image = store.load(id).map_err(Response::Error)?;
+    let Some((table, cache)) = inner
+        .datasets
+        .read()
+        .unwrap()
+        .get(&image.dataset)
+        .map(|d| (d.table.clone(), d.cache.clone()))
+    else {
+        return Err(Response::Error(ServeError {
+            code: ErrorCode::UnknownDataset,
+            message: format!(
+                "session {id} was persisted over dataset '{}', which is not registered",
+                image.dataset
+            ),
+        }));
+    };
+    let boxed = image.policy.build().map_err(Response::Error)?;
+    let meta = SessionMeta {
+        dataset: image.dataset,
+        policy: image.policy,
+        policy_since: image.policy_since,
+    };
+    let session = Session::restore(
+        table,
+        Some(cache),
+        image.session,
+        boxed,
+        image.policy_since as usize,
+    )
+    .map_err(|e| {
+        Response::Error(ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!("session {id} failed restore validation: {e}"),
+        })
+    })?;
+    ensure_capacity(inner)?;
+    Ok(inner.registry.insert(id, session, meta))
+}
+
 fn with_session(
     inner: &Inner,
     id: SessionId,
     f: impl FnOnce(&mut crate::registry::ServedSession) -> Response,
 ) -> Response {
-    match inner.registry.get(id) {
-        Some(entry) => f(&mut entry.session.lock().unwrap()),
-        None => Response::Error(ServeError::unknown_session(id)),
+    match lookup_or_restore(inner, id) {
+        Ok(entry) => f(&mut entry.session.lock().unwrap()),
+        Err(refusal) => refusal,
     }
+}
+
+/// [`with_session`] for state-mutating commands: marks the entry dirty
+/// and, in synchronous-snapshot mode, writes the session's snapshot to
+/// disk before the response escapes (the write happens outside the
+/// session mutex; the image was cut under it).
+fn with_session_mut(
+    inner: &Inner,
+    id: SessionId,
+    f: impl FnOnce(&mut crate::registry::ServedSession, &SessionEntry) -> Response,
+) -> Response {
+    let entry = match lookup_or_restore(inner, id) {
+        Ok(entry) => entry,
+        Err(refusal) => return refusal,
+    };
+    let (response, image) = {
+        let mut session = entry.session.lock().unwrap();
+        let response = f(&mut session, &entry);
+        entry.mark_dirty();
+        let image = if inner.sync_snapshots() {
+            entry.clear_dirty();
+            Some(image_of(&entry, &session))
+        } else {
+            None
+        };
+        (response, image)
+    };
+    if let Some(image) = image {
+        if !save_image(inner, &image) {
+            // Synchronous durability failed: re-mark dirty so the
+            // shutdown flush and eviction spill keep trying.
+            entry.mark_dirty();
+        }
+    }
+    response
 }
 
 fn add_visualization(
@@ -744,7 +1046,7 @@ fn add_visualization(
     attribute: String,
     filter: crate::proto::FilterSpec,
 ) -> Response {
-    with_session(inner, id, |s| {
+    with_session_mut(inner, id, |s, _entry| {
         match s.add_visualization(attribute, filter.to_predicate()) {
             Ok(outcome) => {
                 let hypothesis = outcome.hypothesis.map(|(hid, record)| {
@@ -774,8 +1076,13 @@ fn set_policy(inner: &Inner, id: SessionId, policy: PolicySpec) -> Response {
         Ok(p) => p,
         Err(e) => return Response::Error(e),
     };
-    with_session(inner, id, |s| {
+    with_session_mut(inner, id, |s, entry| {
         s.replace_policy(boxed);
+        // Record where the new policy's observation history begins, so
+        // a restore replays `observe` only for tests it actually saw.
+        let mut meta = entry.meta.lock().unwrap();
+        meta.policy = policy;
+        meta.policy_since = s.tests_run() as u64;
         Response::PolicySet {
             session: id,
             policy: s.policy_name(),
@@ -787,6 +1094,9 @@ fn close_session(inner: &Inner, id: SessionId) -> Response {
     match inner.registry.remove(id) {
         Some(entry) => {
             let s = entry.session.lock().unwrap();
+            if let Some(store) = &inner.store {
+                store.remove(id);
+            }
             inner.metrics.session_closed();
             Response::SessionClosed {
                 session: id,
@@ -794,7 +1104,31 @@ fn close_session(inner: &Inner, id: SessionId) -> Response {
                 discoveries: s.discoveries().len() as u64,
             }
         }
-        None => Response::Error(ServeError::unknown_session(id)),
+        // A spilled session can be closed without resurrecting it: the
+        // farewell totals are read from the snapshot, then the files go.
+        None => match &inner.store {
+            Some(store) if store.contains(id) => match store.load(id) {
+                Ok(image) => {
+                    store.remove(id);
+                    inner.metrics.session_closed();
+                    Response::SessionClosed {
+                        session: id,
+                        hypotheses: image.session.hypotheses.len() as u64,
+                        discoveries: image
+                            .session
+                            .hypotheses
+                            .iter()
+                            .filter(|h| h.is_discovery())
+                            .count() as u64,
+                    }
+                }
+                // Corrupt snapshots are NOT deleted on close: the bytes
+                // are the only remaining evidence an operator could
+                // still recover.
+                Err(e) => Response::Error(e),
+            },
+            _ => Response::Error(ServeError::unknown_session(id)),
+        },
     }
 }
 
@@ -1202,6 +1536,170 @@ mod tests {
             Response::Error(_)
         ));
         assert!(h.call(Command::Gauge { session: busy }).is_ok());
+    }
+
+    fn temp_data_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aware-service-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn gauge_of(h: &ServiceHandle, sid: SessionId) -> String {
+        match h.call(Command::Gauge { session: sid }) {
+            Response::GaugeText { text, .. } => text,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn csv_of(h: &ServiceHandle, sid: SessionId) -> String {
+        match h.call(Command::Transcript {
+            session: sid,
+            format: TranscriptFormat::Csv,
+        }) {
+            Response::TranscriptText { text, .. } => text,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_eviction_spills_to_disk_and_restores_on_touch() {
+        let dir = temp_data_dir("spill");
+        let service = test_service(ServiceConfig {
+            max_sessions: 2,
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let first = create(&h);
+        assert!(h
+            .call(Command::AddVisualization {
+                session: first,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        let reference = (gauge_of(&h, first), csv_of(&h, first));
+        let _second = create(&h);
+        let _third = create(&h); // evicts `first` — to disk, not oblivion
+        assert_eq!(h.live_sessions(), 2);
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.sessions_evicted, 1);
+                assert!(s.persisted >= 1, "evicted session must be on disk");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Touching the evicted session restores it transparently with
+        // byte-identical observables (evicting another to make room).
+        assert_eq!((gauge_of(&h, first), csv_of(&h, first)), reference);
+        // And its wealth keeps evolving from where it left off.
+        assert!(h
+            .call(Command::AddVisualization {
+                session: first,
+                attribute: "race".into(),
+                filter: FilterSpec::True,
+            })
+            .is_ok());
+        drop(h);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sessions_survive_a_service_restart() {
+        let dir = temp_data_dir("restart");
+        let config = || ServiceConfig {
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(Duration::ZERO), // synchronous durability
+            ..ServiceConfig::default()
+        };
+        let service = test_service(config());
+        let h = service.handle();
+        let sid = create(&h);
+        assert!(h
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        match h.call(Command::SetPolicy {
+            session: sid,
+            policy: PolicySpec::Hopeful { delta: 5.0 },
+        }) {
+            Response::PolicySet { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let reference = (gauge_of(&h, sid), csv_of(&h, sid));
+        drop(h);
+        service.shutdown();
+
+        // A new service over the same directory: the session is back,
+        // byte for byte, and new ids never collide with restored ones.
+        let service = test_service(config());
+        let h = service.handle();
+        assert_eq!((gauge_of(&h, sid), csv_of(&h, sid)), reference);
+        let fresh = create(&h);
+        assert!(fresh > sid, "id allocation must resume above {sid}");
+        // Closing the restored session deletes its snapshot files.
+        assert!(h.call(Command::CloseSession { session: sid }).is_ok());
+        match h.call(Command::Stats) {
+            Response::Stats(s) => assert_eq!(s.persisted, 1, "only `fresh` remains"),
+            other => panic!("{other:?}"),
+        }
+        drop(h);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_surface_as_corrupt_snapshot_not_fresh_wealth() {
+        let dir = temp_data_dir("corrupt");
+        let config = || ServiceConfig {
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        };
+        let service = test_service(config());
+        let h = service.handle();
+        let sid = create(&h);
+        assert!(h
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        drop(h);
+        service.shutdown();
+        // Mangle every on-disk generation of the session.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let service = test_service(config());
+        let h = service.handle();
+        match h.call(Command::Gauge { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot),
+            other => panic!("corrupt ledger must never answer with state: {other:?}"),
+        }
+        // close_session refuses too (and keeps the evidence on disk).
+        match h.call(Command::CloseSession { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot),
+            other => panic!("{other:?}"),
+        }
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_some());
+        drop(h);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The write-ahead snapshot directory: crash-safe persistence for
+//! session images.
+//!
+//! ## Atomicity & fsync story
+//!
+//! A snapshot is never written in place. Each save goes to
+//! `sess-<id>.g<gen>.awrs.tmp`, is `fsync`ed, atomically renamed to
+//! `sess-<id>.g<gen>.awrs`, and the *directory* is `fsync`ed so the
+//! rename itself survives a power cut. A reader therefore never
+//! observes a half-renamed file; what it can observe — on filesystems
+//! that reorder data and metadata, or after outright disk corruption —
+//! is a final file with mangled bytes, which is why every file carries
+//! a length prefix and checksum and why the store keeps **two
+//! generations** per session: if `g<N>` fails to decode, `g<N-1>` is
+//! tried before the session is declared unrecoverable. Wealth is never
+//! silently reset — a session whose every generation is corrupt answers
+//! `corrupt_snapshot`, not a fresh budget.
+//!
+//! ## Naming
+//!
+//! `sess-<id>.g<gen>.awrs`, with `id` and `gen` in decimal. Scanning
+//! the directory on startup rebuilds the index (latest generation per
+//! session) without reading any payload — restore is lazy, paid by the
+//! first command that touches a spilled session.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::proto::SessionId;
+use crate::snapshot::{self, SessionImage};
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Snapshot generations kept per session; older ones are pruned after a
+/// successful save.
+pub const GENERATIONS_KEPT: u64 = 2;
+
+/// A directory of durable session snapshots.
+pub struct SnapshotStore {
+    root: PathBuf,
+    /// Latest known generation per session.
+    index: Mutex<HashMap<SessionId, u64>>,
+    /// Serializes writers (and `remove`): two concurrent saves of the
+    /// same session must not race on one generation's tmp/final path,
+    /// and a save in flight while `remove` runs must finish before the
+    /// files go. Readers never take this lock, so lazy restores are
+    /// never stuck behind an fsync.
+    save_lock: Mutex<()>,
+    /// Sessions removed after a clean close: a late save (the periodic
+    /// snapshotter holding a stale entry) must not resurrect them. Ids
+    /// are never reallocated, so a tombstone is one u64 forever.
+    retired: Mutex<HashSet<SessionId>>,
+    /// Snapshot files that failed to decode since the store opened.
+    corrupt: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot directory and scans it.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mut index: HashMap<SessionId, u64> = HashMap::new();
+        for entry in fs::read_dir(&root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some((id, gen)) = parse_file_name(&name.to_string_lossy()) else {
+                continue; // tmp leftovers and foreign files are ignored
+            };
+            let latest = index.entry(id).or_insert(gen);
+            *latest = (*latest).max(gen);
+        }
+        Ok(SnapshotStore {
+            root,
+            index: Mutex::new(index),
+            save_lock: Mutex::new(()),
+            retired: Mutex::new(HashSet::new()),
+            corrupt: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of sessions with at least one on-disk snapshot.
+    pub fn persisted(&self) -> u64 {
+        self.index.lock().unwrap().len() as u64
+    }
+
+    /// Snapshot files that failed to decode since the store opened.
+    pub fn corrupt_count(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// True when `id` has an on-disk snapshot.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.index.lock().unwrap().contains_key(&id)
+    }
+
+    /// Ids of every persisted session (startup reporting).
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.index.lock().unwrap().keys().copied().collect()
+    }
+
+    /// The largest persisted session id, if any — a restarted server
+    /// resumes id allocation above it so restored sessions and new ones
+    /// can never collide.
+    pub fn max_session_id(&self) -> Option<SessionId> {
+        self.index.lock().unwrap().keys().max().copied()
+    }
+
+    fn file_path(&self, id: SessionId, gen: u64) -> PathBuf {
+        self.root.join(format!("sess-{id}.g{gen}.awrs"))
+    }
+
+    /// Durably writes a new generation for `image.id`: tmp + fsync +
+    /// rename + directory fsync, then prunes generations older than
+    /// [`GENERATIONS_KEPT`]. A save for a session already removed by
+    /// [`SnapshotStore::remove`] is a no-op — closed sessions stay
+    /// closed.
+    pub fn save(&self, image: &SessionImage) -> io::Result<()> {
+        let bytes = snapshot::encode(image);
+        let _writers = self.save_lock.lock().unwrap();
+        if self.retired.lock().unwrap().contains(&image.id) {
+            return Ok(());
+        }
+        let gen = {
+            let index = self.index.lock().unwrap();
+            index.get(&image.id).map_or(1, |g| g + 1)
+        };
+        let final_path = self.file_path(image.id, gen);
+        let tmp_path = final_path.with_extension("awrs.tmp");
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            io::Write::write_all(&mut file, &bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename: fsync the directory entry.
+        fs::File::open(&self.root)?.sync_all()?;
+        self.index.lock().unwrap().insert(image.id, gen);
+        if gen > GENERATIONS_KEPT {
+            let _ = fs::remove_file(self.file_path(image.id, gen - GENERATIONS_KEPT));
+        }
+        Ok(())
+    }
+
+    /// Loads the newest decodable generation of `id`. Corrupt
+    /// generations are skipped (and counted); if every generation is
+    /// corrupt the session is unrecoverable and the caller gets
+    /// [`ErrorCode::CorruptSnapshot`] — never a silently reset wealth.
+    pub fn load(&self, id: SessionId) -> Result<SessionImage, ServeError> {
+        let Some(latest) = self.index.lock().unwrap().get(&id).copied() else {
+            return Err(ServeError::unknown_session(id));
+        };
+        let mut last_error: Option<ServeError> = None;
+        for gen in (latest.saturating_sub(GENERATIONS_KEPT - 1)..=latest).rev() {
+            let path = self.file_path(id, gen);
+            let bytes = match fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    last_error = Some(ServeError {
+                        code: ErrorCode::CorruptSnapshot,
+                        message: format!("cannot read {}: {e}", path.display()),
+                    });
+                    continue;
+                }
+            };
+            match snapshot::decode(&bytes) {
+                Ok(image) if image.id == id => return Ok(image),
+                Ok(image) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    last_error = Some(ServeError {
+                        code: ErrorCode::CorruptSnapshot,
+                        message: format!(
+                            "{} contains session {} (expected {id})",
+                            path.display(),
+                            image.id
+                        ),
+                    });
+                }
+                Err(e) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    last_error = Some(ServeError {
+                        code: ErrorCode::CorruptSnapshot,
+                        message: format!("{}: {}", path.display(), e.message),
+                    });
+                }
+            }
+        }
+        Err(last_error.unwrap_or_else(|| ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!("every snapshot generation of session {id} is missing"),
+        }))
+    }
+
+    /// Deletes `id`'s on-disk generations (after a clean close) and
+    /// tombstones the id so an in-flight snapshotter save cannot
+    /// resurrect the session.
+    pub fn remove(&self, id: SessionId) {
+        let _writers = self.save_lock.lock().unwrap();
+        self.retired.lock().unwrap().insert(id);
+        let Some(latest) = self.index.lock().unwrap().remove(&id) else {
+            return;
+        };
+        // Only the last GENERATIONS_KEPT files can exist (saves prune),
+        // plus possibly a tmp leftover from a crashed write.
+        for gen in latest.saturating_sub(GENERATIONS_KEPT - 1)..=latest {
+            let _ = fs::remove_file(self.file_path(id, gen));
+        }
+        let _ = fs::remove_file(self.file_path(id, latest + 1).with_extension("awrs.tmp"));
+    }
+}
+
+/// Parses `sess-<id>.g<gen>.awrs`.
+fn parse_file_name(name: &str) -> Option<(SessionId, u64)> {
+    let rest = name.strip_prefix("sess-")?.strip_suffix(".awrs")?;
+    let (id, gen) = rest.split_once(".g")?;
+    Some((id.parse().ok()?, gen.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::PolicySpec;
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::Predicate;
+    use std::sync::Arc;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aware-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn image(id: SessionId, steps: usize) -> SessionImage {
+        let table = Arc::new(CensusGenerator::new(5).generate(800));
+        let policy = PolicySpec::Fixed { gamma: 10.0 };
+        let mut s =
+            aware_core::session::Session::shared(table, 0.05, policy.build().unwrap()).unwrap();
+        for i in 0..steps {
+            let filter = Predicate::eq("survey_wave", format!("Wave-{}", (i % 4) + 1).as_str());
+            let _ = s.add_visualization("race", filter);
+        }
+        SessionImage {
+            id,
+            dataset: "census".into(),
+            policy,
+            policy_since: 0,
+            session: s.snapshot(),
+        }
+    }
+
+    #[test]
+    fn save_load_remove_lifecycle() {
+        let root = temp_root("lifecycle");
+        let store = SnapshotStore::open(&root).unwrap();
+        assert_eq!(store.persisted(), 0);
+        assert!(!store.contains(7));
+        let img = image(7, 2);
+        store.save(&img).unwrap();
+        assert!(store.contains(7));
+        assert_eq!(store.persisted(), 1);
+        assert_eq!(store.load(7).unwrap(), img);
+        assert_eq!(store.load(8).unwrap_err().code, ErrorCode::UnknownSession);
+        store.remove(7);
+        assert!(!store.contains(7));
+        assert!(
+            fs::read_dir(&root).unwrap().next().is_none(),
+            "no leftovers"
+        );
+        // A save racing past a close is a no-op: closed sessions stay
+        // closed (the snapshotter may hold a stale entry Arc).
+        store.save(&img).unwrap();
+        assert!(!store.contains(7), "tombstone must refuse resurrection");
+        assert!(fs::read_dir(&root).unwrap().next().is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generations_rotate_and_scan_resumes() {
+        let root = temp_root("generations");
+        let store = SnapshotStore::open(&root).unwrap();
+        for steps in 1..=4 {
+            store.save(&image(3, steps)).unwrap();
+        }
+        // Only the two newest generations remain on disk.
+        let mut names: Vec<String> = fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["sess-3.g3.awrs", "sess-3.g4.awrs"]);
+        // A fresh store (server restart) scans the same state and keeps
+        // allocating generations above it.
+        let reopened = SnapshotStore::open(&root).unwrap();
+        assert_eq!(reopened.persisted(), 1);
+        assert_eq!(reopened.max_session_id(), Some(3));
+        assert_eq!(
+            reopened.load(3).unwrap().session.visualizations.len(),
+            4,
+            "newest generation wins"
+        );
+        reopened.save(&image(3, 5)).unwrap();
+        assert!(root.join("sess-3.g5.awrs").exists());
+        assert!(!root.join("sess-3.g3.awrs").exists(), "pruned");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_newest_generation_falls_back_to_previous() {
+        let root = temp_root("torn");
+        let store = SnapshotStore::open(&root).unwrap();
+        store.save(&image(9, 1)).unwrap();
+        store.save(&image(9, 2)).unwrap();
+        // Tear the newest file at an arbitrary byte.
+        let newest = root.join("sess-9.g2.awrs");
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let reopened = SnapshotStore::open(&root).unwrap();
+        let restored = reopened.load(9).unwrap();
+        assert_eq!(restored.session.visualizations.len(), 1, "previous gen");
+        assert_eq!(reopened.corrupt_count(), 1);
+        // Tear the fallback too: the session is unrecoverable, loudly.
+        let previous = root.join("sess-9.g1.awrs");
+        let bytes = fs::read(&previous).unwrap();
+        fs::write(&previous, &bytes[..bytes.len() / 2]).unwrap();
+        let err = reopened.load(9).unwrap_err();
+        assert_eq!(err.code, ErrorCode::CorruptSnapshot);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stray_files_are_ignored_by_the_scan() {
+        let root = temp_root("stray");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("README.txt"), b"not a snapshot").unwrap();
+        fs::write(root.join("sess-1.g1.awrs.tmp"), b"crashed mid-write").unwrap();
+        fs::write(root.join("sess-x.g1.awrs"), b"bad id").unwrap();
+        let store = SnapshotStore::open(&root).unwrap();
+        assert_eq!(store.persisted(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

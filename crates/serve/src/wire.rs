@@ -32,8 +32,10 @@ const MAX_FILTER_DEPTH: usize = 128;
 
 /// Scalar counters in a binary `Stats` reply. The wire carries this as
 /// a count prefix so the list can grow without breaking older decoders
-/// (unknown trailing counters are skipped, missing ones default to 0).
-const STATS_SCALAR_FIELDS: usize = 16;
+/// (unknown trailing counters are skipped, missing ones default to 0) —
+/// which is exactly how `persisted` (field 17) arrived without a
+/// protocol-version bump.
+const STATS_SCALAR_FIELDS: usize = 17;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -227,20 +229,28 @@ fn cmp_op_tag(op: CmpOp) -> u8 {
 
 // -- writer -----------------------------------------------------------------
 
-struct Writer {
+/// The tag-codec byte writer. `pub(crate)` so the session-snapshot
+/// codec ([`crate::snapshot`]) reuses the exact same primitives (and
+/// the policy/filter encoders below) instead of inventing a dialect.
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Writer {
+    pub(crate) fn new() -> Writer {
         Writer { buf: Vec::new() }
     }
 
-    fn u8(&mut self, b: u8) {
+    /// The bytes written so far.
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, b: u8) {
         self.buf.push(b);
     }
 
-    fn varint(&mut self, mut n: u64) {
+    pub(crate) fn varint(&mut self, mut n: u64) {
         loop {
             let byte = (n & 0x7f) as u8;
             n >>= 7;
@@ -252,11 +262,11 @@ impl Writer {
         }
     }
 
-    fn zigzag(&mut self, n: i64) {
+    pub(crate) fn zigzag(&mut self, n: i64) {
         self.varint(((n << 1) ^ (n >> 63)) as u64);
     }
 
-    fn opt_varint(&mut self, n: Option<u64>) {
+    pub(crate) fn opt_varint(&mut self, n: Option<u64>) {
         match n {
             None => self.u8(0),
             Some(n) => {
@@ -266,16 +276,16 @@ impl Writer {
         }
     }
 
-    fn f64(&mut self, x: f64) {
+    pub(crate) fn f64(&mut self, x: f64) {
         self.buf.extend_from_slice(&x.to_le_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.varint(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn value(&mut self, v: &Value) {
+    pub(crate) fn value(&mut self, v: &Value) {
         match v {
             Value::Int(i) => {
                 self.u8(0);
@@ -296,7 +306,7 @@ impl Writer {
         }
     }
 
-    fn policy(&mut self, p: &PolicySpec) {
+    pub(crate) fn policy(&mut self, p: &PolicySpec) {
         match *p {
             PolicySpec::Fixed { gamma } => {
                 self.u8(1);
@@ -330,7 +340,7 @@ impl Writer {
         }
     }
 
-    fn filter(&mut self, f: &FilterSpec) {
+    pub(crate) fn filter(&mut self, f: &FilterSpec) {
         match f {
             FilterSpec::True => self.u8(0),
             FilterSpec::Cmp { column, op, value } => {
@@ -509,6 +519,7 @@ impl Writer {
                     s.binary_frames,
                     s.cache_hits,
                     s.cache_misses,
+                    s.persisted,
                 ] {
                     self.varint(n);
                 }
@@ -527,24 +538,24 @@ impl Writer {
 
 // -- reader -----------------------------------------------------------------
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
         Reader { bytes, pos: 0 }
     }
 
-    fn bad(&self, message: impl Into<String>) -> ServeError {
+    pub(crate) fn bad(&self, message: impl Into<String>) -> ServeError {
         ServeError {
             code: ErrorCode::BadRequest,
             message: format!("binary payload at byte {}: {}", self.pos, message.into()),
         }
     }
 
-    fn finish(&self) -> Result<(), ServeError> {
+    pub(crate) fn finish(&self) -> Result<(), ServeError> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {
@@ -555,7 +566,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -564,7 +575,7 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn varint(&mut self, what: &str) -> Result<u64, ServeError> {
+    pub(crate) fn varint(&mut self, what: &str) -> Result<u64, ServeError> {
         let mut out: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -583,12 +594,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn zigzag(&mut self, what: &str) -> Result<i64, ServeError> {
+    pub(crate) fn zigzag(&mut self, what: &str) -> Result<i64, ServeError> {
         let n = self.varint(what)?;
         Ok((n >> 1) as i64 ^ -((n & 1) as i64))
     }
 
-    fn opt_varint(&mut self, what: &str) -> Result<Option<u64>, ServeError> {
+    pub(crate) fn opt_varint(&mut self, what: &str) -> Result<Option<u64>, ServeError> {
         match self.u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.varint(what)?)),
@@ -596,7 +607,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
         if self.pos + 8 > self.bytes.len() {
             return Err(self.bad(format!("truncated payload reading {what}")));
         }
@@ -606,7 +617,7 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(raw))
     }
 
-    fn str(&mut self, what: &str) -> Result<String, ServeError> {
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, ServeError> {
         let len = self.varint(what)? as usize;
         // Compare against the remainder, never `pos + len` — a hostile
         // length near u64::MAX must be an error, not an overflow.
@@ -628,7 +639,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, ServeError> {
+    pub(crate) fn value(&mut self) -> Result<Value, ServeError> {
         Ok(match self.u8("value tag")? {
             0 => Value::Int(self.zigzag("int value")?),
             1 => Value::Float(self.f64("float value")?),
@@ -638,7 +649,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn policy(&mut self) -> Result<PolicySpec, ServeError> {
+    pub(crate) fn policy(&mut self) -> Result<PolicySpec, ServeError> {
         Ok(match self.u8("policy tag")? {
             1 => PolicySpec::Fixed {
                 gamma: self.f64("gamma")?,
@@ -663,7 +674,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn filter(&mut self, depth: usize) -> Result<FilterSpec, ServeError> {
+    pub(crate) fn filter(&mut self, depth: usize) -> Result<FilterSpec, ServeError> {
         if depth > MAX_FILTER_DEPTH {
             return Err(self.bad(format!(
                 "filter nesting deeper than {MAX_FILTER_DEPTH} levels"
@@ -843,6 +854,7 @@ impl<'a> Reader<'a> {
                     binary_frames: fields[13],
                     cache_hits: fields[14],
                     cache_misses: fields[15],
+                    persisted: fields[16],
                     batch_size_hist,
                 })
             }
@@ -996,7 +1008,7 @@ mod tests {
         // shorter (older peer) or longer (newer peer) than this build's
         // STATS_SCALAR_FIELDS: both must decode, defaulting the missing
         // counters and skipping the surplus.
-        for (count, extra) in [(14usize, 0u64), (18, 2)] {
+        for (count, extra) in [(14usize, 0u64), (19, 2)] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1023,9 +1035,11 @@ mod tests {
             if count < STATS_SCALAR_FIELDS {
                 assert_eq!(s.cache_hits, 0);
                 assert_eq!(s.cache_misses, 0);
+                assert_eq!(s.persisted, 0);
             } else {
                 assert_eq!(s.cache_hits, 114);
                 assert_eq!(s.cache_misses, 115);
+                assert_eq!(s.persisted, 116);
             }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
             let _ = extra;

@@ -468,6 +468,136 @@ fn batched_mixed_session_replay_matches_v1() {
     }
 }
 
+/// Persistence under concurrency: a capacity-squeezed service spills
+/// LRU victims to disk while multi-threaded load keeps creating
+/// sessions; touching a spilled session must restore byte-identical
+/// state, the restore must warm from the shared `EvalCache`
+/// (`cache_hits` strictly increases across the touch phase), and no
+/// snapshot file may carry anything outside the bitmap-free grammar.
+#[test]
+fn lru_spill_under_load_restores_byte_identical_state() {
+    const SPILL_SESSIONS: usize = 24;
+    const SPILL_THREADS: usize = 6;
+    const PER_THREAD: usize = SPILL_SESSIONS / SPILL_THREADS;
+    const SPILL_STEPS: usize = 24;
+    const CAPACITY: u64 = 8;
+
+    let dir = std::env::temp_dir().join(format!(
+        "aware-spill-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let table = shared_table();
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        shards: 8,
+        max_sessions: CAPACITY,
+        data_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let handle = service.handle();
+    handle.register_shared("census", table);
+    let commands = Arc::new(AtomicU64::new(0));
+
+    // --- Load phase: 6 threads create+drive 24 sessions through an
+    // 8-slot registry, forcing ≥ 16 LRU spills to disk.
+    let mut driven: Vec<Option<(SessionId, Fingerprint)>> =
+        (0..SPILL_SESSIONS).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (t, chunk) in driven.chunks_mut(PER_THREAD).enumerate() {
+            let handle = handle.clone();
+            let commands = commands.clone();
+            scope.spawn(move || {
+                let base = t * PER_THREAD;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let sid = create_session(&handle);
+                    let script = session_script(base + i);
+                    let fingerprint = drive(&handle, sid, &script[..SPILL_STEPS], &commands);
+                    *slot = Some((sid, fingerprint));
+                }
+            });
+        }
+    });
+    // Concurrent creates may overshoot evictions by a little (the cap
+    // is a resource bound, not an exact count), so the live count ends
+    // at or just under capacity — never over.
+    let live = handle.live_sessions();
+    assert!(
+        (1..=CAPACITY).contains(&live),
+        "live sessions {live} escaped the {CAPACITY} cap"
+    );
+    let hits_before = match handle.call(Command::Stats) {
+        Response::Stats(s) => {
+            assert!(
+                s.sessions_evicted >= (SPILL_SESSIONS as u64 - CAPACITY),
+                "expected ≥ {} spills, saw {}",
+                SPILL_SESSIONS as u64 - CAPACITY,
+                s.sessions_evicted
+            );
+            assert!(
+                s.persisted >= SPILL_SESSIONS as u64 - CAPACITY,
+                "every evicted session must be parked on disk: {s:?}"
+            );
+            s.cache_hits
+        }
+        other => panic!("{other:?}"),
+    };
+
+    // --- Touch phase: every session — most of them spilled by now —
+    // must come back byte-identical. Restores re-derive selections
+    // through the shared cache, which the load phase left warm.
+    let replay_commands = AtomicU64::new(0);
+    for entry in &driven {
+        let (sid, recorded) = entry.as_ref().expect("driver filled every slot");
+        let restored = drive(&handle, *sid, &[], &replay_commands);
+        assert!(
+            recorded == &restored,
+            "session {sid}: state changed across spill/restore\n\
+             gauge equal: {}\ncsv equal: {}\ntext equal: {}",
+            recorded.gauge == restored.gauge,
+            recorded.csv == restored.csv,
+            recorded.text == restored.text,
+        );
+    }
+    match handle.call(Command::Stats) {
+        Response::Stats(s) => assert!(
+            s.cache_hits > hits_before,
+            "restores must warm from the shared EvalCache: {} -> {}",
+            hits_before,
+            s.cache_hits
+        ),
+        other => panic!("{other:?}"),
+    }
+
+    // --- Format audit: every snapshot file on disk must be exactly the
+    // bitmap-free grammar — decode must succeed and re-encoding must
+    // reproduce the file byte for byte, so no byte of any file can be a
+    // serialized selection.
+    let mut audited = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        let image = aware_serve::snapshot::decode(&bytes)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            aware_serve::snapshot::encode(&image),
+            bytes,
+            "{}: snapshot bytes outside the grammar",
+            path.display()
+        );
+        audited += 1;
+    }
+    assert!(
+        audited >= (SPILL_SESSIONS - CAPACITY as usize),
+        "only {audited} snapshot files on disk"
+    );
+
+    drop(handle);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Session-free sanity floor for the constants above — keeps the
 /// acceptance numbers from silently eroding in refactors.
 #[test]
