@@ -1,0 +1,124 @@
+//! Router-hop cost: the same wire workload against a 3-shard cluster
+//! behind an `aware-cluster` router vs one direct `aware-serve`
+//! process. Both sides run over real TCP loopback with binary framing,
+//! so the delta is exactly the cluster plane — ring lookup, stripe
+//! locks, batch regrouping, and the extra socket hop — not codec or
+//! syscall differences.
+//!
+//! The acceptance bar (ISSUE 5): 64-item batch throughput through the
+//! router within 2.5× of direct serve on the same box. CI records the
+//! numbers in `BENCH_cluster.json`.
+
+use aware_cluster::router::{Router, RouterConfig};
+use aware_data::census::CensusGenerator;
+use aware_data::table::Table;
+use aware_serve::proto::{BatchMode, Command, Encoding, PolicySpec, Response, SessionId};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::tcp::{Client, TcpServer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+const SHARDS: usize = 3;
+
+fn census() -> Arc<Table> {
+    Arc::new(CensusGenerator::new(2017).generate(5_000))
+}
+
+/// A shard: a full Service behind a real TCP front end.
+fn start_shard(table: Arc<Table>) -> (Service, TcpServer, SocketAddr) {
+    let service = Service::start(ServiceConfig::default());
+    service.handle().register_shared("census", table);
+    let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+    let addr = server.local_addr();
+    (service, server, addr)
+}
+
+fn create_session(client: &mut Client) -> SessionId {
+    match client
+        .call(&Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 100.0 },
+        })
+        .unwrap()
+    {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("create failed: {other:?}"),
+    }
+}
+
+/// The same light command mix `serve_wire` uses (gauge renders), so
+/// the cluster numbers are directly comparable with the direct-serve
+/// artifact history.
+fn bench_endpoint(group: &mut criterion::BenchmarkGroup<'_>, label: &str, addr: SocketAddr) {
+    let mut client = Client::connect_with(addr, Encoding::Binary).unwrap();
+    let sid = create_session(&mut client);
+    for &size in &BATCH_SIZES {
+        let cmds: Vec<Command> = (0..size).map(|_| Command::Gauge { session: sid }).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new(label, size), &cmds, |b, cmds| {
+            b.iter(|| {
+                let responses = client.call_batch(cmds, BatchMode::Continue).unwrap();
+                assert!(responses.iter().all(Response::is_ok));
+            })
+        });
+    }
+}
+
+fn serve_cluster(c: &mut Criterion) {
+    let table = census();
+
+    // Direct: one serve process-equivalent, one TCP hop.
+    let (_direct_service, direct_server, direct_addr) = start_shard(table.clone());
+
+    // Routed: three shards behind a router, two TCP hops.
+    let shards: Vec<(Service, TcpServer, SocketAddr)> =
+        (0..SHARDS).map(|_| start_shard(table.clone())).collect();
+    let router = Router::start(RouterConfig::default());
+    for (_, _, addr) in &shards {
+        match router.handle().call(Command::JoinShard {
+            addr: addr.to_string(),
+        }) {
+            Response::Rebalanced { .. } => {}
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+    let router_server = TcpServer::bind("127.0.0.1:0", router.handle()).unwrap();
+
+    let mut group = c.benchmark_group("serve_cluster");
+    bench_endpoint(&mut group, "direct", direct_addr);
+    bench_endpoint(&mut group, "routed", router_server.local_addr());
+
+    // Cross-shard fan-out: a 64-item batch spread over 8 sessions (the
+    // ring scatters them across all three shards), vs the same batch
+    // against the direct server — the case the per-shard sub-batch
+    // regrouping exists for.
+    let spread = 64usize;
+    for (label, addr) in [
+        ("direct_multi", direct_addr),
+        ("routed_multi", router_server.local_addr()),
+    ] {
+        let mut client = Client::connect_with(addr, Encoding::Binary).unwrap();
+        let sids: Vec<SessionId> = (0..8).map(|_| create_session(&mut client)).collect();
+        let cmds: Vec<Command> = (0..spread)
+            .map(|i| Command::Gauge {
+                session: sids[i % sids.len()],
+            })
+            .collect();
+        group.throughput(Throughput::Elements(spread as u64));
+        group.bench_with_input(BenchmarkId::new(label, spread), &cmds, |b, cmds| {
+            b.iter(|| {
+                let responses = client.call_batch(cmds, BatchMode::Continue).unwrap();
+                assert!(responses.iter().all(Response::is_ok));
+            })
+        });
+    }
+    group.finish();
+
+    drop(direct_server);
+}
+
+criterion_group!(benches, serve_cluster);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! The `cluster` binary: the AWARE cluster plane in one executable.
+//!
+//! ```text
+//! cluster router [--addr 127.0.0.1:7878] [--shard HOST:PORT]...
+//!                [--vnodes 64] [--probe-secs 5]
+//! cluster shard  [--addr 127.0.0.1:0] [--rows 20000] [--seed 2017]
+//!                [--workers N] [--data-dir DIR] [--snapshot-every S]
+//! ```
+//!
+//! `router` starts the consistent-hash router and admits each `--shard`
+//! through the same `join_shard` path a live rebalance uses. `shard`
+//! runs a plain `aware-serve` service (identical `Service` +
+//! `TcpServer` stack to the `serve` binary) — one binary to deploy for
+//! both roles, and the multi-process conformance suite spawns it for
+//! both.
+//!
+//! Both roles announce `… listening on ADDR …` on stderr once bound.
+
+use aware_cluster::router::{Router, RouterConfig};
+use aware_data::census::CensusGenerator;
+use aware_serve::proto::{Command, Response};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::tcp::TcpServer;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn die(message: &str) -> ! {
+    eprintln!("cluster: {message}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    println!(
+        "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S]\n\
+         cluster shard  [--addr HOST:PORT] [--rows N] [--seed K] [--workers N] \
+         [--data-dir DIR] [--snapshot-every S]"
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("router") => run_router(args),
+        Some("shard") => run_shard(args),
+        Some("--help") | Some("-h") | None => usage(),
+        Some(other) => die(&format!("unknown role '{other}' (try --help)")),
+    }
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+}
+
+fn run_router(mut args: impl Iterator<Item = String>) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards: Vec<String> = Vec::new();
+    let mut config = RouterConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = next_value(&mut args, "--addr"),
+            "--shard" => shards.push(next_value(&mut args, "--shard")),
+            "--vnodes" => {
+                config.vnodes = next_value(&mut args, "--vnodes")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--vnodes: {e}")))
+            }
+            "--probe-secs" => {
+                let secs: u64 = next_value(&mut args, "--probe-secs")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--probe-secs: {e}")));
+                config.probe_interval = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown router flag '{other}'")),
+        }
+    }
+    if config.probe_interval.is_none() {
+        config.probe_interval = Some(Duration::from_secs(5));
+    }
+    let router = Router::start(config);
+    let handle = router.handle();
+    for shard in &shards {
+        match handle.call(Command::JoinShard {
+            addr: shard.clone(),
+        }) {
+            Response::Rebalanced { .. } => eprintln!("joined shard {shard}"),
+            Response::Error(e) => die(&format!("cannot join shard {shard}: {e}")),
+            other => die(&format!("unexpected join reply for {shard}: {other:?}")),
+        }
+    }
+    let server = match TcpServer::bind(&addr, handle) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    eprintln!(
+        "aware-cluster listening on {} ({} shards: {})",
+        server.local_addr(),
+        shards.len(),
+        shards.join(", "),
+    );
+    server.join();
+}
+
+fn run_shard(mut args: impl Iterator<Item = String>) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut rows: usize = 20_000;
+    let mut seed: u64 = 2017;
+    let mut workers: Option<usize> = None;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut snapshot_every = Duration::from_secs(30);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = next_value(&mut args, "--addr"),
+            "--rows" => {
+                rows = next_value(&mut args, "--rows")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--rows: {e}")))
+            }
+            "--seed" => {
+                seed = next_value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--seed: {e}")))
+            }
+            "--workers" => {
+                workers = Some(
+                    next_value(&mut args, "--workers")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("--workers: {e}"))),
+                )
+            }
+            "--data-dir" => data_dir = Some(PathBuf::from(next_value(&mut args, "--data-dir"))),
+            "--snapshot-every" => {
+                snapshot_every = Duration::from_secs(
+                    next_value(&mut args, "--snapshot-every")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("--snapshot-every: {e}"))),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown shard flag '{other}'")),
+        }
+    }
+    let mut config = ServiceConfig {
+        snapshot_every: data_dir.as_ref().map(|_| snapshot_every),
+        data_dir,
+        sweep_interval: Some(Duration::from_secs(5)),
+        ..ServiceConfig::default()
+    };
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    eprintln!("generating census dataset: {rows} rows (seed {seed}) …");
+    let table = CensusGenerator::new(seed).generate(rows);
+    let service = Service::start(config);
+    let handle = service.handle();
+    handle.register_table("census", table);
+    let server = match TcpServer::bind(&addr, handle) {
+        Ok(server) => server,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+    eprintln!(
+        "aware-cluster-shard listening on {} ({rows} census rows, seed {seed})",
+        server.local_addr()
+    );
+    server.join();
+}

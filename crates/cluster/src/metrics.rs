@@ -1,0 +1,73 @@
+//! Router-side counters: the cluster plane's own traffic and the three
+//! rebalancing counters (`forwarded`, `migrations`, `shard_errors`)
+//! that ride the protocol's count-prefixed stats scalar list.
+
+use aware_serve::proto::{Encoding, BATCH_SIZE_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free router counters, mirroring the shard-side `Metrics` shape
+/// where the concepts overlap so aggregation is a field-wise sum.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    pub(crate) commands: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_commands: AtomicU64,
+    pub(crate) batch_size_hist: [AtomicU64; 5],
+    pub(crate) ndjson_requests: AtomicU64,
+    pub(crate) binary_frames: AtomicU64,
+    pub(crate) forwarded: AtomicU64,
+    pub(crate) migrations: AtomicU64,
+    pub(crate) shard_errors: AtomicU64,
+}
+
+fn batch_bucket(n: usize) -> usize {
+    BATCH_SIZE_BUCKETS
+        .iter()
+        .position(|&edge| n as u64 <= edge)
+        .unwrap_or(BATCH_SIZE_BUCKETS.len())
+}
+
+impl RouterMetrics {
+    pub fn new() -> RouterMetrics {
+        RouterMetrics::default()
+    }
+
+    pub fn command(&self) {
+        self.commands.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_commands.fetch_add(n as u64, Ordering::Relaxed);
+        self.batch_size_hist[batch_bucket(n)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn forwarded(&self, n: u64) {
+        self.forwarded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn migration(&self) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    pub fn shard_error(&self) {
+        self.shard_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn wire_request(&self, encoding: Encoding) {
+        match encoding {
+            Encoding::Json => &self.ndjson_requests,
+            Encoding::Binary => &self.binary_frames,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}

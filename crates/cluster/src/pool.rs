@@ -1,0 +1,241 @@
+//! Per-shard connection pools with health accounting.
+//!
+//! The router keeps one [`ShardPool`] per backend shard. Connections
+//! are the binary-framed reference [`Client`] (the hello handshake is
+//! paid once per connection, not per command), checked out for one
+//! round trip and returned on success. A connection-level failure
+//! drops the connection, counts against the shard, and flips it
+//! unhealthy; the next successful round trip (or health probe) flips
+//! it back. The pool never invents responses — command-level errors
+//! from the shard pass through untouched, and only transport failures
+//! become [`PoolError`]s for the router to surface as `unavailable`.
+
+use aware_serve::proto::{BatchMode, Command, Encoding, Response};
+use aware_serve::tcp::Client;
+use aware_serve::ServeError;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A transport-level failure against a shard (connect, send, or
+/// receive). Distinct from a `Response::Error` the shard itself
+/// produced, which is a *successful* round trip.
+#[derive(Debug)]
+pub struct PoolError {
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// True for commands that can safely execute twice: pure reads of
+/// session or server state. Everything else — creates, visualizations
+/// (they charge α-wealth), policy swaps, closes, export/import, ring
+/// admin — must never be blind-retried.
+fn idempotent(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Gauge { .. } | Command::Transcript { .. } | Command::Stats | Command::ListDatasets
+    )
+}
+
+/// Idle connections kept per shard; more than this many concurrent
+/// round trips simply open (and afterwards drop) extra connections.
+const MAX_IDLE: usize = 8;
+
+/// One backend shard: address, idle connections, health counters.
+pub struct ShardPool {
+    addr: String,
+    parsed: SocketAddr,
+    idle: Mutex<Vec<Client>>,
+    healthy: AtomicBool,
+    /// Commands forwarded to this shard (batch items count singly).
+    forwarded: AtomicU64,
+    /// Transport-level failures observed against this shard.
+    errors: AtomicU64,
+    /// Live sessions the shard reported on its last successful probe.
+    last_live: AtomicU64,
+}
+
+impl ShardPool {
+    /// Creates a pool for `addr` (must parse as `ip:port`). No
+    /// connection is opened yet; the first round trip (or probe) does.
+    pub fn new(addr: impl Into<String>) -> Result<ShardPool, ServeError> {
+        let addr = addr.into();
+        let parsed: SocketAddr = addr
+            .parse()
+            .map_err(|e| ServeError::invalid(format!("shard address '{addr}': {e}")))?;
+        Ok(ShardPool {
+            addr,
+            parsed,
+            idle: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(false),
+            forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            last_live: AtomicU64::new(0),
+        })
+    }
+
+    /// The shard's address, as given at construction.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// False once a transport failure has been observed and no round
+    /// trip has succeeded since.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Commands forwarded to this shard.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Transport failures observed against this shard.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Live sessions reported by the last successful probe.
+    pub fn last_live(&self) -> u64 {
+        self.last_live.load(Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> (Option<Client>, bool) {
+        match self.idle.lock().unwrap().pop() {
+            Some(client) => (Some(client), true),
+            None => (None, false),
+        }
+    }
+
+    fn connect(&self) -> Result<Client, PoolError> {
+        Client::connect_with(self.parsed, Encoding::Binary).map_err(|e| PoolError {
+            message: format!("shard {}: {e}", self.addr),
+        })
+    }
+
+    fn checkin(&self, client: Client) {
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < MAX_IDLE {
+            idle.push(client);
+        }
+    }
+
+    fn fail(&self, error: PoolError) -> PoolError {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.healthy.store(false, Ordering::Relaxed);
+        error
+    }
+
+    /// Counts a protocol-level sign of shard death (e.g. a `shutdown`
+    /// error reply) against the shard — the round trip succeeded, so
+    /// the pool itself cannot see it.
+    pub fn mark_unhealthy(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    fn succeed(&self) {
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    /// One command, one round trip. A read-only command that fails on
+    /// a *pooled* connection (the shard may simply have closed an idle
+    /// socket) is retried once on a fresh connection before the shard
+    /// is blamed.
+    pub fn call(&self, cmd: &Command) -> Result<Response, PoolError> {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        self.round_trip(idempotent(cmd), |client| client.call(cmd))
+    }
+
+    /// One batch envelope, one round trip; responses in order. Retried
+    /// only when *every* item is read-only.
+    pub fn call_batch(
+        &self,
+        cmds: &[Command],
+        mode: BatchMode,
+    ) -> Result<Vec<Response>, PoolError> {
+        self.forwarded
+            .fetch_add(cmds.len() as u64, Ordering::Relaxed);
+        let retryable = cmds.iter().all(idempotent);
+        self.round_trip(retryable, |client| client.call_batch(cmds, mode))
+    }
+
+    /// `retryable` must be false for anything mutating: a connection
+    /// that breaks *after* the request was written cannot tell "never
+    /// processed" from "processed, reply lost", and re-sending an
+    /// `add_visualization` would charge the session's α-wealth twice —
+    /// the transcript would no longer be byte-identical to a
+    /// single-process replay. Mutations fail over to the router's
+    /// `unavailable` answer instead (at-most-once across the hop).
+    fn round_trip<T>(
+        &self,
+        retryable: bool,
+        mut op: impl FnMut(&mut Client) -> Result<T, ServeError>,
+    ) -> Result<T, PoolError> {
+        let (pooled, was_pooled) = self.checkout();
+        let mut client = match pooled {
+            Some(client) => client,
+            None => self.connect().map_err(|e| self.fail(e))?,
+        };
+        match op(&mut client) {
+            Ok(value) => {
+                self.succeed();
+                self.checkin(client);
+                Ok(value)
+            }
+            Err(first) => {
+                drop(client); // never reuse a connection mid-protocol
+                if !was_pooled || !retryable {
+                    return Err(self.fail(PoolError {
+                        message: format!("shard {}: {first}", self.addr),
+                    }));
+                }
+                // A read on a pooled socket that may simply have idled
+                // out server-side: one fresh attempt before declaring
+                // the shard down.
+                let mut fresh = self.connect().map_err(|e| self.fail(e))?;
+                match op(&mut fresh) {
+                    Ok(value) => {
+                        self.succeed();
+                        self.checkin(fresh);
+                        Ok(value)
+                    }
+                    Err(second) => Err(self.fail(PoolError {
+                        message: format!("shard {}: {second}", self.addr),
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Health probe: a `stats` round trip. Updates the health flag and
+    /// the live-session gauge; returns the shard's stats on success.
+    pub fn probe(&self) -> Result<aware_serve::proto::StatsSnapshot, PoolError> {
+        let response = self.round_trip(true, |client| client.call(&Command::Stats))?;
+        match response {
+            Response::Stats(stats) => {
+                self.last_live.store(stats.sessions_live, Ordering::Relaxed);
+                Ok(stats)
+            }
+            other => Err(self.fail(PoolError {
+                message: format!("shard {}: stats answered {other:?}", self.addr),
+            })),
+        }
+    }
+
+    /// The shard's health row for the router's `stats` breakdown.
+    pub fn health(&self) -> aware_serve::proto::ShardHealth {
+        aware_serve::proto::ShardHealth {
+            addr: self.addr.clone(),
+            healthy: self.is_healthy(),
+            sessions_live: self.last_live(),
+            forwarded: self.forwarded(),
+            errors: self.errors(),
+        }
+    }
+}

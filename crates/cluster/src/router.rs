@@ -1,0 +1,1197 @@
+//! The router: one process that speaks the full v1/v2 wire protocol to
+//! clients and fans commands out to N backend `aware-serve` shards.
+//!
+//! ## Placement
+//!
+//! Session ids map to shards through the consistent-hash [`Ring`]
+//! (plus a small `overrides` table that exists only around
+//! rebalances). The router owns cluster-wide id allocation: a
+//! `create_session` allocates the id *here*, routes it through the
+//! ring, and forwards a `create_session_as` to the owning shard — so a
+//! session's placement is decided before any shard has seen it, and
+//! every later command for that id deterministically finds it. At
+//! `join_shard` time the router seats its allocator above every id the
+//! shard has ever handed out (the `list_datasets` roster carries the
+//! shard's allocator floor).
+//!
+//! ## Ordering
+//!
+//! The α-investing contract is per-session and sequential, and it must
+//! hold *across the hop*: two commands for one session, even from two
+//! different router connections, must reach the shard in a single
+//! total order. The router serializes per session with striped locks —
+//! a forward holds its session's stripe for the whole shard round
+//! trip, batches take every stripe they touch in sorted order (no
+//! deadlocks), and migrations take the same stripe before moving a
+//! session. Commands for different sessions proceed in parallel on
+//! pooled connections.
+//!
+//! ## Rebalancing
+//!
+//! `join_shard`/`leave_shard` compute the remapped slice of the ring
+//! (ring monotonicity keeps it to ≈ live/n sessions) and migrate
+//! exactly those sessions: under the session's stripe lock, an
+//! `export_session` quiesces and removes it from its old shard and an
+//! `import_session` restores it — full snapshot validation, dataset
+//! fingerprint check, selections re-derived through the target's
+//! `EvalCache` — on the new one. Each migrated session gets a
+//! placement override the moment it moves; the ring itself flips only
+//! after *every* remapped session has moved, so there is no window in
+//! which a client can observe a session on neither shard. A failed
+//! migration leaves the old ring (and the already-moved overrides) in
+//! place and reports the rebalance incomplete — re-issuing the command
+//! retries only the sessions that still need to move.
+//!
+//! ## Failure semantics
+//!
+//! A dead shard answers [`ErrorCode::Unavailable`] — deliberately not
+//! `unknown_session`: the session and its wealth ledger still exist on
+//! the unreachable shard, and handing the client a fresh budget
+//! instead is exactly the ledger reset the whole system exists to
+//! prevent (Hardt & Ullman's adaptive attack needs nothing more).
+
+use crate::metrics::RouterMetrics;
+use crate::pool::ShardPool;
+use crate::ring::{Ring, DEFAULT_VNODES};
+use aware_serve::proto::{
+    BatchMode, Command, DatasetInfo, Encoding, Response, SessionId, StatsSnapshot,
+};
+use aware_serve::service::Dispatch;
+use aware_serve::{ErrorCode, ServeError};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
+use std::time::Duration;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Per-session serialization stripes. More stripes = less false
+    /// sharing between unrelated sessions; correctness never depends
+    /// on the count.
+    pub stripes: usize,
+    /// Background health-probe cadence; `None` probes only on `stats`.
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vnodes: DEFAULT_VNODES,
+            stripes: 512,
+            probe_interval: None,
+        }
+    }
+}
+
+/// Current placement: the ring, plus per-session overrides that exist
+/// only around rebalances (sessions already moved before the ring
+/// flips, or pinned in place by a failed migration).
+struct Topology {
+    ring: Ring,
+    overrides: HashMap<SessionId, String>,
+}
+
+impl Topology {
+    /// The shard address that currently serves `id`.
+    fn route(&self, id: SessionId) -> Option<String> {
+        if let Some(addr) = self.overrides.get(&id) {
+            return Some(addr.clone());
+        }
+        self.ring.route(id).map(str::to_string)
+    }
+}
+
+struct Inner {
+    config: RouterConfig,
+    topology: RwLock<Topology>,
+    pools: RwLock<HashMap<String, Arc<ShardPool>>>,
+    stripes: Vec<Mutex<()>>,
+    /// Sessions created (or imported) through this router and not yet
+    /// closed — the population a rebalance considers for migration.
+    live: Mutex<HashSet<SessionId>>,
+    next_session: AtomicU64,
+    metrics: RouterMetrics,
+    /// Serializes join/leave; command forwarding never takes this.
+    rebalance: Mutex<()>,
+}
+
+/// The running router. Dropping it stops the background prober; open
+/// TCP front ends hold their own [`RouterHandle`] clones.
+pub struct Router {
+    handle: RouterHandle,
+}
+
+/// A cloneable client of the router — implements the same [`Dispatch`]
+/// contract the in-process `ServiceHandle` does, so `aware-serve`'s
+/// TCP front end serves it unchanged.
+#[derive(Clone)]
+pub struct RouterHandle {
+    inner: Arc<Inner>,
+}
+
+fn unavailable(message: impl Into<String>) -> Response {
+    Response::Error(ServeError {
+        code: ErrorCode::Unavailable,
+        message: message.into(),
+    })
+}
+
+impl Router {
+    /// Starts a router with no shards; admit them with
+    /// [`Command::JoinShard`] (the binary does exactly that for its
+    /// `--shard` flags, so startup and live rebalancing share one code
+    /// path).
+    pub fn start(config: RouterConfig) -> Router {
+        let stripes = config.stripes.max(1);
+        let inner = Arc::new(Inner {
+            topology: RwLock::new(Topology {
+                ring: Ring::new(config.vnodes),
+                overrides: HashMap::new(),
+            }),
+            pools: RwLock::new(HashMap::new()),
+            stripes: (0..stripes).map(|_| Mutex::new(())).collect(),
+            live: Mutex::new(HashSet::new()),
+            next_session: AtomicU64::new(0),
+            metrics: RouterMetrics::new(),
+            rebalance: Mutex::new(()),
+            config,
+        });
+        if let Some(interval) = inner.config.probe_interval {
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("aware-cluster-prober".into())
+                .spawn(move || prober_loop(weak, interval))
+                .expect("spawn prober thread");
+        }
+        Router {
+            handle: RouterHandle { inner },
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> RouterHandle {
+        self.handle.clone()
+    }
+}
+
+fn prober_loop(inner: Weak<Inner>, interval: Duration) {
+    loop {
+        std::thread::sleep(interval);
+        match inner.upgrade() {
+            Some(inner) => {
+                for pool in pools_sorted(&inner) {
+                    let _ = pool.probe();
+                }
+            }
+            None => return, // router is gone
+        }
+    }
+}
+
+fn pools_sorted(inner: &Inner) -> Vec<Arc<ShardPool>> {
+    let pools = inner.pools.read().unwrap();
+    let mut out: Vec<Arc<ShardPool>> = pools.values().cloned().collect();
+    out.sort_by(|a, b| a.addr().cmp(b.addr()));
+    out
+}
+
+fn stripe_of(inner: &Inner, id: SessionId) -> usize {
+    // splitmix-style mix so sequential ids spread across stripes.
+    let mut x = id.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    (x as usize) % inner.stripes.len()
+}
+
+/// The pool currently serving `id`, or an `unavailable`/empty-ring
+/// refusal.
+// An `Err` here is one `Response` about to hit the wire — cold path,
+// not worth boxing (matching serve's own dispatch helpers).
+#[allow(clippy::result_large_err)]
+fn owner_pool(inner: &Inner, id: SessionId) -> Result<Arc<ShardPool>, Response> {
+    let addr = match inner.topology.read().unwrap().route(id) {
+        Some(addr) => addr,
+        None => {
+            return Err(unavailable(
+                "no shards are joined to this router's ring".to_string(),
+            ))
+        }
+    };
+    match inner.pools.read().unwrap().get(&addr) {
+        Some(pool) => Ok(pool.clone()),
+        None => Err(unavailable(format!(
+            "session {id} maps to shard {addr}, which has no connection pool"
+        ))),
+    }
+}
+
+/// Updates the live-session set (and the id allocator) from a
+/// forwarded command's response. `route` is the session the command
+/// addressed — error responses don't carry one.
+fn note_response(inner: &Inner, route: Option<SessionId>, response: &Response) {
+    match response {
+        Response::SessionCreated { session, .. } => {
+            inner.live.lock().unwrap().insert(*session);
+        }
+        Response::SessionImported { session, .. } => {
+            inner.live.lock().unwrap().insert(*session);
+            inner.next_session.fetch_max(session + 1, Ordering::Relaxed);
+        }
+        Response::SessionClosed { session, .. } | Response::SessionExported { session, .. } => {
+            inner.live.lock().unwrap().remove(session);
+        }
+        Response::Error(e) if e.code == ErrorCode::UnknownSession => {
+            // The shard no longer knows the session (idle-evicted
+            // without a store, or closed out of band): stop offering
+            // it for migration — a stale live set would, among other
+            // things, refuse to let the last shard leave.
+            if let Some(id) = route {
+                inner.live.lock().unwrap().remove(&id);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A shard that answers `shutdown` is, from the cluster client's view,
+/// an unavailable shard: the session's ledger is intact on it and will
+/// serve again when the shard returns. Rewrite rather than pass
+/// through — `shutdown` from a router means *the router* is going
+/// away, which is not what happened.
+fn adapt_shard_response(
+    inner: &Inner,
+    pool: &ShardPool,
+    route: Option<SessionId>,
+    response: Response,
+) -> Response {
+    if let Response::Error(e) = &response {
+        if e.code == ErrorCode::Shutdown {
+            pool.mark_unhealthy();
+            inner.metrics.shard_error();
+            inner.metrics.error();
+            return unavailable(format!(
+                "shard {} is shutting down; session state is intact there — \
+                 retry when the shard returns",
+                pool.addr()
+            ));
+        }
+    }
+    note_response(inner, route, &response);
+    response
+}
+
+/// Forwards one session-addressed command under its stripe lock.
+fn forward_session(inner: &Inner, cmd: Command) -> Response {
+    let id = cmd.session().expect("session-addressed command");
+    let _stripe = inner.stripes[stripe_of(inner, id)].lock().unwrap();
+    let pool = match owner_pool(inner, id) {
+        Ok(pool) => pool,
+        Err(refusal) => {
+            inner.metrics.error();
+            return refusal;
+        }
+    };
+    inner.metrics.forwarded(1);
+    match pool.call(&cmd) {
+        Ok(response) => adapt_shard_response(inner, &pool, Some(id), response),
+        Err(e) => {
+            inner.metrics.shard_error();
+            inner.metrics.error();
+            unavailable(format!(
+                "shard serving session {id} is unreachable ({e}); its wealth ledger \
+                 is intact there — retry when the shard returns"
+            ))
+        }
+    }
+}
+
+/// Rewrites a client `create_session` into a routed
+/// `create_session_as` with a router-allocated id.
+fn create_session(
+    inner: &Inner,
+    dataset: String,
+    alpha: f64,
+    policy: aware_serve::proto::PolicySpec,
+) -> Response {
+    // The router owns allocation, so collisions can only mean a shard
+    // carried ids this router never learned about (e.g. it was seeded
+    // behind the router's back); a bounded retry walks past them.
+    for _ in 0..16 {
+        let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let cmd = Command::CreateSessionAs {
+            session: id,
+            dataset: dataset.clone(),
+            alpha,
+            policy: policy.clone(),
+        };
+        let response = forward_session(inner, cmd);
+        if let Response::Error(e) = &response {
+            if e.code == ErrorCode::InvalidArgument && e.message.contains("already in use") {
+                continue;
+            }
+        }
+        return response;
+    }
+    inner.metrics.error();
+    Response::Error(ServeError::invalid(
+        "could not allocate a free session id in 16 attempts — \
+         were sessions created on the shards directly?",
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Stats aggregation
+// ---------------------------------------------------------------------------
+
+fn sum_stats(total: &mut StatsSnapshot, shard: &StatsSnapshot) {
+    total.sessions_created += shard.sessions_created;
+    total.sessions_closed += shard.sessions_closed;
+    total.sessions_evicted += shard.sessions_evicted;
+    total.sessions_live += shard.sessions_live;
+    total.commands += shard.commands;
+    total.hypotheses_tested += shard.hypotheses_tested;
+    total.discoveries += shard.discoveries;
+    total.rejected_by_budget += shard.rejected_by_budget;
+    total.errors += shard.errors;
+    total.batches += shard.batches;
+    total.batch_commands += shard.batch_commands;
+    total.overloaded += shard.overloaded;
+    total.ndjson_requests += shard.ndjson_requests;
+    total.binary_frames += shard.binary_frames;
+    total.cache_hits += shard.cache_hits;
+    total.cache_misses += shard.cache_misses;
+    total.persisted += shard.persisted;
+    total.forwarded += shard.forwarded;
+    total.migrations += shard.migrations;
+    total.shard_errors += shard.shard_errors;
+    for (slot, n) in total.batch_size_hist.iter_mut().zip(shard.batch_size_hist) {
+        *slot += n;
+    }
+}
+
+/// Cluster-wide stats: every shard's counters summed (the probe that
+/// fetches them doubles as the health check), batch-size histograms
+/// merged bucket-wise, the router's own counters folded in, and the
+/// per-shard health breakdown attached (JSON surface only — the
+/// binary payload stays the count-prefixed scalar list).
+fn aggregate_stats(inner: &Inner) -> Response {
+    let pools = pools_sorted(inner);
+    let mut total = StatsSnapshot::default();
+    std::thread::scope(|scope| {
+        let probes: Vec<_> = pools
+            .iter()
+            .map(|pool| scope.spawn(move || pool.probe()))
+            .collect();
+        for probe in probes {
+            match probe.join().expect("probe thread") {
+                Ok(stats) => sum_stats(&mut total, &stats),
+                Err(_) => inner.metrics.shard_error(),
+            }
+        }
+    });
+    let m = &inner.metrics;
+    total.commands += m.commands.load(Ordering::Relaxed);
+    total.errors += m.errors.load(Ordering::Relaxed);
+    total.batches += m.batches.load(Ordering::Relaxed);
+    total.batch_commands += m.batch_commands.load(Ordering::Relaxed);
+    total.ndjson_requests += m.ndjson_requests.load(Ordering::Relaxed);
+    total.binary_frames += m.binary_frames.load(Ordering::Relaxed);
+    total.forwarded += m.forwarded.load(Ordering::Relaxed);
+    total.migrations += m.migrations.load(Ordering::Relaxed);
+    total.shard_errors += m.shard_errors.load(Ordering::Relaxed);
+    for (slot, counter) in total.batch_size_hist.iter_mut().zip(&m.batch_size_hist) {
+        *slot += counter.load(Ordering::Relaxed);
+    }
+    total.shards = pools.iter().map(|p| p.health()).collect();
+    Response::Stats(total)
+}
+
+/// The dataset roster, answered from the first healthy shard (the
+/// join-time fingerprint check keeps every shard's roster identical),
+/// with the *router's* allocator as `next_session`.
+fn list_datasets(inner: &Inner) -> Response {
+    let pools = pools_sorted(inner);
+    if pools.is_empty() {
+        return Response::Datasets {
+            datasets: Vec::new(),
+            next_session: inner.next_session.load(Ordering::Relaxed),
+        };
+    }
+    for pool in &pools {
+        if let Ok(Response::Datasets { datasets, .. }) = pool.call(&Command::ListDatasets) {
+            return Response::Datasets {
+                datasets,
+                next_session: inner.next_session.load(Ordering::Relaxed),
+            };
+        }
+        inner.metrics.shard_error();
+    }
+    inner.metrics.error();
+    unavailable("no shard answered the dataset roster")
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancing
+// ---------------------------------------------------------------------------
+
+/// Fetches a shard's roster (name, rows, fingerprint) and allocator
+/// floor, seating the router's allocator above the floor.
+#[allow(clippy::result_large_err)] // cold path, the Err is the reply
+fn fetch_roster(inner: &Inner, pool: &ShardPool) -> Result<Vec<DatasetInfo>, Response> {
+    match pool.call(&Command::ListDatasets) {
+        Ok(Response::Datasets {
+            datasets,
+            next_session,
+        }) => {
+            inner
+                .next_session
+                .fetch_max(next_session, Ordering::Relaxed);
+            Ok(datasets)
+        }
+        Ok(other) => Err(Response::Error(ServeError::invalid(format!(
+            "shard {} answered the roster request with {other:?}",
+            pool.addr()
+        )))),
+        Err(e) => {
+            inner.metrics.shard_error();
+            Err(unavailable(format!("shard roster check failed: {e}")))
+        }
+    }
+}
+
+enum Migration {
+    Moved,
+    /// The session no longer exists on its shard (closed or evicted
+    /// out from under the router); dropped from the live set.
+    Gone,
+    Failed,
+}
+
+/// Moves one session to `to_addr` under its stripe lock: export
+/// (removes it from the old shard), import (restores it on the new
+/// one), then a placement override so commands follow it immediately.
+/// On an import failure the image is re-imported to the source — the
+/// wealth ledger must land *somewhere* before the stripe unlocks.
+fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
+    let _stripe = inner.stripes[stripe_of(inner, id)].lock().unwrap();
+    let from_addr = match inner.topology.read().unwrap().route(id) {
+        Some(addr) => addr,
+        None => return Migration::Failed,
+    };
+    if from_addr == to_addr {
+        return Migration::Moved; // a previous (partial) rebalance already moved it
+    }
+    let (from_pool, to_pool) = {
+        let pools = inner.pools.read().unwrap();
+        match (pools.get(&from_addr), pools.get(to_addr)) {
+            (Some(f), Some(t)) => (f.clone(), t.clone()),
+            _ => return Migration::Failed,
+        }
+    };
+    inner.metrics.forwarded(1);
+    let image = match from_pool.call(&Command::ExportSession { session: id }) {
+        Ok(Response::SessionExported { image, .. }) => image,
+        Ok(Response::Error(e)) if e.code == ErrorCode::UnknownSession => {
+            inner.live.lock().unwrap().remove(&id);
+            return Migration::Gone;
+        }
+        Ok(other) => {
+            eprintln!("aware-cluster: export of session {id} from {from_addr} refused: {other:?}");
+            return Migration::Failed;
+        }
+        Err(e) => {
+            inner.metrics.shard_error();
+            eprintln!("aware-cluster: export of session {id} from {from_addr} failed: {e}");
+            return Migration::Failed;
+        }
+    };
+    inner.metrics.forwarded(1);
+    let import = to_pool.call(&Command::ImportSession {
+        session: id,
+        image: image.clone(),
+    });
+    match import {
+        Ok(Response::SessionImported { .. }) => {
+            inner
+                .topology
+                .write()
+                .unwrap()
+                .overrides
+                .insert(id, to_addr.to_string());
+            inner.metrics.migration();
+            Migration::Moved
+        }
+        other => {
+            if let Err(e) = &other {
+                inner.metrics.shard_error();
+                eprintln!("aware-cluster: import of session {id} into {to_addr} failed: {e}");
+            } else {
+                eprintln!(
+                    "aware-cluster: import of session {id} into {to_addr} refused: {other:?}"
+                );
+            }
+            // Put the wealth back where it came from.
+            match from_pool.call(&Command::ImportSession { session: id, image }) {
+                Ok(Response::SessionImported { .. }) => Migration::Failed,
+                rollback => {
+                    inner.metrics.shard_error();
+                    inner.live.lock().unwrap().remove(&id);
+                    eprintln!(
+                        "aware-cluster: session {id} could not be re-imported to \
+                         {from_addr} after a failed migration ({rollback:?}) — its \
+                         ledger is lost in transit; refusing to fabricate a fresh one"
+                    );
+                    Migration::Failed
+                }
+            }
+        }
+    }
+}
+
+/// Migrates every live session whose placement changes from the
+/// current topology to `new_ring`; flips the ring only when all of
+/// them moved. Returns `(migrated, failed)`.
+fn rebalance_to(inner: &Inner, new_ring: Ring) -> (u64, u64) {
+    let remapped: Vec<(SessionId, String)> = {
+        let topo = inner.topology.read().unwrap();
+        let live = inner.live.lock().unwrap();
+        live.iter()
+            .filter_map(|&id| {
+                let target = new_ring.route(id)?.to_string();
+                match topo.route(id) {
+                    Some(current) if current != target => Some((id, target)),
+                    _ => None,
+                }
+            })
+            .collect()
+    };
+    let mut migrated = 0u64;
+    let mut failed = 0u64;
+    for (id, target) in remapped {
+        match migrate_session(inner, id, &target) {
+            Migration::Moved => migrated += 1,
+            Migration::Gone => {}
+            Migration::Failed => failed += 1,
+        }
+    }
+    if failed == 0 {
+        let mut topo = inner.topology.write().unwrap();
+        // Keep only overrides that still disagree with the new ring
+        // (pins left by earlier partial rebalances).
+        let ring = new_ring;
+        topo.overrides
+            .retain(|id, addr| ring.route(*id) != Some(addr.as_str()));
+        topo.ring = ring;
+    }
+    (migrated, failed)
+}
+
+fn join_shard(inner: &Inner, addr: String) -> Response {
+    let _rebalance = inner.rebalance.lock().unwrap();
+    if inner.topology.read().unwrap().ring.contains(&addr) {
+        return Response::Rebalanced {
+            addr,
+            joined: true,
+            migrated: 0,
+        };
+    }
+    let pool = match inner.pools.read().unwrap().get(&addr) {
+        Some(pool) => pool.clone(),
+        None => match ShardPool::new(&addr) {
+            Ok(pool) => Arc::new(pool),
+            Err(e) => return Response::Error(e),
+        },
+    };
+    // Roster check: the joining shard must hold every dataset the
+    // cluster serves, with byte-identical content — the fingerprint is
+    // what makes "same dataset name" mean "same data", and without it
+    // a migrated ledger would silently change meaning.
+    let joining_roster = match fetch_roster(inner, &pool) {
+        Ok(roster) => roster,
+        Err(refusal) => return refusal,
+    };
+    for reference in pools_sorted(inner) {
+        if let Ok(expected) = fetch_roster(inner, &reference) {
+            if expected != joining_roster {
+                return Response::Error(ServeError::invalid(format!(
+                    "shard {} dataset roster {:?} does not match the cluster's {:?} \
+                     (names, row counts, and content fingerprints must all agree)",
+                    addr, joining_roster, expected
+                )));
+            }
+            break; // one healthy reference is enough — rosters are transitively equal
+        }
+    }
+    inner
+        .pools
+        .write()
+        .unwrap()
+        .insert(addr.clone(), pool.clone());
+    let new_ring = inner.topology.read().unwrap().ring.join(&addr);
+    let (migrated, failed) = rebalance_to(inner, new_ring);
+    if failed > 0 {
+        inner.metrics.error();
+        return unavailable(format!(
+            "join of {addr} incomplete: {migrated} sessions migrated, {failed} failed \
+             and stay on their current shards — re-issue join_shard to retry"
+        ));
+    }
+    Response::Rebalanced {
+        addr,
+        joined: true,
+        migrated,
+    }
+}
+
+fn leave_shard(inner: &Inner, addr: String) -> Response {
+    let _rebalance = inner.rebalance.lock().unwrap();
+    {
+        let topo = inner.topology.read().unwrap();
+        if !topo.ring.contains(&addr) && !topo.overrides.values().any(|a| a == &addr) {
+            return Response::Rebalanced {
+                addr,
+                joined: false,
+                migrated: 0,
+            };
+        }
+        if topo.ring.contains(&addr)
+            && topo.ring.len() == 1
+            && !inner.live.lock().unwrap().is_empty()
+        {
+            return Response::Error(ServeError::invalid(format!(
+                "cannot remove {addr}: it is the last shard and live sessions remain"
+            )));
+        }
+    }
+    let new_ring = inner.topology.read().unwrap().ring.leave(&addr);
+    let (migrated, failed) = rebalance_to(inner, new_ring);
+    if failed > 0 {
+        inner.metrics.error();
+        return unavailable(format!(
+            "leave of {addr} incomplete: {migrated} sessions migrated, {failed} failed \
+             and stay pinned to it — re-issue leave_shard to retry"
+        ));
+    }
+    // Nothing routes to the shard any more (ring flipped, overrides
+    // retained only where they disagree with the new ring — none can
+    // point at a departed member after a clean leave).
+    inner.pools.write().unwrap().remove(&addr);
+    Response::Rebalanced {
+        addr,
+        joined: false,
+        migrated,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+fn route_one(inner: &Inner, cmd: Command) -> Response {
+    match cmd {
+        Command::Stats => aggregate_stats(inner),
+        Command::ListDatasets => list_datasets(inner),
+        Command::JoinShard { addr } => join_shard(inner, addr),
+        Command::LeaveShard { addr } => leave_shard(inner, addr),
+        Command::CreateSession {
+            dataset,
+            alpha,
+            policy,
+        } => create_session(inner, dataset, alpha, policy),
+        cmd => forward_session(inner, cmd),
+    }
+}
+
+impl Dispatch for RouterHandle {
+    fn call(&self, cmd: Command) -> Response {
+        let inner = &self.inner;
+        inner.metrics.batch(1);
+        inner.metrics.command();
+        route_one(inner, cmd)
+    }
+
+    /// Batch forwarding: admin items answer inline; routed items take
+    /// every stripe they touch (sorted — no deadlocks), group by
+    /// owning shard preserving submission order, and go out as one
+    /// sub-batch envelope per shard in parallel. Same-session items
+    /// stay adjacent within their shard group, so the shard's own
+    /// batch unit semantics (one pinned run, fail-fast per stream)
+    /// hold across the hop.
+    fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+        let inner = &self.inner;
+        let n = cmds.len();
+        inner.metrics.batch(n);
+        let mut slots: Vec<Option<Response>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        // Classify: admin inline, everything else routed by session id.
+        let mut forwards: Vec<(usize, SessionId, Command)> = Vec::new();
+        for (index, cmd) in cmds.into_iter().enumerate() {
+            inner.metrics.command();
+            match cmd {
+                Command::Stats
+                | Command::ListDatasets
+                | Command::JoinShard { .. }
+                | Command::LeaveShard { .. } => {
+                    slots[index] = Some(route_one(inner, cmd));
+                }
+                Command::CreateSession {
+                    dataset,
+                    alpha,
+                    policy,
+                } => {
+                    // Allocate here so the item routes (and pins) like
+                    // any other session command in this batch.
+                    let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
+                    forwards.push((
+                        index,
+                        id,
+                        Command::CreateSessionAs {
+                            session: id,
+                            dataset,
+                            alpha,
+                            policy,
+                        },
+                    ));
+                }
+                cmd => {
+                    let id = cmd.session().expect("non-admin commands address a session");
+                    forwards.push((index, id, cmd));
+                }
+            }
+        }
+
+        // Serialize against concurrent traffic and migrations for every
+        // session this batch touches.
+        let mut stripe_indices: Vec<usize> = forwards
+            .iter()
+            .map(|(_, id, _)| stripe_of(inner, *id))
+            .collect();
+        stripe_indices.sort_unstable();
+        stripe_indices.dedup();
+        let _guards: Vec<MutexGuard<'_, ()>> = stripe_indices
+            .iter()
+            .map(|&s| inner.stripes[s].lock().unwrap())
+            .collect();
+
+        // Group by owning shard, preserving submission order per shard.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<(usize, Command)>> = HashMap::new();
+        for (index, id, cmd) in forwards {
+            match owner_pool(inner, id) {
+                Ok(pool) => {
+                    let addr = pool.addr().to_string();
+                    groups
+                        .entry(addr.clone())
+                        .or_insert_with(|| {
+                            order.push(addr);
+                            Vec::new()
+                        })
+                        .push((index, cmd));
+                }
+                Err(refusal) => {
+                    inner.metrics.error();
+                    slots[index] = Some(refusal);
+                }
+            }
+        }
+
+        // One sub-batch per shard, in parallel.
+        let pools = inner.pools.read().unwrap();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(order.len());
+            for addr in &order {
+                let items = groups.remove(addr).expect("group recorded in order");
+                let pool = pools.get(addr).cloned();
+                joins.push(scope.spawn(move || {
+                    let cmds: Vec<Command> = items.iter().map(|(_, cmd)| cmd.clone()).collect();
+                    let result = match &pool {
+                        Some(pool) => pool.call_batch(&cmds, mode).map_err(|e| e.to_string()),
+                        None => Err("shard pool disappeared mid-batch".to_string()),
+                    };
+                    (items, pool, result)
+                }));
+            }
+            for join in joins {
+                let (items, pool, result) = join.join().expect("shard batch thread");
+                match result {
+                    Ok(responses) => {
+                        inner.metrics.forwarded(items.len() as u64);
+                        for ((index, cmd), response) in items.into_iter().zip(responses) {
+                            slots[index] = Some(match &pool {
+                                Some(pool) => {
+                                    adapt_shard_response(inner, pool, cmd.session(), response)
+                                }
+                                None => response,
+                            });
+                        }
+                    }
+                    Err(message) => {
+                        inner.metrics.shard_error();
+                        for (index, _) in items {
+                            inner.metrics.error();
+                            slots[index] = Some(unavailable(format!(
+                                "shard unreachable mid-batch ({message}); session state \
+                                 is intact on the shard — retry when it returns"
+                            )));
+                        }
+                    }
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Response::Error(ServeError::invalid("batch item produced no response"))
+                })
+            })
+            .collect()
+    }
+
+    fn record_protocol_error(&self) {
+        self.inner.metrics.command();
+        self.inner.metrics.error();
+    }
+
+    fn record_wire_request(&self, encoding: Encoding) {
+        self.inner.metrics.wire_request(encoding);
+    }
+}
+
+impl RouterHandle {
+    /// Executes one command (inherent mirror of the [`Dispatch`] impl,
+    /// so callers don't need the trait in scope).
+    pub fn call(&self, cmd: Command) -> Response {
+        Dispatch::call(self, cmd)
+    }
+
+    /// Sessions the router currently believes live, cluster-wide.
+    pub fn live_sessions(&self) -> u64 {
+        self.inner.live.lock().unwrap().len() as u64
+    }
+
+    /// Total sessions migrated by rebalances so far.
+    pub fn migrations(&self) -> u64 {
+        self.inner.metrics.migrations()
+    }
+
+    /// Current ring membership, sorted.
+    pub fn shards(&self) -> Vec<String> {
+        self.inner.topology.read().unwrap().ring.members().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_data::census::CensusGenerator;
+    use aware_data::predicate::CmpOp;
+    use aware_data::value::Value;
+    use aware_serve::proto::{FilterSpec, PolicySpec, TranscriptFormat};
+    use aware_serve::service::{Service, ServiceConfig};
+    use aware_serve::tcp::TcpServer;
+
+    /// A real shard: a Service behind a real TCP front end on a
+    /// loopback port. Same census content on every shard (same seed).
+    fn shard(seed: u64) -> (Service, TcpServer, String) {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service
+            .handle()
+            .register_table("census", CensusGenerator::new(seed).generate(2_000));
+        let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+        let addr = server.local_addr().to_string();
+        (service, server, addr)
+    }
+
+    fn join(handle: &RouterHandle, addr: &str) -> u64 {
+        match handle.call(Command::JoinShard { addr: addr.into() }) {
+            Response::Rebalanced {
+                migrated, joined, ..
+            } => {
+                assert!(joined);
+                migrated
+            }
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+
+    fn create(handle: &RouterHandle) -> SessionId {
+        match handle.call(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+        }) {
+            Response::SessionCreated { session, .. } => session,
+            other => panic!("create failed: {other:?}"),
+        }
+    }
+
+    fn viz(session: SessionId) -> Command {
+        Command::AddVisualization {
+            session,
+            attribute: "education".into(),
+            filter: FilterSpec::Cmp {
+                column: "salary_over_50k".into(),
+                op: CmpOp::Eq,
+                value: Value::Bool(true),
+            },
+        }
+    }
+
+    fn csv(handle: &RouterHandle, session: SessionId) -> String {
+        match handle.call(Command::Transcript {
+            session,
+            format: TranscriptFormat::Csv,
+        }) {
+            Response::TranscriptText { text, .. } => text,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn routes_sessions_across_shards_and_aggregates_stats() {
+        let (_s1, _t1, a1) = shard(7);
+        let (_s2, _t2, a2) = shard(7);
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        assert_eq!(join(&h, &a1), 0);
+        assert_eq!(join(&h, &a2), 0);
+        assert_eq!(h.shards().len(), 2);
+
+        let sids: Vec<SessionId> = (0..12).map(|_| create(&h)).collect();
+        for &sid in &sids {
+            assert!(h.call(viz(sid)).is_ok());
+        }
+        // Sessions landed on both shards (12 ids across 2 shards — a
+        // one-sided split would be a broken ring).
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.sessions_live, 12, "cluster-wide live gauge");
+                assert_eq!(s.shards.len(), 2);
+                assert!(s.shards.iter().all(|sh| sh.healthy));
+                assert!(
+                    s.shards.iter().all(|sh| sh.sessions_live > 0),
+                    "both shards should hold sessions: {:?}",
+                    s.shards
+                );
+                assert!(s.forwarded >= 24, "creates + vizzes forwarded");
+                assert_eq!(s.migrations, 0);
+                assert!(s.hypotheses_tested >= 12);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Closing through the router reaches the right shard.
+        for &sid in &sids {
+            assert!(h.call(Command::CloseSession { session: sid }).is_ok());
+        }
+        assert_eq!(h.live_sessions(), 0);
+    }
+
+    #[test]
+    fn batches_fan_out_and_preserve_submission_order() {
+        let (_s1, _t1, a1) = shard(7);
+        let (_s2, _t2, a2) = shard(7);
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        join(&h, &a1);
+        join(&h, &a2);
+        let make = Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+        };
+        let created = Dispatch::call_batch_mode(
+            &h,
+            vec![make.clone(), make.clone(), make],
+            BatchMode::Continue,
+        );
+        let sids: Vec<SessionId> = created
+            .iter()
+            .map(|r| match r {
+                Response::SessionCreated { session, .. } => *session,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        // A mixed batch across all sessions plus an inline stats item.
+        let batch = vec![
+            viz(sids[0]),
+            Command::Gauge { session: sids[1] },
+            Command::Stats,
+            viz(sids[2]),
+            Command::Gauge { session: sids[0] },
+        ];
+        let responses = Dispatch::call_batch_mode(&h, batch, BatchMode::Continue);
+        assert_eq!(responses.len(), 5);
+        match &responses[0] {
+            Response::VizAdded { session, .. } => assert_eq!(*session, sids[0]),
+            other => panic!("{other:?}"),
+        }
+        match &responses[1] {
+            Response::GaugeText { session, .. } => assert_eq!(*session, sids[1]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&responses[2], Response::Stats(_)));
+        match &responses[3] {
+            Response::VizAdded { session, .. } => assert_eq!(*session, sids[2]),
+            other => panic!("{other:?}"),
+        }
+        match &responses[4] {
+            Response::GaugeText { session, .. } => assert_eq!(*session, sids[0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_migrates_only_remapped_sessions_with_state_intact() {
+        let (_s1, _t1, a1) = shard(7);
+        let (_s2, _t2, a2) = shard(7);
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        join(&h, &a1);
+        join(&h, &a2);
+        // 48 sessions: the chance that a third shard's join remaps
+        // none of them (or all of them) is astronomically small, so the
+        // migrated-count window below cannot flake on port-dependent
+        // ring placement.
+        let sids: Vec<SessionId> = (0..48).map(|_| create(&h)).collect();
+        for &sid in &sids {
+            assert!(h.call(viz(sid)).is_ok());
+        }
+        let before: Vec<String> = sids.iter().map(|&sid| csv(&h, sid)).collect();
+
+        // A third shard joins mid-run: only the ring-remapped slice
+        // moves, and every session keeps serving byte-identical state.
+        let (_s3, _t3, a3) = shard(7);
+        let migrated = join(&h, &a3);
+        assert!(
+            migrated > 0,
+            "a 48-session cluster should remap some sessions"
+        );
+        assert!(
+            migrated < sids.len() as u64,
+            "a join must not reshuffle everything ({migrated} of {})",
+            sids.len()
+        );
+        assert_eq!(h.migrations(), migrated);
+        for (i, &sid) in sids.iter().enumerate() {
+            assert_eq!(
+                csv(&h, sid),
+                before[i],
+                "session {sid} changed across the join"
+            );
+        }
+        // …and migrated sessions keep *evolving*: wealth continues from
+        // where the ledger left off on the new shard.
+        for &sid in &sids {
+            assert!(h.call(viz(sid)).is_ok(), "session {sid} must keep serving");
+        }
+        match h.call(Command::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.migrations, migrated);
+                assert_eq!(s.sessions_live, 48);
+                assert_eq!(s.shards.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Leave: the third shard's sessions move back out; nothing lost.
+        match h.call(Command::LeaveShard { addr: a3.clone() }) {
+            Response::Rebalanced { joined, .. } => assert!(!joined),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(h.shards().len(), 2);
+        for &sid in &sids {
+            assert!(h.call(Command::Gauge { session: sid }).is_ok());
+        }
+        assert_eq!(h.live_sessions(), 48);
+    }
+
+    #[test]
+    fn dead_shard_answers_unavailable_never_a_fresh_budget() {
+        let (_s1, _t1, a1) = shard(7);
+        let (s2, t2, a2) = shard(7);
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        join(&h, &a1);
+        join(&h, &a2);
+        let sids: Vec<SessionId> = (0..8).map(|_| create(&h)).collect();
+
+        // Kill shard 2 (service and front end both).
+        drop(t2);
+        s2.shutdown();
+
+        let mut unavailable_seen = 0;
+        let mut ok_seen = 0;
+        for &sid in &sids {
+            match h.call(Command::Gauge { session: sid }) {
+                Response::GaugeText { .. } => ok_seen += 1,
+                Response::Error(e) => {
+                    assert_eq!(e.code, ErrorCode::Unavailable, "{e}");
+                    unavailable_seen += 1;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(ok_seen > 0, "shard 1's sessions keep serving");
+        assert!(
+            unavailable_seen > 0,
+            "shard 2's sessions answer unavailable"
+        );
+        // shard_errors counted against the dying shard. (The per-shard
+        // `healthy` flag under *real* process death — where probes fail
+        // at the transport — is asserted by the multi-process
+        // conformance suite; an in-process shutdown still answers
+        // stats probes from surviving connection threads.)
+        match h.call(Command::Stats) {
+            Response::Stats(s) => assert!(s.shard_errors > 0),
+            other => panic!("{other:?}"),
+        }
+        // Leaving a dead shard is refused (migration needs its data) —
+        // sessions stay pinned, unavailable, never reset.
+        match h.call(Command::LeaveShard { addr: a2.clone() }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            other => panic!("leave of a dead shard must fail: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_refuses_a_shard_with_different_data_under_the_same_name() {
+        let (_s1, _t1, a1) = shard(7);
+        let (_s2, _t2, a2) = shard(8); // different seed ⇒ different census content
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        join(&h, &a1);
+        match h.call(Command::JoinShard { addr: a2 }) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::InvalidArgument);
+                assert!(e.message.contains("roster"), "{e}");
+            }
+            other => panic!("mismatched shard must be refused: {other:?}"),
+        }
+        assert_eq!(h.shards().len(), 1);
+    }
+
+    #[test]
+    fn empty_ring_refuses_with_unavailable() {
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        match h.call(Command::CreateSession {
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            other => panic!("{other:?}"),
+        }
+        match h.call(Command::Gauge { session: 3 }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -36,6 +36,7 @@
 
 use crate::bitmap::Bitmap;
 use crate::column::ColumnType;
+use crate::hash::fnv1a;
 use crate::hist::{
     categorical_histogram, numeric_bounds, numeric_histogram_with_bounds, Histogram,
     DEFAULT_NUMERIC_BINS,
@@ -89,15 +90,6 @@ impl Fingerprint {
     pub fn hash(&self) -> u64 {
         self.hash
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 // Canonical encoding tags. `TAG_TRUE` doubles as the encoding of an

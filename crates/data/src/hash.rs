@@ -1,0 +1,77 @@
+//! The workspace's shared FNV-1a 64-bit hash.
+//!
+//! One implementation, many consumers: predicate fingerprints in the
+//! evaluation cache, table content fingerprints, the `AWRS` snapshot
+//! checksum, and the cluster ring's vnode points all hash with exactly
+//! these constants — keeping them in one place means a future change
+//! (say, widening to 128 bits) cannot silently diverge between crates.
+//!
+//! FNV-1a is not cryptographic and is not meant to be: it defends
+//! against corruption and aliasing, not adversarial collision crafting
+//! (the checksummed snapshot formats additionally validate semantics
+//! on decode).
+
+const OFFSET_BASIS: u64 = 0xcbf29ce484222325;
+const PRIME: u64 = 0x100000001b3;
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a — for hashing structured data without
+/// materializing an intermediate buffer (byte-for-byte identical to
+/// feeding the concatenation to [`fnv1a`]).
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+}

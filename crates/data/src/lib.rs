@@ -50,6 +50,7 @@ pub mod column;
 pub mod crosstab;
 pub mod csv;
 pub mod error;
+pub mod hash;
 pub mod hist;
 pub mod predicate;
 pub mod sample;

@@ -177,6 +177,60 @@ impl Table {
         }
         Ok(out)
     }
+
+    /// FNV-1a content fingerprint over the schema (column names and
+    /// types, in order) and every cell of every column. Two tables
+    /// fingerprint equal iff they are byte-equal in schema and data
+    /// (floats by IEEE-754 bits, so `NaN` payloads and `-0.0` count),
+    /// which is what lets a session snapshot taken on one process be
+    /// refused by another process holding a *different* table under the
+    /// same dataset name — restoring a wealth ledger against changed
+    /// data would silently invalidate every recorded p-value.
+    ///
+    /// Cost is one linear scan; callers (the serving layer) compute it
+    /// once at dataset registration and cache it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = crate::hash::Fnv1a::new();
+        let mut eat = |bytes: &[u8]| hash.update(bytes);
+        eat(&(self.rows as u64).to_le_bytes());
+        eat(&(self.columns.len() as u64).to_le_bytes());
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            eat(&(name.len() as u64).to_le_bytes());
+            eat(name.as_bytes());
+            match col {
+                Column::Int64(v) => {
+                    eat(&[1]);
+                    for &x in v {
+                        eat(&x.to_le_bytes());
+                    }
+                }
+                Column::Float64(v) => {
+                    eat(&[2]);
+                    for &x in v {
+                        eat(&x.to_bits().to_le_bytes());
+                    }
+                }
+                Column::Bool(v) => {
+                    eat(&[3]);
+                    for &x in v {
+                        eat(&[x as u8]);
+                    }
+                }
+                Column::Categorical { labels, codes } => {
+                    eat(&[4]);
+                    eat(&(labels.len() as u64).to_le_bytes());
+                    for label in labels {
+                        eat(&(label.len() as u64).to_le_bytes());
+                        eat(label.as_bytes());
+                    }
+                    for &code in codes {
+                        eat(&code.to_le_bytes());
+                    }
+                }
+            }
+        }
+        hash.finish()
+    }
 }
 
 /// Incremental table builder used by generators and the CSV reader.
@@ -215,6 +269,40 @@ mod tests {
             .push("employed", Column::Bool(vec![true, true, false, false]))
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let t = demo();
+        // Deterministic: same content, same fingerprint, across clones.
+        assert_eq!(t.fingerprint(), demo().fingerprint());
+        // Any cell change changes it.
+        let mut tweaked = TableBuilder::new()
+            .push("age", Column::Int64(vec![25, 40, 31, 61]))
+            .push("salary", Column::Float64(vec![30.0, 80.0, 55.0, 20.0]))
+            .push("sex", Column::categorical_from_strs(&["M", "F", "F", "M"]))
+            .push("employed", Column::Bool(vec![true, true, false, false]))
+            .build()
+            .unwrap();
+        assert_ne!(t.fingerprint(), tweaked.fingerprint());
+        // A renamed column changes it even with identical data.
+        tweaked = TableBuilder::new()
+            .push("age2", Column::Int64(vec![25, 40, 31, 60]))
+            .push("salary", Column::Float64(vec![30.0, 80.0, 55.0, 20.0]))
+            .push("sex", Column::categorical_from_strs(&["M", "F", "F", "M"]))
+            .push("employed", Column::Bool(vec![true, true, false, false]))
+            .build()
+            .unwrap();
+        assert_ne!(t.fingerprint(), tweaked.fingerprint());
+        // Floats hash by bits: -0.0 and 0.0 are different tables.
+        let zeros = |z: f64| {
+            TableBuilder::new()
+                .push("x", Column::Float64(vec![z]))
+                .build()
+                .unwrap()
+                .fingerprint()
+        };
+        assert_ne!(zeros(0.0), zeros(-0.0));
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum ErrorCode {
     /// ledger is unreadable" — the latter must never be silently
     /// answered with a fresh budget.
     CorruptSnapshot,
+    /// The shard that owns the addressed session is unreachable (a
+    /// cluster router's answer for a dead backend). Deliberately
+    /// distinct from `unknown_session`: the session and its wealth
+    /// ledger still exist on the dead shard and will be served again
+    /// when it returns — a router must never answer a dead shard with
+    /// a fresh budget.
+    Unavailable,
     /// The service is shutting down.
     Shutdown,
 }
@@ -53,6 +60,7 @@ impl ErrorCode {
             ErrorCode::Aborted => "aborted",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::CorruptSnapshot => "corrupt_snapshot",
+            ErrorCode::Unavailable => "unavailable",
             ErrorCode::Shutdown => "shutdown",
         }
     }
@@ -70,6 +78,7 @@ impl ErrorCode {
             "aborted" => ErrorCode::Aborted,
             "overloaded" => ErrorCode::Overloaded,
             "corrupt_snapshot" => ErrorCode::CorruptSnapshot,
+            "unavailable" => ErrorCode::Unavailable,
             "shutdown" => ErrorCode::Shutdown,
             _ => ErrorCode::SessionError,
         }
@@ -141,6 +150,7 @@ mod tests {
             ErrorCode::Aborted,
             ErrorCode::Overloaded,
             ErrorCode::CorruptSnapshot,
+            ErrorCode::Unavailable,
             ErrorCode::Shutdown,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), code);

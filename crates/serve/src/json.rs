@@ -130,9 +130,16 @@ fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
         // JSON has no NaN/Inf; the protocol encodes them as null.
         return f.write_str("null");
     }
+    if n == 0.0 {
+        // Both zeros are integral, but `n as i64` erases the sign bit:
+        // -0.0 must come back as -0.0 (a flip-factor of -0.0 vs 0.0 is
+        // a different IEEE-754 value, and the v2 binary codec preserves
+        // it — the JSON surface must not be the lossy one).
+        return f.write_str(if n.is_sign_negative() { "-0.0" } else { "0" });
+    }
     if n.fract() == 0.0 && n.abs() < 9.0e15 {
         write!(f, "{}", n as i64)
-    } else if n != 0.0 && !(1e-5..1e17).contains(&n.abs()) {
+    } else if !(1e-5..1e17).contains(&n.abs()) {
         // Extreme magnitudes (tiny p-values!) use exponent notation —
         // valid JSON, and spares clients 300-digit decimal expansions.
         write!(f, "{n:e}")
@@ -470,6 +477,70 @@ mod tests {
         for v in [6.697154985608185e-38, 1e-300, -2.5e19, 4.9e-324] {
             let text = Json::Num(v).to_string();
             assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(v), "{text}");
+        }
+    }
+
+    #[test]
+    fn number_writer_round_trips_bit_exactly_at_the_edges() {
+        // The writer's three regimes each have edges that once bit (the
+        // integral-float path in PR 2, the -0.0 sign in this audit). A
+        // finite f64 must survive encode→parse with its exact bits.
+        let cases = [
+            0.0,
+            -0.0,                    // sign bit must survive the integral path
+            5e-324,                  // smallest positive subnormal
+            -5e-324,                 // …and its negation
+            2.225073858507201e-308,  // largest subnormal
+            2.2250738585072014e-308, // smallest positive normal
+            1.0e-5,                  // decimal/exponent boundary, decimal side
+            0.9999999999999999e-5,   // …exponent side
+            9.0e15 - 1.0,            // last integral value written as i64
+            9.0e15,                  // first integral value that is not
+            9007199254740993.0,      // 2^53 + 1 rounds to 2^53: still exact bits
+            1.0e17,                  // integral, exponent regime
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            -1.7976931348623155e308, // one ULP inside MIN
+            0.1 + 0.2,               // the classic shortest-repr case
+        ];
+        for v in cases {
+            let text = Json::Num(v).to_string();
+            let parsed = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(
+                parsed.to_bits(),
+                v.to_bits(),
+                "{v:?} -> {text} -> {parsed:?}"
+            );
+        }
+        // Spot-check the spellings the regimes are expected to pick.
+        assert_eq!(Json::Num(-0.0).to_string(), "-0.0");
+        assert_eq!(Json::Num(0.0).to_string(), "0");
+        assert_eq!(Json::Num(5e-324).to_string(), "5e-324");
+        assert_eq!(
+            Json::Num(8999999999999999.0).to_string(),
+            "8999999999999999"
+        );
+    }
+
+    #[test]
+    fn number_writer_round_trips_bit_exactly_for_swept_bit_patterns() {
+        // A deterministic sweep over structured bit patterns: every
+        // exponent with a handful of mantissas, both signs. Skips only
+        // non-finite values (encoded as null by design).
+        for exp in 0..=0x7fe_u64 {
+            for mantissa in [0, 1, 0x8000000000000, 0xfffffffffffff_u64] {
+                for sign in [0u64, 1 << 63] {
+                    let bits = sign | (exp << 52) | mantissa;
+                    let v = f64::from_bits(bits);
+                    if !v.is_finite() {
+                        continue;
+                    }
+                    let text = Json::Num(v).to_string();
+                    let parsed = Json::parse(&text).unwrap().as_f64().unwrap();
+                    assert_eq!(parsed.to_bits(), bits, "{v:?} -> {text}");
+                }
+            }
         }
     }
 

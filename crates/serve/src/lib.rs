@@ -88,4 +88,4 @@ pub use proto::{
     Batch, BatchItem, BatchMode, Command, Encoding, Envelope, PolicySpec, Reply, Response,
     SessionId,
 };
-pub use service::{Service, ServiceConfig, ServiceHandle};
+pub use service::{Dispatch, Service, ServiceConfig, ServiceHandle};

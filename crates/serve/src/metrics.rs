@@ -118,11 +118,17 @@ impl Metrics {
             binary_frames: self.binary_frames.load(Ordering::Relaxed),
             // Evaluation-cache counters live with each dataset's cache
             // and the persisted gauge with the snapshot store, not here;
-            // the service folds them in at snapshot time.
+            // the service folds them in at snapshot time. The cluster
+            // counters and per-shard table belong to a router, not a
+            // shard.
             cache_hits: 0,
             cache_misses: 0,
             persisted: 0,
+            forwarded: 0,
+            migrations: 0,
+            shard_errors: 0,
             batch_size_hist,
+            shards: Vec::new(),
         }
     }
 }

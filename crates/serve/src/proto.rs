@@ -736,6 +736,40 @@ pub enum Command {
         alpha: f64,
         policy: PolicySpec,
     },
+    /// Opens a session under a caller-chosen id — the cluster router's
+    /// create path: the router allocates cluster-wide ids so the
+    /// consistent-hash ring can place the session before any shard has
+    /// seen it. Refused (`invalid_argument`) when the id is already
+    /// live or persisted on the shard.
+    CreateSessionAs {
+        session: SessionId,
+        dataset: String,
+        alpha: f64,
+        policy: PolicySpec,
+    },
+    /// Quiesces a session on its pinned worker, removes it from the
+    /// shard (memory *and* snapshot store), and returns its complete
+    /// `AWRS` snapshot image — the shard-handoff half of a migration.
+    /// After a successful export the session answers `unknown_session`
+    /// here; the wealth ledger lives in the returned bytes.
+    ExportSession { session: SessionId },
+    /// Installs an exported `AWRS` image under `session` (which must
+    /// equal the id inside the image). Restore runs the full snapshot
+    /// validation battery and re-derives selections through the
+    /// dataset's shared `EvalCache`; the shard's id allocator is bumped
+    /// above the imported id.
+    ImportSession { session: SessionId, image: Vec<u8> },
+    /// Lists registered datasets (name, rows, content fingerprint) and
+    /// the shard's next free session id — the roster a router checks
+    /// before admitting a shard to the ring.
+    ListDatasets,
+    /// Admits a shard to a cluster router's ring, migrating exactly the
+    /// remapped sessions onto it. A plain `aware-serve` shard answers
+    /// `invalid_argument` — only routers rebalance.
+    JoinShard { addr: String },
+    /// Removes a shard from a cluster router's ring, migrating its
+    /// sessions to the surviving shards first.
+    LeaveShard { addr: String },
     /// Places a visualization; may derive and test a hypothesis.
     AddVisualization {
         session: SessionId,
@@ -765,12 +799,19 @@ impl Command {
     /// ordering and worker routing on it.
     pub fn session(&self) -> Option<SessionId> {
         match *self {
-            Command::AddVisualization { session, .. }
+            Command::CreateSessionAs { session, .. }
+            | Command::AddVisualization { session, .. }
             | Command::SetPolicy { session, .. }
             | Command::Gauge { session }
             | Command::Transcript { session, .. }
-            | Command::CloseSession { session } => Some(session),
-            Command::CreateSession { .. } | Command::Stats => None,
+            | Command::CloseSession { session }
+            | Command::ExportSession { session }
+            | Command::ImportSession { session, .. } => Some(session),
+            Command::CreateSession { .. }
+            | Command::Stats
+            | Command::ListDatasets
+            | Command::JoinShard { .. }
+            | Command::LeaveShard { .. } => None,
         }
     }
 
@@ -778,11 +819,17 @@ impl Command {
     pub fn name(&self) -> &'static str {
         match self {
             Command::CreateSession { .. } => "create_session",
+            Command::CreateSessionAs { .. } => "create_session_as",
             Command::AddVisualization { .. } => "add_visualization",
             Command::SetPolicy { .. } => "set_policy",
             Command::Gauge { .. } => "gauge",
             Command::Transcript { .. } => "transcript",
             Command::CloseSession { .. } => "close_session",
+            Command::ExportSession { .. } => "export_session",
+            Command::ImportSession { .. } => "import_session",
+            Command::ListDatasets => "list_datasets",
+            Command::JoinShard { .. } => "join_shard",
+            Command::LeaveShard { .. } => "leave_shard",
             Command::Stats => "stats",
         }
     }
@@ -799,6 +846,28 @@ impl Command {
                 pairs.push(("dataset", Json::Str(dataset.clone())));
                 pairs.push(("alpha", Json::Num(*alpha)));
                 pairs.push(("policy", policy.to_json()));
+            }
+            Command::CreateSessionAs {
+                session,
+                dataset,
+                alpha,
+                policy,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("dataset", Json::Str(dataset.clone())));
+                pairs.push(("alpha", Json::Num(*alpha)));
+                pairs.push(("policy", policy.to_json()));
+            }
+            Command::ExportSession { session } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+            }
+            Command::ImportSession { session, image } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("image", Json::Str(hex_encode(image))));
+            }
+            Command::ListDatasets => {}
+            Command::JoinShard { addr } | Command::LeaveShard { addr } => {
+                pairs.push(("addr", Json::Str(addr.clone())));
             }
             Command::AddVisualization {
                 session,
@@ -846,6 +915,29 @@ impl Command {
                     v.get("policy")
                         .ok_or_else(|| ServeError::invalid("missing 'policy'"))?,
                 )?,
+            },
+            "create_session_as" => Command::CreateSessionAs {
+                session: session()?,
+                dataset: req_str(v, "dataset", "request")?.to_string(),
+                alpha: req_num(v, "alpha", "request")?,
+                policy: PolicySpec::from_json(
+                    v.get("policy")
+                        .ok_or_else(|| ServeError::invalid("missing 'policy'"))?,
+                )?,
+            },
+            "export_session" => Command::ExportSession {
+                session: session()?,
+            },
+            "import_session" => Command::ImportSession {
+                session: session()?,
+                image: hex_decode(req_str(v, "image", "request")?)?,
+            },
+            "list_datasets" => Command::ListDatasets,
+            "join_shard" => Command::JoinShard {
+                addr: req_str(v, "addr", "request")?.to_string(),
+            },
+            "leave_shard" => Command::LeaveShard {
+                addr: req_str(v, "addr", "request")?.to_string(),
             },
             "add_visualization" => Command::AddVisualization {
                 session: session()?,
@@ -951,8 +1043,38 @@ impl HypothesisReport {
 /// everything larger. The edges match the serve bench's batch sizes.
 pub const BATCH_SIZE_BUCKETS: [u64; 4] = [1, 8, 64, 256];
 
+/// One registered dataset as reported by [`Command::ListDatasets`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    pub name: String,
+    pub rows: u64,
+    /// Content fingerprint ([`aware_data::table::Table::fingerprint`]):
+    /// a router admits a shard only when its roster fingerprints match,
+    /// and a session import refuses a mismatched table.
+    pub fingerprint: u64,
+}
+
+/// Health and traffic of one backend shard, as reported in a cluster
+/// router's `stats`. Rides the JSON surface only — the binary stats
+/// payload stays the count-prefixed scalar list, so pre-cluster peers
+/// keep decoding it untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardHealth {
+    /// The shard's address, as named at `join_shard` time.
+    pub addr: String,
+    /// False once the router has observed a connection-level failure
+    /// that its health probe has not yet cleared.
+    pub healthy: bool,
+    /// Live sessions the shard reported on its last successful probe.
+    pub sessions_live: u64,
+    /// Commands this router forwarded to the shard.
+    pub forwarded: u64,
+    /// Connection-level failures observed against the shard.
+    pub errors: u64,
+}
+
 /// Server-wide counters, as returned by [`Command::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     pub sessions_created: u64,
     pub sessions_closed: u64,
@@ -984,13 +1106,26 @@ pub struct StatsSnapshot {
     /// that have been snapshotted and sessions spilled out of memory.
     /// Zero when the server runs without a `--data-dir`.
     pub persisted: u64,
+    /// Commands a cluster router forwarded to backend shards (always 0
+    /// on a plain `aware-serve`). Rides the count-prefixed binary
+    /// scalar list — no protocol-version bump, same as `persisted`.
+    pub forwarded: u64,
+    /// Sessions a cluster router migrated between shards during
+    /// `join_shard`/`leave_shard` rebalancing.
+    pub migrations: u64,
+    /// Connection-level shard failures a cluster router observed.
+    pub shard_errors: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
+    /// Per-shard health breakdown (cluster routers only; empty on a
+    /// plain serve). JSON-surface only: the binary stats payload is
+    /// the scalar list + histogram, unchanged.
+    pub shards: Vec<ShardHealth>,
 }
 
 impl StatsSnapshot {
-    fn to_json(self) -> Json {
-        Json::obj(vec![
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
             ("sessions_created", Json::Num(self.sessions_created as f64)),
             ("sessions_closed", Json::Num(self.sessions_closed as f64)),
             ("sessions_evicted", Json::Num(self.sessions_evicted as f64)),
@@ -1014,6 +1149,9 @@ impl StatsSnapshot {
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
             ("persisted", Json::Num(self.persisted as f64)),
+            ("forwarded", Json::Num(self.forwarded as f64)),
+            ("migrations", Json::Num(self.migrations as f64)),
+            ("shard_errors", Json::Num(self.shard_errors as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1023,7 +1161,27 @@ impl StatsSnapshot {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if !self.shards.is_empty() {
+            pairs.push((
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("addr", Json::Str(s.addr.clone())),
+                                ("healthy", Json::Bool(s.healthy)),
+                                ("sessions_live", Json::Num(s.sessions_live as f64)),
+                                ("forwarded", Json::Num(s.forwarded as f64)),
+                                ("errors", Json::Num(s.errors as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<StatsSnapshot, ServeError> {
@@ -1055,7 +1213,28 @@ impl StatsSnapshot {
             cache_hits: lenient("cache_hits"),
             cache_misses: lenient("cache_misses"),
             persisted: lenient("persisted"),
+            forwarded: lenient("forwarded"),
+            migrations: lenient("migrations"),
+            shard_errors: lenient("shard_errors"),
             batch_size_hist,
+            shards: match v.get("shards").and_then(Json::as_arr) {
+                None => Vec::new(),
+                Some(items) => items
+                    .iter()
+                    .map(|s| {
+                        Ok(ShardHealth {
+                            addr: req_str(s, "addr", "shard health")?.to_string(),
+                            healthy: s.get("healthy").and_then(Json::as_bool).unwrap_or(false),
+                            sessions_live: s
+                                .get("sessions_live")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
+                            forwarded: s.get("forwarded").and_then(Json::as_u64).unwrap_or(0),
+                            errors: s.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<_, ServeError>>()?,
+            },
         })
     }
 }
@@ -1091,6 +1270,29 @@ pub enum Response {
         session: SessionId,
         hypotheses: u64,
         discoveries: u64,
+    },
+    /// The complete `AWRS` snapshot image of a just-exported (and now
+    /// removed) session.
+    SessionExported {
+        session: SessionId,
+        image: Vec<u8>,
+    },
+    /// A successfully imported session, reporting the wealth its
+    /// restored ledger carries.
+    SessionImported {
+        session: SessionId,
+        wealth: f64,
+    },
+    /// The dataset roster plus the shard's next free session id.
+    Datasets {
+        datasets: Vec<DatasetInfo>,
+        next_session: u64,
+    },
+    /// Outcome of a `join_shard`/`leave_shard` rebalance.
+    Rebalanced {
+        addr: String,
+        joined: bool,
+        migrated: u64,
     },
     Stats(StatsSnapshot),
     Error(ServeError),
@@ -1158,6 +1360,47 @@ impl Response {
                 pairs.push(("hypotheses", Json::Num(*hypotheses as f64)));
                 pairs.push(("discoveries", Json::Num(*discoveries as f64)));
             }
+            Response::SessionExported { session, image } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("image", Json::Str(hex_encode(image))));
+            }
+            Response::SessionImported { session, wealth } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("imported", Json::Bool(true)));
+                pairs.push(("wealth", Json::Num(*wealth)));
+            }
+            Response::Datasets {
+                datasets,
+                next_session,
+            } => {
+                pairs.push((
+                    "datasets",
+                    Json::Arr(
+                        datasets
+                            .iter()
+                            .map(|d| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(d.name.clone())),
+                                    ("rows", Json::Num(d.rows as f64)),
+                                    // u64 fingerprints exceed f64's exact
+                                    // integer range; hex keeps the bits.
+                                    ("fingerprint", Json::Str(format!("{:016x}", d.fingerprint))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                pairs.push(("next_session", Json::Num(*next_session as f64)));
+            }
+            Response::Rebalanced {
+                addr,
+                joined,
+                migrated,
+            } => {
+                pairs.push(("addr", Json::Str(addr.clone())));
+                pairs.push(("joined", Json::Bool(*joined)));
+                pairs.push(("migrated", Json::Num(*migrated as f64)));
+            }
             Response::Stats(snapshot) => {
                 pairs.push(("stats", snapshot.to_json()));
             }
@@ -1213,6 +1456,48 @@ impl Response {
         let session = || req_u64(v, "session", "response");
         let response = if let Some(stats) = v.get("stats") {
             Response::Stats(StatsSnapshot::from_json(stats)?)
+        } else if let Some(image) = v.get("image") {
+            Response::SessionExported {
+                session: session()?,
+                image: hex_decode(
+                    image
+                        .as_str()
+                        .ok_or_else(|| ServeError::invalid("bad 'image'"))?,
+                )?,
+            }
+        } else if v.get("imported").is_some() {
+            Response::SessionImported {
+                session: session()?,
+                wealth: req_num(v, "wealth", "response")?,
+            }
+        } else if let Some(datasets) = v.get("datasets") {
+            Response::Datasets {
+                datasets: datasets
+                    .as_arr()
+                    .ok_or_else(|| ServeError::invalid("'datasets' must be an array"))?
+                    .iter()
+                    .map(|d| {
+                        Ok(DatasetInfo {
+                            name: req_str(d, "name", "dataset")?.to_string(),
+                            rows: req_u64(d, "rows", "dataset")?,
+                            fingerprint: u64::from_str_radix(
+                                req_str(d, "fingerprint", "dataset")?,
+                                16,
+                            )
+                            .map_err(|_| ServeError::invalid("bad dataset fingerprint"))?,
+                        })
+                    })
+                    .collect::<Result<_, ServeError>>()?,
+                next_session: req_u64(v, "next_session", "response")?,
+            }
+        } else if let Some(joined) = v.get("joined") {
+            Response::Rebalanced {
+                addr: req_str(v, "addr", "response")?.to_string(),
+                joined: joined
+                    .as_bool()
+                    .ok_or_else(|| ServeError::invalid("bad 'joined'"))?,
+                migrated: req_u64(v, "migrated", "response")?,
+            }
         } else if let Some(gauge) = v.get("gauge") {
             Response::GaugeText {
                 session: session()?,
@@ -1276,6 +1561,37 @@ impl Response {
         };
         Ok(response)
     }
+}
+
+// -- byte-string helpers ----------------------------------------------------
+
+/// Lowercase hex of `bytes` — how snapshot images travel on the JSON
+/// surface (the binary surface carries them raw, length-prefixed).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+        out.push(char::from_digit(u32::from(b & 0xf), 16).unwrap());
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; rejects odd lengths and non-hex digits.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, ServeError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(ServeError::invalid("hex byte string has odd length"));
+    }
+    let digit = |b: u8| -> Result<u8, ServeError> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| ServeError::invalid(format!("invalid hex digit '{}'", b as char)))
+    };
+    bytes
+        .chunks_exact(2)
+        .map(|pair| Ok((digit(pair[0])? << 4) | digit(pair[1])?))
+        .collect()
 }
 
 // -- field helpers ----------------------------------------------------------
@@ -1345,6 +1661,24 @@ mod tests {
                 window: Some(8),
             },
         });
+        round_trip_cmd(Command::CreateSessionAs {
+            session: 123,
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: PolicySpec::Fixed { gamma: 10.0 },
+        });
+        round_trip_cmd(Command::ExportSession { session: 5 });
+        round_trip_cmd(Command::ImportSession {
+            session: 5,
+            image: vec![0x00, 0x7f, 0xff, 0x41],
+        });
+        round_trip_cmd(Command::ListDatasets);
+        round_trip_cmd(Command::JoinShard {
+            addr: "10.0.0.7:7878".into(),
+        });
+        round_trip_cmd(Command::LeaveShard {
+            addr: "10.0.0.7:7878".into(),
+        });
         round_trip_cmd(Command::Gauge { session: 1 });
         round_trip_cmd(Command::Transcript {
             session: 1,
@@ -1402,9 +1736,49 @@ mod tests {
                 hypotheses: 4,
                 discoveries: 2,
             },
+            Response::SessionExported {
+                session: 3,
+                image: vec![0x41, 0x57, 0x52, 0x53, 0x02],
+            },
+            Response::SessionImported {
+                session: 3,
+                wealth: 0.0475,
+            },
+            Response::Datasets {
+                datasets: vec![DatasetInfo {
+                    name: "census".into(),
+                    rows: 20_000,
+                    fingerprint: 0xdead_beef_0bad_cafe,
+                }],
+                next_session: 17,
+            },
+            Response::Rebalanced {
+                addr: "127.0.0.1:7879".into(),
+                joined: false,
+                migrated: 2,
+            },
             Response::Stats(StatsSnapshot {
                 sessions_created: 10,
                 commands: 55,
+                forwarded: 1_000,
+                migrations: 7,
+                shard_errors: 2,
+                shards: vec![
+                    ShardHealth {
+                        addr: "127.0.0.1:7001".into(),
+                        healthy: true,
+                        sessions_live: 12,
+                        forwarded: 600,
+                        errors: 0,
+                    },
+                    ShardHealth {
+                        addr: "127.0.0.1:7002".into(),
+                        healthy: false,
+                        sessions_live: 0,
+                        forwarded: 400,
+                        errors: 2,
+                    },
+                ],
                 ..Default::default()
             }),
             Response::Error(ServeError {

@@ -43,6 +43,10 @@ pub type ServedSession = Session<BoxedPolicy>;
 pub struct SessionMeta {
     /// Name of the registered dataset the session was opened on.
     pub dataset: String,
+    /// Content fingerprint of the dataset's table at session-open (or
+    /// restore/import) time — stamped into every snapshot image so a
+    /// restore on another process can prove it holds the same table.
+    pub fingerprint: u64,
     /// The policy spec currently in force.
     pub policy: PolicySpec,
     /// Ledger index at which `policy` was installed (0 = at creation);
@@ -174,6 +178,38 @@ impl Registry {
         debug_assert!(prev.is_none(), "session ids are unique by construction");
         self.live.fetch_add(1, Ordering::Relaxed);
         entry
+    }
+
+    /// Inserts a session under a caller-chosen id, refusing (without
+    /// effect) when the id is already live — the import/preassigned-
+    /// create path, where the id arrives from outside the shard's own
+    /// allocator. The check and the insert happen under one shard
+    /// write lock, so two racing imports of the same id cannot both
+    /// win.
+    pub fn try_insert(
+        &self,
+        id: SessionId,
+        session: ServedSession,
+        meta: SessionMeta,
+    ) -> Option<Arc<SessionEntry>> {
+        let entry = Arc::new(SessionEntry {
+            id,
+            session: Mutex::new(session),
+            meta: Mutex::new(meta),
+            dirty: AtomicBool::new(false),
+            last_used_ms: AtomicU64::new(0),
+            touch_seq: AtomicU64::new(0),
+        });
+        self.touch(&entry);
+        {
+            let mut shard = self.shard(id).write().unwrap();
+            if shard.contains_key(&id) {
+                return None;
+            }
+            shard.insert(id, entry.clone());
+        }
+        self.live.fetch_add(1, Ordering::Relaxed);
+        Some(entry)
     }
 
     /// Looks up a session and bumps its recency.
@@ -351,9 +387,21 @@ mod tests {
     fn meta() -> SessionMeta {
         SessionMeta {
             dataset: "census".into(),
+            fingerprint: 0,
             policy: PolicySpec::Fixed { gamma: 10.0 },
             policy_since: 0,
         }
+    }
+
+    #[test]
+    fn try_insert_refuses_a_live_id() {
+        let table = Arc::new(CensusGenerator::new(9).generate(100));
+        let reg = Registry::new(4);
+        assert!(reg.try_insert(7, session(&table), meta()).is_some());
+        assert!(reg.try_insert(7, session(&table), meta()).is_none());
+        assert_eq!(reg.len(), 1);
+        reg.remove(7);
+        assert!(reg.try_insert(7, session(&table), meta()).is_some());
     }
 
     #[test]

@@ -123,6 +123,14 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Dispatch route (and pending-table key) for session-free commands
+/// that consume no session id (`list_datasets`, the router admin
+/// verbs). Reserved: the allocator counts up from 0 and could never
+/// reach it, so these commands share a pending cap and worker queue
+/// with each other but never with a real session — a roster poll must
+/// not be able to push session `0` into `overloaded`.
+const SESSION_FREE_ROUTE: u64 = u64::MAX;
+
 /// Pending-command accounting per session stream, sharded like the
 /// registry. Counts are held only while commands sit on worker queues;
 /// an entry disappears as soon as its stream drains to zero, so the map
@@ -178,6 +186,11 @@ impl PendingTable {
 struct Dataset {
     table: Arc<Table>,
     cache: Arc<EvalCache>,
+    /// Content fingerprint of `table`, computed once at registration —
+    /// stamped into snapshot images and checked on restore/import so a
+    /// ledger is never replayed against a table that merely shares the
+    /// dataset's *name*.
+    fingerprint: u64,
 }
 
 /// State shared by workers, handles, and the sweeper.
@@ -222,6 +235,7 @@ fn image_of(entry: &SessionEntry, session: &crate::registry::ServedSession) -> S
     SessionImage {
         id: entry.id,
         dataset: meta.dataset.clone(),
+        fingerprint: Some(meta.fingerprint),
         policy: meta.policy.clone(),
         policy_since: meta.policy_since,
         session: session.snapshot(),
@@ -295,12 +309,47 @@ enum Job {
     Shutdown,
 }
 
+/// What a protocol front end needs from the thing that executes
+/// commands. The TCP front end ([`crate::tcp`]) is generic over this,
+/// so the same hardened reader/framing/hello code serves both the
+/// in-process [`ServiceHandle`] and a cluster router fanning out to
+/// remote shards — the wire surface cannot drift between a shard and
+/// the router standing in front of it.
+pub trait Dispatch {
+    /// Executes one command to completion.
+    fn call(&self, cmd: Command) -> Response;
+    /// Executes an ordered batch, responses in submission order.
+    fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response>;
+    /// Counts a request that failed before reaching a command.
+    fn record_protocol_error(&self);
+    /// Counts one wire message on the given surface.
+    fn record_wire_request(&self, encoding: crate::proto::Encoding);
+}
+
 /// A cloneable, thread-safe client of an in-process service — the same
 /// code path the TCP front end uses, minus the socket.
 #[derive(Clone)]
 pub struct ServiceHandle {
     inner: Arc<Inner>,
     senders: Arc<Vec<mpsc::Sender<Job>>>,
+}
+
+impl Dispatch for ServiceHandle {
+    fn call(&self, cmd: Command) -> Response {
+        ServiceHandle::call(self, cmd)
+    }
+
+    fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+        ServiceHandle::call_batch_mode(self, cmds, mode)
+    }
+
+    fn record_protocol_error(&self) {
+        ServiceHandle::record_protocol_error(self)
+    }
+
+    fn record_wire_request(&self, encoding: crate::proto::Encoding) {
+        ServiceHandle::record_wire_request(self, encoding)
+    }
 }
 
 fn shutdown_error() -> Response {
@@ -328,10 +377,16 @@ impl ServiceHandle {
         }
         let (assigned, route) = match cmd.session() {
             Some(sid) => (None, sid),
-            None => {
+            // Only creation consumes an id; other session-free commands
+            // (list_datasets, the router admin verbs) route to a fixed
+            // worker without touching the allocator — a roster poll
+            // must not advance the id space a cluster router seats
+            // its cluster-wide allocator above.
+            None if matches!(cmd, Command::CreateSession { .. }) => {
                 let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
                 (Some(id), id)
             }
+            None => (None, SESSION_FREE_ROUTE),
         };
         let cap = self.inner.config.max_pending_per_session;
         if !self.inner.pending.try_acquire(route, 1, cap) {
@@ -409,13 +464,15 @@ impl ServiceHandle {
             }
             let (assigned, route) = match cmd.session() {
                 Some(sid) => (None, sid),
-                None => {
-                    // CreateSession: allocate the id up front so the
-                    // command routes to — and the session stays pinned
-                    // on — its worker.
+                // CreateSession: allocate the id up front so the
+                // command routes to — and the session stays pinned
+                // on — its worker. Other session-free commands route
+                // without consuming an id (see `call`).
+                None if matches!(cmd, Command::CreateSession { .. }) => {
                     let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
                     (Some(id), id)
                 }
+                None => (None, SESSION_FREE_ROUTE),
             };
             units
                 .entry(route)
@@ -494,13 +551,17 @@ impl ServiceHandle {
     }
 
     /// Registers an already-shared dataset — N sessions, one table, one
-    /// fresh evaluation cache.
+    /// fresh evaluation cache, one content fingerprint (computed here,
+    /// once, so restores and imports can verify table identity without
+    /// ever re-scanning the data).
     pub fn register_shared(&self, name: impl Into<String>, table: Arc<Table>) {
+        let fingerprint = table.fingerprint();
         self.inner.datasets.write().unwrap().insert(
             name.into(),
             Dataset {
                 table,
                 cache: Arc::new(EvalCache::new()),
+                fingerprint,
             },
         );
     }
@@ -803,7 +864,23 @@ fn execute(inner: &Inner, cmd: Command, assigned: Option<SessionId>) -> Response
             dataset,
             alpha,
             policy,
+            false,
         ),
+        Command::CreateSessionAs {
+            session,
+            dataset,
+            alpha,
+            policy,
+        } => create_session(inner, session, dataset, alpha, policy, true),
+        Command::ExportSession { session } => export_session(inner, session),
+        Command::ImportSession { session, image } => import_session(inner, session, image),
+        Command::ListDatasets => list_datasets(inner),
+        Command::JoinShard { .. } | Command::LeaveShard { .. } => {
+            Response::Error(ServeError::invalid(
+                "this server is a shard, not a cluster router — \
+                 join_shard/leave_shard are router admin commands",
+            ))
+        }
         Command::AddVisualization {
             session,
             attribute,
@@ -836,13 +913,14 @@ fn create_session(
     dataset: String,
     alpha: f64,
     policy: PolicySpec,
+    preassigned: bool,
 ) -> Response {
-    let Some((table, cache)) = inner
+    let Some((table, cache, fingerprint)) = inner
         .datasets
         .read()
         .unwrap()
         .get(&dataset)
-        .map(|d| (d.table.clone(), d.cache.clone()))
+        .map(|d| (d.table.clone(), d.cache.clone(), d.fingerprint))
     else {
         return Response::Error(ServeError {
             code: ErrorCode::UnknownDataset,
@@ -853,6 +931,18 @@ fn create_session(
         Ok(p) => p,
         Err(e) => return Response::Error(e),
     };
+    // A preassigned id comes from outside this shard's allocator (a
+    // cluster router); refuse collisions with anything this shard
+    // already knows — live or spilled — and keep the local allocator
+    // above it so locally created sessions can never collide either.
+    if preassigned {
+        if inner.store.as_ref().is_some_and(|s| s.contains(id)) {
+            return Response::Error(ServeError::invalid(format!(
+                "session id {id} is already in use (persisted on this shard)"
+            )));
+        }
+        inner.next_session.fetch_max(id + 1, Ordering::Relaxed);
+    }
     // All sessions on one dataset share its evaluation cache: filter
     // chains and global histograms warmed by any session serve them all.
     let session = match Session::shared_with_cache(table, alpha, boxed, cache) {
@@ -866,15 +956,24 @@ fn create_session(
 
     let wealth = session.wealth();
     let policy_name = session.policy_name();
-    let entry = inner.registry.insert(
-        id,
-        session,
-        SessionMeta {
-            dataset,
-            policy,
-            policy_since: 0,
-        },
-    );
+    let meta = SessionMeta {
+        dataset,
+        fingerprint,
+        policy,
+        policy_since: 0,
+    };
+    let entry = if preassigned {
+        match inner.registry.try_insert(id, session, meta) {
+            Some(entry) => entry,
+            None => {
+                return Response::Error(ServeError::invalid(format!(
+                    "session id {id} is already in use (live on this shard)"
+                )))
+            }
+        }
+    } else {
+        inner.registry.insert(id, session, meta)
+    };
     inner.metrics.session_created();
     // A created session is durable the moment the client learns its id:
     // in synchronous mode the initial snapshot is on disk before this
@@ -956,12 +1055,12 @@ fn lookup_or_restore(inner: &Inner, id: SessionId) -> Result<Arc<SessionEntry>, 
         return Err(Response::Error(ServeError::unknown_session(id)));
     }
     let image = store.load(id).map_err(Response::Error)?;
-    let Some((table, cache)) = inner
+    let Some((table, cache, fingerprint)) = inner
         .datasets
         .read()
         .unwrap()
         .get(&image.dataset)
-        .map(|d| (d.table.clone(), d.cache.clone()))
+        .map(|d| (d.table.clone(), d.cache.clone(), d.fingerprint))
     else {
         return Err(Response::Error(ServeError {
             code: ErrorCode::UnknownDataset,
@@ -971,9 +1070,29 @@ fn lookup_or_restore(inner: &Inner, id: SessionId) -> Result<Arc<SessionEntry>, 
             ),
         }));
     };
+    // The image names the table it was snapshotted over by *content*,
+    // not just by name: a registered table whose fingerprint differs is
+    // different data, and a ledger replayed against different data is a
+    // corrupt ledger (version-1 images predate fingerprints and keep
+    // the trust they always had).
+    if let Some(stamped) = image.fingerprint {
+        if stamped != fingerprint {
+            return Err(Response::Error(ServeError {
+                code: ErrorCode::CorruptSnapshot,
+                message: format!(
+                    "session {id} was snapshotted over dataset '{}' with content \
+                     fingerprint {stamped:016x}, but the registered table fingerprints \
+                     {fingerprint:016x} — refusing to replay the ledger against \
+                     different data",
+                    image.dataset
+                ),
+            }));
+        }
+    }
     let boxed = image.policy.build().map_err(Response::Error)?;
     let meta = SessionMeta {
         dataset: image.dataset,
+        fingerprint,
         policy: image.policy,
         policy_since: image.policy_since,
     };
@@ -1129,6 +1248,175 @@ fn close_session(inner: &Inner, id: SessionId) -> Response {
             },
             _ => Response::Error(ServeError::unknown_session(id)),
         },
+    }
+}
+
+/// Exports a session for migration: quiesce (this runs on the session's
+/// pinned worker, after every earlier command), snapshot, remove from
+/// memory *and* disk, and hand the complete `AWRS` image to the caller.
+/// After the response leaves, the wealth ledger exists only in those
+/// bytes — which is the point: a migrated session must never be
+/// serveable from two shards at once (that would double its α-budget).
+fn export_session(inner: &Inner, id: SessionId) -> Response {
+    let entry = match lookup_or_restore(inner, id) {
+        Ok(entry) => entry,
+        Err(refusal) => return refusal,
+    };
+    let image = {
+        let session = entry.session.lock().unwrap();
+        image_of(&entry, &session)
+    };
+    let bytes = crate::snapshot::encode(&image);
+    // Decode-validate our own bytes before destroying the live session:
+    // shipping an image the far side must refuse would strand the
+    // wealth in transit.
+    if let Err(e) = crate::snapshot::decode(&bytes) {
+        return Response::Error(ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!("session {id} produced an unreadable export image: {e}"),
+        });
+    }
+    inner.registry.remove(id);
+    if let Some(store) = &inner.store {
+        store.remove(id);
+    }
+    Response::SessionExported {
+        session: id,
+        image: bytes,
+    }
+}
+
+/// Imports an exported `AWRS` image: full snapshot validation, dataset
+/// fingerprint check, selections re-derived through this shard's shared
+/// `EvalCache`, id allocator bumped above the imported id.
+fn import_session(inner: &Inner, id: SessionId, bytes: Vec<u8>) -> Response {
+    let image = match crate::snapshot::decode(&bytes) {
+        Ok(image) => image,
+        Err(e) => return Response::Error(e),
+    };
+    if image.id != id {
+        return Response::Error(ServeError::invalid(format!(
+            "import addressed session {id} but the image contains session {}",
+            image.id
+        )));
+    }
+    let Some((table, cache, fingerprint)) = inner
+        .datasets
+        .read()
+        .unwrap()
+        .get(&image.dataset)
+        .map(|d| (d.table.clone(), d.cache.clone(), d.fingerprint))
+    else {
+        return Response::Error(ServeError {
+            code: ErrorCode::UnknownDataset,
+            message: format!(
+                "image is over dataset '{}', which is not registered on this shard",
+                image.dataset
+            ),
+        });
+    };
+    // Cross-shard handoff is exactly where name-aliasing bites: both
+    // shards say "census", only the fingerprint says whether it is the
+    // same census. A mismatch is a corrupt-snapshot refusal, never a
+    // ledger replayed against different data.
+    if let Some(stamped) = image.fingerprint {
+        if stamped != fingerprint {
+            return Response::Error(ServeError {
+                code: ErrorCode::CorruptSnapshot,
+                message: format!(
+                    "image fingerprints dataset '{}' as {stamped:016x}, but this \
+                     shard's table fingerprints {fingerprint:016x} — not the same data",
+                    image.dataset
+                ),
+            });
+        }
+    }
+    if let Some(store) = &inner.store {
+        if store.contains(id) {
+            return Response::Error(ServeError::invalid(format!(
+                "session id {id} is already in use (persisted on this shard)"
+            )));
+        }
+        // The id may carry a tombstone from an earlier export off this
+        // shard (or a close); an imported session must be able to
+        // persist here again.
+        store.revive(id);
+    }
+    let boxed = match image.policy.build() {
+        Ok(p) => p,
+        Err(e) => return Response::Error(e),
+    };
+    let meta = SessionMeta {
+        dataset: image.dataset,
+        fingerprint,
+        policy: image.policy,
+        policy_since: image.policy_since,
+    };
+    let session = match Session::restore(
+        table,
+        Some(cache),
+        image.session,
+        boxed,
+        image.policy_since as usize,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::Error(ServeError {
+                code: ErrorCode::CorruptSnapshot,
+                message: format!("import of session {id} failed restore validation: {e}"),
+            })
+        }
+    };
+    if let Err(refusal) = ensure_capacity(inner) {
+        return refusal;
+    }
+    let wealth = session.wealth();
+    let Some(entry) = inner.registry.try_insert(id, session, meta) else {
+        return Response::Error(ServeError::invalid(format!(
+            "session id {id} is already in use (live on this shard)"
+        )));
+    };
+    // Imported ids come from another allocator; never hand them out
+    // locally again.
+    inner.next_session.fetch_max(id + 1, Ordering::Relaxed);
+    // The import is durable under the same contract a create is.
+    entry.mark_dirty();
+    if inner.sync_snapshots() {
+        let image = {
+            let session = entry.session.lock().unwrap();
+            entry.clear_dirty();
+            image_of(&entry, &session)
+        };
+        if !save_image(inner, &image) {
+            entry.mark_dirty();
+        }
+    }
+    Response::SessionImported {
+        session: id,
+        wealth,
+    }
+}
+
+/// The dataset roster: what a router checks (by content fingerprint)
+/// before admitting this shard to a ring, plus the shard's next free
+/// session id so a router can seat its cluster-wide allocator above
+/// every id any shard has ever handed out.
+fn list_datasets(inner: &Inner) -> Response {
+    let mut datasets: Vec<crate::proto::DatasetInfo> = inner
+        .datasets
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, d)| crate::proto::DatasetInfo {
+            name: name.clone(),
+            rows: d.table.rows() as u64,
+            fingerprint: d.fingerprint,
+        })
+        .collect();
+    datasets.sort_by(|a, b| a.name.cmp(&b.name));
+    Response::Datasets {
+        datasets,
+        next_session: inner.next_session.load(Ordering::Relaxed),
     }
 }
 
@@ -1700,6 +1988,183 @@ mod tests {
         drop(h);
         service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preassigned_creation_honours_the_id_and_refuses_collisions() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        match h.call(Command::CreateSessionAs {
+            session: 1_000,
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: fixed_policy(),
+        }) {
+            Response::SessionCreated { session, .. } => assert_eq!(session, 1_000),
+            other => panic!("{other:?}"),
+        }
+        // The same id again is a refusal, not a silent second session.
+        match h.call(Command::CreateSessionAs {
+            session: 1_000,
+            dataset: "census".into(),
+            alpha: 0.05,
+            policy: fixed_policy(),
+        }) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::InvalidArgument);
+                assert!(e.message.contains("already in use"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The local allocator was bumped past the preassigned id.
+        let fresh = create(&h);
+        assert!(fresh > 1_000, "local allocation must resume above: {fresh}");
+    }
+
+    #[test]
+    fn export_import_moves_a_session_between_services_byte_identically() {
+        let source = test_service(ServiceConfig::default());
+        let hs = source.handle();
+        let sid = create(&hs);
+        assert!(hs
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        let reference = (gauge_of(&hs, sid), csv_of(&hs, sid));
+
+        let image = match hs.call(Command::ExportSession { session: sid }) {
+            Response::SessionExported { session, image } => {
+                assert_eq!(session, sid);
+                image
+            }
+            other => panic!("{other:?}"),
+        };
+        // Export removed the session: it is gone here, wealth and all.
+        match hs.call(Command::Gauge { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("exported session must be gone: {other:?}"),
+        }
+
+        // Same dataset content (same generator seed) on the target: the
+        // fingerprint check passes and the session continues exactly.
+        let target = test_service(ServiceConfig::default());
+        let ht = target.handle();
+        match ht.call(Command::ImportSession {
+            session: sid,
+            image: image.clone(),
+        }) {
+            Response::SessionImported { session, .. } => assert_eq!(session, sid),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!((gauge_of(&ht, sid), csv_of(&ht, sid)), reference);
+        // Imported ids are reserved on the target's allocator.
+        let fresh = create(&ht);
+        assert!(fresh > sid);
+        // A second import of the same id is refused.
+        match ht.call(Command::ImportSession {
+            session: sid,
+            image: image.clone(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::InvalidArgument),
+            other => panic!("{other:?}"),
+        }
+
+        // A shard holding *different* census data under the same name
+        // refuses the image as corrupt — never replays the ledger.
+        let other = Service::start(ServiceConfig::default());
+        other
+            .handle()
+            .register_table("census", CensusGenerator::new(999).generate(4_000));
+        match other.handle().call(Command::ImportSession {
+            session: sid,
+            image,
+        }) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::CorruptSnapshot);
+                assert!(e.message.contains("fingerprint"), "{e}");
+            }
+            other => panic!("mismatched table must refuse the import: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_refuses_a_fingerprint_mismatched_snapshot() {
+        let dir = temp_data_dir("fp-mismatch");
+        let config = |rows: usize, seed: u64| {
+            let service = Service::start(ServiceConfig {
+                workers: 2,
+                data_dir: Some(dir.clone()),
+                snapshot_every: Some(Duration::ZERO),
+                ..ServiceConfig::default()
+            });
+            service
+                .handle()
+                .register_table("census", CensusGenerator::new(seed).generate(rows));
+            service
+        };
+        let service = config(4_000, 7);
+        let h = service.handle();
+        let sid = create(&h);
+        assert!(h
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        drop(h);
+        service.shutdown();
+
+        // Restart over the same directory but with *different* data
+        // registered under the same dataset name: lazy restore must
+        // answer corrupt_snapshot, never serve the ledger over the
+        // wrong table.
+        let service = config(4_000, 8);
+        let h = service.handle();
+        match h.call(Command::Gauge { session: sid }) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::CorruptSnapshot);
+                assert!(e.message.contains("fingerprint"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(h);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_datasets_reports_roster_and_allocator() {
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let _ = create(&h);
+        match h.call(Command::ListDatasets) {
+            Response::Datasets {
+                datasets,
+                next_session,
+            } => {
+                assert_eq!(datasets.len(), 1);
+                assert_eq!(datasets[0].name, "census");
+                assert_eq!(datasets[0].rows, 4_000);
+                assert_eq!(
+                    datasets[0].fingerprint,
+                    CensusGenerator::new(7).generate(4_000).fingerprint(),
+                    "roster fingerprint must be the registered table's"
+                );
+                assert!(next_session >= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A shard is not a router: rebalance admin commands bounce.
+        match h.call(Command::JoinShard {
+            addr: "127.0.0.1:1".into(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::InvalidArgument),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ use aware_core::hypothesis::{
 };
 use aware_core::session::SessionSnapshot;
 use aware_core::viz::{Visualization, VizId};
+use aware_data::hash::fnv1a;
 use aware_mht::investing::{LedgerEntry, MachineSnapshot};
 use aware_mht::Decision;
 use aware_stats::power::{FlipDirection, FlipEstimate};
@@ -49,8 +50,15 @@ use aware_stats::tests::{TestKind, TestOutcome};
 /// file accidentally fed to a socket (or vice versa) fails loudly.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"AWRS";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Current snapshot format version. Version 2 added the dataset
+/// content fingerprint (an `Option<u64>` right after the dataset
+/// name); version-1 files still decode, with [`SessionImage::
+/// fingerprint`] `None` — they were written before tables could be
+/// fingerprinted, so restore extends them the trust they always had.
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// Oldest snapshot version this build still decodes.
+pub const SNAPSHOT_VERSION_MIN: u8 = 1;
 
 /// Bytes before the payload: magic + version + u32 length + u64 FNV-1a.
 pub const SNAPSHOT_HEADER_LEN: usize = 17;
@@ -67,6 +75,14 @@ pub struct SessionImage {
     /// Name of the dataset the session explores; restore re-attaches
     /// the registered table and shared evaluation cache by this name.
     pub dataset: String,
+    /// Content fingerprint of the dataset's table at snapshot time
+    /// ([`aware_data::table::Table::fingerprint`]). Restore and import
+    /// refuse a registered table whose fingerprint differs — a wealth
+    /// ledger replayed against changed data is a corrupt ledger, and
+    /// for cross-shard migration this is what proves both shards hold
+    /// the *same* table, not merely one with the same name. `None` for
+    /// version-1 files, which predate fingerprinting.
+    pub fingerprint: Option<u64>,
     /// The investing policy active at snapshot time.
     pub policy: PolicySpec,
     /// Ledger index at which `policy` was installed: the restore
@@ -77,23 +93,20 @@ pub struct SessionImage {
     pub session: SessionSnapshot,
 }
 
-/// FNV-1a over the payload — cheap, dependency-free, and plenty to
-/// catch torn writes and bit rot (crash *atomicity* comes from the
-/// store's tmp+rename protocol, not from the checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x100000001b3);
-    }
-    hash
-}
-
 /// Encodes a session image into complete snapshot-file bytes.
 pub fn encode(image: &SessionImage) -> Vec<u8> {
     let mut w = Writer::new();
     w.varint(image.id);
     w.str(&image.dataset);
+    // Version 2: the dataset fingerprint. Fixed 8 bytes (fingerprints
+    // are uniformly distributed; a varint would only pad them).
+    match image.fingerprint {
+        None => w.u8(0),
+        Some(fp) => {
+            w.u8(1);
+            w.raw_u64(fp);
+        }
+    }
     w.policy(&image.policy);
     w.varint(image.policy_since);
     machine(&mut w, &image.session.machine);
@@ -137,10 +150,11 @@ pub fn decode(bytes: &[u8]) -> Result<SessionImage, ServeError> {
             bytes[0], bytes[1], bytes[2], bytes[3]
         )));
     }
-    if bytes[4] != SNAPSHOT_VERSION {
+    let version = bytes[4];
+    if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&version) {
         return Err(corrupt(format!(
-            "unsupported snapshot version {} (this build reads {SNAPSHOT_VERSION})",
-            bytes[4]
+            "unsupported snapshot version {version} (this build reads \
+             {SNAPSHOT_VERSION_MIN}..={SNAPSHOT_VERSION})"
         )));
     }
     let declared = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
@@ -165,13 +179,22 @@ pub fn decode(bytes: &[u8]) -> Result<SessionImage, ServeError> {
             "payload checksum {actual:016x} does not match header {expected:016x}"
         )));
     }
-    decode_payload(payload).map_err(|e| corrupt(e.message))
+    decode_payload(payload, version).map_err(|e| corrupt(e.message))
 }
 
-fn decode_payload(payload: &[u8]) -> Result<SessionImage, ServeError> {
+fn decode_payload(payload: &[u8], version: u8) -> Result<SessionImage, ServeError> {
     let mut r = Reader::new(payload);
     let id = r.varint("session id")?;
     let dataset = r.str("dataset name")?;
+    let fingerprint = if version >= 2 {
+        match r.u8("fingerprint flag")? {
+            0 => None,
+            1 => Some(r.u64_le("dataset fingerprint")?),
+            other => return Err(ServeError::invalid(format!("bad fingerprint flag {other}"))),
+        }
+    } else {
+        None // version 1 predates table fingerprinting
+    };
     let policy = r.policy()?;
     let policy_since = r.varint("policy_since")?;
     let machine = read_machine(&mut r)?;
@@ -195,6 +218,7 @@ fn decode_payload(payload: &[u8]) -> Result<SessionImage, ServeError> {
     Ok(SessionImage {
         id,
         dataset,
+        fingerprint,
         policy,
         policy_since,
         session: SessionSnapshot {
@@ -538,10 +562,12 @@ mod tests {
     use std::sync::Arc;
 
     fn sample_image() -> SessionImage {
-        let table = Arc::new(CensusGenerator::new(11).generate(1_200));
+        let table: Arc<aware_data::table::Table> =
+            Arc::new(CensusGenerator::new(11).generate(1_200));
         let policy = PolicySpec::Fixed { gamma: 10.0 };
         let mut session =
-            aware_core::session::Session::shared(table, 0.05, policy.build().unwrap()).unwrap();
+            aware_core::session::Session::shared(table.clone(), 0.05, policy.build().unwrap())
+                .unwrap();
         session.add_visualization("sex", Predicate::True).unwrap();
         session
             .add_visualization("education", Predicate::eq("salary_over_50k", true))
@@ -555,6 +581,7 @@ mod tests {
         SessionImage {
             id: 42,
             dataset: "census".into(),
+            fingerprint: Some(table.fingerprint()),
             policy,
             policy_since: 0,
             session: session.snapshot(),
@@ -603,11 +630,56 @@ mod tests {
 
     #[test]
     fn unknown_version_is_refused() {
-        let mut bytes = encode(&sample_image());
-        bytes[4] = 2;
-        let err = decode(&bytes).unwrap_err();
-        assert_eq!(err.code, ErrorCode::CorruptSnapshot);
-        assert!(err.message.contains("version"), "{err}");
+        for version in [0u8, SNAPSHOT_VERSION + 1, 99] {
+            let mut bytes = encode(&sample_image());
+            bytes[4] = version;
+            let err = decode(&bytes).unwrap_err();
+            assert_eq!(err.code, ErrorCode::CorruptSnapshot);
+            assert!(err.message.contains("version"), "{err}");
+        }
+    }
+
+    /// Re-encodes an image in the version-1 grammar (no fingerprint
+    /// field) by hand, reusing the very encoders `encode` uses.
+    fn encode_v1(image: &SessionImage) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.varint(image.id);
+        w.str(&image.dataset);
+        // v1 grammar: policy follows the dataset name directly.
+        w.policy(&image.policy);
+        w.varint(image.policy_since);
+        machine(&mut w, &image.session.machine);
+        w.varint(image.session.visualizations.len() as u64);
+        for viz in &image.session.visualizations {
+            w.str(&viz.attribute);
+            w.filter(&FilterSpec::from_predicate(&viz.filter));
+        }
+        w.varint(image.session.hypotheses.len() as u64);
+        for h in &image.session.hypotheses {
+            hypothesis(&mut w, h);
+        }
+        let payload = w.into_bytes();
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.push(1); // version 1
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn version_1_files_still_decode_with_no_fingerprint() {
+        let mut image = sample_image();
+        let v1_bytes = encode_v1(&image);
+        let decoded = decode(&v1_bytes).unwrap();
+        // A v1 file carries no fingerprint; everything else survives.
+        image.fingerprint = None;
+        assert_eq!(decoded, image);
+        // And re-encoding the migrated image writes a version-2 file.
+        let reencoded = encode(&decoded);
+        assert_eq!(reencoded[4], SNAPSHOT_VERSION);
+        assert_eq!(decode(&reencoded).unwrap(), decoded);
     }
 
     #[test]
@@ -632,6 +704,11 @@ mod tests {
             encode(&SessionImage {
                 id: 1,
                 dataset: "census".into(),
+                // A fixed fingerprint, NOT the table's: the real one is
+                // table-content-dependent, and this test's whole point
+                // is that nothing else in the file scales with (or even
+                // varies by) the data.
+                fingerprint: Some(0xfeed_beef_dead_cafe),
                 policy: PolicySpec::Fixed { gamma: 10.0 },
                 policy_since: 0,
                 session: s.snapshot(),

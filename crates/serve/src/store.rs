@@ -198,6 +198,16 @@ impl SnapshotStore {
         }))
     }
 
+    /// Clears `id`'s tombstone so the session can persist here again —
+    /// the import path calls this: a session that was exported off this
+    /// shard (which tombstones the id against late snapshotter saves)
+    /// and later migrates *back* must not find its saves silently
+    /// refused forever.
+    pub fn revive(&self, id: SessionId) {
+        let _writers = self.save_lock.lock().unwrap();
+        self.retired.lock().unwrap().remove(&id);
+    }
+
     /// Deletes `id`'s on-disk generations (after a clean close) and
     /// tombstones the id so an in-flight snapshotter save cannot
     /// resurrect the session.
@@ -253,6 +263,7 @@ mod tests {
         SessionImage {
             id,
             dataset: "census".into(),
+            fingerprint: Some(0x1234_5678_9abc_def0),
             policy,
             policy_since: 0,
             session: s.snapshot(),
@@ -282,6 +293,12 @@ mod tests {
         store.save(&img).unwrap();
         assert!(!store.contains(7), "tombstone must refuse resurrection");
         assert!(fs::read_dir(&root).unwrap().next().is_none());
+        // …but an id revived by an import persists again: the session
+        // deliberately came back, this is not a race.
+        store.revive(7);
+        store.save(&img).unwrap();
+        assert!(store.contains(7), "revived id must persist again");
+        assert_eq!(store.load(7).unwrap(), img);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -21,7 +21,7 @@ use crate::frame::{self, FrameRead, MAX_FRAME_BYTES};
 use crate::proto::{
     Batch, BatchMode, Command, Encoding, Envelope, Reply, Response, PROTOCOL_VERSION,
 };
-use crate::service::ServiceHandle;
+use crate::service::Dispatch;
 use crate::wire;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,7 +47,13 @@ pub struct TcpServer {
 impl TcpServer {
     /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
     /// starts accepting connections, each served on its own thread.
-    pub fn bind(addr: &str, handle: ServiceHandle) -> std::io::Result<TcpServer> {
+    ///
+    /// Generic over [`Dispatch`]: the same front end serves an
+    /// in-process [`ServiceHandle`] and a cluster router.
+    pub fn bind<H>(addr: &str, handle: H) -> std::io::Result<TcpServer>
+    where
+        H: Dispatch + Clone + Send + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -86,7 +92,10 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+fn accept_loop<H>(listener: TcpListener, handle: H, stop: Arc<AtomicBool>)
+where
+    H: Dispatch + Clone + Send + 'static,
+{
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -187,7 +196,7 @@ fn negotiate(version: u32, encoding: Encoding, surface: Encoding) -> Result<Repl
 
 /// Executes a batch envelope and pairs the responses with their item
 /// ids for the reply.
-fn run_batch(handle: &ServiceHandle, batch: Batch) -> Vec<(Option<u64>, Response)> {
+fn run_batch<H: Dispatch>(handle: &H, batch: Batch) -> Vec<(Option<u64>, Response)> {
     let mut ids = Vec::with_capacity(batch.items.len());
     let mut cmds = Vec::with_capacity(batch.items.len());
     let mode = batch.mode;
@@ -202,7 +211,7 @@ fn run_batch(handle: &ServiceHandle, batch: Batch) -> Vec<(Option<u64>, Response
 
 /// Serves one connection until EOF or I/O error, auto-detecting the
 /// surface from the first byte.
-fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result<()> {
+fn serve_connection<H: Dispatch>(stream: TcpStream, handle: H) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
     let first = match reader.fill_buf()? {
@@ -217,10 +226,10 @@ fn serve_connection(stream: TcpStream, handle: ServiceHandle) -> std::io::Result
 
 /// The NDJSON surface: v1 commands plus v2 JSON envelopes. Returns by
 /// tail-calling into [`serve_binary`] if a hello upgrades the encoding.
-fn serve_ndjson(
+fn serve_ndjson<H: Dispatch>(
     mut reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
-    handle: ServiceHandle,
+    handle: H,
 ) -> std::io::Result<()> {
     loop {
         let reply_line = match read_request_line(&mut reader, MAX_REQUEST_BYTES)? {
@@ -325,10 +334,10 @@ fn write_reply_frame(writer: &mut impl Write, reply: &Reply) -> std::io::Result<
 /// negotiated through a JSON hello; a cold binary connection must greet
 /// in its first frame so the server knows the client really speaks v2
 /// (and not, say, a stray HTTP request that happens to start with 'A').
-fn serve_binary(
+fn serve_binary<H: Dispatch>(
     mut reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
-    handle: ServiceHandle,
+    handle: H,
     mut greeted: bool,
 ) -> std::io::Result<()> {
     loop {

@@ -34,8 +34,11 @@ const MAX_FILTER_DEPTH: usize = 128;
 /// a count prefix so the list can grow without breaking older decoders
 /// (unknown trailing counters are skipped, missing ones default to 0) —
 /// which is exactly how `persisted` (field 17) arrived without a
-/// protocol-version bump.
-const STATS_SCALAR_FIELDS: usize = 17;
+/// protocol-version bump, and now how the cluster router's `forwarded`/
+/// `migrations`/`shard_errors` (fields 18–20) arrive without one
+/// either. The per-shard health breakdown is JSON-surface only: it is
+/// not a scalar, and the count prefix covers only scalars.
+const STATS_SCALAR_FIELDS: usize = 20;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -280,9 +283,20 @@ impl Writer {
         self.buf.extend_from_slice(&x.to_le_bytes());
     }
 
+    /// Fixed-width little-endian u64 (content fingerprints).
+    pub(crate) fn raw_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
     pub(crate) fn str(&mut self, s: &str) {
         self.varint(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Raw byte string: varint length + bytes (snapshot images).
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
     }
 
     pub(crate) fn value(&mut self, v: &Value) {
@@ -424,6 +438,36 @@ impl Writer {
                 self.varint(*session);
             }
             Command::Stats => self.u8(7),
+            Command::CreateSessionAs {
+                session,
+                dataset,
+                alpha,
+                policy,
+            } => {
+                self.u8(8);
+                self.varint(*session);
+                self.str(dataset);
+                self.f64(*alpha);
+                self.policy(policy);
+            }
+            Command::ExportSession { session } => {
+                self.u8(9);
+                self.varint(*session);
+            }
+            Command::ImportSession { session, image } => {
+                self.u8(10);
+                self.varint(*session);
+                self.bytes(image);
+            }
+            Command::ListDatasets => self.u8(11),
+            Command::JoinShard { addr } => {
+                self.u8(12);
+                self.str(addr);
+            }
+            Command::LeaveShard { addr } => {
+                self.u8(13);
+                self.str(addr);
+            }
         }
     }
 
@@ -520,6 +564,9 @@ impl Writer {
                     s.cache_hits,
                     s.cache_misses,
                     s.persisted,
+                    s.forwarded,
+                    s.migrations,
+                    s.shard_errors,
                 ] {
                     self.varint(n);
                 }
@@ -531,6 +578,41 @@ impl Writer {
                 self.u8(8);
                 self.str(e.code.as_str());
                 self.str(&e.message);
+            }
+            Response::SessionExported { session, image } => {
+                self.u8(9);
+                self.varint(*session);
+                self.bytes(image);
+            }
+            Response::SessionImported { session, wealth } => {
+                self.u8(10);
+                self.varint(*session);
+                self.f64(*wealth);
+            }
+            Response::Datasets {
+                datasets,
+                next_session,
+            } => {
+                self.u8(11);
+                self.varint(datasets.len() as u64);
+                for d in datasets {
+                    self.str(&d.name);
+                    self.varint(d.rows);
+                    // Fixed 8 bytes, not varint: fingerprints are
+                    // uniformly distributed, varints would only pad.
+                    self.raw_u64(d.fingerprint);
+                }
+                self.varint(*next_session);
+            }
+            Response::Rebalanced {
+                addr,
+                joined,
+                migrated,
+            } => {
+                self.u8(12);
+                self.str(addr);
+                self.u8(*joined as u8);
+                self.varint(*migrated);
             }
         }
     }
@@ -608,13 +690,23 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.raw8(what)?))
+    }
+
+    /// Fixed-width little-endian u64 (content fingerprints — uniformly
+    /// distributed, so a varint would only pad them).
+    pub(crate) fn u64_le(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.raw8(what)?))
+    }
+
+    fn raw8(&mut self, what: &str) -> Result<[u8; 8], ServeError> {
         if self.pos + 8 > self.bytes.len() {
             return Err(self.bad(format!("truncated payload reading {what}")));
         }
         let mut raw = [0u8; 8];
         raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
         self.pos += 8;
-        Ok(f64::from_le_bytes(raw))
+        Ok(raw)
     }
 
     pub(crate) fn str(&mut self, what: &str) -> Result<String, ServeError> {
@@ -629,6 +721,20 @@ impl<'a> Reader<'a> {
             .to_string();
         self.pos += len;
         Ok(s)
+    }
+
+    /// Raw byte string: varint length + bytes. Same hostile-length
+    /// hardening as [`Reader::str`], minus the UTF-8 requirement.
+    pub(crate) fn byte_string(&mut self, what: &str) -> Result<Vec<u8>, ServeError> {
+        let len = self.varint(what)? as usize;
+        if len > self.bytes.len() - self.pos {
+            return Err(self.bad(format!(
+                "byte string length {len} overruns payload in {what}"
+            )));
+        }
+        let out = self.bytes[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(out)
     }
 
     fn encoding(&mut self) -> Result<Encoding, ServeError> {
@@ -756,6 +862,26 @@ impl<'a> Reader<'a> {
                 session: self.varint("session")?,
             },
             7 => Command::Stats,
+            8 => Command::CreateSessionAs {
+                session: self.varint("session")?,
+                dataset: self.str("dataset")?,
+                alpha: self.f64("alpha")?,
+                policy: self.policy()?,
+            },
+            9 => Command::ExportSession {
+                session: self.varint("session")?,
+            },
+            10 => Command::ImportSession {
+                session: self.varint("session")?,
+                image: self.byte_string("image")?,
+            },
+            11 => Command::ListDatasets,
+            12 => Command::JoinShard {
+                addr: self.str("addr")?,
+            },
+            13 => Command::LeaveShard {
+                addr: self.str("addr")?,
+            },
             other => {
                 return Err(ServeError {
                     code: ErrorCode::UnknownCommand,
@@ -855,13 +981,45 @@ impl<'a> Reader<'a> {
                     cache_hits: fields[14],
                     cache_misses: fields[15],
                     persisted: fields[16],
+                    forwarded: fields[17],
+                    migrations: fields[18],
+                    shard_errors: fields[19],
                     batch_size_hist,
+                    shards: Vec::new(),
                 })
             }
             8 => Response::Error(ServeError {
                 code: ErrorCode::parse(&self.str("error code")?),
                 message: self.str("error message")?,
             }),
+            9 => Response::SessionExported {
+                session: self.varint("session")?,
+                image: self.byte_string("image")?,
+            },
+            10 => Response::SessionImported {
+                session: self.varint("session")?,
+                wealth: self.f64("wealth")?,
+            },
+            11 => {
+                let count = self.varint("dataset count")? as usize;
+                let mut datasets = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    datasets.push(crate::proto::DatasetInfo {
+                        name: self.str("dataset name")?,
+                        rows: self.varint("dataset rows")?,
+                        fingerprint: self.u64_le("dataset fingerprint")?,
+                    });
+                }
+                Response::Datasets {
+                    datasets,
+                    next_session: self.varint("next_session")?,
+                }
+            }
+            12 => Response::Rebalanced {
+                addr: self.str("addr")?,
+                joined: self.u8("joined")? != 0,
+                migrated: self.varint("migrated")?,
+            },
             other => return Err(self.bad(format!("unknown response tag {other}"))),
         })
     }
@@ -1003,12 +1161,102 @@ mod tests {
     }
 
     #[test]
+    fn cluster_commands_and_replies_round_trip() {
+        round_trip_envelope(Envelope::Single {
+            id: Some(1),
+            cmd: Command::CreateSessionAs {
+                session: 9_000,
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 10.0 },
+            },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: None,
+            cmd: Command::ExportSession { session: 7 },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(2),
+            cmd: Command::ImportSession {
+                session: 7,
+                image: vec![0x41, 0x57, 0x52, 0x53, 0x02, 0x00, 0xff],
+            },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(3),
+            cmd: Command::ListDatasets,
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(4),
+            cmd: Command::JoinShard {
+                addr: "127.0.0.1:7879".into(),
+            },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(5),
+            cmd: Command::LeaveShard {
+                addr: "127.0.0.1:7879".into(),
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(1),
+            response: Response::SessionExported {
+                session: 7,
+                image: (0..=255u8).collect(),
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(2),
+            response: Response::SessionImported {
+                session: 7,
+                wealth: 0.0475,
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(3),
+            response: Response::Datasets {
+                datasets: vec![
+                    crate::proto::DatasetInfo {
+                        name: "census".into(),
+                        rows: 20_000,
+                        fingerprint: u64::MAX,
+                    },
+                    crate::proto::DatasetInfo {
+                        name: "retail".into(),
+                        rows: 3,
+                        fingerprint: 0,
+                    },
+                ],
+                next_session: 42,
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(4),
+            response: Response::Rebalanced {
+                addr: "127.0.0.1:7879".into(),
+                joined: true,
+                migrated: 12,
+            },
+        });
+        // The router's stats counters ride the scalar list bit-exactly.
+        round_trip_reply(Reply::Single {
+            id: Some(5),
+            response: Response::Stats(StatsSnapshot {
+                forwarded: u64::MAX,
+                migrations: 3,
+                shard_errors: 1,
+                ..Default::default()
+            }),
+        });
+    }
+
+    #[test]
     fn stats_field_count_prefix_tolerates_older_and_newer_peers() {
         // Hand-build a Single(Stats) reply whose scalar-counter list is
         // shorter (older peer) or longer (newer peer) than this build's
         // STATS_SCALAR_FIELDS: both must decode, defaulting the missing
         // counters and skipping the surplus.
-        for (count, extra) in [(14usize, 0u64), (19, 2)] {
+        for (count, extra) in [(14usize, 0u64), (23, 3)] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1036,10 +1284,15 @@ mod tests {
                 assert_eq!(s.cache_hits, 0);
                 assert_eq!(s.cache_misses, 0);
                 assert_eq!(s.persisted, 0);
+                assert_eq!(s.forwarded, 0);
+                assert_eq!(s.shard_errors, 0);
             } else {
                 assert_eq!(s.cache_hits, 114);
                 assert_eq!(s.cache_misses, 115);
                 assert_eq!(s.persisted, 116);
+                assert_eq!(s.forwarded, 117);
+                assert_eq!(s.migrations, 118);
+                assert_eq!(s.shard_errors, 119);
             }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
             let _ = extra;

@@ -143,7 +143,9 @@ fn with_session_id(cmd: &Command, sid: SessionId) -> Command {
         | Command::Gauge { session }
         | Command::Transcript { session, .. }
         | Command::CloseSession { session } => *session = sid,
-        Command::CreateSession { .. } | Command::Stats => {}
+        // This suite's random scripts only produce the session-stream
+        // commands above (plus creates handled by the caller).
+        _ => {}
     }
     cmd
 }

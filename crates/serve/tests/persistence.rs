@@ -52,6 +52,7 @@ enum Action {
 /// active policy spec and the ledger index it was installed at.
 struct Replay {
     session: Session<BoxedPolicy>,
+    fingerprint: u64,
     policy: PolicySpec,
     policy_since: u64,
 }
@@ -59,10 +60,12 @@ struct Replay {
 impl Replay {
     fn open(table: Arc<Table>, cache: Arc<EvalCache>) -> Replay {
         let policy = PolicySpec::Fixed { gamma: 10.0 };
+        let fingerprint = table.fingerprint();
         let session =
             Session::shared_with_cache(table, 0.05, policy.build().unwrap(), cache).unwrap();
         Replay {
             session,
+            fingerprint,
             policy,
             policy_since: 0,
         }
@@ -70,6 +73,10 @@ impl Replay {
 
     fn from_image(table: Arc<Table>, cache: Arc<EvalCache>, image: SessionImage) -> Replay {
         let boxed = image.policy.build().unwrap();
+        let fingerprint = table.fingerprint();
+        if let Some(stamped) = image.fingerprint {
+            assert_eq!(stamped, fingerprint, "fixture table drifted");
+        }
         let session = Session::restore(
             table,
             Some(cache),
@@ -80,6 +87,7 @@ impl Replay {
         .expect("restore a freshly encoded snapshot");
         Replay {
             session,
+            fingerprint,
             policy: image.policy,
             policy_since: image.policy_since,
         }
@@ -109,6 +117,7 @@ impl Replay {
         SessionImage {
             id: 77,
             dataset: "census".into(),
+            fingerprint: Some(self.fingerprint),
             policy: self.policy.clone(),
             policy_since: self.policy_since,
             session: self.session.snapshot(),
@@ -227,11 +236,12 @@ proptest! {
 // Golden fixtures: version-1 bytes are pinned forever
 // ---------------------------------------------------------------------------
 
-/// A hand-built image exercising every corner of the version-1 grammar:
+/// A hand-built image exercising every corner of the snapshot grammar:
 /// all six null-spec variants, all four hypothesis statuses, both flip
 /// directions, every predicate node type, and the most complex policy
 /// spec. The values are arbitrary but frozen — they only need to be
-/// *stable*, not statistically meaningful.
+/// *stable*, not statistically meaningful. The fingerprint is a frozen
+/// constant (version 2 field; the version-1 fixture carries none).
 fn fixture_image() -> SessionImage {
     let salary = Predicate::eq("salary_over_50k", true);
     let chain = Predicate::And(vec![
@@ -295,6 +305,7 @@ fn fixture_image() -> SessionImage {
     SessionImage {
         id: 42,
         dataset: "census".into(),
+        fingerprint: Some(0x1bad_b002_dead_f00d),
         policy: PolicySpec::EpsilonHybrid {
             gamma: 10.0,
             delta: 5.0,
@@ -434,9 +445,29 @@ fn assert_images_equal(a: &SessionImage, b: &SessionImage) {
 
 #[test]
 fn golden_v1_fixture_is_pinned() {
+    // The version-1 bytes are *frozen*: written by the PR 4 encoder,
+    // never regenerated. What this pins is the migration path — a v1
+    // file (which predates table fingerprints) must keep decoding to
+    // exactly the old image, with `fingerprint: None`.
+    let mut image = fixture_image();
+    image.fingerprint = None;
+    let path = fixture_path("session-v1.awrs");
+    let pinned = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing frozen version-1 fixture {} ({e}) — these bytes cannot be \
+             regenerated (the encoder now writes version 2); restore them from git",
+            path.display()
+        )
+    });
+    assert_eq!(pinned[4], 1, "fixture must stay a version-1 file");
+    assert_images_equal(&snapshot::decode(&pinned).unwrap(), &image);
+}
+
+#[test]
+fn golden_v2_fixture_is_pinned() {
     let image = fixture_image();
     let bytes = snapshot::encode(&image);
-    let path = fixture_path("session-v1.awrs");
+    let path = fixture_path("session-v2.awrs");
     if std::env::var_os("REGEN_FIXTURES").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &bytes).unwrap();
@@ -448,49 +479,27 @@ fn golden_v1_fixture_is_pinned() {
             path.display()
         )
     });
-    // Decoder compatibility: the checked-in version-1 bytes must keep
+    // Decoder compatibility: the checked-in version-2 bytes must keep
     // decoding to exactly this image …
     assert_images_equal(&snapshot::decode(&pinned).unwrap(), &image);
     // … and encoder stability: today's encoder must still produce the
-    // version-1 bytes. If this fails, the format changed — that is a
+    // version-2 bytes. If this fails, the format changed — that is a
     // version bump plus a migration, never a silent break.
     assert_eq!(
         bytes, pinned,
-        "snapshot encoder no longer reproduces the version-1 fixture"
+        "snapshot encoder no longer reproduces the version-2 fixture"
     );
 }
 
 #[test]
 fn golden_fixture_of_a_real_exploration_restores() {
     // A second fixture captured from a real census exploration (seed
-    // 2017, 1 000 rows): decoding must succeed forever, and restoring
-    // must reproduce the wealth the file itself records.
+    // 2017, 1 000 rows) by the PR 4 (version 1) encoder — frozen, not
+    // regenerable: decoding must succeed forever, and restoring must
+    // reproduce the wealth the file itself records.
     let path = fixture_path("census-session-v1.awrs");
-    let regenerate = std::env::var_os("REGEN_FIXTURES").is_some();
-    if regenerate {
-        let table = Arc::new(CensusGenerator::new(2017).generate(1_000));
-        let cache = Arc::new(EvalCache::new());
-        let mut replay = Replay::open(table, cache);
-        for action in [
-            Action::Viz {
-                attr: "education",
-                filter: Predicate::eq("salary_over_50k", true),
-            },
-            Action::Viz {
-                attr: "race",
-                filter: Predicate::eq("survey_wave", "Wave-2"),
-            },
-            Action::Policy(PolicySpec::Hopeful { delta: 5.0 }),
-            Action::Viz {
-                attr: "marital_status",
-                filter: Predicate::eq("sex", "Female"),
-            },
-        ] {
-            assert!(replay.apply(&action));
-        }
-        std::fs::write(&path, snapshot::encode(&replay.image())).unwrap();
-    }
     let bytes = std::fs::read(&path).expect("checked-in census fixture");
+    assert_eq!(bytes[4], 1, "fixture must stay a version-1 file");
     let image = snapshot::decode(&bytes).unwrap();
     assert_eq!(image.dataset, "census");
     assert_eq!(image.policy, PolicySpec::Hopeful { delta: 5.0 });
