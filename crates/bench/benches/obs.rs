@@ -1,0 +1,169 @@
+//! Instrumentation overhead: the `serve_throughput` workload (64
+//! concurrent sessions, create + 20 commands + close each, one client
+//! thread per session) under two observability settings:
+//!
+//! * `baseline` — slow-query tracing disarmed (`slow_ms: None`, the
+//!   default) and no metrics endpoint. Latency histograms and stage
+//!   timers still run; they are unconditional by design.
+//! * `instrumented` — the full production setting: `--slow-ms 10000`
+//!   arms per-command slow-context capture (predicate fingerprint,
+//!   cache counters, stage timings — the threshold is high enough that
+//!   records almost never emit, pricing the capture, not stderr), plus
+//!   a live `/metrics` endpoint scraped every 25 ms throughout the
+//!   measurement so exposition rendering is priced too.
+//!
+//! The acceptance bar (ISSUE 6): `instrumented` throughput within 2%
+//! of `baseline`. CI records both in `BENCH_obs.json` and fails the
+//! build past the bar.
+
+use aware_data::census::{CensusGenerator, EDUCATION, RACE};
+use aware_data::predicate::CmpOp;
+use aware_data::table::Table;
+use aware_data::value::Value;
+use aware_obs::expose::MetricsServer;
+use aware_serve::proto::{Command, FilterSpec, PolicySpec, SessionId, TranscriptFormat};
+use aware_serve::service::{Service, ServiceConfig};
+use aware_serve::{Response, ServiceHandle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SESSIONS: usize = 64;
+const COMMANDS_PER_SESSION: usize = 20;
+
+fn census() -> Arc<Table> {
+    Arc::new(CensusGenerator::new(2017).generate(5_000))
+}
+
+fn create_session(handle: &ServiceHandle) -> SessionId {
+    match handle.call(Command::CreateSession {
+        dataset: "census".into(),
+        alpha: 0.05,
+        policy: PolicySpec::Fixed { gamma: 100.0 },
+    }) {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("create failed: {other:?}"),
+    }
+}
+
+/// The `serve_throughput` command mix, verbatim, so the two artifacts'
+/// numbers stay directly comparable: filtered views (each a χ² test
+/// through α-investing) with a gauge render and a CSV export mixed in.
+fn drive_session(handle: &ServiceHandle, sid: SessionId) {
+    for step in 0..COMMANDS_PER_SESSION {
+        let response = match step % 10 {
+            7 => handle.call(Command::Gauge { session: sid }),
+            9 => handle.call(Command::Transcript {
+                session: sid,
+                format: TranscriptFormat::Csv,
+            }),
+            _ => handle.call(Command::AddVisualization {
+                session: sid,
+                attribute: ["education", "race", "marital_status", "occupation"][step % 4].into(),
+                filter: match step % 3 {
+                    0 => FilterSpec::Cmp {
+                        column: "salary_over_50k".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Bool(true),
+                    },
+                    1 => FilterSpec::Cmp {
+                        column: "race".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Str(RACE[step % RACE.len()].into()),
+                    },
+                    _ => FilterSpec::Cmp {
+                        column: "education".into(),
+                        op: CmpOp::Eq,
+                        value: Value::Str(EDUCATION[step % EDUCATION.len()].into()),
+                    },
+                },
+            }),
+        };
+        assert!(response.is_ok(), "{response:?}");
+    }
+    let closed = handle.call(Command::CloseSession { session: sid });
+    assert!(closed.is_ok(), "{closed:?}");
+}
+
+/// One plain-socket GET against the metrics endpoint.
+fn scrape(addr: std::net::SocketAddr) {
+    use std::io::{Read, Write};
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    );
+    let mut body = String::new();
+    let _ = stream.read_to_string(&mut body);
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let table = census();
+    let mut group = c.benchmark_group("obs_overhead");
+    // create + commands + close, per session.
+    group.throughput(Throughput::Elements(
+        (SESSIONS * (COMMANDS_PER_SESSION + 2)) as u64,
+    ));
+
+    for (label, slow_ms, scraped) in [
+        ("baseline", None, false),
+        ("instrumented", Some(10_000u64), true),
+    ] {
+        let service = Service::start(ServiceConfig {
+            slow_ms,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        handle.register_shared("census", table.clone());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut scraper = None;
+        let _metrics = scraped.then(|| {
+            let h = handle.clone();
+            let server = MetricsServer::bind("127.0.0.1:0", move || h.metrics_text())
+                .expect("bind metrics endpoint");
+            let addr = server.local_addr();
+            let stop = stop.clone();
+            scraper = Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    scrape(addr);
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }));
+            server
+        });
+
+        group.bench_with_input(BenchmarkId::new("config", label), &(), |b, ()| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..SESSIONS {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            let sid = create_session(&handle);
+                            drive_session(&handle, sid);
+                        });
+                    }
+                })
+            })
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = scraper {
+            let _ = thread.join();
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20);
+    targets = obs_overhead
+}
+criterion_main!(benches);

@@ -3,9 +3,20 @@
 //! ```text
 //! cluster router [--addr 127.0.0.1:7878] [--shard HOST:PORT]...
 //!                [--vnodes 64] [--probe-secs 5]
+//!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
+//!                [--metrics-addr HOST:PORT]
 //! cluster shard  [--addr 127.0.0.1:0] [--rows 20000] [--seed 2017]
 //!                [--workers N] [--data-dir DIR] [--snapshot-every S]
+//!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
+//!                [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! Both roles share the observability quartet: the structured stderr
+//! logger (`--log-level`, `--log-json`), slow-query records past
+//! `--slow-ms` (the router stamps a trace id on every forwarded
+//! envelope, so one `grep trace=<id>` follows a command across both
+//! processes), and a Prometheus text endpoint on `--metrics-addr` —
+//! the router's endpoint serves merged-plus-per-shard views.
 //!
 //! `router` starts the consistent-hash router and admits each `--shard`
 //! through the same `join_shard` path a live rebalance uses. `shard`
@@ -31,11 +42,72 @@ fn die(message: &str) -> ! {
 
 fn usage() -> ! {
     println!(
-        "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S]\n\
+        "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S] \
+         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]\n\
          cluster shard  [--addr HOST:PORT] [--rows N] [--seed K] [--workers N] \
-         [--data-dir DIR] [--snapshot-every S]"
+         [--data-dir DIR] [--snapshot-every S] \
+         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(0);
+}
+
+/// The observability flags both roles share.
+#[derive(Default)]
+struct ObsArgs {
+    log_level: Option<aware_obs::log::Level>,
+    log_json: bool,
+    slow_ms: Option<u64>,
+    metrics_addr: Option<String>,
+}
+
+impl ObsArgs {
+    /// Consumes the flag if it is one of ours; true when handled.
+    fn accept(&mut self, flag: &str, args: &mut impl Iterator<Item = String>) -> bool {
+        match flag {
+            "--log-level" => {
+                let raw = next_value(args, "--log-level");
+                self.log_level = Some(
+                    aware_obs::log::Level::parse(&raw)
+                        .unwrap_or_else(|| die(&format!("--log-level: unknown level '{raw}'"))),
+                );
+            }
+            "--log-json" => self.log_json = true,
+            "--slow-ms" => {
+                self.slow_ms = Some(
+                    next_value(args, "--slow-ms")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("--slow-ms: {e}"))),
+                )
+            }
+            "--metrics-addr" => self.metrics_addr = Some(next_value(args, "--metrics-addr")),
+            _ => return false,
+        }
+        true
+    }
+
+    fn init_logger(&self) {
+        aware_obs::log::init(
+            self.log_level.unwrap_or(aware_obs::log::Level::Info),
+            self.log_json,
+        );
+    }
+
+    /// Binds the metrics endpoint (if asked) — the returned server must
+    /// stay alive for the process's lifetime.
+    fn bind_metrics(
+        &self,
+        render: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Option<aware_obs::expose::MetricsServer> {
+        self.metrics_addr.as_ref().map(|addr| {
+            match aware_obs::expose::MetricsServer::bind(addr, render) {
+                Ok(m) => {
+                    eprintln!("metrics exposition on http://{}/metrics", m.local_addr());
+                    m
+                }
+                Err(e) => die(&format!("cannot bind metrics addr {addr}: {e}")),
+            }
+        })
+    }
 }
 
 fn main() {
@@ -57,7 +129,11 @@ fn run_router(mut args: impl Iterator<Item = String>) {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut shards: Vec<String> = Vec::new();
     let mut config = RouterConfig::default();
+    let mut obs = ObsArgs::default();
     while let Some(flag) = args.next() {
+        if obs.accept(&flag, &mut args) {
+            continue;
+        }
         match flag.as_str() {
             "--addr" => addr = next_value(&mut args, "--addr"),
             "--shard" => shards.push(next_value(&mut args, "--shard")),
@@ -79,6 +155,8 @@ fn run_router(mut args: impl Iterator<Item = String>) {
     if config.probe_interval.is_none() {
         config.probe_interval = Some(Duration::from_secs(5));
     }
+    obs.init_logger();
+    config.slow_ms = obs.slow_ms;
     let router = Router::start(config);
     let handle = router.handle();
     for shard in &shards {
@@ -90,10 +168,11 @@ fn run_router(mut args: impl Iterator<Item = String>) {
             other => die(&format!("unexpected join reply for {shard}: {other:?}")),
         }
     }
-    let server = match TcpServer::bind(&addr, handle) {
+    let server = match TcpServer::bind(&addr, handle.clone()) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
+    let _metrics = obs.bind_metrics(move || handle.metrics_text());
     eprintln!(
         "aware-cluster listening on {} ({} shards: {})",
         server.local_addr(),
@@ -110,7 +189,11 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
     let mut workers: Option<usize> = None;
     let mut data_dir: Option<PathBuf> = None;
     let mut snapshot_every = Duration::from_secs(30);
+    let mut obs = ObsArgs::default();
     while let Some(flag) = args.next() {
+        if obs.accept(&flag, &mut args) {
+            continue;
+        }
         match flag.as_str() {
             "--addr" => addr = next_value(&mut args, "--addr"),
             "--rows" => {
@@ -142,10 +225,12 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
             other => die(&format!("unknown shard flag '{other}'")),
         }
     }
+    obs.init_logger();
     let mut config = ServiceConfig {
         snapshot_every: data_dir.as_ref().map(|_| snapshot_every),
         data_dir,
         sweep_interval: Some(Duration::from_secs(5)),
+        slow_ms: obs.slow_ms,
         ..ServiceConfig::default()
     };
     if let Some(w) = workers {
@@ -156,10 +241,11 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
     let service = Service::start(config);
     let handle = service.handle();
     handle.register_table("census", table);
-    let server = match TcpServer::bind(&addr, handle) {
+    let server = match TcpServer::bind(&addr, handle.clone()) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
+    let _metrics = obs.bind_metrics(move || handle.metrics_text());
     eprintln!(
         "aware-cluster-shard listening on {} ({rows} census rows, seed {seed})",
         server.local_addr()

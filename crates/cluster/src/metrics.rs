@@ -1,14 +1,21 @@
-//! Router-side counters: the cluster plane's own traffic and the three
+//! Router-side counters: the cluster plane's own traffic, the three
 //! rebalancing counters (`forwarded`, `migrations`, `shard_errors`)
-//! that ride the protocol's count-prefixed stats scalar list.
+//! that ride the protocol's count-prefixed stats scalar list, and the
+//! router hop's own latency histograms (per command kind, recorded
+//! around the full forward round trip).
 
-use aware_serve::proto::{Encoding, BATCH_SIZE_BUCKETS};
+use aware_obs::hist::{HistogramSnapshot, LatencyHistogram};
+use aware_serve::proto::{Encoding, BATCH_SIZE_BUCKETS, COMMAND_KINDS};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Lock-free router counters, mirroring the shard-side `Metrics` shape
 /// where the concepts overlap so aggregation is a field-wise sum.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RouterMetrics {
+    /// Process start, for the router's own `uptime_seconds` (a shard's
+    /// uptime would be nonsense to sum or merge).
+    epoch: Instant,
     pub(crate) commands: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) batches: AtomicU64,
@@ -19,6 +26,30 @@ pub struct RouterMetrics {
     pub(crate) forwarded: AtomicU64,
     pub(crate) migrations: AtomicU64,
     pub(crate) shard_errors: AtomicU64,
+    pub(crate) slow_queries: AtomicU64,
+    /// Router-hop latency (queue-free here: forward + shard round
+    /// trip) bucketed by [`COMMAND_KINDS`] index.
+    latency_by_kind: [LatencyHistogram; COMMAND_KINDS.len()],
+}
+
+impl Default for RouterMetrics {
+    fn default() -> RouterMetrics {
+        RouterMetrics {
+            epoch: Instant::now(),
+            commands: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_commands: AtomicU64::new(0),
+            batch_size_hist: Default::default(),
+            ndjson_requests: AtomicU64::new(0),
+            binary_frames: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+            shard_errors: AtomicU64::new(0),
+            slow_queries: AtomicU64::new(0),
+            latency_by_kind: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
 }
 
 fn batch_bucket(n: usize) -> usize {
@@ -31,6 +62,11 @@ fn batch_bucket(n: usize) -> usize {
 impl RouterMetrics {
     pub fn new() -> RouterMetrics {
         RouterMetrics::default()
+    }
+
+    /// Whole seconds since the router started.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
     }
 
     pub fn command(&self) {
@@ -69,5 +105,30 @@ impl RouterMetrics {
             Encoding::Binary => &self.binary_frames,
         }
         .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One command past the router's `--slow-ms` threshold.
+    pub fn slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Router-hop latency (µs) of one command of the given
+    /// [`COMMAND_KINDS`] index.
+    pub fn observe_command(&self, kind: usize, micros: u64) {
+        self.latency_by_kind[kind.min(COMMAND_KINDS.len() - 1)].record(micros);
+    }
+
+    /// The all-kinds router-hop latency distribution.
+    pub fn latency(&self) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::default();
+        for h in &self.latency_by_kind {
+            total.merge(&h.snapshot());
+        }
+        total
+    }
+
+    /// Router-hop latency distribution of one command kind.
+    pub fn latency_of_kind(&self, kind: usize) -> HistogramSnapshot {
+        self.latency_by_kind[kind.min(COMMAND_KINDS.len() - 1)].snapshot()
     }
 }

@@ -127,7 +127,16 @@ impl ShardPool {
 
     fn fail(&self, error: PoolError) -> PoolError {
         self.errors.fetch_add(1, Ordering::Relaxed);
-        self.healthy.store(false, Ordering::Relaxed);
+        // swap, not store: log only the healthy→unhealthy transition,
+        // not every failure while already down.
+        if self.healthy.swap(false, Ordering::Relaxed) {
+            aware_obs::logline!(
+                aware_obs::log::Level::Warn,
+                "shard_unhealthy",
+                addr = self.addr,
+                error = error,
+            );
+        }
         error
     }
 
@@ -136,11 +145,24 @@ impl ShardPool {
     /// the pool itself cannot see it.
     pub fn mark_unhealthy(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
-        self.healthy.store(false, Ordering::Relaxed);
+        if self.healthy.swap(false, Ordering::Relaxed) {
+            aware_obs::logline!(
+                aware_obs::log::Level::Warn,
+                "shard_unhealthy",
+                addr = self.addr,
+                error = "protocol-level shutdown reply",
+            );
+        }
     }
 
     fn succeed(&self) {
-        self.healthy.store(true, Ordering::Relaxed);
+        if !self.healthy.swap(true, Ordering::Relaxed) {
+            aware_obs::logline!(
+                aware_obs::log::Level::Info,
+                "shard_healthy",
+                addr = self.addr,
+            );
+        }
     }
 
     /// One command, one round trip. A read-only command that fails on
@@ -148,8 +170,15 @@ impl ShardPool {
     /// socket) is retried once on a fresh connection before the shard
     /// is blamed.
     pub fn call(&self, cmd: &Command) -> Result<Response, PoolError> {
+        self.call_traced(cmd, aware_obs::trace::next_trace_id())
+    }
+
+    /// One command under an explicit trace id, carried to the shard as
+    /// the envelope id so the same trace greps out of both processes'
+    /// slow-query logs.
+    pub fn call_traced(&self, cmd: &Command, trace: u64) -> Result<Response, PoolError> {
         self.forwarded.fetch_add(1, Ordering::Relaxed);
-        self.round_trip(idempotent(cmd), |client| client.call(cmd))
+        self.round_trip(idempotent(cmd), |client| client.call_with_id(cmd, trace))
     }
 
     /// One batch envelope, one round trip; responses in order. Retried
@@ -159,10 +188,23 @@ impl ShardPool {
         cmds: &[Command],
         mode: BatchMode,
     ) -> Result<Vec<Response>, PoolError> {
+        self.call_batch_traced(cmds, mode, aware_obs::trace::next_trace_id())
+    }
+
+    /// One batch under an explicit trace id on the envelope; the shard
+    /// adopts it for every item in the sub-batch.
+    pub fn call_batch_traced(
+        &self,
+        cmds: &[Command],
+        mode: BatchMode,
+        trace: u64,
+    ) -> Result<Vec<Response>, PoolError> {
         self.forwarded
             .fetch_add(cmds.len() as u64, Ordering::Relaxed);
         let retryable = cmds.iter().all(idempotent);
-        self.round_trip(retryable, |client| client.call_batch(cmds, mode))
+        self.round_trip(retryable, |client| {
+            client.call_batch_with_id(cmds, mode, trace)
+        })
     }
 
     /// `retryable` must be false for anything mutating: a connection

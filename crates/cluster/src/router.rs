@@ -54,14 +54,14 @@ use crate::metrics::RouterMetrics;
 use crate::pool::ShardPool;
 use crate::ring::{Ring, DEFAULT_VNODES};
 use aware_serve::proto::{
-    BatchMode, Command, DatasetInfo, Encoding, Response, SessionId, StatsSnapshot,
+    BatchMode, Command, DatasetInfo, Encoding, Response, SessionId, StatsSnapshot, COMMAND_KINDS,
 };
 use aware_serve::service::Dispatch;
 use aware_serve::{ErrorCode, ServeError};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -74,6 +74,12 @@ pub struct RouterConfig {
     pub stripes: usize,
     /// Background health-probe cadence; `None` probes only on `stats`.
     pub probe_interval: Option<Duration>,
+    /// Router-hop slow-query threshold (milliseconds). A forwarded
+    /// command whose round trip reaches it emits a structured
+    /// `slow_query` record carrying the same trace id the shard logs,
+    /// so one grep follows the command across both processes. `None`
+    /// disables the records (histograms still fill).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -82,6 +88,7 @@ impl Default for RouterConfig {
             vnodes: DEFAULT_VNODES,
             stripes: 512,
             probe_interval: None,
+            slow_ms: None,
         }
     }
 }
@@ -282,9 +289,42 @@ fn adapt_shard_response(
     response
 }
 
-/// Forwards one session-addressed command under its stripe lock.
-fn forward_session(inner: &Inner, cmd: Command) -> Response {
+/// Emits the router-hop `slow_query` record when the round trip for
+/// `trace` reached the configured threshold. The record carries the
+/// same trace id the shard stamps into *its* slow-query log, so
+/// `grep trace=<id>` follows one command across both processes.
+fn note_slow(
+    inner: &Inner,
+    trace: u64,
+    kind: usize,
+    session: Option<SessionId>,
+    shard: &str,
+    rt_us: u64,
+) {
+    let Some(ms) = inner.config.slow_ms else {
+        return;
+    };
+    if rt_us < ms.saturating_mul(1000) {
+        return;
+    }
+    inner.metrics.slow_query();
+    aware_obs::logline!(
+        aware_obs::log::Level::Warn,
+        "slow_query",
+        trace = aware_obs::trace::fmt_trace(trace),
+        kind = COMMAND_KINDS[kind.min(COMMAND_KINDS.len() - 1)],
+        session = session.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+        shard = shard,
+        rt_us = rt_us,
+    );
+}
+
+/// Forwards one session-addressed command under its stripe lock,
+/// timing the full hop (stripe + shard round trip) into the router's
+/// per-kind histogram.
+fn forward_session(inner: &Inner, cmd: Command, trace: u64) -> Response {
     let id = cmd.session().expect("session-addressed command");
+    let kind = cmd.kind_index();
     let _stripe = inner.stripes[stripe_of(inner, id)].lock().unwrap();
     let pool = match owner_pool(inner, id) {
         Ok(pool) => pool,
@@ -294,7 +334,12 @@ fn forward_session(inner: &Inner, cmd: Command) -> Response {
         }
     };
     inner.metrics.forwarded(1);
-    match pool.call(&cmd) {
+    let start = Instant::now();
+    let result = pool.call_traced(&cmd, trace);
+    let rt_us = start.elapsed().as_micros() as u64;
+    inner.metrics.observe_command(kind, rt_us);
+    note_slow(inner, trace, kind, Some(id), pool.addr(), rt_us);
+    match result {
         Ok(response) => adapt_shard_response(inner, &pool, Some(id), response),
         Err(e) => {
             inner.metrics.shard_error();
@@ -314,6 +359,7 @@ fn create_session(
     dataset: String,
     alpha: f64,
     policy: aware_serve::proto::PolicySpec,
+    trace: u64,
 ) -> Response {
     // The router owns allocation, so collisions can only mean a shard
     // carried ids this router never learned about (e.g. it was seeded
@@ -326,7 +372,7 @@ fn create_session(
             alpha,
             policy: policy.clone(),
         };
-        let response = forward_session(inner, cmd);
+        let response = forward_session(inner, cmd, trace);
         if let Response::Error(e) = &response {
             if e.code == ErrorCode::InvalidArgument && e.message.contains("already in use") {
                 continue;
@@ -366,6 +412,14 @@ fn sum_stats(total: &mut StatsSnapshot, shard: &StatsSnapshot) {
     total.forwarded += shard.forwarded;
     total.migrations += shard.migrations;
     total.shard_errors += shard.shard_errors;
+    total.slow_queries += shard.slow_queries;
+    // Quantiles cannot be summed; MAX-merge is the honest cluster-wide
+    // upper bound the scalar list can carry (the exposition endpoint
+    // serves the real per-shard distributions).
+    total.latency_p50_us = total.latency_p50_us.max(shard.latency_p50_us);
+    total.latency_p90_us = total.latency_p90_us.max(shard.latency_p90_us);
+    total.latency_p99_us = total.latency_p99_us.max(shard.latency_p99_us);
+    total.latency_p999_us = total.latency_p999_us.max(shard.latency_p999_us);
     for (slot, n) in total.batch_size_hist.iter_mut().zip(shard.batch_size_hist) {
         *slot += n;
     }
@@ -375,18 +429,25 @@ fn sum_stats(total: &mut StatsSnapshot, shard: &StatsSnapshot) {
 /// fetches them doubles as the health check), batch-size histograms
 /// merged bucket-wise, the router's own counters folded in, and the
 /// per-shard health breakdown attached (JSON surface only — the
-/// binary payload stays the count-prefixed scalar list).
-fn aggregate_stats(inner: &Inner) -> Response {
+/// binary payload stays the count-prefixed scalar list). Returns the
+/// merged total plus each healthy shard's own snapshot, so the
+/// exposition endpoint can serve both views off one probe round.
+fn probe_all(inner: &Inner) -> (StatsSnapshot, Vec<(String, StatsSnapshot)>) {
     let pools = pools_sorted(inner);
     let mut total = StatsSnapshot::default();
+    let mut per_shard: Vec<(String, StatsSnapshot)> = Vec::new();
     std::thread::scope(|scope| {
         let probes: Vec<_> = pools
             .iter()
-            .map(|pool| scope.spawn(move || pool.probe()))
+            .map(|pool| scope.spawn(move || (pool.addr().to_string(), pool.probe())))
             .collect();
         for probe in probes {
-            match probe.join().expect("probe thread") {
-                Ok(stats) => sum_stats(&mut total, &stats),
+            let (addr, result) = probe.join().expect("probe thread");
+            match result {
+                Ok(stats) => {
+                    sum_stats(&mut total, &stats);
+                    per_shard.push((addr, stats));
+                }
                 Err(_) => inner.metrics.shard_error(),
             }
         }
@@ -401,11 +462,24 @@ fn aggregate_stats(inner: &Inner) -> Response {
     total.forwarded += m.forwarded.load(Ordering::Relaxed);
     total.migrations += m.migrations.load(Ordering::Relaxed);
     total.shard_errors += m.shard_errors.load(Ordering::Relaxed);
+    total.slow_queries += m.slow_queries.load(Ordering::Relaxed);
+    // The router's own hop latency joins the MAX-merge; uptime is the
+    // router's alone (summing shard uptimes would be meaningless).
+    let [p50, p90, p99, p999] = m.latency().summary();
+    total.latency_p50_us = total.latency_p50_us.max(p50);
+    total.latency_p90_us = total.latency_p90_us.max(p90);
+    total.latency_p99_us = total.latency_p99_us.max(p99);
+    total.latency_p999_us = total.latency_p999_us.max(p999);
+    total.uptime_seconds = m.uptime_seconds();
     for (slot, counter) in total.batch_size_hist.iter_mut().zip(&m.batch_size_hist) {
         *slot += counter.load(Ordering::Relaxed);
     }
-    total.shards = pools.iter().map(|p| p.health()).collect();
-    Response::Stats(total)
+    total.shards = pools_sorted(inner).iter().map(|p| p.health()).collect();
+    (total, per_shard)
+}
+
+fn aggregate_stats(inner: &Inner) -> Response {
+    Response::Stats(probe_all(inner).0)
 }
 
 /// The dataset roster, answered from the first healthy shard (the
@@ -498,12 +572,24 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
             return Migration::Gone;
         }
         Ok(other) => {
-            eprintln!("aware-cluster: export of session {id} from {from_addr} refused: {other:?}");
+            aware_obs::logline!(
+                aware_obs::log::Level::Error,
+                "migration_export_refused",
+                session = id,
+                from = from_addr,
+                reply = format!("{other:?}"),
+            );
             return Migration::Failed;
         }
         Err(e) => {
             inner.metrics.shard_error();
-            eprintln!("aware-cluster: export of session {id} from {from_addr} failed: {e}");
+            aware_obs::logline!(
+                aware_obs::log::Level::Error,
+                "migration_export_failed",
+                session = id,
+                from = from_addr,
+                error = e,
+            );
             return Migration::Failed;
         }
     };
@@ -526,10 +612,20 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
         other => {
             if let Err(e) = &other {
                 inner.metrics.shard_error();
-                eprintln!("aware-cluster: import of session {id} into {to_addr} failed: {e}");
+                aware_obs::logline!(
+                    aware_obs::log::Level::Error,
+                    "migration_import_failed",
+                    session = id,
+                    to = to_addr,
+                    error = e,
+                );
             } else {
-                eprintln!(
-                    "aware-cluster: import of session {id} into {to_addr} refused: {other:?}"
+                aware_obs::logline!(
+                    aware_obs::log::Level::Error,
+                    "migration_import_refused",
+                    session = id,
+                    to = to_addr,
+                    reply = format!("{other:?}"),
                 );
             }
             // Put the wealth back where it came from.
@@ -538,10 +634,13 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
                 rollback => {
                     inner.metrics.shard_error();
                     inner.live.lock().unwrap().remove(&id);
-                    eprintln!(
-                        "aware-cluster: session {id} could not be re-imported to \
-                         {from_addr} after a failed migration ({rollback:?}) — its \
-                         ledger is lost in transit; refusing to fabricate a fresh one"
+                    aware_obs::logline!(
+                        aware_obs::log::Level::Error,
+                        "migration_ledger_lost",
+                        session = id,
+                        from = from_addr,
+                        rollback = format!("{rollback:?}"),
+                        note = "ledger lost in transit; refusing to fabricate a fresh one",
                     );
                     Migration::Failed
                 }
@@ -689,7 +788,7 @@ fn leave_shard(inner: &Inner, addr: String) -> Response {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-fn route_one(inner: &Inner, cmd: Command) -> Response {
+fn route_one(inner: &Inner, cmd: Command, trace: u64) -> Response {
     match cmd {
         Command::Stats => aggregate_stats(inner),
         Command::ListDatasets => list_datasets(inner),
@@ -699,27 +798,36 @@ fn route_one(inner: &Inner, cmd: Command) -> Response {
             dataset,
             alpha,
             policy,
-        } => create_session(inner, dataset, alpha, policy),
-        cmd => forward_session(inner, cmd),
+        } => create_session(inner, dataset, alpha, policy, trace),
+        cmd => forward_session(inner, cmd, trace),
     }
 }
 
 impl Dispatch for RouterHandle {
     fn call(&self, cmd: Command) -> Response {
+        self.call_traced(cmd, aware_obs::trace::next_trace_id())
+    }
+
+    fn call_traced(&self, cmd: Command, trace: u64) -> Response {
         let inner = &self.inner;
         inner.metrics.batch(1);
         inner.metrics.command();
-        route_one(inner, cmd)
+        route_one(inner, cmd, trace)
+    }
+
+    fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+        self.call_batch_traced(cmds, mode, aware_obs::trace::next_trace_id())
     }
 
     /// Batch forwarding: admin items answer inline; routed items take
     /// every stripe they touch (sorted — no deadlocks), group by
     /// owning shard preserving submission order, and go out as one
-    /// sub-batch envelope per shard in parallel. Same-session items
-    /// stay adjacent within their shard group, so the shard's own
-    /// batch unit semantics (one pinned run, fail-fast per stream)
-    /// hold across the hop.
-    fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+    /// sub-batch envelope per shard in parallel, each stamped with the
+    /// client batch's trace id. Same-session items stay adjacent
+    /// within their shard group, so the shard's own batch unit
+    /// semantics (one pinned run, fail-fast per stream) hold across
+    /// the hop.
+    fn call_batch_traced(&self, cmds: Vec<Command>, mode: BatchMode, trace: u64) -> Vec<Response> {
         let inner = &self.inner;
         let n = cmds.len();
         inner.metrics.batch(n);
@@ -735,7 +843,7 @@ impl Dispatch for RouterHandle {
                 | Command::ListDatasets
                 | Command::JoinShard { .. }
                 | Command::LeaveShard { .. } => {
-                    slots[index] = Some(route_one(inner, cmd));
+                    slots[index] = Some(route_one(inner, cmd, trace));
                 }
                 Command::CreateSession {
                     dataset,
@@ -807,15 +915,41 @@ impl Dispatch for RouterHandle {
                 let pool = pools.get(addr).cloned();
                 joins.push(scope.spawn(move || {
                     let cmds: Vec<Command> = items.iter().map(|(_, cmd)| cmd.clone()).collect();
+                    let start = Instant::now();
                     let result = match &pool {
-                        Some(pool) => pool.call_batch(&cmds, mode).map_err(|e| e.to_string()),
+                        Some(pool) => pool
+                            .call_batch_traced(&cmds, mode, trace)
+                            .map_err(|e| e.to_string()),
                         None => Err("shard pool disappeared mid-batch".to_string()),
                     };
-                    (items, pool, result)
+                    (items, pool, result, start.elapsed().as_micros() as u64)
                 }));
             }
             for join in joins {
-                let (items, pool, result) = join.join().expect("shard batch thread");
+                let (items, pool, result, rt_us) = join.join().expect("shard batch thread");
+                if let Some(pool) = &pool {
+                    // One hop, many items: every item completed its hop
+                    // in rt_us, so each kind gets the sample; a slow hop
+                    // logs once for the sub-batch (the shard logs its own
+                    // per-item records under the same trace).
+                    for (_, cmd) in &items {
+                        inner.metrics.observe_command(cmd.kind_index(), rt_us);
+                    }
+                    if let Some(ms) = inner.config.slow_ms {
+                        if rt_us >= ms.saturating_mul(1000) {
+                            inner.metrics.slow_query();
+                            aware_obs::logline!(
+                                aware_obs::log::Level::Warn,
+                                "slow_query",
+                                trace = aware_obs::trace::fmt_trace(trace),
+                                kind = "batch",
+                                items = items.len(),
+                                shard = pool.addr(),
+                                rt_us = rt_us,
+                            );
+                        }
+                    }
+                }
                 match result {
                     Ok(responses) => {
                         inner.metrics.forwarded(items.len() as u64);
@@ -881,6 +1015,161 @@ impl RouterHandle {
     /// Current ring membership, sorted.
     pub fn shards(&self) -> Vec<String> {
         self.inner.topology.read().unwrap().ring.members().to_vec()
+    }
+
+    /// Prometheus text exposition for the `--metrics-addr` endpoint:
+    /// the cluster-merged view (one probe round across every shard)
+    /// plus per-shard breakdowns labeled `shard="addr"`, plus the
+    /// router hop's own per-kind latency summaries.
+    pub fn metrics_text(&self) -> String {
+        use aware_obs::expose::TextRender;
+        let inner = &self.inner;
+        let (merged, per_shard) = probe_all(inner);
+        let mut r = TextRender::new();
+
+        r.family("aware_up", "gauge", "1 while the router serves.");
+        r.sample("aware_up", &[], 1);
+        r.family(
+            "aware_uptime_seconds",
+            "gauge",
+            "Seconds since the router started.",
+        );
+        r.sample("aware_uptime_seconds", &[], merged.uptime_seconds);
+
+        r.family(
+            "aware_sessions_live",
+            "gauge",
+            "Live sessions, cluster-wide.",
+        );
+        r.sample("aware_sessions_live", &[], merged.sessions_live);
+        for (name, help, value) in [
+            (
+                "aware_commands_total",
+                "Commands, cluster-wide.",
+                merged.commands,
+            ),
+            (
+                "aware_hypotheses_tested_total",
+                "Hypotheses tested, cluster-wide.",
+                merged.hypotheses_tested,
+            ),
+            (
+                "aware_discoveries_total",
+                "Discoveries, cluster-wide.",
+                merged.discoveries,
+            ),
+            (
+                "aware_errors_total",
+                "Error responses, cluster-wide.",
+                merged.errors,
+            ),
+            (
+                "aware_forwarded_total",
+                "Commands forwarded across the hop.",
+                merged.forwarded,
+            ),
+            (
+                "aware_migrations_total",
+                "Sessions migrated by rebalances.",
+                merged.migrations,
+            ),
+            (
+                "aware_shard_errors_total",
+                "Transport/protocol failures against shards.",
+                merged.shard_errors,
+            ),
+            (
+                "aware_slow_queries_total",
+                "Slow-query records, cluster-wide.",
+                merged.slow_queries,
+            ),
+            (
+                "aware_cache_hits_total",
+                "Evaluation-cache hits, cluster-wide.",
+                merged.cache_hits,
+            ),
+            (
+                "aware_cache_misses_total",
+                "Evaluation-cache misses, cluster-wide.",
+                merged.cache_misses,
+            ),
+        ] {
+            r.family(name, "counter", help);
+            r.sample(name, &[], value);
+        }
+
+        r.family(
+            "aware_router_latency_us",
+            "summary",
+            "Router-hop latency (stripe + shard round trip) by command kind, microseconds.",
+        );
+        for (kind, name) in COMMAND_KINDS.iter().enumerate() {
+            let snap = inner.metrics.latency_of_kind(kind);
+            if snap.count() > 0 {
+                r.summary("aware_router_latency_us", &[("kind", name)], &snap);
+            }
+        }
+
+        r.family(
+            "aware_shard_healthy",
+            "gauge",
+            "1 when the shard's last round trip succeeded.",
+        );
+        r.family(
+            "aware_shard_sessions_live",
+            "gauge",
+            "Live sessions on the shard (last probe).",
+        );
+        r.family(
+            "aware_shard_forwarded_total",
+            "counter",
+            "Commands forwarded to the shard.",
+        );
+        r.family(
+            "aware_shard_errors",
+            "counter",
+            "Transport failures observed against the shard.",
+        );
+        for health in &merged.shards {
+            let labels = [("shard", health.addr.as_str())];
+            r.sample("aware_shard_healthy", &labels, u64::from(health.healthy));
+            r.sample("aware_shard_sessions_live", &labels, health.sessions_live);
+            r.sample("aware_shard_forwarded_total", &labels, health.forwarded);
+            r.sample("aware_shard_errors", &labels, health.errors);
+        }
+
+        r.family(
+            "aware_shard_latency_us",
+            "summary",
+            "Each shard's own end-to-end latency quartet, from its stats scalars.",
+        );
+        r.family(
+            "aware_shard_slow_queries_total",
+            "counter",
+            "Slow-query records emitted by the shard itself.",
+        );
+        for (addr, stats) in &per_shard {
+            let labels = [("shard", addr.as_str())];
+            for (q, v) in [
+                ("0.5", stats.latency_p50_us),
+                ("0.9", stats.latency_p90_us),
+                ("0.99", stats.latency_p99_us),
+                ("0.999", stats.latency_p999_us),
+            ] {
+                r.sample(
+                    "aware_shard_latency_us",
+                    &[("shard", addr.as_str()), ("quantile", q)],
+                    v,
+                );
+            }
+            r.sample(
+                "aware_shard_slow_queries_total",
+                &labels,
+                stats.slow_queries,
+            );
+        }
+
+        r.finish()
     }
 }
 

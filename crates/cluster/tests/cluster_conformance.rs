@@ -90,6 +90,75 @@ fn spawn(args: &[&str]) -> (ProcGuard, SocketAddr) {
     (guard, addr)
 }
 
+/// Shared capture of a child's stderr, line by line.
+type LogBuf = std::sync::Arc<std::sync::Mutex<Vec<String>>>;
+
+/// Like [`spawn`], but keeps every stderr line (the metrics-endpoint
+/// announcement precedes the listening line, and the trace-propagation
+/// test greps structured slow-query records out of both processes'
+/// logs).
+fn spawn_logged(args: &[&str]) -> (ProcGuard, SocketAddr, LogBuf) {
+    let mut child = Proc::new(env!("CARGO_BIN_EXE_cluster"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn the cluster binary");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let guard = ProcGuard(child);
+    let mut lines = BufReader::new(stderr).lines();
+    let log: LogBuf = Default::default();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("process exited before announcing its address")
+            .expect("read stderr");
+        log.lock().unwrap().push(line.clone());
+        if let Some(rest) = line.split(" listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .parse()
+                .expect("parse announced address");
+        }
+    };
+    let sink = log.clone();
+    std::thread::spawn(move || {
+        for line in lines.map_while(Result::ok) {
+            sink.lock().unwrap().push(line);
+        }
+    });
+    (guard, addr, log)
+}
+
+/// Trace ids from captured `slow_query` records whose line also
+/// contains `needle`.
+fn slow_traces(log: &LogBuf, needle: &str) -> Vec<String> {
+    log.lock()
+        .unwrap()
+        .iter()
+        .filter(|line| line.contains("event=slow_query") && line.contains(needle))
+        .filter_map(|line| {
+            line.split_whitespace()
+                .find_map(|token| token.strip_prefix("trace="))
+                .map(str::to_string)
+        })
+        .collect()
+}
+
+/// Polls until `probe` returns `Some` or ~10 s elapse.
+fn wait_for<T>(mut probe: impl FnMut() -> Option<T>) -> Option<T> {
+    for _ in 0..200 {
+        if let Some(value) = probe() {
+            return Some(value);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    None
+}
+
 fn spawn_shard() -> (ProcGuard, SocketAddr) {
     spawn(&[
         "shard",
@@ -373,6 +442,109 @@ fn routed_cluster_is_byte_identical_to_single_process_serve() {
             "session {sid} changed state across the leave"
         );
     }
+}
+
+/// Plain-socket HTTP GET against a metrics endpoint — the same shape
+/// the CI conformance step's curl performs.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+/// The observability contract across the hop: the router stamps every
+/// forwarded envelope with a trace id, the shard adopts it, and at
+/// `--slow-ms 0` both processes emit `slow_query` records carrying the
+/// *same* `trace=` token — one grep follows a command across process
+/// boundaries. The router's `--metrics-addr` endpoint must also serve
+/// a parseable merged-plus-per-shard exposition.
+#[test]
+fn router_stamped_trace_id_appears_in_the_shards_slow_query_log() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (_shard, shard_addr, shard_log) = spawn_logged(&[
+        "shard",
+        "--addr",
+        "127.0.0.1:0",
+        "--rows",
+        "1200",
+        "--seed",
+        "7",
+        "--workers",
+        "2",
+        "--slow-ms",
+        "0",
+    ]);
+    let shard = shard_addr.to_string();
+    let (_router, router_addr, router_log) = spawn_logged(&[
+        "router",
+        "--addr",
+        "127.0.0.1:0",
+        "--shard",
+        &shard,
+        "--slow-ms",
+        "0",
+        "--metrics-addr",
+        "127.0.0.1:0",
+    ]);
+
+    let mut client = Client::connect_with(router_addr, Encoding::Binary).unwrap();
+    let sid = create_session(&mut client);
+    let response = client.call(&script(sid, 0)[1]).unwrap();
+    assert!(response.is_ok(), "{response:?}");
+
+    // At --slow-ms 0 every forwarded command is a slow query. Take the
+    // router's record for the visualization …
+    let trace = wait_for(|| slow_traces(&router_log, "kind=add_visualization").pop())
+        .expect("router never logged a slow add_visualization record");
+    // … and find the identical trace id in the shard's own record.
+    let shard_line = wait_for(|| {
+        shard_log
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|l| l.contains("event=slow_query") && l.contains(&format!("trace={trace}")))
+            .cloned()
+    })
+    .unwrap_or_else(|| {
+        panic!(
+            "trace {trace} missing from the shard's slow-query log:\n{}",
+            shard_log.lock().unwrap().join("\n")
+        )
+    });
+    // The shard side carries the execution detail the router can't see.
+    assert!(
+        shard_line.contains("kind=add_visualization"),
+        "{shard_line}"
+    );
+    assert!(shard_line.contains("dataset=census"), "{shard_line}");
+    assert!(shard_line.contains("fingerprint="), "{shard_line}");
+
+    // The router announced its metrics endpoint before the listening
+    // line; curl it and validate the exposition parses.
+    let metrics_addr: SocketAddr = router_log
+        .lock()
+        .unwrap()
+        .iter()
+        .find_map(|l| l.split("metrics exposition on http://").nth(1))
+        .map(|rest| rest.trim_end_matches("/metrics").parse().unwrap())
+        .expect("router announced no metrics endpoint");
+    let raw = http_get(metrics_addr, "/metrics");
+    assert!(raw.starts_with("HTTP/1.1 200 OK"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let samples = aware_obs::expose::validate_exposition(body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+    assert!(samples > 5, "only {samples} samples:\n{body}");
+    // Merged view plus the per-shard breakdown, labeled by address.
+    assert!(body.contains("# TYPE aware_router_latency_us "), "{body}");
+    assert!(body.contains("aware_slow_queries_total"), "{body}");
+    assert!(body.contains(&format!("shard=\"{shard}\"")), "{body}");
 }
 
 #[test]

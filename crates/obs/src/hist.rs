@@ -1,0 +1,279 @@
+//! Mergeable log-linear latency histograms on atomic buckets.
+//!
+//! Values (microseconds, in this workspace) are binned into buckets
+//! whose width grows with magnitude: exact below 16, then 16 linear
+//! sub-buckets per power-of-two octave. That caps the relative error
+//! of any reconstructed quantile at 1/16 (6.25%) while covering the
+//! full `u64` range in [`BUCKET_COUNT`] buckets — small enough that a
+//! per-command-kind array of histograms is cheap to hold and to
+//! snapshot.
+//!
+//! Recording is one relaxed `fetch_add` on a bucket plus one on the
+//! running sum; there are no locks anywhere. Snapshots are plain
+//! `Vec<u64>` bucket vectors that merge bucket-wise — the same
+//! "histograms are just counters" shape as the wire-frozen
+//! `batch_size_hist`, which is what makes shard → router aggregation
+//! lossless.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave; bounds quantile relative error at
+/// `1 / SUB_BUCKETS`.
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total buckets: 16 exact singleton buckets for values 0..16, then
+/// 16 sub-buckets for each of the 60 octaves `[2^4, 2^5) .. [2^63, 2^64)`.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index for a value. Values below 16 get singleton buckets
+/// (index == value, zero error); larger values land in the sub-bucket
+/// of their octave, which for `v` in `[16, 32)` degenerates to
+/// `index == v` as well, so the two regimes join seamlessly.
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let octave = msb - SUB_BITS as usize;
+    let sub = ((v >> octave) & (SUB_BUCKETS as u64 - 1)) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// Largest value that maps to `index` — the edge quantiles report.
+/// Reported quantiles are therefore never below the true order
+/// statistic and overshoot it by at most a factor of `1 + 1/16`.
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+    let lower = ((SUB_BUCKETS + sub) as u64) << octave;
+    lower + ((1u64 << octave) - 1)
+}
+
+/// A fixed-shape histogram of `u64` samples (microseconds by
+/// convention) safe to record into from any thread.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    sum: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Relaxed ordering: buckets are independent
+    /// statistics, not synchronization edges.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket counts out. The sample count is derived from
+    /// the buckets themselves, so a snapshot is always internally
+    /// consistent even while writers race.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets: mergeable,
+/// comparable, and the unit everything downstream (stats quantile
+/// scalars, the exposition endpoint) consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Bucket counts, indexed by [`bucket_of`]. May be shorter than
+    /// [`BUCKET_COUNT`] (an empty snapshot is `vec![]`); missing
+    /// trailing buckets are zero.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples — always the exact sum of the buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise accumulation. Associative and commutative, and
+    /// lossless: merging snapshots then asking for a quantile is the
+    /// same as recording every underlying sample into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (slot, &v) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += v;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Upper edge of the bucket holding the rank-`q` sample
+    /// (`q` in `[0, 1]`). At least the true order statistic, at most
+    /// `1 + 1/16` times it; 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_edge(index);
+            }
+        }
+        bucket_upper_edge(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / count as f64
+    }
+
+    /// The standard serving quartet: p50, p90, p99, p999.
+    pub fn summary(&self) -> [u64; 4] {
+        [
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_of(v), v as usize, "v={v}");
+            assert_eq!(bucket_upper_edge(v as usize), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every bucket's upper edge maps back to that bucket, edges
+        // are strictly increasing, and the last bucket ends at MAX.
+        let mut prev = None;
+        for index in 0..BUCKET_COUNT {
+            let edge = bucket_upper_edge(index);
+            assert_eq!(bucket_of(edge), index, "index={index} edge={edge}");
+            if let Some(p) = prev {
+                assert!(edge > p, "index={index}");
+                // The next value after the previous edge starts this bucket.
+                assert_eq!(bucket_of(p + 1), index);
+            }
+            prev = Some(edge);
+        }
+        assert_eq!(prev, Some(u64::MAX));
+        assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_order_statistic() {
+        let h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| i * i % 90_001).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * 1000.0f64).ceil() as usize).clamp(1, 1000);
+            let truth = samples[rank - 1];
+            let est = snap.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(
+                est as u128 * 16 <= truth as u128 * 17,
+                "q={q}: {est} overshoots {truth} by more than 1/16"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in [0, 1, 15, 16, 17, 1000, 123_456, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3, 99, 64_000, 7] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.summary(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 100);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

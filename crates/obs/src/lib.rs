@@ -1,0 +1,24 @@
+//! # aware-obs — observability substrate for the serving stack
+//!
+//! Std-only building blocks threaded through `aware-serve` and
+//! `aware-cluster`:
+//!
+//! * [`hist`] — mergeable log-linear latency histograms on atomic
+//!   buckets. Recording is a single relaxed `fetch_add`; snapshots
+//!   merge bucket-wise (like the wire-frozen `batch_size_hist`), so a
+//!   router can fold shard distributions without losing rank
+//!   information beyond the bucket's bounded relative error.
+//! * [`log`] — a leveled structured logger emitting `key=value` text
+//!   or JSON lines to stderr. Replaces the ad-hoc `eprintln!` paths;
+//!   the `logline!` macro skips all field formatting when the level is
+//!   filtered out.
+//! * [`trace`] — trace ids that ride the existing envelope `id` field:
+//!   ids at or above [`trace::TRACE_MIN`] are traces, so old peers
+//!   echo them untouched and no protocol version bump is needed.
+//! * [`expose`] — a hand-rolled HTTP GET server and Prometheus-style
+//!   text renderer behind `--metrics-addr`.
+
+pub mod expose;
+pub mod hist;
+pub mod log;
+pub mod trace;

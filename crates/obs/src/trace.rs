@@ -1,0 +1,88 @@
+//! Trace ids that ride the existing wire envelope `id` field.
+//!
+//! The serving protocol's envelopes already carry an optional `u64`
+//! correlation id that every peer — including old ones — echoes back
+//! untouched. Trace ids exploit that: any envelope id at or above
+//! [`TRACE_MIN`] (2^32) is a trace id. Clients that allocate small
+//! sequential ids (the built-in `Client` starts at 1) never collide
+//! with the trace range, old peers keep echoing faithfully, and no
+//! protocol version bump or frame change is needed. The router stamps
+//! its shard sub-batches with the front-end trace so one
+//! `grep trace=<hex>` spans both processes' logs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Smallest envelope id that is interpreted as a trace id.
+pub const TRACE_MIN: u64 = 1 << 32;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+/// SplitMix64 finalizer — the same mixer the service uses for route
+/// hashing; full-period, so distinct inputs give distinct outputs.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh trace id: unique within the process (counter-driven),
+/// seeded per-process so concurrent processes don't collide in
+/// practice, and always `>= TRACE_MIN`.
+pub fn next_trace_id() -> u64 {
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix(nanos ^ (std::process::id() as u64) << 32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    mix(seed.wrapping_add(n)) | TRACE_MIN
+}
+
+/// Adopts an incoming envelope id as the trace when it is in the
+/// trace range; otherwise starts a fresh trace. This is what the
+/// front end of every server runs per envelope.
+pub fn adopt_or_new(envelope_id: Option<u64>) -> u64 {
+    match envelope_id {
+        Some(id) if id >= TRACE_MIN => id,
+        _ => next_trace_id(),
+    }
+}
+
+/// Canonical 16-hex rendering used in every log record, so the same
+/// string greps across processes.
+pub fn fmt_trace(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_in_the_trace_range_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert!(id >= TRACE_MIN);
+            assert!(seen.insert(id), "duplicate trace id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn adoption_keeps_traces_and_replaces_plain_ids() {
+        assert_eq!(adopt_or_new(Some(TRACE_MIN + 7)), TRACE_MIN + 7);
+        assert!(adopt_or_new(Some(41)) >= TRACE_MIN);
+        assert!(adopt_or_new(None) >= TRACE_MIN);
+    }
+
+    #[test]
+    fn hex_rendering_is_fixed_width() {
+        assert_eq!(fmt_trace(TRACE_MIN), "0000000100000000");
+        assert_eq!(fmt_trace(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the log-linear histogram: merge must be
+//! lossless and associative, and quantile estimates must respect the
+//! documented bucket error bounds — the guarantees the router's
+//! shard-merging stats path and the exposition endpoint lean on.
+
+use aware_obs::hist::{bucket_of, bucket_upper_edge, HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Wide-dynamic-range sample strategy: raw microsecond values spread
+/// across many octaves (shift by 0..48 bits), so buckets from the
+/// exact region through deep octaves all get exercised.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..1024, 0u32..48).prop_map(|(base, shift)| base << shift),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_lossless(a in samples(), b in samples()) {
+        // Merging two snapshots equals recording the concatenation.
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&all));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(), b in samples(), c in samples()
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_error_bounds(
+        raw in samples(), q in 0.0f64..=1.0
+    ) {
+        prop_assume!(!raw.is_empty());
+        let snap = record_all(&raw);
+        let mut sorted = raw.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = snap.quantile(q);
+        // Never below the true order statistic…
+        prop_assert!(est >= truth, "q={} est={} truth={}", q, est, truth);
+        // …and above it by at most the bucket's relative width (1/16).
+        prop_assert!(
+            est as u128 * 16 <= truth as u128 * 17,
+            "q={} est={} overshoots truth={} beyond 1/16",
+            q, est, truth
+        );
+    }
+
+    #[test]
+    fn bucketing_is_monotone_and_self_consistent(v in (0u64..1024, 0u32..54)) {
+        let v = v.0 << v.1;
+        let index = bucket_of(v);
+        let edge = bucket_upper_edge(index);
+        // The value sits at or below its bucket's upper edge, and the
+        // edge maps back to the same bucket.
+        prop_assert!(v <= edge);
+        prop_assert_eq!(bucket_of(edge), index);
+        // Monotone: the next value maps to the same or next bucket.
+        if v < u64::MAX {
+            let next = bucket_of(v + 1);
+            prop_assert!(next == index || next == index + 1);
+        }
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(raw in samples()) {
+        let snap = record_all(&raw);
+        prop_assert_eq!(snap.count(), raw.len() as u64);
+        let expected: u64 = raw.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected);
+    }
+}

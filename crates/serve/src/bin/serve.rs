@@ -4,7 +4,15 @@
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--rows 20000]
 //!       [--max-sessions N] [--idle-timeout-secs S] [--seed K]
 //!       [--max-pending N] [--data-dir DIR] [--snapshot-every SECS]
+//!       [--log-level LEVEL] [--log-json] [--slow-ms MS]
+//!       [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! Observability: `--log-level` (debug|info|warn|error, default info)
+//! and `--log-json` control the structured stderr logger; `--slow-ms`
+//! emits a `slow_query` record (with trace id, stage timings, and
+//! cache deltas) for every command at or past the threshold;
+//! `--metrics-addr` serves Prometheus text exposition over HTTP GET.
 //!
 //! With `--data-dir`, sessions are durable: eviction spills to disk,
 //! commands addressing spilled sessions restore them lazily, and a
@@ -40,6 +48,10 @@ struct Args {
     max_pending: usize,
     data_dir: Option<PathBuf>,
     snapshot_every: Duration,
+    log_level: aware_obs::log::Level,
+    log_json: bool,
+    slow_ms: Option<u64>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
         max_pending: 4096,
         data_dir: None,
         snapshot_every: Duration::from_secs(30),
+        log_level: aware_obs::log::Level::Info,
+        log_json: false,
+        slow_ms: None,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -104,11 +120,27 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--snapshot-every: {e}"))?,
                 )
             }
+            "--log-level" => {
+                let raw = value("--log-level")?;
+                args.log_level = aware_obs::log::Level::parse(&raw)
+                    .ok_or_else(|| format!("--log-level: unknown level '{raw}'"))?
+            }
+            "--log-json" => args.log_json = true,
+            "--slow-ms" => {
+                args.slow_ms = Some(
+                    value("--slow-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                )
+            }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--workers N] [--rows N] \
                      [--max-sessions N] [--idle-timeout-secs S] [--seed K] \
-                     [--max-pending N] [--data-dir DIR] [--snapshot-every SECS]"
+                     [--max-pending N] [--data-dir DIR] [--snapshot-every SECS] \
+                     [--log-level debug|info|warn|error] [--log-json] \
+                     [--slow-ms MS] [--metrics-addr HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +159,8 @@ fn main() {
         }
     };
 
+    aware_obs::log::init(args.log_level, args.log_json);
+
     let mut config = ServiceConfig {
         max_sessions: args.max_sessions,
         idle_timeout: args.idle_timeout,
@@ -134,6 +168,7 @@ fn main() {
         max_pending_per_session: args.max_pending,
         data_dir: args.data_dir.clone(),
         snapshot_every: args.data_dir.as_ref().map(|_| args.snapshot_every),
+        slow_ms: args.slow_ms,
         ..ServiceConfig::default()
     };
     if let Some(w) = args.workers {
@@ -150,13 +185,27 @@ fn main() {
     let handle = service.handle();
     handle.register_table("census", table);
 
-    let server = match TcpServer::bind(&args.addr, handle) {
+    let server = match TcpServer::bind(&args.addr, handle.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: cannot bind {}: {e}", args.addr);
             std::process::exit(1);
         }
     };
+    // Held until after join(): dropping it would stop the endpoint.
+    let _metrics = args.metrics_addr.as_ref().map(|addr| {
+        let h = handle.clone();
+        match aware_obs::expose::MetricsServer::bind(addr, move || h.metrics_text()) {
+            Ok(m) => {
+                eprintln!("metrics exposition on http://{}/metrics", m.local_addr());
+                m
+            }
+            Err(e) => {
+                eprintln!("serve: cannot bind metrics addr {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     match (&config.data_dir, config.snapshot_every) {
         (Some(dir), Some(every)) if every.is_zero() => eprintln!(
             "persistence: {} (synchronous — every mutation hits disk)",

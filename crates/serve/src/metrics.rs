@@ -1,7 +1,10 @@
-//! Server-wide metrics: lock-free monotone counters plus a live-session
-//! gauge, snapshotted on demand by the `stats` command.
+//! Server-wide metrics: lock-free monotone counters, per-command-kind
+//! latency histograms with a stage breakdown, and a live-session
+//! gauge, snapshotted on demand by the `stats` command and rendered by
+//! the `--metrics-addr` exposition endpoint.
 
-use crate::proto::{Encoding, StatsSnapshot, BATCH_SIZE_BUCKETS};
+use crate::proto::{Encoding, StatsSnapshot, BATCH_SIZE_BUCKETS, COMMAND_KINDS};
+use aware_obs::hist::{HistogramSnapshot, LatencyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counter block shared by every worker and connection thread.
@@ -9,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// All counters are cumulative since server start except
 /// `sessions_live`, which is a gauge derived from the registry at
 /// snapshot time. Relaxed ordering is deliberate: each counter is an
-/// independent statistic, not a synchronization edge.
+/// independent statistic, not a synchronization edge. Histogram
+/// recording is likewise one relaxed `fetch_add` per sample.
 #[derive(Debug, Default)]
 pub struct Metrics {
     sessions_created: AtomicU64,
@@ -25,7 +29,23 @@ pub struct Metrics {
     overloaded: AtomicU64,
     ndjson_requests: AtomicU64,
     binary_frames: AtomicU64,
+    slow_queries: AtomicU64,
     batch_size_hist: [AtomicU64; 5],
+    /// End-to-end command latency (queue wait + execute), bucketed by
+    /// [`COMMAND_KINDS`] index. The all-kinds distribution is the
+    /// bucket-wise merge of these at snapshot time — no separate
+    /// total histogram to double-record into.
+    latency_by_kind: [LatencyHistogram; COMMAND_KINDS.len()],
+    /// Stage breakdown: time an accepted unit waited in a worker's
+    /// queue before pickup.
+    stage_queue_wait: LatencyHistogram,
+    /// Stage breakdown: time spent executing one command.
+    stage_execute: LatencyHistogram,
+    /// Stage breakdown: time writing one durable session snapshot
+    /// (tmp + fsync + rename).
+    stage_snapshot_flush: LatencyHistogram,
+    /// Stage breakdown: time encoding + writing one reply to the wire.
+    stage_wire_encode: LatencyHistogram,
 }
 
 /// Histogram bucket index for a batch of `n` commands; edges are
@@ -95,12 +115,72 @@ impl Metrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One command past the `--slow-ms` threshold (a slow-query record
+    /// was emitted).
+    pub fn slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// End-to-end latency (µs) of one command of the given
+    /// [`COMMAND_KINDS`] index.
+    pub fn observe_command(&self, kind: usize, micros: u64) {
+        self.latency_by_kind[kind.min(COMMAND_KINDS.len() - 1)].record(micros);
+    }
+
+    /// Queue wait (µs) of one dispatch unit: enqueue → worker pickup.
+    pub fn observe_queue_wait(&self, micros: u64) {
+        self.stage_queue_wait.record(micros);
+    }
+
+    /// Execute stage (µs) of one command.
+    pub fn observe_execute(&self, micros: u64) {
+        self.stage_execute.record(micros);
+    }
+
+    /// One durable snapshot flush (µs).
+    pub fn observe_snapshot_flush(&self, micros: u64) {
+        self.stage_snapshot_flush.record(micros);
+    }
+
+    /// One reply encoded + written to the wire (µs).
+    pub fn observe_wire_encode(&self, micros: u64) {
+        self.stage_wire_encode.record(micros);
+    }
+
+    /// The all-kinds latency distribution: bucket-wise merge of every
+    /// per-kind histogram.
+    pub fn latency(&self) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::default();
+        for h in &self.latency_by_kind {
+            total.merge(&h.snapshot());
+        }
+        total
+    }
+
+    /// Latency distribution of one command kind.
+    pub fn latency_of_kind(&self, kind: usize) -> HistogramSnapshot {
+        self.latency_by_kind[kind.min(COMMAND_KINDS.len() - 1)].snapshot()
+    }
+
+    /// The four stage distributions, in (queue wait, execute,
+    /// snapshot flush, wire encode) order.
+    pub fn stages(&self) -> [(&'static str, HistogramSnapshot); 4] {
+        [
+            ("queue_wait", self.stage_queue_wait.snapshot()),
+            ("execute", self.stage_execute.snapshot()),
+            ("snapshot_flush", self.stage_snapshot_flush.snapshot()),
+            ("wire_encode", self.stage_wire_encode.snapshot()),
+        ]
+    }
+
     /// Snapshot with the given live-session gauge.
     pub fn snapshot(&self, sessions_live: u64) -> StatsSnapshot {
         let mut batch_size_hist = [0u64; 5];
         for (slot, counter) in batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
             *slot = counter.load(Ordering::Relaxed);
         }
+        let [latency_p50_us, latency_p90_us, latency_p99_us, latency_p999_us] =
+            self.latency().summary();
         StatsSnapshot {
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
@@ -116,19 +196,26 @@ impl Metrics {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             ndjson_requests: self.ndjson_requests.load(Ordering::Relaxed),
             binary_frames: self.binary_frames.load(Ordering::Relaxed),
-            // Evaluation-cache counters live with each dataset's cache
-            // and the persisted gauge with the snapshot store, not here;
-            // the service folds them in at snapshot time. The cluster
-            // counters and per-shard table belong to a router, not a
-            // shard.
+            // Evaluation-cache counters live with each dataset's cache,
+            // the persisted gauge with the snapshot store, and uptime
+            // plus per-session risk with the registry — the service
+            // folds them in at snapshot time. The cluster counters and
+            // per-shard table belong to a router, not a shard.
             cache_hits: 0,
             cache_misses: 0,
             persisted: 0,
             forwarded: 0,
             migrations: 0,
             shard_errors: 0,
+            uptime_seconds: 0,
+            latency_p50_us,
+            latency_p90_us,
+            latency_p99_us,
+            latency_p999_us,
+            slow_queries: self.slow_queries.load(Ordering::Relaxed),
             batch_size_hist,
             shards: Vec::new(),
+            sessions: Vec::new(),
         }
     }
 }
@@ -174,6 +261,34 @@ mod tests {
         assert_eq!(s.overloaded, 1);
         assert_eq!(s.ndjson_requests, 1);
         assert_eq!(s.binary_frames, 2);
+    }
+
+    #[test]
+    fn latency_histograms_merge_across_kinds_into_the_snapshot() {
+        let m = Metrics::new();
+        m.observe_command(0, 100);
+        m.observe_command(2, 300);
+        m.observe_command(2, 50_000);
+        m.observe_queue_wait(5);
+        m.observe_execute(95);
+        m.observe_snapshot_flush(2_000);
+        m.observe_wire_encode(8);
+        m.slow_query();
+        assert_eq!(m.latency().count(), 3);
+        assert_eq!(m.latency_of_kind(2).count(), 2);
+        let s = m.snapshot(0);
+        // p50 of {100, 300, 50000} is 300; the histogram may overshoot
+        // by at most 1/16.
+        assert!(
+            s.latency_p50_us >= 300 && s.latency_p50_us as u128 * 16 <= 300 * 17,
+            "{}",
+            s.latency_p50_us
+        );
+        assert!(s.latency_p999_us >= 50_000);
+        assert_eq!(s.slow_queries, 1);
+        for (name, stage) in m.stages() {
+            assert_eq!(stage.count(), 1, "{name}");
+        }
     }
 
     #[test]

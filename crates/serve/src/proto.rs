@@ -142,6 +142,9 @@ pub enum Envelope {
 }
 
 /// A v2 reply envelope, mirroring [`Envelope`].
+// Stats responses carry the full snapshot inline; a Reply is built,
+// encoded, and dropped on the spot, so the size gap never costs a copy.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
     /// Successful negotiation: the server's accepted version/encoding
@@ -817,20 +820,26 @@ impl Command {
 
     /// Wire name of the command.
     pub fn name(&self) -> &'static str {
+        COMMAND_KINDS[self.kind_index()]
+    }
+
+    /// Index into [`COMMAND_KINDS`] — the key the per-command-kind
+    /// latency histograms are bucketed by.
+    pub fn kind_index(&self) -> usize {
         match self {
-            Command::CreateSession { .. } => "create_session",
-            Command::CreateSessionAs { .. } => "create_session_as",
-            Command::AddVisualization { .. } => "add_visualization",
-            Command::SetPolicy { .. } => "set_policy",
-            Command::Gauge { .. } => "gauge",
-            Command::Transcript { .. } => "transcript",
-            Command::CloseSession { .. } => "close_session",
-            Command::ExportSession { .. } => "export_session",
-            Command::ImportSession { .. } => "import_session",
-            Command::ListDatasets => "list_datasets",
-            Command::JoinShard { .. } => "join_shard",
-            Command::LeaveShard { .. } => "leave_shard",
-            Command::Stats => "stats",
+            Command::CreateSession { .. } => 0,
+            Command::CreateSessionAs { .. } => 1,
+            Command::AddVisualization { .. } => 2,
+            Command::SetPolicy { .. } => 3,
+            Command::Gauge { .. } => 4,
+            Command::Transcript { .. } => 5,
+            Command::CloseSession { .. } => 6,
+            Command::ExportSession { .. } => 7,
+            Command::ImportSession { .. } => 8,
+            Command::ListDatasets => 9,
+            Command::JoinShard { .. } => 10,
+            Command::LeaveShard { .. } => 11,
+            Command::Stats => 12,
         }
     }
 
@@ -1043,6 +1052,26 @@ impl HypothesisReport {
 /// everything larger. The edges match the serve bench's batch sizes.
 pub const BATCH_SIZE_BUCKETS: [u64; 4] = [1, 8, 64, 256];
 
+/// Wire names of every command, in [`Command::kind_index`] order.
+/// Metrics key their per-kind latency histograms by this index, and
+/// the exposition endpoint labels the resulting summaries with these
+/// names.
+pub const COMMAND_KINDS: [&str; 13] = [
+    "create_session",
+    "create_session_as",
+    "add_visualization",
+    "set_policy",
+    "gauge",
+    "transcript",
+    "close_session",
+    "export_session",
+    "import_session",
+    "list_datasets",
+    "join_shard",
+    "leave_shard",
+    "stats",
+];
+
 /// One registered dataset as reported by [`Command::ListDatasets`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetInfo {
@@ -1073,8 +1102,30 @@ pub struct ShardHealth {
     pub errors: u64,
 }
 
+/// Per-session risk telemetry, as reported in `stats` — the
+/// information-usage view of PAPERS.md made operational: risk is a
+/// gauge to export while the exploration runs, not just a terminal
+/// verdict. JSON-surface only, like [`ShardHealth`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionRisk {
+    pub session: SessionId,
+    pub dataset: String,
+    /// Remaining α-wealth.
+    pub wealth: f64,
+    /// Hypotheses tested so far.
+    pub tests_run: u64,
+    /// Rejections (discoveries) so far.
+    pub discoveries: u64,
+    /// Cumulative α spent: the sum of every test's bid — the
+    /// information-usage-style readout of how much error budget the
+    /// exploration has consumed to date.
+    pub risk_spent: f64,
+}
+
 /// Server-wide counters, as returned by [`Command::Stats`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// `PartialEq` only (no `Eq`): [`SessionRisk`] carries `f64` gauges.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     pub sessions_created: u64,
     pub sessions_closed: u64,
@@ -1115,13 +1166,36 @@ pub struct StatsSnapshot {
     pub migrations: u64,
     /// Connection-level shard failures a cluster router observed.
     pub shard_errors: u64,
+    /// Whole seconds since the process (registry epoch) started.
+    /// Binary field 20 on the count-prefixed scalar list.
+    pub uptime_seconds: u64,
+    /// Command latency quantiles in microseconds, reconstructed from
+    /// the server's log-linear histograms (relative error ≤ 1/16).
+    /// Queue wait + execute, merged across every command kind. A
+    /// router reports the max over itself and its shards — an honest
+    /// upper bound, since quantiles don't sum. Binary fields 21–24.
+    pub latency_p50_us: u64,
+    pub latency_p90_us: u64,
+    pub latency_p99_us: u64,
+    pub latency_p999_us: u64,
+    /// Commands that crossed the `--slow-ms` threshold and emitted a
+    /// slow-query record. Binary field 25.
+    pub slow_queries: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
     /// Per-shard health breakdown (cluster routers only; empty on a
     /// plain serve). JSON-surface only: the binary stats payload is
     /// the scalar list + histogram, unchanged.
     pub shards: Vec<ShardHealth>,
+    /// Per-session risk telemetry (capped at the busiest
+    /// [`MAX_RISK_SESSIONS`] by id). JSON-surface only, like `shards`.
+    pub sessions: Vec<SessionRisk>,
 }
+
+/// Cap on the per-session risk rows a `stats` reply carries: enough
+/// for dashboards, bounded so a 65k-session server doesn't ship a
+/// megabyte of telemetry per scrape.
+pub const MAX_RISK_SESSIONS: usize = 128;
 
 impl StatsSnapshot {
     fn to_json(&self) -> Json {
@@ -1152,6 +1226,12 @@ impl StatsSnapshot {
             ("forwarded", Json::Num(self.forwarded as f64)),
             ("migrations", Json::Num(self.migrations as f64)),
             ("shard_errors", Json::Num(self.shard_errors as f64)),
+            ("uptime_seconds", Json::Num(self.uptime_seconds as f64)),
+            ("latency_p50_us", Json::Num(self.latency_p50_us as f64)),
+            ("latency_p90_us", Json::Num(self.latency_p90_us as f64)),
+            ("latency_p99_us", Json::Num(self.latency_p99_us as f64)),
+            ("latency_p999_us", Json::Num(self.latency_p999_us as f64)),
+            ("slow_queries", Json::Num(self.slow_queries as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1175,6 +1255,26 @@ impl StatsSnapshot {
                                 ("sessions_live", Json::Num(s.sessions_live as f64)),
                                 ("forwarded", Json::Num(s.forwarded as f64)),
                                 ("errors", Json::Num(s.errors as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.sessions.is_empty() {
+            pairs.push((
+                "sessions",
+                Json::Arr(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("session", Json::Num(s.session as f64)),
+                                ("dataset", Json::Str(s.dataset.clone())),
+                                ("wealth", Json::Num(s.wealth)),
+                                ("tests_run", Json::Num(s.tests_run as f64)),
+                                ("discoveries", Json::Num(s.discoveries as f64)),
+                                ("risk_spent", Json::Num(s.risk_spent)),
                             ])
                         })
                         .collect(),
@@ -1216,6 +1316,12 @@ impl StatsSnapshot {
             forwarded: lenient("forwarded"),
             migrations: lenient("migrations"),
             shard_errors: lenient("shard_errors"),
+            uptime_seconds: lenient("uptime_seconds"),
+            latency_p50_us: lenient("latency_p50_us"),
+            latency_p90_us: lenient("latency_p90_us"),
+            latency_p99_us: lenient("latency_p99_us"),
+            latency_p999_us: lenient("latency_p999_us"),
+            slow_queries: lenient("slow_queries"),
             batch_size_hist,
             shards: match v.get("shards").and_then(Json::as_arr) {
                 None => Vec::new(),
@@ -1231,6 +1337,26 @@ impl StatsSnapshot {
                                 .unwrap_or(0),
                             forwarded: s.get("forwarded").and_then(Json::as_u64).unwrap_or(0),
                             errors: s.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<_, ServeError>>()?,
+            },
+            sessions: match v.get("sessions").and_then(Json::as_arr) {
+                None => Vec::new(),
+                Some(items) => items
+                    .iter()
+                    .map(|s| {
+                        Ok(SessionRisk {
+                            session: req_u64(s, "session", "session risk")?,
+                            dataset: s
+                                .get("dataset")
+                                .and_then(Json::as_str)
+                                .unwrap_or_default()
+                                .to_string(),
+                            wealth: s.get("wealth").and_then(Json::as_f64).unwrap_or(0.0),
+                            tests_run: s.get("tests_run").and_then(Json::as_u64).unwrap_or(0),
+                            discoveries: s.get("discoveries").and_then(Json::as_u64).unwrap_or(0),
+                            risk_spent: s.get("risk_spent").and_then(Json::as_f64).unwrap_or(0.0),
                         })
                     })
                     .collect::<Result<_, ServeError>>()?,

@@ -104,6 +104,12 @@ pub struct ServiceConfig {
     /// command writes its session's snapshot before its response is
     /// released; `None` snapshots only on eviction/spill and shutdown.
     pub snapshot_every: Option<Duration>,
+    /// Slow-query threshold in milliseconds: a command whose queue
+    /// wait + execute crosses it emits a structured slow-query record
+    /// (trace id, session, dataset, predicate fingerprint, cache
+    /// hit/miss delta, stage timings) to the process log. `None` (the
+    /// default) disables slow-query records entirely.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +125,7 @@ impl Default for ServiceConfig {
             max_pending_per_session: crate::proto::MAX_BATCH_ITEMS,
             data_dir: None,
             snapshot_every: None,
+            slow_ms: None,
         }
     }
 }
@@ -212,7 +219,8 @@ impl Inner {
 }
 
 /// Stats snapshot with the evaluation-cache counters summed over every
-/// registered dataset folded in, plus the persisted-session gauge.
+/// registered dataset folded in, plus the persisted-session gauge,
+/// process uptime, and the capped per-session risk telemetry.
 fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
     let mut snapshot = inner.metrics.snapshot(inner.registry.len());
     for dataset in inner.datasets.read().unwrap().values() {
@@ -225,7 +233,39 @@ fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
     if let Some(store) = &inner.store {
         snapshot.persisted = store.persisted();
     }
+    snapshot.uptime_seconds = inner.registry.now_ms() / 1000;
+    snapshot.sessions = session_risk(inner);
     snapshot
+}
+
+/// Per-session risk rows for `stats`: wealth, tests, discoveries, and
+/// the cumulative α spent (the sum of every test's bid — an
+/// information-usage-style readout of consumed error budget). Sorted
+/// by id and capped at [`crate::proto::MAX_RISK_SESSIONS`].
+fn session_risk(inner: &Inner) -> Vec<crate::proto::SessionRisk> {
+    let mut entries = inner.registry.entries();
+    entries.sort_by_key(|e| e.id);
+    entries.truncate(crate::proto::MAX_RISK_SESSIONS);
+    entries
+        .iter()
+        .map(|entry| {
+            let dataset = entry.meta.lock().unwrap().dataset.clone();
+            let session = entry.session.lock().unwrap();
+            let risk_spent = session
+                .hypotheses()
+                .iter()
+                .filter_map(|h| h.record().map(|r| r.bid))
+                .sum();
+            crate::proto::SessionRisk {
+                session: entry.id,
+                dataset,
+                wealth: session.wealth(),
+                tests_run: session.tests_run() as u64,
+                discoveries: session.discoveries().len() as u64,
+                risk_spent,
+            }
+        })
+        .collect()
 }
 
 /// Builds the durable image of a session; call with the session mutex
@@ -242,16 +282,27 @@ fn image_of(entry: &SessionEntry, session: &crate::registry::ServedSession) -> S
     }
 }
 
-/// Writes `image` to the store (when one is configured), reporting
-/// failures without tearing the service down.
+/// Writes `image` to the store (when one is configured), recording the
+/// flush duration and reporting failures without tearing the service
+/// down.
 fn save_image(inner: &Inner, image: &SessionImage) -> bool {
     let Some(store) = &inner.store else {
         return true;
     };
-    match store.save(image) {
+    let start = std::time::Instant::now();
+    let result = store.save(image);
+    inner
+        .metrics
+        .observe_snapshot_flush(start.elapsed().as_micros() as u64);
+    match result {
         Ok(()) => true,
         Err(e) => {
-            eprintln!("aware-serve: failed to persist session {}: {e}", image.id);
+            aware_obs::logline!(
+                aware_obs::log::Level::Error,
+                "persist_failed",
+                session = image.id,
+                error = e,
+            );
             false
         }
     }
@@ -304,6 +355,12 @@ enum Job {
         mode: BatchMode,
         /// The pending-table key to release, one slot per item executed.
         pending_key: u64,
+        /// When the unit was queued — the worker measures queue wait
+        /// (enqueue → pickup) from this.
+        enqueued: std::time::Instant,
+        /// Trace id attributed to every item (slow-query records carry
+        /// it, so one grep follows a command across processes).
+        trace: u64,
         reply: mpsc::Sender<(usize, Response)>,
     },
     Shutdown,
@@ -324,6 +381,23 @@ pub trait Dispatch {
     fn record_protocol_error(&self);
     /// Counts one wire message on the given surface.
     fn record_wire_request(&self, encoding: crate::proto::Encoding);
+    /// [`Dispatch::call`] attributed to a trace id (stamped by the
+    /// wire front end). The default ignores the trace — a dispatcher
+    /// without tracing support still works.
+    fn call_traced(&self, cmd: Command, trace: u64) -> Response {
+        let _ = trace;
+        self.call(cmd)
+    }
+    /// [`Dispatch::call_batch_mode`] attributed to a trace id.
+    fn call_batch_traced(&self, cmds: Vec<Command>, mode: BatchMode, trace: u64) -> Vec<Response> {
+        let _ = trace;
+        self.call_batch_mode(cmds, mode)
+    }
+    /// Records the microseconds spent encoding + writing one reply to
+    /// the wire. Default: not measured.
+    fn record_wire_encode(&self, micros: u64) {
+        let _ = micros;
+    }
 }
 
 /// A cloneable, thread-safe client of an in-process service — the same
@@ -350,6 +424,18 @@ impl Dispatch for ServiceHandle {
     fn record_wire_request(&self, encoding: crate::proto::Encoding) {
         ServiceHandle::record_wire_request(self, encoding)
     }
+
+    fn call_traced(&self, cmd: Command, trace: u64) -> Response {
+        ServiceHandle::call_traced(self, cmd, trace)
+    }
+
+    fn call_batch_traced(&self, cmds: Vec<Command>, mode: BatchMode, trace: u64) -> Vec<Response> {
+        ServiceHandle::call_batch_traced(self, cmds, mode, trace)
+    }
+
+    fn record_wire_encode(&self, micros: u64) {
+        self.inner.metrics.observe_wire_encode(micros);
+    }
 }
 
 fn shutdown_error() -> Response {
@@ -370,10 +456,22 @@ impl ServiceHandle {
     /// Blocks until the session's worker has processed every earlier
     /// command addressed to that session (FIFO per session).
     pub fn call(&self, cmd: Command) -> Response {
+        self.call_traced(cmd, aware_obs::trace::next_trace_id())
+    }
+
+    /// [`ServiceHandle::call`] attributed to an explicit trace id (the
+    /// TCP front end stamps the one it adopted from — or minted for —
+    /// the envelope).
+    pub fn call_traced(&self, cmd: Command, trace: u64) -> Response {
         self.inner.metrics.batch(1);
         self.inner.metrics.command();
         if matches!(cmd, Command::Stats) {
-            return Response::Stats(snapshot_with_caches(&self.inner));
+            let start = std::time::Instant::now();
+            let response = Response::Stats(snapshot_with_caches(&self.inner));
+            self.inner
+                .metrics
+                .observe_command(cmd.kind_index(), start.elapsed().as_micros() as u64);
+            return response;
         }
         let (assigned, route) = match cmd.session() {
             Some(sid) => (None, sid),
@@ -409,6 +507,8 @@ impl ServiceHandle {
             }],
             mode: BatchMode::Continue,
             pending_key: route,
+            enqueued: std::time::Instant::now(),
+            trace,
             reply: reply_tx,
         };
         if self.senders[worker].send(job).is_err() {
@@ -445,6 +545,17 @@ impl ServiceHandle {
     /// other sessions are untouched — sessions share no statistical
     /// state, so there is nothing coherent to abort across them.
     pub fn call_batch_mode(&self, cmds: Vec<Command>, mode: BatchMode) -> Vec<Response> {
+        self.call_batch_traced(cmds, mode, aware_obs::trace::next_trace_id())
+    }
+
+    /// [`ServiceHandle::call_batch_mode`] attributed to an explicit
+    /// trace id; every unit the batch splits into carries it.
+    pub fn call_batch_traced(
+        &self,
+        cmds: Vec<Command>,
+        mode: BatchMode,
+        trace: u64,
+    ) -> Vec<Response> {
         let n = cmds.len();
         self.inner.metrics.batch(n);
         let mut slots: Vec<Option<Response>> = Vec::new();
@@ -459,7 +570,11 @@ impl ServiceHandle {
             // Stats is session-free and read-only: answer inline rather
             // than serializing it behind some arbitrary worker's queue.
             if matches!(cmd, Command::Stats) {
+                let start = std::time::Instant::now();
                 slots[index] = Some(Response::Stats(snapshot_with_caches(&self.inner)));
+                self.inner
+                    .metrics
+                    .observe_command(cmd.kind_index(), start.elapsed().as_micros() as u64);
                 continue;
             }
             let (assigned, route) = match cmd.session() {
@@ -513,6 +628,8 @@ impl ServiceHandle {
                 items,
                 mode,
                 pending_key: route,
+                enqueued: std::time::Instant::now(),
+                trace,
                 reply: reply_tx.clone(),
             };
             if let Err(mpsc::SendError(job)) = self.senders[worker].send(job) {
@@ -604,6 +721,213 @@ impl ServiceHandle {
     pub fn record_wire_request(&self, encoding: crate::proto::Encoding) {
         self.inner.metrics.wire_request(encoding);
     }
+
+    /// Renders every counter, gauge, and histogram as Prometheus text
+    /// exposition — the body the `--metrics-addr` endpoint serves.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.inner)
+    }
+}
+
+/// Prometheus text exposition of the whole service: scalar counters
+/// and gauges from the stats snapshot, per-command-kind and per-stage
+/// latency summaries, per-dataset evaluation-cache occupancy, snapshot
+/// store health, and per-session risk telemetry.
+fn render_metrics(inner: &Inner) -> String {
+    use aware_obs::expose::TextRender;
+    let snapshot = snapshot_with_caches(inner);
+    let mut r = TextRender::new();
+
+    r.family("aware_up", "gauge", "1 while the process serves.");
+    r.sample("aware_up", &[], 1);
+    r.family("aware_uptime_seconds", "gauge", "Seconds since start.");
+    r.sample("aware_uptime_seconds", &[], snapshot.uptime_seconds);
+
+    r.family("aware_sessions_live", "gauge", "Live sessions.");
+    r.sample("aware_sessions_live", &[], snapshot.sessions_live);
+    for (name, help, value) in [
+        (
+            "aware_sessions_created_total",
+            "Sessions created.",
+            snapshot.sessions_created,
+        ),
+        (
+            "aware_sessions_closed_total",
+            "Sessions closed.",
+            snapshot.sessions_closed,
+        ),
+        (
+            "aware_sessions_evicted_total",
+            "Sessions evicted.",
+            snapshot.sessions_evicted,
+        ),
+        (
+            "aware_commands_total",
+            "Commands accepted.",
+            snapshot.commands,
+        ),
+        (
+            "aware_hypotheses_tested_total",
+            "Hypotheses tested.",
+            snapshot.hypotheses_tested,
+        ),
+        (
+            "aware_discoveries_total",
+            "Hypotheses rejected (discoveries).",
+            snapshot.discoveries,
+        ),
+        (
+            "aware_rejected_by_budget_total",
+            "Tests refused for exhausted wealth.",
+            snapshot.rejected_by_budget,
+        ),
+        ("aware_errors_total", "Error responses.", snapshot.errors),
+        (
+            "aware_batches_total",
+            "Dispatch units accepted.",
+            snapshot.batches,
+        ),
+        (
+            "aware_batch_commands_total",
+            "Commands inside batches.",
+            snapshot.batch_commands,
+        ),
+        (
+            "aware_overloaded_total",
+            "Work refused by backpressure.",
+            snapshot.overloaded,
+        ),
+        (
+            "aware_ndjson_requests_total",
+            "NDJSON wire messages.",
+            snapshot.ndjson_requests,
+        ),
+        (
+            "aware_binary_frames_total",
+            "Binary wire frames.",
+            snapshot.binary_frames,
+        ),
+        (
+            "aware_slow_queries_total",
+            "Commands past --slow-ms.",
+            snapshot.slow_queries,
+        ),
+    ] {
+        r.family(name, "counter", help);
+        r.sample(name, &[], value);
+    }
+
+    r.family(
+        "aware_batch_size",
+        "counter",
+        "Batches by size bucket (upper edge; +Inf for the overflow bucket).",
+    );
+    for (i, &n) in snapshot.batch_size_hist.iter().enumerate() {
+        let edge = crate::proto::BATCH_SIZE_BUCKETS
+            .get(i)
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "+Inf".into());
+        r.sample("aware_batch_size", &[("le", &edge)], n);
+    }
+
+    r.family(
+        "aware_command_latency_us",
+        "summary",
+        "End-to-end command latency (queue wait + execute) by kind, microseconds.",
+    );
+    for (kind, name) in crate::proto::COMMAND_KINDS.iter().enumerate() {
+        let snap = inner.metrics.latency_of_kind(kind);
+        if snap.count() > 0 {
+            r.summary("aware_command_latency_us", &[("kind", name)], &snap);
+        }
+    }
+    r.family(
+        "aware_stage_latency_us",
+        "summary",
+        "Stage breakdown: queue_wait, execute, snapshot_flush, wire_encode; microseconds.",
+    );
+    for (stage, snap) in inner.metrics.stages() {
+        r.summary("aware_stage_latency_us", &[("stage", stage)], &snap);
+    }
+
+    r.family(
+        "aware_cache_hits_total",
+        "counter",
+        "Evaluation-cache probes answered from the cache, by dataset.",
+    );
+    r.family(
+        "aware_cache_misses_total",
+        "counter",
+        "Evaluation-cache probes evaluated cold, by dataset.",
+    );
+    r.family(
+        "aware_cache_selections",
+        "gauge",
+        "Selection bitmaps currently resident, by dataset.",
+    );
+    r.family(
+        "aware_cache_invariants",
+        "gauge",
+        "Attribute invariant sets currently resident, by dataset.",
+    );
+    let datasets = inner.datasets.read().unwrap();
+    let mut names: Vec<&String> = datasets.keys().collect();
+    names.sort();
+    for name in names {
+        let stats = datasets[name].cache.stats();
+        let labels = [("dataset", name.as_str())];
+        r.sample("aware_cache_hits_total", &labels, stats.hits);
+        r.sample("aware_cache_misses_total", &labels, stats.misses);
+        r.sample("aware_cache_selections", &labels, stats.selections);
+        r.sample("aware_cache_invariants", &labels, stats.invariants);
+    }
+    drop(datasets);
+
+    if let Some(store) = &inner.store {
+        r.family(
+            "aware_persisted_sessions",
+            "gauge",
+            "Sessions with a durable snapshot on disk.",
+        );
+        r.sample("aware_persisted_sessions", &[], store.persisted());
+        r.family(
+            "aware_corrupt_snapshots_total",
+            "counter",
+            "Snapshot files that failed to decode since open.",
+        );
+        r.sample("aware_corrupt_snapshots_total", &[], store.corrupt_count());
+    }
+
+    r.family(
+        "aware_session_wealth",
+        "gauge",
+        "Remaining α-wealth, by session.",
+    );
+    r.family(
+        "aware_session_tests_run",
+        "gauge",
+        "Hypotheses tested, by session.",
+    );
+    r.family(
+        "aware_session_discoveries",
+        "gauge",
+        "Discoveries, by session.",
+    );
+    r.family(
+        "aware_session_risk_spent",
+        "gauge",
+        "Cumulative α bid across all tests, by session (information-usage readout).",
+    );
+    for row in &snapshot.sessions {
+        let id = row.session.to_string();
+        let labels = [("session", id.as_str()), ("dataset", row.dataset.as_str())];
+        r.sample_f64("aware_session_wealth", &labels, row.wealth);
+        r.sample("aware_session_tests_run", &labels, row.tests_run);
+        r.sample("aware_session_discoveries", &labels, row.discoveries);
+        r.sample_f64("aware_session_risk_spent", &labels, row.risk_spent);
+    }
+
+    r.finish()
 }
 
 /// The running service: worker threads plus the shared state. Dropping
@@ -796,8 +1120,18 @@ fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
                 items,
                 mode,
                 pending_key,
+                enqueued,
+                trace,
                 reply,
             } => {
+                // Queue wait: one span per unit (the unit sat on the
+                // queue as a whole). Each command's end-to-end latency
+                // is that wait plus its own execute time.
+                let queue_us = std::time::Instant::now()
+                    .saturating_duration_since(enqueued)
+                    .as_micros() as u64;
+                inner.metrics.observe_queue_wait(queue_us);
+                let slow_us = inner.config.slow_ms.map(|ms| ms.saturating_mul(1000));
                 // The unit runs back-to-back: nothing else dequeues on
                 // this worker until the whole same-session run is done,
                 // which is what makes a batched stream's decision order
@@ -817,26 +1151,44 @@ fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
                                 .into(),
                         })
                     } else {
+                        let kind = cmd.kind_index();
+                        // Slow-query context is extracted up front (the
+                        // command moves into the closure below) and only
+                        // when a threshold is configured.
+                        let slow_ctx = slow_us
+                            .is_some()
+                            .then(|| SlowContext::capture(&inner, &cmd, assigned));
+                        let exec_start = std::time::Instant::now();
                         // Panic isolation: a handler panic (poisoned
                         // session mutex, engine bug) must cost one error
                         // response — at worst one bricked session —
                         // never this worker and the 1/W of all sessions
                         // pinned to it. The command moves into the
                         // closure — no per-command clone on the hot path.
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            execute(&inner, cmd, assigned)
-                        }))
-                        .unwrap_or_else(|panic| {
-                            let what = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_string())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "unknown panic".into());
-                            Response::Error(ServeError {
-                                code: ErrorCode::SessionError,
-                                message: format!("internal error executing command: {what}"),
-                            })
-                        })
+                        let response =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                execute(&inner, cmd, assigned)
+                            }))
+                            .unwrap_or_else(|panic| {
+                                let what = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "unknown panic".into());
+                                Response::Error(ServeError {
+                                    code: ErrorCode::SessionError,
+                                    message: format!("internal error executing command: {what}"),
+                                })
+                            });
+                        let exec_us = exec_start.elapsed().as_micros() as u64;
+                        inner.metrics.observe_execute(exec_us);
+                        inner.metrics.observe_command(kind, queue_us + exec_us);
+                        if let (Some(threshold), Some(ctx)) = (slow_us, slow_ctx) {
+                            if queue_us + exec_us >= threshold {
+                                ctx.emit(&inner, trace, kind, queue_us, exec_us);
+                            }
+                        }
+                        response
                     };
                     inner.pending.release(pending_key, 1);
                     if matches!(response, Response::Error(_)) {
@@ -850,6 +1202,79 @@ fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
             }
         }
     }
+}
+
+/// Context for a potential slow-query record, captured before the
+/// command moves into the execute closure. Cache hit/miss figures are
+/// counter deltas summed over every dataset — approximate under
+/// concurrency (other workers' probes land in the same window), but
+/// free of per-probe bookkeeping on the hot path.
+struct SlowContext {
+    session: Option<SessionId>,
+    fingerprint: Option<u64>,
+    cache_before: (u64, u64),
+}
+
+impl SlowContext {
+    fn capture(inner: &Inner, cmd: &Command, assigned: Option<SessionId>) -> SlowContext {
+        let fingerprint = match cmd {
+            Command::AddVisualization { filter, .. } => {
+                Some(aware_data::cache::Fingerprint::of(&filter.to_predicate()).hash())
+            }
+            _ => None,
+        };
+        SlowContext {
+            session: assigned.or_else(|| cmd.session()),
+            fingerprint,
+            cache_before: cache_totals(inner),
+        }
+    }
+
+    /// Emits the structured slow-query record. The trace id is the
+    /// grep key that follows the command across processes (a router's
+    /// record for the same command carries the same id).
+    fn emit(&self, inner: &Inner, trace: u64, kind: usize, queue_us: u64, exec_us: u64) {
+        inner.metrics.slow_query();
+        let (hits_after, misses_after) = cache_totals(inner);
+        let dataset = self
+            .session
+            .and_then(|id| inner.registry.peek(id))
+            .map(|e| e.meta.lock().unwrap().dataset.clone())
+            .unwrap_or_else(|| "-".into());
+        let kinds = crate::proto::COMMAND_KINDS;
+        aware_obs::logline!(
+            aware_obs::log::Level::Warn,
+            "slow_query",
+            trace = aware_obs::trace::fmt_trace(trace),
+            kind = kinds[kind.min(kinds.len() - 1)],
+            session = self
+                .session
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            dataset = dataset,
+            fingerprint = self
+                .fingerprint
+                .map(|f| format!("{f:016x}"))
+                .unwrap_or_else(|| "-".into()),
+            cache_hits = hits_after.saturating_sub(self.cache_before.0),
+            cache_misses = misses_after.saturating_sub(self.cache_before.1),
+            queue_us = queue_us,
+            exec_us = exec_us,
+            total_us = queue_us + exec_us,
+        );
+    }
+}
+
+/// Evaluation-cache hit/miss totals summed over every dataset
+/// (atomics only; never touches the stripe locks).
+fn cache_totals(inner: &Inner) -> (u64, u64) {
+    let mut totals = (0u64, 0u64);
+    for dataset in inner.datasets.read().unwrap().values() {
+        let (hits, misses) = dataset.cache.counters();
+        totals.0 += hits;
+        totals.1 += misses;
+    }
+    totals
 }
 
 fn execute(inner: &Inner, cmd: Command, assigned: Option<SessionId>) -> Response {

@@ -194,9 +194,9 @@ fn negotiate(version: u32, encoding: Encoding, surface: Encoding) -> Result<Repl
     })
 }
 
-/// Executes a batch envelope and pairs the responses with their item
-/// ids for the reply.
-fn run_batch<H: Dispatch>(handle: &H, batch: Batch) -> Vec<(Option<u64>, Response)> {
+/// Executes a batch envelope under one trace id and pairs the
+/// responses with their item ids for the reply.
+fn run_batch<H: Dispatch>(handle: &H, batch: Batch, trace: u64) -> Vec<(Option<u64>, Response)> {
     let mut ids = Vec::with_capacity(batch.items.len());
     let mut cmds = Vec::with_capacity(batch.items.len());
     let mode = batch.mode;
@@ -205,7 +205,7 @@ fn run_batch<H: Dispatch>(handle: &H, batch: Batch) -> Vec<(Option<u64>, Respons
         cmds.push(item.cmd);
     }
     ids.into_iter()
-        .zip(handle.call_batch_mode(cmds, mode))
+        .zip(handle.call_batch_traced(cmds, mode, trace))
         .collect()
 }
 
@@ -283,10 +283,12 @@ fn serve_ndjson<H: Dispatch>(
                     },
                     Ok(Envelope::Batch { id, batch }) => Reply::Batch {
                         id,
-                        items: run_batch(&handle, batch),
+                        items: run_batch(&handle, batch, aware_obs::trace::adopt_or_new(id)),
                     }
                     .encode_line(),
-                    Ok(Envelope::Single { id, cmd }) => handle.call(cmd).encode_line(id),
+                    Ok(Envelope::Single { id, cmd }) => handle
+                        .call_traced(cmd, aware_obs::trace::adopt_or_new(id))
+                        .encode_line(id),
                     Err(e) => {
                         handle.record_protocol_error();
                         Response::Error(e).encode_line(None)
@@ -294,9 +296,11 @@ fn serve_ndjson<H: Dispatch>(
                 }
             }
         };
+        let encode_start = std::time::Instant::now();
         writer.write_all(reply_line.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        handle.record_wire_encode(encode_start.elapsed().as_micros() as u64);
     }
 }
 
@@ -427,11 +431,11 @@ fn serve_binary<H: Dispatch>(
             }
             Ok(Envelope::Batch { id, batch }) => Reply::Batch {
                 id,
-                items: run_batch(&handle, batch),
+                items: run_batch(&handle, batch, aware_obs::trace::adopt_or_new(id)),
             },
             Ok(Envelope::Single { id, cmd }) => Reply::Single {
                 id,
-                response: handle.call(cmd),
+                response: handle.call_traced(cmd, aware_obs::trace::adopt_or_new(id)),
             },
             Err(e) => {
                 handle.record_protocol_error();
@@ -451,8 +455,10 @@ fn serve_binary<H: Dispatch>(
                 reply
             }
         };
+        let encode_start = std::time::Instant::now();
         write_reply_frame(&mut writer, &reply)?;
         writer.flush()?;
+        handle.record_wire_encode(encode_start.elapsed().as_micros() as u64);
     }
 }
 
@@ -548,6 +554,17 @@ impl Client {
     pub fn call(&mut self, cmd: &Command) -> Result<Response, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
+        self.call_with_id(cmd, id)
+    }
+
+    /// Sends one command under a caller-chosen envelope id. Envelope
+    /// ids double as trace ids: an id at or above
+    /// `aware_obs::trace::TRACE_MIN` is adopted by the server (and
+    /// propagated by a router to its shards) as the command's trace
+    /// id, so a client that stamps its own trace can grep it out of
+    /// every process's slow-query log. The sequential ids `call`
+    /// allocates sit far below that range and never collide.
+    pub fn call_with_id(&mut self, cmd: &Command, id: u64) -> Result<Response, ServeError> {
         self.send_envelope(&Envelope::Single {
             id: Some(id),
             cmd: cmd.clone(),
@@ -581,8 +598,22 @@ impl Client {
         mode: BatchMode,
     ) -> Result<Vec<Response>, ServeError> {
         let batch_id = self.next_id;
-        let first_item = batch_id + 1;
-        self.next_id += 1 + cmds.len() as u64;
+        self.next_id += 1;
+        self.call_batch_with_id(cmds, mode, batch_id)
+    }
+
+    /// Submits a pipelined batch under a caller-chosen envelope id (see
+    /// [`Client::call_with_id`] for how envelope ids double as trace
+    /// ids). Item ids are still allocated from the client's sequence —
+    /// only the envelope id carries the trace.
+    pub fn call_batch_with_id(
+        &mut self,
+        cmds: &[Command],
+        mode: BatchMode,
+        batch_id: u64,
+    ) -> Result<Vec<Response>, ServeError> {
+        let first_item = self.next_id;
+        self.next_id += cmds.len() as u64;
         let envelope = Envelope::Batch {
             id: Some(batch_id),
             batch: Batch {

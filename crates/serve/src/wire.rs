@@ -34,11 +34,14 @@ const MAX_FILTER_DEPTH: usize = 128;
 /// a count prefix so the list can grow without breaking older decoders
 /// (unknown trailing counters are skipped, missing ones default to 0) —
 /// which is exactly how `persisted` (field 17) arrived without a
-/// protocol-version bump, and now how the cluster router's `forwarded`/
-/// `migrations`/`shard_errors` (fields 18–20) arrive without one
-/// either. The per-shard health breakdown is JSON-surface only: it is
-/// not a scalar, and the count prefix covers only scalars.
-const STATS_SCALAR_FIELDS: usize = 20;
+/// protocol-version bump, how the cluster router's `forwarded`/
+/// `migrations`/`shard_errors` (fields 18–20) arrived without one, and
+/// now — fourth proof — how the observability scalars `uptime_seconds`
+/// and the four latency quantiles plus `slow_queries` (fields 21–26)
+/// arrive without one. The per-shard health breakdown and per-session
+/// risk rows are JSON-surface only: they are not scalars, and the
+/// count prefix covers only scalars.
+const STATS_SCALAR_FIELDS: usize = 26;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -567,6 +570,12 @@ impl Writer {
                     s.forwarded,
                     s.migrations,
                     s.shard_errors,
+                    s.uptime_seconds,
+                    s.latency_p50_us,
+                    s.latency_p90_us,
+                    s.latency_p99_us,
+                    s.latency_p999_us,
+                    s.slow_queries,
                 ] {
                     self.varint(n);
                 }
@@ -984,8 +993,15 @@ impl<'a> Reader<'a> {
                     forwarded: fields[17],
                     migrations: fields[18],
                     shard_errors: fields[19],
+                    uptime_seconds: fields[20],
+                    latency_p50_us: fields[21],
+                    latency_p90_us: fields[22],
+                    latency_p99_us: fields[23],
+                    latency_p999_us: fields[24],
+                    slow_queries: fields[25],
                     batch_size_hist,
                     shards: Vec::new(),
+                    sessions: Vec::new(),
                 })
             }
             8 => Response::Error(ServeError {
@@ -1245,6 +1261,12 @@ mod tests {
                 forwarded: u64::MAX,
                 migrations: 3,
                 shard_errors: 1,
+                uptime_seconds: 86_400,
+                latency_p50_us: 120,
+                latency_p90_us: 900,
+                latency_p99_us: 4_500,
+                latency_p999_us: 21_000,
+                slow_queries: 2,
                 ..Default::default()
             }),
         });
@@ -1256,7 +1278,10 @@ mod tests {
         // shorter (older peer) or longer (newer peer) than this build's
         // STATS_SCALAR_FIELDS: both must decode, defaulting the missing
         // counters and skipping the surplus.
-        for (count, extra) in [(14usize, 0u64), (23, 3)] {
+        // 14 = a pre-persistence peer, 20 = a PR-5-era peer (cluster
+        // counters but no observability scalars), 29 = a future peer
+        // with three counters we don't know yet.
+        for count in [14usize, 20, 29] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1279,8 +1304,8 @@ mod tests {
             assert_eq!(s.sessions_created, 100);
             assert_eq!(s.binary_frames, 113);
             // Fields beyond the sender's count default to zero; fields
-            // beyond ours are skipped (`extra` of them existed).
-            if count < STATS_SCALAR_FIELDS {
+            // beyond ours are skipped.
+            if count < 20 {
                 assert_eq!(s.cache_hits, 0);
                 assert_eq!(s.cache_misses, 0);
                 assert_eq!(s.persisted, 0);
@@ -1294,8 +1319,19 @@ mod tests {
                 assert_eq!(s.migrations, 118);
                 assert_eq!(s.shard_errors, 119);
             }
+            if count < STATS_SCALAR_FIELDS {
+                assert_eq!(s.uptime_seconds, 0);
+                assert_eq!(s.latency_p999_us, 0);
+                assert_eq!(s.slow_queries, 0);
+            } else {
+                assert_eq!(s.uptime_seconds, 120);
+                assert_eq!(s.latency_p50_us, 121);
+                assert_eq!(s.latency_p90_us, 122);
+                assert_eq!(s.latency_p99_us, 123);
+                assert_eq!(s.latency_p999_us, 124);
+                assert_eq!(s.slow_queries, 125);
+            }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
-            let _ = extra;
         }
         // An absurd count is rejected before any allocation.
         let mut w = Writer::new();

@@ -1,0 +1,165 @@
+//! Observability conformance: the metrics exposition endpoint serves
+//! parseable Prometheus text with the families the README documents,
+//! latency histograms fill and surface through `stats`, slow commands
+//! count, and per-session risk telemetry rides the JSON stats surface.
+
+use aware_data::census::CensusGenerator;
+use aware_data::predicate::CmpOp;
+use aware_data::value::Value;
+use aware_obs::expose::{validate_exposition, MetricsServer};
+use aware_serve::proto::{Command, FilterSpec, PolicySpec, Response};
+use aware_serve::service::{Service, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn served(slow_ms: Option<u64>) -> Service {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        slow_ms,
+        ..ServiceConfig::default()
+    });
+    service
+        .handle()
+        .register_table("census", CensusGenerator::new(11).generate(3_000));
+    service
+}
+
+fn create(service: &Service) -> u64 {
+    match service.handle().call(Command::CreateSession {
+        dataset: "census".into(),
+        alpha: 0.05,
+        policy: PolicySpec::Fixed { gamma: 10.0 },
+    }) {
+        Response::SessionCreated { session, .. } => session,
+        other => panic!("{other:?}"),
+    }
+}
+
+fn viz(session: u64) -> Command {
+    Command::AddVisualization {
+        session,
+        attribute: "education".into(),
+        filter: FilterSpec::Cmp {
+            column: "salary_over_50k".into(),
+            op: CmpOp::Eq,
+            value: Value::Bool(true),
+        },
+    }
+}
+
+/// Plain-socket HTTP GET — the same shape the CI curl step performs.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_exposition_over_http() {
+    let service = served(None);
+    let handle = service.handle();
+    let sid = create(&service);
+    assert!(handle.call(viz(sid)).is_ok());
+
+    let h = handle.clone();
+    let metrics = MetricsServer::bind("127.0.0.1:0", move || h.metrics_text()).unwrap();
+    let raw = http_get(metrics.local_addr(), "/metrics");
+    assert!(raw.starts_with("HTTP/1.1 200 OK"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let samples =
+        validate_exposition(body).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+    assert!(samples > 10, "only {samples} samples:\n{body}");
+
+    // The families the README's metrics table names must be present.
+    for family in [
+        "aware_up",
+        "aware_uptime_seconds",
+        "aware_sessions_live",
+        "aware_commands_total",
+        "aware_slow_queries_total",
+        "aware_command_latency_us",
+        "aware_stage_latency_us",
+        "aware_cache_hits_total",
+        "aware_session_wealth",
+        "aware_batch_size",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family} ")),
+            "family {family} missing:\n{body}"
+        );
+    }
+    // The one command kind that ran is labeled; stages all present.
+    assert!(body.contains("kind=\"add_visualization\""), "{body}");
+    for stage in ["queue_wait", "execute", "wire_encode", "snapshot_flush"] {
+        assert!(body.contains(&format!("stage=\"{stage}\"")), "{body}");
+    }
+    assert!(body.contains("dataset=\"census\""), "{body}");
+
+    // Unknown paths 404; bare / serves the same body.
+    let miss = http_get(metrics.local_addr(), "/nope");
+    assert!(miss.starts_with("HTTP/1.1 404"), "{miss}");
+    let root = http_get(metrics.local_addr(), "/");
+    assert!(root.starts_with("HTTP/1.1 200 OK"), "{root}");
+}
+
+#[test]
+fn latency_and_slow_query_telemetry_reach_the_stats_snapshot() {
+    // slow_ms = 0: every command is past the threshold, so the counter
+    // must track command execution exactly.
+    let service = served(Some(0));
+    let handle = service.handle();
+    let sid = create(&service);
+    for _ in 0..3 {
+        assert!(handle.call(viz(sid)).is_ok());
+    }
+    match handle.call(Command::Stats) {
+        Response::Stats(s) => {
+            assert!(s.slow_queries >= 4, "create + 3 viz: {}", s.slow_queries);
+            assert!(s.latency_p99_us >= s.latency_p50_us);
+            assert!(s.latency_p999_us > 0, "histograms must have filled");
+            // Per-session risk telemetry: one row, spent wealth visible.
+            assert_eq!(s.sessions.len(), 1);
+            let row = &s.sessions[0];
+            assert_eq!(row.session, sid);
+            assert_eq!(row.dataset, "census");
+            assert_eq!(row.tests_run, 3);
+            // Three tests ran, so α was bid three times; the cumulative
+            // spend is positive even though discoveries earn wealth back.
+            assert!(row.wealth > 0.0);
+            assert!(row.risk_spent > 0.0);
+            assert_eq!(row.discoveries, 3);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn session_risk_rows_round_trip_the_json_stats_surface() {
+    let service = served(None);
+    let handle = service.handle();
+    let sid = create(&service);
+    assert!(handle.call(viz(sid)).is_ok());
+    match handle.call(Command::Stats) {
+        Response::Stats(s) => {
+            let line = Response::Stats(s.clone()).encode_line(None);
+            assert!(line.contains("\"sessions\""), "{line}");
+            let (decoded, _) = Response::decode_line(&line).unwrap();
+            match decoded {
+                Response::Stats(back) => {
+                    assert_eq!(back.sessions.len(), s.sessions.len());
+                    assert_eq!(back.sessions[0].session, sid);
+                    assert_eq!(back.uptime_seconds, s.uptime_seconds);
+                    assert_eq!(back.latency_p999_us, s.latency_p999_us);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
