@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cluster router [--addr 127.0.0.1:7878] [--shard HOST:PORT]...
-//!                [--vnodes 64] [--probe-secs 5]
+//!                [--vnodes 64] [--probe-secs 5] [--replicas R]
 //!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
 //!                [--metrics-addr HOST:PORT]
 //! cluster shard  [--addr 127.0.0.1:0] [--rows 20000] [--seed 2017]
@@ -19,7 +19,11 @@
 //! the router's endpoint serves merged-plus-per-shard views.
 //!
 //! `router` starts the consistent-hash router and admits each `--shard`
-//! through the same `join_shard` path a live rebalance uses. `shard`
+//! through the same `join_shard` path a live rebalance uses. With
+//! `--replicas R` each session's snapshot image is shipped to its R
+//! ring successors on the probe cadence, and a confirmed-dead shard's
+//! sessions fail over automatically to their freshest verified
+//! replica. `shard`
 //! runs a plain `aware-serve` service (identical `Service` +
 //! `TcpServer` stack to the `serve` binary) — one binary to deploy for
 //! both roles, and the multi-process conformance suite spawns it for
@@ -43,6 +47,7 @@ fn die(message: &str) -> ! {
 fn usage() -> ! {
     println!(
         "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S] \
+         [--replicas R] \
          [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]\n\
          cluster shard  [--addr HOST:PORT] [--rows N] [--seed K] [--workers N] \
          [--data-dir DIR] [--snapshot-every S] \
@@ -147,6 +152,11 @@ fn run_router(mut args: impl Iterator<Item = String>) {
                     .parse()
                     .unwrap_or_else(|e| die(&format!("--probe-secs: {e}")));
                 config.probe_interval = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--replicas" => {
+                config.replicas = next_value(&mut args, "--replicas")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--replicas: {e}")))
             }
             "--help" | "-h" => usage(),
             other => die(&format!("unknown router flag '{other}'")),

@@ -1,0 +1,213 @@
+//! SWIM-lite membership: the roster the router disseminates to shards.
+//!
+//! The full SWIM protocol (Das et al.) exists to make failure detection
+//! scale without a central observer. This cluster has a central
+//! observer — the router probes every shard anyway — so what it borrows
+//! from SWIM is the part that matters for *correctness*, not scale: the
+//! **suspect/confirm** state machine. One missed probe moves a shard to
+//! `Suspect` without touching the ring; only [`SUSPECT_CONFIRM_MISSES`]
+//! consecutive misses confirm `Dead` and let the router fail sessions
+//! over. A single dropped packet or a GC-length stall therefore never
+//! flaps the ring — and a needless failover is not a cheap mistake
+//! here, because promotion moves a *wealth ledger*, not just traffic.
+//!
+//! Each member carries an **incarnation** that bumps every time it
+//! returns from suspicion, and the view as a whole carries a
+//! **generation** that bumps on every membership or status change. The
+//! router pushes the `(generation, members)` view to every shard on the
+//! probe cadence via the `gossip` wire command; shards keep the highest
+//! generation they have seen (last-writer-wins), so any client can ask
+//! any shard who the cluster thinks is alive — even while the router is
+//! mid-failover.
+
+use aware_serve::proto::{MemberInfo, MemberStatus};
+use std::collections::BTreeMap;
+
+/// Consecutive probe misses that confirm a `Suspect` member `Dead`.
+pub const SUSPECT_CONFIRM_MISSES: u32 = 2;
+
+/// One member's health as the router sees it.
+#[derive(Debug, Clone)]
+struct MemberState {
+    status: MemberStatus,
+    /// Bumped each time the member comes back from `Suspect`/`Dead` —
+    /// distinguishes "the same shard, recovered" from a stale view.
+    incarnation: u64,
+    /// Consecutive probe misses; reset by any success.
+    misses: u32,
+}
+
+/// The router's membership view: roster, per-member health, and a
+/// monotone generation stamped on every disseminated copy.
+#[derive(Debug, Default)]
+pub struct Membership {
+    generation: u64,
+    members: BTreeMap<String, MemberState>,
+}
+
+impl Membership {
+    pub fn new() -> Membership {
+        Membership::default()
+    }
+
+    /// The view's generation; bumps on every roster or status change.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Adds `addr` as `Alive` (idempotent; a re-join of a known member
+    /// revives it and bumps its incarnation).
+    pub fn join(&mut self, addr: &str) {
+        match self.members.get_mut(addr) {
+            Some(state) if state.status == MemberStatus::Alive => {}
+            Some(state) => {
+                state.status = MemberStatus::Alive;
+                state.incarnation += 1;
+                state.misses = 0;
+                self.generation += 1;
+            }
+            None => {
+                self.members.insert(
+                    addr.to_string(),
+                    MemberState {
+                        status: MemberStatus::Alive,
+                        incarnation: 0,
+                        misses: 0,
+                    },
+                );
+                self.generation += 1;
+            }
+        }
+    }
+
+    /// Removes `addr` from the roster (idempotent).
+    pub fn leave(&mut self, addr: &str) {
+        if self.members.remove(addr).is_some() {
+            self.generation += 1;
+        }
+    }
+
+    /// Records a successful probe of `addr`. A member under suspicion
+    /// returns to `Alive` with a bumped incarnation.
+    pub fn observe_success(&mut self, addr: &str) {
+        if let Some(state) = self.members.get_mut(addr) {
+            state.misses = 0;
+            if state.status != MemberStatus::Alive {
+                state.status = MemberStatus::Alive;
+                state.incarnation += 1;
+                self.generation += 1;
+            }
+        }
+    }
+
+    /// Records a missed probe of `addr` and returns the resulting
+    /// status: the first miss suspects, [`SUSPECT_CONFIRM_MISSES`]
+    /// consecutive misses confirm `Dead`. Only a `Dead` return value
+    /// licenses a failover.
+    pub fn observe_miss(&mut self, addr: &str) -> MemberStatus {
+        let Some(state) = self.members.get_mut(addr) else {
+            return MemberStatus::Dead; // not a member: nothing to protect
+        };
+        state.misses = state.misses.saturating_add(1);
+        let next = if state.misses >= SUSPECT_CONFIRM_MISSES {
+            MemberStatus::Dead
+        } else {
+            MemberStatus::Suspect
+        };
+        if state.status != next {
+            state.status = next;
+            self.generation += 1;
+        }
+        state.status
+    }
+
+    /// Current status of `addr`, if a member.
+    pub fn status(&self, addr: &str) -> Option<MemberStatus> {
+        self.members.get(addr).map(|s| s.status)
+    }
+
+    /// The disseminated view: every member, sorted by address (the
+    /// BTreeMap order), with status and incarnation.
+    pub fn view(&self) -> Vec<MemberInfo> {
+        self.members
+            .iter()
+            .map(|(addr, state)| MemberInfo {
+                addr: addr.clone(),
+                status: state.status,
+                incarnation: state.incarnation,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_miss_suspects_two_confirm_dead_and_success_revives() {
+        let mut m = Membership::new();
+        m.join("a:1");
+        m.join("b:2");
+        assert_eq!(m.status("a:1"), Some(MemberStatus::Alive));
+
+        // One missed probe must NOT confirm death — no ring flap.
+        assert_eq!(m.observe_miss("a:1"), MemberStatus::Suspect);
+        assert_eq!(m.status("a:1"), Some(MemberStatus::Suspect));
+
+        // A success clears suspicion and bumps the incarnation.
+        m.observe_success("a:1");
+        assert_eq!(m.status("a:1"), Some(MemberStatus::Alive));
+        let inc = m
+            .view()
+            .iter()
+            .find(|i| i.addr == "a:1")
+            .unwrap()
+            .incarnation;
+        assert_eq!(inc, 1);
+
+        // The miss counter reset with the success: death needs two
+        // *consecutive* misses from here.
+        assert_eq!(m.observe_miss("a:1"), MemberStatus::Suspect);
+        assert_eq!(m.observe_miss("a:1"), MemberStatus::Dead);
+        // The untouched member never moved.
+        assert_eq!(m.status("b:2"), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn generation_bumps_exactly_on_changes_and_view_is_sorted() {
+        let mut m = Membership::new();
+        assert_eq!(m.generation(), 0);
+        m.join("b:2");
+        m.join("a:1");
+        let after_joins = m.generation();
+        assert_eq!(after_joins, 2);
+        m.join("a:1"); // idempotent: no change, no bump
+        assert_eq!(m.generation(), after_joins);
+        m.observe_success("a:1"); // already alive: no bump
+        assert_eq!(m.generation(), after_joins);
+
+        m.observe_miss("a:1");
+        assert_eq!(m.generation(), after_joins + 1);
+        m.observe_miss("a:1"); // Suspect → Dead
+        assert_eq!(m.generation(), after_joins + 2);
+        m.observe_miss("a:1"); // already dead: status unchanged, no bump
+        assert_eq!(m.generation(), after_joins + 2);
+
+        let view = m.view();
+        assert_eq!(
+            view.iter().map(|i| i.addr.as_str()).collect::<Vec<_>>(),
+            vec!["a:1", "b:2"],
+            "view is address-sorted for deterministic dissemination"
+        );
+        assert_eq!(view[0].status, MemberStatus::Dead);
+
+        m.leave("a:1");
+        assert_eq!(m.status("a:1"), None);
+        m.leave("a:1"); // idempotent
+        assert_eq!(m.generation(), after_joins + 3);
+        // A miss against a non-member licenses nothing to protect.
+        assert_eq!(m.observe_miss("nope"), MemberStatus::Dead);
+        assert_eq!(m.generation(), after_joins + 3);
+    }
+}

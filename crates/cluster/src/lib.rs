@@ -29,7 +29,17 @@
 //!   both shards hold the same table before a ledger moves);
 //! * [`metrics`] — the router's own counters (`forwarded`,
 //!   `migrations`, `shard_errors`), riding the protocol's
-//!   count-prefixed stats scalar list with no version bump.
+//!   count-prefixed stats scalar list with no version bump;
+//! * [`replica`] — replication planning under `aware-replica`: each
+//!   session's ring position names a primary plus R warm replicas (the
+//!   successor walk), images ship with monotone epochs, and failover
+//!   promotes the highest *acked* epoch — after the target shard
+//!   re-validates the image, so a diverged replica is refused, never
+//!   adopted;
+//! * [`gossip`] — SWIM-lite membership: suspect/confirm failure
+//!   detection (one missed probe never flaps the ring) with an
+//!   incarnation per member and a generation per view, disseminated to
+//!   shards over the existing wire protocol.
 //!
 //! The router implements [`aware_serve::service::Dispatch`], so
 //! `aware-serve`'s hardened TCP front end (NDJSON + AWR2 frames,
@@ -39,11 +49,17 @@
 //! contracts hold across the hop (proven byte-identical by the
 //! multi-process conformance suite in `tests/cluster_conformance.rs`).
 //!
-//! Failure semantics: a dead shard answers `unavailable` — never
-//! `unknown_session`, and never a fresh budget.
+//! Failure semantics: with replication off, a dead shard answers
+//! `unavailable` — never `unknown_session`, and never a fresh budget.
+//! With `--replicas N`, a *confirmed*-dead primary is failed over to a
+//! verified replica automatically; a session whose every replica image
+//! fails validation answers `corrupt_snapshot` — still never a fresh
+//! budget.
 
+pub mod gossip;
 pub mod metrics;
 pub mod pool;
+pub mod replica;
 pub mod ring;
 pub mod router;
 

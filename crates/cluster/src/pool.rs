@@ -38,7 +38,17 @@ impl std::fmt::Display for PoolError {
 fn idempotent(cmd: &Command) -> bool {
     matches!(
         cmd,
-        Command::Gauge { .. } | Command::Transcript { .. } | Command::Stats | Command::ListDatasets
+        Command::Gauge { .. }
+            | Command::Transcript { .. }
+            | Command::Stats
+            | Command::ListDatasets
+            // Replication-plane reads: `snapshot_session` cuts an image
+            // without removing anything, `list_sessions` is pure
+            // inventory, and `gossip` is a last-writer-wins merge —
+            // executing any of them twice changes nothing.
+            | Command::SnapshotSession { .. }
+            | Command::ListSessions
+            | Command::Gossip { .. }
     )
 }
 
@@ -125,18 +135,34 @@ impl ShardPool {
         }
     }
 
-    fn fail(&self, error: PoolError) -> PoolError {
+    /// The single health-flip path: every failure counts, but only the
+    /// healthy→unhealthy *transition* logs — the atomic swap is what
+    /// collapses a 64-connection pool failing at once into exactly one
+    /// `shard_unhealthy` event, not 64. The flip also drains the idle
+    /// pool: every pooled socket points at the same dead peer, and
+    /// handing them out would cost one doomed round trip each before
+    /// the callers reconnect.
+    fn flip_unhealthy(&self, reason: &str) {
         self.errors.fetch_add(1, Ordering::Relaxed);
-        // swap, not store: log only the healthy→unhealthy transition,
-        // not every failure while already down.
         if self.healthy.swap(false, Ordering::Relaxed) {
+            let idle_dropped = {
+                let mut idle = self.idle.lock().unwrap();
+                let n = idle.len();
+                idle.clear();
+                n
+            };
             aware_obs::logline!(
                 aware_obs::log::Level::Warn,
                 "shard_unhealthy",
                 addr = self.addr,
-                error = error,
+                error = reason,
+                idle_dropped = idle_dropped,
             );
         }
+    }
+
+    fn fail(&self, error: PoolError) -> PoolError {
+        self.flip_unhealthy(&error.message);
         error
     }
 
@@ -144,15 +170,7 @@ impl ShardPool {
     /// error reply) against the shard — the round trip succeeded, so
     /// the pool itself cannot see it.
     pub fn mark_unhealthy(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
-        if self.healthy.swap(false, Ordering::Relaxed) {
-            aware_obs::logline!(
-                aware_obs::log::Level::Warn,
-                "shard_unhealthy",
-                addr = self.addr,
-                error = "protocol-level shutdown reply",
-            );
-        }
+        self.flip_unhealthy("protocol-level shutdown reply");
     }
 
     fn succeed(&self) {
@@ -163,6 +181,12 @@ impl ShardPool {
                 addr = self.addr,
             );
         }
+    }
+
+    /// Idle connections currently pooled (drained to zero by an
+    /// unhealthy flip).
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().unwrap().len()
     }
 
     /// One command, one round trip. A read-only command that fails on
@@ -262,7 +286,7 @@ impl ShardPool {
         match response {
             Response::Stats(stats) => {
                 self.last_live.store(stats.sessions_live, Ordering::Relaxed);
-                Ok(stats)
+                Ok(*stats)
             }
             other => Err(self.fail(PoolError {
                 message: format!("shard {}: stats answered {other:?}", self.addr),
@@ -279,5 +303,46 @@ impl ShardPool {
             forwarded: self.forwarded(),
             errors: self.errors(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aware_data::census::CensusGenerator;
+    use aware_serve::service::{Service, ServiceConfig};
+    use aware_serve::tcp::TcpServer;
+
+    #[test]
+    fn unhealthy_flip_drains_idle_and_one_success_flips_back() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service
+            .handle()
+            .register_table("census", CensusGenerator::new(7).generate(500));
+        let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+        let pool = ShardPool::new(server.local_addr().to_string()).unwrap();
+
+        assert!(pool.call(&Command::Stats).is_ok());
+        assert!(pool.is_healthy());
+        assert_eq!(pool.idle_connections(), 1);
+
+        // One flip: unhealthy, idle sockets gone (they all point at the
+        // same dead peer).
+        pool.mark_unhealthy();
+        assert!(!pool.is_healthy());
+        assert_eq!(pool.idle_connections(), 0);
+        // Repeated failures while already down are counted, not
+        // re-flipped — the per-shard dedupe.
+        let errors_after_flip = pool.errors();
+        pool.mark_unhealthy();
+        assert_eq!(pool.errors(), errors_after_flip + 1);
+
+        // The next successful round trip reconnects and flips back.
+        assert!(pool.call(&Command::Stats).is_ok());
+        assert!(pool.is_healthy());
+        assert_eq!(pool.idle_connections(), 1);
     }
 }

@@ -140,16 +140,38 @@ impl Ring {
     /// The shard that owns `id`, or `None` on an empty ring: the first
     /// vnode point at or clockwise of the key's point.
     pub fn route(&self, id: SessionId) -> Option<&str> {
-        if self.points.is_empty() {
-            return None;
+        self.successors(id, 1).into_iter().next()
+    }
+
+    /// The first `n` *distinct* shards clockwise from `id`'s ring
+    /// point — the owner first, then its successors. This is the
+    /// replica preference list: with replication factor R the primary
+    /// is element 0 and the warm replicas are elements 1..=R. Returns
+    /// fewer than `n` when the ring has fewer members. Like `route`,
+    /// the list is a pure function of the member set, so every router
+    /// computes the same placement.
+    pub fn successors(&self, id: SessionId, n: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(n.min(self.members.len()));
+        if self.points.is_empty() || n == 0 {
+            return out;
         }
         let key = key_point(id);
-        let slot = match self.points.binary_search(&(key, 0)) {
+        let start = match self.points.binary_search(&(key, 0)) {
             Ok(i) => i,
             Err(i) if i == self.points.len() => 0, // wrap past the top
             Err(i) => i,
         };
-        Some(&self.members[self.points[slot].1 as usize])
+        let mut seen = vec![false; self.members.len()];
+        for offset in 0..self.points.len() {
+            let (_, member) = self.points[(start + offset) % self.points.len()];
+            if !std::mem::replace(&mut seen[member as usize], true) {
+                out.push(self.members[member as usize].as_str());
+                if out.len() == n || out.len() == self.members.len() {
+                    break;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -187,6 +209,26 @@ mod tests {
         assert_eq!(joined.members(), a.members());
         let left = a.leave("zzz-not-a-member");
         assert_eq!(left.members(), a.members());
+    }
+
+    #[test]
+    fn successors_are_distinct_owner_first_and_stable() {
+        let ring = Ring::with_members(64, shard_names(4));
+        for id in 0..1_000u64 {
+            let list = ring.successors(id, 3);
+            assert_eq!(list.len(), 3);
+            assert_eq!(Some(list[0]), ring.route(id), "owner leads the list");
+            let mut dedup = list.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "preference list must be distinct: {list:?}");
+            // A longer walk extends the list without reordering the prefix.
+            assert_eq!(ring.successors(id, 4)[..3], list[..]);
+        }
+        // Asking past the membership truncates instead of repeating.
+        assert_eq!(ring.successors(42, 9).len(), 4);
+        assert_eq!(Ring::new(64).successors(42, 2), Vec::<&str>::new());
+        assert_eq!(ring.successors(42, 0), Vec::<&str>::new());
     }
 
     /// Shard share of `keys` uniform keys, by member.

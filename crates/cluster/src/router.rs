@@ -49,16 +49,41 @@
 //! the unreachable shard, and handing the client a fresh budget
 //! instead is exactly the ledger reset the whole system exists to
 //! prevent (Hardt & Ullman's adaptive attack needs nothing more).
+//!
+//! ## Replication & failover (`aware-replica`)
+//!
+//! With [`RouterConfig::replicas`] > 0 a dead shard stops being a
+//! dead end. Each session's ring position names a primary plus R warm
+//! replicas (the ring's successor walk, [`Ring::successors`]); the
+//! replication round ([`RouterHandle::replicate_now`], run on the
+//! probe cadence) cuts a `snapshot_session` image off each dirty
+//! session's primary and ships it with a monotone epoch via
+//! `replicate_session` — replicas run the full restore validator and
+//! *refuse* any image that fails it, so a diverged replica is
+//! discarded and re-seeded, never adopted. Probe misses run the
+//! SWIM-lite suspect/confirm machine in [`crate::gossip`]; only a
+//! *confirmed* death triggers [`fail_over`], which promotes the
+//! highest-acked-epoch replica (decode-validated again at promotion —
+//! a tampered image answers `corrupt_snapshot` and failover falls
+//! through to the next-best epoch), installs a placement override,
+//! and leaves the session dirty so the next round re-establishes R
+//! replicas on the new ring. Read-only commands (`gauge`,
+//! `transcript`) hedge: when a replica has acked the latest epoch,
+//! the router races primary and replica and the first good answer
+//! wins; mutations stay strictly primary-only and at-most-once.
 
+use crate::gossip::Membership;
 use crate::metrics::RouterMetrics;
 use crate::pool::ShardPool;
+use crate::replica::{self, SessState};
 use crate::ring::{Ring, DEFAULT_VNODES};
 use aware_serve::proto::{
-    BatchMode, Command, DatasetInfo, Encoding, Response, SessionId, StatsSnapshot, COMMAND_KINDS,
+    BatchMode, Command, DatasetInfo, Encoding, MemberStatus, Response, SessionId, StatsSnapshot,
+    COMMAND_KINDS,
 };
 use aware_serve::service::Dispatch;
 use aware_serve::{ErrorCode, ServeError};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
 use std::time::{Duration, Instant};
@@ -80,6 +105,13 @@ pub struct RouterConfig {
     /// so one grep follows the command across both processes. `None`
     /// disables the records (histograms still fill).
     pub slow_ms: Option<u64>,
+    /// Warm replicas per session (`0` disables the replication plane
+    /// entirely: no snapshot shipping, no failover, no hedging — the
+    /// exact pre-replica behavior). With R > 0 each session's image is
+    /// shipped to the R ring successors of its primary on the probe
+    /// cadence, and a confirmed-dead primary is failed over
+    /// automatically.
+    pub replicas: usize,
 }
 
 impl Default for RouterConfig {
@@ -89,6 +121,7 @@ impl Default for RouterConfig {
             stripes: 512,
             probe_interval: None,
             slow_ms: None,
+            replicas: 0,
         }
     }
 }
@@ -117,11 +150,25 @@ struct Inner {
     pools: RwLock<HashMap<String, Arc<ShardPool>>>,
     stripes: Vec<Mutex<()>>,
     /// Sessions created (or imported) through this router and not yet
-    /// closed — the population a rebalance considers for migration.
-    live: Mutex<HashSet<SessionId>>,
+    /// closed, with their replication state — the population a
+    /// rebalance considers for migration and a replication round
+    /// considers for shipping.
+    sessions: Mutex<HashMap<SessionId, SessState>>,
+    /// Replica holders of sessions that no longer exist (closed or
+    /// exported away); drained by the next replication round with
+    /// `drop_replica`.
+    pending_drops: Mutex<Vec<(SessionId, Vec<String>)>>,
+    /// Sessions whose failover exhausted every replica without a valid
+    /// image: they answer this error (always `corrupt_snapshot` —
+    /// never a fresh budget) until an operator intervenes.
+    stranded: Mutex<HashMap<SessionId, ServeError>>,
+    /// SWIM-lite membership: suspect/confirm so one missed probe never
+    /// flaps the ring; the view is disseminated to shards via `gossip`.
+    membership: Mutex<Membership>,
     next_session: AtomicU64,
     metrics: RouterMetrics,
-    /// Serializes join/leave; command forwarding never takes this.
+    /// Serializes join/leave/failover; command forwarding never takes
+    /// this.
     rebalance: Mutex<()>,
 }
 
@@ -160,7 +207,10 @@ impl Router {
             }),
             pools: RwLock::new(HashMap::new()),
             stripes: (0..stripes).map(|_| Mutex::new(())).collect(),
-            live: Mutex::new(HashSet::new()),
+            sessions: Mutex::new(HashMap::new()),
+            pending_drops: Mutex::new(Vec::new()),
+            stranded: Mutex::new(HashMap::new()),
+            membership: Mutex::new(Membership::new()),
             next_session: AtomicU64::new(0),
             metrics: RouterMetrics::new(),
             rebalance: Mutex::new(()),
@@ -189,12 +239,54 @@ fn prober_loop(inner: Weak<Inner>, interval: Duration) {
         std::thread::sleep(interval);
         match inner.upgrade() {
             Some(inner) => {
-                for pool in pools_sorted(&inner) {
-                    let _ = pool.probe();
-                }
+                // Detect (and fail over) first, then replicate: a
+                // promotion leaves its session dirty, so the same tick
+                // starts re-establishing R replicas on the new ring.
+                probe_round(&inner);
+                replicate_round(&inner);
             }
             None => return, // router is gone
         }
+    }
+}
+
+/// One probe round: every shard is probed, misses run the SWIM-lite
+/// suspect/confirm machine, a *confirmed* death triggers failover (only
+/// when replication is on — with R = 0 there is nothing to promote and
+/// the shard keeps answering `unavailable`), and the membership view is
+/// disseminated to the surviving shards.
+fn probe_round(inner: &Inner) {
+    let mut confirmed_dead: Vec<String> = Vec::new();
+    for pool in pools_sorted(inner) {
+        let addr = pool.addr().to_string();
+        match pool.probe() {
+            Ok(_) => inner.membership.lock().unwrap().observe_success(&addr),
+            Err(_) => {
+                let status = inner.membership.lock().unwrap().observe_miss(&addr);
+                if status == MemberStatus::Dead
+                    && inner.config.replicas > 0
+                    && inner.topology.read().unwrap().ring.contains(&addr)
+                {
+                    confirmed_dead.push(addr);
+                }
+            }
+        }
+    }
+    for addr in confirmed_dead {
+        fail_over(inner, &addr);
+    }
+    // Disseminate the (possibly updated) view. Shards keep the highest
+    // generation they have seen, so late or reordered pushes are safe.
+    let (generation, members) = {
+        let membership = inner.membership.lock().unwrap();
+        (membership.generation(), membership.view())
+    };
+    for pool in pools_sorted(inner) {
+        let _ = pool.call(&Command::Gossip {
+            from: "router".to_string(),
+            generation,
+            members: members.clone(),
+        });
     }
 }
 
@@ -213,11 +305,16 @@ fn stripe_of(inner: &Inner, id: SessionId) -> usize {
 }
 
 /// The pool currently serving `id`, or an `unavailable`/empty-ring
-/// refusal.
+/// refusal. A session stranded by an exhausted failover (every replica
+/// image refused) answers its recorded `corrupt_snapshot` — never a
+/// fresh budget.
 // An `Err` here is one `Response` about to hit the wire — cold path,
 // not worth boxing (matching serve's own dispatch helpers).
 #[allow(clippy::result_large_err)]
 fn owner_pool(inner: &Inner, id: SessionId) -> Result<Arc<ShardPool>, Response> {
+    if let Some(e) = inner.stranded.lock().unwrap().get(&id) {
+        return Err(Response::Error(e.clone()));
+    }
     let addr = match inner.topology.read().unwrap().route(id) {
         Some(addr) => addr,
         None => {
@@ -234,28 +331,56 @@ fn owner_pool(inner: &Inner, id: SessionId) -> Result<Arc<ShardPool>, Response> 
     }
 }
 
-/// Updates the live-session set (and the id allocator) from a
-/// forwarded command's response. `route` is the session the command
-/// addressed — error responses don't carry one.
+/// Forgets a session's replication state, queueing its replica holders
+/// for `drop_replica` on the next replication round.
+fn forget_session(inner: &Inner, id: SessionId) {
+    if let Some(state) = inner.sessions.lock().unwrap().remove(&id) {
+        if !state.replicas.is_empty() {
+            let holders = state.replicas.into_iter().map(|(addr, _)| addr).collect();
+            inner.pending_drops.lock().unwrap().push((id, holders));
+        }
+    }
+}
+
+/// Updates the session map (and the id allocator) from a forwarded
+/// command's response. `route` is the session the command addressed —
+/// error responses don't carry one.
 fn note_response(inner: &Inner, route: Option<SessionId>, response: &Response) {
     match response {
         Response::SessionCreated { session, .. } => {
-            inner.live.lock().unwrap().insert(*session);
+            inner
+                .sessions
+                .lock()
+                .unwrap()
+                .insert(*session, SessState::new_dirty());
         }
         Response::SessionImported { session, .. } => {
-            inner.live.lock().unwrap().insert(*session);
+            inner
+                .sessions
+                .lock()
+                .unwrap()
+                .entry(*session)
+                .or_insert_with(SessState::new_dirty)
+                .dirty = true;
             inner.next_session.fetch_max(session + 1, Ordering::Relaxed);
         }
+        // Mutations: the primary's ledger moved past the last shipped
+        // image, so the session owes a replication round.
+        Response::VizAdded { session, .. } | Response::PolicySet { session, .. } => {
+            if let Some(state) = inner.sessions.lock().unwrap().get_mut(session) {
+                state.dirty = true;
+            }
+        }
         Response::SessionClosed { session, .. } | Response::SessionExported { session, .. } => {
-            inner.live.lock().unwrap().remove(session);
+            forget_session(inner, *session);
         }
         Response::Error(e) if e.code == ErrorCode::UnknownSession => {
             // The shard no longer knows the session (idle-evicted
             // without a store, or closed out of band): stop offering
-            // it for migration — a stale live set would, among other
-            // things, refuse to let the last shard leave.
+            // it for migration — a stale session map would, among
+            // other things, refuse to let the last shard leave.
             if let Some(id) = route {
-                inner.live.lock().unwrap().remove(&id);
+                forget_session(inner, id);
             }
         }
         _ => {}
@@ -333,6 +458,9 @@ fn forward_session(inner: &Inner, cmd: Command, trace: u64) -> Response {
             return refusal;
         }
     };
+    if let Some(replica) = hedge_target(inner, &cmd, id, pool.addr()) {
+        return hedged_call(inner, cmd, id, kind, trace, pool, replica);
+    }
     inner.metrics.forwarded(1);
     let start = Instant::now();
     let result = pool.call_traced(&cmd, trace);
@@ -388,6 +516,481 @@ fn create_session(
 }
 
 // ---------------------------------------------------------------------------
+// Replication & failover
+// ---------------------------------------------------------------------------
+
+/// One replication round: first drains `drop_replica` debts left by
+/// closed/exported sessions, then ships every due session's snapshot
+/// image to its ring successors. Returns the number of sessions
+/// shipped. Runs on the probe cadence; [`RouterHandle::replicate_now`]
+/// runs it deterministically for tests.
+fn replicate_round(inner: &Inner) -> u64 {
+    let drops: Vec<(SessionId, Vec<String>)> =
+        std::mem::take(&mut *inner.pending_drops.lock().unwrap());
+    for (id, holders) in drops {
+        for addr in holders {
+            let pool = inner.pools.read().unwrap().get(&addr).cloned();
+            if let Some(pool) = pool {
+                let _ = pool.call(&Command::DropReplica { session: id });
+            }
+        }
+    }
+    let r = inner.config.replicas;
+    if r == 0 {
+        return 0;
+    }
+    let mut ids: Vec<SessionId> = inner.sessions.lock().unwrap().keys().copied().collect();
+    ids.sort_unstable();
+    let mut shipped = 0u64;
+    for id in ids {
+        if replicate_one(inner, id, r) {
+            shipped += 1;
+        }
+    }
+    shipped
+}
+
+/// Ships one session's image to its desired replica set if a ship is
+/// due. Holds the session's stripe for the whole cut-and-ship, so the
+/// dirty bit can never be cleared for state that isn't in the image —
+/// a concurrent mutation waits on the stripe and re-dirties after.
+fn replicate_one(inner: &Inner, id: SessionId, r: usize) -> bool {
+    let _stripe = inner.stripes[stripe_of(inner, id)].lock().unwrap();
+    let (primary_addr, desired) = {
+        let topo = inner.topology.read().unwrap();
+        let Some(primary) = topo.route(id) else {
+            return false;
+        };
+        let desired = replica::desired_replicas(&topo.ring, id, &primary, r);
+        (primary, desired)
+    };
+    {
+        let sessions = inner.sessions.lock().unwrap();
+        let Some(state) = sessions.get(&id) else {
+            return false;
+        };
+        // A replica-derived placeholder has no live primary to cut an
+        // image from; it becomes shippable when its primary rejoins.
+        if !state.primary_known || !replica::needs_ship(state, &desired) {
+            return false;
+        }
+    }
+    let primary_pool = inner.pools.read().unwrap().get(&primary_addr).cloned();
+    let Some(primary_pool) = primary_pool else {
+        return false;
+    };
+    inner.metrics.forwarded(1);
+    let image = match primary_pool.call(&Command::SnapshotSession { session: id }) {
+        Ok(Response::SessionExported { image, .. }) => image,
+        Ok(Response::Error(e)) if e.code == ErrorCode::UnknownSession => {
+            forget_session(inner, id);
+            return false;
+        }
+        Ok(_) => return false, // stays dirty; next round retries
+        Err(_) => {
+            inner.metrics.shard_error();
+            return false;
+        }
+    };
+    let epoch = inner
+        .sessions
+        .lock()
+        .unwrap()
+        .get(&id)
+        .map(|s| s.epoch + 1)
+        .unwrap_or(1);
+    let mut acked: Vec<String> = Vec::new();
+    for addr in &desired {
+        let pool = inner.pools.read().unwrap().get(addr).cloned();
+        let Some(pool) = pool else { continue };
+        inner.metrics.forwarded(1);
+        match pool.call(&Command::ReplicateSession {
+            session: id,
+            epoch,
+            image: image.clone(),
+        }) {
+            Ok(Response::SessionReplicated { .. }) => acked.push(addr.clone()),
+            Ok(Response::Error(e)) => {
+                // A refused image (failed the replica's restore
+                // validator) is a loud event: the replica discarded it
+                // rather than adopt a diverged ledger.
+                aware_obs::logline!(
+                    aware_obs::log::Level::Warn,
+                    "replica_ship_refused",
+                    session = id,
+                    to = addr,
+                    epoch = epoch,
+                    error = e.message,
+                );
+            }
+            Ok(_) => {}
+            Err(_) => inner.metrics.shard_error(),
+        }
+    }
+    let stale = {
+        let mut sessions = inner.sessions.lock().unwrap();
+        match sessions.get_mut(&id) {
+            Some(state) => replica::merge_acks(state, &desired, epoch, &acked),
+            None => Vec::new(),
+        }
+    };
+    for addr in stale {
+        let pool = inner.pools.read().unwrap().get(&addr).cloned();
+        if let Some(pool) = pool {
+            let _ = pool.call(&Command::DropReplica { session: id });
+        }
+    }
+    true
+}
+
+/// Fails every session whose primary was confirmed dead over to its
+/// freshest acked replica. Promotion is verified: the shard decodes
+/// and restore-validates the replica image before adopting it, so a
+/// tampered or diverged image answers `corrupt_snapshot` and failover
+/// falls through to the next-best epoch. A session with no promotable
+/// replica stays pinned to the dead shard (`unavailable` — the ledger
+/// is intact there); one whose *every* replica was refused is stranded
+/// on `corrupt_snapshot` — in no case does a client ever see a fresh
+/// budget.
+fn fail_over(inner: &Inner, dead: &str) {
+    let _rebalance = inner.rebalance.lock().unwrap();
+    if !inner.topology.read().unwrap().ring.contains(dead) {
+        return; // a concurrent leave already removed it
+    }
+    aware_obs::logline!(
+        aware_obs::log::Level::Warn,
+        "shard_confirmed_dead",
+        addr = dead,
+    );
+    let victims: Vec<SessionId> = {
+        let topo = inner.topology.read().unwrap();
+        let sessions = inner.sessions.lock().unwrap();
+        let mut ids: Vec<SessionId> = sessions
+            .keys()
+            .copied()
+            .filter(|&id| topo.route(id).as_deref() == Some(dead))
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let (mut promoted, mut pinned, mut lost) = (0u64, 0u64, 0u64);
+    for id in victims {
+        let _stripe = inner.stripes[stripe_of(inner, id)].lock().unwrap();
+        let candidates = {
+            let sessions = inner.sessions.lock().unwrap();
+            sessions
+                .get(&id)
+                .map(replica::promotion_order)
+                .unwrap_or_default()
+        };
+        let mut winner: Option<(String, u64)> = None;
+        let mut last_refusal: Option<ServeError> = None;
+        for (addr, acked_epoch) in candidates {
+            let pool = inner.pools.read().unwrap().get(&addr).cloned();
+            let Some(pool) = pool else { continue };
+            inner.metrics.forwarded(1);
+            match pool.call(&Command::PromoteReplica { session: id }) {
+                Ok(Response::ReplicaPromoted { epoch, .. }) => {
+                    winner = Some((addr, epoch));
+                    break;
+                }
+                Ok(Response::Error(e)) => {
+                    // Refused (tampered/diverged image, already
+                    // discarded shard-side): fall through to the
+                    // next-best epoch, and stop counting on this copy.
+                    aware_obs::logline!(
+                        aware_obs::log::Level::Warn,
+                        "promotion_refused",
+                        session = id,
+                        replica = addr,
+                        acked_epoch = acked_epoch,
+                        error = e.message,
+                    );
+                    if let Some(state) = inner.sessions.lock().unwrap().get_mut(&id) {
+                        state.replicas.retain(|(a, _)| a != &addr);
+                    }
+                    last_refusal = Some(e);
+                }
+                Ok(_) => {}
+                Err(_) => inner.metrics.shard_error(), // unreachable replica: keep its ack
+            }
+        }
+        match winner {
+            Some((addr, epoch)) => {
+                inner
+                    .topology
+                    .write()
+                    .unwrap()
+                    .overrides
+                    .insert(id, addr.clone());
+                if let Some(state) = inner.sessions.lock().unwrap().get_mut(&id) {
+                    state.epoch = state.epoch.max(epoch);
+                    state.dirty = true; // re-establish R replicas on the new ring
+                    state.primary_known = true;
+                    state.replicas.retain(|(a, _)| a != &addr && a != dead);
+                }
+                aware_obs::logline!(
+                    aware_obs::log::Level::Info,
+                    "session_failed_over",
+                    session = id,
+                    from = dead,
+                    to = addr,
+                    epoch = epoch,
+                );
+                promoted += 1;
+            }
+            None => match last_refusal {
+                Some(e) => {
+                    // Every replica image was refused: the session is
+                    // stranded on corrupt_snapshot. Adopting a diverged
+                    // ledger (or minting a fresh one) is exactly the
+                    // reset the α-investing contract forbids.
+                    inner.stranded.lock().unwrap().insert(
+                        id,
+                        ServeError {
+                            code: ErrorCode::CorruptSnapshot,
+                            message: format!(
+                                "session {id} lost its primary ({dead}) and every \
+                                 replica image was refused at promotion: {}",
+                                e.message
+                            ),
+                        },
+                    );
+                    lost += 1;
+                }
+                None => {
+                    // No replicas (or none reachable): pin to the dead
+                    // shard so the session answers `unavailable` until
+                    // it returns. The pin survives the ring flip below.
+                    inner
+                        .topology
+                        .write()
+                        .unwrap()
+                        .overrides
+                        .insert(id, dead.to_string());
+                    pinned += 1;
+                }
+            },
+        }
+    }
+    {
+        let mut topo = inner.topology.write().unwrap();
+        let ring = topo.ring.leave(dead);
+        topo.overrides
+            .retain(|id, addr| ring.route(*id) != Some(addr.as_str()));
+        topo.ring = ring;
+    }
+    inner.membership.lock().unwrap().leave(dead);
+    inner.pools.write().unwrap().remove(dead);
+    aware_obs::logline!(
+        aware_obs::log::Level::Warn,
+        "failover_complete",
+        addr = dead,
+        promoted = promoted,
+        pinned = pinned,
+        lost = lost,
+    );
+}
+
+/// Cluster-wide replication lag: the worst per-session gap between the
+/// primary's state and its replicas' acked epochs, in epochs. `0`
+/// means every session's replicas provably hold the latest shipped
+/// state (and is the constant answer with replication off).
+fn replication_lag(inner: &Inner) -> u64 {
+    let r = inner.config.replicas;
+    if r == 0 {
+        return 0;
+    }
+    let topo = inner.topology.read().unwrap();
+    let sessions = inner.sessions.lock().unwrap();
+    sessions
+        .iter()
+        .filter(|(_, state)| state.primary_known)
+        .map(|(&id, state)| {
+            let Some(primary) = topo.route(id) else {
+                return 0;
+            };
+            let desired = replica::desired_replicas(&topo.ring, id, &primary, r);
+            replica::lag(state, &desired)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The replica pool to race a read against, when hedging applies:
+/// replication on, the command is a pure read, the session is clean,
+/// and some replica acked the *latest* epoch (a stale replica would
+/// still answer correctly-validated state, but an older transcript —
+/// the hedge must be observationally identical to the primary).
+fn hedge_target(
+    inner: &Inner,
+    cmd: &Command,
+    id: SessionId,
+    primary_addr: &str,
+) -> Option<Arc<ShardPool>> {
+    if inner.config.replicas == 0 {
+        return None;
+    }
+    if !matches!(cmd, Command::Gauge { .. } | Command::Transcript { .. }) {
+        return None;
+    }
+    let freshest = {
+        let sessions = inner.sessions.lock().unwrap();
+        let state = sessions.get(&id)?;
+        if state.dirty || state.epoch == 0 {
+            return None;
+        }
+        state
+            .replicas
+            .iter()
+            .filter(|(addr, epoch)| *epoch == state.epoch && addr != primary_addr)
+            .map(|(addr, _)| addr.clone())
+            .min()?
+    };
+    inner.pools.read().unwrap().get(&freshest).cloned()
+}
+
+/// Races a read against primary and replica on two detached threads;
+/// the first non-error answer wins (deliberately *not* a scoped join —
+/// joining both would make every hedged read as slow as the slower
+/// leg, which is the opposite of the point). The loser's late answer
+/// lands in a closed channel and is dropped. If both legs fail, the
+/// primary's outcome is reported.
+fn hedged_call(
+    inner: &Inner,
+    cmd: Command,
+    id: SessionId,
+    kind: usize,
+    trace: u64,
+    primary: Arc<ShardPool>,
+    replica_pool: Arc<ShardPool>,
+) -> Response {
+    inner.metrics.forwarded(2);
+    let start = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (is_primary, pool) in [(true, primary.clone()), (false, replica_pool)] {
+        let tx = tx.clone();
+        let cmd = cmd.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send((is_primary, pool.call_traced(&cmd, trace)));
+        });
+    }
+    drop(tx);
+    let mut primary_outcome: Option<Response> = None;
+    let mut replica_outcome: Option<Response> = None;
+    while let Ok((is_primary, result)) = rx.recv() {
+        match result {
+            Ok(response) if !matches!(response, Response::Error(_)) => {
+                let rt_us = start.elapsed().as_micros() as u64;
+                inner.metrics.observe_command(kind, rt_us);
+                note_slow(inner, trace, kind, Some(id), primary.addr(), rt_us);
+                return response;
+            }
+            Ok(response) => {
+                if is_primary {
+                    // Only the primary's answer feeds the session map /
+                    // health bookkeeping — a replica-side error (e.g. a
+                    // dropped image) says nothing about the session.
+                    primary_outcome =
+                        Some(adapt_shard_response(inner, &primary, Some(id), response));
+                } else {
+                    replica_outcome = Some(response);
+                }
+            }
+            Err(e) => {
+                inner.metrics.shard_error();
+                let slot = if is_primary {
+                    &mut primary_outcome
+                } else {
+                    &mut replica_outcome
+                };
+                *slot = Some(unavailable(format!(
+                    "shard serving session {id} is unreachable ({e}); its wealth \
+                     ledger is intact there — retry when the shard returns"
+                )));
+            }
+        }
+    }
+    inner.metrics.error();
+    primary_outcome
+        .or(replica_outcome)
+        .unwrap_or_else(|| unavailable(format!("hedged read of session {id} got no response")))
+}
+
+/// Renders up to 16 session ids for an error payload.
+fn fmt_sessions(ids: &[SessionId]) -> String {
+    let mut ids = ids.to_vec();
+    ids.sort_unstable();
+    let shown: Vec<String> = ids.iter().take(16).map(|id| id.to_string()).collect();
+    let suffix = if ids.len() > 16 {
+        format!(" (+{} more)", ids.len() - 16)
+    } else {
+        String::new()
+    };
+    format!("[{}]{}", shown.join(", "), suffix)
+}
+
+/// Rebuilds placement and replication state from a joining shard's
+/// `list_sessions` inventory: persisted primaries re-enter the session
+/// map (with a placement override when the ring would put them
+/// elsewhere), held replica images re-enter as acks, and the id
+/// allocator seats above every reported id. A rejoining shard whose
+/// session was promoted elsewhere while it was down is *stale* — its
+/// copy is ignored, never adopted over the live ledger.
+fn recover_inventory(inner: &Inner, pool: &ShardPool) {
+    let addr = pool.addr().to_string();
+    let entries = match pool.call(&Command::ListSessions) {
+        Ok(Response::Sessions { sessions }) => sessions,
+        // Inventory is best-effort: the roster check already passed,
+        // and a shard with nothing persisted reports nothing anyway.
+        _ => return,
+    };
+    for entry in entries {
+        let id = entry.session;
+        inner.next_session.fetch_max(id + 1, Ordering::Relaxed);
+        if entry.replica {
+            let mut sessions = inner.sessions.lock().unwrap();
+            let state = sessions.entry(id).or_insert_with(|| SessState {
+                dirty: true,
+                ..SessState::default()
+            });
+            if state.acked(&addr).is_none() {
+                state.replicas.push((addr.clone(), entry.epoch));
+            }
+            state.epoch = state.epoch.max(entry.epoch);
+        } else {
+            let already_placed = {
+                let sessions = inner.sessions.lock().unwrap();
+                sessions
+                    .get(&id)
+                    .map(|state| state.primary_known)
+                    .unwrap_or(false)
+            };
+            if already_placed {
+                aware_obs::logline!(
+                    aware_obs::log::Level::Warn,
+                    "stale_primary_ignored",
+                    session = id,
+                    shard = addr,
+                    note = "session is already placed; the rejoining copy is stale",
+                );
+                continue;
+            }
+            {
+                let mut sessions = inner.sessions.lock().unwrap();
+                let state = sessions.entry(id).or_insert_with(SessState::new_dirty);
+                state.primary_known = true;
+                state.dirty = true;
+            }
+            let mut topo = inner.topology.write().unwrap();
+            if topo.route(id).as_deref() != Some(addr.as_str()) {
+                topo.overrides.insert(id, addr.clone());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stats aggregation
 // ---------------------------------------------------------------------------
 
@@ -413,6 +1016,12 @@ fn sum_stats(total: &mut StatsSnapshot, shard: &StatsSnapshot) {
     total.migrations += shard.migrations;
     total.shard_errors += shard.shard_errors;
     total.slow_queries += shard.slow_queries;
+    // Replication scalars: shards own the gauges/counters they can see
+    // (held images, performed promotions, replica-served reads); the
+    // lag is router-only knowledge and is overwritten after the sum.
+    total.replicas_live += shard.replicas_live;
+    total.promotions += shard.promotions;
+    total.hedged_reads += shard.hedged_reads;
     // Quantiles cannot be summed; MAX-merge is the honest cluster-wide
     // upper bound the scalar list can carry (the exposition endpoint
     // serves the real per-shard distributions).
@@ -471,6 +1080,9 @@ fn probe_all(inner: &Inner) -> (StatsSnapshot, Vec<(String, StatsSnapshot)>) {
     total.latency_p99_us = total.latency_p99_us.max(p99);
     total.latency_p999_us = total.latency_p999_us.max(p999);
     total.uptime_seconds = m.uptime_seconds();
+    // Only the router knows how far replicas trail their primaries
+    // (shards report 0 for this field).
+    total.replication_lag_max_epochs = replication_lag(inner);
     for (slot, counter) in total.batch_size_hist.iter_mut().zip(&m.batch_size_hist) {
         *slot += counter.load(Ordering::Relaxed);
     }
@@ -479,7 +1091,7 @@ fn probe_all(inner: &Inner) -> (StatsSnapshot, Vec<(String, StatsSnapshot)>) {
 }
 
 fn aggregate_stats(inner: &Inner) -> Response {
-    Response::Stats(probe_all(inner).0)
+    Response::Stats(Box::new(probe_all(inner).0))
 }
 
 /// The dataset roster, answered from the first healthy shard (the
@@ -568,7 +1180,7 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
     let image = match from_pool.call(&Command::ExportSession { session: id }) {
         Ok(Response::SessionExported { image, .. }) => image,
         Ok(Response::Error(e)) if e.code == ErrorCode::UnknownSession => {
-            inner.live.lock().unwrap().remove(&id);
+            forget_session(inner, id);
             return Migration::Gone;
         }
         Ok(other) => {
@@ -606,6 +1218,11 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
                 .unwrap()
                 .overrides
                 .insert(id, to_addr.to_string());
+            // The move changes the session's ring neighborhood, so its
+            // replica set drifts: leave it due for the next round.
+            if let Some(state) = inner.sessions.lock().unwrap().get_mut(&id) {
+                state.dirty = true;
+            }
             inner.metrics.migration();
             Migration::Moved
         }
@@ -633,7 +1250,7 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
                 Ok(Response::SessionImported { .. }) => Migration::Failed,
                 rollback => {
                     inner.metrics.shard_error();
-                    inner.live.lock().unwrap().remove(&id);
+                    forget_session(inner, id);
                     aware_obs::logline!(
                         aware_obs::log::Level::Error,
                         "migration_ledger_lost",
@@ -651,13 +1268,18 @@ fn migrate_session(inner: &Inner, id: SessionId, to_addr: &str) -> Migration {
 
 /// Migrates every live session whose placement changes from the
 /// current topology to `new_ring`; flips the ring only when all of
-/// them moved. Returns `(migrated, failed)`.
-fn rebalance_to(inner: &Inner, new_ring: Ring) -> (u64, u64) {
+/// them moved. Returns `(migrated, failed session ids)` — the ids let
+/// a refusal name exactly which ledgers are stranded, and where.
+fn rebalance_to(inner: &Inner, new_ring: Ring) -> (u64, Vec<SessionId>) {
     let remapped: Vec<(SessionId, String)> = {
         let topo = inner.topology.read().unwrap();
-        let live = inner.live.lock().unwrap();
-        live.iter()
-            .filter_map(|&id| {
+        let sessions = inner.sessions.lock().unwrap();
+        sessions
+            .iter()
+            // Replica-derived placeholders have no live primary to
+            // export from; they migrate only once their primary is back.
+            .filter(|(_, state)| state.primary_known)
+            .filter_map(|(&id, _)| {
                 let target = new_ring.route(id)?.to_string();
                 match topo.route(id) {
                     Some(current) if current != target => Some((id, target)),
@@ -667,15 +1289,15 @@ fn rebalance_to(inner: &Inner, new_ring: Ring) -> (u64, u64) {
             .collect()
     };
     let mut migrated = 0u64;
-    let mut failed = 0u64;
+    let mut failed: Vec<SessionId> = Vec::new();
     for (id, target) in remapped {
         match migrate_session(inner, id, &target) {
             Migration::Moved => migrated += 1,
             Migration::Gone => {}
-            Migration::Failed => failed += 1,
+            Migration::Failed => failed.push(id),
         }
     }
-    if failed == 0 {
+    if failed.is_empty() {
         let mut topo = inner.topology.write().unwrap();
         // Keep only overrides that still disagree with the new ring
         // (pins left by earlier partial rebalances).
@@ -728,13 +1350,21 @@ fn join_shard(inner: &Inner, addr: String) -> Response {
         .write()
         .unwrap()
         .insert(addr.clone(), pool.clone());
+    inner.membership.lock().unwrap().join(&addr);
+    // Router-restart recovery: adopt whatever the shard already holds
+    // (persisted primaries and replica images) before rebalancing, so
+    // the rebalance places recovered sessions exactly per the new ring.
+    recover_inventory(inner, &pool);
     let new_ring = inner.topology.read().unwrap().ring.join(&addr);
     let (migrated, failed) = rebalance_to(inner, new_ring);
-    if failed > 0 {
+    if !failed.is_empty() {
         inner.metrics.error();
         return unavailable(format!(
-            "join of {addr} incomplete: {migrated} sessions migrated, {failed} failed \
-             and stay on their current shards — re-issue join_shard to retry"
+            "join of {addr} incomplete: {migrated} sessions migrated, {} failed and \
+             stay on their current shards — stranded sessions {} keep serving from \
+             their pre-join placement; re-issue join_shard to retry",
+            failed.len(),
+            fmt_sessions(&failed),
         ));
     }
     Response::Rebalanced {
@@ -757,7 +1387,7 @@ fn leave_shard(inner: &Inner, addr: String) -> Response {
         }
         if topo.ring.contains(&addr)
             && topo.ring.len() == 1
-            && !inner.live.lock().unwrap().is_empty()
+            && !inner.sessions.lock().unwrap().is_empty()
         {
             return Response::Error(ServeError::invalid(format!(
                 "cannot remove {addr}: it is the last shard and live sessions remain"
@@ -766,16 +1396,25 @@ fn leave_shard(inner: &Inner, addr: String) -> Response {
     }
     let new_ring = inner.topology.read().unwrap().ring.leave(&addr);
     let (migrated, failed) = rebalance_to(inner, new_ring);
-    if failed > 0 {
+    if !failed.is_empty() {
         inner.metrics.error();
+        // Name the stranded ledgers and where they still live: with no
+        // replicas, the departing shard holds the *only* copy of each,
+        // so the operator must know exactly what is at stake before
+        // forcing anything.
         return unavailable(format!(
-            "leave of {addr} incomplete: {migrated} sessions migrated, {failed} failed \
-             and stay pinned to it — re-issue leave_shard to retry"
+            "leave of {addr} incomplete: {migrated} sessions migrated, {} failed and \
+             stay pinned — stranded sessions {} are still owned by shard {addr}, \
+             which holds their only copy; re-issue leave_shard (with the shard \
+             reachable) to retry",
+            failed.len(),
+            fmt_sessions(&failed),
         ));
     }
     // Nothing routes to the shard any more (ring flipped, overrides
     // retained only where they disagree with the new ring — none can
     // point at a departed member after a clean leave).
+    inner.membership.lock().unwrap().leave(&addr);
     inner.pools.write().unwrap().remove(&addr);
     Response::Rebalanced {
         addr,
@@ -794,6 +1433,21 @@ fn route_one(inner: &Inner, cmd: Command, trace: u64) -> Response {
         Command::ListDatasets => list_datasets(inner),
         Command::JoinShard { addr } => join_shard(inner, addr),
         Command::LeaveShard { addr } => leave_shard(inner, addr),
+        // The replication plane is router-to-shard only: letting a
+        // client ship images or force promotions through the router
+        // would bypass the epoch bookkeeping that makes promotion safe.
+        Command::ReplicateSession { .. }
+        | Command::PromoteReplica { .. }
+        | Command::DropReplica { .. }
+        | Command::SnapshotSession { .. }
+        | Command::ListSessions
+        | Command::Gossip { .. } => {
+            inner.metrics.error();
+            Response::Error(ServeError::invalid(
+                "replication commands are shard-internal — the router manages \
+                 replicas, promotion, and membership itself",
+            ))
+        }
         Command::CreateSession {
             dataset,
             alpha,
@@ -842,7 +1496,13 @@ impl Dispatch for RouterHandle {
                 Command::Stats
                 | Command::ListDatasets
                 | Command::JoinShard { .. }
-                | Command::LeaveShard { .. } => {
+                | Command::LeaveShard { .. }
+                | Command::ReplicateSession { .. }
+                | Command::PromoteReplica { .. }
+                | Command::DropReplica { .. }
+                | Command::SnapshotSession { .. }
+                | Command::ListSessions
+                | Command::Gossip { .. } => {
                     slots[index] = Some(route_one(inner, cmd, trace));
                 }
                 Command::CreateSession {
@@ -1004,12 +1664,35 @@ impl RouterHandle {
 
     /// Sessions the router currently believes live, cluster-wide.
     pub fn live_sessions(&self) -> u64 {
-        self.inner.live.lock().unwrap().len() as u64
+        self.inner.sessions.lock().unwrap().len() as u64
     }
 
     /// Total sessions migrated by rebalances so far.
     pub fn migrations(&self) -> u64 {
         self.inner.metrics.migrations()
+    }
+
+    /// Runs one replication round now (the background prober runs the
+    /// same on its cadence): drains pending replica drops and ships
+    /// every due session's image to its ring successors. Returns the
+    /// number of sessions shipped. Deterministic entry point for tests
+    /// and operators — no probe interval needed.
+    pub fn replicate_now(&self) -> u64 {
+        replicate_round(&self.inner)
+    }
+
+    /// Runs one probe round now: health-probes every shard, advances
+    /// the SWIM-lite suspect/confirm machine (two consecutive missed
+    /// rounds confirm death and trigger failover when replication is
+    /// on), and disseminates the membership view to surviving shards.
+    pub fn probe_now(&self) {
+        probe_round(&self.inner);
+    }
+
+    /// Worst per-session replication epoch gap (`0` = every replica
+    /// provably holds the latest shipped state).
+    pub fn replication_lag(&self) -> u64 {
+        replication_lag(&self.inner)
     }
 
     /// Current ring membership, sorted.
@@ -1042,6 +1725,22 @@ impl RouterHandle {
             "Live sessions, cluster-wide.",
         );
         r.sample("aware_sessions_live", &[], merged.sessions_live);
+        r.family(
+            "aware_replicas_live",
+            "gauge",
+            "Warm replica images held, cluster-wide.",
+        );
+        r.sample("aware_replicas_live", &[], merged.replicas_live);
+        r.family(
+            "aware_replication_lag_max_epochs",
+            "gauge",
+            "Worst per-session gap between primary state and acked replica epochs.",
+        );
+        r.sample(
+            "aware_replication_lag_max_epochs",
+            &[],
+            merged.replication_lag_max_epochs,
+        );
         for (name, help, value) in [
             (
                 "aware_commands_total",
@@ -1082,6 +1781,16 @@ impl RouterHandle {
                 "aware_slow_queries_total",
                 "Slow-query records, cluster-wide.",
                 merged.slow_queries,
+            ),
+            (
+                "aware_promotions_total",
+                "Replica promotions performed by failovers.",
+                merged.promotions,
+            ),
+            (
+                "aware_hedged_reads_total",
+                "Reads served from a replica image by hedging.",
+                merged.hedged_reads,
             ),
             (
                 "aware_cache_hits_total",
@@ -1432,11 +2141,10 @@ mod tests {
             unavailable_seen > 0,
             "shard 2's sessions answer unavailable"
         );
-        // shard_errors counted against the dying shard. (The per-shard
-        // `healthy` flag under *real* process death — where probes fail
-        // at the transport — is asserted by the multi-process
-        // conformance suite; an in-process shutdown still answers
-        // stats probes from surviving connection threads.)
+        // shard_errors counted against the dying shard (a drained
+        // service answers `shutdown` even to stats probes, so the
+        // router's health check sees in-process death the same way the
+        // multi-process conformance suite sees a SIGKILL).
         match h.call(Command::Stats) {
             Response::Stats(s) => assert!(s.shard_errors > 0),
             other => panic!("{other:?}"),
@@ -1464,6 +2172,153 @@ mod tests {
             other => panic!("mismatched shard must be refused: {other:?}"),
         }
         assert_eq!(h.shards().len(), 1);
+    }
+
+    fn stats_of(h: &RouterHandle) -> StatsSnapshot {
+        match h.call(Command::Stats) {
+            Response::Stats(s) => *s,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_ships_and_failover_promotes_with_transcripts_byte_identical() {
+        let (_s1, _t1, a1) = shard(7);
+        let (s2, t2, a2) = shard(7);
+        let router = Router::start(RouterConfig {
+            replicas: 1,
+            ..RouterConfig::default()
+        });
+        let h = router.handle();
+        join(&h, &a1);
+        join(&h, &a2);
+        // 12 sessions: a one-sided ring split is astronomically
+        // unlikely, so both shards hold primaries (asserted below) and
+        // the kill provably exercises promotion.
+        let sids: Vec<SessionId> = (0..12).map(|_| create(&h)).collect();
+        for &sid in &sids {
+            assert!(h.call(viz(sid)).is_ok());
+        }
+        let s = stats_of(&h);
+        assert!(
+            s.shards.iter().all(|sh| sh.sessions_live > 0),
+            "both shards should hold primaries: {:?}",
+            s.shards
+        );
+
+        // One round ships every session once; the lag gauge then
+        // proves the replicas hold the latest shipped state.
+        assert_eq!(h.replicate_now(), sids.len() as u64);
+        assert_eq!(h.replication_lag(), 0);
+        assert_eq!(stats_of(&h).replicas_live, sids.len() as u64);
+        // Clean sessions hedge gauge/transcript reads against the
+        // freshest replica — the answer must be byte-identical to the
+        // primary's, whichever leg wins the race.
+        let before: Vec<String> = sids.iter().map(|&sid| csv(&h, sid)).collect();
+        // Everything clean and placed: a second round ships nothing.
+        assert_eq!(h.replicate_now(), 0);
+
+        // Kill shard 2. One missed probe only *suspects* (no ring
+        // flap); the second confirms death and fails its sessions over
+        // to their verified replicas on shard 1.
+        drop(t2);
+        s2.shutdown();
+        h.probe_now();
+        assert_eq!(h.shards().len(), 2, "one miss must not flap the ring");
+        h.probe_now();
+        assert_eq!(h.shards(), vec![a1.clone()]);
+
+        for (i, &sid) in sids.iter().enumerate() {
+            assert_eq!(
+                csv(&h, sid),
+                before[i],
+                "session {sid} changed across the failover"
+            );
+            assert!(
+                h.call(viz(sid)).is_ok(),
+                "session {sid} must keep serving after failover"
+            );
+        }
+        let s = stats_of(&h);
+        assert!(s.promotions > 0, "failover performed verified promotions");
+        assert_eq!(s.sessions_live, sids.len() as u64);
+        assert_eq!(s.shards.len(), 1);
+    }
+
+    #[test]
+    fn router_restart_rebuilds_placement_from_shard_inventory() {
+        let (_s1, _t1, a1) = shard(7);
+        let first = Router::start(RouterConfig::default());
+        let h = first.handle();
+        join(&h, &a1);
+        let sids: Vec<SessionId> = (0..4).map(|_| create(&h)).collect();
+        for &sid in &sids {
+            assert!(h.call(viz(sid)).is_ok());
+        }
+        let before: Vec<String> = sids.iter().map(|&sid| csv(&h, sid)).collect();
+        drop(h);
+        drop(first); // the router restarts with no memory of the shard
+
+        let second = Router::start(RouterConfig::default());
+        let h = second.handle();
+        join(&h, &a1);
+        assert_eq!(
+            h.live_sessions(),
+            sids.len() as u64,
+            "join-time inventory recovers the placement"
+        );
+        for (i, &sid) in sids.iter().enumerate() {
+            assert_eq!(csv(&h, sid), before[i]);
+        }
+        // The allocator seated above every recovered id: a new create
+        // works and collides with nothing.
+        let fresh = create(&h);
+        assert!(!sids.contains(&fresh));
+        assert!(h.call(viz(fresh)).is_ok());
+    }
+
+    #[test]
+    fn replication_commands_are_shard_internal_at_the_router() {
+        let (_s1, _t1, a1) = shard(7);
+        let router = Router::start(RouterConfig::default());
+        let h = router.handle();
+        join(&h, &a1);
+        let sid = create(&h);
+        for cmd in [
+            Command::SnapshotSession { session: sid },
+            Command::PromoteReplica { session: sid },
+            Command::DropReplica { session: sid },
+            Command::ReplicateSession {
+                session: sid,
+                epoch: 1,
+                image: vec![1, 2, 3],
+            },
+            Command::ListSessions,
+            Command::Gossip {
+                from: "client".into(),
+                generation: 9,
+                members: Vec::new(),
+            },
+        ] {
+            match h.call(cmd) {
+                Response::Error(e) => {
+                    assert_eq!(e.code, ErrorCode::InvalidArgument);
+                    assert!(e.message.contains("shard-internal"), "{e}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The batch path classifies them inline — same refusal, and the
+        // rest of the batch still executes.
+        let responses = Dispatch::call_batch_mode(
+            &h,
+            vec![Command::ListSessions, Command::Gauge { session: sid }],
+            BatchMode::Continue,
+        );
+        assert!(
+            matches!(&responses[0], Response::Error(e) if e.code == ErrorCode::InvalidArgument)
+        );
+        assert!(matches!(&responses[1], Response::GaugeText { .. }));
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //!   byte-identically afterwards;
 //! * a SIGKILLed shard answers `unavailable` (never `unknown_session`,
 //!   never a fresh budget), shows up unhealthy in the router's
-//!   per-shard stats breakdown, and leaves every other shard serving.
+//!   per-shard stats breakdown, and leaves every other shard serving;
+//! * with `--replicas 1`, a SIGKILLed *primary* is failed over
+//!   automatically: its sessions promote from their warm replicas and
+//!   the continued transcripts stay **byte-identical** to an
+//!   uninterrupted single-process replay;
+//! * a deliberately-corrupted replica image is *refused* at promotion
+//!   time — the stranded session answers `corrupt_snapshot`, never a
+//!   fresh budget, while untampered sessions promote fine.
 //!
 //! CI runs this as its cluster conformance step:
 //! `cargo test -p aware-cluster --release --test cluster_conformance`.
@@ -183,6 +190,47 @@ fn spawn_router(shards: &[SocketAddr]) -> (ProcGuard, SocketAddr) {
     spawn(&refs)
 }
 
+/// A shard with a snapshot store (replica images land on disk, where
+/// the corruption test can tamper with them). Sync snapshots so every
+/// state change is on disk before the reply.
+fn spawn_shard_with_store(dir: &std::path::Path) -> (ProcGuard, SocketAddr) {
+    spawn(&[
+        "shard",
+        "--addr",
+        "127.0.0.1:0",
+        "--rows",
+        "1200",
+        "--seed",
+        "7",
+        "--workers",
+        "2",
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--snapshot-every",
+        "0",
+    ])
+}
+
+/// A router with warm replication on and a fast probe cadence, so
+/// failover completes within the test's polling window.
+fn spawn_router_replicated(shards: &[SocketAddr]) -> (ProcGuard, SocketAddr) {
+    let mut args: Vec<String> = vec![
+        "router".into(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--replicas".into(),
+        "1".into(),
+        "--probe-secs".into(),
+        "1".into(),
+    ];
+    for shard in shards {
+        args.push("--shard".into());
+        args.push(shard.to_string());
+    }
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    spawn(&refs)
+}
+
 fn create_session(client: &mut Client) -> SessionId {
     match client
         .call(&Command::CreateSession {
@@ -307,7 +355,7 @@ fn drive(client: &mut Client, sids: &[SessionId], range: std::ops::Range<usize>,
 fn cluster_stats(router_addr: SocketAddr) -> aware_serve::proto::StatsSnapshot {
     let mut client = Client::connect(router_addr).unwrap();
     match client.call(&Command::Stats).unwrap() {
-        Response::Stats(stats) => stats,
+        Response::Stats(stats) => *stats,
         other => panic!("{other:?}"),
     }
 }
@@ -648,5 +696,257 @@ fn sigkilled_shard_answers_unavailable_and_the_rest_keep_serving() {
             still_ok >= ok,
             "a partial leave may only move sessions to healthy shards ({still_ok} < {ok})"
         );
+    }
+}
+
+/// A fresh per-test scratch directory under the OS temp root.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aware-conformance-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The sessions across the whole cluster that a kill must not stall:
+/// polls until every one of `sids` answers its gauge again (promotion
+/// has replaced the dead primary), panicking on the two forbidden
+/// answers — `unknown_session` (the ledger vanished) and a gauge from
+/// a *fresh* session (the ledger was reset: full starting wealth, no
+/// views — exactly the adaptive-reuse attack a failover must prevent).
+fn wait_all_serving(client: &mut Client, sids: &[SessionId]) {
+    wait_for(|| {
+        for &sid in sids {
+            match client.call(&Command::Gauge { session: sid }).unwrap() {
+                Response::GaugeText { .. } => {}
+                Response::Error(e) if e.code == ErrorCode::Unavailable => return None,
+                other => panic!("session {sid} during failover: {other:?}"),
+            }
+        }
+        Some(())
+    })
+    .expect("failover did not restore service within the polling window");
+}
+
+/// Tentpole proof, part 1: warm replication + automatic failover is
+/// *invisible* to a client. Three shard processes behind a replicated
+/// router; mid-exploration the router SIGKILLs cannot be told apart
+/// from a slow network — sessions on the killed primary promote from
+/// their replicas automatically and every transcript stays
+/// byte-identical to an uninterrupted single-process replay.
+#[test]
+fn sigkilled_primary_fails_over_and_transcripts_match_single_process_replay() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut shards = [spawn_shard(), spawn_shard(), spawn_shard()];
+    let addrs: Vec<SocketAddr> = shards.iter().map(|(_, addr)| *addr).collect();
+    let (_router, router_addr) = spawn_router_replicated(&addrs);
+    let mut client = Client::connect_with(router_addr, Encoding::Binary).unwrap();
+
+    const HA_SESSIONS: usize = 18;
+    let sids: Vec<SessionId> = (0..HA_SESSIONS)
+        .map(|_| create_session(&mut client))
+        .collect();
+    drive(&mut client, &sids, 0..CUT, true);
+
+    // Wait for the replication cadence to catch up: every session's
+    // image shipped and acked at its latest epoch.
+    wait_for(|| {
+        let stats = cluster_stats(router_addr);
+        (stats.replicas_live as usize == HA_SESSIONS && stats.replication_lag_max_epochs == 0)
+            .then_some(())
+    })
+    .expect("replication never caught up (lag > 0 or images missing)");
+
+    // SIGKILL a shard that actually holds sessions, mid-exploration.
+    let stats = cluster_stats(router_addr);
+    let victim_addr = stats
+        .shards
+        .iter()
+        .find(|s| s.sessions_live > 0)
+        .expect("18 sessions over 3 shards: someone holds sessions")
+        .addr
+        .clone();
+    let victim_index = addrs
+        .iter()
+        .position(|a| a.to_string() == victim_addr)
+        .expect("victim is one of ours");
+    shards[victim_index].0.kill_hard();
+
+    // Automatic failover: suspect → confirm → promote. No operator
+    // action; the only client-visible artifact is a brief
+    // `unavailable` window while death is being confirmed. Gauges
+    // alone don't prove promotion (a hedged read can be served from
+    // the replica while the primary is still being confirmed dead), so
+    // first wait for the router to finish the failover — dead shard
+    // out of the ring, promotions recorded — then for every session to
+    // answer.
+    wait_for(|| {
+        let stats = cluster_stats(router_addr);
+        (stats.shards.len() == 2 && stats.promotions > 0).then_some(())
+    })
+    .expect("the router never completed the failover");
+    wait_all_serving(&mut client, &sids);
+
+    // Continue every session to the end and read the full transcripts.
+    drive(&mut client, &sids, CUT..script(0, 0).len(), false);
+    let routed: Vec<_> = sids
+        .iter()
+        .map(|&sid| transcripts(&mut client, sid))
+        .collect();
+
+    // The router promoted (at least one session lived on the victim),
+    // dropped the dead shard from the ring, and lost nobody.
+    let stats = cluster_stats(router_addr);
+    assert!(stats.promotions > 0, "no promotion recorded: {stats:?}");
+    assert_eq!(stats.sessions_live as usize, HA_SESSIONS);
+    assert_eq!(stats.shards.len(), 2, "{:?}", stats.shards);
+    assert!(stats.shards.iter().all(|s| s.healthy), "{:?}", stats.shards);
+
+    // --- Reference: one single-process serve, never interrupted.
+    let (_reference, ref_addr) = spawn_shard();
+    let mut reference = Client::connect_with(ref_addr, Encoding::Binary).unwrap();
+    let ref_sids: Vec<SessionId> = (0..HA_SESSIONS)
+        .map(|_| create_session(&mut reference))
+        .collect();
+    assert_eq!(ref_sids, sids);
+    drive(&mut reference, &ref_sids, 0..script(0, 0).len(), false);
+    for (i, &sid) in ref_sids.iter().enumerate() {
+        let expected = transcripts(&mut reference, sid);
+        assert_eq!(
+            routed[i], expected,
+            "session {sid}: transcripts diverged across the failover — the promoted \
+             replica did not carry the exact wealth ledger"
+        );
+    }
+}
+
+/// Tentpole proof, part 2: the Hardt–Ullman rule under failover. A
+/// replica image deliberately corrupted on disk is *refused* at
+/// promotion time — the stranded session answers `corrupt_snapshot`
+/// forever after (never `unknown_session`, never a fresh budget),
+/// while every untampered session on the same dead primary promotes
+/// and continues byte-identically.
+#[test]
+fn tampered_replica_image_is_refused_at_promotion_never_adopted() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dirs = [scratch_dir("tamper-a"), scratch_dir("tamper-b")];
+    let mut shards = [
+        spawn_shard_with_store(&dirs[0]),
+        spawn_shard_with_store(&dirs[1]),
+    ];
+    let addrs: Vec<SocketAddr> = shards.iter().map(|(_, addr)| *addr).collect();
+    let (_router, router_addr) = spawn_router_replicated(&addrs);
+    let mut client = Client::connect_with(router_addr, Encoding::Binary).unwrap();
+
+    const T_SESSIONS: usize = 16;
+    let sids: Vec<SessionId> = (0..T_SESSIONS)
+        .map(|_| create_session(&mut client))
+        .collect();
+    drive(&mut client, &sids, 0..2, false);
+    wait_for(|| {
+        let stats = cluster_stats(router_addr);
+        (stats.replicas_live as usize == T_SESSIONS && stats.replication_lag_max_epochs == 0)
+            .then_some(())
+    })
+    .expect("replication never caught up (lag > 0 or images missing)");
+
+    // With two shards and R=1, the survivor's `repl-<id>.e<epoch>.awrs`
+    // files are exactly the victim's sessions. Pick a victim that holds
+    // sessions; its replicas live in the other shard's data dir.
+    let stats = cluster_stats(router_addr);
+    let victim_addr = stats
+        .shards
+        .iter()
+        .find(|s| s.sessions_live > 0)
+        .expect("16 sessions over 2 shards: someone holds sessions")
+        .addr
+        .clone();
+    let victim_index = addrs
+        .iter()
+        .position(|a| a.to_string() == victim_addr)
+        .expect("victim is one of ours");
+    let survivor_dir = &dirs[1 - victim_index];
+    let mut victim_replicas: Vec<(SessionId, std::path::PathBuf)> = std::fs::read_dir(survivor_dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter_map(|path| {
+            let name = path.file_name()?.to_str()?;
+            let id: SessionId = name
+                .strip_prefix("repl-")?
+                .split_once(".e")?
+                .0
+                .parse()
+                .ok()?;
+            Some((id, path))
+        })
+        .collect();
+    victim_replicas.sort();
+    assert!(
+        !victim_replicas.is_empty(),
+        "survivor holds no replica images in {survivor_dir:?}"
+    );
+
+    // Record every session's observable state before the failure …
+    let before: Vec<_> = sids
+        .iter()
+        .map(|&sid| transcripts(&mut client, sid))
+        .collect();
+
+    // … then corrupt ONE victim session's replica image on disk (flip
+    // a byte mid-file) and SIGKILL its primary.
+    let (tampered, tampered_path) = victim_replicas[0].clone();
+    let mut bytes = std::fs::read(&tampered_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&tampered_path, &bytes).unwrap();
+    shards[victim_index].0.kill_hard();
+
+    // The tampered session must converge to `corrupt_snapshot`: the
+    // image fails restore validation at promotion, the replica is
+    // discarded, and with no next-best epoch left the session strands.
+    // `unavailable` is legal only *during* the confirmation window;
+    // `unknown_session` or a served gauge would be adoption of a
+    // corrupt ledger — the one forbidden outcome.
+    wait_for(
+        || match client.call(&Command::Gauge { session: tampered }).unwrap() {
+            Response::Error(e) if e.code == ErrorCode::Unavailable => None,
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::CorruptSnapshot, "{e}");
+                Some(())
+            }
+            other => panic!("tampered session {tampered} was adopted: {other:?}"),
+        },
+    )
+    .expect("tampered session never answered corrupt_snapshot");
+
+    // Mutations are refused the same way — no write path resurrects it.
+    match client.call(&script(tampered, 0)[4]).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot, "{e}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Every *untampered* session — the victim's included — promotes
+    // and serves its exact pre-kill state. (The tampered session
+    // strands *first* — victims fail over in id order and it holds the
+    // lowest id — so wait for the full failover before asserting the
+    // promotion count.)
+    wait_for(|| {
+        let stats = cluster_stats(router_addr);
+        (stats.shards.len() == 1 && stats.promotions as usize >= victim_replicas.len() - 1)
+            .then_some(())
+    })
+    .expect("untampered victim sessions never finished promoting");
+    let untampered: Vec<SessionId> = sids.iter().copied().filter(|&s| s != tampered).collect();
+    wait_all_serving(&mut client, &untampered);
+    for &sid in &untampered {
+        assert_eq!(
+            transcripts(&mut client, sid),
+            before[sid as usize],
+            "session {sid} changed state across the failover"
+        );
+    }
+
+    drop(shards);
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -30,6 +30,8 @@ pub struct Metrics {
     ndjson_requests: AtomicU64,
     binary_frames: AtomicU64,
     slow_queries: AtomicU64,
+    promotions: AtomicU64,
+    hedged_reads: AtomicU64,
     batch_size_hist: [AtomicU64; 5],
     /// End-to-end command latency (queue wait + execute), bucketed by
     /// [`COMMAND_KINDS`] index. The all-kinds distribution is the
@@ -119,6 +121,17 @@ impl Metrics {
     /// was emitted).
     pub fn slow_query(&self) {
         self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One replica image promoted to the live session on this shard.
+    pub fn promotion(&self) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One read-only command answered from a held replica image (the
+    /// serving half of a router's hedged read).
+    pub fn hedged_read(&self) {
+        self.hedged_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// End-to-end latency (µs) of one command of the given
@@ -216,6 +229,13 @@ impl Metrics {
             batch_size_hist,
             shards: Vec::new(),
             sessions: Vec::new(),
+            // `replicas_live` is a gauge over the replica map — the
+            // service folds it in at snapshot time. Replication lag is
+            // only observable from a router, which knows the acks.
+            replicas_live: 0,
+            replication_lag_max_epochs: 0,
+            promotions: self.promotions.load(Ordering::Relaxed),
+            hedged_reads: self.hedged_reads.load(Ordering::Relaxed),
         }
     }
 }

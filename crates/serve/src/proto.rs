@@ -773,6 +773,45 @@ pub enum Command {
     /// Removes a shard from a cluster router's ring, migrating its
     /// sessions to the surviving shards first.
     LeaveShard { addr: String },
+    /// Ships an `AWRS` snapshot image to a warm replica. The receiving
+    /// shard runs the image through the full restore validator (decode,
+    /// dataset fingerprint, ledger re-validation) and **refuses** any
+    /// image that fails it — a diverged replica is discarded, never
+    /// adopted. `epoch` is the monotonic replication epoch: a replica
+    /// refuses any epoch older than the one it already holds, and
+    /// re-applying the current epoch is an idempotent ack.
+    ReplicateSession {
+        session: SessionId,
+        epoch: u64,
+        image: Vec<u8>,
+    },
+    /// Installs the replica image this shard holds for `session` as the
+    /// live session — the failover half of replication. The image is
+    /// re-read from its durable home and re-validated at promotion
+    /// time; a tampered or diverged image answers `corrupt_snapshot`
+    /// and the replica is discarded (never adopted as a ledger).
+    PromoteReplica { session: SessionId },
+    /// Discards the replica image this shard holds for `session`
+    /// (topology moved the replica elsewhere, or the session closed).
+    /// Idempotent: dropping an absent replica is still an ack.
+    DropReplica { session: SessionId },
+    /// Returns the session's complete `AWRS` snapshot image *without*
+    /// removing the session — the non-destructive half of
+    /// `export_session`, used by the router's replication cadence.
+    SnapshotSession { session: SessionId },
+    /// Lists every session this shard knows about — live or persisted
+    /// primaries plus held replica images with their epochs. A
+    /// restarting router scans shards with this to rebuild placement
+    /// instead of starting blind.
+    ListSessions,
+    /// Membership gossip: the sender's roster view (ring generation +
+    /// per-shard health). The receiver merges the higher generation and
+    /// answers with its own view, so peers converge on the ring.
+    Gossip {
+        from: String,
+        generation: u64,
+        members: Vec<MemberInfo>,
+    },
     /// Places a visualization; may derive and test a hypothesis.
     AddVisualization {
         session: SessionId,
@@ -809,12 +848,18 @@ impl Command {
             | Command::Transcript { session, .. }
             | Command::CloseSession { session }
             | Command::ExportSession { session }
-            | Command::ImportSession { session, .. } => Some(session),
+            | Command::ImportSession { session, .. }
+            | Command::ReplicateSession { session, .. }
+            | Command::PromoteReplica { session }
+            | Command::DropReplica { session }
+            | Command::SnapshotSession { session } => Some(session),
             Command::CreateSession { .. }
             | Command::Stats
             | Command::ListDatasets
+            | Command::ListSessions
             | Command::JoinShard { .. }
-            | Command::LeaveShard { .. } => None,
+            | Command::LeaveShard { .. }
+            | Command::Gossip { .. } => None,
         }
     }
 
@@ -840,6 +885,12 @@ impl Command {
             Command::JoinShard { .. } => 10,
             Command::LeaveShard { .. } => 11,
             Command::Stats => 12,
+            Command::ReplicateSession { .. } => 13,
+            Command::PromoteReplica { .. } => 14,
+            Command::DropReplica { .. } => 15,
+            Command::SnapshotSession { .. } => 16,
+            Command::ListSessions => 17,
+            Command::Gossip { .. } => 18,
         }
     }
 
@@ -874,9 +925,32 @@ impl Command {
                 pairs.push(("session", Json::Num(*session as f64)));
                 pairs.push(("image", Json::Str(hex_encode(image))));
             }
-            Command::ListDatasets => {}
+            Command::ListDatasets | Command::ListSessions => {}
             Command::JoinShard { addr } | Command::LeaveShard { addr } => {
                 pairs.push(("addr", Json::Str(addr.clone())));
+            }
+            Command::ReplicateSession {
+                session,
+                epoch,
+                image,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("image", Json::Str(hex_encode(image))));
+            }
+            Command::PromoteReplica { session }
+            | Command::DropReplica { session }
+            | Command::SnapshotSession { session } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+            }
+            Command::Gossip {
+                from,
+                generation,
+                members,
+            } => {
+                pairs.push(("from", Json::Str(from.clone())));
+                pairs.push(("generation", Json::Num(*generation as f64)));
+                pairs.push(("members", members_to_json(members)));
             }
             Command::AddVisualization {
                 session,
@@ -947,6 +1021,26 @@ impl Command {
             },
             "leave_shard" => Command::LeaveShard {
                 addr: req_str(v, "addr", "request")?.to_string(),
+            },
+            "replicate_session" => Command::ReplicateSession {
+                session: session()?,
+                epoch: req_u64(v, "epoch", "request")?,
+                image: hex_decode(req_str(v, "image", "request")?)?,
+            },
+            "promote_replica" => Command::PromoteReplica {
+                session: session()?,
+            },
+            "drop_replica" => Command::DropReplica {
+                session: session()?,
+            },
+            "snapshot_session" => Command::SnapshotSession {
+                session: session()?,
+            },
+            "list_sessions" => Command::ListSessions,
+            "gossip" => Command::Gossip {
+                from: req_str(v, "from", "request")?.to_string(),
+                generation: req_u64(v, "generation", "request")?,
+                members: members_from_json(v.get("members"))?,
             },
             "add_visualization" => Command::AddVisualization {
                 session: session()?,
@@ -1056,7 +1150,7 @@ pub const BATCH_SIZE_BUCKETS: [u64; 4] = [1, 8, 64, 256];
 /// Metrics key their per-kind latency histograms by this index, and
 /// the exposition endpoint labels the resulting summaries with these
 /// names.
-pub const COMMAND_KINDS: [&str; 13] = [
+pub const COMMAND_KINDS: [&str; 19] = [
     "create_session",
     "create_session_as",
     "add_visualization",
@@ -1070,7 +1164,114 @@ pub const COMMAND_KINDS: [&str; 13] = [
     "join_shard",
     "leave_shard",
     "stats",
+    "replicate_session",
+    "promote_replica",
+    "drop_replica",
+    "snapshot_session",
+    "list_sessions",
+    "gossip",
 ];
+
+/// Health of one cluster member as carried by `gossip` — SWIM-style
+/// three-state so one missed probe (suspect) doesn't flap the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    Alive,
+    Suspect,
+    Dead,
+}
+
+impl MemberStatus {
+    /// Wire byte / JSON number for the status.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            MemberStatus::Alive => 0,
+            MemberStatus::Suspect => 1,
+            MemberStatus::Dead => 2,
+        }
+    }
+
+    /// Decodes the wire byte; unknown values are rejected.
+    pub fn from_u8(b: u8) -> Result<MemberStatus, ServeError> {
+        Ok(match b {
+            0 => MemberStatus::Alive,
+            1 => MemberStatus::Suspect,
+            2 => MemberStatus::Dead,
+            other => {
+                return Err(ServeError::invalid(format!(
+                    "unknown member status {other} (expected 0 | 1 | 2)"
+                )))
+            }
+        })
+    }
+
+    /// Human-readable name (log lines, metrics labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemberStatus::Alive => "alive",
+            MemberStatus::Suspect => "suspect",
+            MemberStatus::Dead => "dead",
+        }
+    }
+}
+
+/// One cluster member in a `gossip` exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The member's address, as named at `join_shard` time.
+    pub addr: String,
+    pub status: MemberStatus,
+    /// Monotone per-member counter: a higher incarnation wins a merge,
+    /// so a refuted suspicion can override a stale `suspect` claim.
+    pub incarnation: u64,
+}
+
+/// One session in a `list_sessions` reply: a primary copy (live or
+/// persisted on the shard) or a held replica image with its
+/// replication epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionEntry {
+    pub session: SessionId,
+    /// True when this shard holds only a replica image of the session.
+    pub replica: bool,
+    /// Replication epoch of the held image (0 for primaries — the
+    /// epoch is the router's bookkeeping, not the shard's).
+    pub epoch: u64,
+}
+
+fn members_to_json(members: &[MemberInfo]) -> Json {
+    Json::Arr(
+        members
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("addr", Json::Str(m.addr.clone())),
+                    ("status", Json::Num(f64::from(m.status.as_u8()))),
+                    ("incarnation", Json::Num(m.incarnation as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn members_from_json(v: Option<&Json>) -> Result<Vec<MemberInfo>, ServeError> {
+    match v.and_then(Json::as_arr) {
+        None => Ok(Vec::new()),
+        Some(items) => items
+            .iter()
+            .map(|m| {
+                Ok(MemberInfo {
+                    addr: req_str(m, "addr", "member")?.to_string(),
+                    status: MemberStatus::from_u8(
+                        u8::try_from(req_u64(m, "status", "member")?)
+                            .map_err(|_| ServeError::invalid("member status out of range"))?,
+                    )?,
+                    incarnation: m.get("incarnation").and_then(Json::as_u64).unwrap_or(0),
+                })
+            })
+            .collect(),
+    }
+}
 
 /// One registered dataset as reported by [`Command::ListDatasets`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1181,6 +1382,20 @@ pub struct StatsSnapshot {
     /// Commands that crossed the `--slow-ms` threshold and emitted a
     /// slow-query record. Binary field 25.
     pub slow_queries: u64,
+    /// Replica images this shard holds for sessions whose primary
+    /// lives elsewhere (a router sums its shards'). Binary field 26 —
+    /// the fifth no-version-bump scalar-list extension starts here.
+    pub replicas_live: u64,
+    /// Worst replication staleness across sessions, in epochs: 0 means
+    /// every session's replicas have acked its latest image. Router
+    /// bookkeeping; always 0 on a plain serve. Binary field 27.
+    pub replication_lag_max_epochs: u64,
+    /// Replicas promoted to primary by automatic failover. Binary
+    /// field 28.
+    pub promotions: u64,
+    /// Read-only commands the router raced against a caught-up replica
+    /// (first valid answer won). Binary field 29.
+    pub hedged_reads: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
     /// Per-shard health breakdown (cluster routers only; empty on a
@@ -1232,6 +1447,13 @@ impl StatsSnapshot {
             ("latency_p99_us", Json::Num(self.latency_p99_us as f64)),
             ("latency_p999_us", Json::Num(self.latency_p999_us as f64)),
             ("slow_queries", Json::Num(self.slow_queries as f64)),
+            ("replicas_live", Json::Num(self.replicas_live as f64)),
+            (
+                "replication_lag_max_epochs",
+                Json::Num(self.replication_lag_max_epochs as f64),
+            ),
+            ("promotions", Json::Num(self.promotions as f64)),
+            ("hedged_reads", Json::Num(self.hedged_reads as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1322,6 +1544,10 @@ impl StatsSnapshot {
             latency_p99_us: lenient("latency_p99_us"),
             latency_p999_us: lenient("latency_p999_us"),
             slow_queries: lenient("slow_queries"),
+            replicas_live: lenient("replicas_live"),
+            replication_lag_max_epochs: lenient("replication_lag_max_epochs"),
+            promotions: lenient("promotions"),
+            hedged_reads: lenient("hedged_reads"),
             batch_size_hist,
             shards: match v.get("shards").and_then(Json::as_arr) {
                 None => Vec::new(),
@@ -1420,7 +1646,35 @@ pub enum Response {
         joined: bool,
         migrated: u64,
     },
-    Stats(StatsSnapshot),
+    /// Ack of a `replicate_session`: the shard durably holds the image
+    /// for this epoch and the image survived the full restore
+    /// validator.
+    SessionReplicated {
+        session: SessionId,
+        epoch: u64,
+    },
+    /// A replica image installed as the live session by
+    /// `promote_replica`, reporting the epoch of the promoted image
+    /// and the wealth its re-validated ledger carries.
+    ReplicaPromoted {
+        session: SessionId,
+        epoch: u64,
+        wealth: f64,
+    },
+    /// Ack of a `drop_replica` (idempotent).
+    ReplicaDropped {
+        session: SessionId,
+    },
+    /// Every session the shard knows about (`list_sessions`).
+    Sessions {
+        sessions: Vec<SessionEntry>,
+    },
+    /// The receiver's membership view after merging a `gossip`.
+    GossipView {
+        generation: u64,
+        members: Vec<MemberInfo>,
+    },
+    Stats(Box<StatsSnapshot>),
     Error(ServeError),
 }
 
@@ -1527,6 +1781,49 @@ impl Response {
                 pairs.push(("joined", Json::Bool(*joined)));
                 pairs.push(("migrated", Json::Num(*migrated as f64)));
             }
+            Response::SessionReplicated { session, epoch } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("replicated", Json::Bool(true)));
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+            }
+            Response::ReplicaPromoted {
+                session,
+                epoch,
+                wealth,
+            } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("promoted", Json::Bool(true)));
+                pairs.push(("epoch", Json::Num(*epoch as f64)));
+                pairs.push(("wealth", Json::Num(*wealth)));
+            }
+            Response::ReplicaDropped { session } => {
+                pairs.push(("session", Json::Num(*session as f64)));
+                pairs.push(("dropped", Json::Bool(true)));
+            }
+            Response::Sessions { sessions } => {
+                pairs.push((
+                    "sessions",
+                    Json::Arr(
+                        sessions
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("session", Json::Num(s.session as f64)),
+                                    ("replica", Json::Bool(s.replica)),
+                                    ("epoch", Json::Num(s.epoch as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::GossipView {
+                generation,
+                members,
+            } => {
+                pairs.push(("generation", Json::Num(*generation as f64)));
+                pairs.push(("members", members_to_json(members)));
+            }
             Response::Stats(snapshot) => {
                 pairs.push(("stats", snapshot.to_json()));
             }
@@ -1581,7 +1878,7 @@ impl Response {
         }
         let session = || req_u64(v, "session", "response");
         let response = if let Some(stats) = v.get("stats") {
-            Response::Stats(StatsSnapshot::from_json(stats)?)
+            Response::Stats(Box::new(StatsSnapshot::from_json(stats)?))
         } else if let Some(image) = v.get("image") {
             Response::SessionExported {
                 session: session()?,
@@ -1595,6 +1892,41 @@ impl Response {
             Response::SessionImported {
                 session: session()?,
                 wealth: req_num(v, "wealth", "response")?,
+            }
+        } else if v.get("replicated").is_some() {
+            Response::SessionReplicated {
+                session: session()?,
+                epoch: req_u64(v, "epoch", "response")?,
+            }
+        } else if v.get("promoted").is_some() {
+            Response::ReplicaPromoted {
+                session: session()?,
+                epoch: req_u64(v, "epoch", "response")?,
+                wealth: req_num(v, "wealth", "response")?,
+            }
+        } else if v.get("dropped").is_some() {
+            Response::ReplicaDropped {
+                session: session()?,
+            }
+        } else if let Some(sessions) = v.get("sessions") {
+            Response::Sessions {
+                sessions: sessions
+                    .as_arr()
+                    .ok_or_else(|| ServeError::invalid("'sessions' must be an array"))?
+                    .iter()
+                    .map(|s| {
+                        Ok(SessionEntry {
+                            session: req_u64(s, "session", "session entry")?,
+                            replica: s.get("replica").and_then(Json::as_bool).unwrap_or(false),
+                            epoch: s.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                        })
+                    })
+                    .collect::<Result<_, ServeError>>()?,
+            }
+        } else if let Some(members) = v.get("members") {
+            Response::GossipView {
+                generation: req_u64(v, "generation", "response")?,
+                members: members_from_json(Some(members))?,
             }
         } else if let Some(datasets) = v.get("datasets") {
             Response::Datasets {
@@ -1812,6 +2144,31 @@ mod tests {
         });
         round_trip_cmd(Command::CloseSession { session: 9 });
         round_trip_cmd(Command::Stats);
+        round_trip_cmd(Command::ReplicateSession {
+            session: 5,
+            epoch: 12,
+            image: vec![0x41, 0x57, 0x52, 0x53, 0x02],
+        });
+        round_trip_cmd(Command::PromoteReplica { session: 5 });
+        round_trip_cmd(Command::DropReplica { session: 5 });
+        round_trip_cmd(Command::SnapshotSession { session: 5 });
+        round_trip_cmd(Command::ListSessions);
+        round_trip_cmd(Command::Gossip {
+            from: "127.0.0.1:7878".into(),
+            generation: 4,
+            members: vec![
+                MemberInfo {
+                    addr: "127.0.0.1:7001".into(),
+                    status: MemberStatus::Alive,
+                    incarnation: 3,
+                },
+                MemberInfo {
+                    addr: "127.0.0.1:7002".into(),
+                    status: MemberStatus::Suspect,
+                    incarnation: 0,
+                },
+            ],
+        });
     }
 
     #[test]
@@ -1883,12 +2240,48 @@ mod tests {
                 joined: false,
                 migrated: 2,
             },
-            Response::Stats(StatsSnapshot {
+            Response::SessionReplicated {
+                session: 5,
+                epoch: 12,
+            },
+            Response::ReplicaPromoted {
+                session: 5,
+                epoch: 12,
+                wealth: 0.0375,
+            },
+            Response::ReplicaDropped { session: 5 },
+            Response::Sessions {
+                sessions: vec![
+                    SessionEntry {
+                        session: 3,
+                        replica: false,
+                        epoch: 0,
+                    },
+                    SessionEntry {
+                        session: 9,
+                        replica: true,
+                        epoch: 7,
+                    },
+                ],
+            },
+            Response::GossipView {
+                generation: 4,
+                members: vec![MemberInfo {
+                    addr: "127.0.0.1:7001".into(),
+                    status: MemberStatus::Dead,
+                    incarnation: 9,
+                }],
+            },
+            Response::Stats(Box::new(StatsSnapshot {
                 sessions_created: 10,
                 commands: 55,
                 forwarded: 1_000,
                 migrations: 7,
                 shard_errors: 2,
+                replicas_live: 9,
+                replication_lag_max_epochs: 1,
+                promotions: 2,
+                hedged_reads: 140,
                 shards: vec![
                     ShardHealth {
                         addr: "127.0.0.1:7001".into(),
@@ -1906,7 +2299,7 @@ mod tests {
                     },
                 ],
                 ..Default::default()
-            }),
+            })),
             Response::Error(ServeError {
                 code: ErrorCode::UnknownSession,
                 message: "no session 99".into(),
@@ -1917,6 +2310,42 @@ mod tests {
             assert_eq!(decoded, resp, "{line}");
             assert_eq!(id, Some(42));
         }
+    }
+
+    #[test]
+    fn replication_stats_fields_decode_leniently() {
+        // A stats reply from a pre-replication server omits the four
+        // replication scalars entirely; the lenient decode pins them
+        // to 0 rather than erroring — the JSON half of the fifth
+        // no-version-bump extension.
+        let old = Response::Stats(Box::new(StatsSnapshot {
+            sessions_created: 3,
+            commands: 12,
+            ..Default::default()
+        }));
+        let mut line = old.encode_line(None);
+        for field in [
+            "\"replicas_live\":0,",
+            "\"replication_lag_max_epochs\":0,",
+            "\"promotions\":0,",
+            "\"hedged_reads\":0,",
+        ] {
+            assert!(line.contains(field), "{line}");
+            line = line.replace(field, "");
+        }
+        let (decoded, _) = Response::decode_line(&line).unwrap();
+        assert_eq!(decoded, old, "missing replication fields decode as 0");
+
+        // And a reply that carries them round-trips bit-for-bit.
+        let new = Response::Stats(Box::new(StatsSnapshot {
+            replicas_live: 4,
+            replication_lag_max_epochs: 2,
+            promotions: 1,
+            hedged_reads: 77,
+            ..Default::default()
+        }));
+        let (decoded, _) = Response::decode_line(&new.encode_line(None)).unwrap();
+        assert_eq!(decoded, new);
     }
 
     #[test]

@@ -200,6 +200,16 @@ struct Dataset {
     fingerprint: u64,
 }
 
+/// A warm replica image held for a session whose primary lives on
+/// another shard. With a store configured the bytes live on disk only
+/// (`repl-<id>.e<epoch>.awrs`) and `image` is `None` — promotion
+/// re-reads the durable file as the authoritative copy; without one
+/// the shipped bytes are kept in memory.
+struct ReplicaHeld {
+    epoch: u64,
+    image: Option<Vec<u8>>,
+}
+
 /// State shared by workers, handles, and the sweeper.
 struct Inner {
     registry: Registry,
@@ -208,6 +218,18 @@ struct Inner {
     next_session: AtomicU64,
     pending: PendingTable,
     store: Option<SnapshotStore>,
+    /// Warm replica images held for sessions homed elsewhere, by id.
+    replicas: Mutex<HashMap<SessionId, ReplicaHeld>>,
+    /// Last adopted membership view (`gossip`): ring generation plus
+    /// the roster. A restarted router can learn the cluster from any
+    /// shard that heard a gossip round.
+    gossip: Mutex<(u64, Vec<crate::proto::MemberInfo>)>,
+    /// Set by shutdown before the workers drain. Session commands
+    /// discover shutdown through their dead worker channels; the
+    /// inline `stats` path checks this flag so a drained shard stops
+    /// advertising healthy stats — which is what lets a cluster
+    /// router's health probe see an in-process shard death.
+    shutting_down: std::sync::atomic::AtomicBool,
     config: ServiceConfig,
 }
 
@@ -233,6 +255,7 @@ fn snapshot_with_caches(inner: &Inner) -> crate::proto::StatsSnapshot {
     if let Some(store) = &inner.store {
         snapshot.persisted = store.persisted();
     }
+    snapshot.replicas_live = inner.replicas.lock().unwrap().len() as u64;
     snapshot.uptime_seconds = inner.registry.now_ms() / 1000;
     snapshot.sessions = session_risk(inner);
     snapshot
@@ -466,8 +489,15 @@ impl ServiceHandle {
         self.inner.metrics.batch(1);
         self.inner.metrics.command();
         if matches!(cmd, Command::Stats) {
+            if self
+                .inner
+                .shutting_down
+                .load(std::sync::atomic::Ordering::SeqCst)
+            {
+                return shutdown_error();
+            }
             let start = std::time::Instant::now();
-            let response = Response::Stats(snapshot_with_caches(&self.inner));
+            let response = Response::Stats(Box::new(snapshot_with_caches(&self.inner)));
             self.inner
                 .metrics
                 .observe_command(cmd.kind_index(), start.elapsed().as_micros() as u64);
@@ -570,8 +600,16 @@ impl ServiceHandle {
             // Stats is session-free and read-only: answer inline rather
             // than serializing it behind some arbitrary worker's queue.
             if matches!(cmd, Command::Stats) {
+                if self
+                    .inner
+                    .shutting_down
+                    .load(std::sync::atomic::Ordering::SeqCst)
+                {
+                    slots[index] = Some(shutdown_error());
+                    continue;
+                }
                 let start = std::time::Instant::now();
-                slots[index] = Some(Response::Stats(snapshot_with_caches(&self.inner)));
+                slots[index] = Some(Response::Stats(Box::new(snapshot_with_caches(&self.inner))));
                 self.inner
                     .metrics
                     .observe_command(cmd.kind_index(), start.elapsed().as_micros() as u64);
@@ -812,10 +850,27 @@ fn render_metrics(inner: &Inner) -> String {
             "Commands past --slow-ms.",
             snapshot.slow_queries,
         ),
+        (
+            "aware_promotions_total",
+            "Replica images promoted to live sessions.",
+            snapshot.promotions,
+        ),
+        (
+            "aware_hedged_reads_total",
+            "Read-only commands answered from a replica image.",
+            snapshot.hedged_reads,
+        ),
     ] {
         r.family(name, "counter", help);
         r.sample(name, &[], value);
     }
+
+    r.family(
+        "aware_replicas_live",
+        "gauge",
+        "Replica images held for sessions whose primary is elsewhere.",
+    );
+    r.sample("aware_replicas_live", &[], snapshot.replicas_live);
 
     r.family(
         "aware_batch_size",
@@ -964,6 +1019,18 @@ impl Service {
             .as_ref()
             .and_then(SnapshotStore::max_session_id)
             .map_or(0, |max| max + 1);
+        // Replica images survive a shard restart: re-seed the held map
+        // from the store's replica namespace so a restarted shard still
+        // answers `list_sessions`/`promote_replica` for them.
+        let replicas: HashMap<SessionId, ReplicaHeld> = store
+            .as_ref()
+            .map(|s| {
+                s.replica_entries()
+                    .into_iter()
+                    .map(|(id, epoch)| (id, ReplicaHeld { epoch, image: None }))
+                    .collect()
+            })
+            .unwrap_or_default();
         let inner = Arc::new(Inner {
             registry: Registry::new(config.shards),
             metrics: Metrics::new(),
@@ -971,6 +1038,9 @@ impl Service {
             next_session: AtomicU64::new(first_free_id),
             pending: PendingTable::new(config.shards),
             store,
+            replicas: Mutex::new(replicas),
+            gossip: Mutex::new((0, Vec::new())),
+            shutting_down: std::sync::atomic::AtomicBool::new(false),
             config,
         });
 
@@ -1038,6 +1108,10 @@ impl Service {
     }
 
     fn shutdown_in_place(&mut self) {
+        self.handle
+            .inner
+            .shutting_down
+            .store(true, std::sync::atomic::Ordering::SeqCst);
         for tx in self.handle.senders.iter() {
             let _ = tx.send(Job::Shutdown);
         }
@@ -1328,7 +1402,21 @@ fn execute(inner: &Inner, cmd: Command, assigned: Option<SessionId>) -> Response
             }
         }),
         Command::CloseSession { session } => close_session(inner, session),
-        Command::Stats => Response::Stats(snapshot_with_caches(inner)),
+        Command::Stats => Response::Stats(Box::new(snapshot_with_caches(inner))),
+        Command::ReplicateSession {
+            session,
+            epoch,
+            image,
+        } => replicate_session(inner, session, epoch, image),
+        Command::PromoteReplica { session } => promote_replica(inner, session),
+        Command::DropReplica { session } => drop_replica(inner, session),
+        Command::SnapshotSession { session } => snapshot_session(inner, session),
+        Command::ListSessions => list_sessions(inner),
+        Command::Gossip {
+            from,
+            generation,
+            members,
+        } => gossip(inner, from, generation, members),
     }
 }
 
@@ -1538,6 +1626,11 @@ fn lookup_or_restore(inner: &Inner, id: SessionId) -> Result<Arc<SessionEntry>, 
     Ok(inner.registry.insert(id, session, meta))
 }
 
+/// Serves the read-only commands (`gauge`, `transcript`). A session
+/// this shard only holds a *replica* of is served from the replica
+/// image — materialized per request through the full restore validator
+/// and never installed in the registry, so a hedged read off a replica
+/// can never fork the ledger into a second serveable copy.
 fn with_session(
     inner: &Inner,
     id: SessionId,
@@ -1545,7 +1638,40 @@ fn with_session(
 ) -> Response {
     match lookup_or_restore(inner, id) {
         Ok(entry) => f(&mut entry.session.lock().unwrap()),
-        Err(refusal) => refusal,
+        Err(refusal) => match read_from_replica(inner, id, f) {
+            Some(response) => response,
+            None => refusal,
+        },
+    }
+}
+
+/// The replica half of [`with_session`]: `None` when no replica image
+/// of `id` is held here (the caller's primary-path refusal stands).
+fn read_from_replica(
+    inner: &Inner,
+    id: SessionId,
+    f: impl FnOnce(&mut crate::registry::ServedSession) -> Response,
+) -> Option<Response> {
+    let mem_bytes = {
+        let replicas = inner.replicas.lock().unwrap();
+        replicas.get(&id)?.image.clone()
+    };
+    let bytes = match mem_bytes {
+        Some(bytes) => bytes,
+        None => inner.store.as_ref()?.load_replica(id)?.1,
+    };
+    match validate_image(inner, id, &bytes) {
+        Ok((mut session, _meta)) => {
+            inner.metrics.hedged_read();
+            Some(f(&mut session))
+        }
+        Err(e) => Some(Response::Error(ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!(
+                "replica image of session {id} failed validation on read: {}",
+                e.message
+            ),
+        })),
     }
 }
 
@@ -1842,6 +1968,331 @@ fn list_datasets(inner: &Inner) -> Response {
     Response::Datasets {
         datasets,
         next_session: inner.next_session.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs the full restore validation battery over a shipped image
+/// without installing anything: decode, id match, dataset lookup by
+/// name, content-fingerprint check, policy build, and bit-for-bit
+/// ledger re-validation via `Session::restore`. Returns the restored
+/// session and its meta so promotion can install the result;
+/// replication validates and drops.
+fn validate_image(
+    inner: &Inner,
+    id: SessionId,
+    bytes: &[u8],
+) -> Result<(crate::registry::ServedSession, SessionMeta), ServeError> {
+    let image = crate::snapshot::decode(bytes)?;
+    if image.id != id {
+        return Err(ServeError::invalid(format!(
+            "image addressed session {id} but contains session {}",
+            image.id
+        )));
+    }
+    let Some((table, cache, fingerprint)) = inner
+        .datasets
+        .read()
+        .unwrap()
+        .get(&image.dataset)
+        .map(|d| (d.table.clone(), d.cache.clone(), d.fingerprint))
+    else {
+        return Err(ServeError {
+            code: ErrorCode::UnknownDataset,
+            message: format!(
+                "image is over dataset '{}', which is not registered on this shard",
+                image.dataset
+            ),
+        });
+    };
+    if let Some(stamped) = image.fingerprint {
+        if stamped != fingerprint {
+            return Err(ServeError {
+                code: ErrorCode::CorruptSnapshot,
+                message: format!(
+                    "image fingerprints dataset '{}' as {stamped:016x}, but this \
+                     shard's table fingerprints {fingerprint:016x} — not the same data",
+                    image.dataset
+                ),
+            });
+        }
+    }
+    let boxed = image.policy.build()?;
+    let meta = SessionMeta {
+        dataset: image.dataset,
+        fingerprint,
+        policy: image.policy,
+        policy_since: image.policy_since,
+    };
+    let session = Session::restore(
+        table,
+        Some(cache),
+        image.session,
+        boxed,
+        image.policy_since as usize,
+    )
+    .map_err(|e| ServeError {
+        code: ErrorCode::CorruptSnapshot,
+        message: format!("session {id} failed restore validation: {e}"),
+    })?;
+    Ok((session, meta))
+}
+
+/// Forgets the held replica image of `id` (map entry and durable file).
+fn discard_replica(inner: &Inner, id: SessionId) {
+    inner.replicas.lock().unwrap().remove(&id);
+    if let Some(store) = &inner.store {
+        store.remove_replica(id);
+    }
+}
+
+/// Applies one `replicate_session`: full restore validation (a diverged
+/// or tampered image is refused and nothing is stored), monotone epoch
+/// check, then durable (or in-memory) retention of the image bytes.
+fn replicate_session(inner: &Inner, id: SessionId, epoch: u64, bytes: Vec<u8>) -> Response {
+    // This shard is the session's *primary* — replication here would
+    // leave two serveable copies of one wealth ledger. Placement is
+    // wrong; refuse loudly.
+    if inner.registry.peek(id).is_some() || inner.store.as_ref().is_some_and(|s| s.contains(id)) {
+        return Response::Error(ServeError::invalid(format!(
+            "session {id} is primary on this shard — a shard never replicates to itself"
+        )));
+    }
+    if let Err(e) = validate_image(inner, id, &bytes) {
+        return Response::Error(ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!("replica image of session {id} refused: {}", e.message),
+        });
+    }
+    // The dispatcher serializes commands per session, so no concurrent
+    // replicate/promote/drop races this epoch check.
+    if let Some(held) = inner.replicas.lock().unwrap().get(&id) {
+        if epoch < held.epoch {
+            return Response::Error(ServeError::invalid(format!(
+                "stale replication epoch {epoch} for session {id} (holding epoch {})",
+                held.epoch
+            )));
+        }
+        if epoch == held.epoch {
+            // Idempotent re-ship of the current epoch: ack, don't rewrite.
+            return Response::SessionReplicated { session: id, epoch };
+        }
+    }
+    let image = if let Some(store) = &inner.store {
+        if let Err(e) = store.save_replica(id, epoch, &bytes) {
+            return Response::Error(ServeError {
+                code: ErrorCode::Unavailable,
+                message: format!("cannot persist replica image of session {id}: {e}"),
+            });
+        }
+        None
+    } else {
+        Some(bytes)
+    };
+    inner
+        .replicas
+        .lock()
+        .unwrap()
+        .insert(id, ReplicaHeld { epoch, image });
+    Response::SessionReplicated { session: id, epoch }
+}
+
+/// Installs the held replica image as the live session. The bytes are
+/// re-read from their durable home and re-validated from scratch — a
+/// tampered or diverged image answers `corrupt_snapshot` and the
+/// replica is discarded, never adopted as a ledger.
+fn promote_replica(inner: &Inner, id: SessionId) -> Response {
+    let held = inner
+        .replicas
+        .lock()
+        .unwrap()
+        .get(&id)
+        .map(|h| (h.epoch, h.image.clone()));
+    let Some((epoch, mem_bytes)) = held else {
+        return Response::Error(ServeError {
+            code: ErrorCode::UnknownSession,
+            message: format!("no replica image held for session {id}"),
+        });
+    };
+    let bytes = match &inner.store {
+        Some(store) => match store.load_replica(id) {
+            Some((_, bytes)) => bytes,
+            None => {
+                discard_replica(inner, id);
+                return Response::Error(ServeError {
+                    code: ErrorCode::CorruptSnapshot,
+                    message: format!("replica image of session {id} is missing from disk"),
+                });
+            }
+        },
+        None => match mem_bytes {
+            Some(bytes) => bytes,
+            None => {
+                discard_replica(inner, id);
+                return Response::Error(ServeError {
+                    code: ErrorCode::CorruptSnapshot,
+                    message: format!("replica image of session {id} has no bytes"),
+                });
+            }
+        },
+    };
+    let (session, meta) = match validate_image(inner, id, &bytes) {
+        Ok(v) => v,
+        Err(e) => {
+            // The Hardt–Ullman rule: a ledger that fails validation is
+            // not a stale ledger, it is no ledger. Discard, never adopt.
+            discard_replica(inner, id);
+            aware_obs::logline!(
+                aware_obs::log::Level::Warn,
+                "replica_refused",
+                session = id,
+                epoch = epoch,
+                error = e.message,
+            );
+            return Response::Error(ServeError {
+                code: ErrorCode::CorruptSnapshot,
+                message: format!(
+                    "replica image of session {id} (epoch {epoch}) refused at promotion: {}",
+                    e.message
+                ),
+            });
+        }
+    };
+    if let Err(refusal) = ensure_capacity(inner) {
+        return refusal;
+    }
+    if let Some(store) = &inner.store {
+        // The id may carry a tombstone from an earlier export/close.
+        store.revive(id);
+    }
+    let wealth = session.wealth();
+    let Some(entry) = inner.registry.try_insert(id, session, meta) else {
+        return Response::Error(ServeError::invalid(format!(
+            "session id {id} is already in use (live on this shard)"
+        )));
+    };
+    inner.next_session.fetch_max(id + 1, Ordering::Relaxed);
+    // The promoted session is durable under the same contract an
+    // import is; the replica file goes — this shard is the primary now.
+    entry.mark_dirty();
+    if inner.sync_snapshots() {
+        let image = {
+            let session = entry.session.lock().unwrap();
+            entry.clear_dirty();
+            image_of(&entry, &session)
+        };
+        if !save_image(inner, &image) {
+            entry.mark_dirty();
+        }
+    }
+    discard_replica(inner, id);
+    inner.metrics.promotion();
+    aware_obs::logline!(
+        aware_obs::log::Level::Info,
+        "replica_promoted",
+        session = id,
+        epoch = epoch,
+        wealth = wealth,
+    );
+    Response::ReplicaPromoted {
+        session: id,
+        epoch,
+        wealth,
+    }
+}
+
+fn drop_replica(inner: &Inner, id: SessionId) -> Response {
+    discard_replica(inner, id);
+    Response::ReplicaDropped { session: id }
+}
+
+/// The non-destructive half of `export_session`: snapshot the session
+/// (quiesced on its pinned worker) and return the image, leaving the
+/// session serving. The router's replication cadence lives on this.
+fn snapshot_session(inner: &Inner, id: SessionId) -> Response {
+    let entry = match lookup_or_restore(inner, id) {
+        Ok(entry) => entry,
+        Err(refusal) => return refusal,
+    };
+    let image = {
+        let session = entry.session.lock().unwrap();
+        image_of(&entry, &session)
+    };
+    let bytes = crate::snapshot::encode(&image);
+    // Decode-validate our own bytes: shipping an image the replica must
+    // refuse would waste the round trip and mask encoder bugs.
+    if let Err(e) = crate::snapshot::decode(&bytes) {
+        return Response::Error(ServeError {
+            code: ErrorCode::CorruptSnapshot,
+            message: format!("session {id} produced an unreadable snapshot image: {e}"),
+        });
+    }
+    Response::SessionExported {
+        session: id,
+        image: bytes,
+    }
+}
+
+/// Everything this shard knows about: live and persisted primaries,
+/// plus held replica images with their epochs. Sorted by id for
+/// deterministic replies.
+fn list_sessions(inner: &Inner) -> Response {
+    let mut seen = std::collections::HashSet::new();
+    let mut sessions: Vec<crate::proto::SessionEntry> = Vec::new();
+    for entry in inner.registry.entries() {
+        if seen.insert(entry.id) {
+            sessions.push(crate::proto::SessionEntry {
+                session: entry.id,
+                replica: false,
+                epoch: 0,
+            });
+        }
+    }
+    if let Some(store) = &inner.store {
+        for id in store.session_ids() {
+            if seen.insert(id) {
+                sessions.push(crate::proto::SessionEntry {
+                    session: id,
+                    replica: false,
+                    epoch: 0,
+                });
+            }
+        }
+    }
+    for (&id, held) in inner.replicas.lock().unwrap().iter() {
+        sessions.push(crate::proto::SessionEntry {
+            session: id,
+            replica: true,
+            epoch: held.epoch,
+        });
+    }
+    sessions.sort_by_key(|s| (s.session, s.replica));
+    Response::Sessions { sessions }
+}
+
+/// Merges a membership view: a higher ring generation replaces the
+/// held one (SWIM-style last-writer-wins on the generation), and the
+/// reply always carries the merged view so the sender learns what this
+/// shard knows.
+fn gossip(
+    inner: &Inner,
+    from: String,
+    generation: u64,
+    members: Vec<crate::proto::MemberInfo>,
+) -> Response {
+    let mut view = inner.gossip.lock().unwrap();
+    if generation > view.0 {
+        aware_obs::logline!(
+            aware_obs::log::Level::Debug,
+            "gossip_adopted",
+            from = from,
+            generation = generation,
+            members = members.len(),
+        );
+        *view = (generation, members);
+    }
+    Response::GossipView {
+        generation: view.0,
+        members: view.1.clone(),
     }
 }
 
@@ -2413,6 +2864,294 @@ mod tests {
         drop(h);
         service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Cuts a snapshot image of `sid` off the primary without
+    /// disturbing it — the router's replication primitive.
+    fn image_of_session(h: &ServiceHandle, sid: SessionId) -> Vec<u8> {
+        match h.call(Command::SnapshotSession { session: sid }) {
+            Response::SessionExported { image, .. } => image,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn stats_of(h: &ServiceHandle) -> crate::proto::StatsSnapshot {
+        match h.call(Command::Stats) {
+            Response::Stats(s) => *s,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicate_then_promote_restores_the_exact_ledger() {
+        let primary = test_service(ServiceConfig::default());
+        let replica = test_service(ServiceConfig::default());
+        let hp = primary.handle();
+        let hr = replica.handle();
+        let sid = create(&hp);
+        assert!(hp
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        let reference = (gauge_of(&hp, sid), csv_of(&hp, sid));
+
+        // `snapshot_session` is non-destructive: the primary keeps serving.
+        let image = image_of_session(&hp, sid);
+        assert!(hp.call(Command::Gauge { session: sid }).is_ok());
+
+        match hr.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 1,
+            image: image.clone(),
+        }) {
+            Response::SessionReplicated { session, epoch } => {
+                assert_eq!((session, epoch), (sid, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats_of(&hr).replicas_live, 1);
+
+        // A held replica answers reads byte-identically — without ever
+        // becoming a live session.
+        assert_eq!((gauge_of(&hr, sid), csv_of(&hr, sid)), reference);
+        assert_eq!(hr.live_sessions(), 0);
+        assert!(stats_of(&hr).hedged_reads >= 2);
+
+        // Epochs are monotone: a stale ship is refused, the current one
+        // is an idempotent ack.
+        match hr.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 0,
+            image: image.clone(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::InvalidArgument),
+            other => panic!("{other:?}"),
+        }
+        match hr.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 1,
+            image,
+        }) {
+            Response::SessionReplicated { epoch: 1, .. } => {}
+            other => panic!("{other:?}"),
+        }
+
+        // The shard inventory names the replica with its epoch.
+        match hr.call(Command::ListSessions) {
+            Response::Sessions { sessions } => {
+                assert_eq!(
+                    sessions,
+                    vec![crate::proto::SessionEntry {
+                        session: sid,
+                        replica: true,
+                        epoch: 1,
+                    }]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Promotion installs the exact acked ledger and retires the
+        // replica image.
+        match hr.call(Command::PromoteReplica { session: sid }) {
+            Response::ReplicaPromoted {
+                session,
+                epoch,
+                wealth,
+            } => {
+                assert_eq!((session, epoch), (sid, 1));
+                assert!(wealth > 0.0, "promoted ledger carries real wealth");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!((gauge_of(&hr, sid), csv_of(&hr, sid)), reference);
+        let s = stats_of(&hr);
+        assert_eq!(s.replicas_live, 0);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(hr.live_sessions(), 1);
+        // The promoted session is live: wealth keeps evolving from the
+        // acked state, and a fresh local id never collides with it.
+        assert!(hr
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "race".into(),
+                filter: FilterSpec::True,
+            })
+            .is_ok());
+        assert!(create(&hr) > sid);
+        // A second promotion has nothing to promote.
+        match hr.call(Command::PromoteReplica { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_refuses_corrupt_images_and_self_replication() {
+        let primary = test_service(ServiceConfig::default());
+        let hp = primary.handle();
+        let sid = create(&hp);
+        let image = image_of_session(&hp, sid);
+
+        // A shard never replicates a session it is primary for.
+        match hp.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 1,
+            image: image.clone(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::InvalidArgument),
+            other => panic!("{other:?}"),
+        }
+
+        let replica = test_service(ServiceConfig::default());
+        let hr = replica.handle();
+        // A truncated image fails the restore validator at apply time:
+        // nothing is stored, so there is nothing to promote.
+        match hr.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 1,
+            image: image[..image.len() / 2].to_vec(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stats_of(&hr).replicas_live, 0);
+        match hr.call(Command::PromoteReplica { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("{other:?}"),
+        }
+        // An image whose payload names a different session is refused
+        // even though the bytes themselves decode.
+        match hr.call(Command::ReplicateSession {
+            session: sid + 1,
+            epoch: 1,
+            image,
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_replica_file_is_refused_at_promotion_never_adopted() {
+        let dir = temp_data_dir("replica-tamper");
+        let primary = test_service(ServiceConfig::default());
+        let hp = primary.handle();
+        let sid = create(&hp);
+        assert!(hp
+            .call(Command::AddVisualization {
+                session: sid,
+                attribute: "education".into(),
+                filter: salary_filter(),
+            })
+            .is_ok());
+        let image = image_of_session(&hp, sid);
+
+        let config = || ServiceConfig {
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let replica = test_service(config());
+        let hr = replica.handle();
+        match hr.call(Command::ReplicateSession {
+            session: sid,
+            epoch: 3,
+            image,
+        }) {
+            Response::SessionReplicated { epoch: 3, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        drop(hr);
+        replica.shutdown();
+
+        // Flip bytes in the durable replica image.
+        let mut tampered = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("repl-"))
+            {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xff;
+                std::fs::write(&path, &bytes).unwrap();
+                tampered += 1;
+            }
+        }
+        assert_eq!(tampered, 1, "exactly one replica image on disk");
+
+        // A restart re-seeds the replica index from disk; promotion
+        // re-validates the bytes, refuses them, and discards the
+        // replica — the answer is corrupt_snapshot, never a ledger.
+        let replica = test_service(config());
+        let hr = replica.handle();
+        assert_eq!(stats_of(&hr).replicas_live, 1);
+        match hr.call(Command::PromoteReplica { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::CorruptSnapshot),
+            other => panic!("tampered ledger must never serve: {other:?}"),
+        }
+        let s = stats_of(&hr);
+        assert_eq!((s.replicas_live, s.promotions), (0, 0));
+        match hr.call(Command::PromoteReplica { session: sid }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+            other => panic!("{other:?}"),
+        }
+        drop(hr);
+        replica.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gossip_merges_by_generation_and_echoes_the_merged_view() {
+        use crate::proto::{MemberInfo, MemberStatus};
+        let service = test_service(ServiceConfig::default());
+        let h = service.handle();
+        let members = vec![
+            MemberInfo {
+                addr: "a:1".into(),
+                status: MemberStatus::Alive,
+                incarnation: 1,
+            },
+            MemberInfo {
+                addr: "b:2".into(),
+                status: MemberStatus::Suspect,
+                incarnation: 4,
+            },
+        ];
+        match h.call(Command::Gossip {
+            from: "router".into(),
+            generation: 7,
+            members: members.clone(),
+        }) {
+            Response::GossipView {
+                generation,
+                members: got,
+            } => {
+                assert_eq!(generation, 7);
+                assert_eq!(got, members);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An older view does not regress the held one.
+        match h.call(Command::Gossip {
+            from: "router".into(),
+            generation: 3,
+            members: Vec::new(),
+        }) {
+            Response::GossipView {
+                generation,
+                members: got,
+            } => {
+                assert_eq!(generation, 7);
+                assert_eq!(got.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,18 @@
 //! the directory on startup rebuilds the index (latest generation per
 //! session) without reading any payload — restore is lazy, paid by the
 //! first command that touches a spilled session.
+//!
+//! ## Replica images
+//!
+//! A shard holding a *warm replica* of a session homed elsewhere keeps
+//! the shipped image as `repl-<id>.e<epoch>.awrs` — same tmp + fsync +
+//! rename discipline, but a separate namespace: a replica is never a
+//! generation of the primary, and the primary scan ignores it. The
+//! replication epoch lives in the file name so a restarted shard (and
+//! a restarted router scanning via `list_sessions`) knows exactly how
+//! fresh each held image is without decoding it. Promotion re-reads
+//! the file as the authoritative bytes and re-validates from scratch —
+//! a tampered replica fails there and is refused, never adopted.
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::SessionId;
@@ -52,6 +64,8 @@ pub struct SnapshotStore {
     /// snapshotter holding a stale entry) must not resurrect them. Ids
     /// are never reallocated, so a tombstone is one u64 forever.
     retired: Mutex<HashSet<SessionId>>,
+    /// Replication epoch of each held replica image (`repl-` files).
+    replicas: Mutex<HashMap<SessionId, u64>>,
     /// Snapshot files that failed to decode since the store opened.
     corrupt: AtomicU64,
 }
@@ -62,20 +76,26 @@ impl SnapshotStore {
         let root = root.into();
         fs::create_dir_all(&root)?;
         let mut index: HashMap<SessionId, u64> = HashMap::new();
+        let mut replicas: HashMap<SessionId, u64> = HashMap::new();
         for entry in fs::read_dir(&root)? {
             let entry = entry?;
             let name = entry.file_name();
-            let Some((id, gen)) = parse_file_name(&name.to_string_lossy()) else {
-                continue; // tmp leftovers and foreign files are ignored
-            };
-            let latest = index.entry(id).or_insert(gen);
-            *latest = (*latest).max(gen);
+            let name = name.to_string_lossy();
+            if let Some((id, gen)) = parse_file_name(&name) {
+                let latest = index.entry(id).or_insert(gen);
+                *latest = (*latest).max(gen);
+            } else if let Some((id, epoch)) = parse_replica_name(&name) {
+                let latest = replicas.entry(id).or_insert(epoch);
+                *latest = (*latest).max(epoch);
+            }
+            // tmp leftovers and foreign files are ignored
         }
         Ok(SnapshotStore {
             root,
             index: Mutex::new(index),
             save_lock: Mutex::new(()),
             retired: Mutex::new(HashSet::new()),
+            replicas: Mutex::new(replicas),
             corrupt: AtomicU64::new(0),
         })
     }
@@ -224,6 +244,77 @@ impl SnapshotStore {
         }
         let _ = fs::remove_file(self.file_path(id, latest + 1).with_extension("awrs.tmp"));
     }
+
+    // -- replica images -----------------------------------------------------
+
+    fn replica_path(&self, id: SessionId, epoch: u64) -> PathBuf {
+        self.root.join(format!("repl-{id}.e{epoch}.awrs"))
+    }
+
+    /// Durably writes the replica image for `id` at `epoch` (tmp +
+    /// fsync + rename + directory fsync) and deletes the superseded
+    /// epoch's file. The caller has already validated the bytes; the
+    /// store just keeps them safe.
+    pub fn save_replica(&self, id: SessionId, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        let _writers = self.save_lock.lock().unwrap();
+        let previous = self.replicas.lock().unwrap().get(&id).copied();
+        let final_path = self.replica_path(id, epoch);
+        let tmp_path = final_path.with_extension("awrs.tmp");
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            io::Write::write_all(&mut file, bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        fs::File::open(&self.root)?.sync_all()?;
+        self.replicas.lock().unwrap().insert(id, epoch);
+        if let Some(previous) = previous {
+            if previous != epoch {
+                let _ = fs::remove_file(self.replica_path(id, previous));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the held replica image of `id` straight from disk — the
+    /// authoritative bytes a promotion re-validates. Returns the
+    /// replication epoch alongside.
+    pub fn load_replica(&self, id: SessionId) -> Option<(u64, Vec<u8>)> {
+        let epoch = self.replicas.lock().unwrap().get(&id).copied()?;
+        fs::read(self.replica_path(id, epoch))
+            .ok()
+            .map(|bytes| (epoch, bytes))
+    }
+
+    /// Epoch of the held replica image of `id`, if any.
+    pub fn replica_epoch(&self, id: SessionId) -> Option<u64> {
+        self.replicas.lock().unwrap().get(&id).copied()
+    }
+
+    /// Deletes the held replica image of `id` (idempotent).
+    pub fn remove_replica(&self, id: SessionId) {
+        let _writers = self.save_lock.lock().unwrap();
+        if let Some(epoch) = self.replicas.lock().unwrap().remove(&id) {
+            let _ = fs::remove_file(self.replica_path(id, epoch));
+            let _ = fs::remove_file(self.replica_path(id, epoch).with_extension("awrs.tmp"));
+        }
+    }
+
+    /// Every held replica as `(session, epoch)` — `list_sessions`
+    /// reporting and startup re-seeding.
+    pub fn replica_entries(&self) -> Vec<(SessionId, u64)> {
+        self.replicas
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&id, &epoch)| (id, epoch))
+            .collect()
+    }
+
+    /// Number of held replica images.
+    pub fn replica_count(&self) -> u64 {
+        self.replicas.lock().unwrap().len() as u64
+    }
 }
 
 /// Parses `sess-<id>.g<gen>.awrs`.
@@ -231,6 +322,13 @@ fn parse_file_name(name: &str) -> Option<(SessionId, u64)> {
     let rest = name.strip_prefix("sess-")?.strip_suffix(".awrs")?;
     let (id, gen) = rest.split_once(".g")?;
     Some((id.parse().ok()?, gen.parse().ok()?))
+}
+
+/// Parses `repl-<id>.e<epoch>.awrs`.
+fn parse_replica_name(name: &str) -> Option<(SessionId, u64)> {
+    let rest = name.strip_prefix("repl-")?.strip_suffix(".awrs")?;
+    let (id, epoch) = rest.split_once(".e")?;
+    Some((id.parse().ok()?, epoch.parse().ok()?))
 }
 
 #[cfg(test)]
@@ -352,6 +450,44 @@ mod tests {
         fs::write(&previous, &bytes[..bytes.len() / 2]).unwrap();
         let err = reopened.load(9).unwrap_err();
         assert_eq!(err.code, ErrorCode::CorruptSnapshot);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replica_images_live_in_their_own_namespace() {
+        let root = temp_root("replica");
+        let store = SnapshotStore::open(&root).unwrap();
+        // A replica is not a primary: saving one changes nothing about
+        // the primary index, and vice versa.
+        store.save_replica(7, 1, b"replica bytes e1").unwrap();
+        assert!(!store.contains(7));
+        assert_eq!(store.persisted(), 0);
+        assert_eq!(store.replica_count(), 1);
+        assert_eq!(store.replica_epoch(7), Some(1));
+        assert_eq!(
+            store.load_replica(7),
+            Some((1, b"replica bytes e1".to_vec()))
+        );
+        // A newer epoch supersedes (and deletes) the older file.
+        store.save_replica(7, 5, b"replica bytes e5").unwrap();
+        assert!(!root.join("repl-7.e1.awrs").exists(), "superseded");
+        assert!(root.join("repl-7.e5.awrs").exists());
+        assert_eq!(
+            store.load_replica(7),
+            Some((5, b"replica bytes e5".to_vec()))
+        );
+        // A restart rescans the replica namespace with epochs intact.
+        store.save(&image(7, 1)).unwrap();
+        let reopened = SnapshotStore::open(&root).unwrap();
+        assert_eq!(reopened.replica_entries(), vec![(7, 5)]);
+        assert!(reopened.contains(7), "primary scan unaffected");
+        // Dropping a replica leaves the primary alone, and is
+        // idempotent.
+        reopened.remove_replica(7);
+        reopened.remove_replica(7);
+        assert_eq!(reopened.replica_count(), 0);
+        assert_eq!(reopened.load_replica(7), None);
+        assert!(reopened.contains(7));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -38,10 +38,12 @@ const MAX_FILTER_DEPTH: usize = 128;
 /// `migrations`/`shard_errors` (fields 18–20) arrived without one, and
 /// now — fourth proof — how the observability scalars `uptime_seconds`
 /// and the four latency quantiles plus `slow_queries` (fields 21–26)
-/// arrive without one. The per-shard health breakdown and per-session
-/// risk rows are JSON-surface only: they are not scalars, and the
-/// count prefix covers only scalars.
-const STATS_SCALAR_FIELDS: usize = 26;
+/// arrive without one, and now — fifth proof — how the replication
+/// scalars `replicas_live`/`replication_lag_max_epochs`/`promotions`/
+/// `hedged_reads` (fields 27–30) arrive without one. The per-shard
+/// health breakdown and per-session risk rows are JSON-surface only:
+/// they are not scalars, and the count prefix covers only scalars.
+const STATS_SCALAR_FIELDS: usize = 30;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -471,6 +473,48 @@ impl Writer {
                 self.u8(13);
                 self.str(addr);
             }
+            Command::ReplicateSession {
+                session,
+                epoch,
+                image,
+            } => {
+                self.u8(14);
+                self.varint(*session);
+                self.varint(*epoch);
+                self.bytes(image);
+            }
+            Command::PromoteReplica { session } => {
+                self.u8(15);
+                self.varint(*session);
+            }
+            Command::DropReplica { session } => {
+                self.u8(16);
+                self.varint(*session);
+            }
+            Command::SnapshotSession { session } => {
+                self.u8(17);
+                self.varint(*session);
+            }
+            Command::ListSessions => self.u8(18),
+            Command::Gossip {
+                from,
+                generation,
+                members,
+            } => {
+                self.u8(19);
+                self.str(from);
+                self.varint(*generation);
+                self.members(members);
+            }
+        }
+    }
+
+    fn members(&mut self, members: &[crate::proto::MemberInfo]) {
+        self.varint(members.len() as u64);
+        for m in members {
+            self.str(&m.addr);
+            self.u8(m.status.as_u8());
+            self.varint(m.incarnation);
         }
     }
 
@@ -576,6 +620,10 @@ impl Writer {
                     s.latency_p99_us,
                     s.latency_p999_us,
                     s.slow_queries,
+                    s.replicas_live,
+                    s.replication_lag_max_epochs,
+                    s.promotions,
+                    s.hedged_reads,
                 ] {
                     self.varint(n);
                 }
@@ -622,6 +670,42 @@ impl Writer {
                 self.str(addr);
                 self.u8(*joined as u8);
                 self.varint(*migrated);
+            }
+            Response::SessionReplicated { session, epoch } => {
+                self.u8(13);
+                self.varint(*session);
+                self.varint(*epoch);
+            }
+            Response::ReplicaPromoted {
+                session,
+                epoch,
+                wealth,
+            } => {
+                self.u8(14);
+                self.varint(*session);
+                self.varint(*epoch);
+                self.f64(*wealth);
+            }
+            Response::ReplicaDropped { session } => {
+                self.u8(15);
+                self.varint(*session);
+            }
+            Response::Sessions { sessions } => {
+                self.u8(16);
+                self.varint(sessions.len() as u64);
+                for s in sessions {
+                    self.varint(s.session);
+                    self.u8(s.replica as u8);
+                    self.varint(s.epoch);
+                }
+            }
+            Response::GossipView {
+                generation,
+                members,
+            } => {
+                self.u8(17);
+                self.varint(*generation);
+                self.members(members);
             }
         }
     }
@@ -891,6 +975,26 @@ impl<'a> Reader<'a> {
             13 => Command::LeaveShard {
                 addr: self.str("addr")?,
             },
+            14 => Command::ReplicateSession {
+                session: self.varint("session")?,
+                epoch: self.varint("epoch")?,
+                image: self.byte_string("image")?,
+            },
+            15 => Command::PromoteReplica {
+                session: self.varint("session")?,
+            },
+            16 => Command::DropReplica {
+                session: self.varint("session")?,
+            },
+            17 => Command::SnapshotSession {
+                session: self.varint("session")?,
+            },
+            18 => Command::ListSessions,
+            19 => Command::Gossip {
+                from: self.str("from")?,
+                generation: self.varint("generation")?,
+                members: self.members()?,
+            },
             other => {
                 return Err(ServeError {
                     code: ErrorCode::UnknownCommand,
@@ -898,6 +1002,22 @@ impl<'a> Reader<'a> {
                 })
             }
         })
+    }
+
+    fn members(&mut self) -> Result<Vec<crate::proto::MemberInfo>, ServeError> {
+        let count = self.varint("member count")? as usize;
+        if count > 4096 {
+            return Err(self.bad(format!("member count {count} exceeds cap")));
+        }
+        let mut members = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            members.push(crate::proto::MemberInfo {
+                addr: self.str("member addr")?,
+                status: crate::proto::MemberStatus::from_u8(self.u8("member status")?)?,
+                incarnation: self.varint("member incarnation")?,
+            });
+        }
+        Ok(members)
     }
 
     fn transcript_format(&mut self) -> Result<TranscriptFormat, ServeError> {
@@ -972,7 +1092,7 @@ impl<'a> Reader<'a> {
                 for slot in &mut batch_size_hist {
                     *slot = self.varint("stats histogram")?;
                 }
-                Response::Stats(StatsSnapshot {
+                Response::Stats(Box::new(StatsSnapshot {
                     sessions_created: fields[0],
                     sessions_closed: fields[1],
                     sessions_evicted: fields[2],
@@ -999,10 +1119,14 @@ impl<'a> Reader<'a> {
                     latency_p99_us: fields[23],
                     latency_p999_us: fields[24],
                     slow_queries: fields[25],
+                    replicas_live: fields[26],
+                    replication_lag_max_epochs: fields[27],
+                    promotions: fields[28],
+                    hedged_reads: fields[29],
                     batch_size_hist,
                     shards: Vec::new(),
                     sessions: Vec::new(),
-                })
+                }))
             }
             8 => Response::Error(ServeError {
                 code: ErrorCode::parse(&self.str("error code")?),
@@ -1035,6 +1159,34 @@ impl<'a> Reader<'a> {
                 addr: self.str("addr")?,
                 joined: self.u8("joined")? != 0,
                 migrated: self.varint("migrated")?,
+            },
+            13 => Response::SessionReplicated {
+                session: self.varint("session")?,
+                epoch: self.varint("epoch")?,
+            },
+            14 => Response::ReplicaPromoted {
+                session: self.varint("session")?,
+                epoch: self.varint("epoch")?,
+                wealth: self.f64("wealth")?,
+            },
+            15 => Response::ReplicaDropped {
+                session: self.varint("session")?,
+            },
+            16 => {
+                let count = self.varint("session count")? as usize;
+                let mut sessions = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    sessions.push(crate::proto::SessionEntry {
+                        session: self.varint("session")?,
+                        replica: self.u8("replica flag")? != 0,
+                        epoch: self.varint("epoch")?,
+                    });
+                }
+                Response::Sessions { sessions }
+            }
+            17 => Response::GossipView {
+                generation: self.varint("generation")?,
+                members: self.members()?,
             },
             other => return Err(self.bad(format!("unknown response tag {other}"))),
         })
@@ -1159,11 +1311,11 @@ mod tests {
                 ),
                 (
                     Some(2),
-                    Response::Stats(StatsSnapshot {
+                    Response::Stats(Box::new(StatsSnapshot {
                         batches: 3,
                         batch_size_hist: [1, 0, 2, 0, 9],
                         ..Default::default()
-                    }),
+                    })),
                 ),
             ],
         });
@@ -1257,7 +1409,7 @@ mod tests {
         // The router's stats counters ride the scalar list bit-exactly.
         round_trip_reply(Reply::Single {
             id: Some(5),
-            response: Response::Stats(StatsSnapshot {
+            response: Response::Stats(Box::new(StatsSnapshot {
                 forwarded: u64::MAX,
                 migrations: 3,
                 shard_errors: 1,
@@ -1267,9 +1419,118 @@ mod tests {
                 latency_p99_us: 4_500,
                 latency_p999_us: 21_000,
                 slow_queries: 2,
+                replicas_live: 14,
+                replication_lag_max_epochs: 2,
+                promotions: 1,
+                hedged_reads: 4_096,
                 ..Default::default()
-            }),
+            })),
         });
+    }
+
+    #[test]
+    fn replication_commands_and_replies_round_trip() {
+        round_trip_envelope(Envelope::Single {
+            id: Some(1),
+            cmd: Command::ReplicateSession {
+                session: 7,
+                epoch: 300,
+                image: vec![0x41, 0x57, 0x52, 0x53, 0x02, 0x00, 0xff],
+            },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(2),
+            cmd: Command::PromoteReplica { session: 7 },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: None,
+            cmd: Command::DropReplica { session: 7 },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(3),
+            cmd: Command::SnapshotSession { session: 7 },
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(4),
+            cmd: Command::ListSessions,
+        });
+        round_trip_envelope(Envelope::Single {
+            id: Some(5),
+            cmd: Command::Gossip {
+                from: "127.0.0.1:7878".into(),
+                generation: 12,
+                members: vec![
+                    crate::proto::MemberInfo {
+                        addr: "127.0.0.1:7001".into(),
+                        status: crate::proto::MemberStatus::Alive,
+                        incarnation: 3,
+                    },
+                    crate::proto::MemberInfo {
+                        addr: "127.0.0.1:7002".into(),
+                        status: crate::proto::MemberStatus::Dead,
+                        incarnation: u64::MAX,
+                    },
+                ],
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(1),
+            response: Response::SessionReplicated {
+                session: 7,
+                epoch: 300,
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(2),
+            response: Response::ReplicaPromoted {
+                session: 7,
+                epoch: 300,
+                wealth: 0.0375,
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: None,
+            response: Response::ReplicaDropped { session: 7 },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(3),
+            response: Response::Sessions {
+                sessions: vec![
+                    crate::proto::SessionEntry {
+                        session: 1,
+                        replica: false,
+                        epoch: 0,
+                    },
+                    crate::proto::SessionEntry {
+                        session: 9,
+                        replica: true,
+                        epoch: u64::MAX,
+                    },
+                ],
+            },
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(4),
+            response: Response::GossipView {
+                generation: 12,
+                members: vec![crate::proto::MemberInfo {
+                    addr: "127.0.0.1:7001".into(),
+                    status: crate::proto::MemberStatus::Suspect,
+                    incarnation: 0,
+                }],
+            },
+        });
+        // A hostile member status byte is rejected, not mapped.
+        let mut w = Writer::new();
+        w.u8(TAG_SINGLE_REPLY);
+        w.opt_varint(None);
+        w.u8(17); // Response::GossipView tag
+        w.varint(0); // generation
+        w.varint(1); // one member
+        w.str("127.0.0.1:1");
+        w.u8(7); // no such status
+        w.varint(0);
+        assert!(decode_reply(&w.buf).is_err());
     }
 
     #[test]
@@ -1279,9 +1540,10 @@ mod tests {
         // STATS_SCALAR_FIELDS: both must decode, defaulting the missing
         // counters and skipping the surplus.
         // 14 = a pre-persistence peer, 20 = a PR-5-era peer (cluster
-        // counters but no observability scalars), 29 = a future peer
-        // with three counters we don't know yet.
-        for count in [14usize, 20, 29] {
+        // counters but no observability scalars), 26 = a PR-6-era peer
+        // (no replication scalars), 33 = a future peer with three
+        // counters we don't know yet.
+        for count in [14usize, 20, 26, 33] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1319,7 +1581,7 @@ mod tests {
                 assert_eq!(s.migrations, 118);
                 assert_eq!(s.shard_errors, 119);
             }
-            if count < STATS_SCALAR_FIELDS {
+            if count < 26 {
                 assert_eq!(s.uptime_seconds, 0);
                 assert_eq!(s.latency_p999_us, 0);
                 assert_eq!(s.slow_queries, 0);
@@ -1330,6 +1592,17 @@ mod tests {
                 assert_eq!(s.latency_p99_us, 123);
                 assert_eq!(s.latency_p999_us, 124);
                 assert_eq!(s.slow_queries, 125);
+            }
+            if count < STATS_SCALAR_FIELDS {
+                assert_eq!(s.replicas_live, 0);
+                assert_eq!(s.replication_lag_max_epochs, 0);
+                assert_eq!(s.promotions, 0);
+                assert_eq!(s.hedged_reads, 0);
+            } else {
+                assert_eq!(s.replicas_live, 126);
+                assert_eq!(s.replication_lag_max_epochs, 127);
+                assert_eq!(s.promotions, 128);
+                assert_eq!(s.hedged_reads, 129);
             }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
         }

@@ -237,7 +237,7 @@ impl Lcg {
                 discoveries: self.next(),
             },
             _ => match self.pick(2) {
-                0 => Response::Stats(StatsSnapshot {
+                0 => Response::Stats(Box::new(StatsSnapshot {
                     sessions_created: self.next(),
                     commands: self.next(),
                     batches: self.next(),
@@ -249,7 +249,7 @@ impl Lcg {
                         self.next(),
                     ],
                     ..Default::default()
-                }),
+                })),
                 _ => Response::Error(ServeError {
                     code: ErrorCode::parse(
                         ["bad_request", "unknown_session", "aborted", "overloaded"][self.pick(4)],
