@@ -3,6 +3,7 @@
 //! ```text
 //! cluster router [--addr 127.0.0.1:7878] [--shard HOST:PORT]...
 //!                [--vnodes 64] [--probe-secs 5] [--replicas R]
+//!                [--shard-timeout-ms MS]
 //!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
 //!                [--metrics-addr HOST:PORT]
 //! cluster shard  [--addr 127.0.0.1:0] [--rows 20000] [--seed 2017]
@@ -29,7 +30,16 @@
 //! both roles, and the multi-process conformance suite spawns it for
 //! both.
 //!
-//! Both roles announce `… listening on ADDR …` on stderr once bound.
+//! `--shard-timeout-ms MS` caps every router→shard round trip
+//! (connect, read, write; default 10 000 ms). A blown deadline answers
+//! `unavailable`, counts toward the shard's circuit breaker and SWIM
+//! suspicion, and — with `--replicas R` — a frozen shard converges to
+//! confirmed-dead and fails over exactly like a crashed one.
+//!
+//! Both roles announce `… listening on ADDR …` on stderr once bound,
+//! and both drain gracefully on SIGTERM/SIGINT: stop accepting, flush
+//! dirty sessions (shard role), then log a structured `drain_complete`
+//! record and exit 0.
 
 use aware_cluster::router::{Router, RouterConfig};
 use aware_data::census::CensusGenerator;
@@ -47,7 +57,7 @@ fn die(message: &str) -> ! {
 fn usage() -> ! {
     println!(
         "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S] \
-         [--replicas R] \
+         [--replicas R] [--shard-timeout-ms MS] \
          [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]\n\
          cluster shard  [--addr HOST:PORT] [--rows N] [--seed K] [--workers N] \
          [--data-dir DIR] [--snapshot-every S] \
@@ -158,6 +168,13 @@ fn run_router(mut args: impl Iterator<Item = String>) {
                     .parse()
                     .unwrap_or_else(|e| die(&format!("--replicas: {e}")))
             }
+            "--shard-timeout-ms" => {
+                let ms: u64 = next_value(&mut args, "--shard-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--shard-timeout-ms: {e}")));
+                // 0 disables the deadline (back to blocking sockets).
+                config.shard_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--help" | "-h" => usage(),
             other => die(&format!("unknown router flag '{other}'")),
         }
@@ -189,7 +206,30 @@ fn run_router(mut args: impl Iterator<Item = String>) {
         shards.len(),
         shards.join(", "),
     );
-    server.join();
+
+    aware_obs::signal::install_term_handler();
+    while !aware_obs::signal::term_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Graceful drain: stop accepting, then drop the router (stops the
+    // probe loop). Session state lives on the shards, which flush it
+    // in their own drain paths; the router records what it was serving.
+    let sessions_live = match router.handle().call(Command::Stats) {
+        Response::Stats(s) => s.sessions_live,
+        _ => 0,
+    };
+    let started = std::time::Instant::now();
+    drop(server);
+    drop(router);
+    aware_obs::logline!(
+        aware_obs::log::Level::Info,
+        "drain_complete",
+        role = "router",
+        shards = shards.len(),
+        sessions_live = sessions_live,
+        drain_ms = started.elapsed().as_millis()
+    );
 }
 
 fn run_shard(mut args: impl Iterator<Item = String>) {
@@ -260,5 +300,27 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
         "aware-cluster-shard listening on {} ({rows} census rows, seed {seed})",
         server.local_addr()
     );
-    server.join();
+
+    aware_obs::signal::install_term_handler();
+    while !aware_obs::signal::term_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Graceful drain: stop accepting, then Service::shutdown joins the
+    // workers and spills every dirty session to disk before the
+    // summary line goes out.
+    let sessions_live = match service.handle().call(Command::Stats) {
+        Response::Stats(s) => s.sessions_live,
+        _ => 0,
+    };
+    let started = std::time::Instant::now();
+    drop(server);
+    service.shutdown();
+    aware_obs::logline!(
+        aware_obs::log::Level::Info,
+        "drain_complete",
+        role = "shard",
+        sessions_live = sessions_live,
+        drain_ms = started.elapsed().as_millis()
+    );
 }

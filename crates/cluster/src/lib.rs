@@ -56,6 +56,7 @@
 //! fails validation answers `corrupt_snapshot` — still never a fresh
 //! budget.
 
+pub mod breaker;
 pub mod gossip;
 pub mod metrics;
 pub mod pool;

@@ -1,4 +1,5 @@
-//! Per-shard connection pools with health accounting.
+//! Per-shard connection pools with health accounting, deadlines, and
+//! circuit breaking.
 //!
 //! The router keeps one [`ShardPool`] per backend shard. Connections
 //! are the binary-framed reference [`Client`] (the hello handshake is
@@ -9,13 +10,31 @@
 //! it back. The pool never invents responses — command-level errors
 //! from the shard pass through untouched, and only transport failures
 //! become [`PoolError`]s for the router to surface as `unavailable`.
+//!
+//! Two resilience layers sit in front of every round trip:
+//!
+//! - **Deadlines** ([`PoolConfig::timeout`]): the TCP handshake uses
+//!   `connect_timeout` and every socket carries read/write timeouts, so
+//!   a frozen (SIGSTOP-grade) shard costs at most one deadline per
+//!   socket operation instead of hanging the caller forever. A blown
+//!   deadline is a transport failure like any other — the router
+//!   answers `unavailable`, never `unknown_session`, never a fresh
+//!   budget — and is counted separately ([`ShardPool::timeouts`]).
+//! - **A circuit breaker** ([`crate::breaker::CircuitBreaker`]): after
+//!   `failure_threshold` consecutive failures the breaker opens and
+//!   calls are *shed* without touching the network, with exponential
+//!   backoff plus deterministic per-shard jitter before the next
+//!   half-open probe. Shed calls surface as [`PoolError`]s with
+//!   [`PoolError::shed`] set so probes can still count them as misses.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use aware_serve::proto::{BatchMode, Command, Encoding, Response};
-use aware_serve::tcp::Client;
+use aware_serve::tcp::{is_deadline_error, Client};
 use aware_serve::ServeError;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// A transport-level failure against a shard (connect, send, or
 /// receive). Distinct from a `Response::Error` the shard itself
@@ -23,6 +42,12 @@ use std::sync::Mutex;
 #[derive(Debug)]
 pub struct PoolError {
     pub message: String,
+    /// The failure was a blown deadline (connect/read/write timeout)
+    /// rather than a refused or peer-closed connection.
+    pub timed_out: bool,
+    /// The call never touched the network: the breaker was open and
+    /// shed it.
+    pub shed: bool,
 }
 
 impl std::fmt::Display for PoolError {
@@ -35,56 +60,115 @@ impl std::fmt::Display for PoolError {
 /// session or server state. Everything else — creates, visualizations
 /// (they charge α-wealth), policy swaps, closes, export/import, ring
 /// admin — must never be blind-retried.
+///
+/// Deliberately an exhaustive match with no `_` arm: a future command
+/// variant must fail compilation here and be classified by a human,
+/// because silently defaulting a mutation to "retryable" would
+/// double-charge α-wealth on a retried reply-lost round trip.
 fn idempotent(cmd: &Command) -> bool {
-    matches!(
-        cmd,
+    match cmd {
+        // Pure reads of session or server state.
         Command::Gauge { .. }
-            | Command::Transcript { .. }
-            | Command::Stats
-            | Command::ListDatasets
-            // Replication-plane reads: `snapshot_session` cuts an image
-            // without removing anything, `list_sessions` is pure
-            // inventory, and `gossip` is a last-writer-wins merge —
-            // executing any of them twice changes nothing.
-            | Command::SnapshotSession { .. }
-            | Command::ListSessions
-            | Command::Gossip { .. }
-    )
+        | Command::Transcript { .. }
+        | Command::Stats
+        | Command::ListDatasets
+        // Replication-plane reads: `snapshot_session` cuts an image
+        // without removing anything, `list_sessions` is pure
+        // inventory, and `gossip` is a last-writer-wins merge —
+        // executing any of them twice changes nothing.
+        | Command::SnapshotSession { .. }
+        | Command::ListSessions
+        | Command::Gossip { .. } => true,
+        // Mutations: a broken connection cannot tell "never processed"
+        // from "processed, reply lost"; re-sending would double-apply.
+        Command::CreateSession { .. }
+        | Command::CreateSessionAs { .. }
+        | Command::ExportSession { .. }
+        | Command::ImportSession { .. }
+        | Command::JoinShard { .. }
+        | Command::LeaveShard { .. }
+        | Command::ReplicateSession { .. }
+        | Command::PromoteReplica { .. }
+        | Command::DropReplica { .. }
+        | Command::AddVisualization { .. }
+        | Command::SetPolicy { .. }
+        | Command::CloseSession { .. } => false,
+    }
 }
 
 /// Idle connections kept per shard; more than this many concurrent
 /// round trips simply open (and afterwards drop) extra connections.
 const MAX_IDLE: usize = 8;
 
+/// Deadline and breaker tunables for a pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Per-socket-operation deadline (connect, read, write). `None`
+    /// disables deadlines entirely (the pre-resilience behavior, kept
+    /// for tests that want to exercise raw blocking semantics).
+    pub timeout: Option<Duration>,
+    /// Circuit-breaker tunables.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            // Generous by default: long enough that only a genuinely
+            // wedged peer blows it, short enough that nothing hangs
+            // forever.
+            timeout: Some(Duration::from_secs(10)),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
 /// One backend shard: address, idle connections, health counters.
 pub struct ShardPool {
     addr: String,
     parsed: SocketAddr,
+    config: PoolConfig,
+    breaker: CircuitBreaker,
     idle: Mutex<Vec<Client>>,
     healthy: AtomicBool,
     /// Commands forwarded to this shard (batch items count singly).
     forwarded: AtomicU64,
     /// Transport-level failures observed against this shard.
     errors: AtomicU64,
+    /// Blown deadlines (subset of `errors`).
+    timeouts: AtomicU64,
     /// Live sessions the shard reported on its last successful probe.
     last_live: AtomicU64,
 }
 
 impl ShardPool {
-    /// Creates a pool for `addr` (must parse as `ip:port`). No
-    /// connection is opened yet; the first round trip (or probe) does.
+    /// Creates a pool for `addr` (must parse as `ip:port`) with default
+    /// deadlines and breaker. No connection is opened yet; the first
+    /// round trip (or probe) does.
     pub fn new(addr: impl Into<String>) -> Result<ShardPool, ServeError> {
+        ShardPool::with_config(addr, PoolConfig::default())
+    }
+
+    /// Creates a pool with explicit deadline/breaker tunables.
+    pub fn with_config(
+        addr: impl Into<String>,
+        config: PoolConfig,
+    ) -> Result<ShardPool, ServeError> {
         let addr = addr.into();
         let parsed: SocketAddr = addr
             .parse()
             .map_err(|e| ServeError::invalid(format!("shard address '{addr}': {e}")))?;
+        let breaker = CircuitBreaker::new(&addr, config.breaker);
         Ok(ShardPool {
             addr,
             parsed,
+            config,
+            breaker,
             idle: Mutex::new(Vec::new()),
             healthy: AtomicBool::new(false),
             forwarded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             last_live: AtomicU64::new(0),
         })
     }
@@ -110,6 +194,27 @@ impl ShardPool {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Blown deadlines observed against this shard.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Closed/half-open → open breaker transitions.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker.opens()
+    }
+
+    /// Calls shed without touching the network while the breaker was
+    /// open.
+    pub fn breaker_shed(&self) -> u64 {
+        self.breaker.shed()
+    }
+
+    /// The breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
     /// Live sessions reported by the last successful probe.
     pub fn last_live(&self) -> u64 {
         self.last_live.load(Ordering::Relaxed)
@@ -123,15 +228,31 @@ impl ShardPool {
     }
 
     fn connect(&self) -> Result<Client, PoolError> {
-        Client::connect_with(self.parsed, Encoding::Binary).map_err(|e| PoolError {
-            message: format!("shard {}: {e}", self.addr),
-        })
+        let connected = match self.config.timeout {
+            Some(timeout) => Client::connect_with_deadline(self.parsed, Encoding::Binary, timeout),
+            None => Client::connect_with(self.parsed, Encoding::Binary),
+        };
+        connected.map_err(|e| self.classify(&e))
     }
 
     fn checkin(&self, client: Client) {
         let mut idle = self.idle.lock().unwrap();
         if idle.len() < MAX_IDLE {
             idle.push(client);
+        }
+    }
+
+    /// Maps a client-level failure onto a [`PoolError`], counting blown
+    /// deadlines separately from peer-closed connections.
+    fn classify(&self, e: &ServeError) -> PoolError {
+        let timed_out = is_deadline_error(e);
+        if timed_out {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        PoolError {
+            message: format!("shard {}: {e}", self.addr),
+            timed_out,
+            shed: false,
         }
     }
 
@@ -162,6 +283,7 @@ impl ShardPool {
     }
 
     fn fail(&self, error: PoolError) -> PoolError {
+        self.breaker.record_failure();
         self.flip_unhealthy(&error.message);
         error
     }
@@ -170,10 +292,12 @@ impl ShardPool {
     /// error reply) against the shard — the round trip succeeded, so
     /// the pool itself cannot see it.
     pub fn mark_unhealthy(&self) {
+        self.breaker.record_failure();
         self.flip_unhealthy("protocol-level shutdown reply");
     }
 
     fn succeed(&self) {
+        self.breaker.record_success();
         if !self.healthy.swap(true, Ordering::Relaxed) {
             aware_obs::logline!(
                 aware_obs::log::Level::Info,
@@ -243,10 +367,21 @@ impl ShardPool {
         retryable: bool,
         mut op: impl FnMut(&mut Client) -> Result<T, ServeError>,
     ) -> Result<T, PoolError> {
+        if !self.breaker.admit() {
+            // Shed without a handshake; the breaker already counted it.
+            return Err(PoolError {
+                message: format!("shard {}: circuit open, call shed", self.addr),
+                timed_out: false,
+                shed: true,
+            });
+        }
         let (pooled, was_pooled) = self.checkout();
         let mut client = match pooled {
             Some(client) => client,
-            None => self.connect().map_err(|e| self.fail(e))?,
+            None => match self.connect() {
+                Ok(client) => client,
+                Err(e) => return Err(self.fail(e)),
+            },
         };
         match op(&mut client) {
             Ok(value) => {
@@ -257,30 +392,32 @@ impl ShardPool {
             Err(first) => {
                 drop(client); // never reuse a connection mid-protocol
                 if !was_pooled || !retryable {
-                    return Err(self.fail(PoolError {
-                        message: format!("shard {}: {first}", self.addr),
-                    }));
+                    return Err(self.fail(self.classify(&first)));
                 }
                 // A read on a pooled socket that may simply have idled
                 // out server-side: one fresh attempt before declaring
                 // the shard down.
-                let mut fresh = self.connect().map_err(|e| self.fail(e))?;
+                let mut fresh = match self.connect() {
+                    Ok(client) => client,
+                    Err(e) => return Err(self.fail(e)),
+                };
                 match op(&mut fresh) {
                     Ok(value) => {
                         self.succeed();
                         self.checkin(fresh);
                         Ok(value)
                     }
-                    Err(second) => Err(self.fail(PoolError {
-                        message: format!("shard {}: {second}", self.addr),
-                    })),
+                    Err(second) => Err(self.fail(self.classify(&second))),
                 }
             }
         }
     }
 
     /// Health probe: a `stats` round trip. Updates the health flag and
-    /// the live-session gauge; returns the shard's stats on success.
+    /// the live-session gauge; returns the shard's stats on success. A
+    /// shed probe fails fast — the caller must still count it as a
+    /// missed probe (the breaker being open *is* evidence of sickness),
+    /// which is how a frozen shard converges to confirmed-dead.
     pub fn probe(&self) -> Result<aware_serve::proto::StatsSnapshot, PoolError> {
         let response = self.round_trip(true, |client| client.call(&Command::Stats))?;
         match response {
@@ -290,6 +427,8 @@ impl ShardPool {
             }
             other => Err(self.fail(PoolError {
                 message: format!("shard {}: stats answered {other:?}", self.addr),
+                timed_out: false,
+                shed: false,
             })),
         }
     }
@@ -310,6 +449,7 @@ impl ShardPool {
 mod tests {
     use super::*;
     use aware_data::census::CensusGenerator;
+    use aware_serve::proto::{FilterSpec, PolicySpec, TranscriptFormat};
     use aware_serve::service::{Service, ServiceConfig};
     use aware_serve::tcp::TcpServer;
 
@@ -344,5 +484,176 @@ mod tests {
         assert!(pool.call(&Command::Stats).is_ok());
         assert!(pool.is_healthy());
         assert_eq!(pool.idle_connections(), 1);
+    }
+
+    /// Pins the retry classification of every command variant. This is
+    /// the α-integrity boundary: a variant listed as `true` here is
+    /// blind-retried on pooled-connection failures, so anything that
+    /// charges wealth, moves a session, or edits the ring MUST be
+    /// `false`. `idempotent()` is an exhaustive match, so adding a
+    /// `Command` variant without classifying it (and extending this
+    /// table) fails compilation.
+    #[test]
+    fn idempotent_classification_is_pinned() {
+        let sid = 7;
+        let retryable: Vec<Command> = vec![
+            Command::Gauge { session: sid },
+            Command::Transcript {
+                session: sid,
+                format: TranscriptFormat::Csv,
+            },
+            Command::Stats,
+            Command::ListDatasets,
+            Command::SnapshotSession { session: sid },
+            Command::ListSessions,
+            Command::Gossip {
+                from: "127.0.0.1:1".into(),
+                generation: 1,
+                members: vec![],
+            },
+        ];
+        let never_retry: Vec<Command> = vec![
+            Command::CreateSession {
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 2.0 },
+            },
+            Command::CreateSessionAs {
+                session: sid,
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 2.0 },
+            },
+            Command::ExportSession { session: sid },
+            Command::ImportSession {
+                session: sid,
+                image: vec![],
+            },
+            Command::JoinShard {
+                addr: "127.0.0.1:1".into(),
+            },
+            Command::LeaveShard {
+                addr: "127.0.0.1:1".into(),
+            },
+            Command::ReplicateSession {
+                session: sid,
+                epoch: 1,
+                image: vec![],
+            },
+            Command::PromoteReplica { session: sid },
+            Command::DropReplica { session: sid },
+            Command::AddVisualization {
+                session: sid,
+                attribute: "age".into(),
+                filter: FilterSpec::True,
+            },
+            Command::SetPolicy {
+                session: sid,
+                policy: PolicySpec::Fixed { gamma: 2.0 },
+            },
+            Command::CloseSession { session: sid },
+        ];
+        for cmd in &retryable {
+            assert!(idempotent(cmd), "{} must be retryable", cmd.name());
+        }
+        for cmd in &never_retry {
+            assert!(!idempotent(cmd), "{} must never be retried", cmd.name());
+        }
+        // Every variant is classified exactly once.
+        assert_eq!(
+            retryable.len() + never_retry.len(),
+            aware_serve::proto::COMMAND_KINDS.len(),
+            "a new Command variant must be added to this pin table"
+        );
+    }
+
+    /// A black-holed address (TEST-NET-1, no listener, packets dropped)
+    /// must cost at most the connect deadline, not a kernel-default
+    /// multi-minute SYN retry ladder.
+    #[test]
+    fn connect_deadline_bounds_a_black_hole() {
+        let pool = ShardPool::with_config(
+            "192.0.2.1:9",
+            PoolConfig {
+                timeout: Some(Duration::from_millis(300)),
+                breaker: BreakerConfig::default(),
+            },
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = pool.call(&Command::Stats).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "black-holed connect took {elapsed:?}"
+        );
+        // Either the SYN genuinely times out (black hole) or some
+        // middlebox refuses it; on the timeout path the blown deadline
+        // is counted.
+        if err.timed_out {
+            assert_eq!(pool.timeouts(), 1);
+        }
+        assert!(!pool.is_healthy());
+    }
+
+    /// A frozen server (accepts, then never replies) blows the read
+    /// deadline instead of hanging, and repeated failures open the
+    /// breaker, which sheds without touching the network.
+    #[test]
+    fn read_deadline_and_breaker_shed_on_a_frozen_peer() {
+        use std::net::TcpListener;
+        // A listener that accepts and then ignores the socket forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let frozen = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for conn in listener.incoming() {
+                match conn {
+                    Ok(stream) => held.push(stream),
+                    Err(_) => break,
+                }
+                if held.len() >= 8 {
+                    break;
+                }
+            }
+            held
+        });
+
+        let pool = ShardPool::with_config(
+            addr.to_string(),
+            PoolConfig {
+                timeout: Some(Duration::from_millis(150)),
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    base_backoff: Duration::from_secs(5),
+                    max_backoff: Duration::from_secs(5),
+                },
+            },
+        )
+        .unwrap();
+
+        // Each call blows the read deadline inside ~2x the budget (the
+        // hello never gets acked).
+        for expected_timeouts in 1..=2u64 {
+            let start = std::time::Instant::now();
+            let err = pool.call(&Command::Stats).unwrap_err();
+            assert!(err.timed_out, "frozen peer must surface as a timeout");
+            assert!(
+                start.elapsed() < Duration::from_millis(600),
+                "deadline did not bound the call"
+            );
+            assert_eq!(pool.timeouts(), expected_timeouts);
+        }
+        // Two consecutive failures opened the breaker: the next call is
+        // shed instantly, no third connection is attempted.
+        assert_eq!(pool.breaker_opens(), 1);
+        let start = std::time::Instant::now();
+        let err = pool.call(&Command::Stats).unwrap_err();
+        assert!(err.shed, "open breaker must shed");
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(pool.breaker_shed(), 1);
+        assert_eq!(pool.breaker_state(), BreakerState::Open);
+        drop(pool);
+        drop(frozen); // the held sockets die with the test
     }
 }

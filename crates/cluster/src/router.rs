@@ -112,6 +112,18 @@ pub struct RouterConfig {
     /// cadence, and a confirmed-dead primary is failed over
     /// automatically.
     pub replicas: usize,
+    /// Per-command deadline budget against a shard: TCP connect, every
+    /// socket read, and every socket write each get this long before
+    /// the round trip is abandoned and answered `unavailable` (never
+    /// `unknown_session`, never a fresh budget). `None` disables
+    /// deadlines (pre-resilience blocking behavior). Blown deadlines
+    /// feed the same SWIM suspicion as refused connections, so a
+    /// frozen shard converges to confirmed-dead and fails over exactly
+    /// like a SIGKILLed one.
+    pub shard_timeout: Option<Duration>,
+    /// Per-shard circuit-breaker tunables (threshold, backoff base and
+    /// cap). Backoff jitter is deterministic per shard address.
+    pub breaker: crate::breaker::BreakerConfig,
 }
 
 impl Default for RouterConfig {
@@ -122,6 +134,8 @@ impl Default for RouterConfig {
             probe_interval: None,
             slow_ms: None,
             replicas: 0,
+            shard_timeout: Some(Duration::from_secs(10)),
+            breaker: crate::breaker::BreakerConfig::default(),
         }
     }
 }
@@ -868,6 +882,11 @@ fn hedged_call(
     inner.metrics.forwarded(2);
     let start = Instant::now();
     let (tx, rx) = std::sync::mpsc::channel();
+    // The losing leg is not detached-forever: every pool socket carries
+    // the configured deadline, so a leg racing a frozen shard blows its
+    // read timeout and exits within the budget (at most twice it, for
+    // the pooled-connection retry) instead of leaking a thread per
+    // hedged read against a SIGSTOPped peer.
     for (is_primary, pool) in [(true, primary.clone()), (false, replica_pool)] {
         let tx = tx.clone();
         let cmd = cmd.clone();
@@ -1022,6 +1041,11 @@ fn sum_stats(total: &mut StatsSnapshot, shard: &StatsSnapshot) {
     total.replicas_live += shard.replicas_live;
     total.promotions += shard.promotions;
     total.hedged_reads += shard.hedged_reads;
+    // Resilience scalars: a plain serve reports 0 for all three, but a
+    // shard that is itself a router (tiered topologies) sums through.
+    total.shard_timeouts += shard.shard_timeouts;
+    total.breaker_opens += shard.breaker_opens;
+    total.breaker_shed += shard.breaker_shed;
     // Quantiles cannot be summed; MAX-merge is the honest cluster-wide
     // upper bound the scalar list can carry (the exposition endpoint
     // serves the real per-shard distributions).
@@ -1083,6 +1107,12 @@ fn probe_all(inner: &Inner) -> (StatsSnapshot, Vec<(String, StatsSnapshot)>) {
     // Only the router knows how far replicas trail their primaries
     // (shards report 0 for this field).
     total.replication_lag_max_epochs = replication_lag(inner);
+    // Deadline/breaker accounting lives in the router's shard pools.
+    for pool in &pools {
+        total.shard_timeouts += pool.timeouts();
+        total.breaker_opens += pool.breaker_opens();
+        total.breaker_shed += pool.breaker_shed();
+    }
     for (slot, counter) in total.batch_size_hist.iter_mut().zip(&m.batch_size_hist) {
         *slot += counter.load(Ordering::Relaxed);
     }
@@ -1320,7 +1350,13 @@ fn join_shard(inner: &Inner, addr: String) -> Response {
     }
     let pool = match inner.pools.read().unwrap().get(&addr) {
         Some(pool) => pool.clone(),
-        None => match ShardPool::new(&addr) {
+        None => match ShardPool::with_config(
+            &addr,
+            crate::pool::PoolConfig {
+                timeout: inner.config.shard_timeout,
+                breaker: inner.config.breaker,
+            },
+        ) {
             Ok(pool) => Arc::new(pool),
             Err(e) => return Response::Error(e),
         },
@@ -1802,6 +1838,21 @@ impl RouterHandle {
                 "Evaluation-cache misses, cluster-wide.",
                 merged.cache_misses,
             ),
+            (
+                "aware_shard_timeouts_total",
+                "Shard round trips abandoned on a blown deadline.",
+                merged.shard_timeouts,
+            ),
+            (
+                "aware_breaker_opens_total",
+                "Circuit-breaker open transitions across shards.",
+                merged.breaker_opens,
+            ),
+            (
+                "aware_breaker_shed_total",
+                "Calls shed without touching the network while a breaker was open.",
+                merged.breaker_shed,
+            ),
         ] {
             r.family(name, "counter", help);
             r.sample(name, &[], value);
@@ -1845,6 +1896,32 @@ impl RouterHandle {
             r.sample("aware_shard_sessions_live", &labels, health.sessions_live);
             r.sample("aware_shard_forwarded_total", &labels, health.forwarded);
             r.sample("aware_shard_errors", &labels, health.errors);
+        }
+
+        r.family(
+            "aware_shard_breaker_state",
+            "gauge",
+            "1 for the shard's current circuit-breaker state (closed/open/half_open).",
+        );
+        r.family(
+            "aware_shard_timeouts_total",
+            "counter",
+            "Blown deadlines observed against the shard.",
+        );
+        for pool in pools_sorted(inner) {
+            r.sample(
+                "aware_shard_breaker_state",
+                &[
+                    ("shard", pool.addr()),
+                    ("state", pool.breaker_state().as_str()),
+                ],
+                1,
+            );
+            r.sample(
+                "aware_shard_timeouts_total",
+                &[("shard", pool.addr())],
+                pool.timeouts(),
+            );
         }
 
         r.family(

@@ -17,8 +17,12 @@
 //!   echo them untouched and no protocol version bump is needed.
 //! * [`expose`] — a hand-rolled HTTP GET server and Prometheus-style
 //!   text renderer behind `--metrics-addr`.
+//! * [`signal`] — SIGTERM/SIGINT graceful-drain flag: an
+//!   async-signal-safe handler latches an atomic that binaries poll to
+//!   stop accepting, flush dirty sessions, and log `drain_complete`.
 
 pub mod expose;
 pub mod hist;
 pub mod log;
+pub mod signal;
 pub mod trace;

@@ -223,5 +223,27 @@ fn main() {
         config.max_sessions,
         config.idle_timeout,
     );
-    server.join();
+
+    aware_obs::signal::install_term_handler();
+    while !aware_obs::signal::term_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Graceful drain: stop accepting first (dropping the server joins
+    // the accept loop), then let Service::shutdown finish in-flight
+    // work and spill every dirty session to disk.
+    let sessions_live = match handle.call(aware_serve::proto::Command::Stats) {
+        aware_serve::proto::Response::Stats(s) => s.sessions_live,
+        _ => 0,
+    };
+    let started = std::time::Instant::now();
+    drop(server);
+    service.shutdown();
+    aware_obs::logline!(
+        aware_obs::log::Level::Info,
+        "drain_complete",
+        role = "serve",
+        sessions_live = sessions_live,
+        drain_ms = started.elapsed().as_millis()
+    );
 }

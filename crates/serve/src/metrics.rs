@@ -236,6 +236,11 @@ impl Metrics {
             replication_lag_max_epochs: 0,
             promotions: self.promotions.load(Ordering::Relaxed),
             hedged_reads: self.hedged_reads.load(Ordering::Relaxed),
+            // Deadline/breaker accounting belongs to a router's shard
+            // pools; a plain serve has no outbound calls to time out.
+            shard_timeouts: 0,
+            breaker_opens: 0,
+            breaker_shed: 0,
         }
     }
 }

@@ -1396,6 +1396,17 @@ pub struct StatsSnapshot {
     /// Read-only commands the router raced against a caught-up replica
     /// (first valid answer won). Binary field 29.
     pub hedged_reads: u64,
+    /// Shard round trips abandoned on a blown deadline (connect, read,
+    /// or write timeout). Router bookkeeping; always 0 on a plain
+    /// serve. Binary field 30 — the sixth no-version-bump scalar-list
+    /// extension starts here.
+    pub shard_timeouts: u64,
+    /// Closed/half-open → open circuit-breaker transitions across the
+    /// router's shards. Binary field 31.
+    pub breaker_opens: u64,
+    /// Calls shed without touching the network while a shard's breaker
+    /// was open. Binary field 32.
+    pub breaker_shed: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
     /// Per-shard health breakdown (cluster routers only; empty on a
@@ -1454,6 +1465,9 @@ impl StatsSnapshot {
             ),
             ("promotions", Json::Num(self.promotions as f64)),
             ("hedged_reads", Json::Num(self.hedged_reads as f64)),
+            ("shard_timeouts", Json::Num(self.shard_timeouts as f64)),
+            ("breaker_opens", Json::Num(self.breaker_opens as f64)),
+            ("breaker_shed", Json::Num(self.breaker_shed as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1548,6 +1562,9 @@ impl StatsSnapshot {
             replication_lag_max_epochs: lenient("replication_lag_max_epochs"),
             promotions: lenient("promotions"),
             hedged_reads: lenient("hedged_reads"),
+            shard_timeouts: lenient("shard_timeouts"),
+            breaker_opens: lenient("breaker_opens"),
+            breaker_shed: lenient("breaker_shed"),
             batch_size_hist,
             shards: match v.get("shards").and_then(Json::as_arr) {
                 None => Vec::new(),
@@ -2342,6 +2359,39 @@ mod tests {
             replication_lag_max_epochs: 2,
             promotions: 1,
             hedged_reads: 77,
+            ..Default::default()
+        }));
+        let (decoded, _) = Response::decode_line(&new.encode_line(None)).unwrap();
+        assert_eq!(decoded, new);
+    }
+
+    #[test]
+    fn resilience_stats_fields_decode_leniently() {
+        // The JSON half of the sixth no-version-bump extension: a stats
+        // reply from a pre-resilience server omits the deadline/breaker
+        // scalars entirely; the lenient decode pins them to 0.
+        let old = Response::Stats(Box::new(StatsSnapshot {
+            sessions_created: 3,
+            commands: 12,
+            ..Default::default()
+        }));
+        let mut line = old.encode_line(None);
+        for field in [
+            "\"shard_timeouts\":0,",
+            "\"breaker_opens\":0,",
+            "\"breaker_shed\":0,",
+        ] {
+            assert!(line.contains(field), "{line}");
+            line = line.replace(field, "");
+        }
+        let (decoded, _) = Response::decode_line(&line).unwrap();
+        assert_eq!(decoded, old, "missing resilience fields decode as 0");
+
+        // And a reply that carries them round-trips bit-for-bit.
+        let new = Response::Stats(Box::new(StatsSnapshot {
+            shard_timeouts: 21,
+            breaker_opens: 3,
+            breaker_shed: 450,
             ..Default::default()
         }));
         let (decoded, _) = Response::decode_line(&new.encode_line(None)).unwrap();

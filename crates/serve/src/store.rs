@@ -34,6 +34,18 @@
 //! fresh each held image is without decoding it. Promotion re-reads
 //! the file as the authoritative bytes and re-validates from scratch —
 //! a tampered replica fails there and is refused, never adopted.
+//!
+//! ## Fault injection
+//!
+//! The chaos harness needs the *disk* half of its fault matrix here:
+//! [`SnapshotStore::set_fault_hook`] installs a callback consulted
+//! once per durable write (primary and replica paths alike) that can
+//! inject a short write, ENOSPC, or an fsync failure. The invariant
+//! under every injected fault is the one the tmp + rename discipline
+//! already provides against real crashes: a failed save never
+//! advances the index, never touches the previous generation, and the
+//! next `load` still answers with the last durable image — wealth is
+//! never reset by a disk that misbehaves mid-save.
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::SessionId;
@@ -48,6 +60,26 @@ use std::sync::Mutex;
 /// Snapshot generations kept per session; older ones are pruned after a
 /// successful save.
 pub const GENERATIONS_KEPT: u64 = 2;
+
+/// An injectable write-path fault — the disk half of the chaos
+/// harness. Returned by a [`SnapshotStore::set_fault_hook`] callback
+/// to make the *next stage* of a durable write fail exactly the way a
+/// sick disk would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Persist only the first `n` bytes of the tmp file, then fail —
+    /// the torn tail a crash mid-`write` leaves behind.
+    ShortWrite(usize),
+    /// Refuse the data write outright: no space left on device.
+    NoSpace,
+    /// Accept every byte but fail the `fsync` — data may or may not be
+    /// on the platter, so the save must not be considered durable.
+    FsyncFail,
+}
+
+/// Callback consulted once per durable write with the final path the
+/// write is headed for (`sess-…` or `repl-…`).
+type FaultHook = Box<dyn Fn(&Path) -> Option<WriteFault> + Send + Sync>;
 
 /// A directory of durable session snapshots.
 pub struct SnapshotStore {
@@ -68,6 +100,10 @@ pub struct SnapshotStore {
     replicas: Mutex<HashMap<SessionId, u64>>,
     /// Snapshot files that failed to decode since the store opened.
     corrupt: AtomicU64,
+    /// Chaos hook consulted once per durable write; see [`WriteFault`].
+    fault_hook: Mutex<Option<FaultHook>>,
+    /// Writes the hook actually failed since the store opened.
+    faults: AtomicU64,
 }
 
 impl SnapshotStore {
@@ -97,7 +133,68 @@ impl SnapshotStore {
             retired: Mutex::new(HashSet::new()),
             replicas: Mutex::new(replicas),
             corrupt: AtomicU64::new(0),
+            fault_hook: Mutex::new(None),
+            faults: AtomicU64::new(0),
         })
+    }
+
+    /// Installs the chaos hook: consulted once per durable write with
+    /// the final path, and whatever [`WriteFault`] it returns is
+    /// injected into that write. Replaces any previous hook.
+    pub fn set_fault_hook(
+        &self,
+        hook: impl Fn(&Path) -> Option<WriteFault> + Send + Sync + 'static,
+    ) {
+        *self.fault_hook.lock().unwrap() = Some(Box::new(hook));
+    }
+
+    /// Removes the chaos hook — the disk is healthy again.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.lock().unwrap() = None;
+    }
+
+    /// Writes the hook actually failed since the store opened.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// The tmp + fsync + rename + directory-fsync discipline both save
+    /// paths share, with the chaos hook applied. On any failure —
+    /// injected or real — the final path is untouched: the tmp file is
+    /// left behind exactly as a crash would leave it (the startup scan
+    /// ignores it) and the caller's index entry is not advanced.
+    fn write_durable(&self, tmp_path: &Path, final_path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let fault = self
+            .fault_hook
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|hook| hook(final_path));
+        if fault.is_some() {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        if matches!(fault, Some(WriteFault::NoSpace)) {
+            return Err(io::Error::other("no space left on device (injected)"));
+        }
+        let mut file = fs::File::create(tmp_path)?;
+        if let Some(WriteFault::ShortWrite(n)) = fault {
+            let n = n.min(bytes.len());
+            io::Write::write_all(&mut file, &bytes[..n])?;
+            let _ = file.sync_all();
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write (injected): {n} of {} bytes", bytes.len()),
+            ));
+        }
+        io::Write::write_all(&mut file, bytes)?;
+        if matches!(fault, Some(WriteFault::FsyncFail)) {
+            return Err(io::Error::other("fsync failed (injected)"));
+        }
+        file.sync_all()?;
+        fs::rename(tmp_path, final_path)?;
+        // Persist the rename: fsync the directory entry.
+        fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
     }
 
     /// The directory this store writes into.
@@ -153,14 +250,7 @@ impl SnapshotStore {
         };
         let final_path = self.file_path(image.id, gen);
         let tmp_path = final_path.with_extension("awrs.tmp");
-        {
-            let mut file = fs::File::create(&tmp_path)?;
-            io::Write::write_all(&mut file, &bytes)?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
-        // Persist the rename: fsync the directory entry.
-        fs::File::open(&self.root)?.sync_all()?;
+        self.write_durable(&tmp_path, &final_path, &bytes)?;
         self.index.lock().unwrap().insert(image.id, gen);
         if gen > GENERATIONS_KEPT {
             let _ = fs::remove_file(self.file_path(image.id, gen - GENERATIONS_KEPT));
@@ -260,13 +350,7 @@ impl SnapshotStore {
         let previous = self.replicas.lock().unwrap().get(&id).copied();
         let final_path = self.replica_path(id, epoch);
         let tmp_path = final_path.with_extension("awrs.tmp");
-        {
-            let mut file = fs::File::create(&tmp_path)?;
-            io::Write::write_all(&mut file, bytes)?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
-        fs::File::open(&self.root)?.sync_all()?;
+        self.write_durable(&tmp_path, &final_path, bytes)?;
         self.replicas.lock().unwrap().insert(id, epoch);
         if let Some(previous) = previous {
             if previous != epoch {
@@ -488,6 +572,71 @@ mod tests {
         assert_eq!(reopened.replica_count(), 0);
         assert_eq!(reopened.load_replica(7), None);
         assert!(reopened.contains(7));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_disk_faults_never_lose_the_previous_generation() {
+        let root = temp_root("faults");
+        let store = SnapshotStore::open(&root).unwrap();
+        let durable = image(4, 1);
+        store.save(&durable).unwrap();
+
+        // Every fault flavor in turn: the save errors loudly, the index
+        // does not advance, and the last durable image still loads —
+        // wealth is never reset by a sick disk.
+        for fault in [
+            WriteFault::ShortWrite(4),
+            WriteFault::NoSpace,
+            WriteFault::FsyncFail,
+        ] {
+            store.set_fault_hook(move |_| Some(fault));
+            let err = store.save(&image(4, 3)).unwrap_err();
+            assert!(
+                err.to_string().contains("injected"),
+                "{fault:?}: unexpected error {err}"
+            );
+            assert_eq!(store.load(4).unwrap(), durable, "{fault:?} lost data");
+            assert!(
+                !root.join("sess-4.g2.awrs").exists(),
+                "{fault:?} must not produce a final file"
+            );
+        }
+        assert_eq!(store.faults_injected(), 3);
+
+        // The replica path rides the same discipline.
+        let err = store.save_replica(9, 1, b"replica bytes").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(store.replica_epoch(9), None);
+        assert_eq!(store.load_replica(9), None);
+
+        // Disk healed: the very next save lands, and a rescan (restart)
+        // sees only intact state despite the torn tmp leftovers.
+        store.clear_fault_hook();
+        let healed = image(4, 3);
+        store.save(&healed).unwrap();
+        assert_eq!(store.load(4).unwrap(), healed);
+        let reopened = SnapshotStore::open(&root).unwrap();
+        assert_eq!(reopened.load(4).unwrap(), healed);
+        assert_eq!(reopened.corrupt_count(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fault_hook_can_target_one_path_namespace() {
+        let root = temp_root("fault-target");
+        let store = SnapshotStore::open(&root).unwrap();
+        // Only replica writes fail: the primary namespace is healthy.
+        store.set_fault_hook(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .filter(|n| n.starts_with("repl-"))
+                .map(|_| WriteFault::NoSpace)
+        });
+        store.save(&image(2, 1)).unwrap();
+        assert!(store.contains(2));
+        assert!(store.save_replica(2, 1, b"bytes").is_err());
+        assert_eq!(store.replica_count(), 0);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -28,6 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Request lines longer than this are answered with `bad_request` and
 /// discarded (the reader resynchronizes at the next newline) — a client
@@ -478,10 +479,25 @@ pub struct Client {
 }
 
 fn io_err(e: std::io::Error) -> ServeError {
+    // A socket with a read/write timeout reports a blown deadline as
+    // `WouldBlock` (unix) or `TimedOut` (windows); keep the distinction
+    // in the message so callers can count timeouts separately from
+    // peer-closed connections.
+    let verb = match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => "deadline exceeded",
+        _ => "connection lost",
+    };
     ServeError {
         code: ErrorCode::Shutdown,
-        message: format!("connection lost: {e}"),
+        message: format!("{verb}: {e}"),
     }
+}
+
+/// True when a client-side [`ServeError`] came from a blown socket
+/// deadline (connect, read, or write timeout) rather than a peer that
+/// closed or refused the connection.
+pub fn is_deadline_error(e: &ServeError) -> bool {
+    e.code == ErrorCode::Shutdown && e.message.starts_with("deadline exceeded")
 }
 
 impl Client {
@@ -498,10 +514,43 @@ impl Client {
         })
     }
 
+    /// Connects on the v1 surface under a deadline: the TCP handshake
+    /// uses `connect_timeout`, and the socket carries read/write
+    /// timeouts for the connection's whole life, so no later call on
+    /// this client can block past `timeout` per socket operation. A
+    /// blown deadline surfaces as an I/O error (`WouldBlock`/`TimedOut`
+    /// per platform), which [`Client`] maps to a lost connection.
+    pub fn connect_deadline(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+            encoding: Encoding::Json,
+        })
+    }
+
     /// Connects and performs the v2 hello, upgrading to binary framing
     /// when asked.
     pub fn connect_with(addr: SocketAddr, encoding: Encoding) -> Result<Client, ServeError> {
         let mut client = Client::connect(addr).map_err(io_err)?;
+        client.hello(encoding)?;
+        Ok(client)
+    }
+
+    /// [`Client::connect_with`] under a deadline — see
+    /// [`Client::connect_deadline`] for the timeout semantics. The
+    /// hello round trip itself is covered by the deadline too.
+    pub fn connect_with_deadline(
+        addr: SocketAddr,
+        encoding: Encoding,
+        timeout: Duration,
+    ) -> Result<Client, ServeError> {
+        let mut client = Client::connect_deadline(addr, timeout).map_err(io_err)?;
         client.hello(encoding)?;
         Ok(client)
     }

@@ -38,12 +38,14 @@ const MAX_FILTER_DEPTH: usize = 128;
 /// `migrations`/`shard_errors` (fields 18–20) arrived without one, and
 /// now — fourth proof — how the observability scalars `uptime_seconds`
 /// and the four latency quantiles plus `slow_queries` (fields 21–26)
-/// arrive without one, and now — fifth proof — how the replication
-/// scalars `replicas_live`/`replication_lag_max_epochs`/`promotions`/
-/// `hedged_reads` (fields 27–30) arrive without one. The per-shard
+/// arrive without one, fifth proof — how the replication scalars
+/// `replicas_live`/`replication_lag_max_epochs`/`promotions`/
+/// `hedged_reads` (fields 27–30) arrive without one, and now — sixth
+/// proof — how the resilience scalars `shard_timeouts`/`breaker_opens`/
+/// `breaker_shed` (fields 31–33) arrive without one. The per-shard
 /// health breakdown and per-session risk rows are JSON-surface only:
 /// they are not scalars, and the count prefix covers only scalars.
-const STATS_SCALAR_FIELDS: usize = 30;
+const STATS_SCALAR_FIELDS: usize = 33;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -624,6 +626,9 @@ impl Writer {
                     s.replication_lag_max_epochs,
                     s.promotions,
                     s.hedged_reads,
+                    s.shard_timeouts,
+                    s.breaker_opens,
+                    s.breaker_shed,
                 ] {
                     self.varint(n);
                 }
@@ -1123,6 +1128,9 @@ impl<'a> Reader<'a> {
                     replication_lag_max_epochs: fields[27],
                     promotions: fields[28],
                     hedged_reads: fields[29],
+                    shard_timeouts: fields[30],
+                    breaker_opens: fields[31],
+                    breaker_shed: fields[32],
                     batch_size_hist,
                     shards: Vec::new(),
                     sessions: Vec::new(),
@@ -1541,9 +1549,10 @@ mod tests {
         // counters and skipping the surplus.
         // 14 = a pre-persistence peer, 20 = a PR-5-era peer (cluster
         // counters but no observability scalars), 26 = a PR-6-era peer
-        // (no replication scalars), 33 = a future peer with three
-        // counters we don't know yet.
-        for count in [14usize, 20, 26, 33] {
+        // (no replication scalars), 30 = a PR-7-era peer (no resilience
+        // scalars), 36 = a future peer with three counters we don't
+        // know yet.
+        for count in [14usize, 20, 26, 30, 36] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1593,7 +1602,7 @@ mod tests {
                 assert_eq!(s.latency_p999_us, 124);
                 assert_eq!(s.slow_queries, 125);
             }
-            if count < STATS_SCALAR_FIELDS {
+            if count < 30 {
                 assert_eq!(s.replicas_live, 0);
                 assert_eq!(s.replication_lag_max_epochs, 0);
                 assert_eq!(s.promotions, 0);
@@ -1603,6 +1612,15 @@ mod tests {
                 assert_eq!(s.replication_lag_max_epochs, 127);
                 assert_eq!(s.promotions, 128);
                 assert_eq!(s.hedged_reads, 129);
+            }
+            if count < STATS_SCALAR_FIELDS {
+                assert_eq!(s.shard_timeouts, 0);
+                assert_eq!(s.breaker_opens, 0);
+                assert_eq!(s.breaker_shed, 0);
+            } else {
+                assert_eq!(s.shard_timeouts, 130);
+                assert_eq!(s.breaker_opens, 131);
+                assert_eq!(s.breaker_shed, 132);
             }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
         }
