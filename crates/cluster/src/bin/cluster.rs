@@ -5,12 +5,18 @@
 //!                [--vnodes 64] [--probe-secs 5] [--replicas R]
 //!                [--shard-timeout-ms MS]
 //!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
-//!                [--metrics-addr HOST:PORT]
+//!                [--metrics-addr HOST:PORT] [--reactor]
 //! cluster shard  [--addr 127.0.0.1:0] [--rows 20000] [--seed 2017]
 //!                [--workers N] [--data-dir DIR] [--snapshot-every S]
 //!                [--log-level LEVEL] [--log-json] [--slow-ms MS]
-//!                [--metrics-addr HOST:PORT]
+//!                [--metrics-addr HOST:PORT] [--reactor]
 //! ```
+//!
+//! `--reactor` (either role) swaps the thread-per-connection front end
+//! for the epoll event loop in `aware-reactor`; the wire protocol is
+//! byte-identical either way. The router declines the hello `push`
+//! capability even under the reactor — push events originate in the
+//! shards' dispatchers, which the router does not surface.
 //!
 //! Both roles share the observability quartet: the structured stderr
 //! logger (`--log-level`, `--log-json`), slow-query records past
@@ -44,8 +50,8 @@
 use aware_cluster::router::{Router, RouterConfig};
 use aware_data::census::CensusGenerator;
 use aware_serve::proto::{Command, Response};
+use aware_serve::reactor_front::ServerFront;
 use aware_serve::service::{Service, ServiceConfig};
-use aware_serve::tcp::TcpServer;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -58,10 +64,12 @@ fn usage() -> ! {
     println!(
         "cluster router [--addr HOST:PORT] [--shard HOST:PORT]... [--vnodes N] [--probe-secs S] \
          [--replicas R] [--shard-timeout-ms MS] \
-         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]\n\
+         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT] \
+         [--reactor]\n\
          cluster shard  [--addr HOST:PORT] [--rows N] [--seed K] [--workers N] \
          [--data-dir DIR] [--snapshot-every S] \
-         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT]"
+         [--log-level debug|info|warn|error] [--log-json] [--slow-ms MS] [--metrics-addr HOST:PORT] \
+         [--reactor]"
     );
     std::process::exit(0);
 }
@@ -145,6 +153,7 @@ fn run_router(mut args: impl Iterator<Item = String>) {
     let mut shards: Vec<String> = Vec::new();
     let mut config = RouterConfig::default();
     let mut obs = ObsArgs::default();
+    let mut reactor = false;
     while let Some(flag) = args.next() {
         if obs.accept(&flag, &mut args) {
             continue;
@@ -175,6 +184,7 @@ fn run_router(mut args: impl Iterator<Item = String>) {
                 // 0 disables the deadline (back to blocking sockets).
                 config.shard_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--reactor" => reactor = true,
             "--help" | "-h" => usage(),
             other => die(&format!("unknown router flag '{other}'")),
         }
@@ -195,7 +205,7 @@ fn run_router(mut args: impl Iterator<Item = String>) {
             other => die(&format!("unexpected join reply for {shard}: {other:?}")),
         }
     }
-    let server = match TcpServer::bind(&addr, handle.clone()) {
+    let server = match ServerFront::bind(&addr, handle.clone(), reactor) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
@@ -240,6 +250,7 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
     let mut data_dir: Option<PathBuf> = None;
     let mut snapshot_every = Duration::from_secs(30);
     let mut obs = ObsArgs::default();
+    let mut reactor = false;
     while let Some(flag) = args.next() {
         if obs.accept(&flag, &mut args) {
             continue;
@@ -271,6 +282,7 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
                         .unwrap_or_else(|e| die(&format!("--snapshot-every: {e}"))),
                 )
             }
+            "--reactor" => reactor = true,
             "--help" | "-h" => usage(),
             other => die(&format!("unknown shard flag '{other}'")),
         }
@@ -291,7 +303,7 @@ fn run_shard(mut args: impl Iterator<Item = String>) {
     let service = Service::start(config);
     let handle = service.handle();
     handle.register_table("census", table);
-    let server = match TcpServer::bind(&addr, handle.clone()) {
+    let server = match ServerFront::bind(&addr, handle.clone(), reactor) {
         Ok(server) => server,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };

@@ -28,7 +28,9 @@ pub mod prelude {
     };
 }
 
-/// Per-test configuration. Only `cases` is honoured.
+/// Per-test configuration. Only `cases` is honoured, and the
+/// `AWARE_PROPTEST_CASES` environment variable overrides it globally
+/// (see [`ProptestConfig::effective_cases`]).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases each property runs.
@@ -45,6 +47,19 @@ impl ProptestConfig {
     /// Config running `cases` random cases.
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
+    }
+
+    /// The case count after the `AWARE_PROPTEST_CASES` override.
+    ///
+    /// When the variable is set (CI's deep-props sweep exports 1024),
+    /// it replaces every per-test count, so raised runs need no edits
+    /// to the suites; unset or unparsable, the configured count
+    /// stands.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("AWARE_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
     }
 }
 
@@ -303,10 +318,11 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
                 let mut rng = $crate::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> =
                         (|| { $body; ::std::result::Result::Ok(()) })();
@@ -316,7 +332,7 @@ macro_rules! proptest {
                         Err($crate::TestCaseError::Fail(msg)) => {
                             panic!(
                                 "proptest {} failed at case {}/{}: {}",
-                                stringify!($name), case + 1, config.cases, msg
+                                stringify!($name), case + 1, cases, msg
                             );
                         }
                     }

@@ -1,0 +1,532 @@
+//! Incremental protocol decoders: the reactor's replacement for the
+//! blocking front end's `read_request_line` and `frame::read_frame`.
+//!
+//! A readiness loop never blocks for "the rest of the message" — bytes
+//! arrive in arbitrary splits and coalescings, so decoding is a state
+//! machine over an internal buffer: feed whatever the socket produced
+//! with [`StreamDecoder::push`], then drain complete messages with
+//! [`StreamDecoder::next`]. The observable message sequence is
+//! *identical for every possible chop of the same byte stream* — the
+//! framing proptests in `tests/framing_props.rs` enforce this at every
+//! byte boundary — and matches the blocking front end's semantics
+//! exactly, including error strings, the over-long-line resync, and
+//! the oversized-frame skip.
+//!
+//! Three modes mirror the blocking connection loop:
+//!
+//! * **Detect** — nothing consumed yet; the first byte picks the
+//!   surface (`A`, the first byte of the `AWR2` magic ⇒ frames,
+//!   anything else ⇒ NDJSON lines).
+//! * **Lines** — scan for `\n`, cap the line length, consume an
+//!   over-long line through its newline (stream stays synchronized)
+//!   and report it as [`Inbound::LineTooLong`].
+//! * **Frames** — reassemble `AWR2` length-prefixed frames; an
+//!   oversized declared length switches to a skip state that discards
+//!   exactly the payload (bounded memory, stream stays synchronized).
+//!
+//! A JSON `hello` upgrading the connection to binary calls
+//! [`StreamDecoder::set_frames`]; bytes already buffered past the
+//! hello line are preserved and re-interpreted as frames — the
+//! mid-stream-upgrade case the blocking front end gets for free from
+//! its `BufReader` hand-off.
+
+/// One decoded inbound message (or protocol defect) from the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inbound {
+    /// One NDJSON line, newline stripped, lossy-UTF-8 decoded.
+    Line(String),
+    /// A line exceeded the cap; it was consumed through its newline and
+    /// the stream is synchronized at the next line.
+    LineTooLong,
+    /// One complete binary frame payload (header stripped).
+    Frame(Vec<u8>),
+    /// A frame header declared more than the cap; the payload is being
+    /// discarded internally and the stream will resynchronize at the
+    /// next header.
+    FrameTooLarge { declared: u32 },
+    /// Framing is lost (bad magic, unsupported version, or the stream
+    /// ended mid-frame); the connection cannot be trusted further.
+    FrameCorrupt(String),
+}
+
+#[derive(Debug)]
+enum Mode {
+    Detect,
+    Lines {
+        overflow: bool,
+    },
+    /// `pending` is `Some(declared)` once a valid header has been
+    /// consumed and we are waiting for the payload bytes.
+    Frames {
+        pending: Option<u32>,
+    },
+    /// Discarding the payload of an oversized frame.
+    Skip {
+        remaining: u64,
+    },
+}
+
+/// Caps and framing constants; defaults mirror the serve crate's
+/// `MAX_REQUEST_BYTES` / `frame::{MAGIC, VERSION, MAX_FRAME_BYTES}`.
+#[derive(Debug, Clone)]
+pub struct DecoderConfig {
+    pub line_max: usize,
+    pub frame_max: usize,
+    pub magic: [u8; 4],
+    pub frame_version: u8,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> DecoderConfig {
+        DecoderConfig {
+            line_max: 1 << 20,
+            frame_max: 8 << 20,
+            magic: *b"AWR2",
+            frame_version: 2,
+        }
+    }
+}
+
+const HEADER_LEN: usize = 9;
+
+/// Incremental decoder for one connection's inbound byte stream.
+pub struct StreamDecoder {
+    cfg: DecoderConfig,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    start: usize,
+    /// In Lines mode: absolute index up to which we already searched
+    /// for a newline, so repeated `next()` calls on a partial line stay
+    /// O(new bytes) instead of rescanning (slow-loris protection).
+    scan: usize,
+    mode: Mode,
+}
+
+impl StreamDecoder {
+    pub fn new(cfg: DecoderConfig) -> StreamDecoder {
+        StreamDecoder {
+            cfg,
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            mode: Mode::Detect,
+        }
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered (the event loop's input-cap
+    /// gauge).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True once the first byte decided the surface was binary frames
+    /// (or a hello upgrade switched to it).
+    pub fn is_frames(&self) -> bool {
+        matches!(self.mode, Mode::Frames { .. } | Mode::Skip { .. })
+    }
+
+    /// Switches to frame reassembly (the JSON→binary hello upgrade).
+    /// Bytes buffered past the hello line are preserved and will be
+    /// parsed as frames.
+    pub fn set_frames(&mut self) {
+        self.mode = Mode::Frames { pending: None };
+        self.scan = self.start;
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.scan < self.start {
+            self.scan = self.start;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scan = 0;
+            // A burst (one big frame) should not pin its high-water
+            // mark forever: idle connections must cost O(small buffer).
+            if self.buf.capacity() > (1 << 20) {
+                self.buf.shrink_to(64 * 1024);
+            }
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Extracts the next complete message, or `None` if more bytes are
+    /// needed. Call in a loop after each `push` (when the connection is
+    /// ready for another message).
+    // Not an Iterator: `None` means "need more bytes", not exhaustion —
+    // the stream resumes yielding after the next `push`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Inbound> {
+        loop {
+            match &mut self.mode {
+                Mode::Detect => {
+                    let first = *self.buf.get(self.start)?;
+                    self.mode = if first == self.cfg.magic[0] {
+                        Mode::Frames { pending: None }
+                    } else {
+                        Mode::Lines { overflow: false }
+                    };
+                }
+                Mode::Lines { overflow } => {
+                    let window = &self.buf[self.scan..];
+                    match window.iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            let nl = self.scan + pos;
+                            let content_len = nl - self.start;
+                            let too_long = *overflow || content_len > self.cfg.line_max;
+                            let line = if too_long {
+                                None
+                            } else {
+                                Some(
+                                    String::from_utf8_lossy(&self.buf[self.start..nl]).into_owned(),
+                                )
+                            };
+                            self.mode = Mode::Lines { overflow: false };
+                            self.consume(content_len + 1);
+                            return Some(match line {
+                                Some(text) => Inbound::Line(text),
+                                None => Inbound::LineTooLong,
+                            });
+                        }
+                        None => {
+                            self.scan = self.buf.len();
+                            // Same trigger as the blocking reader: once
+                            // the partial line exceeds the cap, stop
+                            // buffering it (memory stays bounded) and
+                            // remember to answer TooLong at the newline.
+                            if !*overflow && self.buf.len() - self.start > self.cfg.line_max {
+                                *overflow = true;
+                                let drop = self.buf.len() - self.start;
+                                self.consume(drop);
+                                self.mode = Mode::Lines { overflow: true };
+                            }
+                            return None;
+                        }
+                    }
+                }
+                Mode::Frames { pending } => match *pending {
+                    None => {
+                        if self.buffered() < HEADER_LEN {
+                            return None;
+                        }
+                        let h = &self.buf[self.start..self.start + HEADER_LEN];
+                        if h[..4] != self.cfg.magic {
+                            let msg = format!(
+                                "bad frame magic {:02x}{:02x}{:02x}{:02x} (expected \"AWR2\")",
+                                h[0], h[1], h[2], h[3]
+                            );
+                            self.consume(HEADER_LEN);
+                            return Some(Inbound::FrameCorrupt(msg));
+                        }
+                        if h[4] != self.cfg.frame_version {
+                            let msg = format!(
+                                "unsupported frame version {} (expected {})",
+                                h[4], self.cfg.frame_version
+                            );
+                            self.consume(HEADER_LEN);
+                            return Some(Inbound::FrameCorrupt(msg));
+                        }
+                        let declared = u32::from_be_bytes([h[5], h[6], h[7], h[8]]);
+                        self.consume(HEADER_LEN);
+                        if declared as usize > self.cfg.frame_max {
+                            self.mode = Mode::Skip {
+                                remaining: declared as u64,
+                            };
+                            return Some(Inbound::FrameTooLarge { declared });
+                        }
+                        self.mode = Mode::Frames {
+                            pending: Some(declared),
+                        };
+                    }
+                    Some(declared) => {
+                        if self.buffered() < declared as usize {
+                            return None;
+                        }
+                        let payload = self.buf[self.start..self.start + declared as usize].to_vec();
+                        self.consume(declared as usize);
+                        self.mode = Mode::Frames { pending: None };
+                        return Some(Inbound::Frame(payload));
+                    }
+                },
+                Mode::Skip { remaining } => {
+                    let have = (self.buf.len() - self.start) as u64;
+                    let eat = have.min(*remaining);
+                    *remaining -= eat;
+                    let done = *remaining == 0;
+                    self.consume(eat as usize);
+                    if !done {
+                        return None;
+                    }
+                    self.mode = Mode::Frames { pending: None };
+                }
+            }
+        }
+    }
+
+    /// The read side closed: classifies whatever is left, exactly as
+    /// the blocking front end would at EOF. Call once, after `next`
+    /// has returned `None`; returns `None` for a clean close.
+    pub fn finish(&mut self) -> Option<Inbound> {
+        match &self.mode {
+            Mode::Detect => None,
+            Mode::Lines { overflow } => {
+                if *overflow {
+                    self.mode = Mode::Lines { overflow: false };
+                    Some(Inbound::LineTooLong)
+                } else if self.buffered() > 0 {
+                    let text = String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
+                    let drop = self.buffered();
+                    self.consume(drop);
+                    Some(Inbound::Line(text))
+                } else {
+                    None
+                }
+            }
+            Mode::Frames { pending } => match pending {
+                None => {
+                    let left = self.buffered();
+                    if left == 0 {
+                        None
+                    } else {
+                        // 1..HEADER_LEN-1 bytes of header, then EOF.
+                        Some(Inbound::FrameCorrupt(format!(
+                            "stream ended after {left} of {HEADER_LEN} header bytes"
+                        )))
+                    }
+                }
+                Some(declared) => Some(Inbound::FrameCorrupt(format!(
+                    "stream ended inside a {declared}-byte payload"
+                ))),
+            },
+            // The blocking front end treats EOF while skipping an
+            // oversized payload as an I/O error: the connection just
+            // closes, no reply. Same here.
+            Mode::Skip { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decoder() -> StreamDecoder {
+        StreamDecoder::new(DecoderConfig::default())
+    }
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"AWR2");
+        out.push(2);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Feeds `stream` one byte at a time and collects every message.
+    fn drain_bytewise(stream: &[u8], cfg: DecoderConfig) -> Vec<Inbound> {
+        let mut d = StreamDecoder::new(cfg);
+        let mut out = Vec::new();
+        for &b in stream {
+            d.push(&[b]);
+            while let Some(m) = d.next() {
+                out.push(m);
+            }
+        }
+        if let Some(m) = d.finish() {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn lines_split_anywhere_decode_identically() {
+        let stream = b"{\"cmd\":\"stats\"}\n\n{\"id\":4}\n";
+        let whole = {
+            let mut d = decoder();
+            d.push(stream);
+            let mut out = Vec::new();
+            while let Some(m) = d.next() {
+                out.push(m);
+            }
+            out
+        };
+        let bytewise = drain_bytewise(stream, DecoderConfig::default());
+        assert_eq!(whole, bytewise);
+        assert_eq!(
+            whole,
+            vec![
+                Inbound::Line("{\"cmd\":\"stats\"}".into()),
+                Inbound::Line(String::new()),
+                Inbound::Line("{\"id\":4}".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn overlong_line_resyncs_at_newline() {
+        let cfg = DecoderConfig {
+            line_max: 8,
+            ..DecoderConfig::default()
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"0123456789ABCDEF\n"); // 16 > 8
+        stream.extend_from_slice(b"ok\n");
+        let msgs = drain_bytewise(&stream, cfg.clone());
+        assert_eq!(msgs, vec![Inbound::LineTooLong, Inbound::Line("ok".into())]);
+
+        // Exactly at the cap is fine (blocking parity: `> max` trips).
+        let msgs = drain_bytewise(b"01234567\n", cfg);
+        assert_eq!(msgs, vec![Inbound::Line("01234567".into())]);
+    }
+
+    #[test]
+    fn overlong_line_hit_at_eof_reports_too_long() {
+        let cfg = DecoderConfig {
+            line_max: 4,
+            ..DecoderConfig::default()
+        };
+        let msgs = drain_bytewise(b"way too long, no newline", cfg);
+        assert_eq!(msgs, vec![Inbound::LineTooLong]);
+    }
+
+    #[test]
+    fn partial_line_at_eof_is_delivered() {
+        let msgs = drain_bytewise(b"{\"x\":1}", DecoderConfig::default());
+        assert_eq!(msgs, vec![Inbound::Line("{\"x\":1}".into())]);
+    }
+
+    #[test]
+    fn frames_split_anywhere_decode_identically() {
+        let mut stream = frame_bytes(b"first");
+        stream.extend_from_slice(&frame_bytes(b""));
+        stream.extend_from_slice(&frame_bytes(b"third payload"));
+        let msgs = drain_bytewise(&stream, DecoderConfig::default());
+        assert_eq!(
+            msgs,
+            vec![
+                Inbound::Frame(b"first".to_vec()),
+                Inbound::Frame(Vec::new()),
+                Inbound::Frame(b"third payload".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_match_blocking_error_strings() {
+        let mut stream = frame_bytes(b"x");
+        stream[0] = b'A'; // keep detection on frames
+        stream[1] = b'X';
+        let msgs = drain_bytewise(&stream, DecoderConfig::default());
+        assert_eq!(
+            msgs[0],
+            Inbound::FrameCorrupt("bad frame magic 41585232 (expected \"AWR2\")".into())
+        );
+
+        let mut stream = frame_bytes(b"x");
+        stream[4] = 9;
+        let msgs = drain_bytewise(&stream, DecoderConfig::default());
+        assert_eq!(
+            msgs[0],
+            Inbound::FrameCorrupt("unsupported frame version 9 (expected 2)".into())
+        );
+    }
+
+    #[test]
+    fn truncated_header_and_payload_match_blocking_error_strings() {
+        let msgs = drain_bytewise(b"AWR2", DecoderConfig::default());
+        assert_eq!(
+            msgs,
+            vec![Inbound::FrameCorrupt(
+                "stream ended after 4 of 9 header bytes".into()
+            )]
+        );
+
+        let mut stream = frame_bytes(b"full payload");
+        stream.truncate(stream.len() - 3);
+        let msgs = drain_bytewise(&stream, DecoderConfig::default());
+        assert_eq!(
+            msgs,
+            vec![Inbound::FrameCorrupt(
+                "stream ended inside a 12-byte payload".into()
+            )]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_stream_resyncs() {
+        let cfg = DecoderConfig {
+            frame_max: 10,
+            ..DecoderConfig::default()
+        };
+        let mut stream = frame_bytes(&[7u8; 100]);
+        stream.extend_from_slice(&frame_bytes(b"next"));
+        let msgs = drain_bytewise(&stream, cfg);
+        assert_eq!(
+            msgs,
+            vec![
+                Inbound::FrameTooLarge { declared: 100 },
+                Inbound::Frame(b"next".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn eof_while_skipping_is_a_clean_close() {
+        let cfg = DecoderConfig {
+            frame_max: 10,
+            ..DecoderConfig::default()
+        };
+        let mut stream = frame_bytes(&[7u8; 100]);
+        stream.truncate(stream.len() - 50);
+        let msgs = drain_bytewise(&stream, cfg);
+        assert_eq!(msgs, vec![Inbound::FrameTooLarge { declared: 100 }]);
+    }
+
+    #[test]
+    fn hello_upgrade_preserves_buffered_frame_bytes() {
+        let mut d = decoder();
+        let mut stream = b"{\"cmd\":\"hello\",\"version\":3,\"encoding\":\"binary\"}\n".to_vec();
+        stream.extend_from_slice(&frame_bytes(b"post-upgrade"));
+        // Everything arrives in ONE read before the hello is handled —
+        // the nastiest version of the mid-stream upgrade.
+        d.push(&stream);
+        match d.next() {
+            Some(Inbound::Line(l)) => assert!(l.contains("hello")),
+            other => panic!("{other:?}"),
+        }
+        d.set_frames();
+        assert_eq!(d.next(), Some(Inbound::Frame(b"post-upgrade".to_vec())));
+        assert_eq!(d.next(), None);
+    }
+
+    #[test]
+    fn detection_picks_frames_on_magic_byte_only() {
+        let msgs = drain_bytewise(&frame_bytes(b"bin"), DecoderConfig::default());
+        assert_eq!(msgs, vec![Inbound::Frame(b"bin".to_vec())]);
+        let msgs = drain_bytewise(b"  {\"v\":1}\n", DecoderConfig::default());
+        assert_eq!(msgs, vec![Inbound::Line("  {\"v\":1}".into())]);
+    }
+
+    #[test]
+    fn buffer_compacts_and_shrinks() {
+        let mut d = decoder();
+        // A large frame grows the buffer past 1 MiB …
+        let big = frame_bytes(&vec![3u8; 2 << 20]);
+        d.push(&big);
+        assert!(matches!(d.next(), Some(Inbound::Frame(_))));
+        assert_eq!(d.buffered(), 0);
+        // … and fully-drained buffers give the memory back.
+        assert!(d.buf.capacity() <= 1 << 20, "capacity {}", d.buf.capacity());
+    }
+}

@@ -5,8 +5,15 @@
 //!       [--max-sessions N] [--idle-timeout-secs S] [--seed K]
 //!       [--max-pending N] [--data-dir DIR] [--snapshot-every SECS]
 //!       [--log-level LEVEL] [--log-json] [--slow-ms MS]
-//!       [--metrics-addr HOST:PORT]
+//!       [--metrics-addr HOST:PORT] [--reactor]
 //! ```
+//!
+//! `--reactor` swaps the thread-per-connection front end for the
+//! epoll-based event loop in `aware-reactor`: thousands of mostly-idle
+//! connections on a handful of threads, and server-push frames
+//! (eviction notices, cache resets) for clients that opt in via the
+//! hello `push` capability. The wire protocol is byte-identical
+//! either way.
 //!
 //! Observability: `--log-level` (debug|info|warn|error, default info)
 //! and `--log-json` control the structured stderr logger; `--slow-ms`
@@ -33,13 +40,14 @@
 //! ```
 
 use aware_data::census::CensusGenerator;
+use aware_serve::reactor_front::ServerFront;
 use aware_serve::service::{Service, ServiceConfig};
-use aware_serve::tcp::TcpServer;
 use std::path::PathBuf;
 use std::time::Duration;
 
 struct Args {
     addr: String,
+    reactor: bool,
     workers: Option<usize>,
     rows: usize,
     max_sessions: u64,
@@ -57,6 +65,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".into(),
+        reactor: false,
         workers: None,
         rows: 20_000,
         max_sessions: 65_536,
@@ -134,13 +143,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--reactor" => args.reactor = true,
             "--help" | "-h" => {
                 println!(
                     "serve [--addr HOST:PORT] [--workers N] [--rows N] \
                      [--max-sessions N] [--idle-timeout-secs S] [--seed K] \
                      [--max-pending N] [--data-dir DIR] [--snapshot-every SECS] \
                      [--log-level debug|info|warn|error] [--log-json] \
-                     [--slow-ms MS] [--metrics-addr HOST:PORT]"
+                     [--slow-ms MS] [--metrics-addr HOST:PORT] [--reactor]"
                 );
                 std::process::exit(0);
             }
@@ -185,7 +195,7 @@ fn main() {
     let handle = service.handle();
     handle.register_table("census", table);
 
-    let server = match TcpServer::bind(&args.addr, handle.clone()) {
+    let server = match ServerFront::bind(&args.addr, handle.clone(), args.reactor) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: cannot bind {}: {e}", args.addr);
@@ -217,11 +227,16 @@ fn main() {
         _ => {}
     }
     eprintln!(
-        "aware-serve listening on {} ({} workers, {} max sessions, idle timeout {:?})",
+        "aware-serve listening on {} ({} workers, {} max sessions, idle timeout {:?}, {} front end)",
         server.local_addr(),
         config.workers,
         config.max_sessions,
         config.idle_timeout,
+        if args.reactor {
+            "reactor"
+        } else {
+            "thread-per-connection"
+        },
     );
 
     aware_obs::signal::install_term_handler();

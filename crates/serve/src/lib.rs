@@ -31,8 +31,13 @@
 //!   idle-timeout sweeps.
 //! * [`registry`] — the sharded session registry
 //!   (`RwLock<HashMap<…>>` shards of `Mutex<Session>` entries).
-//! * [`tcp`] — the TCP front end (both surfaces, auto-detected by
-//!   first byte) and a reference client with pipelined batches.
+//! * [`tcp`] — the thread-per-connection TCP front end (both
+//!   surfaces, auto-detected by first byte) and a reference client
+//!   with pipelined batches.
+//! * [`reactor_front`] — the same protocol behind the `aware-reactor`
+//!   epoll event loop (`--reactor` on the binary): thousands of
+//!   mostly-idle connections on a handful of threads, plus server-push
+//!   frames (eviction notices, cache resets) to subscribed clients.
 //! * [`snapshot`] — the durable `AWRS` session-snapshot codec
 //!   (versioned, length-prefixed, checksummed; reuses the wire's tag
 //!   codec) and [`store`] — the write-ahead snapshot directory
@@ -76,6 +81,7 @@ pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+pub mod reactor_front;
 pub mod registry;
 pub mod service;
 pub mod snapshot;
@@ -88,4 +94,5 @@ pub use proto::{
     Batch, BatchItem, BatchMode, Command, Encoding, Envelope, PolicySpec, Reply, Response,
     SessionId,
 };
+pub use reactor_front::ServerFront;
 pub use service::{Dispatch, Service, ServiceConfig, ServiceHandle};

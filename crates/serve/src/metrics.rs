@@ -32,6 +32,11 @@ pub struct Metrics {
     slow_queries: AtomicU64,
     promotions: AtomicU64,
     hedged_reads: AtomicU64,
+    reactor_conn_opened: AtomicU64,
+    reactor_conn_closed: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    push_frames: AtomicU64,
+    drr_deferrals: AtomicU64,
     batch_size_hist: [AtomicU64; 5],
     /// End-to-end command latency (queue wait + execute), bucketed by
     /// [`COMMAND_KINDS`] index. The all-kinds distribution is the
@@ -132,6 +137,35 @@ impl Metrics {
     /// serving half of a router's hedged read).
     pub fn hedged_read(&self) {
         self.hedged_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection accepted by the reactor front end. The
+    /// `reactor_connections` gauge is opened − closed, computed at
+    /// snapshot time from two monotone counters so concurrent
+    /// open/close never races a decrement below zero.
+    pub fn reactor_conn_opened(&self) {
+        self.reactor_conn_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reactor connection fully closed (deregistered and dropped).
+    pub fn reactor_conn_closed(&self) {
+        self.reactor_conn_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `epoll_wait` return with at least one ready event.
+    pub fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One server-push frame handed to a subscribed connection.
+    pub fn push_frame(&self) {
+        self.push_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One dispatch unit deferred by the deficit-round-robin drainer
+    /// because its route exhausted the round's quantum.
+    pub fn drr_deferral(&self) {
+        self.drr_deferrals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// End-to-end latency (µs) of one command of the given
@@ -241,6 +275,13 @@ impl Metrics {
             shard_timeouts: 0,
             breaker_opens: 0,
             breaker_shed: 0,
+            reactor_connections: self
+                .reactor_conn_opened
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.reactor_conn_closed.load(Ordering::Relaxed)),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            push_frames: self.push_frames.load(Ordering::Relaxed),
+            drr_deferrals: self.drr_deferrals.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,6 +327,29 @@ mod tests {
         assert_eq!(s.overloaded, 1);
         assert_eq!(s.ndjson_requests, 1);
         assert_eq!(s.binary_frames, 2);
+    }
+
+    #[test]
+    fn reactor_gauge_is_opened_minus_closed() {
+        let m = Metrics::new();
+        m.reactor_conn_opened();
+        m.reactor_conn_opened();
+        m.reactor_conn_opened();
+        m.reactor_conn_closed();
+        m.reactor_wakeup();
+        m.push_frame();
+        m.push_frame();
+        m.drr_deferral();
+        let s = m.snapshot(0);
+        assert_eq!(s.reactor_connections, 2);
+        assert_eq!(s.reactor_wakeups, 1);
+        assert_eq!(s.push_frames, 2);
+        assert_eq!(s.drr_deferrals, 1);
+        // The gauge saturates rather than wrapping if a close is
+        // counted before its open is visible.
+        let m = Metrics::new();
+        m.reactor_conn_closed();
+        assert_eq!(m.snapshot(0).reactor_connections, 0);
     }
 
     #[test]

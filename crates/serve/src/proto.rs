@@ -129,11 +129,14 @@ pub struct Batch {
 /// A v2 request envelope: everything a client can put on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Envelope {
-    /// Version/encoding negotiation.
+    /// Version/encoding negotiation. `push` opts into server-push
+    /// frames (id-0 envelopes); it decodes leniently — the seventh
+    /// no-version-bump extension — so old peers simply never grant it.
     Hello {
         id: Option<u64>,
         version: u32,
         encoding: Encoding,
+        push: bool,
     },
     /// N ordered commands, one round trip.
     Batch { id: Option<u64>, batch: Batch },
@@ -154,6 +157,10 @@ pub enum Reply {
         version: u32,
         encoding: Encoding,
         max_frame: u64,
+        /// True when the server granted the push capability (requires
+        /// both the client asking and a front end that can deliver
+        /// unsolicited frames — the reactor).
+        push: bool,
     },
     /// Ordered responses, one per batch item, with item ids echoed.
     Batch {
@@ -172,6 +179,7 @@ impl Envelope {
                 id,
                 version,
                 encoding,
+                push,
             } => {
                 let mut pairs = Vec::new();
                 if let Some(id) = id {
@@ -180,6 +188,11 @@ impl Envelope {
                 pairs.push(("cmd", Json::Str("hello".into())));
                 pairs.push(("version", Json::Num(*version as f64)));
                 pairs.push(("encoding", Json::Str(encoding.as_str().into())));
+                // Emitted only when requested: a non-push hello stays
+                // byte-identical to what older clients send.
+                if *push {
+                    pairs.push(("push", Json::Bool(true)));
+                }
                 Json::obj(pairs).to_string()
             }
             Envelope::Batch { id, batch } => {
@@ -258,6 +271,9 @@ impl Envelope {
                 id,
                 version: version.min(u32::MAX as u64) as u32,
                 encoding,
+                // Lenient: absent (or non-bool) means not requested, so
+                // old clients keep decoding unchanged.
+                push: v.get("push").and_then(Json::as_bool).unwrap_or(false),
             });
         }
         Ok(Envelope::Single {
@@ -285,20 +301,22 @@ impl Reply {
                 version,
                 encoding,
                 max_frame,
+                push,
             } => {
                 let mut pairs = Vec::new();
                 if let Some(id) = id {
                     pairs.push(("id", Json::Num(*id as f64)));
                 }
                 pairs.push(("ok", Json::Bool(true)));
-                pairs.push((
-                    "hello",
-                    Json::obj(vec![
-                        ("version", Json::Num(*version as f64)),
-                        ("encoding", Json::Str(encoding.as_str().into())),
-                        ("max_frame", Json::Num(*max_frame as f64)),
-                    ]),
-                ));
+                let mut hello = vec![
+                    ("version", Json::Num(*version as f64)),
+                    ("encoding", Json::Str(encoding.as_str().into())),
+                    ("max_frame", Json::Num(*max_frame as f64)),
+                ];
+                if *push {
+                    hello.push(("push", Json::Bool(true)));
+                }
+                pairs.push(("hello", Json::obj(hello)));
                 Json::obj(pairs).to_string()
             }
             Reply::Batch { id, items } => {
@@ -338,6 +356,7 @@ impl Reply {
                 encoding: Encoding::parse(req_str(hello, "encoding", "hello")?)
                     .ok_or_else(|| ServeError::invalid("unknown hello encoding"))?,
                 max_frame: req_u64(hello, "max_frame", "hello")?,
+                push: hello.get("push").and_then(Json::as_bool).unwrap_or(false),
             });
         }
         if let Some(items) = v.get("responses") {
@@ -1407,6 +1426,18 @@ pub struct StatsSnapshot {
     /// Calls shed without touching the network while a shard's breaker
     /// was open. Binary field 32.
     pub breaker_shed: u64,
+    /// Connections currently open on the reactor front end (a gauge;
+    /// 0 under thread-per-connection). Binary field 33 — the seventh
+    /// no-version-bump scalar-list extension starts here.
+    pub reactor_connections: u64,
+    /// Readiness wakeups the event loop has serviced. Binary field 34.
+    pub reactor_wakeups: u64,
+    /// Unsolicited push frames delivered to subscribed connections.
+    /// Binary field 35.
+    pub push_frames: u64,
+    /// Times deficit-round-robin draining made a saturated session
+    /// yield its worker turn to a neighbour. Binary field 36.
+    pub drr_deferrals: u64,
     /// Batch sizes by bucket; edges in [`BATCH_SIZE_BUCKETS`].
     pub batch_size_hist: [u64; 5],
     /// Per-shard health breakdown (cluster routers only; empty on a
@@ -1468,6 +1499,13 @@ impl StatsSnapshot {
             ("shard_timeouts", Json::Num(self.shard_timeouts as f64)),
             ("breaker_opens", Json::Num(self.breaker_opens as f64)),
             ("breaker_shed", Json::Num(self.breaker_shed as f64)),
+            (
+                "reactor_connections",
+                Json::Num(self.reactor_connections as f64),
+            ),
+            ("reactor_wakeups", Json::Num(self.reactor_wakeups as f64)),
+            ("push_frames", Json::Num(self.push_frames as f64)),
+            ("drr_deferrals", Json::Num(self.drr_deferrals as f64)),
             (
                 "batch_size_hist",
                 Json::Arr(
@@ -1565,6 +1603,10 @@ impl StatsSnapshot {
             shard_timeouts: lenient("shard_timeouts"),
             breaker_opens: lenient("breaker_opens"),
             breaker_shed: lenient("breaker_shed"),
+            reactor_connections: lenient("reactor_connections"),
+            reactor_wakeups: lenient("reactor_wakeups"),
+            push_frames: lenient("push_frames"),
+            drr_deferrals: lenient("drr_deferrals"),
             batch_size_hist,
             shards: match v.get("shards").and_then(Json::as_arr) {
                 None => Vec::new(),
@@ -1692,7 +1734,25 @@ pub enum Response {
         members: Vec<MemberInfo>,
     },
     Stats(Box<StatsSnapshot>),
+    /// An unsolicited server-push notification, delivered as an id-0
+    /// envelope to connections that negotiated the push capability.
+    /// Never sent in answer to a command.
+    Push(PushEvent),
     Error(ServeError),
+}
+
+/// What a push-subscribed connection can be told without asking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushEvent {
+    /// A session was evicted from memory (`reason` is `"idle"` or
+    /// `"lru"`). With persistence the session spilled to disk and a
+    /// later command restores it lazily; without, its budget is gone —
+    /// either way the dashboard should know its gauge is stale.
+    SessionEvicted { session: SessionId, reason: String },
+    /// A dataset was re-registered: its shared evaluation cache was
+    /// rebuilt, so any client-side caching keyed on the old dataset
+    /// fingerprint is invalid.
+    CacheReset { dataset: String },
 }
 
 impl Response {
@@ -1844,6 +1904,20 @@ impl Response {
             Response::Stats(snapshot) => {
                 pairs.push(("stats", snapshot.to_json()));
             }
+            Response::Push(event) => {
+                let body = match event {
+                    PushEvent::SessionEvicted { session, reason } => Json::obj(vec![
+                        ("event", Json::Str("session_evicted".into())),
+                        ("session", Json::Num(*session as f64)),
+                        ("reason", Json::Str(reason.clone())),
+                    ]),
+                    PushEvent::CacheReset { dataset } => Json::obj(vec![
+                        ("event", Json::Str("cache_reset".into())),
+                        ("dataset", Json::Str(dataset.clone())),
+                    ]),
+                };
+                pairs.push(("push", body));
+            }
             Response::Error(e) => {
                 pairs.push((
                     "error",
@@ -1894,7 +1968,18 @@ impl Response {
             }));
         }
         let session = || req_u64(v, "session", "response");
-        let response = if let Some(stats) = v.get("stats") {
+        let response = if let Some(push) = v.get("push") {
+            match push.get("event").and_then(Json::as_str) {
+                Some("session_evicted") => Response::Push(PushEvent::SessionEvicted {
+                    session: req_u64(push, "session", "push")?,
+                    reason: req_str(push, "reason", "push")?.to_string(),
+                }),
+                Some("cache_reset") => Response::Push(PushEvent::CacheReset {
+                    dataset: req_str(push, "dataset", "push")?.to_string(),
+                }),
+                _ => return Err(ServeError::invalid("unknown push event")),
+            }
+        } else if let Some(stats) = v.get("stats") {
             Response::Stats(Box::new(StatsSnapshot::from_json(stats)?))
         } else if let Some(image) = v.get("image") {
             Response::SessionExported {

@@ -230,7 +230,26 @@ struct Inner {
     /// advertising healthy stats — which is what lets a cluster
     /// router's health probe see an in-process shard death.
     shutting_down: std::sync::atomic::AtomicBool,
+    /// Server-push sinks registered by push-capable front ends (the
+    /// reactor). Each sink delivers one event toward one subscribed
+    /// connection and returns `false` when that connection is gone, at
+    /// which point the sink is dropped. Emission is best-effort and
+    /// out of every hot path: only evictions and dataset replacement
+    /// fan out here.
+    push_sinks: Mutex<Vec<PushSink>>,
     config: ServiceConfig,
+}
+
+/// One registered server-push sink: delivers an event toward one
+/// subscribed connection, returning `false` once that connection is
+/// gone.
+pub type PushSink = Box<dyn Fn(&crate::proto::PushEvent) -> bool + Send + Sync>;
+
+/// Fans one push event out to every registered sink, dropping sinks
+/// whose connection has gone away.
+fn emit_push(inner: &Inner, event: &crate::proto::PushEvent) {
+    let mut sinks = inner.push_sinks.lock().unwrap();
+    sinks.retain(|sink| sink(event));
 }
 
 impl Inner {
@@ -421,6 +440,29 @@ pub trait Dispatch {
     fn record_wire_encode(&self, micros: u64) {
         let _ = micros;
     }
+    /// Whether this dispatcher can emit server-push events. The hello
+    /// `push` capability is only granted when the front end can deliver
+    /// frames asynchronously *and* this returns true. Default: no —
+    /// a dispatcher (like a cluster router) that never pushes keeps
+    /// compiling unchanged.
+    fn push_supported(&self) -> bool {
+        false
+    }
+    /// Registers a sink for push events. The sink returns `false` when
+    /// its connection is gone and should be dropped. The default drops
+    /// the sink immediately, matching `push_supported() == false`.
+    fn subscribe_push(&self, sink: Box<dyn Fn(&crate::proto::PushEvent) -> bool + Send + Sync>) {
+        drop(sink);
+    }
+    /// Reactor front-end accounting: one connection accepted. Default:
+    /// not counted.
+    fn record_conn_open(&self) {}
+    /// Reactor front-end accounting: one connection closed.
+    fn record_conn_close(&self) {}
+    /// Reactor front-end accounting: one readiness wakeup served.
+    fn record_reactor_wakeup(&self) {}
+    /// Reactor front-end accounting: one push frame delivered.
+    fn record_push_frame(&self) {}
 }
 
 /// A cloneable, thread-safe client of an in-process service — the same
@@ -458,6 +500,30 @@ impl Dispatch for ServiceHandle {
 
     fn record_wire_encode(&self, micros: u64) {
         self.inner.metrics.observe_wire_encode(micros);
+    }
+
+    fn push_supported(&self) -> bool {
+        true
+    }
+
+    fn subscribe_push(&self, sink: Box<dyn Fn(&crate::proto::PushEvent) -> bool + Send + Sync>) {
+        self.inner.push_sinks.lock().unwrap().push(sink);
+    }
+
+    fn record_conn_open(&self) {
+        self.inner.metrics.reactor_conn_opened();
+    }
+
+    fn record_conn_close(&self) {
+        self.inner.metrics.reactor_conn_closed();
+    }
+
+    fn record_reactor_wakeup(&self) {
+        self.inner.metrics.reactor_wakeup();
+    }
+
+    fn record_push_frame(&self) {
+        self.inner.metrics.push_frame();
     }
 }
 
@@ -711,14 +777,29 @@ impl ServiceHandle {
     /// ever re-scanning the data).
     pub fn register_shared(&self, name: impl Into<String>, table: Arc<Table>) {
         let fingerprint = table.fingerprint();
-        self.inner.datasets.write().unwrap().insert(
-            name.into(),
-            Dataset {
-                table,
-                cache: Arc::new(EvalCache::new()),
-                fingerprint,
-            },
-        );
+        let name = name.into();
+        let replaced = self
+            .inner
+            .datasets
+            .write()
+            .unwrap()
+            .insert(
+                name.clone(),
+                Dataset {
+                    table,
+                    cache: Arc::new(EvalCache::new()),
+                    fingerprint,
+                },
+            )
+            .is_some();
+        // Replacing a dataset resets its evaluation cache; subscribed
+        // clients holding warm assumptions about it get told.
+        if replaced {
+            emit_push(
+                &self.inner,
+                &crate::proto::PushEvent::CacheReset { dataset: name },
+            );
+        }
     }
 
     /// Registered dataset names, sorted.
@@ -860,10 +941,36 @@ fn render_metrics(inner: &Inner) -> String {
             "Read-only commands answered from a replica image.",
             snapshot.hedged_reads,
         ),
+        (
+            "aware_reactor_wakeups_total",
+            "Readiness wakeups served by the reactor front end.",
+            snapshot.reactor_wakeups,
+        ),
+        (
+            "aware_push_frames_total",
+            "Server-push frames delivered to subscribed connections.",
+            snapshot.push_frames,
+        ),
+        (
+            "aware_drr_deferrals_total",
+            "Worker rounds where a route exhausted its DRR quantum with work left.",
+            snapshot.drr_deferrals,
+        ),
     ] {
         r.family(name, "counter", help);
         r.sample(name, &[], value);
     }
+
+    r.family(
+        "aware_reactor_connections",
+        "gauge",
+        "Connections currently open on the reactor front end.",
+    );
+    r.sample(
+        "aware_reactor_connections",
+        &[],
+        snapshot.reactor_connections,
+    );
 
     r.family(
         "aware_replicas_live",
@@ -1041,6 +1148,7 @@ impl Service {
             replicas: Mutex::new(replicas),
             gossip: Mutex::new((0, Vec::new())),
             shutting_down: std::sync::atomic::AtomicBool::new(false),
+            push_sinks: Mutex::new(Vec::new()),
             config,
         });
 
@@ -1164,6 +1272,13 @@ fn sweep_idle(inner: &Inner) -> usize {
         // merely stale, and overwritten on its next spill).
         if spill_to_disk(inner, id) && inner.registry.remove_if_idle(id, cutoff) {
             inner.metrics.session_evicted();
+            emit_push(
+                inner,
+                &crate::proto::PushEvent::SessionEvicted {
+                    session: id,
+                    reason: "idle".into(),
+                },
+            );
             evicted += 1;
         }
     }
@@ -1186,95 +1301,204 @@ fn snapshotter_loop(inner: Weak<Inner>, interval: Duration) {
     }
 }
 
+/// Commands one route may execute per deficit-round-robin visit before
+/// the worker moves on to its other routes. A unit larger than the
+/// quantum is never split (units are the atomicity guarantee) — its
+/// route just accrues deficit across visits until the unit fits.
+const DRR_QUANTUM: u64 = 64;
+
+/// A worker's local backlog for one route (session stream): units in
+/// FIFO order plus the route's accumulated deficit.
+struct RouteQueue {
+    jobs: std::collections::VecDeque<Job>,
+    deficit: u64,
+}
+
+/// The worker loop drains its channel through a deficit-round-robin
+/// scheduler: jobs are parked in per-route FIFO queues, and each
+/// active route gets [`DRR_QUANTUM`] commands' worth of service per
+/// round. One session flooding the worker with huge batches can no
+/// longer starve the other sessions pinned to the same worker — they
+/// interleave at quantum granularity while each route's own order (the
+/// FIFO-per-session guarantee) is untouched, because units only ever
+/// run from their own route's queue, in arrival order.
 fn worker_loop(rx: mpsc::Receiver<Job>, inner: Arc<Inner>) {
-    while let Ok(job) = rx.recv() {
-        match job {
-            Job::Shutdown => return,
-            Job::Unit {
-                items,
-                mode,
-                pending_key,
-                enqueued,
-                trace,
-                reply,
-            } => {
-                // Queue wait: one span per unit (the unit sat on the
-                // queue as a whole). Each command's end-to-end latency
-                // is that wait plus its own execute time.
-                let queue_us = std::time::Instant::now()
-                    .saturating_duration_since(enqueued)
-                    .as_micros() as u64;
-                inner.metrics.observe_queue_wait(queue_us);
-                let slow_us = inner.config.slow_ms.map(|ms| ms.saturating_mul(1000));
-                // The unit runs back-to-back: nothing else dequeues on
-                // this worker until the whole same-session run is done,
-                // which is what makes a batched stream's decision order
-                // identical to N sequential round trips.
-                let mut aborted = false;
-                for item in items {
-                    let UnitItem {
-                        index,
-                        cmd,
-                        assigned,
-                    } = item;
-                    let response = if aborted {
-                        Response::Error(ServeError {
-                            code: ErrorCode::Aborted,
-                            message: "skipped: an earlier command of this session stream \
-                                      failed in a fail_fast batch"
-                                .into(),
-                        })
-                    } else {
-                        let kind = cmd.kind_index();
-                        // Slow-query context is extracted up front (the
-                        // command moves into the closure below) and only
-                        // when a threshold is configured.
-                        let slow_ctx = slow_us
-                            .is_some()
-                            .then(|| SlowContext::capture(&inner, &cmd, assigned));
-                        let exec_start = std::time::Instant::now();
-                        // Panic isolation: a handler panic (poisoned
-                        // session mutex, engine bug) must cost one error
-                        // response — at worst one bricked session —
-                        // never this worker and the 1/W of all sessions
-                        // pinned to it. The command moves into the
-                        // closure — no per-command clone on the hot path.
-                        let response =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                execute(&inner, cmd, assigned)
-                            }))
-                            .unwrap_or_else(|panic| {
-                                let what = panic
-                                    .downcast_ref::<&str>()
-                                    .map(|s| (*s).to_string())
-                                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "unknown panic".into());
-                                Response::Error(ServeError {
-                                    code: ErrorCode::SessionError,
-                                    message: format!("internal error executing command: {what}"),
-                                })
-                            });
-                        let exec_us = exec_start.elapsed().as_micros() as u64;
-                        inner.metrics.observe_execute(exec_us);
-                        inner.metrics.observe_command(kind, queue_us + exec_us);
-                        if let (Some(threshold), Some(ctx)) = (slow_us, slow_ctx) {
-                            if queue_us + exec_us >= threshold {
-                                ctx.emit(&inner, trace, kind, queue_us, exec_us);
-                            }
-                        }
-                        response
-                    };
-                    inner.pending.release(pending_key, 1);
-                    if matches!(response, Response::Error(_)) {
-                        inner.metrics.error();
-                        if mode == BatchMode::FailFast {
-                            aborted = true;
-                        }
+    let mut routes: HashMap<u64, RouteQueue> = HashMap::new();
+    let mut ring: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut draining = false;
+
+    loop {
+        // Fill: block when idle; otherwise soak up whatever has
+        // arrived without blocking, so newly active routes join the
+        // ring before the next visit.
+        if ring.is_empty() && !draining {
+            match rx.recv() {
+                Ok(Job::Shutdown) => draining = true,
+                Ok(job) => enqueue_route(&mut routes, &mut ring, job),
+                Err(_) => return,
+            }
+        }
+        if !draining {
+            loop {
+                match rx.try_recv() {
+                    Ok(Job::Shutdown) => {
+                        // Stop pulling new work, but run everything
+                        // already parked locally: jobs accepted before
+                        // shutdown still answer (same contract as the
+                        // old strict-FIFO loop).
+                        draining = true;
+                        break;
                     }
-                    let _ = reply.send((index, response));
+                    Ok(job) => enqueue_route(&mut routes, &mut ring, job),
+                    Err(_) => break,
                 }
             }
         }
+        let Some(route) = ring.pop_front() else {
+            if draining {
+                return;
+            }
+            continue;
+        };
+        let Some(queue) = routes.get_mut(&route) else {
+            continue;
+        };
+        queue.deficit = queue.deficit.saturating_add(DRR_QUANTUM);
+        while let Some(front) = queue.jobs.front() {
+            let cost = match front {
+                Job::Unit { items, .. } => (items.len() as u64).max(1),
+                Job::Shutdown => unreachable!("shutdown markers are not enqueued"),
+            };
+            if cost > queue.deficit {
+                break;
+            }
+            queue.deficit -= cost;
+            let job = queue.jobs.pop_front().expect("front observed above");
+            run_unit(&inner, job);
+        }
+        if queue.jobs.is_empty() {
+            // An idle route keeps no deficit: credit must not be
+            // bankable across idle periods.
+            routes.remove(&route);
+        } else {
+            // The route still has work but spent its round: yield to
+            // the ring's other routes.
+            inner.metrics.drr_deferral();
+            ring.push_back(route);
+        }
+    }
+}
+
+/// Parks `job` on its route's local queue, activating the route in the
+/// round-robin ring if it was idle.
+fn enqueue_route(
+    routes: &mut HashMap<u64, RouteQueue>,
+    ring: &mut std::collections::VecDeque<u64>,
+    job: Job,
+) {
+    let route = match &job {
+        Job::Unit { pending_key, .. } => *pending_key,
+        Job::Shutdown => unreachable!("shutdown markers are not enqueued"),
+    };
+    let queue = routes.entry(route).or_insert_with(|| {
+        ring.push_back(route);
+        RouteQueue {
+            jobs: std::collections::VecDeque::new(),
+            deficit: 0,
+        }
+    });
+    queue.jobs.push_back(job);
+}
+
+/// Executes one dispatch unit to completion — the unit runs
+/// back-to-back, never interleaved with other units, which is what
+/// makes a batched stream's decision order identical to N sequential
+/// round trips.
+fn run_unit(inner: &Inner, job: Job) {
+    let Job::Unit {
+        items,
+        mode,
+        pending_key,
+        enqueued,
+        trace,
+        reply,
+    } = job
+    else {
+        return;
+    };
+    // Queue wait: one span per unit (the unit sat on the
+    // queue as a whole). Each command's end-to-end latency
+    // is that wait plus its own execute time.
+    let queue_us = std::time::Instant::now()
+        .saturating_duration_since(enqueued)
+        .as_micros() as u64;
+    inner.metrics.observe_queue_wait(queue_us);
+    let slow_us = inner.config.slow_ms.map(|ms| ms.saturating_mul(1000));
+    // The unit runs back-to-back: nothing else dequeues on
+    // this worker until the whole same-session run is done,
+    // which is what makes a batched stream's decision order
+    // identical to N sequential round trips.
+    let mut aborted = false;
+    for item in items {
+        let UnitItem {
+            index,
+            cmd,
+            assigned,
+        } = item;
+        let response = if aborted {
+            Response::Error(ServeError {
+                code: ErrorCode::Aborted,
+                message: "skipped: an earlier command of this session stream \
+                                      failed in a fail_fast batch"
+                    .into(),
+            })
+        } else {
+            let kind = cmd.kind_index();
+            // Slow-query context is extracted up front (the
+            // command moves into the closure below) and only
+            // when a threshold is configured.
+            let slow_ctx = slow_us
+                .is_some()
+                .then(|| SlowContext::capture(inner, &cmd, assigned));
+            let exec_start = std::time::Instant::now();
+            // Panic isolation: a handler panic (poisoned
+            // session mutex, engine bug) must cost one error
+            // response — at worst one bricked session —
+            // never this worker and the 1/W of all sessions
+            // pinned to it. The command moves into the
+            // closure — no per-command clone on the hot path.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(inner, cmd, assigned)
+            }))
+            .unwrap_or_else(|panic| {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Response::Error(ServeError {
+                    code: ErrorCode::SessionError,
+                    message: format!("internal error executing command: {what}"),
+                })
+            });
+            let exec_us = exec_start.elapsed().as_micros() as u64;
+            inner.metrics.observe_execute(exec_us);
+            inner.metrics.observe_command(kind, queue_us + exec_us);
+            if let (Some(threshold), Some(ctx)) = (slow_us, slow_ctx) {
+                if queue_us + exec_us >= threshold {
+                    ctx.emit(inner, trace, kind, queue_us, exec_us);
+                }
+            }
+            response
+        };
+        inner.pending.release(pending_key, 1);
+        if matches!(response, Response::Error(_)) {
+            inner.metrics.error();
+            if mode == BatchMode::FailFast {
+                aborted = true;
+            }
+        }
+        let _ = reply.send((index, response));
     }
 }
 
@@ -1527,7 +1751,8 @@ fn ensure_capacity(inner: &Inner) -> Result<(), Response> {
     let mut attempts = 0;
     while inner.registry.len() >= inner.config.max_sessions {
         attempts += 1;
-        let evicted = match inner.registry.lru_candidate() {
+        let victim_info = inner.registry.lru_candidate();
+        let evicted = match victim_info {
             Some((victim, observed_seq)) => {
                 // Spill before unlinking: LRU eviction parks the
                 // victim's wealth on disk. A session touched (and
@@ -1541,6 +1766,15 @@ fn ensure_capacity(inner: &Inner) -> Result<(), Response> {
         };
         if evicted {
             inner.metrics.session_evicted();
+            if let Some((victim, _)) = victim_info {
+                emit_push(
+                    inner,
+                    &crate::proto::PushEvent::SessionEvicted {
+                        session: victim,
+                        reason: "lru".into(),
+                    },
+                );
+            }
         } else if attempts >= 16 {
             inner.metrics.overloaded();
             return Err(Response::Error(ServeError {
@@ -3341,5 +3575,151 @@ mod tests {
             Response::Error(e) => assert_eq!(e.code, ErrorCode::Shutdown),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn drr_defers_a_batch_larger_than_the_quantum_without_reordering() {
+        // One worker, one session, one unit of quantum+1 commands: the
+        // unit costs more than one round's deficit, so the worker must
+        // defer it once (accruing credit) before running it whole. The
+        // responses still come back complete and in submission order —
+        // DRR changes *when* a unit runs, never what or in what order.
+        let service = test_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let sid = create(&h);
+        let n = (DRR_QUANTUM + 1) as usize;
+        let cmds: Vec<Command> = (0..n).map(|_| Command::Gauge { session: sid }).collect();
+        let responses = h.call_batch(cmds);
+        assert_eq!(responses.len(), n);
+        for r in &responses {
+            assert!(
+                matches!(r, Response::GaugeText { session, .. } if *session == sid),
+                "{r:?}"
+            );
+        }
+        let stats = stats_of(&h);
+        assert!(
+            stats.drr_deferrals >= 1,
+            "a {n}-command unit must overdraw the {DRR_QUANTUM}-command quantum at least once: \
+             {stats:?}"
+        );
+    }
+
+    #[test]
+    fn two_sessions_on_one_worker_both_finish_under_drr() {
+        // Two session streams pinned to the same (only) worker, each
+        // submitting several units: DRR interleaves the routes at
+        // quantum granularity, and both streams' per-session FIFO
+        // guarantees hold (every gauge answers for its own session).
+        let service = test_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let a = create(&h);
+        let b = create(&h);
+        let mut joins = Vec::new();
+        for sid in [a, b] {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    match h.call(Command::Gauge { session: sid }) {
+                        Response::GaugeText { session, .. } => assert_eq!(session, sid),
+                        other => panic!("{other:?}"),
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn push_sinks_see_idle_evictions_and_are_dropped_when_dead() {
+        let service = test_service(ServiceConfig {
+            idle_timeout: Duration::from_millis(1),
+            sweep_interval: None,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let sid = create(&h);
+
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        h.subscribe_push(Box::new(move |e| {
+            sink_events.lock().unwrap().push(e.clone());
+            true
+        }));
+        // A second sink that reports itself dead on first delivery.
+        let dead_calls = Arc::new(AtomicU64::new(0));
+        let dead_count = dead_calls.clone();
+        h.subscribe_push(Box::new(move |_| {
+            dead_count.fetch_add(1, Ordering::SeqCst);
+            false
+        }));
+        assert_eq!(h.inner.push_sinks.lock().unwrap().len(), 2);
+
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(h.sweep_idle(), 1);
+        let seen = events.lock().unwrap().clone();
+        assert!(
+            seen.iter().any(|e| matches!(
+                e,
+                crate::proto::PushEvent::SessionEvicted { session, reason }
+                    if *session == sid && reason == "idle"
+            )),
+            "{seen:?}"
+        );
+        // The dead sink was called once and dropped.
+        assert_eq!(dead_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(h.inner.push_sinks.lock().unwrap().len(), 1);
+
+        // Replacing a dataset announces a cache reset to the survivor.
+        h.register_table("census", CensusGenerator::new(7).generate(100));
+        let seen = events.lock().unwrap().clone();
+        assert!(
+            seen.iter().any(|e| matches!(
+                e,
+                crate::proto::PushEvent::CacheReset { dataset } if dataset == "census"
+            )),
+            "{seen:?}"
+        );
+        assert_eq!(
+            dead_calls.load(Ordering::SeqCst),
+            1,
+            "dead sink stays dropped"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_pushes_a_session_evicted_event() {
+        let service = test_service(ServiceConfig {
+            max_sessions: 2,
+            ..ServiceConfig::default()
+        });
+        let h = service.handle();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        h.subscribe_push(Box::new(move |e| {
+            sink_events.lock().unwrap().push(e.clone());
+            true
+        }));
+        let first = create(&h);
+        let _second = create(&h);
+        // Capacity is full: the third creation evicts the LRU (first).
+        let _third = create(&h);
+        let seen = events.lock().unwrap().clone();
+        assert!(
+            seen.iter().any(|e| matches!(
+                e,
+                crate::proto::PushEvent::SessionEvicted { session, reason }
+                    if *session == first && reason == "lru"
+            )),
+            "{seen:?}"
+        );
     }
 }

@@ -19,7 +19,7 @@
 use crate::error::{ErrorCode, ServeError};
 use crate::frame::{self, FrameRead, MAX_FRAME_BYTES};
 use crate::proto::{
-    Batch, BatchMode, Command, Encoding, Envelope, Reply, Response, PROTOCOL_VERSION,
+    Batch, BatchMode, Command, Encoding, Envelope, PushEvent, Reply, Response, PROTOCOL_VERSION,
 };
 use crate::service::Dispatch;
 use crate::wire;
@@ -175,7 +175,11 @@ fn read_request_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<R
 
 /// Validates a hello against what this server speaks on the given
 /// surface; `Ok` is the ack to send back.
-fn negotiate(version: u32, encoding: Encoding, surface: Encoding) -> Result<Reply, ServeError> {
+pub(crate) fn negotiate(
+    version: u32,
+    encoding: Encoding,
+    surface: Encoding,
+) -> Result<Reply, ServeError> {
     if version != PROTOCOL_VERSION {
         return Err(ServeError::invalid(format!(
             "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION}; \
@@ -192,12 +196,17 @@ fn negotiate(version: u32, encoding: Encoding, surface: Encoding) -> Result<Repl
         version: PROTOCOL_VERSION,
         encoding,
         max_frame: MAX_FRAME_BYTES as u64,
+        push: false, // granted (or not) by the front end, not here
     })
 }
 
 /// Executes a batch envelope under one trace id and pairs the
 /// responses with their item ids for the reply.
-fn run_batch<H: Dispatch>(handle: &H, batch: Batch, trace: u64) -> Vec<(Option<u64>, Response)> {
+pub(crate) fn run_batch<H: Dispatch>(
+    handle: &H,
+    batch: Batch,
+    trace: u64,
+) -> Vec<(Option<u64>, Response)> {
     let mut ids = Vec::with_capacity(batch.items.len());
     let mut cmds = Vec::with_capacity(batch.items.len());
     let mode = batch.mode;
@@ -210,14 +219,33 @@ fn run_batch<H: Dispatch>(handle: &H, batch: Batch, trace: u64) -> Vec<(Option<u
         .collect()
 }
 
+/// Peeks the first byte of a connection for surface auto-detection.
+/// `Ok(None)` is a clean zero-byte close. A stray signal used to kill
+/// the connection here: `fill_buf` surfaces `EINTR` as an error, and
+/// the old code propagated it before a single byte was ever
+/// classified — so a connection that raced a `SIGTERM`-adjacent signal
+/// died silently instead of being served. Retry on `Interrupted`, the
+/// same discipline every other read loop in this file already follows
+/// via `read_line`/`read_exact`.
+fn first_byte(reader: &mut impl BufRead) -> std::io::Result<Option<u8>> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(None), // closed before a single byte
+            Ok(bytes) => return Ok(Some(bytes[0])),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Serves one connection until EOF or I/O error, auto-detecting the
 /// surface from the first byte.
 fn serve_connection<H: Dispatch>(stream: TcpStream, handle: H) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
-    let first = match reader.fill_buf()? {
-        [] => return Ok(()), // closed before a single byte
-        bytes => bytes[0],
+    let first = match first_byte(&mut reader)? {
+        None => return Ok(()),
+        Some(b) => b,
     };
     if first == frame::MAGIC[0] {
         return serve_binary(reader, writer, handle, false);
@@ -253,6 +281,7 @@ fn serve_ndjson<H: Dispatch>(
                         id,
                         version,
                         encoding,
+                        ..
                     }) => match negotiate(version, encoding, Encoding::Json) {
                         Ok(Reply::HelloAck {
                             version,
@@ -260,11 +289,17 @@ fn serve_ndjson<H: Dispatch>(
                             max_frame,
                             ..
                         }) => {
+                            // This front end parks a thread in a blocking
+                            // read between requests, so it has nowhere to
+                            // deliver asynchronous frames from: the push
+                            // capability is honestly declined (the reactor
+                            // front end is the one that grants it).
                             let ack = Reply::HelloAck {
                                 id,
                                 version,
                                 encoding,
                                 max_frame,
+                                push: false,
                             };
                             writer.write_all(ack.encode_line().as_bytes())?;
                             writer.write_all(b"\n")?;
@@ -313,7 +348,7 @@ fn serve_ndjson<H: Dispatch>(
 /// the stream, and a > 4 GiB one would poison the u32 length field.
 /// The error is explicit that the commands *did* execute and only
 /// their responses were discarded.
-fn write_reply_frame(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
+pub(crate) fn write_reply_frame(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
     let payload = wire::encode_reply(reply);
     if payload.len() <= MAX_FRAME_BYTES {
         return frame::write_frame(writer, &payload);
@@ -388,6 +423,7 @@ fn serve_binary<H: Dispatch>(
                 id,
                 version,
                 encoding,
+                ..
             }) => match negotiate(version, encoding, Encoding::Binary) {
                 Ok(Reply::HelloAck {
                     version,
@@ -396,11 +432,14 @@ fn serve_binary<H: Dispatch>(
                     ..
                 }) => {
                     greeted = true;
+                    // Push is declined on this front end — see the JSON
+                    // hello arm for why.
                     Reply::HelloAck {
                         id,
                         version,
                         encoding,
                         max_frame,
+                        push: false,
                     }
                 }
                 Ok(_) => unreachable!("negotiate acks with HelloAck"),
@@ -476,6 +515,8 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     next_id: u64,
     encoding: Encoding,
+    push_granted: bool,
+    pushes: std::collections::VecDeque<PushEvent>,
 }
 
 fn io_err(e: std::io::Error) -> ServeError {
@@ -511,6 +552,8 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 0,
             encoding: Encoding::Json,
+            push_granted: false,
+            pushes: std::collections::VecDeque::new(),
         })
     }
 
@@ -531,6 +574,8 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 0,
             encoding: Encoding::Json,
+            push_granted: false,
+            pushes: std::collections::VecDeque::new(),
         })
     }
 
@@ -563,12 +608,26 @@ impl Client {
     /// Negotiates protocol v2 with the given encoding. The hello goes
     /// out on the connection's current surface.
     pub fn hello(&mut self, encoding: Encoding) -> Result<(), ServeError> {
+        self.hello_opts(encoding, false).map(|_| ())
+    }
+
+    /// [`Client::hello`] that also requests the server-push capability.
+    /// Returns whether the server granted it (the thread-per-connection
+    /// front end declines; the reactor front end grants). A declined
+    /// request is not an error — the connection works normally, it just
+    /// won't receive unsolicited id-0 frames.
+    pub fn hello_push(&mut self, encoding: Encoding) -> Result<bool, ServeError> {
+        self.hello_opts(encoding, true)
+    }
+
+    fn hello_opts(&mut self, encoding: Encoding, push: bool) -> Result<bool, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
         let hello = Envelope::Hello {
             id: Some(id),
             version: PROTOCOL_VERSION,
             encoding,
+            push,
         };
         self.send_envelope(&hello)?;
         match self.read_reply()? {
@@ -576,6 +635,7 @@ impl Client {
                 id: echoed,
                 version,
                 encoding: granted,
+                push: push_granted,
                 ..
             } => {
                 if echoed != Some(id) || version != PROTOCOL_VERSION || granted != encoding {
@@ -585,7 +645,8 @@ impl Client {
                     });
                 }
                 self.encoding = encoding;
-                Ok(())
+                self.push_granted = push_granted;
+                Ok(push_granted)
             }
             Reply::Single {
                 response: Response::Error(e),
@@ -594,6 +655,41 @@ impl Client {
             other => Err(ServeError {
                 code: ErrorCode::BadRequest,
                 message: format!("unexpected hello reply: {other:?}"),
+            }),
+        }
+    }
+
+    /// Whether the server granted the push capability on this
+    /// connection's hello.
+    pub fn push_granted(&self) -> bool {
+        self.push_granted
+    }
+
+    /// Push events received so far, drained in arrival order. Pushes
+    /// are interleaved with replies on the wire; [`Client::read_reply`]
+    /// stashes any id-0 push frame it encounters while waiting for a
+    /// response, so this is where they surface.
+    pub fn take_pushes(&mut self) -> Vec<PushEvent> {
+        self.pushes.drain(..).collect()
+    }
+
+    /// Blocks until a push event arrives (or the socket's read timeout
+    /// fires, for clients built with `connect_deadline`). Any stashed
+    /// event is returned immediately.
+    pub fn recv_push(&mut self) -> Result<PushEvent, ServeError> {
+        if let Some(event) = self.pushes.pop_front() {
+            return Ok(event);
+        }
+        match self.read_reply_raw()? {
+            Reply::Single {
+                id: Some(0),
+                response: Response::Push(event),
+            } => Ok(event),
+            // A non-push reply here means the server answered a request
+            // we never sent.
+            other => Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("unsolicited non-push reply while waiting for a push: {other:?}"),
             }),
         }
     }
@@ -733,7 +829,24 @@ impl Client {
         self.writer.flush().map_err(io_err)
     }
 
+    /// Reads the next reply to a request, stashing any server-push
+    /// frames that arrive in between. Push frames always carry envelope
+    /// id 0 and a `Push` response — a shape no request reply can take
+    /// (the id-0 hello is acked with a `HelloAck`), so the dispatch is
+    /// unambiguous.
     fn read_reply(&mut self) -> Result<Reply, ServeError> {
+        loop {
+            match self.read_reply_raw()? {
+                Reply::Single {
+                    id: Some(0),
+                    response: Response::Push(event),
+                } => self.pushes.push_back(event),
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    fn read_reply_raw(&mut self) -> Result<Reply, ServeError> {
         match self.encoding {
             Encoding::Json => {
                 let mut line = String::new();
@@ -994,5 +1107,63 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    /// A reader whose first `n` reads fail with `Interrupted` before
+    /// the payload flows — the shape a pending signal gives `read(2)`.
+    struct InterruptedReader {
+        interrupts: usize,
+        data: &'static [u8],
+    }
+
+    impl std::io::Read for InterruptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupts > 0 {
+                self.interrupts -= 1;
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            let n = self.data.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn first_byte_retries_through_eintr() {
+        // Surface auto-detection must not classify (or kill) the
+        // connection on a stray signal: the first byte after the
+        // interrupts decides.
+        let mut r = BufReader::new(InterruptedReader {
+            interrupts: 3,
+            data: b"AWR2",
+        });
+        assert_eq!(first_byte(&mut r).unwrap(), Some(b'A'));
+
+        let mut r = BufReader::new(InterruptedReader {
+            interrupts: 2,
+            data: b"{\"cmd\":\"stats\"}\n",
+        });
+        assert_eq!(first_byte(&mut r).unwrap(), Some(b'{'));
+
+        // EINTR then clean close is still a clean zero-byte close.
+        let mut r = BufReader::new(InterruptedReader {
+            interrupts: 1,
+            data: b"",
+        });
+        assert_eq!(first_byte(&mut r).unwrap(), None);
+
+        // Other errors still propagate.
+        struct Broken;
+        impl std::io::Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::ConnectionReset))
+            }
+        }
+        let mut r = BufReader::new(Broken);
+        assert_eq!(
+            first_byte(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::ConnectionReset
+        );
     }
 }

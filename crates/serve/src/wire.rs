@@ -19,8 +19,8 @@
 
 use crate::error::{ErrorCode, ServeError};
 use crate::proto::{
-    Batch, BatchItem, BatchMode, Command, Encoding, Envelope, HypothesisReport, Reply, Response,
-    StatsSnapshot, TranscriptFormat, MAX_BATCH_ITEMS,
+    Batch, BatchItem, BatchMode, Command, Encoding, Envelope, HypothesisReport, PushEvent, Reply,
+    Response, StatsSnapshot, TranscriptFormat, MAX_BATCH_ITEMS,
 };
 use aware_data::predicate::CmpOp;
 use aware_data::value::Value;
@@ -42,10 +42,13 @@ const MAX_FILTER_DEPTH: usize = 128;
 /// `replicas_live`/`replication_lag_max_epochs`/`promotions`/
 /// `hedged_reads` (fields 27–30) arrive without one, and now — sixth
 /// proof — how the resilience scalars `shard_timeouts`/`breaker_opens`/
-/// `breaker_shed` (fields 31–33) arrive without one. The per-shard
-/// health breakdown and per-session risk rows are JSON-surface only:
-/// they are not scalars, and the count prefix covers only scalars.
-const STATS_SCALAR_FIELDS: usize = 33;
+/// `breaker_shed` (fields 31–33) arrive without one, and now — seventh
+/// proof — how the reactor/push scalars `reactor_connections`/
+/// `reactor_wakeups`/`push_frames`/`drr_deferrals` (fields 34–37)
+/// arrive without one. The per-shard health breakdown and per-session
+/// risk rows are JSON-surface only: they are not scalars, and the
+/// count prefix covers only scalars.
+const STATS_SCALAR_FIELDS: usize = 37;
 
 // Envelope tags.
 const TAG_HELLO: u8 = 0x01;
@@ -65,11 +68,18 @@ pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
             id,
             version,
             encoding,
+            push,
         } => {
             w.u8(TAG_HELLO);
             w.opt_varint(*id);
             w.varint(*version as u64);
             w.u8(encoding_tag(*encoding));
+            // Optional trailing capability byte — written only when the
+            // client opts into push, so hellos from older clients (and
+            // to older servers) keep their exact historical bytes.
+            if *push {
+                w.u8(1);
+            }
         }
         Envelope::Batch { id, batch } => {
             w.u8(TAG_BATCH);
@@ -102,12 +112,18 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             version,
             encoding,
             max_frame,
+            push,
         } => {
             w.u8(TAG_HELLO_ACK);
             w.opt_varint(*id);
             w.varint(*version as u64);
             w.u8(encoding_tag(*encoding));
             w.varint(*max_frame);
+            // Mirror of the hello capability byte: present only when
+            // the server granted push.
+            if *push {
+                w.u8(1);
+            }
         }
         Reply::Batch { id, items } => {
             w.u8(TAG_BATCH_REPLY);
@@ -135,10 +151,19 @@ pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, ServeError> {
             let id = r.opt_varint("hello id")?;
             let version = r.varint("hello version")?;
             let encoding = r.encoding()?;
+            // Lenient capability decode: the push byte is optional and
+            // trailing, so hellos from pre-push clients (which simply
+            // end here) parse exactly as before.
+            let push = if r.has_more() {
+                r.u8("hello push capability")? != 0
+            } else {
+                false
+            };
             Envelope::Hello {
                 id,
                 version: version.min(u32::MAX as u64) as u32,
                 encoding,
+                push,
             }
         }
         TAG_BATCH => {
@@ -185,11 +210,17 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ServeError> {
             let version = r.varint("hello version")?;
             let encoding = r.encoding()?;
             let max_frame = r.varint("max_frame")?;
+            let push = if r.has_more() {
+                r.u8("hello ack push capability")? != 0
+            } else {
+                false
+            };
             Reply::HelloAck {
                 id,
                 version: version.min(u32::MAX as u64) as u32,
                 encoding,
                 max_frame,
+                push,
             }
         }
         TAG_BATCH_REPLY => {
@@ -629,6 +660,10 @@ impl Writer {
                     s.shard_timeouts,
                     s.breaker_opens,
                     s.breaker_shed,
+                    s.reactor_connections,
+                    s.reactor_wakeups,
+                    s.push_frames,
+                    s.drr_deferrals,
                 ] {
                     self.varint(n);
                 }
@@ -712,6 +747,20 @@ impl Writer {
                 self.varint(*generation);
                 self.members(members);
             }
+            Response::Push(event) => {
+                self.u8(18);
+                match event {
+                    PushEvent::SessionEvicted { session, reason } => {
+                        self.u8(1);
+                        self.varint(*session);
+                        self.str(reason);
+                    }
+                    PushEvent::CacheReset { dataset } => {
+                        self.u8(2);
+                        self.str(dataset);
+                    }
+                }
+            }
         }
     }
 }
@@ -733,6 +782,12 @@ impl<'a> Reader<'a> {
             code: ErrorCode::BadRequest,
             message: format!("binary payload at byte {}: {}", self.pos, message.into()),
         }
+    }
+
+    /// Whether any undecoded bytes remain — used for optional trailing
+    /// capability bytes (the hello `push` flag) that must stay lenient.
+    pub(crate) fn has_more(&self) -> bool {
+        self.pos < self.bytes.len()
     }
 
     pub(crate) fn finish(&self) -> Result<(), ServeError> {
@@ -1131,6 +1186,10 @@ impl<'a> Reader<'a> {
                     shard_timeouts: fields[30],
                     breaker_opens: fields[31],
                     breaker_shed: fields[32],
+                    reactor_connections: fields[33],
+                    reactor_wakeups: fields[34],
+                    push_frames: fields[35],
+                    drr_deferrals: fields[36],
                     batch_size_hist,
                     shards: Vec::new(),
                     sessions: Vec::new(),
@@ -1196,6 +1255,16 @@ impl<'a> Reader<'a> {
                 generation: self.varint("generation")?,
                 members: self.members()?,
             },
+            18 => Response::Push(match self.u8("push event kind")? {
+                1 => PushEvent::SessionEvicted {
+                    session: self.varint("session")?,
+                    reason: self.str("eviction reason")?,
+                },
+                2 => PushEvent::CacheReset {
+                    dataset: self.str("dataset")?,
+                },
+                other => return Err(self.bad(format!("unknown push event kind {other}"))),
+            }),
             other => return Err(self.bad(format!("unknown response tag {other}"))),
         })
     }
@@ -1221,6 +1290,13 @@ mod tests {
             id: Some(1),
             version: 2,
             encoding: Encoding::Binary,
+            push: false,
+        });
+        round_trip_envelope(Envelope::Hello {
+            id: Some(2),
+            version: 3,
+            encoding: Encoding::Binary,
+            push: true,
         });
         round_trip_envelope(Envelope::Single {
             id: None,
@@ -1287,6 +1363,27 @@ mod tests {
             version: 2,
             encoding: Encoding::Binary,
             max_frame: 8 << 20,
+            push: false,
+        });
+        round_trip_reply(Reply::HelloAck {
+            id: Some(7),
+            version: 3,
+            encoding: Encoding::Binary,
+            max_frame: 8 << 20,
+            push: true,
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(0),
+            response: Response::Push(PushEvent::SessionEvicted {
+                session: 7,
+                reason: "idle".into(),
+            }),
+        });
+        round_trip_reply(Reply::Single {
+            id: Some(0),
+            response: Response::Push(PushEvent::CacheReset {
+                dataset: "census".into(),
+            }),
         });
         round_trip_reply(Reply::Batch {
             id: Some(4),
@@ -1550,9 +1647,9 @@ mod tests {
         // 14 = a pre-persistence peer, 20 = a PR-5-era peer (cluster
         // counters but no observability scalars), 26 = a PR-6-era peer
         // (no replication scalars), 30 = a PR-7-era peer (no resilience
-        // scalars), 36 = a future peer with three counters we don't
-        // know yet.
-        for count in [14usize, 20, 26, 30, 36] {
+        // scalars), 33 = a PR-8-era peer (no reactor scalars), 40 = a
+        // future peer with three counters we don't know yet.
+        for count in [14usize, 20, 26, 30, 33, 40] {
             let mut w = Writer::new();
             w.u8(TAG_SINGLE_REPLY);
             w.opt_varint(Some(9));
@@ -1613,7 +1710,7 @@ mod tests {
                 assert_eq!(s.promotions, 128);
                 assert_eq!(s.hedged_reads, 129);
             }
-            if count < STATS_SCALAR_FIELDS {
+            if count < 33 {
                 assert_eq!(s.shard_timeouts, 0);
                 assert_eq!(s.breaker_opens, 0);
                 assert_eq!(s.breaker_shed, 0);
@@ -1621,6 +1718,16 @@ mod tests {
                 assert_eq!(s.shard_timeouts, 130);
                 assert_eq!(s.breaker_opens, 131);
                 assert_eq!(s.breaker_shed, 132);
+            }
+            if count < STATS_SCALAR_FIELDS {
+                assert_eq!(s.reactor_connections, 0);
+                assert_eq!(s.push_frames, 0);
+                assert_eq!(s.drr_deferrals, 0);
+            } else {
+                assert_eq!(s.reactor_connections, 133);
+                assert_eq!(s.reactor_wakeups, 134);
+                assert_eq!(s.push_frames, 135);
+                assert_eq!(s.drr_deferrals, 136);
             }
             assert_eq!(s.batch_size_hist, [0, 1, 2, 3, 4]);
         }
@@ -1724,6 +1831,33 @@ mod tests {
         assert_eq!(
             framed,
             [0x41, 0x57, 0x52, 0x32, 0x02, 0, 0, 0, 5, 0x03, 0x01, 0x05, 0x04, 0x07]
+        );
+    }
+
+    #[test]
+    fn readme_push_frame_example_is_accurate() {
+        // The README's worked server-push example (the "Reactor"
+        // chapter) must match the codec bytes: an id-0 single carrying
+        // an idle-eviction notice for session 7.
+        let payload = encode_reply(&Reply::Single {
+            id: Some(0),
+            response: Response::Push(PushEvent::SessionEvicted {
+                session: 7,
+                reason: "idle".into(),
+            }),
+        });
+        assert_eq!(
+            payload,
+            [0x83, 0x01, 0x00, 0x12, 0x01, 0x07, 0x04, 0x69, 0x64, 0x6c, 0x65]
+        );
+        let mut framed = Vec::new();
+        crate::frame::write_frame(&mut framed, &payload).unwrap();
+        assert_eq!(
+            framed,
+            [
+                0x41, 0x57, 0x52, 0x32, 0x02, 0, 0, 0, 11, 0x83, 0x01, 0x00, 0x12, 0x01, 0x07,
+                0x04, 0x69, 0x64, 0x6c, 0x65
+            ]
         );
     }
 

@@ -538,6 +538,7 @@ fn oversized_frames_are_rejected_and_the_stream_resynchronizes() {
         id: Some(1),
         version: PROTOCOL_VERSION,
         encoding: Encoding::Binary,
+        push: false,
     });
     frame::write_frame(&mut writer, &hello).unwrap();
     writer.flush().unwrap();
@@ -607,6 +608,7 @@ fn binary_surface_refuses_a_json_downgrade() {
         id: Some(1),
         version: PROTOCOL_VERSION,
         encoding: Encoding::Json,
+        push: false,
     });
     frame::write_frame(&mut writer, &hello).unwrap();
     writer.flush().unwrap();
