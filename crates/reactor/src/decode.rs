@@ -130,6 +130,28 @@ impl StreamDecoder {
         matches!(self.mode, Mode::Frames { .. } | Mode::Skip { .. })
     }
 
+    /// Upper bound on the bytes this decoder may need buffered before
+    /// [`StreamDecoder::next`] is guaranteed to make progress (yield a
+    /// message, trip the over-long-line discard, or enter payload
+    /// skip). The event loop's input cap yields to this so a message
+    /// legitimately larger than the cap — an 8 MiB frame against a
+    /// 1 MiB cap — can still assemble instead of deadlocking a paused
+    /// connection.
+    pub fn progress_bound(&self) -> usize {
+        match self.mode {
+            Mode::Detect => 1,
+            // One byte past the cap trips the overflow discard, which
+            // empties the buffer.
+            Mode::Lines { .. } => self.cfg.line_max + 1,
+            Mode::Frames { pending: None } => HEADER_LEN,
+            Mode::Frames {
+                pending: Some(declared),
+            } => declared as usize,
+            // Skip consumes whatever arrives immediately.
+            Mode::Skip { .. } => 0,
+        }
+    }
+
     /// Switches to frame reassembly (the JSON→binary hello upgrade).
     /// Bytes buffered past the hello line are preserved and will be
     /// parsed as frames.
@@ -516,6 +538,34 @@ mod tests {
         assert_eq!(msgs, vec![Inbound::Frame(b"bin".to_vec())]);
         let msgs = drain_bytewise(b"  {\"v\":1}\n", DecoderConfig::default());
         assert_eq!(msgs, vec![Inbound::Line("  {\"v\":1}".into())]);
+    }
+
+    #[test]
+    fn progress_bound_tracks_the_in_flight_message() {
+        let mut d = decoder();
+        assert_eq!(d.progress_bound(), 1, "detect needs one byte");
+        d.push(b"AWR2");
+        assert_eq!(d.next(), None);
+        assert_eq!(d.progress_bound(), 9, "frames need a full header");
+        d.push(&[2, 0, 0x20, 0, 0]); // version 2, 2 MiB declared
+        assert_eq!(d.next(), None);
+        assert_eq!(
+            d.progress_bound(),
+            2 << 20,
+            "payload reassembly needs the declared length even past the cap"
+        );
+
+        let mut d = StreamDecoder::new(DecoderConfig {
+            line_max: 100,
+            ..DecoderConfig::default()
+        });
+        d.push(b"{");
+        assert_eq!(d.next(), None);
+        assert_eq!(
+            d.progress_bound(),
+            101,
+            "one byte past line_max trips the overflow discard"
+        );
     }
 
     #[test]

@@ -132,9 +132,12 @@ pub struct ReactorConfig {
     /// Output buffer cap: a peer that never reads is disconnected once
     /// pending replies exceed this.
     pub out_cap: usize,
-    /// Input pause threshold: while a message is in flight, stop
-    /// reading once this many unparsed bytes are buffered (backpressure
-    /// to TCP instead of unbounded memory).
+    /// Input pause threshold: stop reading once this many unparsed
+    /// bytes are buffered — whether or not a message is in flight — so
+    /// the kernel window fills and the peer blocks (backpressure to TCP
+    /// instead of unbounded memory). A single message legitimately
+    /// larger than the cap still assembles: the effective ceiling is
+    /// `max(in_cap, decoder.progress_bound())`.
     pub in_cap: usize,
 }
 
@@ -252,6 +255,8 @@ impl<P: Send + Clone + 'static> ReactorServer<P> {
                     cfg,
                     poller,
                     listener,
+                    listener_fd: -1,
+                    listener_paused_until: None,
                     service,
                     ctl: ctl_for_loop,
                     conns: HashMap::new(),
@@ -332,6 +337,14 @@ const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
 
+/// Most bytes one connection may read per readable wakeup (fairness:
+/// 4 full chunks, then yield to the rest of the loop).
+const READ_BUDGET_PER_WAKEUP: usize = 256 * 1024;
+
+/// How long the listener stays deregistered after an accept failure
+/// (EMFILE and friends) before the loop re-arms it.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
 struct Conn {
     stream: TcpStream,
     fd: i32,
@@ -340,10 +353,12 @@ struct Conn {
     /// on a dispatcher (at most one per connection, which is what keeps
     /// per-session ordering intact).
     state: Option<ConnState>,
-    /// Loop-side mirrors of the `ConnState` flags (needed while the
+    /// Loop-side mirror of the `ConnState` push flag (needed while the
     /// state is traveling — e.g. a push event arriving mid-dispatch).
+    /// The wire surface is *not* mirrored: the decoder's mode is the
+    /// authoritative answer (a connection can be binary from its very
+    /// first byte, with no upgrade outcome ever setting a flag).
     push: bool,
-    frames: bool,
     out: Vec<u8>,
     sent: usize,
     read_closed: bool,
@@ -356,6 +371,15 @@ struct Conn {
 impl Conn {
     fn out_len(&self) -> usize {
         self.out.len() - self.sent
+    }
+
+    /// Whether inbound reads are paused for backpressure: more unparsed
+    /// bytes than the input cap allows, regardless of whether a message
+    /// is in flight (a pipelined flood with nothing outstanding must
+    /// not buffer unboundedly either). The decoder's progress bound
+    /// keeps a single over-cap message assemblable.
+    fn input_paused(&self, in_cap: usize) -> bool {
+        self.decoder.buffered() > in_cap.max(self.decoder.progress_bound())
     }
 }
 
@@ -387,6 +411,13 @@ struct Reactor<S: ReactorService> {
     cfg: ReactorConfig,
     poller: sys::Poller,
     listener: TcpListener,
+    /// Cached raw fd of `listener` (set once in `run`).
+    listener_fd: i32,
+    /// While `Some`, the listener is deregistered from the poller after
+    /// an accept failure (EMFILE and friends); the loop re-arms it once
+    /// the deadline passes. Established connections keep being serviced
+    /// throughout — the loop never sleeps inline.
+    listener_paused_until: Option<Instant>,
     service: Arc<S>,
     ctl: Arc<Control<S::Push>>,
     conns: HashMap<u64, Conn>,
@@ -398,13 +429,12 @@ struct Reactor<S: ReactorService> {
 impl<S: ReactorService> Reactor<S> {
     fn run(&mut self) -> io::Result<()> {
         #[cfg(unix)]
-        let listener_fd = {
+        {
             use std::os::unix::io::AsRawFd;
-            self.listener.as_raw_fd()
-        };
-        #[cfg(not(unix))]
-        let listener_fd = -1;
-        self.poller.add(listener_fd, sys::EPOLLIN, TOKEN_LISTENER)?;
+            self.listener_fd = self.listener.as_raw_fd();
+        }
+        self.poller
+            .add(self.listener_fd, sys::EPOLLIN, TOKEN_LISTENER)?;
         self.poller
             .add(self.ctl.wake.fd(), sys::EPOLLIN, TOKEN_WAKE)?;
 
@@ -418,7 +448,22 @@ impl<S: ReactorService> Reactor<S> {
         let mut last_reap = Instant::now();
 
         loop {
-            let n = self.poller.wait(&mut events, timeout_ms)?;
+            // A paused listener turns its re-arm deadline into a wait
+            // bound so the backoff ends on time even on an otherwise
+            // idle loop.
+            let wait_ms = match self.listener_paused_until {
+                Some(deadline) => {
+                    let remain = deadline.saturating_duration_since(Instant::now());
+                    let remain_ms = (remain.as_millis() as i64 + 1).min(i32::MAX as i64) as i32;
+                    if timeout_ms < 0 {
+                        remain_ms
+                    } else {
+                        timeout_ms.min(remain_ms)
+                    }
+                }
+                None => timeout_ms,
+            };
+            let n = self.poller.wait(&mut events, wait_ms)?;
             if n > 0 {
                 self.service.on_wakeup();
             }
@@ -441,6 +486,22 @@ impl<S: ReactorService> Reactor<S> {
             }
             self.drain_completions();
             self.drain_pushes();
+            if let Some(deadline) = self.listener_paused_until {
+                if Instant::now() >= deadline {
+                    self.listener_paused_until = None;
+                    if self
+                        .poller
+                        .add(self.listener_fd, sys::EPOLLIN, TOKEN_LISTENER)
+                        .is_ok()
+                    {
+                        // Catch up on the backlog that queued while the
+                        // listener was off the poller.
+                        self.accept_all();
+                    } else {
+                        self.listener_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    }
+                }
+            }
             if self.ctl.stop.load(Ordering::SeqCst) {
                 return Ok(());
             }
@@ -487,7 +548,6 @@ impl<S: ReactorService> Reactor<S> {
                             }),
                             state: Some(ConnState::default()),
                             push: false,
-                            frames: false,
                             out: Vec::new(),
                             sent: 0,
                             read_closed: false,
@@ -501,10 +561,14 @@ impl<S: ReactorService> Reactor<S> {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    // EMFILE and friends: back off briefly so a
-                    // level-triggered readable listener can't spin the
-                    // loop at 100% while the fd table is full.
-                    std::thread::sleep(Duration::from_millis(10));
+                    // EMFILE and friends: take the listener off the
+                    // poller and re-arm it after a short backoff
+                    // (handled in `run`). Sleeping here would stall
+                    // reads, writes, completions, and pushes for every
+                    // established connection — an fd-exhaustion attack
+                    // must not become a periodic full-loop stall.
+                    let _ = self.poller.delete(self.listener_fd);
+                    self.listener_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
                     return;
                 }
             }
@@ -526,18 +590,27 @@ impl<S: ReactorService> Reactor<S> {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            // Fairness bound: one readable event may consume at most
+            // this much before yielding — a loopback peer that keeps
+            // the socket readable (pipelined flood) must not monopolize
+            // the loop thread inside a single wakeup. Level-triggered
+            // epoll re-reports the fd on the next wait, so nothing is
+            // lost by stopping early.
+            let mut budget = READ_BUDGET_PER_WAKEUP;
             loop {
-                // Input cap: while a message is in flight, buffering
-                // more than `in_cap` unparsed bytes stops reads — the
-                // kernel window fills and the peer blocks, which is the
-                // backpressure we want.
-                if conn.state.is_none() && conn.decoder.buffered() > self.cfg.in_cap {
+                // Input cap: buffering more than `in_cap` unparsed
+                // bytes stops reads — in flight or not — so the kernel
+                // window fills and the peer blocks, which is the
+                // backpressure we want. (`update_interest` drops
+                // EPOLLIN while paused; draining completions re-arms.)
+                if budget == 0 || conn.input_paused(self.cfg.in_cap) {
                     break;
                 }
                 match read_step(&mut conn.stream, &mut chunk) {
                     ReadStep::Data(n) => {
                         conn.decoder.push(&chunk[..n]);
                         conn.last_activity = Instant::now();
+                        budget = budget.saturating_sub(n);
                     }
                     ReadStep::Eof => {
                         conn.read_closed = true;
@@ -675,7 +748,7 @@ impl<S: ReactorService> Reactor<S> {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        let paused = conn.state.is_none() && conn.decoder.buffered() > self.cfg.in_cap;
+        let paused = conn.input_paused(self.cfg.in_cap);
         let mut interest = 0;
         if !conn.read_closed && !conn.close_after_flush && !paused {
             interest |= sys::EPOLLIN | sys::EPOLLRDHUP;
@@ -710,7 +783,6 @@ impl<S: ReactorService> Reactor<S> {
         }
         if done.outcome.upgrade_to_frames {
             conn.decoder.set_frames();
-            conn.frames = true;
         }
         let over_cap = conn.out_len() > self.cfg.out_cap;
         let close_requested = done.outcome.close;
@@ -759,7 +831,13 @@ impl<S: ReactorService> Reactor<S> {
                 if !conn.push || conn.close_after_flush {
                     continue;
                 }
-                let Some(bytes) = self.service.encode_push(conn.frames, &event) else {
+                // The decoder's mode — not an upgrade flag — decides the
+                // push encoding: a connection whose *first byte* was the
+                // frame magic is binary without ever passing through the
+                // JSON→binary upgrade outcome, and an NDJSON line
+                // spliced into its AWR2 stream would corrupt framing.
+                let frames = conn.decoder.is_frames();
+                let Some(bytes) = self.service.encode_push(frames, &event) else {
                     continue;
                 };
                 conn.out.extend_from_slice(&bytes);

@@ -130,8 +130,17 @@ pub struct Batch {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Envelope {
     /// Version/encoding negotiation. `push` opts into server-push
-    /// frames (id-0 envelopes); it decodes leniently — the seventh
-    /// no-version-bump extension — so old peers simply never grant it.
+    /// frames (id-0 envelopes); this server decodes it leniently — the
+    /// seventh no-version-bump extension. The leniency is asymmetric
+    /// across surfaces, though: on JSON, pre-push servers ignore the
+    /// unknown `"push"` field and simply never grant it, but on the
+    /// binary surface a pre-push server's strict `Reader::finish()`
+    /// rejects the trailing capability byte as "trailing bytes", so a
+    /// binary-native hello requesting push fails the whole handshake
+    /// against an older server. Clients that must interoperate with
+    /// old servers should request push over a JSON hello (upgrading to
+    /// binary via the ack), which is exactly what [`crate::tcp::Client`]
+    /// does.
     Hello {
         id: Option<u64>,
         version: u32,

@@ -482,6 +482,85 @@ mod tests {
     }
 
     #[test]
+    fn binary_native_subscriber_receives_pushes_as_frames() {
+        use crate::proto::PROTOCOL_VERSION;
+        use std::io::BufReader;
+
+        let service = test_service(ServiceConfig {
+            idle_timeout: Duration::from_millis(1),
+            sweep_interval: Some(Duration::from_millis(10)),
+            ..ServiceConfig::default()
+        });
+        let server = bind_reactor("127.0.0.1:0", service.handle()).expect("bind reactor");
+
+        // The hello itself goes out as an AWR2 frame — the connection
+        // is binary from its first byte, so it never passes through the
+        // JSON→binary upgrade path. Pushes must still arrive framed:
+        // an NDJSON line spliced into this stream would corrupt framing
+        // ("bad frame magic") and kill the connection.
+        let sock = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = sock.try_clone().expect("clone");
+        let mut reader = BufReader::new(sock);
+        let hello = wire::encode_envelope(&Envelope::Hello {
+            id: Some(1),
+            version: PROTOCOL_VERSION,
+            encoding: Encoding::Binary,
+            push: true,
+        });
+        crate::frame::write_frame(&mut writer, &hello).expect("write hello frame");
+
+        let read_reply =
+            |reader: &mut BufReader<std::net::TcpStream>| match crate::frame::read_frame(
+                reader,
+                MAX_FRAME_BYTES,
+            )
+            .expect("read frame")
+            {
+                crate::frame::FrameRead::Frame(payload) => {
+                    wire::decode_reply(&payload).expect("decode reply")
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            };
+        match read_reply(&mut reader) {
+            Reply::HelloAck { push: true, .. } => {}
+            other => panic!("expected push-granting ack, got {other:?}"),
+        }
+
+        let payload = wire::encode_envelope(&Envelope::Single {
+            id: Some(2),
+            cmd: Command::CreateSession {
+                dataset: "census".into(),
+                alpha: 0.05,
+                policy: PolicySpec::Fixed { gamma: 10.0 },
+            },
+        });
+        crate::frame::write_frame(&mut writer, &payload).expect("write create");
+        let created = match read_reply(&mut reader) {
+            Reply::Single {
+                id: Some(2),
+                response: Response::SessionCreated { session, .. },
+            } => session,
+            other => panic!("create failed: {other:?}"),
+        };
+
+        // The idle sweeper evicts the session; the notice must arrive
+        // as a well-formed id-0 *frame* on this never-upgraded binary
+        // connection.
+        match read_reply(&mut reader) {
+            Reply::Single {
+                id: Some(0),
+                response: Response::Push(PushEvent::SessionEvicted { session, reason }),
+            } => {
+                assert_eq!(session, created);
+                assert_eq!(reason, "idle");
+            }
+            other => panic!("expected framed eviction push, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn unsubscribed_connection_never_sees_push_traffic() {
         let service = test_service(ServiceConfig {
             idle_timeout: Duration::from_millis(1),

@@ -75,8 +75,14 @@ pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
             w.varint(*version as u64);
             w.u8(encoding_tag(*encoding));
             // Optional trailing capability byte — written only when the
-            // client opts into push, so hellos from older clients (and
-            // to older servers) keep their exact historical bytes.
+            // client opts into push, so hellos from older clients keep
+            // their exact historical bytes. Beware the asymmetry with
+            // the JSON surface: a pre-push *server* decodes binary
+            // hellos with a strict `Reader::finish()` and rejects this
+            // byte as trailing garbage, failing the handshake — do not
+            // request push in a binary-native hello against old
+            // servers (request it over a JSON hello instead, as
+            // `tcp::Client` does).
             if *push {
                 w.u8(1);
             }
